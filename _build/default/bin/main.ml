@@ -1,0 +1,408 @@
+(* The `pdw` command-line tool: run PathDriver-Wash or the DAWO baseline
+   on the published benchmarks (or the motivating example), inspect
+   layouts, schedules and necessity analyses, and regenerate the paper's
+   experiments. *)
+
+module Benchmarks = Pdw_assay.Benchmarks
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+module Layout = Pdw_biochip.Layout
+module Layout_builder = Pdw_biochip.Layout_builder
+module Schedule = Pdw_synth.Schedule
+module Synthesis = Pdw_synth.Synthesis
+module Contamination = Pdw_wash.Contamination
+module Necessity = Pdw_wash.Necessity
+module Pdw = Pdw_wash.Pdw
+module Dawo = Pdw_wash.Dawo
+module Wash_plan = Pdw_wash.Wash_plan
+module Metrics = Pdw_wash.Metrics
+module Report = Pdw_wash.Report
+
+let benchmark_names =
+  [ "pcr"; "ivd"; "proteinsplit"; "kinase act-1"; "kinase act-2";
+    "synthetic1"; "synthetic2"; "synthetic3"; "motivating" ]
+
+let load name =
+  match Benchmarks.find name with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown benchmark %S (try one of: %s)" name
+           (String.concat ", " benchmark_names)))
+
+let is_motivating name =
+  String.lowercase_ascii name = "motivating"
+
+let synthesize name b =
+  if is_motivating name then
+    Synthesis.synthesize ~layout:(Layout_builder.fig2_layout ()) b
+  else Synthesis.synthesize b
+
+(* --- subcommand implementations --- *)
+
+let cmd_list () =
+  List.iter
+    (fun (name, (b : Benchmarks.t)) ->
+      let g = b.Benchmarks.graph in
+      Printf.printf "%-14s |O|=%-3d |D|=%-3d |E|=%-3d reagents=%d\n" name
+        (Sequencing_graph.num_ops g)
+        (List.length b.Benchmarks.device_kinds)
+        (Sequencing_graph.num_edges g)
+        (List.length (Sequencing_graph.reagents g)))
+    (("Motivating", Benchmarks.motivating ()) :: Benchmarks.all ());
+  0
+
+let cmd_show_layout name =
+  match load name with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok b ->
+    let s = synthesize name b in
+    print_endline (Layout.render s.Synthesis.layout);
+    Printf.printf "\n%d devices, %d flow ports, %d waste ports\n"
+      (List.length (Layout.devices s.Synthesis.layout))
+      (List.length (Layout.flow_ports s.Synthesis.layout))
+      (List.length (Layout.waste_ports s.Synthesis.layout));
+    0
+
+let cmd_necessity name =
+  match load name with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok b ->
+    let s = synthesize name b in
+    let report =
+      Necessity.analyze (Contamination.analyze s.Synthesis.schedule)
+    in
+    let needed, t1, t2, t3, washed = Necessity.counts report in
+    Printf.printf
+      "Contamination events in the baseline schedule of %s:\n\
+      \  wash needed:           %4d\n\
+      \  type 1 (never reused): %4d\n\
+      \  type 2 (same fluid):   %4d\n\
+      \  type 3 (waste-bound):  %4d\n\
+      \  cleaned by flushes:    %4d\n"
+      name needed t1 t2 t3 washed;
+    0
+
+let setup_logs verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+let cmd_run name method_ show_schedule as_json verbose no_necessity
+    no_integration ilp_paths dissolution =
+  setup_logs verbose;
+  match load name with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok b ->
+    let s = synthesize name b in
+    let config =
+      {
+        Pdw.default_config with
+        necessity = not no_necessity;
+        integrate = not no_integration;
+        use_ilp_paths = ilp_paths;
+        dissolution =
+          Option.value dissolution
+            ~default:Pdw.default_config.Pdw.dissolution;
+      }
+    in
+    let outcome =
+      match method_ with
+      | `Pdw -> Pdw.optimize ~config s
+      | `Dawo -> Dawo.optimize s
+    in
+    if as_json then
+      print_endline
+        (Pdw_wash.Json_export.to_string (Pdw_wash.Json_export.outcome outcome))
+    else begin
+      Format.printf "%s on %s: %a@."
+        (match method_ with `Pdw -> "PDW" | `Dawo -> "DAWO")
+        name Metrics.pp outcome.Wash_plan.metrics;
+      Format.printf "rounds=%d converged=%b washes=%d demands-per-round=[%s]@."
+        outcome.Wash_plan.rounds outcome.Wash_plan.converged
+        (List.length outcome.Wash_plan.washes)
+        (String.concat "; "
+           (List.map string_of_int outcome.Wash_plan.demand_history));
+      if show_schedule then
+        Format.printf "@.%a@." Schedule.pp outcome.Wash_plan.schedule
+    end;
+    if outcome.Wash_plan.converged then 0 else 2
+
+let cmd_compare name =
+  match load name with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok b ->
+    let s = synthesize name b in
+    let dawo = Dawo.optimize s in
+    let pdw = Pdw.optimize s in
+    let row =
+      Report.row ~name
+        ~device_count:(List.length b.Benchmarks.device_kinds)
+        dawo pdw
+    in
+    Report.print_table2 Format.std_formatter [ row ];
+    0
+
+let cmd_table2 () =
+  let rows =
+    List.map
+      (fun (name, (b : Benchmarks.t)) ->
+        let s = Synthesis.synthesize b in
+        Report.row ~name
+          ~device_count:(List.length b.Benchmarks.device_kinds)
+          (Dawo.optimize s) (Pdw.optimize s))
+      (Benchmarks.all ())
+  in
+  Report.print_table2 Format.std_formatter rows;
+  Report.print_fig4 Format.std_formatter rows;
+  Report.print_fig5 Format.std_formatter rows;
+  0
+
+let cmd_render name output =
+  match load name with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok b ->
+    let s = synthesize name b in
+    let outcome = Pdw.optimize s in
+    let washes =
+      List.mapi
+        (fun i (t : Pdw_synth.Task.t) ->
+          (Printf.sprintf "wash %d" (i + 1), t.Pdw_synth.Task.path))
+        outcome.Wash_plan.washes
+    in
+    let layout_svg =
+      Pdw_viz.Layout_svg.render ~highlight:washes s.Synthesis.layout
+    in
+    let gantt_svg = Pdw_viz.Gantt_svg.render outcome.Wash_plan.schedule in
+    let write path contents =
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    write (output ^ "-layout.svg") layout_svg;
+    write (output ^ "-schedule.svg") gantt_svg;
+    0
+
+let cmd_animate name time =
+  match load name with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok b ->
+    let s = synthesize name b in
+    let outcome = Pdw.optimize s in
+    let sim = Pdw_sim.Flow_sim.run outcome.Wash_plan.schedule in
+    let horizon = Pdw_sim.Flow_sim.makespan sim in
+    let t = min time horizon in
+    Printf.printf
+      "t = %d / %d s  (# flowing, ~ residue, utilization %.1f%%)\n%s\n" t
+      horizon
+      (100.0 *. Pdw_sim.Flow_sim.utilization sim)
+      (Pdw_sim.Flow_sim.render_frame sim ~time:t);
+    0
+
+let cmd_actuations name =
+  match load name with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok b ->
+    let s = synthesize name b in
+    let outcome = Pdw.optimize s in
+    let plan = Pdw_synth.Actuation.of_schedule outcome.Wash_plan.schedule in
+    Printf.printf
+      "Control layer for the optimized schedule of %s:\n\
+      \  valve transitions: %d\n\
+      \  peak open valves:  %d\n\
+       Busiest valves:\n"
+      name
+      (Pdw_synth.Actuation.switching_count plan)
+      (Pdw_synth.Actuation.peak_open plan);
+    List.iteri
+      (fun i (valve, n) ->
+        if i < 5 then
+          Printf.printf "  %-8s %d transitions\n"
+            (Pdw_geometry.Coord.to_string valve)
+            n)
+      (Pdw_synth.Actuation.per_valve plan);
+    0
+
+let cmd_optimize_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m ->
+    prerr_endline m;
+    1
+  | text -> (
+    match Pdw_assay.Assay_parser.parse text with
+    | Error m ->
+      Printf.eprintf "%s: %s\n" path m;
+      1
+    | Ok b ->
+      let s = Synthesis.synthesize b in
+      let outcome = Pdw.optimize s in
+      Format.printf "PDW on %s: %a@." path Metrics.pp
+        outcome.Wash_plan.metrics;
+      Format.printf "%a@." Schedule.pp outcome.Wash_plan.schedule;
+      if outcome.Wash_plan.converged then 0 else 2)
+
+let cmd_paths name =
+  match load name with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok b ->
+    let s = synthesize name b in
+    let outcome = Pdw.optimize s in
+    Report.print_flow_paths Format.std_formatter outcome.Wash_plan.schedule;
+    0
+
+let cmd_verify name method_ =
+  match load name with
+  | Error (`Msg m) ->
+    prerr_endline m;
+    1
+  | Ok b ->
+    let s = synthesize name b in
+    let outcome =
+      match method_ with
+      | `Pdw -> Pdw.optimize s
+      | `Dawo -> Dawo.optimize s
+    in
+    let report = Pdw_check.Validate.outcome outcome in
+    Format.printf "%a@." Pdw_check.Validate.pp report;
+    if Pdw_check.Validate.ok report then 0 else 2
+
+(* --- cmdliner wiring --- *)
+
+open Cmdliner
+
+let benchmark_arg =
+  let doc = "Benchmark name (see $(b,pdw list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+let method_conv = Arg.enum [ ("pdw", `Pdw); ("dawo", `Dawo) ]
+
+let method_arg =
+  let doc = "Optimization method: $(b,pdw) or $(b,dawo)." in
+  Arg.(value & opt method_conv `Pdw & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let schedule_arg =
+  let doc = "Print the full optimized schedule." in
+  Arg.(value & flag & info [ "s"; "schedule" ] ~doc)
+
+let json_arg =
+  let doc = "Emit the result as JSON." in
+  Arg.(value & flag & info [ "j"; "json" ] ~doc)
+
+let verbose_arg =
+  let doc = "Log the planner's fixpoint rounds and decisions." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let no_necessity_arg =
+  let doc = "Ablation: disable the Type 1/2/3 necessity analysis." in
+  Arg.(value & flag & info [ "no-necessity" ] ~doc)
+
+let no_integration_arg =
+  let doc = "Ablation: disable integration with excess-fluid removal." in
+  Arg.(value & flag & info [ "no-integration" ] ~doc)
+
+let ilp_paths_arg =
+  let doc = "Use the exact wash-path ILP (Eqs. 12-15) instead of the              heuristic search." in
+  Arg.(value & flag & info [ "ilp-paths" ] ~doc)
+
+let dissolution_arg =
+  let doc = "Contaminant dissolution time t_d in seconds (Eq. 17)." in
+  Arg.(value & opt (some int) None & info [ "dissolution" ] ~docv:"SECONDS" ~doc)
+
+let list_cmd =
+  let doc = "List the available benchmarks with their |O|/|D|/|E| stats." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const cmd_list $ const ())
+
+let layout_cmd =
+  let doc = "Render the synthesized chip layout of a benchmark." in
+  Cmd.v (Cmd.info "show-layout" ~doc) Term.(const cmd_show_layout $ benchmark_arg)
+
+let necessity_cmd =
+  let doc = "Report the wash-necessity analysis (Type 1/2/3) of a benchmark." in
+  Cmd.v (Cmd.info "necessity" ~doc) Term.(const cmd_necessity $ benchmark_arg)
+
+let run_cmd =
+  let doc = "Run wash optimization on one benchmark." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const cmd_run $ benchmark_arg $ method_arg $ schedule_arg $ json_arg
+      $ verbose_arg $ no_necessity_arg $ no_integration_arg $ ilp_paths_arg
+      $ dissolution_arg)
+
+let compare_cmd =
+  let doc = "Compare PDW against DAWO on one benchmark." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const cmd_compare $ benchmark_arg)
+
+let table2_cmd =
+  let doc = "Regenerate Table II and Figs. 4-5 over all eight benchmarks." in
+  Cmd.v (Cmd.info "table2" ~doc) Term.(const cmd_table2 $ const ())
+
+let render_cmd =
+  let output =
+    let doc = "Output file prefix (writes PREFIX-layout.svg and PREFIX-schedule.svg)." in
+    Arg.(value & opt string "pdw" & info [ "o"; "output" ] ~docv:"PREFIX" ~doc)
+  in
+  let doc = "Render the optimized chip and schedule as SVG files." in
+  Cmd.v (Cmd.info "render" ~doc)
+    Term.(const cmd_render $ benchmark_arg $ output)
+
+let animate_cmd =
+  let time =
+    let doc = "Second to display." in
+    Arg.(value & opt int 0 & info [ "t"; "time" ] ~docv:"SECONDS" ~doc)
+  in
+  let doc = "Show the simulated chip state at a given second." in
+  Cmd.v (Cmd.info "animate" ~doc)
+    Term.(const cmd_animate $ benchmark_arg $ time)
+
+let actuations_cmd =
+  let doc = "Derive the valve actuation plan of the optimized schedule." in
+  Cmd.v (Cmd.info "actuations" ~doc)
+    Term.(const cmd_actuations $ benchmark_arg)
+
+let optimize_file_cmd =
+  let file =
+    let doc = "Assay description file (see lib/assay/assay_parser.mli)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let doc = "Synthesize and optimize an assay from a text file." in
+  Cmd.v (Cmd.info "optimize-file" ~doc)
+    Term.(const cmd_optimize_file $ file)
+
+let paths_cmd =
+  let doc = "List every flow path of the optimized schedule (Table I style)." in
+  Cmd.v (Cmd.info "paths" ~doc) Term.(const cmd_paths $ benchmark_arg)
+
+let verify_cmd =
+  let doc =
+    "Run every checker (structural, contamination, simulator, actuation)      on an optimized benchmark."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const cmd_verify $ benchmark_arg $ method_arg)
+
+let main_cmd =
+  let doc = "PathDriver-Wash: wash optimization for continuous-flow biochips" in
+  let info = Cmd.info "pdw" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ list_cmd; layout_cmd; necessity_cmd; run_cmd; compare_cmd; table2_cmd;
+      render_cmd; animate_cmd; actuations_cmd; optimize_file_cmd;
+      paths_cmd; verify_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_chip.ml: Format Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth Pdw_wash

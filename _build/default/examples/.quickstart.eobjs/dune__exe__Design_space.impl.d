@@ -1,0 +1,1 @@
+examples/design_space.ml: List Pdw_assay Pdw_biochip Pdw_check Pdw_synth Pdw_wash Printf

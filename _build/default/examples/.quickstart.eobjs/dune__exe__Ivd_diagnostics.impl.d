@@ -1,0 +1,1 @@
+examples/ivd_diagnostics.ml: Format List Pdw_assay Pdw_biochip Pdw_synth Pdw_wash

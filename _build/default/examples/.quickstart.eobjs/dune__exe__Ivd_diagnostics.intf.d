@@ -1,0 +1,1 @@
+examples/ivd_diagnostics.mli:

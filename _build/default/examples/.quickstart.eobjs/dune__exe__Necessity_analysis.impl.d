@@ -1,0 +1,1 @@
+examples/necessity_analysis.ml: Hashtbl List Option Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth Pdw_wash Printf

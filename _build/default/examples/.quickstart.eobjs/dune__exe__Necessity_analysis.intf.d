@@ -1,0 +1,1 @@
+examples/necessity_analysis.mli:

@@ -1,0 +1,1 @@
+examples/simulation_replay.ml: Format List Pdw_assay Pdw_biochip Pdw_geometry Pdw_sim Pdw_synth Pdw_wash Printf

@@ -1,0 +1,67 @@
+(* In-vitro diagnostics: the workload the paper's introduction motivates.
+
+   Chemiluminescence immunoassays read out tumor markers by luminous
+   intensity; if a channel carries two different luminescence agents back
+   to back, the residue of the first corrupts the second reading
+   (Section I).  This example runs the IVD benchmark — four patient
+   samples mixed with capture agents, detected, then amplified with
+   luminol — and shows how PDW protects the readings while washing far
+   less than the DAWO baseline.
+
+   Run with: dune exec examples/ivd_diagnostics.exe *)
+
+module Benchmarks = Pdw_assay.Benchmarks
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+module Synthesis = Pdw_synth.Synthesis
+module Contamination = Pdw_wash.Contamination
+module Necessity = Pdw_wash.Necessity
+module Pdw = Pdw_wash.Pdw
+module Dawo = Pdw_wash.Dawo
+module Wash_plan = Pdw_wash.Wash_plan
+module Metrics = Pdw_wash.Metrics
+
+let () =
+  let benchmark = Benchmarks.ivd () in
+  let graph = benchmark.Benchmarks.graph in
+  Format.printf "The IVD assay:@.%a@." Sequencing_graph.pp graph;
+
+  let synthesis = Synthesis.synthesize benchmark in
+  Format.printf "Chip: %dx%d grid, %d devices.@.@."
+    (Pdw_biochip.Layout.width synthesis.Synthesis.layout)
+    (Pdw_biochip.Layout.height synthesis.Synthesis.layout)
+    (List.length (Pdw_biochip.Layout.devices synthesis.Synthesis.layout));
+
+  (* How many contamination events actually threaten a reading? *)
+  let report =
+    Necessity.analyze (Contamination.analyze synthesis.Synthesis.schedule)
+  in
+  let needed, t1, t2, t3, _ = Necessity.counts report in
+  Format.printf
+    "Necessity analysis of the baseline schedule:@.\
+    \  %d residues threaten a later flow and must be washed;@.\
+    \  %d are never reused (Type 1), %d are reused by the same fluid@.\
+    \  (Type 2 — the shared luminol/oxidant channels), %d only feed@.\
+    \  waste-bound flushes (Type 3).@.@."
+    needed t1 t2 t3;
+
+  let pdw = Pdw.optimize synthesis in
+  let dawo = Dawo.optimize synthesis in
+  let pm = pdw.Wash_plan.metrics and dm = dawo.Wash_plan.metrics in
+  Format.printf "DAWO baseline: %a@.PDW:           %a@.@." Metrics.pp dm
+    Metrics.pp pm;
+  Format.printf
+    "PDW protects every detector reading with %d fewer washes,@.\
+     %.0f mm less wash path and a %d s shorter assay.@."
+    (dm.Metrics.n_wash - pm.Metrics.n_wash)
+    (dm.Metrics.l_wash_mm -. pm.Metrics.l_wash_mm)
+    (dm.Metrics.t_assay - pm.Metrics.t_assay);
+
+  (* Both end states are clean; the difference is pure overhead. *)
+  assert (
+    Contamination.violations
+      (Contamination.analyze pdw.Wash_plan.schedule)
+    = []);
+  assert (
+    Contamination.violations
+      (Contamination.analyze dawo.Wash_plan.schedule)
+    = [])

@@ -1,0 +1,84 @@
+(* A walkthrough of the wash-necessity analysis (Section II-A).
+
+   Replays the motivating example's baseline schedule, then prints one
+   concrete contamination event per verdict with the reasoning the
+   classifier applied — the Type 1/2/3 taxonomy in action.
+
+   Run with: dune exec examples/necessity_analysis.exe *)
+
+module Coord = Pdw_geometry.Coord
+module Fluid = Pdw_biochip.Fluid
+module Layout_builder = Pdw_biochip.Layout_builder
+module Scheduler = Pdw_synth.Scheduler
+module Synthesis = Pdw_synth.Synthesis
+module Benchmarks = Pdw_assay.Benchmarks
+module Contamination = Pdw_wash.Contamination
+module Necessity = Pdw_wash.Necessity
+
+let explain (e : Necessity.event) =
+  let where = Coord.to_string e.Necessity.cell in
+  let residue = Fluid.to_string e.Necessity.fluid in
+  let who = Scheduler.Key.to_string e.Necessity.source in
+  match e.Necessity.verdict with
+  | Necessity.Needed ->
+    let use = Option.get e.Necessity.next_use in
+    Printf.printf
+      "NEEDED      cell %s: %s left %s at t=%d; %s flows over it at t=%d\n\
+      \            carrying a different fluid -> must wash first.\n"
+      where who residue e.Necessity.time
+      (Scheduler.Key.to_string use.Contamination.key)
+      use.Contamination.start
+  | Necessity.Type1_unused ->
+    Printf.printf
+      "TYPE 1      cell %s: %s left %s at t=%d; nothing uses the cell\n\
+      \            again -> wash avoided.\n"
+      where who residue e.Necessity.time
+  | Necessity.Type2_same_fluid ->
+    Printf.printf
+      "TYPE 2      cell %s: %s left %s at t=%d; the next flow carries a\n\
+      \            compatible fluid -> wash avoided.\n"
+      where who residue e.Necessity.time
+  | Necessity.Type3_waste_only ->
+    Printf.printf
+      "TYPE 3      cell %s: %s left %s at t=%d; the next flow is bound\n\
+      \            for a waste port -> wash avoided.\n"
+      where who residue e.Necessity.time
+  | Necessity.Washed ->
+    Printf.printf
+      "FLUSHED     cell %s: %s left %s at t=%d; a buffer flush cleans it\n\
+      \            before any sensitive reuse.\n"
+      where who residue e.Necessity.time
+
+let () =
+  let layout = Layout_builder.fig2_layout () in
+  let synthesis = Synthesis.synthesize ~layout (Benchmarks.motivating ()) in
+  let report =
+    Necessity.analyze (Contamination.analyze synthesis.Synthesis.schedule)
+  in
+  let needed, t1, t2, t3, washed = Necessity.counts report in
+  Printf.printf
+    "Baseline contamination events: %d need washing, %d Type 1, %d Type 2,\n\
+     %d Type 3, %d flushed anyway.\n\n"
+    needed t1 t2 t3 washed;
+  (* One worked example per verdict. *)
+  let seen = Hashtbl.create 5 in
+  List.iter
+    (fun (e : Necessity.event) ->
+      let tag =
+        match e.Necessity.verdict with
+        | Necessity.Needed -> "needed"
+        | Necessity.Type1_unused -> "t1"
+        | Necessity.Type2_same_fluid -> "t2"
+        | Necessity.Type3_waste_only -> "t3"
+        | Necessity.Washed -> "washed"
+      in
+      if not (Hashtbl.mem seen tag) then begin
+        Hashtbl.add seen tag ();
+        explain e
+      end)
+    (Necessity.events report);
+  Printf.printf
+    "\nOnly the NEEDED events become wash requirements; %d of %d events\n\
+     are exempted by the analysis.\n"
+    (t1 + t2 + t3 + washed)
+    (needed + t1 + t2 + t3 + washed)

@@ -1,0 +1,1 @@
+lib/assay/assay_gen.ml: Array Benchmarks List Operation Pdw_biochip Printf Random Sequencing_graph

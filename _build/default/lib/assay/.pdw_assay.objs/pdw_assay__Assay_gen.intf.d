@@ -1,0 +1,1 @@
+lib/assay/assay_gen.mli: Benchmarks

@@ -1,0 +1,1 @@
+lib/assay/assay_parser.ml: Benchmarks Buffer Hashtbl List Operation Option Pdw_biochip Printf Sequencing_graph String

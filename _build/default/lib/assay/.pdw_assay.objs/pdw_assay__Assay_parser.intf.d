@@ -1,0 +1,1 @@
+lib/assay/assay_parser.mli: Benchmarks

@@ -1,0 +1,1 @@
+lib/assay/benchmarks.ml: List Operation Pdw_biochip Printf Sequencing_graph String

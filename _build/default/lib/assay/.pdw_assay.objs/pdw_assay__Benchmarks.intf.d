@@ -1,0 +1,1 @@
+lib/assay/benchmarks.mli: Pdw_biochip Sequencing_graph

@@ -1,0 +1,1 @@
+lib/assay/operation.ml: Format Pdw_biochip Printf

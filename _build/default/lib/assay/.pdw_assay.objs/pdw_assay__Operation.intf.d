@@ -1,0 +1,1 @@
+lib/assay/operation.mli: Format Pdw_biochip

@@ -1,0 +1,1 @@
+lib/assay/sequencing_graph.ml: Array Format Fun List Operation Pdw_biochip Printf Queue

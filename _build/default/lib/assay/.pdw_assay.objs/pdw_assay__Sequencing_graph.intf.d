@@ -1,0 +1,1 @@
+lib/assay/sequencing_graph.mli: Format Operation Pdw_biochip

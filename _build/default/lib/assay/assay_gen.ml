@@ -1,0 +1,58 @@
+module Device = Pdw_biochip.Device
+module Fluid = Pdw_biochip.Fluid
+
+let kinds = [| Operation.Mix; Heat; Detect; Filter; Store |]
+
+let random ?(min_ops = 3) ?(max_ops = 10) ~seed () =
+  if min_ops < 1 || max_ops < min_ops then
+    invalid_arg "Assay_gen.random: bad op range";
+  let rng = Random.State.make [| seed |] in
+  let int_in lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let n = int_in min_ops max_ops in
+  (* Ops feeding nothing yet, so the graph stays connected-ish: prefer
+     consuming dangling results. *)
+  let dangling = ref [] in
+  let reagent_pool = [| "ra"; "rb"; "rc"; "rd"; "re"; "rf" |] in
+  let pick_reagent () =
+    Sequencing_graph.From_reagent
+      (Fluid.reagent reagent_pool.(Random.State.int rng (Array.length reagent_pool)))
+  in
+  let pick_input i =
+    (* Half the time consume a dangling result when one exists. *)
+    match !dangling with
+    | j :: rest when i > 0 && Random.State.bool rng ->
+      dangling := rest;
+      Sequencing_graph.From_op j
+    | _ ->
+      if i > 0 && Random.State.int rng 3 = 0 then
+        Sequencing_graph.From_op (Random.State.int rng i)
+      else pick_reagent ()
+  in
+  let nodes =
+    List.init n (fun i ->
+        let kind =
+          if i = 0 then Operation.Mix
+          else kinds.(Random.State.int rng (Array.length kinds))
+        in
+        let arity =
+          match kind with
+          | Operation.Mix -> int_in 2 3
+          | Heat | Detect | Filter | Store -> 1
+        in
+        let inputs = List.init arity (fun _ -> pick_input i) in
+        dangling := i :: !dangling;
+        {
+          Sequencing_graph.op =
+            Operation.make ~id:i ~kind ~duration:(int_in 2 4) ();
+          inputs;
+        })
+  in
+  let graph = Sequencing_graph.make ~name:(Printf.sprintf "random%d" seed) nodes in
+  let device_kinds =
+    List.concat_map
+      (fun (kind, uses) ->
+        let copies = if uses > 2 then 2 else 1 in
+        List.init copies (fun _ -> kind))
+      (Sequencing_graph.required_device_kinds graph)
+  in
+  { Benchmarks.graph; device_kinds }

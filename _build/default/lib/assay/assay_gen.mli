@@ -1,0 +1,8 @@
+(** Seeded random assay generator for property-based tests.  Kept free of
+    any QCheck dependency: tests generate a seed and call {!random}. *)
+
+(** [random ~seed ()] builds a valid benchmark (sequencing graph + device
+    library) with between [min_ops] and [max_ops] operations (defaults 3
+    and 10).  The same seed always yields the same assay. *)
+val random :
+  ?min_ops:int -> ?max_ops:int -> seed:int -> unit -> Benchmarks.t

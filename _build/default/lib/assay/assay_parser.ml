@@ -1,0 +1,194 @@
+module Fluid = Pdw_biochip.Fluid
+module Device = Pdw_biochip.Device
+
+let device_kind_of_string = function
+  | "mixer" -> Some Device.Mixer
+  | "heater" -> Some Device.Heater
+  | "detector" -> Some Device.Detector
+  | "filter" -> Some Device.Filter
+  | "storage" -> Some Device.Storage
+  | _ -> None
+
+let op_kind_of_string = function
+  | "mix" -> Some Operation.Mix
+  | "heat" -> Some Operation.Heat
+  | "detect" -> Some Operation.Detect
+  | "filter" -> Some Operation.Filter
+  | "store" -> Some Operation.Store
+  | _ -> None
+
+let op_kind_to_string = function
+  | Operation.Mix -> "mix"
+  | Operation.Heat -> "heat"
+  | Operation.Detect -> "detect"
+  | Operation.Filter -> "filter"
+  | Operation.Store -> "store"
+
+type parse_state = {
+  mutable assay_name : string option;
+  mutable devices : Device.kind list; (* reversed *)
+  mutable ops : (string * Operation.kind * int * string list) list;
+      (* reversed: name, kind, duration, raw inputs *)
+}
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse text =
+  let state = { assay_name = None; devices = []; ops = [] } in
+  let error line_no msg =
+    Error (Printf.sprintf "line %d: %s" line_no msg)
+  in
+  let parse_line line_no line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match split_words line with
+    | [] -> Ok ()
+    | "assay" :: rest ->
+      if rest = [] then error line_no "assay needs a name"
+      else begin
+        state.assay_name <- Some (String.concat " " rest);
+        Ok ()
+      end
+    | [ "device"; kind; count ] -> (
+      match (device_kind_of_string kind, int_of_string_opt count) with
+      | Some k, Some n when n > 0 ->
+        state.devices <- List.init n (fun _ -> k) @ state.devices;
+        Ok ()
+      | None, _ -> error line_no (Printf.sprintf "unknown device kind %S" kind)
+      | _, (Some _ | None) -> error line_no "device count must be positive")
+    | "op" :: name :: kind :: duration :: inputs -> (
+      match (op_kind_of_string kind, int_of_string_opt duration) with
+      | Some k, Some d when d > 0 ->
+        if String.contains name ':' then
+          error line_no (Printf.sprintf "op name %S may not contain ':'" name)
+        else if
+          List.exists (fun (n, _, _, _) -> String.equal n name) state.ops
+        then error line_no (Printf.sprintf "duplicate op %S" name)
+        else begin
+          state.ops <- (name, k, d, inputs) :: state.ops;
+          Ok ()
+        end
+      | None, _ ->
+        error line_no (Printf.sprintf "unknown operation kind %S" kind)
+      | _, (Some _ | None) -> error line_no "duration must be positive")
+    | word :: _ ->
+      error line_no (Printf.sprintf "unrecognized directive %S" word)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec parse_all line_no = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      match parse_line line_no line with
+      | Ok () -> parse_all (line_no + 1) rest
+      | Error _ as e -> e)
+    in
+  match parse_all 1 lines with
+  | Error _ as e -> e
+  | Ok () ->
+    let ops = List.rev state.ops in
+    let index_of name =
+      let rec go i = function
+        | [] -> None
+        | (n, _, _, _) :: rest ->
+          if String.equal n name then Some i else go (i + 1) rest
+      in
+      go 0 ops
+    in
+    let resolve_input raw =
+      match String.index_opt raw ':' with
+      | None ->
+        Error
+          (Printf.sprintf
+             "input %S must be reagent:NAME or op:NAME" raw)
+      | Some i -> (
+        let prefix = String.sub raw 0 i in
+        let name = String.sub raw (i + 1) (String.length raw - i - 1) in
+        match prefix with
+        | "reagent" when name <> "" ->
+          Ok (Sequencing_graph.From_reagent (Fluid.reagent name))
+        | "op" -> (
+          match index_of name with
+          | Some j -> Ok (Sequencing_graph.From_op j)
+          | None -> Error (Printf.sprintf "unknown op %S" name))
+        | _ ->
+          Error
+            (Printf.sprintf "input %S must be reagent:NAME or op:NAME" raw))
+    in
+    let rec build id acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, kind, duration, raw_inputs) :: rest -> (
+        let rec resolve acc = function
+          | [] -> Ok (List.rev acc)
+          | raw :: more -> (
+            match resolve_input raw with
+            | Ok input -> resolve (input :: acc) more
+            | Error _ as e -> e)
+        in
+        match resolve [] raw_inputs with
+        | Error e -> Error (Printf.sprintf "op %S: %s" name e)
+        | Ok inputs ->
+          let node =
+            {
+              Sequencing_graph.op =
+                Operation.make ~id ~kind ~name ~duration ();
+              inputs;
+            }
+          in
+          build (id + 1) (node :: acc) rest)
+    in
+    (match build 0 [] ops with
+    | Error _ as e -> e
+    | Ok nodes -> (
+      if nodes = [] then Error "no operations"
+      else
+        let name = Option.value state.assay_name ~default:"unnamed" in
+        match Sequencing_graph.make ~name nodes with
+        | graph ->
+          let device_kinds = List.rev state.devices in
+          if device_kinds = [] then Error "no devices"
+          else Ok { Benchmarks.graph; device_kinds }
+        | exception Invalid_argument m -> Error m))
+
+let to_string ~name (b : Benchmarks.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "assay %s\n" name);
+  let counts = Hashtbl.create 5 in
+  List.iter
+    (fun kind ->
+      Hashtbl.replace counts kind
+        (1 + Option.value (Hashtbl.find_opt counts kind) ~default:0))
+    b.Benchmarks.device_kinds;
+  List.iter
+    (fun kind ->
+      match Hashtbl.find_opt counts kind with
+      | Some n ->
+        Buffer.add_string buf
+          (Printf.sprintf "device %s %d\n" (Device.kind_to_string kind) n);
+        Hashtbl.remove counts kind
+      | None -> ())
+    b.Benchmarks.device_kinds;
+  let graph = b.Benchmarks.graph in
+  List.iter
+    (fun (op : Operation.t) ->
+      let inputs =
+        List.map
+          (function
+            | Sequencing_graph.From_op j ->
+              Printf.sprintf "op:%s"
+                (Sequencing_graph.op graph j).Operation.name
+            | Sequencing_graph.From_reagent r ->
+              Printf.sprintf "reagent:%s" (Fluid.to_string r))
+          (Sequencing_graph.inputs graph op.Operation.id)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "op %s %s %d %s\n" op.Operation.name
+           (op_kind_to_string op.Operation.kind)
+           op.Operation.duration (String.concat " " inputs)))
+    (Sequencing_graph.ops graph);
+  Buffer.contents buf

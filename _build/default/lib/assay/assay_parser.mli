@@ -1,0 +1,25 @@
+(** A small line-based text format for bioassays, so downstream users can
+    run their own protocols without writing OCaml:
+
+    {v
+    # comment
+    assay MyProtocol
+    device mixer 2
+    device heater 1
+    device detector 1
+    op prep   mix    2  reagent:sample reagent:buffer
+    op cook   heat   3  op:prep
+    op read   detect 2  op:cook
+    v}
+
+    Operation names are unique identifiers; [op:NAME] references an
+    earlier operation, [reagent:NAME] a reagent injected from a flow
+    port.  Device lines build the device library (the [|D|] column). *)
+
+(** [parse text] returns the benchmark or a message pinpointing the
+    offending line. *)
+val parse : string -> (Benchmarks.t, string) result
+
+(** Inverse of {!parse}: a canonical serialization that re-parses to an
+    equivalent benchmark. *)
+val to_string : name:string -> Benchmarks.t -> string

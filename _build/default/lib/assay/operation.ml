@@ -1,0 +1,44 @@
+module Device = Pdw_biochip.Device
+module Fluid = Pdw_biochip.Fluid
+
+type kind = Mix | Heat | Detect | Filter | Store
+
+type t = { id : int; kind : kind; name : string; duration : int }
+
+let kind_to_string = function
+  | Mix -> "mix"
+  | Heat -> "heat"
+  | Detect -> "detect"
+  | Filter -> "filter"
+  | Store -> "store"
+
+let make ~id ~kind ?name ~duration () =
+  if duration <= 0 then invalid_arg "Operation.make: non-positive duration";
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "o%d_%s" (id + 1) (kind_to_string kind)
+  in
+  { id; kind; name; duration }
+
+let device_kind = function
+  | Mix -> Device.Mixer
+  | Heat -> Device.Heater
+  | Detect -> Device.Detector
+  | Filter -> Device.Filter
+  | Store -> Device.Storage
+
+let result_fluid kind input =
+  match kind with
+  | Mix -> input (* inputs are combined with Fluid.mix before this *)
+  | Heat -> Fluid.heat input
+  | Detect -> input (* detection is a non-destructive read *)
+  | Filter -> Fluid.filter input
+  | Store -> input
+
+let min_inputs = function Mix -> 2 | Heat | Detect | Filter | Store -> 1
+
+let equal a b = a.id = b.id
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s,%ds)" t.name (kind_to_string t.kind) t.duration

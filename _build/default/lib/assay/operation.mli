@@ -1,0 +1,27 @@
+(** Biochemical operations, the nodes [O] of a sequencing graph.  Each
+    operation runs on a device of the matching kind for at least its
+    protocol duration (Eq. (1)). *)
+
+type kind = Mix | Heat | Detect | Filter | Store
+
+type t = {
+  id : int;
+  kind : kind;
+  name : string;
+  duration : int;  (** seconds; the [t(o_i)] of Eq. (1) *)
+}
+
+val make : id:int -> kind:kind -> ?name:string -> duration:int -> unit -> t
+
+(** Device kind an operation of this kind binds to. *)
+val device_kind : kind -> Pdw_biochip.Device.kind
+
+(** How an operation transforms its (already combined) input fluid. *)
+val result_fluid : kind -> Pdw_biochip.Fluid.t -> Pdw_biochip.Fluid.t
+
+(** Minimum number of inputs for this kind (2 for [Mix], 1 otherwise). *)
+val min_inputs : kind -> int
+
+val equal : t -> t -> bool
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,245 @@
+module Fluid = Pdw_biochip.Fluid
+module Device = Pdw_biochip.Device
+
+type input = From_op of int | From_reagent of Fluid.t
+
+type node = { op : Operation.t; inputs : input list }
+
+type t = {
+  name : string;
+  nodes : node array;
+  succs : int list array;
+  topo : int list;
+  fluids : Fluid.t array; (* result fluid per op, in id order *)
+}
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let compute_topo nodes succs =
+  let n = Array.length nodes in
+  let indegree = Array.make n 0 in
+  Array.iter
+    (fun node ->
+      List.iter
+        (function
+          | From_op _ -> indegree.(node.op.Operation.id) <- indegree.(node.op.Operation.id) + 1
+          | From_reagent _ -> ())
+        node.inputs)
+    nodes;
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indegree;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    order := i :: !order;
+    incr visited;
+    List.iter
+      (fun s ->
+        indegree.(s) <- indegree.(s) - 1;
+        if indegree.(s) = 0 then Queue.add s queue)
+      succs.(i)
+  done;
+  if !visited <> n then fail "Sequencing_graph: cycle detected";
+  List.rev !order
+
+let make ~name node_list =
+  let nodes = Array.of_list node_list in
+  let n = Array.length nodes in
+  if n = 0 then fail "Sequencing_graph %s: no operations" name;
+  Array.iteri
+    (fun i node ->
+      if node.op.Operation.id <> i then
+        fail "Sequencing_graph %s: op ids must be dense, got %d at %d" name
+          node.op.Operation.id i)
+    nodes;
+  let succs = Array.make n [] in
+  Array.iteri
+    (fun i node ->
+      let arity = List.length node.inputs in
+      if arity < Operation.min_inputs node.op.Operation.kind then
+        fail "Sequencing_graph %s: op %d has %d inputs, needs >= %d" name i
+          arity
+          (Operation.min_inputs node.op.Operation.kind);
+      List.iter
+        (function
+          | From_op j ->
+            if j < 0 || j >= n then
+              fail "Sequencing_graph %s: op %d references unknown op %d" name
+                i j;
+            if j = i then fail "Sequencing_graph %s: op %d feeds itself" name i;
+            succs.(j) <- i :: succs.(j)
+          | From_reagent r ->
+            if Fluid.is_buffer r || Fluid.is_waste r then
+              fail "Sequencing_graph %s: op %d takes buffer/waste as reagent"
+                name i)
+        node.inputs)
+    nodes;
+  let succs = Array.map List.rev succs in
+  let topo = compute_topo nodes succs in
+  (* Result fluids, computed in dependency order. *)
+  let fluids = Array.make n Fluid.Buffer in
+  List.iter
+    (fun i ->
+      let node = nodes.(i) in
+      let input_fluids =
+        List.map
+          (function From_op j -> fluids.(j) | From_reagent r -> r)
+          node.inputs
+      in
+      let combined =
+        match input_fluids with
+        | [] -> assert false (* arity checked above *)
+        | f :: rest -> List.fold_left Fluid.mix f rest
+      in
+      fluids.(i) <- Operation.result_fluid node.op.Operation.kind combined)
+    topo;
+  { name; nodes; succs; topo; fluids }
+
+let name t = t.name
+let num_ops t = Array.length t.nodes
+
+let num_edges t =
+  Array.fold_left (fun acc node -> acc + List.length node.inputs) 0 t.nodes
+
+let check_id t id =
+  if id < 0 || id >= Array.length t.nodes then
+    fail "Sequencing_graph %s: unknown op %d" t.name id
+
+let op t id =
+  check_id t id;
+  t.nodes.(id).op
+
+let inputs t id =
+  check_id t id;
+  t.nodes.(id).inputs
+
+let ops t = Array.to_list (Array.map (fun node -> node.op) t.nodes)
+
+let successors t id =
+  check_id t id;
+  t.succs.(id)
+
+let predecessors t id =
+  check_id t id;
+  List.filter_map
+    (function From_op j -> Some j | From_reagent _ -> None)
+    t.nodes.(id).inputs
+
+let sinks t =
+  List.filter (fun i -> t.succs.(i) = []) (List.init (num_ops t) Fun.id)
+
+let topological_order t = t.topo
+
+let input_fluid t id =
+  check_id t id;
+  let input_fluids =
+    List.map
+      (function From_op j -> t.fluids.(j) | From_reagent r -> r)
+      t.nodes.(id).inputs
+  in
+  match input_fluids with
+  | [] -> assert false
+  | f :: rest -> List.fold_left Fluid.mix f rest
+
+let input_fluids t id =
+  check_id t id;
+  List.map
+    (function From_op j -> t.fluids.(j) | From_reagent r -> r)
+    t.nodes.(id).inputs
+
+let result_fluid t id =
+  check_id t id;
+  t.fluids.(id)
+
+let reagents t =
+  let add acc = function
+    | From_reagent r -> if List.exists (Fluid.equal r) acc then acc else r :: acc
+    | From_op _ -> acc
+  in
+  Array.fold_left
+    (fun acc node -> List.fold_left add acc node.inputs)
+    [] t.nodes
+  |> List.rev
+
+let required_device_kinds t =
+  let add acc kind =
+    let rec go = function
+      | [] -> [ (kind, 1) ]
+      | (k, c) :: rest ->
+        if Device.kind_equal k kind then (k, c + 1) :: rest
+        else (k, c) :: go rest
+    in
+    go acc
+  in
+  Array.fold_left
+    (fun acc node ->
+      add acc (Operation.device_kind node.op.Operation.kind))
+    [] t.nodes
+
+let critical_path_duration t =
+  let n = num_ops t in
+  let finish = Array.make n 0 in
+  List.iter
+    (fun i ->
+      let ready =
+        List.fold_left
+          (fun acc j -> max acc finish.(j))
+          0 (predecessors t i)
+      in
+      finish.(i) <- ready + t.nodes.(i).op.Operation.duration)
+    t.topo;
+  Array.fold_left max 0 finish
+
+let rec rename_fluid suffix = function
+  | Fluid.Buffer -> Fluid.Buffer
+  | Fluid.Waste -> Fluid.Waste
+  | Fluid.Reagent name -> Fluid.Reagent (name ^ suffix)
+  | Fluid.Mixed (a, b) ->
+    Fluid.mix (rename_fluid suffix a) (rename_fluid suffix b)
+  | Fluid.Heated f -> Fluid.Heated (rename_fluid suffix f)
+  | Fluid.Filtered f -> Fluid.Filtered (rename_fluid suffix f)
+
+let repeat t k =
+  if k < 1 then fail "Sequencing_graph.repeat: need at least one copy";
+  let n = num_ops t in
+  let copy c =
+    let suffix = Printf.sprintf "@%d" (c + 1) in
+    Array.to_list
+      (Array.map
+         (fun node ->
+           let op = node.op in
+           {
+             op =
+               Operation.make
+                 ~id:(op.Operation.id + (c * n))
+                 ~kind:op.Operation.kind
+                 ~name:(op.Operation.name ^ suffix)
+                 ~duration:op.Operation.duration ();
+             inputs =
+               List.map
+                 (function
+                   | From_op j -> From_op (j + (c * n))
+                   | From_reagent r -> From_reagent (rename_fluid suffix r))
+                 node.inputs;
+           })
+         t.nodes)
+  in
+  make
+    ~name:(Printf.sprintf "%s x%d" t.name k)
+    (List.concat (List.init k copy))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: |O|=%d |E|=%d@," t.name (num_ops t)
+    (num_edges t);
+  Array.iter
+    (fun node ->
+      Format.fprintf ppf "  %a <-" Operation.pp node.op;
+      List.iter
+        (function
+          | From_op j -> Format.fprintf ppf " o%d" (j + 1)
+          | From_reagent r -> Format.fprintf ppf " %a" Fluid.pp r)
+        node.inputs;
+      Format.fprintf ppf "@,")
+    t.nodes;
+  Format.fprintf ppf "@]"

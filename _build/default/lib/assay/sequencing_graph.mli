@@ -1,0 +1,80 @@
+(** The sequencing graph [G(O, E)] of a bioassay (Section II, Fig. 1(c)).
+
+    Nodes are biochemical operations; an operation's inputs come either
+    from other operations' results (dependency edges) or directly from
+    reagents injected through flow ports.  Both are counted in [|E|], as
+    every input implies one fluid-transportation task. *)
+
+type input =
+  | From_op of int                      (** result of another operation *)
+  | From_reagent of Pdw_biochip.Fluid.t (** injected via a flow port *)
+
+type node = { op : Operation.t; inputs : input list }
+
+type t
+
+(** [make ~name nodes] validates:
+    - operation ids are dense [0 .. n-1] in list order;
+    - every [From_op] reference exists and the graph is acyclic;
+    - every operation has at least {!Operation.min_inputs} inputs;
+    - reagent inputs are neither buffer nor waste.
+    @raise Invalid_argument on violation. *)
+val make : name:string -> node list -> t
+
+val name : t -> string
+val num_ops : t -> int
+
+(** Number of inputs across all operations: the [|E|] of Table II. *)
+val num_edges : t -> int
+
+(** @raise Invalid_argument on unknown id. *)
+val op : t -> int -> Operation.t
+
+val inputs : t -> int -> input list
+val ops : t -> Operation.t list
+
+(** Operations consuming the result of [id]. *)
+val successors : t -> int -> int list
+
+(** Operation ids feeding [id]. *)
+val predecessors : t -> int -> int list
+
+(** Operations whose result feeds no other operation; their product is
+    collected at a waste/output port. *)
+val sinks : t -> int list
+
+(** Ids in dependency order (sources first). *)
+val topological_order : t -> int list
+
+(** Combined input fluid of an operation (reagents and upstream results
+    folded with {!Pdw_biochip.Fluid.mix}). *)
+val input_fluid : t -> int -> Pdw_biochip.Fluid.t
+
+(** The individual input fluids of an operation, one per input edge, in
+    input order.  Residues of these fluids cannot contaminate traffic
+    bound for the operation: they are about to be mixed anyway. *)
+val input_fluids : t -> int -> Pdw_biochip.Fluid.t list
+
+(** Fluid produced by an operation (memoized recursive evaluation). *)
+val result_fluid : t -> int -> Pdw_biochip.Fluid.t
+
+(** Distinct reagents consumed by the whole assay. *)
+val reagents : t -> Pdw_biochip.Fluid.t list
+
+(** Device kinds the assay requires, with multiplicity-of-use counts. *)
+val required_device_kinds : t -> (Pdw_biochip.Device.kind * int) list
+
+(** Lower bound on completion: longest duration-weighted dependency
+    chain, ignoring transport. *)
+val critical_path_duration : t -> int
+
+(** [repeat t k] is the disjoint union of [k] copies of [t] — the
+    batch-processing workload of running the same protocol on [k]
+    different samples back to back on one chip.  Operation ids of copy
+    [c] are offset by [c * num_ops t]; reagents are renamed per copy
+    (sample [c] gets its own aliquots), so residues of one run *do*
+    threaten the next and inter-run washing is required.
+    @raise Invalid_argument if [k < 1]. *)
+val repeat : t -> int -> t
+
+val pp : Format.formatter -> t -> unit

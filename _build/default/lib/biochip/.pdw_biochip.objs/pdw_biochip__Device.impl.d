@@ -1,0 +1,1 @@
+lib/biochip/device.ml: Format

@@ -1,0 +1,1 @@
+lib/biochip/fluid.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/biochip/fluid.mli: Format

@@ -1,0 +1,1 @@
+lib/biochip/layout.ml: Array Device Format List Pdw_geometry Port Printf String

@@ -1,0 +1,1 @@
+lib/biochip/layout.mli: Device Format Pdw_geometry Port

@@ -1,0 +1,1 @@
+lib/biochip/layout_builder.ml: Device Layout List Pdw_geometry Port Printf

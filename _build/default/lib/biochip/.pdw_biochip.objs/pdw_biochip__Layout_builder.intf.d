@@ -1,0 +1,1 @@
+lib/biochip/layout_builder.mli: Device Layout Pdw_geometry Port

@@ -1,0 +1,1 @@
+lib/biochip/layout_parser.ml: Device Hashtbl Layout_builder List Option Pdw_geometry Port Printf String

@@ -1,0 +1,1 @@
+lib/biochip/layout_parser.mli: Layout

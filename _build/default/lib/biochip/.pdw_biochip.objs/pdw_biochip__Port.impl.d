@@ -1,0 +1,1 @@
+lib/biochip/port.ml: Format Pdw_geometry

@@ -1,0 +1,1 @@
+lib/biochip/port.mli: Format Pdw_geometry

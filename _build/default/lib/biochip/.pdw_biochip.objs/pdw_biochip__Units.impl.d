@@ -1,0 +1,1 @@
+lib/biochip/units.ml:

@@ -1,0 +1,25 @@
+type kind = Mixer | Heater | Detector | Filter | Storage
+
+type t = { id : int; kind : kind; name : string }
+
+let make ~id ~kind ~name = { id; kind; name }
+
+let kind_equal (a : kind) (b : kind) = a = b
+let equal a b = a.id = b.id
+
+let kind_to_string = function
+  | Mixer -> "mixer"
+  | Heater -> "heater"
+  | Detector -> "detector"
+  | Filter -> "filter"
+  | Storage -> "storage"
+
+let glyph = function
+  | Mixer -> 'M'
+  | Heater -> 'H'
+  | Detector -> 'D'
+  | Filter -> 'F'
+  | Storage -> 'S'
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+let pp ppf d = Format.fprintf ppf "%s#%d(%a)" d.name d.id pp_kind d.kind

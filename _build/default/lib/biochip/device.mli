@@ -1,0 +1,19 @@
+(** On-chip devices: the functional units biochemical operations bind to.
+    A device occupies one or more grid cells; fluids flow *through* device
+    cells, so devices are routable and can themselves be contaminated. *)
+
+type kind = Mixer | Heater | Detector | Filter | Storage
+
+type t = { id : int; kind : kind; name : string }
+
+val make : id:int -> kind:kind -> name:string -> t
+
+val kind_equal : kind -> kind -> bool
+val equal : t -> t -> bool
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val pp : Format.formatter -> t -> unit
+
+(** One-letter map glyph used by {!Layout.render}. *)
+val glyph : kind -> char

@@ -1,0 +1,62 @@
+type t =
+  | Buffer
+  | Waste
+  | Reagent of string
+  | Mixed of t * t
+  | Heated of t
+  | Filtered of t
+
+let reagent name = Reagent name
+
+let rec compare a b =
+  match (a, b) with
+  | Buffer, Buffer | Waste, Waste -> 0
+  | Buffer, _ -> -1
+  | _, Buffer -> 1
+  | Waste, _ -> -1
+  | _, Waste -> 1
+  | Reagent x, Reagent y -> String.compare x y
+  | Reagent _, _ -> -1
+  | _, Reagent _ -> 1
+  | Mixed (x1, y1), Mixed (x2, y2) ->
+    let c = compare x1 x2 in
+    if c <> 0 then c else compare y1 y2
+  | Mixed _, _ -> -1
+  | _, Mixed _ -> 1
+  | Heated x, Heated y -> compare x y
+  | Heated _, _ -> -1
+  | _, Heated _ -> 1
+  | Filtered x, Filtered y -> compare x y
+
+let equal a b = compare a b = 0
+
+let mix a b = if compare a b <= 0 then Mixed (a, b) else Mixed (b, a)
+let heat f = Heated f
+let filter f = Filtered f
+
+let same_type = equal
+
+let is_buffer = function
+  | Buffer -> true
+  | Waste | Reagent _ | Mixed _ | Heated _ | Filtered _ -> false
+
+let is_waste = function
+  | Waste -> true
+  | Buffer | Reagent _ | Mixed _ | Heated _ | Filtered _ -> false
+
+let leaves_residue f = not (is_buffer f)
+
+let contaminates ~residue ~incoming =
+  leaves_residue residue && (not (is_waste incoming))
+  && (not (is_buffer incoming))
+  && not (same_type residue incoming)
+
+let rec to_string = function
+  | Buffer -> "buffer"
+  | Waste -> "waste"
+  | Reagent name -> name
+  | Mixed (a, b) -> Printf.sprintf "mix(%s,%s)" (to_string a) (to_string b)
+  | Heated f -> Printf.sprintf "heated(%s)" (to_string f)
+  | Filtered f -> Printf.sprintf "filtered(%s)" (to_string f)
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

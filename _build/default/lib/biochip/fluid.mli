@@ -1,0 +1,45 @@
+(** Fluid samples and reagents.
+
+    Contamination is a relation between the *type* of the residue left in a
+    channel and the type of the next fluid flowing through it: a residue
+    contaminates an incoming fluid exactly when their types differ
+    (Section II-A, Type 2 exempts same-type flows).  Buffer fluid used for
+    washing leaves no residue; waste fluid is insensitive to residue
+    (Type 3). *)
+
+type t =
+  | Buffer        (** wash buffer; leaves no residue *)
+  | Waste         (** spent fluid en route to a waste port *)
+  | Reagent of string
+  | Mixed of t * t     (** result of a mixing operation, order-normalized *)
+  | Heated of t        (** result of a heating operation *)
+  | Filtered of t      (** result of a filtering operation *)
+
+val reagent : string -> t
+
+(** [mix a b] is order-insensitive: [mix a b] equals [mix b a]. *)
+val mix : t -> t -> t
+
+val heat : t -> t
+val filter : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [same_type a b] is the [S_T] test of Eq. (10): no wash is needed when
+    the incoming fluid has the same type as the residue. *)
+val same_type : t -> t -> bool
+
+val is_buffer : t -> bool
+val is_waste : t -> bool
+
+(** [leaves_residue f] — buffer leaves none; everything else does. *)
+val leaves_residue : t -> bool
+
+(** [contaminates ~residue ~incoming] holds when a channel holding
+    [residue] would corrupt [incoming]: the residue is real, the incoming
+    fluid is sensitive (not waste) and the types differ. *)
+val contaminates : residue:t -> incoming:t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

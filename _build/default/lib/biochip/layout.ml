@@ -1,0 +1,128 @@
+module Coord = Pdw_geometry.Coord
+module Grid = Pdw_geometry.Grid
+
+type cell = Blocked | Channel | Device_cell of int | Port_cell of int
+
+type t = {
+  grid : cell Grid.t;
+  devices : Device.t array;
+  ports : Port.t array;
+  device_cells : Coord.t list array; (* indexed by device id *)
+}
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let make ~grid ~devices ~ports =
+  let devices = Array.of_list devices in
+  let ports = Array.of_list ports in
+  Array.iteri
+    (fun i (d : Device.t) ->
+      if d.id <> i then fail "Layout: device ids must be dense, got %d at %d" d.id i)
+    devices;
+  Array.iteri
+    (fun i (p : Port.t) ->
+      if p.id <> i then fail "Layout: port ids must be dense, got %d at %d" p.id i)
+    ports;
+  let device_cells = Array.make (Array.length devices) [] in
+  let port_seen = Array.make (Array.length ports) false in
+  Grid.iter grid (fun c v ->
+      match v with
+      | Blocked | Channel -> ()
+      | Device_cell id ->
+        if id < 0 || id >= Array.length devices then
+          fail "Layout: cell %s references unknown device %d"
+            (Coord.to_string c) id;
+        device_cells.(id) <- c :: device_cells.(id)
+      | Port_cell id ->
+        if id < 0 || id >= Array.length ports then
+          fail "Layout: cell %s references unknown port %d"
+            (Coord.to_string c) id;
+        if port_seen.(id) then
+          fail "Layout: port %d occupies several cells" id;
+        if not (Coord.equal ports.(id).position c) then
+          fail "Layout: port %d placed at %s but declared at %s" id
+            (Coord.to_string c)
+            (Coord.to_string ports.(id).position);
+        port_seen.(id) <- true);
+  Array.iteri
+    (fun id seen ->
+      if not seen then fail "Layout: port %d has no cell" id)
+    port_seen;
+  Array.iteri
+    (fun id cells ->
+      if cells = [] then fail "Layout: device %d has no cell" id;
+      device_cells.(id) <- List.sort Coord.compare cells)
+    device_cells;
+  let routable_cell c =
+    match Grid.get grid c with
+    | Blocked -> false
+    | Channel | Device_cell _ | Port_cell _ -> true
+  in
+  Array.iter
+    (fun (p : Port.t) ->
+      let ok =
+        List.exists routable_cell (Grid.neighbours grid p.position)
+      in
+      if not ok then fail "Layout: port %s has no routable neighbour" p.name)
+    ports;
+  { grid; devices; ports; device_cells }
+
+let grid t = t.grid
+let width t = Grid.width t.grid
+let height t = Grid.height t.grid
+
+let devices t = Array.to_list t.devices
+let ports t = Array.to_list t.ports
+let flow_ports t = List.filter Port.is_flow (ports t)
+let waste_ports t = List.filter Port.is_waste (ports t)
+
+let device t id =
+  if id < 0 || id >= Array.length t.devices then raise Not_found;
+  t.devices.(id)
+
+let port t id =
+  if id < 0 || id >= Array.length t.ports then raise Not_found;
+  t.ports.(id)
+
+let device_by_name t name =
+  Array.find_opt (fun (d : Device.t) -> String.equal d.name name) t.devices
+
+let port_by_name t name =
+  Array.find_opt (fun (p : Port.t) -> String.equal p.name name) t.ports
+
+let device_cells t id =
+  if id < 0 || id >= Array.length t.device_cells then raise Not_found;
+  t.device_cells.(id)
+
+let device_anchor t id =
+  match device_cells t id with
+  | c :: _ -> c
+  | [] -> assert false (* make checks non-emptiness *)
+
+let cell t c = Grid.get t.grid c
+
+let routable t c =
+  Grid.in_bounds t.grid c
+  &&
+  match Grid.get t.grid c with
+  | Blocked -> false
+  | Channel | Device_cell _ | Port_cell _ -> true
+
+let through_routable t c =
+  Grid.in_bounds t.grid c
+  &&
+  match Grid.get t.grid c with
+  | Blocked | Port_cell _ -> false
+  | Channel | Device_cell _ -> true
+
+let devices_of_kind t kind =
+  List.filter (fun (d : Device.t) -> Device.kind_equal d.kind kind) (devices t)
+
+let render t =
+  Grid.render t.grid (function
+    | Blocked -> '.'
+    | Channel -> '+'
+    | Device_cell id -> Device.glyph t.devices.(id).kind
+    | Port_cell id -> Port.glyph t.ports.(id).kind)
+
+let pp ppf t = Format.pp_print_string ppf (render t)

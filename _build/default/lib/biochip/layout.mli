@@ -1,0 +1,66 @@
+(** A chip layout: the virtual grid [R] of Section III populated with
+    channels, devices and ports.
+
+    Fluids route through [Channel] and [Device_cell] cells; [Port_cell]
+    cells are path endpoints only; [Blocked] cells are not routable. *)
+
+type cell =
+  | Blocked
+  | Channel
+  | Device_cell of int  (** device id *)
+  | Port_cell of int    (** port id *)
+
+type t
+
+(** [make ~grid ~devices ~ports] validates:
+    - device/port ids are dense and match the grid's cells;
+    - every port cell sits at the port's recorded position;
+    - every port has at least one routable neighbour;
+    - every device has at least one cell.
+    @raise Invalid_argument on violation. *)
+val make :
+  grid:cell Pdw_geometry.Grid.t ->
+  devices:Device.t list ->
+  ports:Port.t list ->
+  t
+
+val grid : t -> cell Pdw_geometry.Grid.t
+val width : t -> int
+val height : t -> int
+
+val devices : t -> Device.t list
+val ports : t -> Port.t list
+val flow_ports : t -> Port.t list
+val waste_ports : t -> Port.t list
+
+(** @raise Not_found when no such id. *)
+val device : t -> int -> Device.t
+
+val port : t -> int -> Port.t
+
+val device_by_name : t -> string -> Device.t option
+val port_by_name : t -> string -> Port.t option
+
+(** Cells occupied by a device, in row-major order. *)
+val device_cells : t -> int -> Pdw_geometry.Coord.t list
+
+(** A representative cell of the device (its first cell). *)
+val device_anchor : t -> int -> Pdw_geometry.Coord.t
+
+val cell : t -> Pdw_geometry.Coord.t -> cell
+
+(** A fluid can occupy/traverse this cell. *)
+val routable : t -> Pdw_geometry.Coord.t -> bool
+
+(** Routable, and not a port (ports terminate paths, never pass fluid
+    through). *)
+val through_routable : t -> Pdw_geometry.Coord.t -> bool
+
+(** Devices of a given kind. *)
+val devices_of_kind : t -> Device.kind -> Device.t list
+
+(** ASCII map: ['.'] blocked, ['+'] channel, device glyphs, ['I']/['O']
+    ports. *)
+val render : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+module Coord = Pdw_geometry.Coord
+module Grid = Pdw_geometry.Grid
+
+type t = {
+  grid : Layout.cell Grid.t;
+  mutable devices : Device.t list; (* reversed *)
+  mutable ports : Port.t list; (* reversed *)
+}
+
+let create ~width ~height =
+  { grid = Grid.create ~width ~height Layout.Blocked; devices = []; ports = [] }
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let place t c v =
+  if not (Grid.in_bounds t.grid c) then
+    fail "Layout_builder: %s out of bounds" (Coord.to_string c);
+  match (Grid.get t.grid c, v) with
+  | Layout.Blocked, _ -> Grid.set t.grid c v
+  | Layout.Channel, Layout.Channel -> ()
+  | (Layout.Channel | Layout.Device_cell _ | Layout.Port_cell _), _ ->
+    fail "Layout_builder: cell %s already occupied" (Coord.to_string c)
+
+let channel t c = place t c Layout.Channel
+
+let channel_run t (a : Coord.t) (b : Coord.t) =
+  if a.x <> b.x && a.y <> b.y then
+    fail "Layout_builder: channel_run %s -> %s not axis-aligned"
+      (Coord.to_string a) (Coord.to_string b);
+  let step v1 v2 = if v1 < v2 then 1 else if v1 > v2 then -1 else 0 in
+  let dx = step a.x b.x and dy = step a.y b.y in
+  let rec go c =
+    channel t c;
+    if not (Coord.equal c b) then
+      go (Coord.make (c.Coord.x + dx) (c.Coord.y + dy))
+  in
+  go a
+
+let add_device t ~kind ~name cells =
+  if cells = [] then fail "Layout_builder: device %s has no cells" name;
+  let id = List.length t.devices in
+  let device = Device.make ~id ~kind ~name in
+  List.iter (fun c -> place t c (Layout.Device_cell id)) cells;
+  t.devices <- device :: t.devices;
+  device
+
+let add_port t ~kind ~name position =
+  let id = List.length t.ports in
+  let port = Port.make ~id ~kind ~name ~position in
+  place t position (Layout.Port_cell id);
+  t.ports <- port :: t.ports;
+  port
+
+let build t =
+  Layout.make ~grid:(Grid.copy t.grid) ~devices:(List.rev t.devices)
+    ~ports:(List.rev t.ports)
+
+(* The motivating-example chip (13 x 7).  A horizontal bus (row 3)
+   carries all traffic; devices hang off it through short vertical stubs;
+   ports sit on the boundary:
+
+       .  .  O  .  .  .  O  .  .  I  .  .  .
+       .  .  F  .  .  .  +  .  .  D  .  .  .
+       .  .  +  .  .  .  +  .  .  +  .  .  .
+       I  +  +  +  +  +  M  +  +  +  +  +  I
+       .  .  .  .  +  .  .  .  +  .  .  +  .
+       .  .  .  .  H  .  .  .  D  .  .  +  .
+       .  .  .  .  I  .  .  .  O  .  .  O  .
+*)
+let fig2_layout () =
+  let b = create ~width:13 ~height:7 in
+  let c = Coord.make in
+  (* bus row, interrupted by the mixer device cell at (6,3) *)
+  channel_run b (c 1 3) (c 5 3);
+  channel_run b (c 7 3) (c 11 3);
+  (* vertical stubs *)
+  channel b (c 2 2);                 (* filter -> bus *)
+  channel_run b (c 6 1) (c 6 2);     (* out1 -> mixer *)
+  channel b (c 9 2);                 (* detector1 -> bus *)
+  channel b (c 4 4);                 (* bus -> heater *)
+  channel b (c 8 4);                 (* bus -> detector2 *)
+  channel_run b (c 11 4) (c 11 5);   (* bus -> out4 *)
+  let _ = add_device b ~kind:Device.Mixer ~name:"mixer" [ c 6 3 ] in
+  let _ = add_device b ~kind:Device.Filter ~name:"filter" [ c 2 1 ] in
+  let _ = add_device b ~kind:Device.Detector ~name:"detector1" [ c 9 1 ] in
+  let _ = add_device b ~kind:Device.Detector ~name:"detector2" [ c 8 5 ] in
+  let _ = add_device b ~kind:Device.Heater ~name:"heater" [ c 4 5 ] in
+  let _ = add_port b ~kind:Port.Flow ~name:"in1" (c 0 3) in
+  let _ = add_port b ~kind:Port.Flow ~name:"in2" (c 12 3) in
+  let _ = add_port b ~kind:Port.Flow ~name:"in3" (c 9 0) in
+  let _ = add_port b ~kind:Port.Flow ~name:"in4" (c 4 6) in
+  let _ = add_port b ~kind:Port.Waste ~name:"out1" (c 6 0) in
+  let _ = add_port b ~kind:Port.Waste ~name:"out2" (c 2 0) in
+  let _ = add_port b ~kind:Port.Waste ~name:"out3" (c 8 6) in
+  let _ = add_port b ~kind:Port.Waste ~name:"out4" (c 11 6) in
+  build b

@@ -1,0 +1,36 @@
+(** Mutable construction of {!Layout.t} values, plus the concrete chip of
+    the paper's motivating example (Fig. 2(a)). *)
+
+type t
+
+(** Fresh builder; every cell starts [Blocked]. *)
+val create : width:int -> height:int -> t
+
+(** Mark a single cell as channel.
+    @raise Invalid_argument if the cell is out of bounds or already a
+    device/port cell. *)
+val channel : t -> Pdw_geometry.Coord.t -> unit
+
+(** [channel_run t a b] marks the straight run of cells from [a] to [b]
+    (inclusive) as channel.
+    @raise Invalid_argument if [a] and [b] are not axis-aligned. *)
+val channel_run : t -> Pdw_geometry.Coord.t -> Pdw_geometry.Coord.t -> unit
+
+(** [add_device t ~kind ~name cells] places a device; returns it.
+    @raise Invalid_argument if a cell is occupied or out of bounds. *)
+val add_device :
+  t -> kind:Device.kind -> name:string -> Pdw_geometry.Coord.t list ->
+  Device.t
+
+(** [add_port t ~kind ~name position]
+    @raise Invalid_argument if the cell is occupied or out of bounds. *)
+val add_port : t -> kind:Port.kind -> name:string -> Pdw_geometry.Coord.t ->
+  Port.t
+
+(** Validate and freeze.  @raise Invalid_argument per {!Layout.make}. *)
+val build : t -> Layout.t
+
+(** The chip used by the motivating example (Section II, Fig. 2(a)): a
+    central bus with mixer, filter, heater and two detectors attached,
+    four flow ports (in1..in4) and four waste ports (out1..out4). *)
+val fig2_layout : unit -> Layout.t

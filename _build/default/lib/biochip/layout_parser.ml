@@ -1,0 +1,90 @@
+module Coord = Pdw_geometry.Coord
+
+let device_kind_of_glyph = function
+  | 'M' -> Some Device.Mixer
+  | 'H' -> Some Device.Heater
+  | 'D' -> Some Device.Detector
+  | 'F' -> Some Device.Filter
+  | 'S' -> Some Device.Storage
+  | _ -> None
+
+let parse text =
+  let rows =
+    String.split_on_char '\n' text
+    |> List.filter (fun line -> String.trim line <> "")
+  in
+  match rows with
+  | [] -> Error "empty map"
+  | first :: _ ->
+    let width = String.length first in
+    let height = List.length rows in
+    let mismatch =
+      List.find_opt (fun line -> String.length line <> width) rows
+    in
+    (match mismatch with
+    | Some line ->
+      Error
+        (Printf.sprintf "ragged map: row %S has %d columns, expected %d"
+           line (String.length line) width)
+    | None -> (
+      let builder = Layout_builder.create ~width ~height in
+      let counts = Hashtbl.create 8 in
+      let next key =
+        let n = 1 + Option.value (Hashtbl.find_opt counts key) ~default:0 in
+        Hashtbl.replace counts key n;
+        n
+      in
+      let parse_cell y x ch =
+        let c = Coord.make x y in
+        match ch with
+        | '.' -> Ok ()
+        | '+' ->
+          Layout_builder.channel builder c;
+          Ok ()
+        | 'I' ->
+          let n = next "in" in
+          ignore
+            (Layout_builder.add_port builder ~kind:Port.Flow
+               ~name:(Printf.sprintf "in%d" n) c);
+          Ok ()
+        | 'O' ->
+          let n = next "out" in
+          ignore
+            (Layout_builder.add_port builder ~kind:Port.Waste
+               ~name:(Printf.sprintf "out%d" n) c);
+          Ok ()
+        | ch -> (
+          match device_kind_of_glyph ch with
+          | Some kind ->
+            let base = Device.kind_to_string kind in
+            let n = next base in
+            ignore
+              (Layout_builder.add_device builder ~kind
+                 ~name:(Printf.sprintf "%s%d" base n)
+                 [ c ]);
+            Ok ()
+          | None ->
+            Error
+              (Printf.sprintf "unknown glyph %C at row %d, column %d" ch
+                 (y + 1) (x + 1)))
+      in
+      let rec parse_rows y = function
+        | [] -> Ok ()
+        | row :: rest ->
+          let rec parse_cols x =
+            if x >= width then Ok ()
+            else
+              match parse_cell y x row.[x] with
+              | Ok () -> parse_cols (x + 1)
+              | Error _ as e -> e
+          in
+          (match parse_cols 0 with
+          | Ok () -> parse_rows (y + 1) rest
+          | Error _ as e -> e)
+      in
+      match parse_rows 0 rows with
+      | Error _ as e -> e
+      | Ok () -> (
+        match Layout_builder.build builder with
+        | layout -> Ok layout
+        | exception Invalid_argument m -> Error m)))

@@ -1,0 +1,15 @@
+(** Parse a chip layout from the ASCII format {!Layout.render} produces:
+
+    {v
+    .  blocked    +  channel     I  flow port    O  waste port
+    M  mixer      H  heater      D  detector     F  filter     S  storage
+    v}
+
+    Each device glyph becomes a single-cell device; devices and ports are
+    numbered row-major (e.g. the second [D] encountered is
+    ["detector2"], the first [I] is ["in1"]).  [render (parse s) = s]
+    for any well-formed map, which the tests rely on. *)
+
+(** [parse text]
+    @return the layout, or a message naming the offending line/column. *)
+val parse : string -> (Layout.t, string) result

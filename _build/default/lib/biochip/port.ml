@@ -1,0 +1,19 @@
+type kind = Flow | Waste
+
+type t = {
+  id : int;
+  kind : kind;
+  name : string;
+  position : Pdw_geometry.Coord.t;
+}
+
+let make ~id ~kind ~name ~position = { id; kind; name; position }
+
+let is_flow p = p.kind = Flow
+let is_waste p = p.kind = Waste
+let equal a b = a.id = b.id
+
+let glyph = function Flow -> 'I' | Waste -> 'O'
+
+let pp ppf p =
+  Format.fprintf ppf "%s@%a" p.name Pdw_geometry.Coord.pp p.position

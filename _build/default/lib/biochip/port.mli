@@ -1,0 +1,18 @@
+(** Chip ports.  Flow ports inject reagents and wash buffer; waste ports
+    drain spent fluid and release the air displaced by incoming plugs.
+    Every wash path runs flow port -> contaminated cells -> waste port
+    (Eq. (12)). *)
+
+type kind = Flow | Waste
+
+type t = { id : int; kind : kind; name : string; position : Pdw_geometry.Coord.t }
+
+val make :
+  id:int -> kind:kind -> name:string -> position:Pdw_geometry.Coord.t -> t
+
+val is_flow : t -> bool
+val is_waste : t -> bool
+val equal : t -> t -> bool
+
+val glyph : kind -> char
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+let mm_per_cell = 2.5
+let flow_velocity_mm_s = 10.0
+let transport_velocity_mm_s = 25.0
+let cells_per_second = int_of_float (flow_velocity_mm_s /. mm_per_cell)
+
+let transport_cells_per_second =
+  int_of_float (transport_velocity_mm_s /. mm_per_cell)
+
+let per_second rate cells = max 1 ((cells + rate - 1) / rate)
+let travel_seconds cells = per_second cells_per_second cells
+let transport_seconds cells = per_second transport_cells_per_second cells
+let dissolution_seconds = 2
+let path_length_mm cells = mm_per_cell *. float_of_int cells
+let channel_cross_section_mm2 = 0.01
+
+let buffer_volume_ul cells =
+  path_length_mm cells *. channel_cross_section_mm2

@@ -1,0 +1,45 @@
+(** Physical conventions shared across the system.
+
+    The paper reports wash-path lengths in millimetres and uses a buffer
+    flow velocity of [v_f] = 10 mm/s (Eq. (17)).  We use a 2.5 mm channel
+    pitch — the scale that makes the published [L_wash] values (80–460 mm
+    across whole benchmarks) consistent with port-to-port wash paths on
+    chips of ~10–20 switches — so fluid advances 4 cells per second. *)
+
+(** Channel pitch: millimetres per grid cell. *)
+val mm_per_cell : float
+
+(** Buffer flow velocity in mm/s (the paper's [v_f], Eq. (17)) — applies
+    to wash flushes, whose duration includes contaminant dissolution. *)
+val flow_velocity_mm_s : float
+
+(** Pressure-driven plug velocity in mm/s for transports, removals and
+    disposals: plugs move faster than the wash-buffer front, matching the
+    ~1 s transports of the paper's schedules (Fig. 2(b)). *)
+val transport_velocity_mm_s : float
+
+(** Wash-front cells traversed per second. *)
+val cells_per_second : int
+
+(** [travel_seconds cells] — wash-front travel time over [cells] cells at
+    [v_f], at least 1 s (the [L/v_f] of Eq. (17)). *)
+val travel_seconds : int -> int
+
+(** [transport_seconds cells] — plug travel time over [cells] cells, at
+    least 1 s. *)
+val transport_seconds : int -> int
+
+(** Default contaminant dissolution time in seconds (the [t_d] of
+    Eq. (17)). *)
+val dissolution_seconds : int
+
+(** [path_length_mm cells] — path length in millimetres. *)
+val path_length_mm : int -> float
+
+(** Channel cross-section in square millimetres (100 um x 100 um etched
+    channel). *)
+val channel_cross_section_mm2 : float
+
+(** [buffer_volume_ul cells] — microlitres of wash buffer needed to fill
+    a path of [cells] cells once. *)
+val buffer_volume_ul : int -> float

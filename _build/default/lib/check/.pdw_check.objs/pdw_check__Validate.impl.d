@@ -1,0 +1,1 @@
+lib/check/validate.ml: Format List Pdw_biochip Pdw_geometry Pdw_sim Pdw_synth Pdw_wash Printf

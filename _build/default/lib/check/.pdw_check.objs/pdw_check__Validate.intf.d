@@ -1,0 +1,1 @@
+lib/check/validate.mli: Format Pdw_synth Pdw_wash

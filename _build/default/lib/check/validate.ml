@@ -1,0 +1,153 @@
+module Coord = Pdw_geometry.Coord
+module Gpath = Pdw_geometry.Gpath
+module Layout = Pdw_biochip.Layout
+module Port = Pdw_biochip.Port
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Actuation = Pdw_synth.Actuation
+module Flow_sim = Pdw_sim.Flow_sim
+module Contamination = Pdw_wash.Contamination
+module Wash_plan = Pdw_wash.Wash_plan
+module Metrics = Pdw_wash.Metrics
+
+type finding = { check : string; detail : string }
+
+type report = { checks_run : int; findings : finding list }
+
+let ok r = r.findings = []
+
+(* Each checker returns its findings; the report counts every checker
+   that ran, found something or not. *)
+let run_checks checks =
+  let findings =
+    List.concat_map (fun (check, f) ->
+        List.map (fun detail -> { check; detail }) (f ()))
+      checks
+  in
+  { checks_run = List.length checks; findings }
+
+let structural sched () = Schedule.violations sched
+
+let analytic_contamination sched () =
+  List.map
+    (Format.asprintf "%a" Contamination.pp_violation)
+    (Contamination.violations (Contamination.analyze sched))
+
+let simulator sched () =
+  List.map
+    (Format.asprintf "%a" Flow_sim.pp_issue)
+    (Flow_sim.issues (Flow_sim.run sched))
+
+let implementations_agree sched () =
+  let analytic =
+    Contamination.violations (Contamination.analyze sched) <> []
+  in
+  let simulated =
+    List.exists
+      (function
+        | Flow_sim.Contaminated_flow _ -> true
+        | Flow_sim.Double_occupancy _ -> false)
+      (Flow_sim.issues (Flow_sim.run sched))
+  in
+  if analytic = simulated then []
+  else
+    [
+      Printf.sprintf
+        "analytic model says %s but the simulator says %s"
+        (if analytic then "contaminated" else "clean")
+        (if simulated then "contaminated" else "clean");
+    ]
+
+let wash_consistency sched () =
+  let layout = Schedule.layout sched in
+  let port_of c =
+    match Layout.cell layout c with
+    | Layout.Port_cell id -> Some (Layout.port layout id)
+    | Layout.Blocked | Layout.Channel | Layout.Device_cell _ -> None
+  in
+  List.concat_map
+    (fun (task, _, _) ->
+      match task.Task.purpose with
+      | Task.Wash { targets; _ } ->
+        let covers =
+          if Gpath.covers task.Task.path targets then []
+          else
+            [ Printf.sprintf "wash #%d misses some of its targets"
+                task.Task.id ]
+        in
+        let endpoints =
+          match
+            ( port_of (Gpath.source task.Task.path),
+              port_of (Gpath.target task.Task.path) )
+          with
+          | Some fp, Some wp when Port.is_flow fp && Port.is_waste wp -> []
+          | _ ->
+            [ Printf.sprintf
+                "wash #%d does not run flow port -> waste port" task.Task.id ]
+        in
+        covers @ endpoints
+      | Task.Transport _ | Task.Removal _ | Task.Disposal _ -> [])
+    (Schedule.task_runs sched)
+
+let actuation sched () =
+  match Actuation.of_schedule sched with
+  | plan ->
+    if Actuation.switching_count plan mod 2 = 0 then []
+    else [ "actuation plan has unbalanced transitions" ]
+  | exception Invalid_argument m -> [ m ]
+
+let schedule sched =
+  run_checks
+    [
+      ("structural", structural sched);
+      ("contamination", analytic_contamination sched);
+      ("simulator", simulator sched);
+      ("agreement", implementations_agree sched);
+      ("wash-consistency", wash_consistency sched);
+      ("actuation", actuation sched);
+    ]
+
+let planner_metadata (o : Wash_plan.outcome) () =
+  let converged =
+    if o.Wash_plan.converged then []
+    else [ "planner did not converge within its round budget" ]
+  in
+  let wash_count =
+    let in_schedule = List.length (Schedule.wash_runs o.Wash_plan.schedule) in
+    let claimed = o.Wash_plan.metrics.Metrics.n_wash in
+    if in_schedule = claimed then []
+    else
+      [
+        Printf.sprintf "metrics claim %d washes but the schedule has %d"
+          claimed in_schedule;
+      ]
+  in
+  let delay =
+    let expect =
+      Schedule.assay_completion o.Wash_plan.schedule
+      - Schedule.assay_completion o.Wash_plan.baseline
+    in
+    if expect = o.Wash_plan.metrics.Metrics.t_delay then []
+    else [ "metrics delay does not match baseline/schedule completion" ]
+  in
+  converged @ wash_count @ delay
+
+let outcome (o : Wash_plan.outcome) =
+  let base = schedule o.Wash_plan.schedule in
+  let extra = run_checks [ ("planner", planner_metadata o) ] in
+  {
+    checks_run = base.checks_run + extra.checks_run;
+    findings = base.findings @ extra.findings;
+  }
+
+let pp ppf r =
+  if ok r then
+    Format.fprintf ppf "all %d checks passed" r.checks_run
+  else begin
+    Format.fprintf ppf "@[<v>%d finding(s) across %d checks:@,"
+      (List.length r.findings) r.checks_run;
+    List.iter
+      (fun f -> Format.fprintf ppf "  [%s] %s@," f.check f.detail)
+      r.findings;
+    Format.fprintf ppf "@]"
+  end

@@ -1,0 +1,39 @@
+(** One-stop verification of an optimization outcome, bundling every
+    checker in the repository:
+
+    - structural schedule constraints (Eqs. (1)–(8), (19), (20)) via
+      {!Pdw_synth.Schedule.violations};
+    - analytic contamination freedom via
+      {!Pdw_wash.Contamination.violations};
+    - the independent discrete-time simulator
+      ({!Pdw_sim.Flow_sim.issues}) — a differential check, since it
+      re-implements the fluidic semantics from scratch;
+    - agreement between the two implementations;
+    - wash self-consistency: every wash path covers its declared targets
+      and runs flow port → waste port;
+    - control-layer derivability: a consistent valve actuation plan
+      exists;
+    - planner metadata: convergence flag and metrics match the schedule.
+
+    The `pdw verify` CLI command and the integration tests use this as
+    the single source of truth for "is this result right". *)
+
+type finding = {
+  check : string;   (** which checker produced it *)
+  detail : string;  (** human-readable description *)
+}
+
+type report = {
+  checks_run : int;
+  findings : finding list;  (** empty iff the outcome is fully verified *)
+}
+
+val ok : report -> bool
+
+val outcome : Pdw_wash.Wash_plan.outcome -> report
+
+(** The subset of checks that apply to any schedule (no washes/metrics
+    required) — usable on baselines. *)
+val schedule : Pdw_synth.Schedule.t -> report
+
+val pp : Format.formatter -> report -> unit

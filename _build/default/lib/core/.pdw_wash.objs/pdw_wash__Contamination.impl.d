@@ -1,0 +1,1 @@
+lib/core/contamination.ml: Format Int List Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth

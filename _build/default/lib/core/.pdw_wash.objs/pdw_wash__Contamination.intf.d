@@ -1,0 +1,1 @@
+lib/core/contamination.mli: Format Pdw_biochip Pdw_geometry Pdw_synth

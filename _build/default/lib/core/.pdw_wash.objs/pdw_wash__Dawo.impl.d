@@ -1,0 +1,1 @@
+lib/core/dawo.ml: Necessity Pdw_synth Wash_path_search Wash_plan Wash_target

@@ -1,0 +1,1 @@
+lib/core/dawo.mli: Pdw_assay Pdw_biochip Pdw_synth Wash_plan

@@ -1,0 +1,1 @@
+lib/core/integration.ml: Array List Pdw_geometry Pdw_synth Wash_target

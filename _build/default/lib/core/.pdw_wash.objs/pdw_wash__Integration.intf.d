@@ -1,0 +1,1 @@
+lib/core/integration.mli: Pdw_synth Wash_target

@@ -1,0 +1,1 @@
+lib/core/json_export.ml: Buffer Char Float List Metrics Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth Printf String Wash_plan

@@ -1,0 +1,1 @@
+lib/core/json_export.mli: Metrics Pdw_synth Wash_plan

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Format List Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth

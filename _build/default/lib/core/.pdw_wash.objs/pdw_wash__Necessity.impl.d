@@ -1,0 +1,1 @@
+lib/core/necessity.ml: Contamination Format Int List Pdw_biochip Pdw_geometry Pdw_synth

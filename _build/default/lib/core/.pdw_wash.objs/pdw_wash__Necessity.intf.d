@@ -1,0 +1,1 @@
+lib/core/necessity.mli: Contamination Format Pdw_biochip Pdw_geometry Pdw_synth

@@ -1,0 +1,1 @@
+lib/core/pdw.ml: Necessity Pdw_biochip Pdw_lp Pdw_synth Wash_path_ilp Wash_path_search Wash_plan Wash_target

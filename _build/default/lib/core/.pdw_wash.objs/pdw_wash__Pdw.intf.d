@@ -1,0 +1,1 @@
+lib/core/pdw.mli: Pdw_assay Pdw_biochip Pdw_lp Pdw_synth Wash_plan

@@ -1,0 +1,1 @@
+lib/core/report.ml: Format Hashtbl List Metrics Option Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth Printf String Wash_plan

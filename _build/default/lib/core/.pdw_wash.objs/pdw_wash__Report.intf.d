@@ -1,0 +1,1 @@
+lib/core/report.mli: Format Metrics Pdw_synth Wash_plan

@@ -1,0 +1,1 @@
+lib/core/schedule_ilp.ml: Array Float Hashtbl List Map Pdw_assay Pdw_geometry Pdw_lp Pdw_synth Printf

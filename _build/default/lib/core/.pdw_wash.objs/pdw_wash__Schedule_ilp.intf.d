@@ -1,0 +1,1 @@
+lib/core/schedule_ilp.mli: Pdw_lp Pdw_synth

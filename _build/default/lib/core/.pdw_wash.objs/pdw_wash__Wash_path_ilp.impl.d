@@ -1,0 +1,1 @@
+lib/core/wash_path_ilp.ml: Array Hashtbl List Pdw_biochip Pdw_geometry Pdw_lp Printf Wash_path_search Wash_target

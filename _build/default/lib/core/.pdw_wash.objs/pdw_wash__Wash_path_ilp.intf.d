@@ -1,0 +1,1 @@
+lib/core/wash_path_ilp.mli: Pdw_biochip Pdw_geometry Pdw_lp Pdw_synth Wash_target

@@ -1,0 +1,1 @@
+lib/core/wash_path_search.ml: List Pdw_geometry Pdw_synth Wash_target

@@ -1,0 +1,1 @@
+lib/core/wash_plan.ml: Contamination Hashtbl Int Integration List Logs Metrics Necessity Option Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth Printf Wash_target

@@ -1,0 +1,1 @@
+lib/core/wash_plan.mli: Metrics Necessity Pdw_biochip Pdw_geometry Pdw_synth Wash_target

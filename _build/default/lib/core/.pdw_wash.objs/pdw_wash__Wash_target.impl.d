@@ -1,0 +1,1 @@
+lib/core/wash_target.ml: Contamination Format Hashtbl List Necessity Option Pdw_geometry Pdw_synth

@@ -1,0 +1,1 @@
+lib/core/wash_target.mli: Format Necessity Pdw_geometry Pdw_synth

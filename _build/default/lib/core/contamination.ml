@@ -1,0 +1,215 @@
+module Coord = Pdw_geometry.Coord
+module Gpath = Pdw_geometry.Gpath
+module Fluid = Pdw_biochip.Fluid
+module Layout = Pdw_biochip.Layout
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Scheduler = Pdw_synth.Scheduler
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+
+type touch = {
+  key : Scheduler.Key.t;
+  start : int;
+  finish : int;
+  incoming : Fluid.t option;
+  sensitive : bool;
+  waste : bool;
+  disposal : bool;
+  tolerates : Fluid.t list;
+  residue_after : Fluid.t option;
+}
+
+type t = { timelines : touch list Coord.Table.t }
+
+(* Index (in path order) of the first excess cell of a removal: cells
+   strictly before it see only buffer and are cleaned; cells from it
+   onwards carry the excess fluid. *)
+let first_excess_index path excess =
+  let rec go i = function
+    | [] -> None
+    | c :: rest -> if Coord.Set.mem c excess then Some i else go (i + 1) rest
+  in
+  go 0 (Gpath.cells path)
+
+let touches_of_entry schedule entry =
+  let graph = Schedule.graph schedule in
+  let layout = Schedule.layout schedule in
+  match entry with
+  | Schedule.Op_run { op_id; device_id; start; finish } ->
+    let incoming = Sequencing_graph.input_fluid graph op_id in
+    let result = Sequencing_graph.result_fluid graph op_id in
+    let tolerates = Sequencing_graph.input_fluids graph op_id in
+    List.map
+      (fun cell ->
+        ( cell,
+          {
+            key = Scheduler.Key.Op op_id;
+            start;
+            finish;
+            incoming = Some incoming;
+            sensitive = true;
+            waste = false;
+            disposal = false;
+            tolerates;
+            residue_after = Some result;
+          } ))
+      (Layout.device_cells layout device_id)
+  | Schedule.Task_run { task; start; finish } ->
+    let key = Scheduler.Key.Tsk task.Task.id in
+    let cells = Gpath.cells task.Task.path in
+    (match task.Task.purpose with
+    | Task.Transport { fluid; dst_op; _ } ->
+      let tolerates = Sequencing_graph.input_fluids graph dst_op in
+      List.map
+        (fun cell ->
+          ( cell,
+            {
+              key;
+              start;
+              finish;
+              incoming = Some fluid;
+              sensitive = true;
+              waste = false;
+              disposal = false;
+              tolerates;
+              residue_after = Some fluid;
+            } ))
+        cells
+    | Task.Removal { fluid; excess; _ } ->
+      let cut =
+        match first_excess_index task.Task.path excess with
+        | Some i -> i
+        | None -> 0 (* no excess on path: treat the whole flush as dirty *)
+      in
+      List.mapi
+        (fun i cell ->
+          let before_excess = i < cut in
+          ( cell,
+            {
+              key;
+              start;
+              finish;
+              incoming = (if before_excess then None else Some fluid);
+              sensitive = false;
+              waste = true;
+              disposal = false;
+              tolerates = [];
+              residue_after = (if before_excess then None else Some fluid);
+            } ))
+        cells
+    | Task.Disposal { fluid; _ } ->
+      List.map
+        (fun cell ->
+          ( cell,
+            {
+              key;
+              start;
+              finish;
+              incoming = Some fluid;
+              sensitive = false;
+              waste = true;
+              disposal = true;
+              tolerates = [];
+              residue_after = Some fluid;
+            } ))
+        cells
+    | Task.Wash _ ->
+      List.map
+        (fun cell ->
+          ( cell,
+            {
+              key;
+              start;
+              finish;
+              incoming = None;
+              sensitive = false;
+              waste = false;
+              disposal = false;
+              tolerates = [];
+              residue_after = None;
+            } ))
+        cells)
+
+let analyze schedule =
+  let layout = Schedule.layout schedule in
+  let timelines = Coord.Table.create 256 in
+  let add (cell, touch) =
+    match Layout.cell layout cell with
+    | Layout.Port_cell _ -> ()
+    | Layout.Blocked | Layout.Channel | Layout.Device_cell _ ->
+      let existing =
+        match Coord.Table.find_opt timelines cell with
+        | Some l -> l
+        | None -> []
+      in
+      Coord.Table.replace timelines cell (touch :: existing)
+  in
+  List.iter
+    (fun entry -> List.iter add (touches_of_entry schedule entry))
+    (Schedule.entries schedule);
+  let sort l =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.start b.start in
+        if c <> 0 then c else Int.compare a.finish b.finish)
+      l
+  in
+  Coord.Table.iter
+    (fun c l -> Coord.Table.replace timelines c (sort l))
+    timelines;
+  { timelines }
+
+let cells t = Coord.Table.fold (fun c _ acc -> c :: acc) t.timelines []
+
+let touches t cell =
+  match Coord.Table.find_opt t.timelines cell with
+  | Some l -> l
+  | None -> []
+
+type violation = {
+  cell : Coord.t;
+  residue : Fluid.t;
+  contaminated_at : int;
+  contaminator : Scheduler.Key.t;
+  use : touch;
+}
+
+let violations t =
+  let out = ref [] in
+  Coord.Table.iter
+    (fun cell timeline ->
+      let residue = ref None in
+      List.iter
+        (fun touch ->
+          (match (!residue, touch.incoming) with
+          | Some (f, t0, src), Some incoming
+            when touch.sensitive
+                 && (not (List.exists (Fluid.equal f) touch.tolerates))
+                 && Fluid.contaminates ~residue:f ~incoming ->
+            out :=
+              {
+                cell;
+                residue = f;
+                contaminated_at = t0;
+                contaminator = src;
+                use = touch;
+              }
+              :: !out
+          | (Some _ | None), (Some _ | None) -> ());
+          residue :=
+            match touch.residue_after with
+            | Some f -> Some (f, touch.finish, touch.key)
+            | None -> None)
+        timeline)
+    t.timelines;
+  List.sort
+    (fun a b -> Int.compare a.use.start b.use.start)
+    !out
+
+let pp_violation ppf v =
+  Format.fprintf ppf "cell %a: %s by %s left %a at %d, corrupts %s at %d"
+    Coord.pp v.cell "residue"
+    (Scheduler.Key.to_string v.contaminator)
+    Fluid.pp v.residue v.contaminated_at
+    (Scheduler.Key.to_string v.use.key)
+    v.use.start

@@ -1,0 +1,57 @@
+(** Contamination tracking: replays a schedule and derives, per grid cell,
+    the timeline of residues left behind and of fluids flowing through —
+    the [R_c] / [t^c_(x,y)] data of Section III.
+
+    Residue semantics (DESIGN.md "Modelling conventions"):
+    - a transport leaves its fluid on every path cell;
+    - an excess-fluid removal flushes buffer up to the excess location
+      (cleaning those cells) and pushes the excess through the rest of the
+      path (contaminating it);
+    - a disposal leaves its fluid everywhere on its path;
+    - a wash cleans its whole path;
+    - an operation leaves its result fluid on its device's cells. *)
+
+type touch = {
+  key : Pdw_synth.Scheduler.Key.t;
+  start : int;
+  finish : int;
+  incoming : Pdw_biochip.Fluid.t option;
+      (** fluid this entry pushes through the cell ([None] = buffer) *)
+  sensitive : bool;  (** residue would corrupt this entry (Transport/Op) *)
+  waste : bool;      (** waste-bound traffic (Removal/Disposal) — Type 3 *)
+  disposal : bool;   (** product-disposal traffic specifically *)
+  tolerates : Pdw_biochip.Fluid.t list;
+      (** residues that cannot corrupt this entry even when sensitive:
+          the other inputs of the operation the fluid is bound for — they
+          are about to be mixed with it anyway *)
+  residue_after : Pdw_biochip.Fluid.t option;
+      (** what the entry leaves on the cell ([None] = clean) *)
+}
+
+type t
+
+(** Replay a schedule.  Port cells are excluded (ports are flushed
+    externally and never need washing). *)
+val analyze : Pdw_synth.Schedule.t -> t
+
+(** Cells ever touched, in no particular order. *)
+val cells : t -> Pdw_geometry.Coord.t list
+
+(** Timeline of a cell, sorted by start time. *)
+val touches : t -> Pdw_geometry.Coord.t -> touch list
+
+(** A contaminated use: a sensitive entry flowing over residue that
+    corrupts it. *)
+type violation = {
+  cell : Pdw_geometry.Coord.t;
+  residue : Pdw_biochip.Fluid.t;
+  contaminated_at : int;
+  contaminator : Pdw_synth.Scheduler.Key.t;
+  use : touch;
+}
+
+(** All contaminated uses in the schedule.  Empty on a correctly washed
+    schedule — the end-to-end correctness criterion for PDW and DAWO. *)
+val violations : t -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit

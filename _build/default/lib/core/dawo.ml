@@ -1,0 +1,18 @@
+let policy =
+  let path_finder ~layout ~schedule ~conflict_aware:_ group =
+    (* BFS shortest covering path, blind to traffic. *)
+    Wash_path_search.find ~conflict_aware:false ~layout ~schedule group
+  in
+  {
+    Wash_plan.demands = Necessity.dawo_demands;
+    grouping = Wash_target.group_by_use;
+    integrate = false;
+    conflict_aware = false;
+    path_finder;
+  }
+
+let optimize ?alpha ?beta ?gamma synthesis =
+  Wash_plan.run ?alpha ?beta ?gamma ~policy synthesis
+
+let run ?layout benchmark =
+  optimize (Pdw_synth.Synthesis.synthesize ?layout benchmark)

@@ -1,0 +1,21 @@
+(** The comparison baseline: delay-aware wash optimization (DAWO) in the
+    style of [10].
+
+    Differences from PDW, mirroring the paper's description:
+    - no wash-necessity analysis — every contaminated cell that is reused
+      is washed, regardless of fluid type or waste-bound purpose;
+    - one wash operation per contaminated path (wash paths established
+      independently, no demand merging across paths);
+    - breadth-first shortest wash paths, blind to concurrent traffic;
+    - no integration with excess-fluid removal. *)
+
+(** Run DAWO on a synthesized assay with the same reporting weights as
+    PDW. *)
+val optimize :
+  ?alpha:float -> ?beta:float -> ?gamma:float ->
+  Pdw_synth.Synthesis.t -> Wash_plan.outcome
+
+val run :
+  ?layout:Pdw_biochip.Layout.t ->
+  Pdw_assay.Benchmarks.t ->
+  Wash_plan.outcome

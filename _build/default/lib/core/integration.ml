@@ -1,0 +1,73 @@
+module Coord = Pdw_geometry.Coord
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Scheduler = Pdw_synth.Scheduler
+
+let set_distance a b =
+  Coord.Set.fold
+    (fun ca acc ->
+      Coord.Set.fold (fun cb acc -> min acc (Coord.manhattan ca cb)) b acc)
+    a max_int
+
+(* The window in which the removal must run: after its transport
+   finishes, before its consumer starts (Eq. (5)), read off the baseline
+   schedule. *)
+let removal_window schedule (task : Task.t) =
+  match task.Task.purpose with
+  | Task.Removal { dst_op; transport; _ } ->
+    let transport_finish =
+      List.fold_left
+        (fun acc (t, _, finish) ->
+          if t.Task.id = transport then finish else acc)
+        0
+        (Schedule.task_runs schedule)
+    in
+    let op_start, _, _ = Schedule.op_run schedule dst_op in
+    Some (transport_finish, op_start, dst_op, transport)
+  | Task.Transport _ | Task.Disposal _ | Task.Wash _ -> None
+
+let merge ?(radius = 8) ?(accept = fun ~removal:_ _ -> true) ~schedule
+    ~removals groups =
+  let groups = Array.of_list groups in
+  let standalone = ref [] in
+  List.iter
+    (fun (task : Task.t) ->
+      match removal_window schedule task with
+      | None -> standalone := task :: !standalone
+      | Some (release, deadline, dst_op, transport) ->
+        let excess =
+          match task.Task.purpose with
+          | Task.Removal { excess; _ } -> excess
+          | Task.Transport _ | Task.Disposal _ | Task.Wash _ ->
+            Coord.Set.empty
+        in
+        let fits (g : Wash_target.group) =
+          max g.Wash_target.release release
+          < min g.Wash_target.deadline deadline
+          && set_distance excess g.Wash_target.targets <= radius
+        in
+        let rec find i =
+          if i >= Array.length groups then None
+          else if fits groups.(i) then Some i
+          else find (i + 1)
+        in
+        (match find 0 with
+        | Some i ->
+          let g = groups.(i) in
+          let enlarged =
+            {
+              g with
+              Wash_target.targets = Coord.Set.union g.Wash_target.targets excess;
+              release = max g.Wash_target.release release;
+              deadline = min g.Wash_target.deadline deadline;
+              contaminators =
+                Scheduler.Key.Tsk transport :: g.Wash_target.contaminators;
+              use_keys = Scheduler.Key.Op dst_op :: g.Wash_target.use_keys;
+              merged_removals = task :: g.Wash_target.merged_removals;
+            }
+          in
+          if accept ~removal:task enlarged then groups.(i) <- enlarged
+          else standalone := task :: !standalone
+        | None -> standalone := task :: !standalone))
+    removals;
+  (Array.to_list groups, List.rev !standalone)

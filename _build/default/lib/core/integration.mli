@@ -1,0 +1,24 @@
+(** Integration of wash with excess-fluid removal (Section II-B,
+    Eq. (21)): a pending removal whose excess cells lie near a wash
+    group's targets, and whose execution window overlaps the group's, is
+    absorbed — the wash path is built to cover the excess cells and the
+    separate removal task is dropped (its [psi_(j,i,2)] becomes 1). *)
+
+(** [merge ~schedule ~removals groups] returns the enriched groups and
+    the removal tasks that remain standalone.  Each removal merges into
+    at most one group.
+
+    @param radius spatial bound between excess cells and group targets
+    (default 8)
+    @param accept veto on each tentative merge, given the removal being
+    absorbed and the enlarged group.  The planner passes "a single wash
+    path still covers the enlarged set (Eq. (21)'s containment) and it
+    does not grow by more than the removal path it replaces" (net channel
+    occupation cannot increase).  Default accepts everything. *)
+val merge :
+  ?radius:int ->
+  ?accept:(removal:Pdw_synth.Task.t -> Wash_target.group -> bool) ->
+  schedule:Pdw_synth.Schedule.t ->
+  removals:Pdw_synth.Task.t list ->
+  Wash_target.group list ->
+  Wash_target.group list * Pdw_synth.Task.t list

@@ -1,0 +1,164 @@
+module Coord = Pdw_geometry.Coord
+module Gpath = Pdw_geometry.Gpath
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Synthesis = Pdw_synth.Synthesis
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  write buf j;
+  Buffer.contents buf
+
+let coord (c : Coord.t) = List [ Int c.Coord.x; Int c.Coord.y ]
+
+let cells_of_path path = List (List.map coord (Gpath.cells path))
+
+let metrics (m : Metrics.t) =
+  Obj
+    [
+      ("n_wash", Int m.Metrics.n_wash);
+      ("l_wash_mm", Float m.Metrics.l_wash_mm);
+      ("t_assay_s", Int m.Metrics.t_assay);
+      ("t_delay_s", Int m.Metrics.t_delay);
+      ("total_wash_time_s", Int m.Metrics.total_wash_time);
+      ("buffer_ul", Float m.Metrics.buffer_ul);
+      ("avg_waiting_time_s", Float m.Metrics.avg_waiting_time);
+      ("objective", Float m.Metrics.objective);
+    ]
+
+let task_kind task =
+  match task.Task.purpose with
+  | Task.Transport _ -> "transport"
+  | Task.Removal _ -> "removal"
+  | Task.Disposal _ -> "disposal"
+  | Task.Wash _ -> "wash"
+
+let entry = function
+  | Schedule.Op_run { op_id; device_id; start; finish } ->
+    Obj
+      [
+        ("kind", String "operation");
+        ("op", Int (op_id + 1));
+        ("device", Int device_id);
+        ("start_s", Int start);
+        ("finish_s", Int finish);
+      ]
+  | Schedule.Task_run { task; start; finish } ->
+    let extra =
+      match task.Task.purpose with
+      | Task.Wash { targets; merged_removals } ->
+        [
+          ("targets", List (List.map coord (Coord.Set.elements targets)));
+          ("merged_removals", List (List.map (fun i -> Int i) merged_removals));
+        ]
+      | Task.Transport { fluid; dst_op; _ } ->
+        [
+          ("fluid", String (Pdw_biochip.Fluid.to_string fluid));
+          ("for_op", Int (dst_op + 1));
+        ]
+      | Task.Removal { fluid; dst_op; _ } ->
+        [
+          ("fluid", String (Pdw_biochip.Fluid.to_string fluid));
+          ("for_op", Int (dst_op + 1));
+        ]
+      | Task.Disposal { fluid; src_op } ->
+        [
+          ("fluid", String (Pdw_biochip.Fluid.to_string fluid));
+          ("of_op", Int (src_op + 1));
+        ]
+    in
+    Obj
+      ([
+         ("kind", String (task_kind task));
+         ("task", Int task.Task.id);
+         ("start_s", Int start);
+         ("finish_s", Int finish);
+         ("path", cells_of_path task.Task.path);
+       ]
+      @ extra)
+
+let schedule s =
+  Obj
+    [
+      ("assay", String (Sequencing_graph.name (Schedule.graph s)));
+      ("assay_completion_s", Int (Schedule.assay_completion s));
+      ("makespan_s", Int (Schedule.makespan s));
+      ("entries", List (List.map entry (Schedule.entries s)));
+    ]
+
+let outcome (o : Wash_plan.outcome) =
+  let graph =
+    o.Wash_plan.synthesis.Synthesis.benchmark.Pdw_assay.Benchmarks.graph
+  in
+  Obj
+    [
+      ("assay", String (Sequencing_graph.name graph));
+      ("num_ops", Int (Sequencing_graph.num_ops graph));
+      ("num_edges", Int (Sequencing_graph.num_edges graph));
+      ("converged", Bool o.Wash_plan.converged);
+      ("rounds", Int o.Wash_plan.rounds);
+      ( "demands_per_round",
+        List (List.map (fun d -> Int d) o.Wash_plan.demand_history) );
+      ("metrics", metrics o.Wash_plan.metrics);
+      ( "baseline_completion_s",
+        Int (Schedule.assay_completion o.Wash_plan.baseline) );
+      ("schedule", schedule o.Wash_plan.schedule);
+    ]

@@ -1,0 +1,25 @@
+(** JSON export of optimization results, for downstream tooling
+    (dashboards, chip drivers, regression tracking).  Self-contained
+    writer — no external JSON dependency. *)
+
+(** A minimal JSON value. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+(** Serialize with proper string escaping; objects keep field order. *)
+val to_string : json -> string
+
+val metrics : Metrics.t -> json
+
+(** Every entry with timing, kind, path cells and (for washes) targets. *)
+val schedule : Pdw_synth.Schedule.t -> json
+
+(** The full outcome: benchmark stats, metrics, schedule, washes,
+    convergence diagnostics. *)
+val outcome : Wash_plan.outcome -> json

@@ -1,0 +1,72 @@
+module Gpath = Pdw_geometry.Gpath
+module Units = Pdw_biochip.Units
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+
+type t = {
+  n_wash : int;
+  l_wash_mm : float;
+  t_assay : int;
+  t_delay : int;
+  total_wash_time : int;
+  buffer_ul : float;
+  avg_waiting_time : float;
+  objective : float;
+}
+
+let avg_waiting schedule =
+  let graph = Schedule.graph schedule in
+  let n = Sequencing_graph.num_ops graph in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let start, _, _ = Schedule.op_run schedule i in
+    let ready =
+      List.fold_left
+        (fun acc j ->
+          let _, finish, _ = Schedule.op_run schedule j in
+          max acc finish)
+        0
+        (Sequencing_graph.predecessors graph i)
+    in
+    total := !total + (start - ready)
+  done;
+  if n = 0 then 0.0 else float_of_int !total /. float_of_int n
+
+let compute ?(alpha = 0.3) ?(beta = 0.3) ?(gamma = 0.4) ~baseline schedule =
+  let washes = Schedule.wash_runs schedule in
+  let n_wash = List.length washes in
+  let wash_cells =
+    List.fold_left
+      (fun acc (task, _, _) -> acc + Gpath.length task.Task.path)
+      0 washes
+  in
+  let l_wash_mm = Units.path_length_mm wash_cells in
+  let buffer_ul = Units.buffer_volume_ul wash_cells in
+  let total_wash_time =
+    List.fold_left (fun acc (_, s, f) -> acc + (f - s)) 0 washes
+  in
+  let t_assay = Schedule.assay_completion schedule in
+  let t_delay = t_assay - Schedule.assay_completion baseline in
+  let objective =
+    (alpha *. float_of_int n_wash)
+    +. (beta *. l_wash_mm)
+    +. (gamma *. float_of_int t_assay)
+  in
+  {
+    n_wash;
+    l_wash_mm;
+    t_assay;
+    t_delay;
+    total_wash_time;
+    buffer_ul;
+    avg_waiting_time = avg_waiting schedule;
+    objective;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "N_wash=%d L_wash=%.1fmm T_delay=%ds T_assay=%ds wash_time=%ds \
+     buffer=%.2ful wait=%.2fs"
+    m.n_wash m.l_wash_mm m.t_delay m.t_assay m.total_wash_time m.buffer_ul
+    m.avg_waiting_time

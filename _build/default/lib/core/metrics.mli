@@ -1,0 +1,31 @@
+(** The quantities Table II and Figs. 4–5 report, computed from a final
+    schedule against its wash-free baseline. *)
+
+type t = {
+  n_wash : int;  (** number of wash operations (Eq. (23)) *)
+  l_wash_mm : float;
+      (** total wash-path length in millimetres (Eq. (25), scaled by the
+          channel pitch of {!Pdw_biochip.Units}) *)
+  t_assay : int;  (** completion time of the last operation (Eq. (22)) *)
+  t_delay : int;  (** [t_assay] minus the baseline assay completion *)
+  total_wash_time : int;  (** summed wash durations (Fig. 5) *)
+  buffer_ul : float;
+      (** wash-buffer volume consumed, in microlitres — the "buffer
+          fluids" cost Section I says necessity analysis reduces *)
+  avg_waiting_time : float;
+      (** mean over operations of [start - dependency-ready time]
+          (Fig. 4) *)
+  objective : float;  (** Eq. (26) with the given weights *)
+}
+
+(** [compute ~baseline schedule] with the paper's default weights
+    alpha = 0.3, beta = 0.3, gamma = 0.4. *)
+val compute :
+  ?alpha:float ->
+  ?beta:float ->
+  ?gamma:float ->
+  baseline:Pdw_synth.Schedule.t ->
+  Pdw_synth.Schedule.t ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,121 @@
+module Coord = Pdw_geometry.Coord
+module Fluid = Pdw_biochip.Fluid
+module Scheduler = Pdw_synth.Scheduler
+
+type verdict =
+  | Needed
+  | Type1_unused
+  | Type2_same_fluid
+  | Type3_waste_only
+  | Washed
+
+type event = {
+  cell : Coord.t;
+  fluid : Fluid.t;
+  time : int;
+  source : Scheduler.Key.t;
+  verdict : verdict;
+  next_use : Contamination.touch option;
+}
+
+type report = { events : event list }
+
+let classify fluid (next : Contamination.touch option) =
+  match next with
+  | None -> Type1_unused
+  | Some touch -> (
+    match touch.Contamination.incoming with
+    | None -> Washed (* buffer front of a wash or removal *)
+    | Some incoming ->
+      if touch.Contamination.sensitive then
+        if
+          List.exists (Fluid.equal fluid) touch.Contamination.tolerates
+          || not (Fluid.contaminates ~residue:fluid ~incoming)
+        then Type2_same_fluid
+        else Needed
+      else if touch.Contamination.waste then Type3_waste_only
+      else Washed)
+
+let analyze contamination =
+  let events = ref [] in
+  List.iter
+    (fun cell ->
+      let timeline = Contamination.touches contamination cell in
+      let rec walk = function
+        | [] -> ()
+        | (touch : Contamination.touch) :: rest ->
+          (match touch.Contamination.residue_after with
+          | None -> ()
+          | Some fluid ->
+            let next_use =
+              match rest with [] -> None | n :: _ -> Some n
+            in
+            events :=
+              {
+                cell;
+                fluid;
+                time = touch.Contamination.finish;
+                source = touch.Contamination.key;
+                verdict = classify fluid next_use;
+                next_use;
+              }
+              :: !events);
+          walk rest
+      in
+      walk timeline)
+    (Contamination.cells contamination);
+  {
+    events =
+      List.sort
+        (fun a b ->
+          let c = Int.compare a.time b.time in
+          if c <> 0 then c else Coord.compare a.cell b.cell)
+        !events;
+  }
+
+let events r = r.events
+
+let requirements r =
+  List.filter (fun e -> e.verdict = Needed) r.events
+
+let dawo_demands r =
+  (* DAWO is demand-driven: it washes a dirty cell before reuse.  It
+     understands fluid compatibility (same-type and co-input flows are
+     safe) but lacks PDW's Type 3 analysis — traffic that merely carries
+     product out to a waste port still triggers a wash first. *)
+  let demands e =
+    match e.next_use with
+    | None -> false
+    | Some touch -> (
+      match touch.Contamination.incoming with
+      | None -> false (* cleaned by buffer before reuse *)
+      | Some incoming ->
+        (touch.Contamination.sensitive || touch.Contamination.disposal)
+        && (not (List.exists (Fluid.equal e.fluid) touch.Contamination.tolerates))
+        && not (Fluid.same_type e.fluid incoming))
+  in
+  List.filter demands r.events
+
+let counts r =
+  List.fold_left
+    (fun (n, t1, t2, t3, w) e ->
+      match e.verdict with
+      | Needed -> (n + 1, t1, t2, t3, w)
+      | Type1_unused -> (n, t1 + 1, t2, t3, w)
+      | Type2_same_fluid -> (n, t1, t2 + 1, t3, w)
+      | Type3_waste_only -> (n, t1, t2, t3 + 1, w)
+      | Washed -> (n, t1, t2, t3, w + 1))
+    (0, 0, 0, 0, 0) r.events
+
+let verdict_to_string = function
+  | Needed -> "needed"
+  | Type1_unused -> "type1:unused"
+  | Type2_same_fluid -> "type2:same-fluid"
+  | Type3_waste_only -> "type3:waste-only"
+  | Washed -> "washed"
+
+let pp_event ppf e =
+  Format.fprintf ppf "%a %a@%d by %s -> %s" Coord.pp e.cell Fluid.pp e.fluid
+    e.time
+    (Scheduler.Key.to_string e.source)
+    (verdict_to_string e.verdict)

@@ -1,0 +1,51 @@
+(** Wash-necessity analysis (Section II-A, Eqs. (9)–(11)).
+
+    Every contamination event — a residue deposited on a cell — is
+    classified by its first subsequent use of that cell:
+    - [Type1_unused]: no later entry touches the cell, wash avoidable;
+    - [Type2_same_fluid]: the next flow carries the same fluid type;
+    - [Type3_waste_only]: the next flow is waste-bound (removal/disposal);
+    - [Washed]: a wash (or the buffer front of a removal) cleans it first;
+    - [Needed]: the next use is a sensitive flow of a different type —
+      the [r_(x,y) = 1] case that generates a wash requirement. *)
+
+type verdict =
+  | Needed
+  | Type1_unused
+  | Type2_same_fluid
+  | Type3_waste_only
+  | Washed
+
+type event = {
+  cell : Pdw_geometry.Coord.t;
+  fluid : Pdw_biochip.Fluid.t;       (** the residue *)
+  time : int;                        (** the [t^c] it was deposited *)
+  source : Pdw_synth.Scheduler.Key.t;  (** depositing entry *)
+  verdict : verdict;
+  next_use : Contamination.touch option;
+      (** first later entry over the cell, if any *)
+}
+
+type report
+
+val analyze : Contamination.t -> report
+
+val events : report -> event list
+
+(** Cells that must be washed under PDW's analysis: the [Needed] events
+    (one requirement per event; a later wash must cover the cell after
+    [time] and before [next_use]). *)
+val requirements : report -> event list
+
+(** Demands under the baseline policy of DAWO [10]: demand-driven washing
+    of a dirty cell before any sensitive or product-disposal reuse by an
+    incompatible fluid.  DAWO understands fluid compatibility (same-type
+    and co-input reuse are safe — Type 2) but lacks PDW's Type 3
+    analysis: it still washes before product-disposal traffic. *)
+val dawo_demands : report -> event list
+
+(** Counts per verdict, paper-report style:
+    (needed, type1, type2, type3, washed). *)
+val counts : report -> int * int * int * int * int
+
+val pp_event : Format.formatter -> event -> unit

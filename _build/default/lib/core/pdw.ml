@@ -1,0 +1,65 @@
+type config = {
+  necessity : bool;
+  integrate : bool;
+  conflict_aware : bool;
+  use_ilp_paths : bool;
+  dissolution : int;
+  ilp_config : Pdw_lp.Ilp.config;
+  max_group_targets : int;
+  grouping_radius : int;
+  alpha : float;
+  beta : float;
+  gamma : float;
+}
+
+let default_config =
+  {
+    necessity = true;
+    integrate = true;
+    conflict_aware = true;
+    use_ilp_paths = false;
+    dissolution = Pdw_biochip.Units.dissolution_seconds;
+    ilp_config = { Pdw_lp.Ilp.default_config with time_limit = 10.0 };
+    max_group_targets = 10;
+    grouping_radius = 6;
+    alpha = 0.3;
+    beta = 0.3;
+    gamma = 0.4;
+  }
+
+let policy config =
+  let demands report =
+    if config.necessity then Necessity.requirements report
+    else Necessity.dawo_demands report
+  in
+  let grouping events =
+    Wash_target.group ~max_targets:config.max_group_targets
+      ~radius:config.grouping_radius events
+  in
+  let path_finder ~layout ~schedule ~conflict_aware group =
+    if config.use_ilp_paths then
+      match
+        Wash_path_ilp.find ~config:config.ilp_config ~layout ~schedule
+          ~conflict_aware group
+      with
+      | Some result -> Some result
+      | None ->
+        (* Budget exhausted or model infeasible on this chip: fall back to
+           the heuristic rather than failing the whole plan. *)
+        Wash_path_search.find ~conflict_aware ~layout ~schedule group
+    else Wash_path_search.find ~conflict_aware ~layout ~schedule group
+  in
+  {
+    Wash_plan.demands;
+    grouping;
+    integrate = config.integrate;
+    conflict_aware = config.conflict_aware;
+    path_finder;
+  }
+
+let optimize ?(config = default_config) synthesis =
+  Wash_plan.run ~alpha:config.alpha ~beta:config.beta ~gamma:config.gamma
+    ~dissolution:config.dissolution ~policy:(policy config) synthesis
+
+let run ?config ?layout benchmark =
+  optimize ?config (Pdw_synth.Synthesis.synthesize ?layout benchmark)

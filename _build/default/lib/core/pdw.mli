@@ -1,0 +1,39 @@
+(** PathDriver-Wash: the paper's proposed method.
+
+    Necessity analysis prunes Type 1/2/3 contamination events (Eqs.
+    (9)–(11)); surviving requirements are grouped into wash operations
+    with window/proximity-aware grouping; excess-fluid removals are
+    absorbed into wash paths where windows allow (Eq. (21)); wash paths
+    are computed conflict-aware (heuristic by default, the exact ILP of
+    Eqs. (12)–(15) on demand); and the schedule is rebuilt to minimize
+    completion time (Eqs. (1)–(8), (16)–(22), (26)). *)
+
+type config = {
+  necessity : bool;      (** ablation: Type 1/2/3 pruning *)
+  integrate : bool;      (** ablation: removal integration *)
+  conflict_aware : bool; (** ablation: time-window path optimization *)
+  use_ilp_paths : bool;
+      (** exact per-wash path ILP (Eqs. (12)–(15)); slower, small chips *)
+  dissolution : int;
+      (** contaminant dissolution time [t_d] of Eq. (17), seconds *)
+  ilp_config : Pdw_lp.Ilp.config;  (** budget for the exact path ILP *)
+  max_group_targets : int;
+  grouping_radius : int;
+  alpha : float;  (** Eq. (26) weight on N_wash *)
+  beta : float;   (** Eq. (26) weight on L_wash *)
+  gamma : float;  (** Eq. (26) weight on T_assay *)
+}
+
+(** The paper's settings: alpha 0.3, beta 0.3, gamma 0.4, all techniques
+    on, heuristic paths. *)
+val default_config : config
+
+(** Run PDW on a synthesized assay. *)
+val optimize : ?config:config -> Pdw_synth.Synthesis.t -> Wash_plan.outcome
+
+(** Convenience: synthesize (optionally on a given layout) and optimize. *)
+val run :
+  ?config:config ->
+  ?layout:Pdw_biochip.Layout.t ->
+  Pdw_assay.Benchmarks.t ->
+  Wash_plan.outcome

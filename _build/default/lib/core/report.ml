@@ -1,0 +1,149 @@
+module Coord = Pdw_geometry.Coord
+module Gpath = Pdw_geometry.Gpath
+module Grid = Pdw_geometry.Grid
+module Layout = Pdw_biochip.Layout
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+
+type row = {
+  name : string;
+  graph_stats : int * int * int;
+  dawo : Metrics.t;
+  pdw : Metrics.t;
+}
+
+let row ~name ~device_count (dawo : Wash_plan.outcome)
+    (pdw : Wash_plan.outcome) =
+  let graph =
+    pdw.Wash_plan.synthesis.Pdw_synth.Synthesis.benchmark
+      .Pdw_assay.Benchmarks.graph
+  in
+  {
+    name;
+    graph_stats =
+      ( Sequencing_graph.num_ops graph,
+        device_count,
+        Sequencing_graph.num_edges graph );
+    dawo = dawo.Wash_plan.metrics;
+    pdw = pdw.Wash_plan.metrics;
+  }
+
+let improvement d p = if d = 0.0 then 0.0 else 100.0 *. (d -. p) /. d
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let print_table2 ppf rows =
+  Format.fprintf ppf
+    "@[<v>Table II: PDW vs DAWO@,\
+     %-14s %-9s | %5s %5s %6s | %7s %7s %6s | %6s %5s %6s | %7s %7s %6s@,"
+    "Benchmark" "|O|/|D|/|E|" "Nw(D)" "Nw(P)" "Im%" "Lw(D)" "Lw(P)" "Im%"
+    "Td(D)" "Td(P)" "Im%" "Ta(D)" "Ta(P)" "Im%";
+  let im_n = ref [] and im_l = ref [] and im_d = ref [] and im_a = ref [] in
+  List.iter
+    (fun r ->
+      let o, d, e = r.graph_stats in
+      let n_im =
+        improvement (float_of_int r.dawo.Metrics.n_wash)
+          (float_of_int r.pdw.Metrics.n_wash)
+      in
+      let l_im = improvement r.dawo.Metrics.l_wash_mm r.pdw.Metrics.l_wash_mm in
+      let d_im =
+        improvement
+          (float_of_int r.dawo.Metrics.t_delay)
+          (float_of_int r.pdw.Metrics.t_delay)
+      in
+      let a_im =
+        improvement
+          (float_of_int r.dawo.Metrics.t_assay)
+          (float_of_int r.pdw.Metrics.t_assay)
+      in
+      im_n := n_im :: !im_n;
+      im_l := l_im :: !im_l;
+      im_d := d_im :: !im_d;
+      im_a := a_im :: !im_a;
+      Format.fprintf ppf
+        "%-14s %2d/%2d/%2d  | %5d %5d %5.1f%% | %7.0f %7.0f %5.1f%% | %6d \
+         %5d %5.1f%% | %7d %7d %5.1f%%@,"
+        r.name o d e r.dawo.Metrics.n_wash r.pdw.Metrics.n_wash n_im
+        r.dawo.Metrics.l_wash_mm r.pdw.Metrics.l_wash_mm l_im
+        r.dawo.Metrics.t_delay r.pdw.Metrics.t_delay d_im
+        r.dawo.Metrics.t_assay r.pdw.Metrics.t_assay a_im)
+    rows;
+  Format.fprintf ppf
+    "%-14s %-9s  | %11s %5.1f%% | %15s %5.1f%% | %12s %5.1f%% | %15s %5.1f%%@]@."
+    "Average" "" "" (mean !im_n) "" (mean !im_l) "" (mean !im_d) "" (mean !im_a)
+
+let print_series ppf ~title ~value rows =
+  Format.fprintf ppf "@[<v>%s@,%-14s %10s %10s %8s@," title "Benchmark" "DAWO"
+    "PDW" "Im%";
+  let ims = ref [] in
+  List.iter
+    (fun r ->
+      let d = value r.dawo and p = value r.pdw in
+      let im = improvement d p in
+      ims := im :: !ims;
+      Format.fprintf ppf "%-14s %10.2f %10.2f %7.1f%%@," r.name d p im)
+    rows;
+  Format.fprintf ppf "%-14s %10s %10s %7.1f%%@]@." "Average" "" "" (mean !ims)
+
+let print_fig4 ppf rows =
+  print_series ppf
+    ~title:"Fig. 4: average waiting time of biochemical operations (s)"
+    ~value:(fun m -> m.Metrics.avg_waiting_time)
+    rows
+
+let print_fig5 ppf rows =
+  print_series ppf ~title:"Fig. 5: total wash time (s)"
+    ~value:(fun m -> float_of_int m.Metrics.total_wash_time)
+    rows
+
+(* Table I analogue: named flow paths. *)
+let cell_namer layout =
+  (* Channel cells get stable s1, s2, ... names in row-major order. *)
+  let table = Coord.Table.create 64 in
+  let counter = ref 0 in
+  Grid.iter (Layout.grid layout) (fun c v ->
+      match v with
+      | Layout.Channel ->
+        incr counter;
+        Coord.Table.replace table c (Printf.sprintf "s%d" !counter)
+      | Layout.Blocked | Layout.Device_cell _ | Layout.Port_cell _ -> ());
+  fun c ->
+    match Layout.cell layout c with
+    | Layout.Port_cell id -> (Layout.port layout id).Pdw_biochip.Port.name
+    | Layout.Device_cell id ->
+      (Layout.device layout id).Pdw_biochip.Device.name
+    | Layout.Channel -> (
+      match Coord.Table.find_opt table c with
+      | Some name -> name
+      | None -> Coord.to_string c)
+    | Layout.Blocked -> Coord.to_string c
+
+let print_flow_paths ppf schedule =
+  let layout = Schedule.layout schedule in
+  let name_of = cell_namer layout in
+  let counters = Hashtbl.create 4 in
+  let next kind =
+    let n = 1 + Option.value (Hashtbl.find_opt counters kind) ~default:0 in
+    Hashtbl.replace counters kind n;
+    n
+  in
+  Format.fprintf ppf "@[<v>Flow paths (Table I analogue)@,";
+  List.iter
+    (fun (task, start, finish) ->
+      let tag =
+        match task.Task.purpose with
+        | Task.Transport _ -> Printf.sprintf "#%d" (next "transport")
+        | Task.Removal _ -> Printf.sprintf "*%d" (next "removal")
+        | Task.Disposal _ -> Printf.sprintf "$%d" (next "disposal")
+        | Task.Wash _ -> Printf.sprintf "w%d" (next "wash")
+      in
+      let hops =
+        String.concat " -> " (List.map name_of (Gpath.cells task.Task.path))
+      in
+      Format.fprintf ppf "  %-4s [%3d,%3d) %s@," tag start finish hops)
+    (Schedule.task_runs schedule);
+  Format.fprintf ppf "@]@."

@@ -1,0 +1,35 @@
+(** Comparison reporting: the rows of Table II and the series of
+    Figs. 4–5, computed from paired DAWO/PDW runs. *)
+
+type row = {
+  name : string;
+  graph_stats : int * int * int;  (** |O| / |D| / |E| *)
+  dawo : Metrics.t;
+  pdw : Metrics.t;
+}
+
+(** [row ~name ~device_count dawo pdw] *)
+val row :
+  name:string -> device_count:int ->
+  Wash_plan.outcome -> Wash_plan.outcome -> row
+
+(** Percentage improvement of PDW over DAWO, [100 * (d - p) / d];
+    0 when the DAWO value is 0. *)
+val improvement : float -> float -> float
+
+(** Render rows in the format of Table II (N_wash, L_wash, T_delay,
+    T_assay with per-row and average improvements). *)
+val print_table2 : Format.formatter -> row list -> unit
+
+(** Fig. 4: average waiting time of biochemical operations. *)
+val print_fig4 : Format.formatter -> row list -> unit
+
+(** Fig. 5: total wash time. *)
+val print_fig5 : Format.formatter -> row list -> unit
+
+(** The Table I analogue: every flow path used by a schedule, with hops
+    named after ports ([in1]), devices ([mixer1]) and channel switches
+    ([s1], [s2], ... numbered row-major).  Transports are tagged [#k],
+    excess removals [*k], disposals [$k] and washes [w_k], matching the
+    paper's notation. *)
+val print_flow_paths : Format.formatter -> Pdw_synth.Schedule.t -> unit

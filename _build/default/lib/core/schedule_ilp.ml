@@ -1,0 +1,197 @@
+module Coord = Pdw_geometry.Coord
+module Model = Pdw_lp.Model
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Scheduler = Pdw_synth.Scheduler
+module Synthesis = Pdw_synth.Synthesis
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+
+module Kmap = Map.Make (Scheduler.Key)
+
+let default_config =
+  { Pdw_lp.Ilp.default_config with time_limit = 30.0; max_nodes = 50_000 }
+
+(* Transitive closure of the precedence relation, so ordered pairs do not
+   get a redundant disjunction binary. *)
+let reachability jobs extra_after =
+  let succs =
+    List.fold_left
+      (fun acc (job : Scheduler.job) ->
+        List.fold_left
+          (fun acc dep ->
+            let existing =
+              match Kmap.find_opt dep acc with Some l -> l | None -> []
+            in
+            Kmap.add dep (job.Scheduler.key :: existing) acc)
+          acc job.Scheduler.after)
+      Kmap.empty jobs
+  in
+  let succs =
+    List.fold_left
+      (fun acc (later, earlier) ->
+        let existing =
+          match Kmap.find_opt earlier acc with Some l -> l | None -> []
+        in
+        Kmap.add earlier (later :: existing) acc)
+      succs extra_after
+  in
+  let memo = Hashtbl.create 64 in
+  let rec reach key =
+    match Hashtbl.find_opt memo (Scheduler.Key.to_string key) with
+    | Some set -> set
+    | None ->
+      (* Seed with an empty set to cut (impossible) cycles. *)
+      Hashtbl.replace memo (Scheduler.Key.to_string key) [];
+      let direct =
+        match Kmap.find_opt key succs with Some l -> l | None -> []
+      in
+      let all =
+        List.fold_left
+          (fun acc s -> s :: (reach s @ acc))
+          [] direct
+      in
+      Hashtbl.replace memo (Scheduler.Key.to_string key) all;
+      all
+  in
+  fun a b ->
+    List.exists (fun k -> Scheduler.Key.compare k b = 0) (reach a)
+
+let solve ?(config = default_config) ?(extra_after = []) ?(max_pairs = 60)
+    synthesis ~tasks () =
+  let jobs = Synthesis.jobs synthesis ~tasks in
+  let extra_of key =
+    List.filter_map
+      (fun (later, earlier) ->
+        if Scheduler.Key.compare later key = 0 then Some earlier else None)
+      extra_after
+  in
+  let jobs =
+    List.map
+      (fun (job : Scheduler.job) ->
+        { job with Scheduler.after = job.Scheduler.after @ extra_of job.Scheduler.key })
+      jobs
+  in
+  let ordered = reachability jobs [] in
+  (* Conflicting, unordered pairs. *)
+  let arr = Array.of_list jobs in
+  let pairs = ref [] in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if j > i then begin
+            let share =
+              not
+                (Coord.Set.is_empty
+                   (Coord.Set.inter a.Scheduler.cells b.Scheduler.cells))
+            in
+            if
+              share
+              && (not (ordered a.Scheduler.key b.Scheduler.key))
+              && not (ordered b.Scheduler.key a.Scheduler.key)
+            then pairs := (a, b) :: !pairs
+          end)
+        arr)
+    arr;
+  let pairs = !pairs in
+  if List.length pairs > max_pairs then
+    Error
+      (Printf.sprintf
+         "Schedule_ilp: %d conflicting pairs exceed the limit of %d"
+         (List.length pairs) max_pairs)
+  else begin
+    let m = Model.create () in
+    let horizon =
+      (* A safe upper bound: everything serialized end to end. *)
+      List.fold_left
+        (fun acc (j : Scheduler.job) -> acc + j.Scheduler.duration)
+        1 jobs
+      |> float_of_int
+    in
+    let start_vars =
+      List.fold_left
+        (fun acc (job : Scheduler.job) ->
+          let v =
+            Model.continuous m
+              (Scheduler.Key.to_string job.Scheduler.key)
+              ~lb:(float_of_int job.Scheduler.release)
+              ~ub:horizon ()
+          in
+          Kmap.add job.Scheduler.key (v, job) acc)
+        Kmap.empty jobs
+    in
+    let start key = fst (Kmap.find key start_vars) in
+    let finish_expr (job : Scheduler.job) =
+      Model.(v (start job.Scheduler.key)
+             +: const (float_of_int job.Scheduler.duration))
+    in
+    (* Precedence (Eqs. (2), (4), (5)). *)
+    List.iter
+      (fun (job : Scheduler.job) ->
+        List.iter
+          (fun dep ->
+            match Kmap.find_opt dep start_vars with
+            | Some (_, dep_job) ->
+              Model.add_ge m
+                (Model.v (start job.Scheduler.key))
+                (finish_expr dep_job)
+            | None -> ())
+          job.Scheduler.after)
+      jobs;
+    (* Disjunctive resource exclusion (Eqs. (3), (8), (19), (20)). *)
+    List.iter
+      (fun ((a : Scheduler.job), (b : Scheduler.job)) ->
+        let order =
+          Model.binary m
+            (Printf.sprintf "order_%s_%s"
+               (Scheduler.Key.to_string a.Scheduler.key)
+               (Scheduler.Key.to_string b.Scheduler.key))
+        in
+        Model.add_disjunction m ~order ~a_end:(finish_expr a)
+          ~b_start:(Model.v (start b.Scheduler.key))
+          ~a_start:(Model.v (start a.Scheduler.key))
+          ~b_end:(finish_expr b))
+      pairs;
+    (* T_assay bounds the finish of every operation run (Eq. (22)). *)
+    let t_assay = Model.continuous m "T_assay" ~lb:0.0 ~ub:horizon () in
+    List.iter
+      (fun (job : Scheduler.job) ->
+        match job.Scheduler.key with
+        | Scheduler.Key.Op _ ->
+          Model.add_ge m (Model.v t_assay) (finish_expr job)
+        | Scheduler.Key.Tsk _ -> ())
+      jobs;
+    Model.set_objective m (Model.v t_assay);
+    match Model.solve ~ilp_config:config m with
+    | Error e -> Error ("Schedule_ilp: " ^ e)
+    | Ok solution ->
+      let graph = synthesis.Synthesis.benchmark.Pdw_assay.Benchmarks.graph in
+      let layout = synthesis.Synthesis.layout in
+      let binding = synthesis.Synthesis.binding in
+      let assignment key =
+        let v, job = Kmap.find key start_vars in
+        let s = int_of_float (Float.round (Model.value solution v)) in
+        (s, s + job.Scheduler.duration)
+      in
+      let task_entries =
+        List.map
+          (fun (task : Task.t) ->
+            let s, f = assignment (Scheduler.Key.Tsk task.Task.id) in
+            Schedule.Task_run { task; start = s; finish = f })
+          tasks
+      in
+      let op_entries =
+        List.map
+          (fun i ->
+            let s, f = assignment (Scheduler.Key.Op i) in
+            Schedule.Op_run
+              { op_id = i; device_id = binding.(i); start = s; finish = f })
+          (Sequencing_graph.topological_order graph)
+      in
+      let schedule =
+        Schedule.make ~graph ~layout ~binding (task_entries @ op_entries)
+      in
+      (match Schedule.violations schedule with
+      | [] -> Ok schedule
+      | v :: _ -> Error ("Schedule_ilp: solution fails validation: " ^ v))
+  end

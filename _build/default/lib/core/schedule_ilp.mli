@@ -1,0 +1,32 @@
+(** Exact schedule recomputation: the time-assignment part of the paper's
+    monolithic formulation — Eqs. (1)–(8) and (16)–(22) — solved as one
+    MILP.
+
+    Start times are continuous variables; precedence edges become linear
+    constraints; every unordered pair of jobs whose cell footprints
+    intersect gets a big-M disjunction (Eqs. (3), (8), (19), (20)); the
+    objective minimizes the assay completion time [T_assay] (the gamma
+    term of Eq. (26) — wash count and length are already fixed once the
+    task set and paths are chosen, see DESIGN.md, design choice 3).
+
+    The model has one binary per conflicting pair, so it is intentionally
+    restricted to small instances; {!Pdw_synth.Scheduler} is the scalable
+    default and this solver's role is to certify its quality (see the
+    `schedule optimality gap` test and the `ablate` bench). *)
+
+(** [solve synthesis ~tasks ()] builds and solves the MILP for the given
+    task set (washes included; their precedence comes via
+    [extra_after], exactly as in {!Pdw_synth.Synthesis.reschedule}).
+
+    Returns [Error _] when the instance exceeds [max_pairs] conflicting
+    pairs (default 60), when the solver budget expires with no incumbent,
+    or when the model is infeasible.  On success the schedule is
+    validated structurally before being returned. *)
+val solve :
+  ?config:Pdw_lp.Ilp.config ->
+  ?extra_after:(Pdw_synth.Scheduler.Key.t * Pdw_synth.Scheduler.Key.t) list ->
+  ?max_pairs:int ->
+  Pdw_synth.Synthesis.t ->
+  tasks:Pdw_synth.Task.t list ->
+  unit ->
+  (Pdw_synth.Schedule.t, string) result

@@ -1,0 +1,262 @@
+module Coord = Pdw_geometry.Coord
+module Grid = Pdw_geometry.Grid
+module Gpath = Pdw_geometry.Gpath
+module Layout = Pdw_biochip.Layout
+module Port = Pdw_biochip.Port
+module Model = Pdw_lp.Model
+module Lin_expr = Pdw_lp.Lin_expr
+
+type graph = {
+  cells : Coord.t array;              (* non-port routable cells *)
+  cell_index : int Coord.Table.t;
+  edges : (Coord.t * Coord.t) array;  (* canonical order: fst < snd *)
+  incident : int list Coord.Table.t;  (* cell/port-position -> edge ids *)
+}
+
+let build_graph layout =
+  let grid = Layout.grid layout in
+  let is_port c =
+    match Layout.cell layout c with
+    | Layout.Port_cell _ -> true
+    | Layout.Blocked | Layout.Channel | Layout.Device_cell _ -> false
+  in
+  let cells =
+    Grid.find_all grid (function
+      | Layout.Channel | Layout.Device_cell _ -> true
+      | Layout.Blocked | Layout.Port_cell _ -> false)
+    |> Array.of_list
+  in
+  let cell_index = Coord.Table.create (Array.length cells) in
+  Array.iteri (fun i c -> Coord.Table.replace cell_index c i) cells;
+  let edges = ref [] in
+  let incident = Coord.Table.create 64 in
+  let note_incident c e =
+    let l =
+      match Coord.Table.find_opt incident c with Some l -> l | None -> []
+    in
+    Coord.Table.replace incident c (e :: l)
+  in
+  let add_edge a b =
+    let a, b = if Coord.compare a b <= 0 then (a, b) else (b, a) in
+    let id = List.length !edges in
+    edges := (a, b) :: !edges;
+    note_incident a id;
+    note_incident b id
+  in
+  Grid.iter grid (fun c _ ->
+      if Layout.routable layout c then
+        List.iter
+          (fun n ->
+            (* Each undirected edge once: the larger endpoint adds it.
+               Port-port edges are useless for paths; skip them. *)
+            if
+              Layout.routable layout n
+              && Coord.compare c n < 0
+              && not (is_port c && is_port n)
+            then add_edge c n)
+          (Grid.neighbours grid c));
+  {
+    cells;
+    cell_index;
+    edges = Array.of_list (List.rev !edges);
+    incident;
+  }
+
+let incident_edges g c =
+  match Coord.Table.find_opt g.incident c with Some l -> l | None -> []
+
+(* Connected components of the used subgraph (used cells + chosen port
+   cells, joined by used edges). *)
+let components used_cells used_edges =
+  let parent = Coord.Table.create 32 in
+  let rec find c =
+    match Coord.Table.find_opt parent c with
+    | None ->
+      Coord.Table.replace parent c c;
+      c
+    | Some p -> if Coord.equal p c then c else find p
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if not (Coord.equal ra rb) then Coord.Table.replace parent ra rb
+  in
+  Coord.Set.iter (fun c -> ignore (find c)) used_cells;
+  List.iter (fun (a, b) -> union a b) used_edges;
+  let comps = Hashtbl.create 8 in
+  Coord.Set.iter
+    (fun c ->
+      let root = Coord.to_string (find c) in
+      let existing =
+        match Hashtbl.find_opt comps root with
+        | Some s -> s
+        | None -> Coord.Set.empty
+      in
+      Hashtbl.replace comps root (Coord.Set.add c existing))
+    used_cells;
+  Hashtbl.fold (fun _ s acc -> s :: acc) comps []
+
+let find ?(config = Pdw_lp.Ilp.default_config) ?(conflict_penalty = 3.0)
+    ~layout ~schedule ~conflict_aware (g : Wash_target.group) =
+  let graph = build_graph layout in
+  let flow_ports = Layout.flow_ports layout in
+  let waste_ports = Layout.waste_ports layout in
+  let targets = g.Wash_target.targets in
+  let busy =
+    if conflict_aware then
+      Wash_path_search.busy_cells schedule
+        ~window:(g.Wash_target.release, g.Wash_target.deadline)
+    else Coord.Set.empty
+  in
+  let m = Model.create () in
+  let cell_vars =
+    Array.mapi
+      (fun i c ->
+        ignore i;
+        Model.binary m (Printf.sprintf "u_%s" (Coord.to_string c)))
+      graph.cells
+  in
+  let edge_vars =
+    Array.mapi (fun i _ -> Model.binary m (Printf.sprintf "y_%d" i)) graph.edges
+  in
+  let port_var =
+    List.map
+      (fun (p : Port.t) ->
+        (p, Model.binary m (Printf.sprintf "port_%s" p.Port.name)))
+      (flow_ports @ waste_ports)
+  in
+  let pv p =
+    List.assq p port_var
+  in
+  let sum vars = Lin_expr.sum (List.map Model.v vars) in
+  (* Eq. (12): one flow port, one waste port. *)
+  Model.add_eq m (sum (List.map pv flow_ports)) (Model.const 1.0);
+  Model.add_eq m (sum (List.map pv waste_ports)) (Model.const 1.0);
+  (* Eq. (13): a chosen port has exactly one incident used edge; an
+     unchosen port has none. *)
+  List.iter
+    (fun (p : Port.t) ->
+      let inc = incident_edges graph p.Port.position in
+      Model.add_eq m
+        (sum (List.map (fun e -> edge_vars.(e)) inc))
+        (Model.v (pv p)))
+    (flow_ports @ waste_ports);
+  (* Eq. (14): used cells have degree 2, unused degree 0. *)
+  Array.iteri
+    (fun i c ->
+      let inc = incident_edges graph c in
+      Model.add_eq m
+        (sum (List.map (fun e -> edge_vars.(e)) inc))
+        (Lin_expr.scale 2.0 (Model.v cell_vars.(i))))
+    graph.cells;
+  (* Eq. (15): cover every target. *)
+  Coord.Set.iter
+    (fun c ->
+      match Coord.Table.find_opt graph.cell_index c with
+      | Some i -> Model.add_eq m (Model.v cell_vars.(i)) (Model.const 1.0)
+      | None ->
+        (* A target outside the routable graph cannot be washed. *)
+        Model.add_eq m (Model.const 1.0) (Model.const 0.0))
+    targets;
+  (* Objective: length plus traffic-conflict penalty (time-window
+     optimization as a soft cost). *)
+  let objective =
+    Array.to_list cell_vars
+    |> List.mapi (fun i v ->
+           let cost =
+             if Coord.Set.mem graph.cells.(i) busy then 1.0 +. conflict_penalty
+             else 1.0
+           in
+           Lin_expr.scale cost (Model.v v))
+    |> Lin_expr.sum
+  in
+  Model.set_objective m objective;
+  (* Lazy connectivity cuts: every used component must contain a chosen
+     port; otherwise cut it open. *)
+  let cuts lookup =
+    let used_cells =
+      Array.to_list graph.cells
+      |> List.filteri (fun i _ -> lookup cell_vars.(i) > 0.5)
+      |> Coord.Set.of_list
+    in
+    let chosen_ports =
+      List.filter_map
+        (fun (p, v) ->
+          if lookup v > 0.5 then Some p.Port.position else None)
+        port_var
+    in
+    let used_edges =
+      Array.to_list graph.edges
+      |> List.filteri (fun i _ -> lookup edge_vars.(i) > 0.5)
+    in
+    let all_used =
+      List.fold_left
+        (fun s c -> Coord.Set.add c s)
+        used_cells chosen_ports
+    in
+    let comps = components all_used used_edges in
+    List.filter_map
+      (fun comp ->
+        let has_port =
+          List.exists (fun p -> Coord.Set.mem p comp) chosen_ports
+        in
+        if has_port then None
+        else begin
+          (* Boundary edges of the component among non-port cells. *)
+          let boundary =
+            Array.to_list graph.edges
+            |> List.mapi (fun i (a, b) -> (i, a, b))
+            |> List.filter (fun (_, a, b) ->
+                   Coord.Set.mem a comp <> Coord.Set.mem b comp)
+            |> List.map (fun (i, _, _) -> i)
+          in
+          let witness = Coord.Set.choose comp in
+          match Coord.Table.find_opt graph.cell_index witness with
+          | None -> None
+          | Some wi ->
+            let lhs =
+              Lin_expr.sum
+                (List.map (fun e -> Model.v edge_vars.(e)) boundary)
+            in
+            Some
+              ( Lin_expr.sub lhs
+                  (Lin_expr.scale 2.0 (Model.v cell_vars.(wi))),
+                Pdw_lp.Lp_problem.Ge,
+                0.0 )
+        end)
+      comps
+  in
+  match Model.solve_with_cuts ~ilp_config:config ~cuts m with
+  | Error _ -> None
+  | Ok sol ->
+    (* Reconstruct the path by walking edges from the chosen flow port. *)
+    let chosen kind =
+      List.find_opt
+        (fun ((p : Port.t), v) -> p.Port.kind = kind && Model.bool_value sol v)
+        port_var
+    in
+    (match (chosen Port.Flow, chosen Port.Waste) with
+    | Some (fp, _), Some (wp, _) ->
+      let used_edge i = Model.bool_value sol edge_vars.(i) in
+      let next_from c exclude =
+        List.find_map
+          (fun e ->
+            if used_edge e && not (List.mem e exclude) then
+              let a, b = graph.edges.(e) in
+              if Coord.equal a c then Some (e, b)
+              else if Coord.equal b c then Some (e, a)
+              else None
+            else None)
+          (incident_edges graph c)
+      in
+      let rec walk acc visited_edges c =
+        if Coord.equal c wp.Port.position then Some (List.rev (c :: acc))
+        else
+          match next_from c visited_edges with
+          | Some (e, n) -> walk (c :: acc) (e :: visited_edges) n
+          | None -> None
+      in
+      (match walk [] [] fp.Port.position with
+      | Some cells ->
+        Some (Gpath.of_cells cells, fp.Port.id, wp.Port.id)
+      | None -> None)
+    | (Some _ | None), (Some _ | None) -> None)

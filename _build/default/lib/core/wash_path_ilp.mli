@@ -1,0 +1,25 @@
+(** Exact wash-path construction: the ILP of Eqs. (12)–(15).
+
+    The model works on the edge graph of routable cells: one binary per
+    grid edge and per cell, degree-1 at the chosen flow/waste ports
+    (Eqs. (12), (13)), degree-2 at every other used cell (Eq. (14)),
+    forced coverage of the wash targets (Eq. (15)).  Degree constraints
+    alone admit disconnected cycles, which are eliminated lazily with
+    connectivity cuts (see {!Pdw_lp.Ilp}).
+
+    Minimizes path length, with a penalty on cells that are busy during
+    the group's time window when [conflict_aware] — the same preference
+    {!Wash_path_search} applies heuristically. *)
+
+(** [find ~layout ~schedule group] returns the optimal wash path with its
+    flow/waste port ids, or [None] when the model is infeasible or the
+    solver budget expires without an incumbent (callers fall back to the
+    heuristic). *)
+val find :
+  ?config:Pdw_lp.Ilp.config ->
+  ?conflict_penalty:float ->
+  layout:Pdw_biochip.Layout.t ->
+  schedule:Pdw_synth.Schedule.t ->
+  conflict_aware:bool ->
+  Wash_target.group ->
+  (Pdw_geometry.Gpath.t * int * int) option

@@ -1,0 +1,38 @@
+module Coord = Pdw_geometry.Coord
+module Schedule = Pdw_synth.Schedule
+module Router = Pdw_synth.Router
+
+let busy_cells schedule ~window:(lo, hi) =
+  List.fold_left
+    (fun acc entry ->
+      let s = Schedule.entry_start entry and f = Schedule.entry_finish entry in
+      if s < hi && lo < f then
+        Coord.Set.union acc (Schedule.entry_cells schedule entry)
+      else acc)
+    Coord.Set.empty
+    (Schedule.entries schedule)
+
+(* Cost of entering a cell other traffic occupies during the wash window:
+   a soft penalty, so the search trades a few cells of extra length for
+   concurrency but never takes absurd detours (the balance the paper's
+   beta/gamma weights strike in Eq. (26)). *)
+let conflict_cell_penalty = 1
+
+let find ?(conflict_aware = true) ~layout ~schedule (g : Wash_target.group) =
+  let targets = g.Wash_target.targets in
+  let attempt_soft_cost () =
+    if not conflict_aware then None
+    else begin
+      let window = (g.Wash_target.release, g.Wash_target.deadline) in
+      let busy = Coord.Set.diff (busy_cells schedule ~window) targets in
+      if Coord.Set.is_empty busy then None
+      else
+        let cost c =
+          if Coord.Set.mem c busy then conflict_cell_penalty else 0
+        in
+        Router.flush layout ~cost ~targets ()
+    end
+  in
+  match attempt_soft_cost () with
+  | Some result -> Some result
+  | None -> Router.flush layout ~targets ()

@@ -1,0 +1,25 @@
+(** Heuristic wash-path construction (the scalable alternative to
+    {!Wash_path_ilp}; see DESIGN.md, design choice 3).
+
+    For a wash group, picks the (flow port, waste port) pair and covering
+    path of minimum length, preferring paths that avoid cells other
+    entries occupy during the group's time window — that is what lets the
+    wash run concurrently with regular traffic (Section II-C). *)
+
+(** [find ~layout ~schedule group] returns the wash path with the chosen
+    flow/waste port ids, or [None] if no port pair can cover the targets.
+
+    When [conflict_aware] (default true), cells busy during
+    [[release, deadline)] in [schedule] are avoided if possible; the
+    search falls back to ignoring traffic rather than failing. *)
+val find :
+  ?conflict_aware:bool ->
+  layout:Pdw_biochip.Layout.t ->
+  schedule:Pdw_synth.Schedule.t ->
+  Wash_target.group ->
+  (Pdw_geometry.Gpath.t * int * int) option
+
+(** Cells occupied by schedule entries whose run overlaps [window]
+    (exposed for tests). *)
+val busy_cells :
+  Pdw_synth.Schedule.t -> window:int * int -> Pdw_geometry.Coord.Set.t

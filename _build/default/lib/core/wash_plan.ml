@@ -1,0 +1,265 @@
+module Coord = Pdw_geometry.Coord
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Scheduler = Pdw_synth.Scheduler
+module Synthesis = Pdw_synth.Synthesis
+
+type policy = {
+  demands : Necessity.report -> Necessity.event list;
+  grouping : Necessity.event list -> Wash_target.group list;
+  integrate : bool;
+  conflict_aware : bool;
+  path_finder :
+    layout:Pdw_biochip.Layout.t ->
+    schedule:Schedule.t ->
+    conflict_aware:bool ->
+    Wash_target.group ->
+    (Pdw_geometry.Gpath.t * int * int) option;
+}
+
+type outcome = {
+  synthesis : Synthesis.t;
+  baseline : Schedule.t;
+  schedule : Schedule.t;
+  washes : Task.t list;
+  necessity : Necessity.report;
+  metrics : Metrics.t;
+  rounds : int;
+  converged : bool;
+  demand_history : int list;
+}
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let log_src = Logs.Src.create "pdw.plan" ~doc:"PathDriver-Wash planning"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Priority of a wash: just before the earliest entry that waits for it,
+   so the serial scheduler slots it into the gap the time-window analysis
+   found rather than at the end. *)
+let wash_rank synthesis (tasks : Task.t list) (g : Wash_target.group) =
+  let rank_of_key = function
+    | Scheduler.Key.Op i -> (Synthesis.topo_position synthesis i * 4) + 2
+    | Scheduler.Key.Tsk id -> (
+      match List.find_opt (fun (t : Task.t) -> t.Task.id = id) tasks with
+      | None -> max_int
+      | Some t -> (
+        match t.Task.purpose with
+        | Task.Transport { dst_op; _ } ->
+          Synthesis.topo_position synthesis dst_op * 4
+        | Task.Removal { dst_op; _ } ->
+          (Synthesis.topo_position synthesis dst_op * 4) + 1
+        | Task.Disposal { src_op; _ } ->
+          (Synthesis.topo_position synthesis src_op * 4) + 3
+        | Task.Wash _ -> max_int))
+  in
+  let min_use =
+    List.fold_left
+      (fun acc k -> min acc (rank_of_key k))
+      max_int g.Wash_target.use_keys
+  in
+  if min_use = max_int then 0 else max 0 (min_use - 1)
+
+let key_exists tasks num_ops = function
+  | Scheduler.Key.Op i -> i >= 0 && i < num_ops
+  | Scheduler.Key.Tsk id ->
+    List.exists (fun (t : Task.t) -> t.Task.id = id) tasks
+
+let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
+    =
+  let baseline = synthesis.Synthesis.schedule in
+  let layout = synthesis.Synthesis.layout in
+  let graph = synthesis.Synthesis.benchmark.Pdw_assay.Benchmarks.graph in
+  let num_ops = Pdw_assay.Sequencing_graph.num_ops graph in
+  let necessity = Necessity.analyze (Contamination.analyze baseline) in
+  let next_id = ref (Synthesis.next_task_id synthesis) in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  let tasks = ref synthesis.Synthesis.tasks in
+  let washes = ref [] in
+  let extra_after = ref [] in
+  let rank_override = ref [] in
+  let schedule = ref baseline in
+  (* Split a group whose targets no single simple path can cover: halve
+     the targets along their dominant axis and wash in two operations. *)
+  let split_group (g : Wash_target.group) =
+    let cells = Coord.Set.elements g.Wash_target.targets in
+    let xs = List.map (fun (c : Coord.t) -> c.Coord.x) cells in
+    let ys = List.map (fun (c : Coord.t) -> c.Coord.y) cells in
+    let spread l = List.fold_left max min_int l - List.fold_left min max_int l in
+    let sorted =
+      if spread xs >= spread ys then
+        List.sort
+          (fun (a : Coord.t) (b : Coord.t) ->
+            let c = Int.compare a.Coord.x b.Coord.x in
+            if c <> 0 then c else Int.compare a.Coord.y b.Coord.y)
+          cells
+      else
+        List.sort
+          (fun (a : Coord.t) (b : Coord.t) ->
+            let c = Int.compare a.Coord.y b.Coord.y in
+            if c <> 0 then c else Int.compare a.Coord.x b.Coord.x)
+          cells
+    in
+    let half = List.length sorted / 2 in
+    let first = List.filteri (fun i _ -> i < half) sorted in
+    let second = List.filteri (fun i _ -> i >= half) sorted in
+    ( { g with Wash_target.targets = Coord.Set.of_list first },
+      { g with Wash_target.targets = Coord.Set.of_list second } )
+  in
+  let rec add_group current_schedule (g : Wash_target.group) =
+    match
+      policy.path_finder ~layout ~schedule:current_schedule
+        ~conflict_aware:policy.conflict_aware g
+    with
+    | Some (p, _, _) -> make_wash current_schedule g p
+    | None ->
+      if Coord.Set.cardinal g.Wash_target.targets <= 1 then
+        fail "Wash_plan: no wash path covers group %d (%d targets)"
+          g.Wash_target.id
+          (Coord.Set.cardinal g.Wash_target.targets)
+      else begin
+        let a, b = split_group g in
+        add_group current_schedule a;
+        add_group current_schedule b
+      end
+  and make_wash _current_schedule (g : Wash_target.group) path =
+    let wash =
+      Task.make ~id:(fresh ())
+        ~purpose:
+          (Task.Wash
+             {
+               targets = g.Wash_target.targets;
+               merged_removals =
+                 List.map
+                   (fun (t : Task.t) -> t.Task.id)
+                   g.Wash_target.merged_removals;
+             })
+        ~path
+    in
+    washes := wash :: !washes;
+    let wash_key = Scheduler.Key.Tsk wash.Task.id in
+    List.iter
+      (fun dep -> extra_after := (wash_key, dep) :: !extra_after)
+      g.Wash_target.contaminators;
+    List.iter
+      (fun user -> extra_after := (user, wash_key) :: !extra_after)
+      g.Wash_target.use_keys;
+    rank_override :=
+      (wash_key, wash_rank synthesis !tasks g) :: !rank_override
+  in
+  let reschedule () =
+    let all_tasks = !tasks @ !washes in
+    let keep (a, b) =
+      key_exists all_tasks num_ops a && key_exists all_tasks num_ops b
+    in
+    let edges = List.filter keep !extra_after in
+    schedule :=
+      Synthesis.reschedule synthesis ~tasks:all_tasks ?dissolution
+        ~extra_after:edges ~rank_override:!rank_override ()
+  in
+  let history = ref [] in
+  let rec iterate round =
+    let report = Necessity.analyze (Contamination.analyze !schedule) in
+    let events = policy.demands report in
+    history := List.length events :: !history;
+    Log.debug (fun m ->
+        m "round %d: %d wash demands" round (List.length events));
+    if events = [] then (round, true)
+    else if round >= max_rounds then begin
+      Log.warn (fun m ->
+          m "round budget exhausted with %d demands left"
+            (List.length events));
+      (round, false)
+    end
+    else begin
+      let groups = policy.grouping events in
+      let groups =
+        if policy.integrate then begin
+          let removals = List.filter Task.is_removal !tasks in
+          (* Eq. (21): absorb a removal only if one wash path still
+             covers the enlarged target set (otherwise the "merge" would
+             split into extra washes), and only if the wash path grows by
+             no more than the removal path it replaces (net channel
+             occupation must not increase). *)
+          let path_len g =
+            Option.map
+              (fun (p, _, _) -> Pdw_geometry.Gpath.length p)
+              (policy.path_finder ~layout ~schedule:!schedule
+                 ~conflict_aware:policy.conflict_aware g)
+          in
+          let base_len = Hashtbl.create 8 in
+          List.iter
+            (fun (g : Wash_target.group) ->
+              match path_len g with
+              | Some l -> Hashtbl.replace base_len g.Wash_target.id l
+              | None -> ())
+            groups;
+          let accept ~removal (g : Wash_target.group) =
+            match
+              (Hashtbl.find_opt base_len g.Wash_target.id, path_len g)
+            with
+            | None, _ | _, None -> false
+            | Some current, Some enlarged_len ->
+              (* Growth budget: a handful of cells, and never more than
+                 the removal path being replaced — beyond that the beta
+                 (length) cost outweighs the gamma (time) saving under
+                 the paper's Eq. (26) weights. *)
+              let budget =
+                min 4 (Pdw_geometry.Gpath.length removal.Task.path)
+              in
+              if enlarged_len - current <= budget then begin
+                Hashtbl.replace base_len g.Wash_target.id enlarged_len;
+                true
+              end
+              else false
+          in
+          let merged_groups, _standalone =
+            Integration.merge ~accept ~schedule:!schedule ~removals groups
+          in
+          (* Drop the removals that were absorbed into washes. *)
+          let absorbed =
+            List.concat_map
+              (fun (g : Wash_target.group) ->
+                List.map
+                  (fun (t : Task.t) -> t.Task.id)
+                  g.Wash_target.merged_removals)
+              merged_groups
+          in
+          tasks :=
+            List.filter
+              (fun (t : Task.t) -> not (List.mem t.Task.id absorbed))
+              !tasks;
+          merged_groups
+        end
+        else groups
+      in
+      Log.debug (fun m -> m "round %d: %d wash groups" round
+                    (List.length groups));
+      let current = !schedule in
+      List.iter (add_group current) groups;
+      reschedule ();
+      iterate (round + 1)
+    end
+  in
+  let rounds, converged = iterate 0 in
+  let metrics = Metrics.compute ?alpha ?beta ?gamma ~baseline !schedule in
+  Log.info (fun m ->
+      m "%d washes in %d rounds, T_assay %d (baseline %d)"
+        (List.length !washes) rounds metrics.Metrics.t_assay
+        (Schedule.assay_completion baseline));
+  {
+    synthesis;
+    baseline;
+    schedule = !schedule;
+    washes = List.rev !washes;
+    necessity;
+    metrics;
+    rounds;
+    converged;
+    demand_history = List.rev !history;
+  }

@@ -1,0 +1,56 @@
+(** The planning engine shared by {!Pdw} and {!Dawo}: iteratively analyze
+    contamination, derive wash demands under a policy, build wash tasks
+    with paths and time-window precedence, and reschedule — until the
+    schedule is contamination-free or the round budget runs out.
+
+    Iterating matters because rescheduling can reorder traffic and expose
+    residues the first pass did not see; the paper's monolithic ILP
+    captures this in one shot, the decomposition recovers it by fixpoint
+    (DESIGN.md, design choice 3). *)
+
+type policy = {
+  demands : Necessity.report -> Necessity.event list;
+      (** which contamination events require washing *)
+  grouping : Necessity.event list -> Wash_target.group list;
+  integrate : bool;
+      (** absorb excess-fluid removals into wash paths (Eq. (21)) *)
+  conflict_aware : bool;
+      (** choose wash paths avoiding concurrently busy cells *)
+  path_finder :
+    layout:Pdw_biochip.Layout.t ->
+    schedule:Pdw_synth.Schedule.t ->
+    conflict_aware:bool ->
+    Wash_target.group ->
+    (Pdw_geometry.Gpath.t * int * int) option;
+}
+
+type outcome = {
+  synthesis : Pdw_synth.Synthesis.t;
+  baseline : Pdw_synth.Schedule.t;  (** the wash-free input schedule *)
+  schedule : Pdw_synth.Schedule.t;  (** the optimized schedule *)
+  washes : Pdw_synth.Task.t list;
+  necessity : Necessity.report;     (** analysis of the baseline *)
+  metrics : Metrics.t;
+  rounds : int;      (** fixpoint iterations used *)
+  converged : bool;  (** no contaminated use remains *)
+  demand_history : int list;
+      (** wash demands seen at each fixpoint round (first round = the
+          baseline's demands); a quickly shrinking list is the expected
+          convergence pattern *)
+}
+
+(** [run ~policy synthesis]
+    @param max_rounds fixpoint budget (default 8)
+    @param dissolution override of the contaminant dissolution time [t_d]
+    of Eq. (17) (default {!Pdw_biochip.Units.dissolution_seconds})
+    @raise Invalid_argument if a wash group's targets cannot be covered
+    by any port pair (disconnected layout). *)
+val run :
+  ?max_rounds:int ->
+  ?alpha:float ->
+  ?beta:float ->
+  ?gamma:float ->
+  ?dissolution:int ->
+  policy:policy ->
+  Pdw_synth.Synthesis.t ->
+  outcome

@@ -1,0 +1,138 @@
+module Coord = Pdw_geometry.Coord
+module Scheduler = Pdw_synth.Scheduler
+
+type group = {
+  id : int;
+  targets : Coord.Set.t;
+  release : int;
+  deadline : int;
+  contaminators : Scheduler.Key.t list;
+  use_keys : Scheduler.Key.t list;
+  merged_removals : Pdw_synth.Task.t list;
+}
+
+let add_key key keys =
+  if List.exists (fun k -> Scheduler.Key.compare k key = 0) keys then keys
+  else key :: keys
+
+let use_start (e : Necessity.event) =
+  match e.Necessity.next_use with
+  | Some touch -> touch.Contamination.start
+  | None -> max_int
+
+let use_key (e : Necessity.event) =
+  Option.map (fun t -> t.Contamination.key) e.Necessity.next_use
+
+let distance_to_set cell set =
+  Coord.Set.fold (fun c acc -> min acc (Coord.manhattan cell c)) set max_int
+
+let extend group (e : Necessity.event) =
+  {
+    group with
+    targets = Coord.Set.add e.Necessity.cell group.targets;
+    release = max group.release e.Necessity.time;
+    deadline = min group.deadline (use_start e);
+    contaminators = add_key e.Necessity.source group.contaminators;
+    use_keys =
+      (match use_key e with
+      | Some k -> add_key k group.use_keys
+      | None -> group.use_keys);
+  }
+
+let singleton id (e : Necessity.event) =
+  {
+    id;
+    targets = Coord.Set.singleton e.Necessity.cell;
+    release = e.Necessity.time;
+    deadline = use_start e;
+    contaminators = [ e.Necessity.source ];
+    use_keys =
+      (match use_key e with Some k -> [ k ] | None -> []);
+    merged_removals = [];
+  }
+
+(* One group per using entry: all dirty cells that entry's path needs
+   cleaned are flushed together (per-path accounting, Eqs. (23)-(24)). *)
+let group_by_use events =
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Necessity.event) ->
+      let key =
+        match use_key e with
+        | Some k -> Scheduler.Key.to_string k
+        | None -> "(none)"
+      in
+      match Hashtbl.find_opt table key with
+      | Some g -> Hashtbl.replace table key (extend g e)
+      | None ->
+        order := key :: !order;
+        Hashtbl.replace table key (singleton (Hashtbl.length table) e))
+    events;
+  List.rev_map (fun key -> Hashtbl.find table key) !order
+
+let windows_overlap a b =
+  max a.release b.release < min a.deadline b.deadline
+
+let groups_close radius a b =
+  Coord.Set.exists (fun c -> distance_to_set c b.targets <= radius) a.targets
+
+let merge_groups a b =
+  {
+    a with
+    targets = Coord.Set.union a.targets b.targets;
+    release = max a.release b.release;
+    deadline = min a.deadline b.deadline;
+    contaminators =
+      List.fold_left (fun acc k -> add_key k acc) a.contaminators
+        b.contaminators;
+    use_keys =
+      List.fold_left (fun acc k -> add_key k acc) a.use_keys b.use_keys;
+    merged_removals = a.merged_removals @ b.merged_removals;
+  }
+
+(* PDW grouping: per-use groups, then greedy pairwise merging where time
+   windows overlap and targets are close — one globally planned flush can
+   serve several demands. *)
+let group ?(max_targets = 12) ?(radius = 8) events =
+  let base = group_by_use events in
+  let mergeable a b =
+    Coord.Set.cardinal a.targets + Coord.Set.cardinal b.targets <= max_targets
+    && windows_overlap a b
+    && groups_close radius a b
+  in
+  let rec absorb g = function
+    | [] -> (g, [])
+    | h :: rest ->
+      if mergeable g h then absorb (merge_groups g h) rest
+      else
+        let g', rest' = absorb g rest in
+        (g', h :: rest')
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | g :: rest ->
+      let merged, remaining = absorb g rest in
+      go (merged :: acc) remaining
+  in
+  let merged = go [] base in
+  List.mapi (fun i g -> { g with id = i }) merged
+
+let group_by_contaminator events =
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Necessity.event) ->
+      let key = Scheduler.Key.to_string e.Necessity.source in
+      match Hashtbl.find_opt table key with
+      | Some g -> Hashtbl.replace table key (extend g e)
+      | None ->
+        order := key :: !order;
+        Hashtbl.replace table key (singleton (Hashtbl.length table) e))
+    events;
+  List.rev_map (fun key -> Hashtbl.find table key) !order
+
+let pp ppf g =
+  Format.fprintf ppf "wash-group %d: %d targets, window [%d, %d)" g.id
+    (Coord.Set.cardinal g.targets)
+    g.release g.deadline

@@ -1,0 +1,47 @@
+(** Grouping of wash requirements into wash operations: builds the [wt_i]
+    target sets of Eq. (15).
+
+    Requirements whose [contamination, first-use) windows overlap and
+    whose cells are spatially close are served by one buffer flush; the
+    grouping is greedy over requirements sorted by deadline. *)
+
+type group = {
+  id : int;
+  targets : Pdw_geometry.Coord.Set.t;
+  release : int;
+      (** all targets are contaminated by this time (the [t_(j,e)] of
+          Eq. (16), from the baseline schedule) *)
+  deadline : int;
+      (** earliest start of a use the wash must precede ([t_(j,s)]) *)
+  contaminators : Pdw_synth.Scheduler.Key.t list;
+      (** entries the wash must wait for *)
+  use_keys : Pdw_synth.Scheduler.Key.t list;
+      (** entries that must wait for the wash *)
+  merged_removals : Pdw_synth.Task.t list;
+      (** excess-fluid removals absorbed into this wash (Eq. (21));
+          filled by {!Integration} *)
+}
+
+(** [group_by_use events] — one group per *using* entry: all the dirty
+    cells a task/operation needs cleaned before it runs are flushed
+    together.  This matches the per-path accounting of Eq. (23)–(24): a
+    task path with at least one cell requiring wash induces one wash
+    operation. *)
+val group_by_use : Necessity.event list -> group list
+
+(** [group events] — the PDW policy: per-use groups (as
+    {!group_by_use}), then greedy merging of groups whose time windows
+    overlap and whose targets are spatially close — wash paths established
+    globally can serve several demands with one flush.
+
+    @param max_targets cap on cells per wash (default 12)
+    @param radius spatial proximity bound in cells (default 8) *)
+val group :
+  ?max_targets:int -> ?radius:int -> Necessity.event list -> group list
+
+(** [group_by_contaminator events] — one wash operation per contaminating
+    entry, covering all of its reused dirty cells; no window/proximity
+    reasoning. *)
+val group_by_contaminator : Necessity.event list -> group list
+
+val pp : Format.formatter -> group -> unit

@@ -1,0 +1,1 @@
+lib/geometry/coord.ml: Direction Format Hashtbl Int List Map Printf Set

@@ -1,0 +1,1 @@
+lib/geometry/coord.mli: Direction Format Hashtbl Map Set

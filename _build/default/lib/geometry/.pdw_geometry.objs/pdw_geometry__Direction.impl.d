@@ -1,0 +1,1 @@
+lib/geometry/direction.ml: Format

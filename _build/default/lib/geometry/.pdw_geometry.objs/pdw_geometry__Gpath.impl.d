@@ -1,0 +1,1 @@
+lib/geometry/gpath.ml: Coord Format List Printf String

@@ -1,0 +1,1 @@
+lib/geometry/gpath.mli: Coord Format

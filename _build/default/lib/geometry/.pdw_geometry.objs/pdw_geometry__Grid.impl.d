@@ -1,0 +1,1 @@
+lib/geometry/grid.ml: Array Buffer Coord List Printf

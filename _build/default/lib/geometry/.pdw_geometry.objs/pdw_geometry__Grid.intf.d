@@ -1,0 +1,1 @@
+lib/geometry/grid.mli: Coord

@@ -1,0 +1,50 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  let c = Int.compare a.x b.x in
+  if c <> 0 then c else Int.compare a.y b.y
+
+let hash a = (a.x * 7919) lxor a.y
+
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y)
+
+let adjacent a b = manhattan a b = 1
+
+let move a d =
+  let dx, dy = Direction.delta d in
+  { x = a.x + dx; y = a.y + dy }
+
+let neighbours a = List.map (move a) Direction.all
+
+let direction_to a b =
+  let found =
+    List.find_opt (fun d -> equal (move a d) b) Direction.all
+  in
+  match found with
+  | Some d -> d
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Coord.direction_to: (%d,%d) and (%d,%d) not adjacent"
+         a.x a.y b.x b.y)
+
+let to_string a = Printf.sprintf "(%d,%d)" a.x a.y
+let pp ppf a = Format.fprintf ppf "(%d,%d)" a.x a.y
+
+module Ord = struct
+  type nonrec t = t
+  let compare = compare
+end
+
+module Hash = struct
+  type nonrec t = t
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Table = Hashtbl.Make (Hash)

@@ -1,0 +1,37 @@
+(** Integer coordinates on the virtual grid [R] of Section III.
+
+    A coordinate [(x, y)] addresses one grid cell; [x] grows rightward and
+    [y] grows downward.  Cells are the unit of channel occupation,
+    contamination and wash-path construction. *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [manhattan a b] is the L1 distance between [a] and [b]; lower bound on
+    routed path length between the two cells. *)
+val manhattan : t -> t -> int
+
+(** [adjacent a b] holds when [a] and [b] share an edge (L1 distance 1). *)
+val adjacent : t -> t -> bool
+
+(** The four edge-sharing neighbours, in N, S, W, E order.  Callers must
+    filter out-of-bounds results themselves. *)
+val neighbours : t -> t list
+
+val move : t -> Direction.t -> t
+
+(** [direction_to a b] is the direction from [a] to its neighbour [b].
+    @raise Invalid_argument if the cells are not adjacent. *)
+val direction_to : t -> t -> Direction.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,25 @@
+type t = North | South | West | East
+
+let all = [ North; South; West; East ]
+
+let opposite = function
+  | North -> South
+  | South -> North
+  | West -> East
+  | East -> West
+
+let delta = function
+  | North -> (0, -1)
+  | South -> (0, 1)
+  | West -> (-1, 0)
+  | East -> (1, 0)
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | North -> "north"
+  | South -> "south"
+  | West -> "west"
+  | East -> "east"
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

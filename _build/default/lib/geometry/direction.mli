@@ -1,0 +1,11 @@
+(** The four axis directions of the channel grid. *)
+
+type t = North | South | West | East
+
+val all : t list
+val opposite : t -> t
+val delta : t -> int * int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

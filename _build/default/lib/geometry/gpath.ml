@@ -1,0 +1,55 @@
+type t = { cells : Coord.t list; set : Coord.Set.t }
+
+let validate cells =
+  (match cells with
+  | [] -> invalid_arg "Gpath.of_cells: empty path"
+  | _ :: _ -> ());
+  let rec check_adjacent = function
+    | a :: (b :: _ as rest) ->
+      if not (Coord.adjacent a b) then
+        invalid_arg
+          (Printf.sprintf "Gpath.of_cells: %s and %s not adjacent"
+             (Coord.to_string a) (Coord.to_string b));
+      check_adjacent rest
+    | [ _ ] | [] -> ()
+  in
+  check_adjacent cells;
+  let set = Coord.Set.of_list cells in
+  if Coord.Set.cardinal set <> List.length cells then
+    invalid_arg "Gpath.of_cells: repeated cell";
+  set
+
+let of_cells cells =
+  let set = validate cells in
+  { cells; set }
+
+let cells p = p.cells
+let cell_set p = p.set
+
+let source p =
+  match p.cells with
+  | c :: _ -> c
+  | [] -> assert false
+
+let target p =
+  match List.rev p.cells with
+  | c :: _ -> c
+  | [] -> assert false
+
+let length p = List.length p.cells
+let mem p c = Coord.Set.mem c p.set
+
+let overlap a b = Coord.Set.inter a.set b.set
+let overlaps a b = not (Coord.Set.is_empty (overlap a b))
+
+let contains ~outer ~inner = Coord.Set.subset inner.set outer.set
+let covers p targets = Coord.Set.subset targets p.set
+
+let reverse p = { p with cells = List.rev p.cells }
+
+let equal a b = List.equal Coord.equal a.cells b.cells
+
+let to_string p =
+  String.concat "->" (List.map Coord.to_string p.cells)
+
+let pp ppf p = Format.pp_print_string ppf (to_string p)

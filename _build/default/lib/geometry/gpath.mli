@@ -1,0 +1,42 @@
+(** Connected cell paths on the grid.
+
+    A path is a non-empty sequence of pairwise-adjacent, duplicate-free
+    cells; it is the geometric footprint of every fluidic task: transport,
+    excess-fluid removal and wash (the [l] sets of Section III). *)
+
+type t
+
+(** [of_cells cells] validates and builds a path.
+    @raise Invalid_argument on an empty list, non-adjacent consecutive
+    cells, or repeated cells. *)
+val of_cells : Coord.t list -> t
+
+val cells : t -> Coord.t list
+val cell_set : t -> Coord.Set.t
+
+val source : t -> Coord.t
+val target : t -> Coord.t
+
+(** Number of cells on the path. *)
+val length : t -> int
+
+val mem : t -> Coord.t -> bool
+
+(** Cells shared by the two paths (the [l_a inter l_b] tests of
+    Eqs. (8), (19), (20)). *)
+val overlap : t -> t -> Coord.Set.t
+val overlaps : t -> t -> bool
+
+(** [contains ~outer ~inner] holds when every cell of [inner] lies on
+    [outer] (the [l_p subset l_w] test of Eq. (21)). *)
+val contains : outer:t -> inner:t -> bool
+
+(** [covers path targets] holds when every target cell lies on the path
+    (Eq. (15)). *)
+val covers : t -> Coord.Set.t -> bool
+
+val reverse : t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,62 @@
+type 'a t = { width : int; height : int; cells : 'a array }
+
+let check_dims width height =
+  if width <= 0 || height <= 0 then
+    invalid_arg
+      (Printf.sprintf "Grid: dimensions must be positive, got %dx%d" width
+         height)
+
+let create ~width ~height init =
+  check_dims width height;
+  { width; height; cells = Array.make (width * height) init }
+
+let width g = g.width
+let height g = g.height
+
+let in_bounds g (c : Coord.t) =
+  c.x >= 0 && c.x < g.width && c.y >= 0 && c.y < g.height
+
+let index g (c : Coord.t) =
+  if not (in_bounds g c) then
+    invalid_arg
+      (Printf.sprintf "Grid: coordinate (%d,%d) outside %dx%d" c.x c.y
+         g.width g.height);
+  (c.y * g.width) + c.x
+
+let get g c = g.cells.(index g c)
+let set g c v = g.cells.(index g c) <- v
+
+let coord_of_index g i = Coord.make (i mod g.width) (i / g.width)
+
+let init ~width ~height f =
+  check_dims width height;
+  let cell i = f (Coord.make (i mod width) (i / width)) in
+  { width; height; cells = Array.init (width * height) cell }
+
+let neighbours g c = List.filter (in_bounds g) (Coord.neighbours c)
+
+let iter g f = Array.iteri (fun i v -> f (coord_of_index g i) v) g.cells
+
+let fold g ~init ~f =
+  let acc = ref init in
+  iter g (fun c v -> acc := f !acc c v);
+  !acc
+
+let map g f = { g with cells = Array.map f g.cells }
+let copy g = { g with cells = Array.copy g.cells }
+
+let coords g = List.init (g.width * g.height) (coord_of_index g)
+
+let find_all g p =
+  fold g ~init:[] ~f:(fun acc c v -> if p v then c :: acc else acc)
+  |> List.rev
+
+let render g cell_char =
+  let buf = Buffer.create ((g.width + 1) * g.height) in
+  for y = 0 to g.height - 1 do
+    for x = 0 to g.width - 1 do
+      Buffer.add_char buf (cell_char (get g (Coord.make x y)))
+    done;
+    if y < g.height - 1 then Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

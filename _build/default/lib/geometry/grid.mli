@@ -1,0 +1,41 @@
+(** A rectangular [width] x [height] store of cells, the virtual grid [R]
+    of Section III.  Generic in the cell type so the biochip layer can put
+    layout cells in it and the router can put search state in it. *)
+
+type 'a t
+
+(** [create ~width ~height init] is a grid with every cell set to [init].
+    @raise Invalid_argument if either dimension is not positive. *)
+val create : width:int -> height:int -> 'a -> 'a t
+
+(** [init ~width ~height f] fills each cell [c] with [f c]. *)
+val init : width:int -> height:int -> (Coord.t -> 'a) -> 'a t
+
+val width : 'a t -> int
+val height : 'a t -> int
+
+val in_bounds : 'a t -> Coord.t -> bool
+
+(** @raise Invalid_argument if the coordinate is out of bounds. *)
+val get : 'a t -> Coord.t -> 'a
+
+(** @raise Invalid_argument if the coordinate is out of bounds. *)
+val set : 'a t -> Coord.t -> 'a -> unit
+
+(** In-bounds edge-sharing neighbours of a cell. *)
+val neighbours : 'a t -> Coord.t -> Coord.t list
+
+val iter : 'a t -> (Coord.t -> 'a -> unit) -> unit
+val fold : 'a t -> init:'b -> f:('b -> Coord.t -> 'a -> 'b) -> 'b
+val map : 'a t -> ('a -> 'b) -> 'b t
+val copy : 'a t -> 'a t
+
+(** All coordinates, row-major. *)
+val coords : 'a t -> Coord.t list
+
+(** Coordinates whose cell satisfies the predicate. *)
+val find_all : 'a t -> ('a -> bool) -> Coord.t list
+
+(** [render grid cell_char] draws the grid with one character per cell,
+    rows separated by newlines. *)
+val render : 'a t -> ('a -> char) -> string

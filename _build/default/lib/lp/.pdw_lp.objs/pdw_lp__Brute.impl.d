@@ -1,0 +1,1 @@
+lib/lp/brute.ml: Array Lin_expr Lp_problem

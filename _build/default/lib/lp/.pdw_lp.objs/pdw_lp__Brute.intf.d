@@ -1,0 +1,1 @@
+lib/lp/brute.mli: Lp_problem

@@ -1,0 +1,1 @@
+lib/lp/ilp.mli: Format Lp_problem

@@ -1,0 +1,1 @@
+lib/lp/lin_expr.ml: Format Int List Map

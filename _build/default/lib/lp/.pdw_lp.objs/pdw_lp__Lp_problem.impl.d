@@ -1,0 +1,1 @@
+lib/lp/lp_problem.ml: Array Format Lin_expr List Printf

@@ -1,0 +1,1 @@
+lib/lp/model.ml: Array Float Ilp Lin_expr List Lp_problem

@@ -1,0 +1,1 @@
+lib/lp/model.mli: Ilp Lin_expr Lp_problem Stdlib

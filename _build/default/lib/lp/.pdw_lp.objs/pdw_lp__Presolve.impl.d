@@ -1,0 +1,1 @@
+lib/lp/presolve.ml: Array Lin_expr List Lp_problem

@@ -1,0 +1,1 @@
+lib/lp/presolve.mli: Lp_problem

@@ -1,0 +1,12 @@
+(** Exhaustive reference solver for pure 0/1 problems: enumerates every
+    assignment of the integer variables, evaluating continuous variables
+    are not supported.  Only usable for testing {!Simplex}/{!Ilp} on tiny
+    instances. *)
+
+(** [solve_binary problem] enumerates all 0/1 assignments of all variables
+    (every variable must have bounds within [0, 1]) and returns the best
+    feasible one.
+    @raise Invalid_argument if a variable's bounds exceed [0, 1] or there
+    are more than 24 variables. *)
+val solve_binary :
+  Lp_problem.t -> (float * float array) option

@@ -1,0 +1,149 @@
+type config = {
+  max_nodes : int;
+  time_limit : float;
+  integrality_eps : float;
+}
+
+let default_config =
+  { max_nodes = 200_000; time_limit = 60.0; integrality_eps = 1e-6 }
+
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Feasible of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+  | Unknown
+
+type node = { bound : float; var_bounds : Lp_problem.bounds array }
+
+(* Nodes kept in a list sorted by ascending LP bound (best-first).  Node
+   counts stay small for the models in this repository, so a heap is not
+   worth the complexity. *)
+let insert_node node nodes =
+  let rec go = function
+    | [] -> [ node ]
+    | n :: rest as all ->
+      if node.bound <= n.bound then node :: all else n :: go rest
+  in
+  go nodes
+
+let most_fractional ~integer ~eps solution =
+  let best = ref None in
+  Array.iteri
+    (fun v x ->
+      if integer.(v) then begin
+        let frac = x -. Float.round x in
+        let dist = abs_float frac in
+        if dist > eps then
+          match !best with
+          | Some (_, d) when d >= dist -> ()
+          | Some _ | None -> best := Some (v, dist)
+      end)
+    solution;
+  Option.map fst !best
+
+let solve ?(config = default_config) ?lazy_cuts ~integer
+    (original : Lp_problem.t) =
+  if Array.length integer <> original.num_vars then
+    invalid_arg "Ilp.solve: integer mask length mismatch";
+  match Presolve.run original with
+  | Presolve.Infeasible -> Infeasible
+  | Presolve.Reduced p ->
+  let start = Sys.time () in
+  let cuts = ref [] in
+  let incumbent = ref None in
+  let nodes = ref [ { bound = neg_infinity; var_bounds = p.var_bounds } ] in
+  let explored = ref 0 in
+  let out_of_budget () =
+    !explored >= config.max_nodes
+    || Sys.time () -. start >= config.time_limit
+  in
+  let relax var_bounds =
+    Lp_problem.make ~num_vars:p.num_vars ~objective:p.objective
+      ~constraints:(p.constraints @ !cuts)
+      ~var_bounds
+  in
+  let better obj =
+    match !incumbent with
+    | None -> true
+    | Some (best, _) -> obj < best -. 1e-9
+  in
+  let saw_unbounded = ref false in
+  let rec process node =
+    incr explored;
+    match Simplex.solve (relax node.var_bounds) with
+    | Simplex.Infeasible -> ()
+    | Simplex.Unbounded -> saw_unbounded := true
+    | Simplex.Optimal { objective; solution } ->
+      if better objective then begin
+        match
+          most_fractional ~integer ~eps:config.integrality_eps solution
+        with
+        | None -> (
+          (* Integral candidate: snap and run lazy cuts. *)
+          let snapped =
+            Array.mapi
+              (fun v x -> if integer.(v) then Float.round x else x)
+              solution
+          in
+          let new_cuts =
+            match lazy_cuts with None -> [] | Some f -> f snapped
+          in
+          match new_cuts with
+          | [] -> incumbent := Some (objective, snapped)
+          | _ :: _ ->
+            cuts := !cuts @ new_cuts;
+            (* Re-solve the same subproblem under the new cuts. *)
+            if not (out_of_budget ()) then process node)
+        | Some v ->
+          let x = solution.(v) in
+          let lo = node.var_bounds.(v).lower in
+          let hi = node.var_bounds.(v).upper in
+          let down = Array.copy node.var_bounds in
+          down.(v) <- { lower = lo; upper = Some (Float.of_int (int_of_float (floor x))) };
+          let up = Array.copy node.var_bounds in
+          up.(v) <- { lower = Float.of_int (int_of_float (ceil x)); upper = hi };
+          let feasible_bounds (b : Lp_problem.bounds) =
+            match b.upper with None -> true | Some u -> u >= b.lower
+          in
+          let push vb =
+            if feasible_bounds vb.(v) then
+              nodes :=
+                insert_node { bound = objective; var_bounds = vb } !nodes
+          in
+          push down;
+          push up
+      end
+  in
+  let rec loop () =
+    match !nodes with
+    | [] -> ()
+    | node :: rest ->
+      if out_of_budget () then ()
+      else begin
+        nodes := rest;
+        (* Prune against the incumbent. *)
+        let prune =
+          match !incumbent with
+          | Some (best, _) -> node.bound >= best -. 1e-9
+          | None -> false
+        in
+        if not prune then process node;
+        loop ()
+      end
+  in
+  loop ();
+  let exhausted = out_of_budget () && !nodes <> [] in
+  match (!incumbent, exhausted) with
+  | Some (objective, solution), false -> Optimal { objective; solution }
+  | Some (objective, solution), true -> Feasible { objective; solution }
+  | None, true -> Unknown
+  | None, false -> if !saw_unbounded then Unbounded else Infeasible
+
+let pp_result ppf = function
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Unknown -> Format.pp_print_string ppf "unknown (budget exhausted)"
+  | Optimal { objective; _ } -> Format.fprintf ppf "optimal %g" objective
+  | Feasible { objective; _ } ->
+    Format.fprintf ppf "feasible %g (budget exhausted)" objective

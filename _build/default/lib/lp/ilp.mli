@@ -1,0 +1,42 @@
+(** Mixed-integer linear programming by best-first branch and bound on top
+    of {!Simplex}, with optional lazy constraints.
+
+    Lazy constraints serve the wash-path model of Section III: its degree
+    constraints (Eq. (14)) admit disconnected cycle solutions, which are
+    eliminated by connectivity cuts generated only when an integral
+    solution violates them — the textbook subtour-elimination pattern. *)
+
+type config = {
+  max_nodes : int;        (** branch-and-bound node budget *)
+  time_limit : float;     (** CPU seconds; mirrors the paper's 15-min cap *)
+  integrality_eps : float;
+}
+
+val default_config : config
+
+type result =
+  | Optimal of { objective : float; solution : float array }
+      (** proven optimal within the budget *)
+  | Feasible of { objective : float; solution : float array }
+      (** budget exhausted; best incumbent returned (best-effort, like the
+          paper's 15-minute Gurobi runs) *)
+  | Infeasible
+  | Unbounded
+  | Unknown  (** budget exhausted with no incumbent *)
+
+(** [solve ~integer problem] minimizes [problem] with [integer.(v)]
+    requiring [x_v] integral.
+
+    @param lazy_cuts called on every integral candidate solution; returned
+    constraints are added globally and the node re-solved.  Each returned
+    cut must be violated by the candidate, otherwise the search can loop;
+    an empty list accepts the candidate.
+    @raise Invalid_argument if [integer] length mismatches the problem. *)
+val solve :
+  ?config:config ->
+  ?lazy_cuts:(float array -> Lp_problem.constr list) ->
+  integer:bool array ->
+  Lp_problem.t ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

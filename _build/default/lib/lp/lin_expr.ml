@@ -1,0 +1,59 @@
+module Imap = Map.Make (Int)
+
+type t = { terms : float Imap.t; const : float }
+
+let zero = { terms = Imap.empty; const = 0.0 }
+let constant c = { terms = Imap.empty; const = c }
+
+let normalize_coeff v = if v = 0.0 then None else Some v
+
+let term coeff var =
+  if coeff = 0.0 then zero
+  else { terms = Imap.singleton var coeff; const = 0.0 }
+
+let var v = term 1.0 v
+
+let add_term e coeff var =
+  if coeff = 0.0 then e
+  else
+    let update = function
+      | None -> normalize_coeff coeff
+      | Some c -> normalize_coeff (c +. coeff)
+    in
+    { e with terms = Imap.update var update e.terms }
+
+let add a b =
+  let merged =
+    Imap.union (fun _ ca cb -> normalize_coeff (ca +. cb)) a.terms b.terms
+  in
+  (* Imap.union drops a binding only when the merge function returns None,
+     which is exactly the cancelled-coefficient case. *)
+  { terms = merged; const = a.const +. b.const }
+
+let scale k e =
+  if k = 0.0 then zero
+  else { terms = Imap.map (fun c -> k *. c) e.terms; const = k *. e.const }
+
+let sub a b = add a (scale (-1.0) b)
+let sum es = List.fold_left add zero es
+
+let const_part e = e.const
+
+let coeff e v = match Imap.find_opt v e.terms with Some c -> c | None -> 0.0
+
+let terms e = Imap.bindings e.terms
+
+let eval e lookup =
+  Imap.fold (fun v c acc -> acc +. (c *. lookup v)) e.terms e.const
+
+let pp ppf e =
+  match terms e with
+  | [] -> Format.fprintf ppf "%g" e.const
+  | ts ->
+    let pp_term i (v, c) =
+      if i = 0 then Format.fprintf ppf "%g x%d" c v
+      else if c >= 0.0 then Format.fprintf ppf " + %g x%d" c v
+      else Format.fprintf ppf " - %g x%d" (abs_float c) v
+    in
+    List.iteri pp_term ts;
+    if e.const <> 0.0 then Format.fprintf ppf " + %g" e.const

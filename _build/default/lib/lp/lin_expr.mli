@@ -1,0 +1,35 @@
+(** Linear expressions [sum_i coeff_i * x_i + constant] over variables
+    identified by dense integer indices.  The building block for
+    objectives and constraint left-hand sides. *)
+
+type t
+
+val zero : t
+val constant : float -> t
+
+(** [term coeff var] is [coeff * x_var]. *)
+val term : float -> int -> t
+
+(** [var v] is [1.0 * x_v]. *)
+val var : int -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val sum : t list -> t
+
+(** [add_term expr coeff var] is [expr + coeff * x_var]. *)
+val add_term : t -> float -> int -> t
+
+val const_part : t -> float
+
+(** Coefficient of a variable (0 when absent). *)
+val coeff : t -> int -> float
+
+(** Non-zero terms as [(var, coeff)] pairs in increasing variable order. *)
+val terms : t -> (int * float) list
+
+(** Evaluate under an assignment [var -> value]. *)
+val eval : t -> (int -> float) -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+type relation = Le | Ge | Eq
+
+type constr = { expr : Lin_expr.t; relation : relation; rhs : float }
+
+type bounds = { lower : float; upper : float option }
+
+type t = {
+  num_vars : int;
+  objective : Lin_expr.t;
+  constraints : constr list;
+  var_bounds : bounds array;
+}
+
+let default_bounds = { lower = 0.0; upper = None }
+
+let check_expr num_vars expr =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= num_vars then
+        invalid_arg
+          (Printf.sprintf "Lp_problem: variable x%d outside 0..%d" v
+             (num_vars - 1)))
+    (Lin_expr.terms expr)
+
+let make ~num_vars ~objective ~constraints ~var_bounds =
+  if num_vars < 0 then invalid_arg "Lp_problem: negative num_vars";
+  if Array.length var_bounds <> num_vars then
+    invalid_arg "Lp_problem: var_bounds length mismatch";
+  check_expr num_vars objective;
+  List.iter (fun c -> check_expr num_vars c.expr) constraints;
+  Array.iter
+    (fun b ->
+      match b.upper with
+      | Some u when u < b.lower -> invalid_arg "Lp_problem: lower > upper"
+      | Some _ | None -> ())
+    var_bounds;
+  { num_vars; objective; constraints; var_bounds }
+
+let satisfies ?(eps = 1e-6) t x =
+  let lookup v = x.(v) in
+  let constr_ok c =
+    let lhs = Lin_expr.eval c.expr lookup in
+    match c.relation with
+    | Le -> lhs <= c.rhs +. eps
+    | Ge -> lhs >= c.rhs -. eps
+    | Eq -> abs_float (lhs -. c.rhs) <= eps
+  in
+  let bound_ok v b =
+    x.(v) >= b.lower -. eps
+    && match b.upper with Some u -> x.(v) <= u +. eps | None -> true
+  in
+  let bounds_ok = ref (Array.length x = t.num_vars) in
+  if !bounds_ok then
+    Array.iteri
+      (fun v b -> if not (bound_ok v b) then bounds_ok := false)
+      t.var_bounds;
+  !bounds_ok && List.for_all constr_ok t.constraints
+
+let pp_relation ppf = function
+  | Le -> Format.pp_print_string ppf "<="
+  | Ge -> Format.pp_print_string ppf ">="
+  | Eq -> Format.pp_print_string ppf "="
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>min %a@," Lin_expr.pp t.objective;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %a %a %g@," Lin_expr.pp c.expr pp_relation
+        c.relation c.rhs)
+    t.constraints;
+  Array.iteri
+    (fun v b ->
+      match b.upper with
+      | Some u -> Format.fprintf ppf "  %g <= x%d <= %g@," b.lower v u
+      | None -> Format.fprintf ppf "  x%d >= %g@," v b.lower)
+    t.var_bounds;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Linear-program representation shared by the simplex solver and the
+    branch-and-bound MILP layer.
+
+    A problem is: minimize [objective] subject to linear [constraints] and
+    per-variable bounds.  Variables are dense indices [0 .. num_vars - 1].
+    Maximization is expressed by negating the objective at the modelling
+    layer. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  expr : Lin_expr.t;  (** left-hand side; its constant folds into [rhs] *)
+  relation : relation;
+  rhs : float;
+}
+
+type bounds = {
+  lower : float;           (** finite lower bound *)
+  upper : float option;    (** [None] = unbounded above *)
+}
+
+type t = {
+  num_vars : int;
+  objective : Lin_expr.t;
+  constraints : constr list;
+  var_bounds : bounds array;  (** length [num_vars] *)
+}
+
+val default_bounds : bounds
+
+(** [make ~num_vars ~objective ~constraints ~var_bounds] validates that no
+    expression references a variable outside [0 .. num_vars - 1] and that
+    bounds are consistent ([lower <= upper]).
+    @raise Invalid_argument on violation. *)
+val make :
+  num_vars:int ->
+  objective:Lin_expr.t ->
+  constraints:constr list ->
+  var_bounds:bounds array ->
+  t
+
+(** [satisfies ?eps t x] checks every constraint and bound under
+    assignment [x] (default tolerance [1e-6]). *)
+val satisfies : ?eps:float -> t -> float array -> bool
+
+val pp : Format.formatter -> t -> unit

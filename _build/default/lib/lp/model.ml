@@ -1,0 +1,123 @@
+type var = int
+
+type var_decl = {
+  var_name : string;
+  bounds : Lp_problem.bounds;
+  is_integer : bool;
+}
+
+type t = {
+  mutable decls : var_decl list; (* reversed *)
+  mutable count : int;
+  mutable constraints : Lp_problem.constr list; (* reversed *)
+  mutable objective : Lin_expr.t;
+}
+
+let big_m = 100_000.0
+
+let create () =
+  { decls = []; count = 0; constraints = []; objective = Lin_expr.zero }
+
+let num_vars t = t.count
+
+let declare t decl =
+  t.decls <- decl :: t.decls;
+  let id = t.count in
+  t.count <- id + 1;
+  id
+
+let continuous t var_name ~lb ?ub () =
+  declare t
+    { var_name; bounds = { lower = lb; upper = ub }; is_integer = false }
+
+let binary t var_name =
+  declare t
+    { var_name; bounds = { lower = 0.0; upper = Some 1.0 }; is_integer = true }
+
+let integer t var_name ~lb ~ub =
+  declare t
+    { var_name; bounds = { lower = lb; upper = Some ub }; is_integer = true }
+
+let name t var = (List.nth (List.rev t.decls) var).var_name
+
+let v var = Lin_expr.var var
+let ( *: ) c var = Lin_expr.term c var
+let ( +: ) = Lin_expr.add
+let ( -: ) = Lin_expr.sub
+let const = Lin_expr.constant
+
+let add t relation lhs rhs =
+  (* lhs R rhs  ==>  (lhs - rhs) R 0, constants folded into the rhs side *)
+  let diff = Lin_expr.sub lhs rhs in
+  let c = Lin_expr.const_part diff in
+  let expr = Lin_expr.sub diff (Lin_expr.constant c) in
+  t.constraints <- { Lp_problem.expr; relation; rhs = -.c } :: t.constraints
+
+let add_le t ?label:_ lhs rhs = add t Lp_problem.Le lhs rhs
+let add_ge t ?label:_ lhs rhs = add t Lp_problem.Ge lhs rhs
+let add_eq t ?label:_ lhs rhs = add t Lp_problem.Eq lhs rhs
+
+let add_implies_ge t ~guard lhs rhs =
+  (* lhs + (1 - guard) * M >= rhs *)
+  let slackened =
+    Lin_expr.add lhs
+      (Lin_expr.scale big_m (Lin_expr.sub (Lin_expr.constant 1.0) guard))
+  in
+  add_ge t slackened rhs
+
+let add_disjunction t ~order ~a_end ~b_start ~a_start ~b_end =
+  add_implies_ge t ~guard:(v order) b_start a_end;
+  add_implies_ge t
+    ~guard:(Lin_expr.sub (Lin_expr.constant 1.0) (v order))
+    a_start b_end
+
+let set_objective t e = t.objective <- e
+
+let to_problem t =
+  let decls = Array.of_list (List.rev t.decls) in
+  let var_bounds = Array.map (fun d -> d.bounds) decls in
+  let integer = Array.map (fun d -> d.is_integer) decls in
+  let problem =
+    Lp_problem.make ~num_vars:t.count ~objective:t.objective
+      ~constraints:(List.rev t.constraints) ~var_bounds
+  in
+  (problem, integer)
+
+type solution = {
+  objective_value : float;
+  values : float array;
+  best_effort : bool;
+}
+
+let objective_value s = s.objective_value
+let value s var = s.values.(var)
+let int_value s var = int_of_float (Float.round s.values.(var))
+let bool_value s var = int_value s var = 1
+
+let best_effort s = s.best_effort
+
+let run ?ilp_config ?lazy_cuts t =
+  let problem, integer = to_problem t in
+  let result = Ilp.solve ?config:ilp_config ?lazy_cuts ~integer problem in
+  match result with
+  | Ilp.Optimal { objective; solution } ->
+    Ok { objective_value = objective; values = solution; best_effort = false }
+  | Ilp.Feasible { objective; solution } ->
+    Ok { objective_value = objective; values = solution; best_effort = true }
+  | Ilp.Infeasible -> Error "infeasible"
+  | Ilp.Unbounded -> Error "unbounded"
+  | Ilp.Unknown -> Error "budget exhausted before any feasible solution"
+
+let solve ?ilp_config t = run ?ilp_config t
+
+let solve_with_cuts ?ilp_config ~cuts t =
+  let lazy_cuts values =
+    let lookup var = values.(var) in
+    List.map
+      (fun (lhs, relation, rhs) ->
+        let c = Lin_expr.const_part lhs in
+        let expr = Lin_expr.sub lhs (Lin_expr.constant c) in
+        { Lp_problem.expr; relation; rhs = rhs -. c })
+      (cuts lookup)
+  in
+  run ?ilp_config ~lazy_cuts t

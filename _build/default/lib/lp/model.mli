@@ -1,0 +1,81 @@
+(** Mutable MILP model builder: named variables, constraint helpers and the
+    big-M idioms the PathDriver-Wash formulation leans on (Eqs. (2), (3),
+    (8), (19), (20)). *)
+
+type t
+
+(** A variable handle, only valid for the model that created it. *)
+type var
+
+val create : unit -> t
+
+(** The big-M constant used by disjunctive constraints.  Large enough to
+    dominate any time value in this repository's schedules. *)
+val big_m : float
+
+val num_vars : t -> int
+
+(** [continuous t name ~lb ?ub ()] declares a continuous variable. *)
+val continuous : t -> string -> lb:float -> ?ub:float -> unit -> var
+
+(** [binary t name] declares a 0/1 variable. *)
+val binary : t -> string -> var
+
+(** [integer t name ~lb ~ub] declares a bounded integer variable. *)
+val integer : t -> string -> lb:float -> ub:float -> var
+
+val name : t -> var -> string
+
+(** Expression helpers. *)
+val v : var -> Lin_expr.t
+val ( *: ) : float -> var -> Lin_expr.t
+val ( +: ) : Lin_expr.t -> Lin_expr.t -> Lin_expr.t
+val ( -: ) : Lin_expr.t -> Lin_expr.t -> Lin_expr.t
+val const : float -> Lin_expr.t
+
+(** Constraint helpers; [label] is kept for diagnostics. *)
+val add_le : t -> ?label:string -> Lin_expr.t -> Lin_expr.t -> unit
+val add_ge : t -> ?label:string -> Lin_expr.t -> Lin_expr.t -> unit
+val add_eq : t -> ?label:string -> Lin_expr.t -> Lin_expr.t -> unit
+
+(** [add_implies_ge t ~guard lhs rhs] encodes "if [guard] = 1 then
+    [lhs >= rhs]" as [lhs + (1 - guard) * M >= rhs] — the pattern of
+    Eqs. (2), (8), (19), (20). *)
+val add_implies_ge : t -> guard:Lin_expr.t -> Lin_expr.t -> Lin_expr.t -> unit
+
+(** [add_disjunction t ~order a_end b_start a_start b_end] encodes the
+    either/or ordering of Eq. (3)/(8): when [order] = 1, [b_start >= a_end];
+    when [order] = 0, [a_start >= b_end]. *)
+val add_disjunction :
+  t -> order:var -> a_end:Lin_expr.t -> b_start:Lin_expr.t ->
+  a_start:Lin_expr.t -> b_end:Lin_expr.t -> unit
+
+val set_objective : t -> Lin_expr.t -> unit
+
+(** Freeze into an immutable problem plus its integer mask. *)
+val to_problem : t -> Lp_problem.t * bool array
+
+type solution
+
+(** [solve ?ilp_config t] minimizes the objective. *)
+val solve : ?ilp_config:Ilp.config -> t -> (solution, string) Stdlib.result
+
+(** Like {!solve} but also accepts a lazy-cut callback over model vars. *)
+val solve_with_cuts :
+  ?ilp_config:Ilp.config ->
+  cuts:((var -> float) -> (Lin_expr.t * Lp_problem.relation * float) list) ->
+  t ->
+  (solution, string) Stdlib.result
+
+val objective_value : solution -> float
+val value : solution -> var -> float
+
+(** [int_value sol var] rounds to the nearest integer; intended for
+    integer/binary variables. *)
+val int_value : solution -> var -> int
+
+val bool_value : solution -> var -> bool
+
+(** True when the solver exhausted its budget and returned the incumbent
+    (a best-effort answer, like the paper's 15-minute Gurobi runs). *)
+val best_effort : solution -> bool

@@ -1,0 +1,99 @@
+type result = Reduced of Lp_problem.t | Infeasible
+
+let eps = 1e-9
+
+(* One pass: tighten bounds from singleton rows, drop satisfied empty
+   rows, substitute fixed variables.  Iterate to a fixpoint (bounded by a
+   generous pass budget; each pass either removes a constraint or stops). *)
+let run (p : Lp_problem.t) =
+  let bounds = Array.copy p.var_bounds in
+  let infeasible = ref false in
+  let tighten v lo up =
+    let b = bounds.(v) in
+    let lower = max b.Lp_problem.lower lo in
+    let upper =
+      match (b.Lp_problem.upper, up) with
+      | None, u -> u
+      | Some bu, None -> Some bu
+      | Some bu, Some u -> Some (min bu u)
+    in
+    (match upper with
+    | Some u when u < lower -. eps -> infeasible := true
+    | Some _ | None -> ());
+    bounds.(v) <- { Lp_problem.lower; upper }
+  in
+  let fixed v =
+    match bounds.(v).Lp_problem.upper with
+    | Some u when u -. bounds.(v).Lp_problem.lower <= eps ->
+      Some bounds.(v).Lp_problem.lower
+    | Some _ | None -> None
+  in
+  (* Substitute currently-fixed variables in an expression; returns the
+     residual expression and the constant absorbed. *)
+  let substitute expr =
+    List.fold_left
+      (fun (residual, const) (v, c) ->
+        match fixed v with
+        | Some value -> (residual, const +. (c *. value))
+        | None -> (Lin_expr.add_term residual c v, const))
+      (Lin_expr.zero, Lin_expr.const_part expr)
+      (Lin_expr.terms expr)
+  in
+  let simplify_once constraints =
+    let changed = ref false in
+    let kept =
+      List.filter_map
+        (fun (c : Lp_problem.constr) ->
+          if !infeasible then None
+          else begin
+            let expr, const = substitute c.expr in
+            let rhs = c.rhs -. const in
+            match Lin_expr.terms expr with
+            | [] ->
+              (* Empty row: satisfied or infeasible. *)
+              let ok =
+                match c.relation with
+                | Lp_problem.Le -> 0.0 <= rhs +. eps
+                | Lp_problem.Ge -> 0.0 >= rhs -. eps
+                | Lp_problem.Eq -> abs_float rhs <= eps
+              in
+              if not ok then infeasible := true;
+              changed := true;
+              None
+            | [ (v, a) ] ->
+              (* Singleton row: a bound on x_v. *)
+              let bound = rhs /. a in
+              (match (c.relation, a > 0.0) with
+              | Lp_problem.Le, true | Lp_problem.Ge, false ->
+                tighten v neg_infinity (Some bound)
+              | Lp_problem.Ge, true | Lp_problem.Le, false ->
+                tighten v bound None
+              | Lp_problem.Eq, _ -> tighten v bound (Some bound));
+              changed := true;
+              None
+            | _ :: _ :: _ ->
+              if const <> 0.0 then changed := true;
+              Some { Lp_problem.expr; relation = c.relation; rhs }
+          end)
+        constraints
+    in
+    (kept, !changed)
+  in
+  let rec fixpoint budget constraints =
+    if budget = 0 || !infeasible then constraints
+    else
+      let kept, changed = simplify_once constraints in
+      if changed then fixpoint (budget - 1) kept else kept
+  in
+  let constraints = fixpoint 16 p.constraints in
+  (* Lower bounds of -inf can appear from tightening with neg_infinity
+     only via max with the original (finite) lower, so bounds stay
+     finite-lower as Lp_problem requires. *)
+  if !infeasible then Infeasible
+  else
+    Reduced
+      (Lp_problem.make ~num_vars:p.num_vars ~objective:p.objective
+         ~constraints ~var_bounds:bounds)
+
+let removed_constraints (original : Lp_problem.t) (reduced : Lp_problem.t) =
+  List.length original.constraints - List.length reduced.constraints

@@ -1,0 +1,24 @@
+(** LP presolve: cheap, optimality-preserving simplifications applied
+    before the simplex — the standard front end of production MILP
+    solvers.
+
+    Implemented reductions:
+    - empty constraints are checked against their right-hand side and
+      dropped (or the problem is declared infeasible);
+    - singleton rows ([a x_v R b]) become variable-bound tightenings;
+    - variables fixed by their bounds ([lower = upper]) are substituted
+      into every constraint and the objective;
+    - crossed bounds detected during tightening declare infeasibility.
+
+    The reduced problem keeps the original variable indexing (fixed
+    variables keep their bounds), so solutions transfer directly; only
+    the constraint set shrinks. *)
+
+type result =
+  | Reduced of Lp_problem.t  (** equivalent, no-larger problem *)
+  | Infeasible
+
+val run : Lp_problem.t -> result
+
+(** Number of constraints removed by [run] (for diagnostics/tests). *)
+val removed_constraints : Lp_problem.t -> Lp_problem.t -> int

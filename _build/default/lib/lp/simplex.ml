@@ -1,0 +1,286 @@
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+let feas_eps = 1e-7
+
+(* Internal standard form: minimize c.y subject to Ay = b, y >= 0, b >= 0.
+   Original variables are shifted by their lower bounds; upper bounds
+   become extra rows; slack/surplus/artificial columns are appended. *)
+
+type tableau = {
+  rows : float array array; (* m rows, each of length cols + 1 (rhs last) *)
+  basis : int array;        (* basic column of each row *)
+  cols : int;               (* structural + slack columns, excl. artificials *)
+  total : int;              (* all columns incl. artificials *)
+}
+
+let rhs_index t = t.total
+
+let pivot t cost row col =
+  let r = t.rows.(row) in
+  let p = r.(col) in
+  for j = 0 to t.total do
+    r.(j) <- r.(j) /. p
+  done;
+  let eliminate other =
+    if other != r then begin
+      let f = other.(col) in
+      if f <> 0.0 then
+        for j = 0 to t.total do
+          other.(j) <- other.(j) -. (f *. r.(j))
+        done
+    end
+  in
+  Array.iter eliminate t.rows;
+  let f = cost.(col) in
+  if f <> 0.0 then
+    for j = 0 to t.total do
+      cost.(j) <- cost.(j) -. (f *. r.(j))
+    done;
+  t.basis.(row) <- col
+
+(* Pivoting: Dantzig's rule (most negative reduced cost) for speed, with
+   a permanent switch to Bland's rule — which provably cannot cycle —
+   after a long streak of degenerate pivots. *)
+let iterate ?(allowed = fun _ -> true) t cost max_iters =
+  let m = Array.length t.rows in
+  let entering_bland () =
+    let rec go j =
+      if j > t.total - 1 then None
+      else if allowed j && cost.(j) < -.eps then Some j
+      else go (j + 1)
+    in
+    go 0
+  in
+  let entering_dantzig () =
+    let best = ref None in
+    for j = 0 to t.total - 1 do
+      if allowed j && cost.(j) < -.eps then
+        match !best with
+        | Some (_, c) when c <= cost.(j) -> ()
+        | Some _ | None -> best := Some (j, cost.(j))
+    done;
+    Option.map fst !best
+  in
+  let leaving col =
+    let best = ref None in
+    for i = 0 to m - 1 do
+      let a = t.rows.(i).(col) in
+      if a > eps then begin
+        let ratio = t.rows.(i).(rhs_index t) /. a in
+        match !best with
+        | None -> best := Some (i, ratio)
+        | Some (bi, br) ->
+          if
+            ratio < br -. eps
+            || (abs_float (ratio -. br) <= eps && t.basis.(i) < t.basis.(bi))
+          then best := Some (i, ratio)
+      end
+    done;
+    !best
+  in
+  let degenerate_limit = 8 * (m + 8) in
+  let rec loop iters degenerate_streak use_bland =
+    if iters > max_iters then
+      failwith "Simplex: iteration limit exceeded (degenerate instance)";
+    let enter = if use_bland then entering_bland () else entering_dantzig () in
+    match enter with
+    | None -> `Optimal
+    | Some col -> (
+      match leaving col with
+      | None -> `Unbounded
+      | Some (row, ratio) ->
+        pivot t cost row col;
+        let degenerate_streak =
+          if ratio <= eps then degenerate_streak + 1 else 0
+        in
+        let use_bland = use_bland || degenerate_streak > degenerate_limit in
+        loop (iters + 1) degenerate_streak use_bland)
+  in
+  loop 0 0 false
+
+let solve ?max_iters (p : Lp_problem.t) =
+  let n = p.num_vars in
+  let lower v = p.var_bounds.(v).lower in
+  (* Rows: original constraints (with lower-bound shift folded into rhs)
+     plus one row per finite upper bound. *)
+  let shifted_rhs (c : Lp_problem.constr) =
+    let shift =
+      List.fold_left
+        (fun acc (v, coef) -> acc +. (coef *. lower v))
+        (Lin_expr.const_part c.expr)
+        (Lin_expr.terms c.expr)
+    in
+    c.rhs -. shift
+  in
+  let upper_rows =
+    List.concat
+      (List.init n (fun v ->
+           match p.var_bounds.(v).upper with
+           | None -> []
+           | Some u -> [ (v, u -. lower v) ]))
+  in
+  let m = List.length p.constraints + List.length upper_rows in
+  if m = 0 then begin
+    (* No constraints: each variable sits at the bound its cost prefers. *)
+    let solution = Array.init n lower in
+    let unbounded = ref false in
+    List.iter
+      (fun (v, c) ->
+        if c < 0.0 then
+          match p.var_bounds.(v).upper with
+          | Some u -> solution.(v) <- u
+          | None -> unbounded := true)
+      (Lin_expr.terms p.objective);
+    if !unbounded then Unbounded
+    else
+      Optimal
+        {
+          objective = Lin_expr.eval p.objective (fun v -> solution.(v));
+          solution;
+        }
+  end
+  else begin
+    (* Count slack columns: one per Le/Ge row (upper-bound rows are Le). *)
+    let constrs =
+      List.map
+        (fun (c : Lp_problem.constr) -> (c.expr, c.relation, shifted_rhs c))
+        p.constraints
+      @ List.map
+          (fun (v, ub) -> (Lin_expr.var v, Lp_problem.Le, ub))
+          upper_rows
+    in
+    (* Normalize to nonnegative rhs. *)
+    let constrs =
+      List.map
+        (fun (expr, rel, rhs) ->
+          if rhs < 0.0 then
+            let flip = function
+              | Lp_problem.Le -> Lp_problem.Ge
+              | Lp_problem.Ge -> Lp_problem.Le
+              | Lp_problem.Eq -> Lp_problem.Eq
+            in
+            (Lin_expr.scale (-1.0) expr, flip rel, -.rhs)
+          else (expr, rel, rhs))
+        constrs
+    in
+    let num_slack =
+      List.length
+        (List.filter (fun (_, rel, _) -> rel <> Lp_problem.Eq) constrs)
+    in
+    let cols = n + num_slack in
+    let total = cols + m in
+    (* one artificial per row keeps the setup simple *)
+    let rows = Array.init m (fun _ -> Array.make (total + 1) 0.0) in
+    let basis = Array.make m (-1) in
+    let t = { rows; basis; cols; total } in
+    let slack = ref n in
+    List.iteri
+      (fun i (expr, rel, rhs) ->
+        let row = rows.(i) in
+        List.iter
+          (fun (v, coef) ->
+            (* lower-bound shift: constant part already folded into rhs *)
+            row.(v) <- row.(v) +. coef)
+          (Lin_expr.terms expr);
+        row.(total) <- rhs;
+        (match rel with
+        | Lp_problem.Le ->
+          row.(!slack) <- 1.0;
+          incr slack
+        | Lp_problem.Ge ->
+          row.(!slack) <- -1.0;
+          incr slack
+        | Lp_problem.Eq -> ());
+        (* artificial column for this row *)
+        row.(cols + i) <- 1.0;
+        basis.(i) <- cols + i)
+      constrs;
+    let max_iters =
+      match max_iters with
+      | Some k -> k
+      | None -> 20_000 + (200 * (m + total))
+    in
+    (* Phase 1: minimize sum of artificials.  Reduced costs for the
+       artificial basis: c_bar_j = -sum_i a_ij for structural/slack j. *)
+    let cost1 = Array.make (total + 1) 0.0 in
+    for j = 0 to total do
+      let s = ref 0.0 in
+      for i = 0 to m - 1 do
+        s := !s +. rows.(i).(j)
+      done;
+      if j < cols then cost1.(j) <- -. !s
+      else if j < total then cost1.(j) <- 0.0
+      else cost1.(j) <- -. !s
+      (* cost1.(total) = -z where z = sum rhs *)
+    done;
+    match iterate t cost1 max_iters with
+    | `Unbounded ->
+      (* Phase-1 objective is bounded below by 0; cannot happen. *)
+      assert false
+    | `Optimal ->
+      let phase1_obj = -.cost1.(total) in
+      if phase1_obj > feas_eps then Infeasible
+      else begin
+        (* Drive any basic artificial out or mark its row redundant. *)
+        let redundant = Array.make m false in
+        for i = 0 to m - 1 do
+          if basis.(i) >= cols then begin
+            let found = ref None in
+            for j = 0 to cols - 1 do
+              if !found = None && abs_float (rows.(i).(j)) > eps then
+                found := Some j
+            done;
+            match !found with
+            | Some j -> pivot t cost1 i j
+            | None -> redundant.(i) <- true
+          end
+        done;
+        (* Phase 2: original objective on structural columns.  Reduced
+           costs: start from c and eliminate basic columns. *)
+        let cost2 = Array.make (total + 1) 0.0 in
+        List.iter
+          (fun (v, c) -> cost2.(v) <- c)
+          (Lin_expr.terms p.objective);
+        for i = 0 to m - 1 do
+          if not redundant.(i) then begin
+            let b = basis.(i) in
+            let f = cost2.(b) in
+            if f <> 0.0 then
+              for j = 0 to total do
+                cost2.(j) <- cost2.(j) -. (f *. rows.(i).(j))
+              done
+          end
+        done;
+        (* Forbid artificials from re-entering. *)
+        let allowed j = j < cols in
+        match iterate ~allowed t cost2 max_iters with
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+          let y = Array.make cols 0.0 in
+          for i = 0 to m - 1 do
+            if (not redundant.(i)) && basis.(i) < cols then
+              y.(basis.(i)) <- rows.(i).(total)
+          done;
+          let solution = Array.init n (fun v -> y.(v) +. lower v) in
+          let objective =
+            Lin_expr.eval p.objective (fun v -> solution.(v))
+          in
+          Optimal { objective; solution }
+      end
+  end
+
+let pp_result ppf = function
+  | Infeasible -> Format.pp_print_string ppf "infeasible"
+  | Unbounded -> Format.pp_print_string ppf "unbounded"
+  | Optimal { objective; solution } ->
+    Format.fprintf ppf "optimal %g [" objective;
+    Array.iteri
+      (fun i v ->
+        if i > 0 then Format.pp_print_string ppf "; ";
+        Format.fprintf ppf "%g" v)
+      solution;
+    Format.pp_print_string ppf "]"

@@ -1,0 +1,22 @@
+(** Two-phase dense primal simplex.
+
+    Solves [Lp_problem.t] instances: minimize a linear objective subject to
+    linear constraints and variable bounds.  Bland's rule is used for both
+    entering and leaving variables, so the method cannot cycle; problems in
+    this repository are small and well scaled (coefficients are mostly
+    [+-1] and big-M constants), so the dense tableau is adequate. *)
+
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+(** [solve ?max_iters problem].
+
+    @param max_iters safety valve for the pivot loop (default scales with
+    problem size).
+    @raise Failure if the iteration budget is exhausted, which indicates a
+    numerically degenerate instance rather than a model error. *)
+val solve : ?max_iters:int -> Lp_problem.t -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/sim/flow_sim.ml: Array Buffer Format List Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth Printf String

@@ -1,0 +1,1 @@
+lib/sim/flow_sim.mli: Format Pdw_biochip Pdw_geometry Pdw_synth

@@ -1,0 +1,307 @@
+module Coord = Pdw_geometry.Coord
+module Grid = Pdw_geometry.Grid
+module Gpath = Pdw_geometry.Gpath
+module Fluid = Pdw_biochip.Fluid
+module Layout = Pdw_biochip.Layout
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Scheduler = Pdw_synth.Scheduler
+
+type cell_state = {
+  occupant : Scheduler.Key.t option;
+  residue : Fluid.t option;
+}
+
+(* Per-entry fluidic semantics, independently re-derived from the model
+   conventions (deliberately NOT shared with Pdw_wash.Contamination so the
+   two implementations can check each other). *)
+type flow = {
+  key : Scheduler.Key.t;
+  start : int;
+  finish : int;
+  cells : Coord.t list;
+  incoming : Coord.t -> Fluid.t option;
+  sensitive : bool;
+  tolerates : Fluid.t list;
+  deposits : Coord.t -> Fluid.t option option;
+      (** [None] = leave as is; [Some r] = set residue to [r] *)
+}
+
+let flow_of_entry schedule entry =
+  let graph = Schedule.graph schedule in
+  let layout = Schedule.layout schedule in
+  match entry with
+  | Schedule.Op_run { op_id; device_id; start; finish } ->
+    let input = Sequencing_graph.input_fluid graph op_id in
+    let result = Sequencing_graph.result_fluid graph op_id in
+    {
+      key = Scheduler.Key.Op op_id;
+      start;
+      finish;
+      cells = Layout.device_cells layout device_id;
+      incoming = (fun _ -> Some input);
+      sensitive = true;
+      tolerates = Sequencing_graph.input_fluids graph op_id;
+      deposits = (fun _ -> Some (Some result));
+    }
+  | Schedule.Task_run { task; start; finish } ->
+    let key = Scheduler.Key.Tsk task.Task.id in
+    let cells = Gpath.cells task.Task.path in
+    (match task.Task.purpose with
+    | Task.Transport { fluid; dst_op; _ } ->
+      {
+        key;
+        start;
+        finish;
+        cells;
+        incoming = (fun _ -> Some fluid);
+        sensitive = true;
+        tolerates = Sequencing_graph.input_fluids graph dst_op;
+        deposits = (fun _ -> Some (Some fluid));
+      }
+    | Task.Removal { fluid; excess; _ } ->
+      (* The buffer front sweeps cells before the first excess cell
+         clean; the rest carry the excess out. *)
+      let dirty_from =
+        let rec go i = function
+          | [] -> max_int
+          | c :: rest ->
+            if Coord.Set.mem c excess then i else go (i + 1) rest
+        in
+        go 0 cells
+      in
+      let index =
+        let table = Coord.Table.create (List.length cells) in
+        List.iteri (fun i c -> Coord.Table.replace table c i) cells;
+        fun c -> Coord.Table.find table c
+      in
+      {
+        key;
+        start;
+        finish;
+        cells;
+        incoming =
+          (fun c -> if index c < dirty_from then None else Some fluid);
+        sensitive = false;
+        tolerates = [];
+        deposits =
+          (fun c ->
+            if index c < dirty_from then Some None else Some (Some fluid));
+      }
+    | Task.Disposal { fluid; _ } ->
+      {
+        key;
+        start;
+        finish;
+        cells;
+        incoming = (fun _ -> Some fluid);
+        sensitive = false;
+        tolerates = [];
+        deposits = (fun _ -> Some (Some fluid));
+      }
+    | Task.Wash _ ->
+      {
+        key;
+        start;
+        finish;
+        cells;
+        incoming = (fun _ -> None);
+        sensitive = false;
+        tolerates = [];
+        deposits = (fun _ -> Some None);
+      })
+
+type issue =
+  | Double_occupancy of {
+      cell : Coord.t;
+      time : int;
+      entries : Scheduler.Key.t list;
+    }
+  | Contaminated_flow of {
+      cell : Coord.t;
+      time : int;
+      entry : Scheduler.Key.t;
+      residue : Fluid.t;
+      incoming : Fluid.t;
+    }
+
+type snapshot = {
+  occupants : Scheduler.Key.t list Coord.Map.t;
+  residues : Fluid.t Coord.Map.t;
+}
+
+type t = {
+  sched : Schedule.t;
+  frames : snapshot array; (* index = second, length makespan + 1 *)
+  found : issue list;
+}
+
+let is_port layout c =
+  match Layout.cell layout c with
+  | Layout.Port_cell _ -> true
+  | Layout.Blocked | Layout.Channel | Layout.Device_cell _ -> false
+
+let run sched =
+  let layout = Schedule.layout sched in
+  let flows = List.map (flow_of_entry sched) (Schedule.entries sched) in
+  let horizon = Schedule.makespan sched in
+  let frames = Array.make (horizon + 1) { occupants = Coord.Map.empty; residues = Coord.Map.empty } in
+  let issues = ref [] in
+  let residues = ref Coord.Map.empty in
+  for t = 0 to horizon do
+    (* 1. Flows finishing at t deposit their residues (ports excluded:
+       they are flushed externally). *)
+    List.iter
+      (fun flow ->
+        if flow.finish = t then
+          List.iter
+            (fun c ->
+              if not (is_port layout c) then
+                match flow.deposits c with
+                | None -> ()
+                | Some None -> residues := Coord.Map.remove c !residues
+                | Some (Some r) -> residues := Coord.Map.add c r !residues)
+            flow.cells)
+      flows;
+    (* 2. Flows starting at t read the cell state; a sensitive flow over
+       an incompatible residue is a contamination event. *)
+    List.iter
+      (fun flow ->
+        if flow.start = t && flow.sensitive then
+          List.iter
+            (fun c ->
+              match (Coord.Map.find_opt c !residues, flow.incoming c) with
+              | Some residue, Some incoming
+                when (not (List.exists (Fluid.equal residue) flow.tolerates))
+                     && Fluid.contaminates ~residue ~incoming ->
+                issues :=
+                  Contaminated_flow
+                    { cell = c; time = t; entry = flow.key; residue; incoming }
+                  :: !issues
+              | (Some _ | None), (Some _ | None) -> ())
+            flow.cells)
+      flows;
+    (* 3. Occupancy at instant t. *)
+    let occupants =
+      List.fold_left
+        (fun acc flow ->
+          if flow.start <= t && t < flow.finish then
+            List.fold_left
+              (fun acc c ->
+                let existing =
+                  match Coord.Map.find_opt c acc with
+                  | Some l -> l
+                  | None -> []
+                in
+                Coord.Map.add c (flow.key :: existing) acc)
+              acc flow.cells
+          else acc)
+        Coord.Map.empty flows
+    in
+    Coord.Map.iter
+      (fun cell entries ->
+        match entries with
+        | [] | [ _ ] -> ()
+        | _ :: _ :: _ ->
+          issues := Double_occupancy { cell; time = t; entries } :: !issues)
+      occupants;
+    frames.(t) <- { occupants; residues = !residues }
+  done;
+  { sched; frames; found = List.rev !issues }
+
+let schedule t = t.sched
+let makespan t = Array.length t.frames - 1
+
+let cell_state t ~time cell =
+  if time < 0 || time >= Array.length t.frames then
+    invalid_arg
+      (Printf.sprintf "Flow_sim.cell_state: time %d outside [0, %d]" time
+         (Array.length t.frames - 1));
+  let frame = t.frames.(time) in
+  {
+    occupant =
+      (match Coord.Map.find_opt cell frame.occupants with
+      | Some (k :: _) -> Some k
+      | Some [] | None -> None);
+    residue = Coord.Map.find_opt cell frame.residues;
+  }
+
+let issues t = t.found
+
+let pp_issue ppf = function
+  | Double_occupancy { cell; time; entries } ->
+    Format.fprintf ppf "t=%d cell %a held by %s" time Coord.pp cell
+      (String.concat " and "
+         (List.map Scheduler.Key.to_string entries))
+  | Contaminated_flow { cell; time; entry; residue; incoming } ->
+    Format.fprintf ppf "t=%d cell %a: %s carries %a over %a residue" time
+      Coord.pp cell
+      (Scheduler.Key.to_string entry)
+      Fluid.pp incoming Fluid.pp residue
+
+let occupancy t =
+  let horizon = Array.length t.frames in
+  let counts = Coord.Table.create 64 in
+  Array.iter
+    (fun frame ->
+      Coord.Map.iter
+        (fun c entries ->
+          if entries <> [] then
+            let n =
+              match Coord.Table.find_opt counts c with
+              | Some n -> n
+              | None -> 0
+            in
+            Coord.Table.replace counts c (n + 1))
+        frame.occupants)
+    t.frames;
+  Coord.Table.fold
+    (fun c n acc -> (c, float_of_int n /. float_of_int horizon) :: acc)
+    counts []
+  |> List.sort (fun (a, _) (b, _) -> Coord.compare a b)
+
+let utilization t =
+  let layout = Schedule.layout t.sched in
+  let routable =
+    Grid.fold (Layout.grid layout) ~init:0 ~f:(fun acc c _ ->
+        if Layout.routable layout c then acc + 1 else acc)
+  in
+  if routable = 0 then 0.0
+  else
+    let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 (occupancy t) in
+    total /. float_of_int routable
+
+let render_frame t ~time =
+  if time < 0 || time >= Array.length t.frames then
+    invalid_arg "Flow_sim.render_frame: time out of range";
+  let layout = Schedule.layout t.sched in
+  let frame = t.frames.(time) in
+  let grid = Layout.grid layout in
+  let buf = Buffer.create 256 in
+  for y = 0 to Grid.height grid - 1 do
+    for x = 0 to Grid.width grid - 1 do
+      let c = Coord.make x y in
+      let ch =
+        match Layout.cell layout c with
+        | Layout.Blocked -> '.'
+        | Layout.Port_cell id ->
+          Pdw_biochip.Port.glyph (Layout.port layout id).Pdw_biochip.Port.kind
+        | Layout.Channel | Layout.Device_cell _ -> (
+          match Coord.Map.find_opt c frame.occupants with
+          | Some (_ :: _) -> '#'
+          | Some [] | None -> (
+            if Coord.Map.mem c frame.residues then '~'
+            else
+              match Layout.cell layout c with
+              | Layout.Device_cell id ->
+                Pdw_biochip.Device.glyph
+                  (Layout.device layout id).Pdw_biochip.Device.kind
+              | Layout.Channel -> ' '
+              | Layout.Blocked | Layout.Port_cell _ -> '.'))
+      in
+      Buffer.add_char buf ch
+    done;
+    if y < Grid.height grid - 1 then Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

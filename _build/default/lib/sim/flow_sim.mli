@@ -1,0 +1,73 @@
+(** Discrete-time flow simulator: replays a schedule second by second,
+    tracking which entry occupies each grid cell and what residue each
+    cell carries.
+
+    This is an independent implementation of the fluidic semantics the
+    analytic model in {!Pdw_wash.Contamination} assumes — per-cell
+    timelines there, a global time-stepped state machine here — used for
+    differential testing, occupancy statistics and schedule animation. *)
+
+(** State of one grid cell at one instant. *)
+type cell_state = {
+  occupant : Pdw_synth.Scheduler.Key.t option;
+      (** entry whose flow/run holds the cell right now *)
+  residue : Pdw_biochip.Fluid.t option;  (** [None] = clean *)
+}
+
+(** A full simulation: snapshots at every second from 0 to makespan. *)
+type t
+
+(** [run schedule] steps the schedule to completion.
+
+    Semantics per entry (matching DESIGN.md "Modelling conventions"):
+    - an entry occupies every cell of its footprint for its whole
+      [[start, finish)] window;
+    - residues are updated at the entry's finish: transports and
+      disposals deposit their fluid on the whole path; removals clean the
+      buffer-swept prefix and deposit the excess fluid on the rest;
+      washes clean the whole path; operations deposit their result on the
+      device. *)
+val run : Pdw_synth.Schedule.t -> t
+
+val schedule : t -> Pdw_synth.Schedule.t
+val makespan : t -> int
+
+(** [cell_state t ~time cell] — state at second [time] (0-based;
+    valid up to and including the makespan).
+    @raise Invalid_argument outside that range. *)
+val cell_state : t -> time:int -> Pdw_geometry.Coord.t -> cell_state
+
+(** Simulation-level correctness report:
+    - [`Double_occupancy]: two entries hold one cell at one instant;
+    - [`Contaminated_flow]: a sensitive flow entered a cell carrying an
+      incompatible residue.
+    Empty on a correct, fully washed schedule. *)
+type issue =
+  | Double_occupancy of {
+      cell : Pdw_geometry.Coord.t;
+      time : int;
+      entries : Pdw_synth.Scheduler.Key.t list;
+    }
+  | Contaminated_flow of {
+      cell : Pdw_geometry.Coord.t;
+      time : int;
+      entry : Pdw_synth.Scheduler.Key.t;
+      residue : Pdw_biochip.Fluid.t;
+      incoming : Pdw_biochip.Fluid.t;
+    }
+
+val issues : t -> issue list
+
+val pp_issue : Format.formatter -> issue -> unit
+
+(** Fraction of simulated time each cell is occupied; only cells that
+    were ever occupied appear. *)
+val occupancy : t -> (Pdw_geometry.Coord.t * float) list
+
+(** Mean occupancy over routable cells — a chip-utilization figure. *)
+val utilization : t -> float
+
+(** ASCII frame at a given second: ['#'] occupied, ['~'] residue,
+    ['.'] blocked, [' '] clean idle channel; devices/ports keep their
+    glyphs when idle. *)
+val render_frame : t -> time:int -> string

@@ -1,0 +1,1 @@
+lib/synth/actuation.ml: Format Int List Pdw_biochip Pdw_geometry Printf Schedule

@@ -1,0 +1,1 @@
+lib/synth/actuation.mli: Format Pdw_geometry Schedule

@@ -1,0 +1,1 @@
+lib/synth/binding.ml: Array Fun Hashtbl List Pdw_assay Pdw_biochip Pdw_geometry Printf

@@ -1,0 +1,1 @@
+lib/synth/binding.mli: Pdw_assay Pdw_biochip

@@ -1,0 +1,1 @@
+lib/synth/placement.ml: Array Hashtbl List Pdw_biochip Pdw_geometry Printf

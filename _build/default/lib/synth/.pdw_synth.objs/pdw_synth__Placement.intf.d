@@ -1,0 +1,1 @@
+lib/synth/placement.mli: Pdw_biochip

@@ -1,0 +1,1 @@
+lib/synth/router.ml: Int List Option Pdw_biochip Pdw_geometry Queue Set

@@ -1,0 +1,1 @@
+lib/synth/router.mli: Pdw_biochip Pdw_geometry

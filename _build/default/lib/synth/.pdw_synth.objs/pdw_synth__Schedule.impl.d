@@ -1,0 +1,1 @@
+lib/synth/schedule.ml: Array Format Int List Pdw_assay Pdw_biochip Pdw_geometry Printf Task

@@ -1,0 +1,1 @@
+lib/synth/schedule.mli: Format Pdw_assay Pdw_biochip Pdw_geometry Task

@@ -1,0 +1,1 @@
+lib/synth/scheduler.ml: Int List Map Option Pdw_geometry Printf

@@ -1,0 +1,1 @@
+lib/synth/scheduler.mli: Pdw_geometry

@@ -1,0 +1,1 @@
+lib/synth/synthesis.ml: Array Binding List Option Pdw_assay Pdw_biochip Pdw_geometry Placement Printf Router Schedule Scheduler String Task

@@ -1,0 +1,1 @@
+lib/synth/synthesis.mli: Pdw_assay Pdw_biochip Schedule Scheduler Task

@@ -1,0 +1,1 @@
+lib/synth/task.ml: Format List Pdw_biochip Pdw_geometry Printf

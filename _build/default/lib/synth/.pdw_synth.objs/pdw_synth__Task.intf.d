@@ -1,0 +1,1 @@
+lib/synth/task.mli: Format Pdw_biochip Pdw_geometry

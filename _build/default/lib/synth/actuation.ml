@@ -1,0 +1,124 @@
+module Coord = Pdw_geometry.Coord
+module Grid = Pdw_geometry.Grid
+module Layout = Pdw_biochip.Layout
+
+type state = Open | Closed
+
+type event = { time : int; valve : Coord.t; state : state }
+
+type t = {
+  horizon : int;
+  open_intervals : (int * int) list Coord.Table.t;
+      (** per valve, sorted disjoint [start, finish) windows it is open *)
+  events : event list;
+}
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let of_schedule schedule =
+  let horizon = Schedule.makespan schedule in
+  (* A cell's valve is open exactly while an entry occupies the cell.
+     Adjacent-cell sealing needs those valves closed, which is their idle
+     state anyway, so only occupation windows matter — but two entries
+     demanding one valve open at once would mean overlapping occupation,
+     which we reject as inconsistent. *)
+  let windows : (int * int) list Coord.Table.t = Coord.Table.create 128 in
+  List.iter
+    (fun entry ->
+      let start = Schedule.entry_start entry in
+      let finish = Schedule.entry_finish entry in
+      Coord.Set.iter
+        (fun cell ->
+          let existing =
+            match Coord.Table.find_opt windows cell with
+            | Some l -> l
+            | None -> []
+          in
+          List.iter
+            (fun (s, f) ->
+              if s < finish && start < f then
+                fail
+                  "Actuation: valve %s needed open by two entries at once"
+                  (Coord.to_string cell))
+            existing;
+          Coord.Table.replace windows cell ((start, finish) :: existing))
+        (Schedule.entry_cells schedule entry))
+    (Schedule.entries schedule);
+  (* Merge back-to-back windows: a valve staying open across two abutting
+     tasks does not switch. *)
+  let open_intervals = Coord.Table.create (Coord.Table.length windows) in
+  Coord.Table.iter
+    (fun cell l ->
+      let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) l in
+      let merged =
+        List.fold_left
+          (fun acc (s, f) ->
+            match acc with
+            | (ps, pf) :: rest when s <= pf -> (ps, max pf f) :: rest
+            | _ -> (s, f) :: acc)
+          [] sorted
+      in
+      Coord.Table.replace open_intervals cell (List.rev merged))
+    windows;
+  let events =
+    Coord.Table.fold
+      (fun valve intervals acc ->
+        List.fold_left
+          (fun acc (s, f) ->
+            { time = s; valve; state = Open }
+            :: { time = f; valve; state = Closed }
+            :: acc)
+          acc intervals)
+      open_intervals []
+    |> List.sort (fun a b ->
+           let c = Int.compare a.time b.time in
+           if c <> 0 then c else Coord.compare a.valve b.valve)
+  in
+  { horizon; open_intervals; events }
+
+let events t = t.events
+
+let state_at t ~time valve =
+  match Coord.Table.find_opt t.open_intervals valve with
+  | None -> Closed
+  | Some intervals ->
+    if List.exists (fun (s, f) -> s <= time && time < f) intervals then Open
+    else Closed
+
+let switching_count t = List.length t.events
+
+let peak_open t =
+  let peak = ref 0 in
+  let current = ref 0 in
+  (* Events are time-sorted; process closes before opens at equal times
+     to measure strictly-simultaneous openness. *)
+  let at_time =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.time b.time in
+        if c <> 0 then c
+        else
+          match (a.state, b.state) with
+          | Closed, Open -> -1
+          | Open, Closed -> 1
+          | Open, Open | Closed, Closed -> 0)
+      t.events
+  in
+  List.iter
+    (fun e ->
+      (match e.state with
+      | Open -> incr current
+      | Closed -> decr current);
+      if !current > !peak then peak := !current)
+    at_time;
+  !peak
+
+let per_valve t =
+  Coord.Table.fold
+    (fun valve intervals acc -> (valve, 2 * List.length intervals) :: acc)
+    t.open_intervals []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let pp_event ppf e =
+  Format.fprintf ppf "t=%d %a %s" e.time Coord.pp e.valve
+    (match e.state with Open -> "open" | Closed -> "close")

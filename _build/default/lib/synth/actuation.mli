@@ -1,0 +1,51 @@
+(** Control-layer synthesis: the valve actuation sequence that executes a
+    schedule on a real chip.
+
+    Continuous-flow chips steer fluid with normally-open microvalves at
+    every channel/device cell (Fig. 1(a)–(b)): pressurizing a valve's
+    control channel pinches the flow channel closed.  To run a fluidic
+    task, the valves along its path open and every valve on a cell
+    adjacent to the path closes, sealing the path into a private tube;
+    idle cells stay closed so plugs cannot drift.
+
+    This module derives that actuation plan from a schedule, verifies it
+    is consistent (a valve never needs to be open and closed at once —
+    which is exactly the cell-exclusivity the scheduler guarantees,
+    re-checked here at the control layer), and reports the switching
+    statistics a chip driver cares about. *)
+
+type state = Open | Closed
+
+type event = {
+  time : int;
+  valve : Pdw_geometry.Coord.t;
+  state : state;  (** state the valve transitions *to* at [time] *)
+}
+
+type t
+
+(** [of_schedule schedule] derives the plan.
+    @raise Invalid_argument if two concurrent entries need one valve in
+    different states (cannot happen for a schedule that passes
+    {!Schedule.violations}). *)
+val of_schedule : Schedule.t -> t
+
+(** Chronological actuation events (initial all-closed state at time 0 is
+    implicit; only transitions are listed). *)
+val events : t -> event list
+
+(** Valve state at a given instant. *)
+val state_at : t -> time:int -> Pdw_geometry.Coord.t -> state
+
+(** Number of open/close transitions over the whole schedule — the wear
+    figure for the control layer. *)
+val switching_count : t -> int
+
+(** Largest number of simultaneously open valves — peak pressure-source
+    demand. *)
+val peak_open : t -> int
+
+(** Transitions per valve, busiest first. *)
+val per_valve : t -> (Pdw_geometry.Coord.t * int) list
+
+val pp_event : Format.formatter -> event -> unit

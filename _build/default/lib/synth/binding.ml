@@ -1,0 +1,83 @@
+module Coord = Pdw_geometry.Coord
+module Device = Pdw_biochip.Device
+module Layout = Pdw_biochip.Layout
+module Operation = Pdw_assay.Operation
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let round_robin graph layout =
+  let counters = Hashtbl.create 8 in
+  let binding = Array.make (Sequencing_graph.num_ops graph) (-1) in
+  List.iter
+    (fun i ->
+      let op = Sequencing_graph.op graph i in
+      let kind = Operation.device_kind op.Operation.kind in
+      let candidates = Layout.devices_of_kind layout kind in
+      if candidates = [] then
+        fail "Binding: no %s device for op %d" (Device.kind_to_string kind)
+          (i + 1);
+      let n =
+        match Hashtbl.find_opt counters kind with Some n -> n | None -> 0
+      in
+      Hashtbl.replace counters kind (n + 1);
+      let device = List.nth candidates (n mod List.length candidates) in
+      binding.(i) <- device.Device.id)
+    (Sequencing_graph.topological_order graph);
+  binding
+
+(* Serialization penalty: each same-device operation pair costs as much
+   as a ~10-cell transport, a rough exchange rate between contention and
+   channel length. *)
+let sharing_penalty = 10
+
+let cost graph layout binding =
+  let anchor d = Layout.device_anchor layout d in
+  let n = Sequencing_graph.num_ops graph in
+  let transport =
+    List.fold_left
+      (fun acc i ->
+        List.fold_left
+          (fun acc j ->
+            acc + Coord.manhattan (anchor binding.(j)) (anchor binding.(i)))
+          acc
+          (Sequencing_graph.predecessors graph i))
+      0
+      (List.init n Fun.id)
+  in
+  let sharing = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if binding.(i) = binding.(j) then incr sharing
+    done
+  done;
+  transport + (sharing_penalty * !sharing)
+
+let optimize graph layout ~init =
+  let binding = Array.copy init in
+  let n = Sequencing_graph.num_ops graph in
+  let current = ref (cost graph layout binding) in
+  let improved = ref true in
+  let sweeps = ref 0 in
+  while !improved && !sweeps < 25 do
+    improved := false;
+    incr sweeps;
+    for i = 0 to n - 1 do
+      let op = Sequencing_graph.op graph i in
+      let kind = Operation.device_kind op.Operation.kind in
+      List.iter
+        (fun (d : Device.t) ->
+          if d.Device.id <> binding.(i) then begin
+            let saved = binding.(i) in
+            binding.(i) <- d.Device.id;
+            let candidate = cost graph layout binding in
+            if candidate < !current then begin
+              current := candidate;
+              improved := true
+            end
+            else binding.(i) <- saved
+          end)
+        (Layout.devices_of_kind layout kind)
+    done
+  done;
+  binding

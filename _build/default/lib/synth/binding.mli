@@ -1,0 +1,31 @@
+(** Operation-to-device binding.
+
+    [round_robin] is the baseline: operations of each kind cycle through
+    the devices of that kind in topological order.
+
+    [optimize] improves a binding by greedy local search (single-op
+    reassignment until fixpoint), minimizing the cost a binding imposes
+    on the schedule before routing even starts:
+    - the manhattan distance every operation-to-operation transport will
+      have to cover, and
+    - a serialization penalty for pairs of operations squeezed onto the
+      same device (they can never run concurrently, Eq. (3)). *)
+
+(** [round_robin graph layout] assigns every operation a device of its
+    kind.
+    @raise Invalid_argument when a needed kind has no device. *)
+val round_robin :
+  Pdw_assay.Sequencing_graph.t -> Pdw_biochip.Layout.t -> int array
+
+(** [cost graph layout binding] — the objective [optimize] minimizes;
+    exposed for tests and reporting. *)
+val cost : Pdw_assay.Sequencing_graph.t -> Pdw_biochip.Layout.t -> int array -> int
+
+(** [optimize graph layout ~init] returns a binding with
+    [cost graph layout result <= cost graph layout init], preserving
+    kind-compatibility. *)
+val optimize :
+  Pdw_assay.Sequencing_graph.t ->
+  Pdw_biochip.Layout.t ->
+  init:int array ->
+  int array

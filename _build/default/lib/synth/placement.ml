@@ -1,0 +1,225 @@
+module Coord = Pdw_geometry.Coord
+module Device = Pdw_biochip.Device
+module Port = Pdw_biochip.Port
+module Layout_builder = Pdw_biochip.Layout_builder
+
+(* Evenly pick [n] elements of [candidates] (n <= length). *)
+let spread n candidates =
+  let len = List.length candidates in
+  if n >= len then candidates
+  else
+    let arr = Array.of_list candidates in
+    List.init n (fun i -> arr.(i * len / n))
+
+let default_ports num_devices = max 4 (min 8 (3 + (num_devices / 2)))
+
+(* Island architecture: 1x3 devices between vertical streets (columns
+   x = 1 mod 4 inside the margin), horizontal streets on every even
+   interior row, and a blocked 1-cell margin ring that hosts the ports.
+   Interior: W_i = 4*cols + 1, H_i = 2*rows + 1; full grid adds the
+   margin. *)
+let island_layout ?flow_ports ?waste_ports ~device_kinds () =
+  let num_devices = List.length device_kinds in
+  if num_devices = 0 then
+    invalid_arg "Placement.island_layout: empty device library";
+  let num_flow =
+    match flow_ports with Some n -> n | None -> default_ports num_devices
+  in
+  let num_waste =
+    match waste_ports with Some n -> n | None -> default_ports num_devices
+  in
+  if num_flow < 1 || num_waste < 1 then
+    invalid_arg "Placement.island_layout: need at least one port of each kind";
+  let cols =
+    let rec find k = if k * k * 3 >= num_devices * 4 then k else find (k + 1) in
+    let for_ports = (max num_flow num_waste + 1) / 2 in
+    max 2 (max (find 1) for_ports)
+  in
+  let rows = max 2 ((num_devices + cols - 1) / cols) in
+  let width = (4 * cols) + 1 + 2 in
+  let height = (2 * rows) + 1 + 2 in
+  let b = Layout_builder.create ~width ~height in
+  (* interior streets (shifted by the 1-cell margin) *)
+  for y = 1 to height - 2 do
+    for x = 1 to width - 2 do
+      if (y - 1) mod 2 = 0 || (x - 1) mod 4 = 0 then
+        Layout_builder.channel b (Coord.make x y)
+    done
+  done;
+  (* devices *)
+  let kind_counters = Hashtbl.create 8 in
+  List.iteri
+    (fun k kind ->
+      let row = k / cols and col = k mod cols in
+      let y = (2 * row) + 1 + 1 in
+      let x0 = (4 * col) + 1 + 1 in
+      let count =
+        match Hashtbl.find_opt kind_counters kind with
+        | Some n -> n + 1
+        | None -> 1
+      in
+      Hashtbl.replace kind_counters kind count;
+      let name = Printf.sprintf "%s%d" (Device.kind_to_string kind) count in
+      ignore
+        (Layout_builder.add_device b ~kind ~name
+           [ Coord.make x0 y; Coord.make (x0 + 1) y; Coord.make (x0 + 2) y ]))
+    device_kinds;
+  (* ports on the margin: top margin row y=0 above street row y=1 (every
+     cell of which is channel), so any x in 1..width-2 works; flow ports
+     on top, waste on the bottom margin row. *)
+  let port_xs n =
+    let usable = width - 2 in
+    List.init n (fun i -> 1 + (i * usable / n))
+  in
+  List.iteri
+    (fun i x ->
+      ignore
+        (Layout_builder.add_port b ~kind:Port.Flow
+           ~name:(Printf.sprintf "in%d" (i + 1))
+           (Coord.make x 0)))
+    (port_xs num_flow);
+  List.iteri
+    (fun i x ->
+      ignore
+        (Layout_builder.add_port b ~kind:Port.Waste
+           ~name:(Printf.sprintf "out%d" (i + 1))
+           (Coord.make x (height - 1))))
+    (port_xs num_waste);
+  Layout_builder.build b
+
+(* Ring architecture: a rectangular loop bus (rows 2 and 6, columns 2 and
+   width-3), devices attached on its inside (rows 3 and 5), ports on the
+   chip boundary through one-cell stubs.  Height is fixed at 9; width
+   grows with the larger of the device-row and port-row demands. *)
+let ring_layout ?flow_ports ?waste_ports ~device_kinds () =
+  let num_devices = List.length device_kinds in
+  if num_devices = 0 then
+    invalid_arg "Placement.ring_layout: empty device library";
+  let num_flow =
+    match flow_ports with Some n -> n | None -> default_ports num_devices
+  in
+  let num_waste =
+    match waste_ports with Some n -> n | None -> default_ports num_devices
+  in
+  if num_flow < 1 || num_waste < 1 then
+    invalid_arg "Placement.ring_layout: need at least one port of each kind";
+  let per_row = (num_devices + 1) / 2 in
+  let columns = max per_row (max num_flow num_waste) in
+  let width = (2 * columns) + 5 in
+  let height = 9 in
+  let b = Layout_builder.create ~width ~height in
+  let c = Coord.make in
+  (* the loop *)
+  Layout_builder.channel_run b (c 2 2) (c (width - 3) 2);
+  Layout_builder.channel_run b (c 2 6) (c (width - 3) 6);
+  Layout_builder.channel_run b (c 2 3) (c 2 5);
+  Layout_builder.channel_run b (c (width - 3) 3) (c (width - 3) 5);
+  (* middle rail: gives each device a second connection, so wash paths
+     can pass through device chambers instead of dead-ending *)
+  Layout_builder.channel_run b (c 3 4) (c (width - 4) 4);
+  (* devices: top inside row 3, then bottom inside row 5 *)
+  let kind_counters = Hashtbl.create 8 in
+  List.iteri
+    (fun k kind ->
+      let x = 3 + (2 * (k mod per_row)) in
+      let y = if k < per_row then 3 else 5 in
+      let count =
+        match Hashtbl.find_opt kind_counters kind with
+        | Some n -> n + 1
+        | None -> 1
+      in
+      Hashtbl.replace kind_counters kind count;
+      let name = Printf.sprintf "%s%d" (Device.kind_to_string kind) count in
+      ignore (Layout_builder.add_device b ~kind ~name [ c x y ]))
+    device_kinds;
+  (* flow ports along the top boundary, waste along the bottom, each with
+     a one-cell stub to the loop *)
+  for i = 0 to num_flow - 1 do
+    let x = 3 + (2 * i) in
+    Layout_builder.channel b (c x 1);
+    ignore
+      (Layout_builder.add_port b ~kind:Port.Flow
+         ~name:(Printf.sprintf "in%d" (i + 1))
+         (c x 0))
+  done;
+  for i = 0 to num_waste - 1 do
+    let x = 3 + (2 * i) in
+    Layout_builder.channel b (c x 7);
+    ignore
+      (Layout_builder.add_port b ~kind:Port.Waste
+         ~name:(Printf.sprintf "out%d" (i + 1))
+         (c x 8))
+  done;
+  Layout_builder.build b
+
+let layout ?flow_ports ?waste_ports ~device_kinds () =
+  let num_devices = List.length device_kinds in
+  if num_devices = 0 then invalid_arg "Placement.layout: empty device library";
+  let num_flow =
+    match flow_ports with Some n -> n | None -> default_ports num_devices
+  in
+  let num_waste =
+    match waste_ports with Some n -> n | None -> default_ports num_devices
+  in
+  if num_flow < 1 || num_waste < 1 then
+    invalid_arg "Placement.layout: need at least one port of each kind";
+  let a =
+    (* devices per side of the square array; grown when the port demand
+       exceeds what the boundary can host (two edges of [a - 1] usable
+       even-even positions each per port kind) *)
+    let rec find k = if k * k >= num_devices then k else find (k + 1) in
+    let for_devices = find 1 in
+    let for_ports = ((max num_flow num_waste + 1) / 2) + 1 in
+    max 3 (max for_devices for_ports)
+  in
+  let side = (2 * a) + 3 in
+  let b = Layout_builder.create ~width:side ~height:side in
+  (* Streets: every odd row and every odd column. *)
+  for y = 0 to side - 1 do
+    for x = 0 to side - 1 do
+      if x mod 2 = 1 || y mod 2 = 1 then
+        Layout_builder.channel b (Coord.make x y)
+    done
+  done;
+  (* Devices at even-even interior intersections. *)
+  let kind_counters = Hashtbl.create 8 in
+  List.iteri
+    (fun k kind ->
+      let i = k mod a and j = k / a in
+      let cell = Coord.make (2 + (2 * i)) (2 + (2 * j)) in
+      let count =
+        match Hashtbl.find_opt kind_counters kind with
+        | Some c -> c + 1
+        | None -> 1
+      in
+      Hashtbl.replace kind_counters kind count;
+      let name = Printf.sprintf "%s%d" (Device.kind_to_string kind) count in
+      ignore (Layout_builder.add_device b ~kind ~name [ cell ]))
+    device_kinds;
+  (* Port candidates: even-even boundary cells, corners excluded to keep
+     two routable neighbours unlikely to collide with each other. *)
+  let evens = List.init (a + 1) (fun i -> 2 * i) in
+  let evens_mid = List.filter (fun v -> v > 0 && v < side - 1) evens in
+  let top = List.map (fun x -> Coord.make x 0) evens_mid in
+  let left = List.map (fun y -> Coord.make 0 y) evens_mid in
+  let bottom = List.map (fun x -> Coord.make x (side - 1)) evens_mid in
+  let right = List.map (fun y -> Coord.make (side - 1) y) evens_mid in
+  let flow_candidates = top @ left in
+  let waste_candidates = bottom @ right in
+  let num_flow = min num_flow (List.length flow_candidates) in
+  let num_waste = min num_waste (List.length waste_candidates) in
+  List.iteri
+    (fun i pos ->
+      ignore
+        (Layout_builder.add_port b ~kind:Port.Flow
+           ~name:(Printf.sprintf "in%d" (i + 1))
+           pos))
+    (spread num_flow flow_candidates);
+  List.iteri
+    (fun i pos ->
+      ignore
+        (Layout_builder.add_port b ~kind:Port.Waste
+           ~name:(Printf.sprintf "out%d" (i + 1))
+           pos))
+    (spread num_waste waste_candidates);
+  Layout_builder.build b

@@ -1,0 +1,51 @@
+(** Device placement: builds a chip layout for a device library.
+
+    The generated architecture is a street grid: channels run along every
+    odd row and column, devices sit on even-even interior intersections,
+    and ports occupy even-even boundary cells.  Every device is reachable
+    from every port through many alternative paths, which is what gives
+    the wash optimizer meaningful routing freedom. *)
+
+(** [layout ~device_kinds ()] places one device per library entry.
+
+    @param flow_ports number of flow ports (default scales with library
+    size, at least 3)
+    @param waste_ports number of waste ports (same default policy)
+    @raise Invalid_argument if [device_kinds] is empty. *)
+val layout :
+  ?flow_ports:int ->
+  ?waste_ports:int ->
+  device_kinds:Pdw_biochip.Device.kind list ->
+  unit ->
+  Pdw_biochip.Layout.t
+
+(** [island_layout ~device_kinds ()] builds the third architecture of the
+    `archcompare` study: multi-cell devices.  Each device is a 1x3
+    horizontal block (the footprint of a serpentine mixer or filter
+    membrane), sitting between vertical street columns, with horizontal
+    streets above and below every device row.  Fluids traverse the block
+    lengthwise; excess, contamination and washing are tracked per cell,
+    so washing a device costs three targets, not one.
+
+    Same parameters and validation as {!layout}. *)
+val island_layout :
+  ?flow_ports:int ->
+  ?waste_ports:int ->
+  device_kinds:Pdw_biochip.Device.kind list ->
+  unit ->
+  Pdw_biochip.Layout.t
+
+(** [ring_layout ~device_kinds ()] builds the alternative architecture of
+    the `archcompare` bench: a single rectangular ring bus with devices
+    attached on its inside and ports on the chip boundary.  Rings are
+    cheaper to fabricate than street grids but offer only two routes
+    between any two points, so traffic shares channels heavily — a
+    stress case for wash optimization.
+
+    Same parameters and validation as {!layout}. *)
+val ring_layout :
+  ?flow_ports:int ->
+  ?waste_ports:int ->
+  device_kinds:Pdw_biochip.Device.kind list ->
+  unit ->
+  Pdw_biochip.Layout.t

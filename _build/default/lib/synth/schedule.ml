@@ -1,0 +1,212 @@
+module Coord = Pdw_geometry.Coord
+module Gpath = Pdw_geometry.Gpath
+module Layout = Pdw_biochip.Layout
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+
+type entry =
+  | Op_run of { op_id : int; device_id : int; start : int; finish : int }
+  | Task_run of { task : Task.t; start : int; finish : int }
+
+type t = {
+  graph : Sequencing_graph.t;
+  layout : Layout.t;
+  binding : int array;
+  entries : entry list;
+}
+
+let entry_start = function
+  | Op_run { start; _ } | Task_run { start; _ } -> start
+
+let entry_finish = function
+  | Op_run { finish; _ } | Task_run { finish; _ } -> finish
+
+let make ~graph ~layout ~binding entries =
+  if Array.length binding <> Sequencing_graph.num_ops graph then
+    invalid_arg "Schedule.make: binding length mismatch";
+  let entries =
+    List.sort
+      (fun a b ->
+        let c = Int.compare (entry_start a) (entry_start b) in
+        if c <> 0 then c else Int.compare (entry_finish a) (entry_finish b))
+      entries
+  in
+  { graph; layout; binding; entries }
+
+let graph t = t.graph
+let layout t = t.layout
+let binding t = t.binding
+let entries t = t.entries
+
+let entry_cells t = function
+  | Op_run { device_id; _ } ->
+    Coord.Set.of_list (Layout.device_cells t.layout device_id)
+  | Task_run { task; _ } -> Gpath.cell_set task.Task.path
+
+let op_run t op_id =
+  let found =
+    List.find_map
+      (function
+        | Op_run { op_id = o; device_id; start; finish } when o = op_id ->
+          Some (start, finish, device_id)
+        | Op_run _ | Task_run _ -> None)
+      t.entries
+  in
+  match found with Some r -> r | None -> raise Not_found
+
+let task_runs t =
+  List.filter_map
+    (function
+      | Task_run { task; start; finish } -> Some (task, start, finish)
+      | Op_run _ -> None)
+    t.entries
+
+let wash_runs t =
+  List.filter (fun (task, _, _) -> Task.is_wash task) (task_runs t)
+
+let assay_completion t =
+  List.fold_left
+    (fun acc -> function
+      | Op_run { finish; _ } -> max acc finish
+      | Task_run _ -> acc)
+    0 t.entries
+
+let makespan t = List.fold_left (fun acc e -> max acc (entry_finish e)) 0 t.entries
+
+let overlaps s1 f1 s2 f2 = s1 < f2 && s2 < f1
+
+let violations t =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let num_ops = Sequencing_graph.num_ops t.graph in
+  (* Each op runs exactly once and long enough (Eq. 1). *)
+  let runs = Array.make num_ops [] in
+  List.iter
+    (function
+      | Op_run { op_id; device_id; start; finish } ->
+        runs.(op_id) <- (start, finish, device_id) :: runs.(op_id)
+      | Task_run _ -> ())
+    t.entries;
+  Array.iteri
+    (fun i rs ->
+      match rs with
+      | [] -> err "op %d never runs" (i + 1)
+      | [ (s, f, d) ] ->
+        let op = Sequencing_graph.op t.graph i in
+        if f - s < op.Pdw_assay.Operation.duration then
+          err "op %d runs %ds, needs %ds" (i + 1) (f - s)
+            op.Pdw_assay.Operation.duration;
+        if d <> t.binding.(i) then
+          err "op %d runs on device %d, bound to %d" (i + 1) d t.binding.(i)
+      | _ :: _ :: _ -> err "op %d runs multiple times" (i + 1))
+    runs;
+  let run_of i =
+    match runs.(i) with (s, f, _) :: _ -> Some (s, f) | [] -> None
+  in
+  (* Dependencies (Eq. 2). *)
+  for i = 0 to num_ops - 1 do
+    List.iter
+      (fun j ->
+        match (run_of j, run_of i) with
+        | Some (_, fj), Some (si, _) ->
+          if si < fj then err "op %d starts before its input op %d ends"
+              (i + 1) (j + 1)
+        | None, _ | _, None -> ())
+      (Sequencing_graph.predecessors t.graph i)
+  done;
+  (* Device exclusivity (Eq. 3). *)
+  let op_entries =
+    List.filter_map
+      (function
+        | Op_run { op_id; device_id; start; finish } ->
+          Some (op_id, device_id, start, finish)
+        | Task_run _ -> None)
+      t.entries
+  in
+  let rec pairwise = function
+    | [] -> ()
+    | (o1, d1, s1, f1) :: rest ->
+      List.iter
+        (fun (o2, d2, s2, f2) ->
+          if d1 = d2 && overlaps s1 f1 s2 f2 then
+            err "ops %d and %d overlap on device %d" (o1 + 1) (o2 + 1) d1)
+        rest;
+      pairwise rest
+  in
+  pairwise op_entries;
+  (* Transports and removals fit before their consumer (Eqs. 4, 5). *)
+  List.iter
+    (function
+      | Task_run { task; start = _; finish } -> (
+        match task.Task.purpose with
+        | Task.Transport { dst_op; _ } -> (
+          match run_of dst_op with
+          | Some (s, _) ->
+            if finish > s then
+              err "transport #%d ends after op %d starts" task.Task.id
+                (dst_op + 1)
+          | None -> ())
+        | Task.Removal { dst_op; _ } -> (
+          match run_of dst_op with
+          | Some (s, _) ->
+            if finish > s then
+              err "removal #%d ends after op %d starts" task.Task.id
+                (dst_op + 1)
+          | None -> ())
+        | Task.Disposal _ | Task.Wash _ -> ())
+      | Op_run _ -> ())
+    t.entries;
+  (* Source-op precedence for transports (start after producer ends). *)
+  List.iter
+    (function
+      | Task_run { task; start; _ } -> (
+        match task.Task.purpose with
+        | Task.Transport { src_op = Some j; _ }
+        | Task.Disposal { src_op = j; _ } -> (
+          match run_of j with
+          | Some (_, fj) ->
+            if start < fj then
+              err "task #%d starts before producing op %d ends" task.Task.id
+                (j + 1)
+          | None -> ())
+        | Task.Transport { src_op = None; _ }
+        | Task.Removal _ | Task.Wash _ -> ())
+      | Op_run _ -> ())
+    t.entries;
+  (* Cell conflicts (Eqs. 8, 19, 20). *)
+  let arr = Array.of_list t.entries in
+  let n = Array.length arr in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let sa = entry_start arr.(a) and fa = entry_finish arr.(a) in
+      let sb = entry_start arr.(b) and fb = entry_finish arr.(b) in
+      if overlaps sa fa sb fb then begin
+        let shared =
+          Coord.Set.inter (entry_cells t arr.(a)) (entry_cells t arr.(b))
+        in
+        (* An op run and the transport delivering into / out of its own
+           device necessarily share the device cell; the timing checks
+           above already serialize them, so only distinct-time overlap
+           matters — which is what we are flagging. *)
+        if not (Coord.Set.is_empty shared) then
+          err "entries %d and %d overlap in time and share cell %s" a b
+            (Coord.to_string (Coord.Set.choose shared))
+      end
+    done
+  done;
+  List.rev !errs
+
+let pp_entry graph layout ppf = function
+  | Op_run { op_id; device_id; start; finish } ->
+    let op = Sequencing_graph.op graph op_id in
+    let device = Layout.device layout device_id in
+    Format.fprintf ppf "[%3d,%3d) run %s on %s" start finish
+      op.Pdw_assay.Operation.name device.Pdw_biochip.Device.name
+  | Task_run { task; start; finish } ->
+    Format.fprintf ppf "[%3d,%3d) %a" start finish Task.pp task
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e -> Format.fprintf ppf "%a@," (pp_entry t.graph t.layout) e)
+    t.entries;
+  Format.fprintf ppf "@]"

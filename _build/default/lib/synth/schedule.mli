@@ -1,0 +1,57 @@
+(** An assay execution schedule: timed operation runs and fluidic tasks on
+    a concrete layout — the artifact PathDriver-Wash consumes and
+    produces (Fig. 2(b) / Fig. 3). *)
+
+type entry =
+  | Op_run of { op_id : int; device_id : int; start : int; finish : int }
+  | Task_run of { task : Task.t; start : int; finish : int }
+
+type t
+
+(** [make ~graph ~layout ~binding entries] sorts entries by start time.
+    [binding.(op)] is the device the operation runs on.
+    @raise Invalid_argument if the binding length mismatches the graph. *)
+val make :
+  graph:Pdw_assay.Sequencing_graph.t ->
+  layout:Pdw_biochip.Layout.t ->
+  binding:int array ->
+  entry list ->
+  t
+
+val graph : t -> Pdw_assay.Sequencing_graph.t
+val layout : t -> Pdw_biochip.Layout.t
+val binding : t -> int array
+val entries : t -> entry list
+
+val entry_start : entry -> int
+val entry_finish : entry -> int
+
+(** Cells an entry occupies while it runs (device footprint for op runs,
+    path cells for tasks). *)
+val entry_cells : t -> entry -> Pdw_geometry.Coord.Set.t
+
+(** The run of a given operation.  @raise Not_found if absent. *)
+val op_run : t -> int -> int * int * int  (** start, finish, device *)
+
+val task_runs : t -> (Task.t * int * int) list
+val wash_runs : t -> (Task.t * int * int) list
+
+(** Completion time of the last biochemical operation: the [T_assay] of
+    Eq. (22). *)
+val assay_completion : t -> int
+
+(** Completion of everything, trailing disposals and washes included. *)
+val makespan : t -> int
+
+(** Structural well-formedness:
+    - every operation runs exactly once, for at least its duration (Eq. 1);
+    - dependency order is respected (Eq. 2);
+    - same-device runs do not overlap (Eq. 3);
+    - every operation's input transports finish before it starts (Eq. 4);
+    - removals follow their transport and precede the consumer (Eq. 5);
+    - no two concurrent entries share a grid cell (Eqs. 8, 19, 20).
+    Returns the list of violations, empty when valid. *)
+val violations : t -> string list
+
+(** Renders one line per entry, sorted by time. *)
+val pp : Format.formatter -> t -> unit

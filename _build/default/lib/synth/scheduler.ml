@@ -1,0 +1,124 @@
+module Coord = Pdw_geometry.Coord
+
+module Key = struct
+  type t = Op of int | Tsk of int
+
+  let compare a b =
+    match (a, b) with
+    | Op x, Op y | Tsk x, Tsk y -> Int.compare x y
+    | Op _, Tsk _ -> -1
+    | Tsk _, Op _ -> 1
+
+  let to_string = function
+    | Op i -> Printf.sprintf "op%d" (i + 1)
+    | Tsk i -> Printf.sprintf "task#%d" i
+end
+
+module Kmap = Map.Make (Key)
+
+type job = {
+  key : Key.t;
+  duration : int;
+  after : Key.t list;
+  release : int;
+  cells : Coord.Set.t;
+  rank : int;
+}
+
+type assignment = { start : int; finish : int }
+
+let earliest_fit ~busy ~cells ~duration ~lb =
+  let conflict_end t =
+    (* Latest finish among busy intervals overlapping [t, t+duration). *)
+    Coord.Set.fold
+      (fun c acc ->
+        List.fold_left
+          (fun acc (s, f) ->
+            if s < t + duration && t < f then max acc f else acc)
+          acc (busy c))
+      cells (-1)
+  in
+  let rec search t =
+    let bump = conflict_end t in
+    if bump < 0 then t else search bump
+  in
+  search lb
+
+let run jobs =
+  let by_key =
+    List.fold_left
+      (fun acc job ->
+        if Kmap.mem job.key acc then
+          invalid_arg
+            (Printf.sprintf "Scheduler.run: duplicate job %s"
+               (Key.to_string job.key))
+        else Kmap.add job.key job acc)
+      Kmap.empty jobs
+  in
+  List.iter
+    (fun job ->
+      List.iter
+        (fun dep ->
+          if not (Kmap.mem dep by_key) then
+            invalid_arg
+              (Printf.sprintf "Scheduler.run: %s depends on unknown %s"
+                 (Key.to_string job.key) (Key.to_string dep)))
+        job.after)
+    jobs;
+  let calendar : (int * int) list Coord.Table.t = Coord.Table.create 256 in
+  let busy c =
+    match Coord.Table.find_opt calendar c with Some l -> l | None -> []
+  in
+  let occupy cells start finish =
+    Coord.Set.iter
+      (fun c -> Coord.Table.replace calendar c ((start, finish) :: busy c))
+      cells
+  in
+  let done_ = ref Kmap.empty in
+  let remaining = ref (List.length jobs) in
+  let result = ref [] in
+  while !remaining > 0 do
+    (* Ready jobs: all predecessors assigned. *)
+    let ready =
+      Kmap.fold
+        (fun key job acc ->
+          if Kmap.mem key !done_ then acc
+          else if List.for_all (fun d -> Kmap.mem d !done_) job.after then
+            job :: acc
+          else acc)
+        by_key []
+    in
+    (match ready with
+    | [] ->
+      invalid_arg "Scheduler.run: precedence cycle (no ready job)"
+    | _ :: _ -> ());
+    let job =
+      List.fold_left
+        (fun best j ->
+          match best with
+          | None -> Some j
+          | Some b ->
+            if
+              j.rank < b.rank
+              || (j.rank = b.rank && Key.compare j.key b.key < 0)
+            then Some j
+            else best)
+        None ready
+      |> Option.get
+    in
+    let prereq_finish =
+      List.fold_left
+        (fun acc d -> max acc (Kmap.find d !done_).finish)
+        0 job.after
+    in
+    let lb = max job.release prereq_finish in
+    let start =
+      earliest_fit ~busy ~cells:job.cells ~duration:job.duration ~lb
+    in
+    let a = { start; finish = start + job.duration } in
+    occupy job.cells a.start a.finish;
+    done_ := Kmap.add job.key a !done_;
+    result := (job.key, a) :: !result;
+    decr remaining
+  done;
+  List.rev !result

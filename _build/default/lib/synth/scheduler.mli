@@ -1,0 +1,44 @@
+(** Serial schedule generation with precedence and cell-resource
+    constraints: the engine behind both the baseline (no-wash) schedule
+    and the rebuilt schedules of PDW / DAWO.
+
+    Jobs are placed one at a time in priority order at the earliest time
+    that respects (a) finished predecessors, (b) release times and (c)
+    exclusive occupation of their grid cells — the disjunctive
+    constraints (3), (8), (19), (20) resolved greedily instead of by the
+    monolithic ILP (see DESIGN.md, design choice 3). *)
+
+module Key : sig
+  type t =
+    | Op of int   (** a biochemical operation run *)
+    | Tsk of int  (** a fluidic task, by task id *)
+
+  val compare : t -> t -> int
+  val to_string : t -> string
+end
+
+type job = {
+  key : Key.t;
+  duration : int;
+  after : Key.t list;  (** must start at/after these jobs' finish times *)
+  release : int;       (** absolute earliest start *)
+  cells : Pdw_geometry.Coord.Set.t;  (** exclusively occupied while running *)
+  rank : int;  (** scheduling priority; lower ranks are placed first *)
+}
+
+type assignment = { start : int; finish : int }
+
+(** [run jobs] returns a start/finish per job.
+    @raise Invalid_argument on duplicate keys, unknown [after] references,
+    or precedence cycles. *)
+val run : job list -> (Key.t * assignment) list
+
+(** Earliest [t >= lb] at which [cells] are free for [duration] in the
+    given busy calendar ([(start, finish)] per cell).  Exposed for tests
+    and for the wash time-window search. *)
+val earliest_fit :
+  busy:(Pdw_geometry.Coord.t -> (int * int) list) ->
+  cells:Pdw_geometry.Coord.Set.t ->
+  duration:int ->
+  lb:int ->
+  int

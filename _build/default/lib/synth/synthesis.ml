@@ -1,0 +1,445 @@
+module Coord = Pdw_geometry.Coord
+module Gpath = Pdw_geometry.Gpath
+module Fluid = Pdw_biochip.Fluid
+module Device = Pdw_biochip.Device
+module Port = Pdw_biochip.Port
+module Layout = Pdw_biochip.Layout
+module Operation = Pdw_assay.Operation
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+module Benchmarks = Pdw_assay.Benchmarks
+
+type t = {
+  benchmark : Benchmarks.t;
+  layout : Layout.t;
+  binding : int array;
+  reagent_ports : (Fluid.t * int) list;
+  tasks : Task.t list;
+  schedule : Schedule.t;
+}
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+(* Device binding: round-robin baseline, optionally tightened by the
+   local search in {!Binding}. *)
+let bind_devices ?(optimize_binding = true) graph layout =
+  let strip_prefix m =
+    let prefix = "Binding: " in
+    if String.length m > String.length prefix
+       && String.sub m 0 (String.length prefix) = prefix
+    then String.sub m (String.length prefix)
+           (String.length m - String.length prefix)
+    else m
+  in
+  let init =
+    try Binding.round_robin graph layout
+    with Invalid_argument m -> fail "Synthesis: %s" (strip_prefix m)
+  in
+  if optimize_binding then Binding.optimize graph layout ~init else init
+
+let assign_reagent_ports graph layout =
+  let flow_ports = Layout.flow_ports layout in
+  if flow_ports = [] then fail "Synthesis: layout has no flow port";
+  List.mapi
+    (fun i r ->
+      let port = List.nth flow_ports (i mod List.length flow_ports) in
+      (r, port.Port.id))
+    (Sequencing_graph.reagents graph)
+
+(* Excess fluid is cached at the two ends of the destination device
+   (Section II-B): the transport path's last channel cell before the
+   device, and a free continuation cell on the far side. *)
+let excess_cells layout path device_id =
+  let device_cell_set =
+    Coord.Set.of_list (Layout.device_cells layout device_id)
+  in
+  let cells = Gpath.cells path in
+  let rec entry_of acc = function
+    | [] -> None
+    | c :: rest ->
+      if Coord.Set.mem c device_cell_set then acc else entry_of (Some c) rest
+  in
+  let usable c =
+    Layout.through_routable layout c && not (Coord.Set.mem c device_cell_set)
+  in
+  let entry =
+    match entry_of None cells with
+    | Some c when usable c -> [ c ]
+    | Some _ | None -> []
+  in
+  let anchor = Gpath.target path in
+  let exit_side =
+    let on_path c = Gpath.mem path c in
+    List.filter
+      (fun c ->
+        usable c && (not (on_path c))
+        && Pdw_geometry.Grid.in_bounds (Layout.grid layout) c)
+      (Coord.neighbours anchor)
+  in
+  let exit = match exit_side with c :: _ -> [ c ] | [] -> [] in
+  Coord.Set.of_list (entry @ exit)
+
+(* Jobs for the serial scheduler.  Ranks interleave per consuming op:
+   transports < removals/washes < the op run < disposals. *)
+let jobs_of_tasks ?dissolution graph binding layout tasks =
+  let topo = Sequencing_graph.topological_order graph in
+  let pos = Array.make (Sequencing_graph.num_ops graph) 0 in
+  List.iteri (fun idx i -> pos.(i) <- idx) topo;
+  let task_jobs =
+    List.filter_map
+      (fun (task : Task.t) ->
+        let cells = Gpath.cell_set task.Task.path in
+        let duration = Task.duration ?dissolution task in
+        match task.Task.purpose with
+        | Task.Transport { src_op; dst_op; _ } ->
+          let after =
+            match src_op with
+            | Some j -> [ Scheduler.Key.Op j ]
+            | None -> []
+          in
+          Some
+            {
+              Scheduler.key = Scheduler.Key.Tsk task.Task.id;
+              duration;
+              after;
+              release = 0;
+              cells;
+              rank = (pos.(dst_op) * 4) + 0;
+            }
+        | Task.Removal { dst_op; transport; _ } ->
+          Some
+            {
+              Scheduler.key = Scheduler.Key.Tsk task.Task.id;
+              duration;
+              after = [ Scheduler.Key.Tsk transport ];
+              release = 0;
+              cells;
+              rank = (pos.(dst_op) * 4) + 1;
+            }
+        | Task.Disposal { src_op; _ } ->
+          Some
+            {
+              Scheduler.key = Scheduler.Key.Tsk task.Task.id;
+              duration;
+              after = [ Scheduler.Key.Op src_op ];
+              release = 0;
+              cells;
+              rank = (pos.(src_op) * 4) + 3;
+            }
+        | Task.Wash _ ->
+          (* Washes get their precedence from [extra_after]; base job. *)
+          Some
+            {
+              Scheduler.key = Scheduler.Key.Tsk task.Task.id;
+              duration;
+              after = [];
+              release = 0;
+              cells;
+              rank = 0;
+            })
+      tasks
+  in
+  let op_jobs =
+    List.map
+      (fun i ->
+        let op = Sequencing_graph.op graph i in
+        let inbound =
+          List.filter_map
+            (fun (task : Task.t) ->
+              match task.Task.purpose with
+              | Task.Transport { dst_op; _ } | Task.Removal { dst_op; _ }
+                when dst_op = i ->
+                Some (Scheduler.Key.Tsk task.Task.id)
+              | Task.Transport _ | Task.Removal _ | Task.Disposal _
+              | Task.Wash _ ->
+                None)
+            tasks
+        in
+        let preds =
+          List.map
+            (fun j -> Scheduler.Key.Op j)
+            (Sequencing_graph.predecessors graph i)
+        in
+        {
+          Scheduler.key = Scheduler.Key.Op i;
+          duration = op.Operation.duration;
+          after = inbound @ preds;
+          release = 0;
+          cells =
+            Coord.Set.of_list (Layout.device_cells layout binding.(i));
+          rank = (pos.(i) * 4) + 2;
+        })
+      topo
+  in
+  task_jobs @ op_jobs
+
+let schedule_of_assignments graph layout binding tasks assignments =
+  let find key =
+    match List.assoc_opt key assignments with
+    | Some a -> a
+    | None ->
+      fail "Synthesis: scheduler returned no assignment for %s"
+        (Scheduler.Key.to_string key)
+  in
+  let task_entries =
+    List.map
+      (fun (task : Task.t) ->
+        let a = find (Scheduler.Key.Tsk task.Task.id) in
+        Schedule.Task_run
+          { task; start = a.Scheduler.start; finish = a.Scheduler.finish })
+      tasks
+  in
+  let op_entries =
+    List.map
+      (fun i ->
+        let a = find (Scheduler.Key.Op i) in
+        Schedule.Op_run
+          {
+            op_id = i;
+            device_id = binding.(i);
+            start = a.Scheduler.start;
+            finish = a.Scheduler.finish;
+          })
+      (Sequencing_graph.topological_order graph)
+  in
+  Schedule.make ~graph ~layout ~binding (task_entries @ op_entries)
+
+let build_tasks graph layout binding reagent_ports =
+  let next_id = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  (* Fluids already routed through each cell.  Transports prefer virgin
+     cells or cells carrying the same fluid, so distinct fluids get
+     near-dedicated channels — the traffic pattern a PathDriver-style
+     synthesis tool produces with etched point-to-point channels. *)
+  let channel_users : Fluid.t list Coord.Table.t = Coord.Table.create 128 in
+  let foreign_fluid_cost = 30 and foreign_device_cost = 40 in
+  let cell_cost fluid dst_device c =
+    let device_penalty =
+      match Layout.cell layout c with
+      | Layout.Device_cell id when dst_device <> Some id ->
+        foreign_device_cost
+      | Layout.Device_cell _ | Layout.Blocked | Layout.Channel
+      | Layout.Port_cell _ ->
+        0
+    in
+    let congestion_penalty =
+      match Coord.Table.find_opt channel_users c with
+      | Some fluids when not (List.exists (Fluid.equal fluid) fluids) ->
+        foreign_fluid_cost
+      | Some _ | None -> 0
+    in
+    device_penalty + congestion_penalty
+  in
+  let note_path fluid path =
+    List.iter
+      (fun c ->
+        let fluids =
+          match Coord.Table.find_opt channel_users c with
+          | Some l -> l
+          | None -> []
+        in
+        if not (List.exists (Fluid.equal fluid) fluids) then
+          Coord.Table.replace channel_users c (fluid :: fluids))
+      (Gpath.cells path)
+  in
+  let route_or_fail ~fluid ~dst_device src dst what =
+    match
+      Router.cheapest layout ~cost:(cell_cost fluid dst_device) ~src ~dst ()
+    with
+    | Some p ->
+      note_path fluid p;
+      p
+    | None ->
+      fail "Synthesis: cannot route %s from %s to %s" what
+        (Coord.to_string src) (Coord.to_string dst)
+  in
+  let tasks = ref [] in
+  let add task = tasks := task :: !tasks in
+  List.iter
+    (fun i ->
+      let dst_anchor = Layout.device_anchor layout binding.(i) in
+      List.iter
+        (fun input ->
+          let fluid, src, src_op, src_cell =
+            match input with
+            | Sequencing_graph.From_op j ->
+              ( Sequencing_graph.result_fluid graph j,
+                Task.Device_end binding.(j),
+                Some j,
+                Layout.device_anchor layout binding.(j) )
+            | Sequencing_graph.From_reagent r ->
+              let port_id =
+                match
+                  List.find_opt (fun (f, _) -> Fluid.equal f r) reagent_ports
+                with
+                | Some (_, id) -> id
+                | None -> fail "Synthesis: reagent without a port"
+              in
+              ( r,
+                Task.Port_end port_id,
+                None,
+                (Layout.port layout port_id).Port.position )
+          in
+          let path =
+            route_or_fail ~fluid ~dst_device:(Some binding.(i)) src_cell
+              dst_anchor "transport"
+          in
+          let transport_id = fresh () in
+          add
+            (Task.make ~id:transport_id
+               ~purpose:(Task.Transport { fluid; src; src_op; dst_op = i })
+               ~path);
+          (* Excess-fluid removal for this delivery (p_{j,i,2}). *)
+          let excess = excess_cells layout path binding.(i) in
+          if not (Coord.Set.is_empty excess) then begin
+            (* Flush along cells already carrying this fluid where
+               possible, so the removal stays a local extension of the
+               delivery instead of sweeping virgin channels. *)
+            let flush_cost = cell_cost fluid None in
+            (* Both excess cells when one simple path can reach them,
+               otherwise flush whichever end a path does reach. *)
+            let candidates =
+              excess
+              :: List.map Coord.Set.singleton (Coord.Set.elements excess)
+            in
+            let flush_of targets =
+              (* Cost-shaped segments can occasionally paint the greedy
+                 covering into a corner; plain shortest covering is the
+                 fallback. *)
+              let attempt =
+                match Router.flush layout ~cost:flush_cost ~targets () with
+                | Some r -> Some r
+                | None -> Router.flush layout ~targets ()
+              in
+              Option.map (fun (p, _, _) -> (p, targets)) attempt
+            in
+            match List.find_map flush_of candidates with
+            | Some (flush_path, covered) ->
+              note_path fluid flush_path;
+              add
+                (Task.make ~id:(fresh ())
+                   ~purpose:
+                     (Task.Removal
+                        {
+                          fluid;
+                          dst_op = i;
+                          transport = transport_id;
+                          excess = covered;
+                        })
+                   ~path:flush_path)
+            | None ->
+              fail "Synthesis: cannot route excess removal for op %d (excess: %s)"
+                (i + 1)
+                (String.concat ","
+                   (List.map Coord.to_string (Coord.Set.elements excess)))
+          end)
+        (Sequencing_graph.inputs graph i))
+    (Sequencing_graph.topological_order graph);
+  (* Final products leave through the nearest waste port. *)
+  List.iter
+    (fun i ->
+      let src_cell = Layout.device_anchor layout binding.(i) in
+      let fluid = Sequencing_graph.result_fluid graph i in
+      let disposal_cost = cell_cost fluid None in
+      let best =
+        List.fold_left
+          (fun acc (wp : Port.t) ->
+            match
+              Router.cheapest layout ~cost:disposal_cost ~src:src_cell
+                ~dst:wp.Port.position ()
+            with
+            | None -> acc
+            | Some p -> (
+              match acc with
+              | Some q when Gpath.length q <= Gpath.length p -> acc
+              | Some _ | None -> Some p))
+          None (Layout.waste_ports layout)
+      in
+      match best with
+      | Some path ->
+        note_path fluid path;
+        add
+          (Task.make ~id:(fresh ())
+             ~purpose:(Task.Disposal { fluid; src_op = i })
+             ~path)
+      | None -> fail "Synthesis: cannot route disposal for op %d" (i + 1))
+    (Sequencing_graph.sinks graph);
+  List.rev !tasks
+
+let synthesize ?layout ?optimize_binding (benchmark : Benchmarks.t) =
+  let graph = benchmark.Benchmarks.graph in
+  let layout =
+    match layout with
+    | Some l -> l
+    | None ->
+      (* One flow port per reagent where the boundary allows it: shared
+         injection ports are themselves cross-contamination hotspots. *)
+      let flow_ports =
+        min 10 (max 4 (List.length (Sequencing_graph.reagents graph)))
+      in
+      Placement.layout ~flow_ports
+        ~device_kinds:benchmark.Benchmarks.device_kinds ()
+  in
+  let binding = bind_devices ?optimize_binding graph layout in
+  let reagent_ports = assign_reagent_ports graph layout in
+  let tasks = build_tasks graph layout binding reagent_ports in
+  let jobs = jobs_of_tasks graph binding layout tasks in
+  let assignments = Scheduler.run jobs in
+  let schedule = schedule_of_assignments graph layout binding tasks assignments in
+  { benchmark; layout; binding; reagent_ports; tasks; schedule }
+
+let next_task_id t =
+  List.fold_left (fun acc (task : Task.t) -> max acc (task.Task.id + 1)) 0 t.tasks
+
+let topo_position t op_id =
+  let topo =
+    Sequencing_graph.topological_order t.benchmark.Benchmarks.graph
+  in
+  let rec go idx = function
+    | [] -> fail "Synthesis.topo_position: unknown op %d" op_id
+    | i :: rest -> if i = op_id then idx else go (idx + 1) rest
+  in
+  go 0 topo
+
+let jobs ?dissolution t ~tasks =
+  jobs_of_tasks ?dissolution t.benchmark.Benchmarks.graph t.binding t.layout
+    tasks
+
+let reschedule t ~tasks ?dissolution ?(extra_after = [])
+    ?(extra_release = []) ?(rank_override = []) () =
+  let graph = t.benchmark.Benchmarks.graph in
+  let jobs = jobs_of_tasks ?dissolution graph t.binding t.layout tasks in
+  let jobs =
+    List.map
+      (fun (job : Scheduler.job) ->
+        let extra =
+          List.filter_map
+            (fun (k, dep) ->
+              if Scheduler.Key.compare k job.Scheduler.key = 0 then Some dep
+              else None)
+            extra_after
+        in
+        let release =
+          List.fold_left
+            (fun acc (k, r) ->
+              if Scheduler.Key.compare k job.Scheduler.key = 0 then max acc r
+              else acc)
+            job.Scheduler.release extra_release
+        in
+        let rank =
+          match
+            List.find_opt
+              (fun (k, _) -> Scheduler.Key.compare k job.Scheduler.key = 0)
+              rank_override
+          with
+          | Some (_, r) -> r
+          | None -> job.Scheduler.rank
+        in
+        { job with Scheduler.after = job.Scheduler.after @ extra; release; rank })
+      jobs
+  in
+  let assignments = Scheduler.run jobs in
+  schedule_of_assignments graph t.layout t.binding tasks assignments

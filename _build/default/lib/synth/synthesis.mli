@@ -1,0 +1,63 @@
+(** End-to-end architectural synthesis: sequencing graph -> placed layout,
+    device binding, routed fluidic tasks and a baseline (wash-free)
+    schedule.  This plays the role of the PathDriver/PathDriver+ tools
+    [7], [12] that produce the "given" inputs of the PDW problem
+    formulation (Section II-D). *)
+
+type t = {
+  benchmark : Pdw_assay.Benchmarks.t;
+  layout : Pdw_biochip.Layout.t;
+  binding : int array;  (** op id -> device id *)
+  reagent_ports : (Pdw_biochip.Fluid.t * int) list;
+      (** reagent -> flow port id used to inject it *)
+  tasks : Task.t list;  (** transports, removals and disposals; no washes *)
+  schedule : Schedule.t;  (** the baseline schedule of those tasks *)
+}
+
+(** [synthesize benchmark] builds the chip with {!Placement} (or uses
+    [layout] when given, e.g. the Fig. 2(a) chip), binds operations to
+    devices, routes every task and schedules the assay.
+
+    @param optimize_binding improve the round-robin binding with
+    {!Binding.optimize} (default true — the PathDriver+ tools whose role
+    this module plays optimize binding too; see the `binding` bench for
+    the gain)
+    @raise Invalid_argument when the device library lacks a kind the
+    assay needs, or routing fails (disconnected layout). *)
+val synthesize :
+  ?layout:Pdw_biochip.Layout.t ->
+  ?optimize_binding:bool ->
+  Pdw_assay.Benchmarks.t ->
+  t
+
+(** Fresh task ids for washes added later start above any synthesized
+    task id. *)
+val next_task_id : t -> int
+
+(** Position of an operation in the topological order used for
+    scheduling ranks (washes slot their priority relative to this). *)
+val topo_position : t -> int -> int
+
+(** The scheduler jobs (durations, precedence, cell footprints, ranks)
+    for a task set of this synthesis — the shared input of the serial
+    scheduler and of the exact scheduling MILP
+    ({!Pdw_wash.Schedule_ilp}). *)
+val jobs : ?dissolution:int -> t -> tasks:Task.t list -> Scheduler.job list
+
+(** Rebuild a schedule after the task set changes (washes added, merged
+    removals dropped).  [extra_after] adds precedence edges
+    (job [fst] must wait for [snd]); [extra_release] gives per-task
+    release times; [ranks] overrides task priorities (default: the rank
+    used at synthesis time).  Tasks must reference ops of this synthesis.
+
+    This is the schedule-recomputation step of Eqs. (1)–(8)/(16)–(22),
+    solved by serial generation (see DESIGN.md, design choice 3). *)
+val reschedule :
+  t ->
+  tasks:Task.t list ->
+  ?dissolution:int ->
+  ?extra_after:(Scheduler.Key.t * Scheduler.Key.t) list ->
+  ?extra_release:(Scheduler.Key.t * int) list ->
+  ?rank_override:(Scheduler.Key.t * int) list ->
+  unit ->
+  Schedule.t

@@ -1,0 +1,67 @@
+module Coord = Pdw_geometry.Coord
+module Gpath = Pdw_geometry.Gpath
+module Fluid = Pdw_biochip.Fluid
+
+type endpoint = Port_end of int | Device_end of int
+
+type purpose =
+  | Transport of {
+      fluid : Fluid.t;
+      src : endpoint;
+      src_op : int option;
+      dst_op : int;
+    }
+  | Removal of {
+      fluid : Fluid.t;
+      dst_op : int;
+      transport : int;
+      excess : Coord.Set.t;
+    }
+  | Disposal of { fluid : Fluid.t; src_op : int }
+  | Wash of { targets : Coord.Set.t; merged_removals : int list }
+
+type t = { id : int; purpose : purpose; path : Gpath.t }
+
+let make ~id ~purpose ~path = { id; purpose; path }
+
+let duration ?(dissolution = Pdw_biochip.Units.dissolution_seconds) t =
+  let cells = Gpath.length t.path in
+  match t.purpose with
+  | Wash _ -> Pdw_biochip.Units.travel_seconds cells + dissolution
+  | Transport _ | Removal _ | Disposal _ ->
+    Pdw_biochip.Units.transport_seconds cells
+
+let is_wash t = match t.purpose with
+  | Wash _ -> true
+  | Transport _ | Removal _ | Disposal _ -> false
+
+let is_removal t = match t.purpose with
+  | Removal _ -> true
+  | Transport _ | Disposal _ | Wash _ -> false
+
+let is_sensitive t =
+  match t.purpose with
+  | Transport _ -> true
+  | Removal _ | Disposal _ | Wash _ -> false
+
+let carried_fluid t =
+  match t.purpose with
+  | Transport { fluid; _ } | Removal { fluid; _ } | Disposal { fluid; _ } ->
+    Some fluid
+  | Wash _ -> None
+
+let purpose_to_string = function
+  | Transport { fluid; dst_op; _ } ->
+    Printf.sprintf "transport[%s->o%d]" (Fluid.to_string fluid) (dst_op + 1)
+  | Removal { fluid; dst_op; _ } ->
+    Printf.sprintf "removal[%s,o%d]" (Fluid.to_string fluid) (dst_op + 1)
+  | Disposal { fluid; src_op } ->
+    Printf.sprintf "disposal[%s,o%d]" (Fluid.to_string fluid) (src_op + 1)
+  | Wash { targets; merged_removals } ->
+    Printf.sprintf "wash[%d targets%s]" (Coord.Set.cardinal targets)
+      (if merged_removals = [] then ""
+       else Printf.sprintf ",+%d removals" (List.length merged_removals))
+
+let pp ppf t =
+  Format.fprintf ppf "#%d %s len=%d" t.id (purpose_to_string t.purpose)
+    (Gpath.length t.path)

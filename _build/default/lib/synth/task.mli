@@ -1,0 +1,54 @@
+(** Fluidic tasks: everything that moves fluid along a path.
+
+    [Transport] is the paper's [p_(j,i,1)] (reagent or intermediate-result
+    delivery); [Removal] is [p_(j,i,2)] (excess-fluid flush after a
+    delivery); [Disposal] carries a final/spent product to a waste port;
+    [Wash] flushes buffer along a wash path (the [w_j] of Section III). *)
+
+type endpoint =
+  | Port_end of int    (** port id *)
+  | Device_end of int  (** device id *)
+
+type purpose =
+  | Transport of {
+      fluid : Pdw_biochip.Fluid.t;
+      src : endpoint;
+      src_op : int option;  (** producing operation, [None] for reagents *)
+      dst_op : int;         (** consuming operation *)
+    }
+  | Removal of {
+      fluid : Pdw_biochip.Fluid.t;  (** the excess fluid being flushed *)
+      dst_op : int;                 (** operation whose delivery caused it *)
+      transport : int;              (** the delivering transport's task id *)
+      excess : Pdw_geometry.Coord.Set.t;  (** cells holding excess fluid *)
+    }
+  | Disposal of {
+      fluid : Pdw_biochip.Fluid.t;
+      src_op : int;  (** operation whose product is discarded *)
+    }
+  | Wash of {
+      targets : Pdw_geometry.Coord.Set.t;  (** the [wt] set it must cover *)
+      merged_removals : int list;
+          (** removal-task ids it absorbs (the [psi] of Eq. (21)) *)
+    }
+
+type t = { id : int; purpose : purpose; path : Pdw_geometry.Gpath.t }
+
+val make : id:int -> purpose:purpose -> path:Pdw_geometry.Gpath.t -> t
+
+(** Duration in seconds per {!Pdw_biochip.Units}: travel time for the
+    path, plus dissolution time for wash tasks (Eq. (17)). *)
+val duration : ?dissolution:int -> t -> int
+
+val is_wash : t -> bool
+val is_removal : t -> bool
+
+(** Tasks whose passage would be corrupted by residue: transports.
+    Removal/disposal/wash traffic is insensitive (it ends in a waste
+    port). *)
+val is_sensitive : t -> bool
+
+(** Fluid the task pushes through its path ([None] for wash: buffer). *)
+val carried_fluid : t -> Pdw_biochip.Fluid.t option
+
+val pp : Format.formatter -> t -> unit

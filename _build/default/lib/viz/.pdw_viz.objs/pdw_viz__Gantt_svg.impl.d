@@ -1,0 +1,1 @@
+lib/viz/gantt_svg.ml: Format List Pdw_assay Pdw_biochip Pdw_synth String Svg

@@ -1,0 +1,1 @@
+lib/viz/gantt_svg.mli: Pdw_synth

@@ -1,0 +1,1 @@
+lib/viz/layout_svg.ml: Array List Pdw_biochip Pdw_geometry String Svg

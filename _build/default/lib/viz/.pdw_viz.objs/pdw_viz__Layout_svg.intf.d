@@ -1,0 +1,1 @@
+lib/viz/layout_svg.mli: Pdw_biochip Pdw_geometry

@@ -1,0 +1,95 @@
+module Device = Pdw_biochip.Device
+module Layout = Pdw_biochip.Layout
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+
+type row = { label : string; mutable bars : (int * int * string * string) list }
+(* bars: start, finish, color, tooltip *)
+
+let task_row_info task =
+  match task.Task.purpose with
+  | Task.Transport _ -> ("transports", "#5dade2")
+  | Task.Removal _ -> ("removals", "#f5b041")
+  | Task.Disposal _ -> ("disposals", "#839192")
+  | Task.Wash _ -> ("washes", "#58d68d")
+
+let render ?(row_height = 22.0) ?(second = 9.0) schedule =
+  let layout = Schedule.layout schedule in
+  let graph = Schedule.graph schedule in
+  (* Rows: one per device, then the four task classes. *)
+  let device_rows =
+    List.map
+      (fun (d : Device.t) -> { label = d.Device.name; bars = [] })
+      (Layout.devices layout)
+  in
+  let class_names = [ "transports"; "removals"; "disposals"; "washes" ] in
+  let class_rows = List.map (fun label -> { label; bars = [] }) class_names in
+  let find_row label rows =
+    List.find (fun r -> String.equal r.label label) rows
+  in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Schedule.Op_run { op_id; device_id; start; finish } ->
+        let device = Layout.device layout device_id in
+        let row = find_row device.Device.name device_rows in
+        let op = Sequencing_graph.op graph op_id in
+        row.bars <-
+          (start, finish, "#af7ac5", op.Pdw_assay.Operation.name)
+          :: row.bars
+      | Schedule.Task_run { task; start; finish } ->
+        let label, color = task_row_info task in
+        let row = find_row label class_rows in
+        row.bars <-
+          (start, finish, color, Format.asprintf "%a" Task.pp task)
+          :: row.bars)
+    (Schedule.entries schedule);
+  let rows = device_rows @ class_rows in
+  let label_width = 90.0 in
+  let horizon = Schedule.makespan schedule in
+  let width = label_width +. (float_of_int horizon *. second) +. 20.0 in
+  let height = (float_of_int (List.length rows) *. row_height) +. 40.0 in
+  let svg = Svg.create ~width ~height in
+  Svg.rect svg ~x:0.0 ~y:0.0 ~w:width ~h:height
+    ~attrs:[ ("fill", "#fdfdfb") ]
+    ();
+  (* time axis with a tick every 10 s *)
+  let axis_y = (float_of_int (List.length rows) *. row_height) +. 12.0 in
+  let tick = 10 in
+  let rec ticks t =
+    if t <= horizon then begin
+      let x = label_width +. (float_of_int t *. second) in
+      Svg.line svg ~x1:x ~y1:0.0 ~x2:x ~y2:axis_y
+        ~attrs:[ ("stroke", "#eeeeee") ]
+        ();
+      Svg.text svg ~x ~y:(axis_y +. 14.0)
+        ~attrs:
+          [ ("text-anchor", "middle"); ("font-size", "10");
+            ("font-family", "sans-serif"); ("fill", "#666666") ]
+        (string_of_int t);
+      ticks (t + tick)
+    end
+  in
+  ticks 0;
+  List.iteri
+    (fun i row ->
+      let y = float_of_int i *. row_height in
+      Svg.text svg ~x:4.0 ~y:(y +. (row_height /. 2.0) +. 4.0)
+        ~attrs:
+          [ ("font-size", "11"); ("font-family", "sans-serif");
+            ("fill", "#333333") ]
+        row.label;
+      List.iter
+        (fun (s, f, color, _tooltip) ->
+          Svg.rect svg
+            ~x:(label_width +. (float_of_int s *. second))
+            ~y:(y +. 3.0)
+            ~w:(float_of_int (f - s) *. second)
+            ~h:(row_height -. 6.0)
+            ~attrs:
+              [ ("fill", color); ("stroke", "#44444488"); ("rx", "2") ]
+            ())
+        row.bars)
+    rows;
+  Svg.to_string svg

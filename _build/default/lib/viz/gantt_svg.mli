@@ -1,0 +1,7 @@
+(** SVG Gantt chart of a schedule — the visual counterpart of the paper's
+    Fig. 2(b)/Fig. 3 timelines.  One row per device (operation runs) and
+    one row per task class (transports, removals, disposals, washes),
+    bars colored by entry kind, with a time axis in seconds. *)
+
+val render : ?row_height:float -> ?second:float -> Pdw_synth.Schedule.t ->
+  string

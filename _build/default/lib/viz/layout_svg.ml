@@ -1,0 +1,91 @@
+module Coord = Pdw_geometry.Coord
+module Grid = Pdw_geometry.Grid
+module Gpath = Pdw_geometry.Gpath
+module Device = Pdw_biochip.Device
+module Port = Pdw_biochip.Port
+module Layout = Pdw_biochip.Layout
+
+let device_color = function
+  | Device.Mixer -> "#7fb3d5"
+  | Device.Heater -> "#f1948a"
+  | Device.Detector -> "#82e0aa"
+  | Device.Filter -> "#c39bd3"
+  | Device.Storage -> "#f8c471"
+
+let highlight_colors =
+  [| "#e74c3c"; "#8e44ad"; "#16a085"; "#d35400"; "#2c3e50"; "#c0392b" |]
+
+let render ?(cell = 28.0) ?(highlight = []) layout =
+  let grid = Layout.grid layout in
+  let w = float_of_int (Grid.width grid) *. cell in
+  let h = float_of_int (Grid.height grid) *. cell in
+  let legend_height = if highlight = [] then 0.0 else 24.0 in
+  let svg = Svg.create ~width:w ~height:(h +. legend_height) in
+  let px (c : Coord.t) = float_of_int c.Coord.x *. cell in
+  let py (c : Coord.t) = float_of_int c.Coord.y *. cell in
+  (* background *)
+  Svg.rect svg ~x:0.0 ~y:0.0 ~w ~h ~attrs:[ ("fill", "#fbfbf8") ] ();
+  (* cells *)
+  Grid.iter grid (fun c v ->
+      let draw fill stroke =
+        Svg.rect svg ~x:(px c +. 1.0) ~y:(py c +. 1.0) ~w:(cell -. 2.0)
+          ~h:(cell -. 2.0)
+          ~attrs:[ ("fill", fill); ("stroke", stroke); ("rx", "3") ]
+          ()
+      in
+      match v with
+      | Layout.Blocked -> ()
+      | Layout.Channel -> draw "#e8e8e0" "#c8c8c0"
+      | Layout.Device_cell id ->
+        let device = Layout.device layout id in
+        draw (device_color device.Device.kind) "#555555";
+        Svg.text svg
+          ~x:(px c +. (cell /. 2.0))
+          ~y:(py c +. (cell /. 2.0) +. 4.0)
+          ~attrs:
+            [ ("text-anchor", "middle"); ("font-size", "11");
+              ("font-family", "sans-serif") ]
+          (String.make 1 (Device.glyph device.Device.kind))
+      | Layout.Port_cell id ->
+        let port = Layout.port layout id in
+        let fill =
+          match port.Port.kind with
+          | Port.Flow -> "#5dade2"
+          | Port.Waste -> "#839192"
+        in
+        Svg.circle svg
+          ~cx:(px c +. (cell /. 2.0))
+          ~cy:(py c +. (cell /. 2.0))
+          ~r:(cell /. 2.8)
+          ~attrs:[ ("fill", fill); ("stroke", "#333333") ]
+          ();
+        Svg.text svg
+          ~x:(px c +. (cell /. 2.0))
+          ~y:(py c +. (cell /. 2.0) +. 3.0)
+          ~attrs:
+            [ ("text-anchor", "middle"); ("font-size", "8");
+              ("font-family", "sans-serif"); ("fill", "#ffffff") ]
+          port.Port.name);
+  (* highlighted paths *)
+  List.iteri
+    (fun i (label, path) ->
+      let color = highlight_colors.(i mod Array.length highlight_colors) in
+      let points =
+        List.map
+          (fun c -> (px c +. (cell /. 2.0), py c +. (cell /. 2.0)))
+          (Gpath.cells path)
+      in
+      Svg.polyline svg points
+        ~attrs:
+          [ ("fill", "none"); ("stroke", color); ("stroke-width", "3");
+            ("stroke-opacity", "0.75"); ("stroke-linecap", "round") ]
+        ();
+      Svg.text svg
+        ~x:(8.0 +. (float_of_int i *. 120.0))
+        ~y:(h +. 16.0)
+        ~attrs:
+          [ ("font-size", "12"); ("font-family", "sans-serif");
+            ("fill", color) ]
+        label)
+    highlight;
+  Svg.to_string svg

@@ -1,0 +1,13 @@
+(** SVG rendering of chip layouts: channels, devices (colored by kind,
+    labelled), flow/waste ports, and optionally a set of highlighted
+    paths (e.g. wash paths). *)
+
+(** [render layout] draws the chip.
+
+    @param cell size of one grid cell in pixels (default 28)
+    @param highlight paths drawn as colored overlays, with a label each *)
+val render :
+  ?cell:float ->
+  ?highlight:(string * Pdw_geometry.Gpath.t) list ->
+  Pdw_biochip.Layout.t ->
+  string

@@ -1,0 +1,67 @@
+type attrs = (string * string) list
+
+type t = {
+  width : float;
+  height : float;
+  mutable elements : string list; (* reversed *)
+}
+
+let create ~width ~height = { width; height; elements = [] }
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_attrs attrs =
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape v)) attrs)
+
+let add t s = t.elements <- s :: t.elements
+
+let f2s v = Printf.sprintf "%g" v
+
+let rect t ~x ~y ~w ~h ?(attrs = []) () =
+  add t
+    (Printf.sprintf "<rect x=\"%s\" y=\"%s\" width=\"%s\" height=\"%s\"%s/>"
+       (f2s x) (f2s y) (f2s w) (f2s h) (render_attrs attrs))
+
+let line t ~x1 ~y1 ~x2 ~y2 ?(attrs = []) () =
+  add t
+    (Printf.sprintf "<line x1=\"%s\" y1=\"%s\" x2=\"%s\" y2=\"%s\"%s/>"
+       (f2s x1) (f2s y1) (f2s x2) (f2s y2) (render_attrs attrs))
+
+let circle t ~cx ~cy ~r ?(attrs = []) () =
+  add t
+    (Printf.sprintf "<circle cx=\"%s\" cy=\"%s\" r=\"%s\"%s/>" (f2s cx)
+       (f2s cy) (f2s r) (render_attrs attrs))
+
+let text t ~x ~y ?(attrs = []) content =
+  add t
+    (Printf.sprintf "<text x=\"%s\" y=\"%s\"%s>%s</text>" (f2s x) (f2s y)
+       (render_attrs attrs) (escape content))
+
+let polyline t points ?(attrs = []) () =
+  let pts =
+    String.concat " "
+      (List.map (fun (x, y) -> Printf.sprintf "%s,%s" (f2s x) (f2s y)) points)
+  in
+  add t (Printf.sprintf "<polyline points=\"%s\"%s/>" pts (render_attrs attrs))
+
+let to_string t =
+  let header =
+    Printf.sprintf
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%s\" height=\"%s\" \
+       viewBox=\"0 0 %s %s\">"
+      (f2s t.width) (f2s t.height) (f2s t.width) (f2s t.height)
+  in
+  String.concat "\n" (header :: List.rev ("</svg>" :: t.elements))

@@ -1,0 +1,30 @@
+(** A minimal SVG document builder — just enough for layout maps and
+    schedule Gantt charts, with no external dependencies. *)
+
+type t
+
+(** Element attributes as (name, value) pairs; values are escaped. *)
+type attrs = (string * string) list
+
+val create : width:float -> height:float -> t
+
+val rect :
+  t -> x:float -> y:float -> w:float -> h:float -> ?attrs:attrs -> unit ->
+  unit
+
+val line :
+  t -> x1:float -> y1:float -> x2:float -> y2:float -> ?attrs:attrs ->
+  unit -> unit
+
+val circle : t -> cx:float -> cy:float -> r:float -> ?attrs:attrs -> unit ->
+  unit
+
+(** Text content is escaped. *)
+val text :
+  t -> x:float -> y:float -> ?attrs:attrs -> string -> unit
+
+(** [polyline t points] with points in user units. *)
+val polyline : t -> (float * float) list -> ?attrs:attrs -> unit -> unit
+
+(** Serialize the document; elements appear in insertion order. *)
+val to_string : t -> string

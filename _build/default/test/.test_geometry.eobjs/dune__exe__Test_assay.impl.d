@@ -1,0 +1,1 @@
+test/test_assay.ml: Alcotest Fun Hashtbl List Pdw_assay Pdw_biochip Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_biochip.ml: Alcotest List Pdw_biochip Pdw_geometry Pdw_synth Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Format List Pdw_assay Pdw_check Pdw_geometry Pdw_synth Pdw_wash String

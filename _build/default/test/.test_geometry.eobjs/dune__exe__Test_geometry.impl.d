@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest List Pdw_geometry QCheck2 QCheck_alcotest

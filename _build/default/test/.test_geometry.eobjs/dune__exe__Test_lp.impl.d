@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array List Pdw_lp QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Format List Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth Pdw_wash String

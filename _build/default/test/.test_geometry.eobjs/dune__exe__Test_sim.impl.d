@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Format List Pdw_assay Pdw_biochip Pdw_geometry Pdw_sim Pdw_synth Pdw_wash Printf QCheck2 QCheck_alcotest String

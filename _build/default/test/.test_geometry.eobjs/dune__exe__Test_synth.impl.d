@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array List Option Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth Pdw_wash Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest List Pdw_assay Pdw_biochip Pdw_geometry Pdw_synth Pdw_viz Pdw_wash String

@@ -1,0 +1,345 @@
+(* Tests for the pdw_assay library: operations, sequencing-graph
+   validation and derived data, the Table II benchmarks' published
+   |O|/|D|/|E| counts, and the random assay generator. *)
+
+module Fluid = Pdw_biochip.Fluid
+module Device = Pdw_biochip.Device
+module Operation = Pdw_assay.Operation
+module Sequencing_graph = Pdw_assay.Sequencing_graph
+module Benchmarks = Pdw_assay.Benchmarks
+module Assay_gen = Pdw_assay.Assay_gen
+
+let node id kind duration inputs : Sequencing_graph.node =
+  { op = Operation.make ~id ~kind ~duration (); inputs }
+
+let reagent name = Sequencing_graph.From_reagent (Fluid.reagent name)
+let from_op i = Sequencing_graph.From_op i
+
+let simple_graph () =
+  Sequencing_graph.make ~name:"t"
+    [
+      node 0 Operation.Mix 2 [ reagent "a"; reagent "b" ];
+      node 1 Operation.Heat 3 [ from_op 0 ];
+      node 2 Operation.Detect 2 [ from_op 1 ];
+    ]
+
+let test_operation_device_kinds () =
+  Alcotest.(check bool) "mix -> mixer" true
+    (Device.kind_equal (Operation.device_kind Operation.Mix) Device.Mixer);
+  Alcotest.(check bool) "store -> storage" true
+    (Device.kind_equal (Operation.device_kind Operation.Store) Device.Storage);
+  Alcotest.(check int) "mix needs 2 inputs" 2 (Operation.min_inputs Operation.Mix);
+  Alcotest.(check int) "heat needs 1 input" 1
+    (Operation.min_inputs Operation.Heat)
+
+let test_operation_rejects_bad_duration () =
+  Alcotest.check_raises "zero duration"
+    (Invalid_argument "Operation.make: non-positive duration") (fun () ->
+      ignore (Operation.make ~id:0 ~kind:Operation.Mix ~duration:0 ()))
+
+let test_graph_basics () =
+  let g = simple_graph () in
+  Alcotest.(check int) "ops" 3 (Sequencing_graph.num_ops g);
+  Alcotest.(check int) "edges" 4 (Sequencing_graph.num_edges g);
+  Alcotest.(check (list int)) "topo order" [ 0; 1; 2 ]
+    (Sequencing_graph.topological_order g);
+  Alcotest.(check (list int)) "sinks" [ 2 ] (Sequencing_graph.sinks g);
+  Alcotest.(check (list int)) "succs of 0" [ 1 ]
+    (Sequencing_graph.successors g 0);
+  Alcotest.(check (list int)) "preds of 2" [ 1 ]
+    (Sequencing_graph.predecessors g 2);
+  Alcotest.(check int) "critical path" 7
+    (Sequencing_graph.critical_path_duration g)
+
+let test_graph_fluids () =
+  let g = simple_graph () in
+  let mixed = Fluid.mix (Fluid.reagent "a") (Fluid.reagent "b") in
+  Alcotest.(check bool) "o1 result is the mix" true
+    (Fluid.equal (Sequencing_graph.result_fluid g 0) mixed);
+  Alcotest.(check bool) "o2 result is heated" true
+    (Fluid.equal (Sequencing_graph.result_fluid g 1) (Fluid.heat mixed));
+  (* Detection is non-destructive: o3's result = its input. *)
+  Alcotest.(check bool) "detect preserves fluid" true
+    (Fluid.equal
+       (Sequencing_graph.result_fluid g 2)
+       (Sequencing_graph.input_fluid g 2));
+  Alcotest.(check int) "o1 has two input fluids" 2
+    (List.length (Sequencing_graph.input_fluids g 0));
+  Alcotest.(check int) "two distinct reagents" 2
+    (List.length (Sequencing_graph.reagents g))
+
+let test_graph_rejects_cycle () =
+  let cyclic () =
+    Sequencing_graph.make ~name:"cycle"
+      [
+        node 0 Operation.Heat 2 [ from_op 1 ];
+        node 1 Operation.Heat 2 [ from_op 0 ];
+      ]
+  in
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Sequencing_graph: cycle detected") (fun () ->
+      ignore (cyclic ()))
+
+let test_graph_rejects_underfed_mix () =
+  Alcotest.check_raises "mix with one input"
+    (Invalid_argument "Sequencing_graph t: op 0 has 1 inputs, needs >= 2")
+    (fun () ->
+      ignore
+        (Sequencing_graph.make ~name:"t"
+           [ node 0 Operation.Mix 2 [ reagent "a" ] ]))
+
+let test_graph_rejects_buffer_reagent () =
+  Alcotest.check_raises "buffer as reagent"
+    (Invalid_argument "Sequencing_graph t: op 0 takes buffer/waste as reagent")
+    (fun () ->
+      ignore
+        (Sequencing_graph.make ~name:"t"
+           [
+             node 0 Operation.Mix 2
+               [ Sequencing_graph.From_reagent Fluid.Buffer; reagent "a" ];
+           ]))
+
+let test_graph_rejects_self_loop () =
+  Alcotest.check_raises "self edge"
+    (Invalid_argument "Sequencing_graph t: op 0 feeds itself") (fun () ->
+      ignore
+        (Sequencing_graph.make ~name:"t"
+           [ node 0 Operation.Mix 2 [ from_op 0; reagent "a" ] ]))
+
+(* Table II column 2: the published |O| / |D| / |E| counts. *)
+let published_stats =
+  [
+    ("PCR", (7, 5, 15));
+    ("IVD", (12, 9, 24));
+    ("ProteinSplit", (14, 11, 27));
+    ("Kinase act-1", (4, 9, 16));
+    ("Kinase act-2", (12, 9, 48));
+    ("Synthetic1", (10, 12, 15));
+    ("Synthetic2", (15, 13, 24));
+    ("Synthetic3", (20, 18, 28));
+  ]
+
+let test_benchmark_stats () =
+  List.iter
+    (fun (name, (o, d, e)) ->
+      match Benchmarks.find name with
+      | None -> Alcotest.failf "missing benchmark %s" name
+      | Some b ->
+        let g = b.Benchmarks.graph in
+        Alcotest.(check int) (name ^ " |O|") o (Sequencing_graph.num_ops g);
+        Alcotest.(check int)
+          (name ^ " |D|")
+          d
+          (List.length b.Benchmarks.device_kinds);
+        Alcotest.(check int) (name ^ " |E|") e (Sequencing_graph.num_edges g))
+    published_stats
+
+let test_benchmark_device_coverage () =
+  (* Every benchmark's library covers every device kind its ops need. *)
+  let check name (b : Benchmarks.t) =
+    List.iter
+      (fun (kind, _) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s has a %s" name (Device.kind_to_string kind))
+          true
+          (List.exists (Device.kind_equal kind) b.Benchmarks.device_kinds))
+      (Sequencing_graph.required_device_kinds b.Benchmarks.graph)
+  in
+  List.iter (fun (n, b) -> check n b) (Benchmarks.all ());
+  check "Motivating" (Benchmarks.motivating ())
+
+let test_benchmark_find () =
+  Alcotest.(check bool) "case-insensitive" true (Benchmarks.find "pcr" <> None);
+  Alcotest.(check bool) "motivating" true
+    (Benchmarks.find "Motivating" <> None);
+  Alcotest.(check bool) "unknown" true (Benchmarks.find "nope" = None)
+
+let test_motivating_shape () =
+  let b = Benchmarks.motivating () in
+  let g = b.Benchmarks.graph in
+  Alcotest.(check int) "7 ops" 7 (Sequencing_graph.num_ops g);
+  Alcotest.(check int) "2 reagents" 2
+    (List.length (Sequencing_graph.reagents g));
+  Alcotest.(check int) "5 devices" 5 (List.length b.Benchmarks.device_kinds)
+
+let test_repeat_batches () =
+  let g = simple_graph () in
+  let g3 = Sequencing_graph.repeat g 3 in
+  Alcotest.(check int) "3x ops" 9 (Sequencing_graph.num_ops g3);
+  Alcotest.(check int) "3x edges" 12 (Sequencing_graph.num_edges g3);
+  (* Copies are disjoint: no dependencies across copy boundaries. *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          Alcotest.(check int) "same copy" (i / 3) (j / 3))
+        (Sequencing_graph.predecessors g3 i))
+    (List.init 9 Fun.id);
+  (* Reagents are renamed per copy, so runs can contaminate each other. *)
+  Alcotest.(check int) "3x reagents" 6
+    (List.length (Sequencing_graph.reagents g3));
+  Alcotest.check_raises "k >= 1"
+    (Invalid_argument "Sequencing_graph.repeat: need at least one copy")
+    (fun () -> ignore (Sequencing_graph.repeat g 0))
+
+module Assay_parser = Pdw_assay.Assay_parser
+
+let sample_assay_text =
+  "# a sample protocol\n\
+   assay Sample\n\
+   device mixer 2\n\
+   device heater 1\n\
+   op prep mix 2 reagent:sample reagent:buffer\n\
+   op cook heat 3 op:prep\n"
+
+let test_parser_accepts_sample () =
+  match Assay_parser.parse sample_assay_text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok b ->
+    let g = b.Benchmarks.graph in
+    Alcotest.(check int) "2 ops" 2 (Sequencing_graph.num_ops g);
+    Alcotest.(check int) "3 edges" 3 (Sequencing_graph.num_edges g);
+    Alcotest.(check int) "3 devices" 3 (List.length b.Benchmarks.device_kinds);
+    Alcotest.(check string) "name kept" "Sample" (Sequencing_graph.name g)
+
+let test_parser_roundtrip_benchmarks () =
+  List.iter
+    (fun (name, (b : Benchmarks.t)) ->
+      let text = Assay_parser.to_string ~name b in
+      match Assay_parser.parse text with
+      | Error e -> Alcotest.failf "%s: reparse failed: %s" name e
+      | Ok b' ->
+        let g = b.Benchmarks.graph and g' = b'.Benchmarks.graph in
+        Alcotest.(check int) (name ^ " ops") (Sequencing_graph.num_ops g)
+          (Sequencing_graph.num_ops g');
+        Alcotest.(check int) (name ^ " edges")
+          (Sequencing_graph.num_edges g)
+          (Sequencing_graph.num_edges g');
+        Alcotest.(check int)
+          (name ^ " devices")
+          (List.length b.Benchmarks.device_kinds)
+          (List.length b'.Benchmarks.device_kinds))
+    (Benchmarks.all ())
+
+let test_parser_rejects_garbage () =
+  let check_err text =
+    match Assay_parser.parse text with
+    | Ok _ -> Alcotest.failf "expected failure for %S" text
+    | Error _ -> ()
+  in
+  check_err "";
+  check_err "op lonely mix 2 reagent:a\n";  (* no devices, underfed mix *)
+  check_err "device mixer 1\nop a mix 2 op:b reagent:x\n"; (* unknown op *)
+  check_err "device mixer 1\nop a mix 0 reagent:x reagent:y\n"; (* duration *)
+  check_err "device rocket 1\n"; (* unknown device kind *)
+  check_err "device mixer 1\nop a mix 2 reagent:x reagent:y\nop a heat 1 op:a\n"; (* dup *)
+  check_err "device mixer 1\nop a:b mix 2 reagent:x reagent:y\n" (* colon name *)
+
+let prop_parser_roundtrip_random =
+  QCheck2.Test.make ~name:"parser round-trips random assays" ~count:100
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let b = Assay_gen.random ~seed () in
+      let text = Assay_parser.to_string ~name:"random" b in
+      match Assay_parser.parse text with
+      | Error _ -> false
+      | Ok b' ->
+        let g = b.Benchmarks.graph and g' = b'.Benchmarks.graph in
+        Sequencing_graph.num_ops g = Sequencing_graph.num_ops g'
+        && Sequencing_graph.num_edges g = Sequencing_graph.num_edges g'
+        && List.length (Sequencing_graph.reagents g)
+           = List.length (Sequencing_graph.reagents g'))
+
+let prop_random_assays_valid =
+  QCheck2.Test.make ~name:"random assays validate and cover their kinds"
+    ~count:100
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let b = Assay_gen.random ~seed () in
+      let g = b.Pdw_assay.Benchmarks.graph in
+      let covered =
+        List.for_all
+          (fun (kind, _) ->
+            List.exists (Device.kind_equal kind)
+              b.Pdw_assay.Benchmarks.device_kinds)
+          (Sequencing_graph.required_device_kinds g)
+      in
+      Sequencing_graph.num_ops g >= 3 && covered)
+
+let prop_random_assays_deterministic =
+  QCheck2.Test.make ~name:"same seed, same assay" ~count:50
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let a = Assay_gen.random ~seed () in
+      let b = Assay_gen.random ~seed () in
+      Sequencing_graph.num_edges a.Pdw_assay.Benchmarks.graph
+      = Sequencing_graph.num_edges b.Pdw_assay.Benchmarks.graph)
+
+let prop_topo_respects_edges =
+  QCheck2.Test.make ~name:"topological order puts producers first"
+    ~count:100
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let b = Assay_gen.random ~seed () in
+      let g = b.Pdw_assay.Benchmarks.graph in
+      let topo = Sequencing_graph.topological_order g in
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun idx i -> Hashtbl.replace pos i idx) topo;
+      List.for_all
+        (fun i ->
+          List.for_all
+            (fun j -> Hashtbl.find pos j < Hashtbl.find pos i)
+            (Sequencing_graph.predecessors g i))
+        topo)
+
+let () =
+  Alcotest.run "pdw_assay"
+    [
+      ( "operation",
+        [
+          Alcotest.test_case "device kinds" `Quick
+            test_operation_device_kinds;
+          Alcotest.test_case "bad duration" `Quick
+            test_operation_rejects_bad_duration;
+        ] );
+      ( "sequencing graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basics;
+          Alcotest.test_case "fluids" `Quick test_graph_fluids;
+          Alcotest.test_case "rejects cycles" `Quick test_graph_rejects_cycle;
+          Alcotest.test_case "rejects underfed mix" `Quick
+            test_graph_rejects_underfed_mix;
+          Alcotest.test_case "rejects buffer reagent" `Quick
+            test_graph_rejects_buffer_reagent;
+          Alcotest.test_case "rejects self loop" `Quick
+            test_graph_rejects_self_loop;
+        ] );
+      ( "benchmarks",
+        [
+          Alcotest.test_case "published |O|/|D|/|E|" `Quick
+            test_benchmark_stats;
+          Alcotest.test_case "device coverage" `Quick
+            test_benchmark_device_coverage;
+          Alcotest.test_case "find" `Quick test_benchmark_find;
+          Alcotest.test_case "motivating shape" `Quick test_motivating_shape;
+        ] );
+      ( "batching",
+        [ Alcotest.test_case "repeat" `Quick test_repeat_batches ] );
+      ( "parser",
+        [
+          Alcotest.test_case "accepts sample" `Quick
+            test_parser_accepts_sample;
+          Alcotest.test_case "round-trips all benchmarks" `Quick
+            test_parser_roundtrip_benchmarks;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_parser_rejects_garbage;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_parser_roundtrip_random;
+            prop_random_assays_valid;
+            prop_random_assays_deterministic;
+            prop_topo_respects_edges;
+          ] );
+    ]

@@ -1,0 +1,293 @@
+(* Unit and property tests for the pdw_biochip library: fluids and the
+   contamination relation, devices, ports, layout validation, the
+   layout builder and the Fig. 2(a) chip. *)
+
+module Coord = Pdw_geometry.Coord
+module Grid = Pdw_geometry.Grid
+module Fluid = Pdw_biochip.Fluid
+module Device = Pdw_biochip.Device
+module Port = Pdw_biochip.Port
+module Layout = Pdw_biochip.Layout
+module Layout_builder = Pdw_biochip.Layout_builder
+module Units = Pdw_biochip.Units
+
+let fluid = Alcotest.testable Fluid.pp Fluid.equal
+
+let test_fluid_mix_commutes () =
+  let a = Fluid.reagent "a" and b = Fluid.reagent "b" in
+  Alcotest.(check fluid) "mix commutes" (Fluid.mix a b) (Fluid.mix b a);
+  Alcotest.(check bool) "mix a b <> a" false
+    (Fluid.equal (Fluid.mix a b) a)
+
+let test_fluid_transforms_distinct () =
+  let a = Fluid.reagent "a" in
+  Alcotest.(check bool) "heated differs" false (Fluid.equal (Fluid.heat a) a);
+  Alcotest.(check bool) "filtered differs" false
+    (Fluid.equal (Fluid.filter a) a);
+  Alcotest.(check bool) "heat <> filter" false
+    (Fluid.equal (Fluid.heat a) (Fluid.filter a))
+
+let test_contaminates () =
+  let a = Fluid.reagent "a" and b = Fluid.reagent "b" in
+  Alcotest.(check bool) "different types contaminate" true
+    (Fluid.contaminates ~residue:a ~incoming:b);
+  Alcotest.(check bool) "same type harmless" false
+    (Fluid.contaminates ~residue:a ~incoming:a);
+  Alcotest.(check bool) "buffer leaves no residue" false
+    (Fluid.contaminates ~residue:Fluid.Buffer ~incoming:a);
+  Alcotest.(check bool) "waste is insensitive" false
+    (Fluid.contaminates ~residue:a ~incoming:Fluid.Waste);
+  Alcotest.(check bool) "buffer flow is insensitive" false
+    (Fluid.contaminates ~residue:a ~incoming:Fluid.Buffer)
+
+let test_fluid_compare_total_order () =
+  let fluids =
+    [
+      Fluid.Buffer;
+      Fluid.Waste;
+      Fluid.reagent "a";
+      Fluid.mix (Fluid.reagent "a") (Fluid.reagent "b");
+      Fluid.heat (Fluid.reagent "a");
+      Fluid.filter (Fluid.reagent "a");
+    ]
+  in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          let xy = Fluid.compare x y and yx = Fluid.compare y x in
+          Alcotest.(check int) "antisymmetric" 0 (compare xy (-yx)))
+        fluids)
+    fluids
+
+let test_units () =
+  Alcotest.(check int) "wash front 4 cells/s" 4 Units.cells_per_second;
+  Alcotest.(check int) "12-cell wash front" 3 (Units.travel_seconds 12);
+  Alcotest.(check int) "1-cell minimum" 1 (Units.travel_seconds 1);
+  Alcotest.(check int) "12-cell plug" 2 (Units.transport_seconds 12);
+  Alcotest.(check (float 1e-9)) "length in mm" 30.0 (Units.path_length_mm 12)
+
+let build_tiny () =
+  let b = Layout_builder.create ~width:5 ~height:3 in
+  Layout_builder.channel_run b (Coord.make 1 1) (Coord.make 3 1);
+  let mixer =
+    Layout_builder.add_device b ~kind:Device.Mixer ~name:"mixer"
+      [ Coord.make 2 0 ]
+  in
+  let inp =
+    Layout_builder.add_port b ~kind:Port.Flow ~name:"in" (Coord.make 0 1)
+  in
+  let out =
+    Layout_builder.add_port b ~kind:Port.Waste ~name:"out" (Coord.make 4 1)
+  in
+  (Layout_builder.build b, mixer, inp, out)
+
+let test_builder_basics () =
+  let layout, mixer, inp, out = build_tiny () in
+  Alcotest.(check int) "one device" 1 (List.length (Layout.devices layout));
+  Alcotest.(check int) "two ports" 2 (List.length (Layout.ports layout));
+  Alcotest.(check int) "one flow port" 1
+    (List.length (Layout.flow_ports layout));
+  Alcotest.(check bool) "flow port is flow" true (Port.is_flow inp);
+  Alcotest.(check bool) "waste port is waste" true (Port.is_waste out);
+  Alcotest.(check bool) "device cell routable" true
+    (Layout.routable layout (Coord.make 2 0));
+  Alcotest.(check bool) "port not through-routable" false
+    (Layout.through_routable layout (Coord.make 0 1));
+  Alcotest.(check bool) "blocked not routable" false
+    (Layout.routable layout (Coord.make 0 0));
+  Alcotest.(check string) "device name" "mixer" mixer.Device.name;
+  Alcotest.(check int) "device cells" 1
+    (List.length (Layout.device_cells layout mixer.Device.id))
+
+let test_builder_rejects_overlap () =
+  let b = Layout_builder.create ~width:3 ~height:3 in
+  Layout_builder.channel b (Coord.make 1 1);
+  Alcotest.check_raises "device on channel"
+    (Invalid_argument "Layout_builder: cell (1,1) already occupied")
+    (fun () ->
+      ignore
+        (Layout_builder.add_device b ~kind:Device.Mixer ~name:"m"
+           [ Coord.make 1 1 ]))
+
+let test_builder_rejects_diagonal_run () =
+  let b = Layout_builder.create ~width:3 ~height:3 in
+  Alcotest.check_raises "diagonal run"
+    (Invalid_argument "Layout_builder: channel_run (0,0) -> (2,1) not axis-aligned")
+    (fun () -> Layout_builder.channel_run b (Coord.make 0 0) (Coord.make 2 1))
+
+let test_layout_rejects_isolated_port () =
+  let grid = Grid.create ~width:3 ~height:3 Layout.Blocked in
+  Grid.set grid (Coord.make 0 0) (Layout.Port_cell 0);
+  let port =
+    Port.make ~id:0 ~kind:Port.Flow ~name:"p" ~position:(Coord.make 0 0)
+  in
+  Alcotest.check_raises "isolated port"
+    (Invalid_argument "Layout: port p has no routable neighbour") (fun () ->
+      ignore (Layout.make ~grid ~devices:[] ~ports:[ port ]))
+
+let test_layout_lookup () =
+  let layout, mixer, _, _ = build_tiny () in
+  (match Layout.device_by_name layout "mixer" with
+  | Some d -> Alcotest.(check int) "by name" mixer.Device.id d.Device.id
+  | None -> Alcotest.fail "mixer not found");
+  Alcotest.(check bool) "missing device" true
+    (Layout.device_by_name layout "nope" = None);
+  (match Layout.port_by_name layout "out" with
+  | Some p -> Alcotest.(check bool) "waste" true (Port.is_waste p)
+  | None -> Alcotest.fail "out not found");
+  Alcotest.(check int) "mixers of kind" 1
+    (List.length (Layout.devices_of_kind layout Device.Mixer));
+  Alcotest.(check int) "no heaters" 0
+    (List.length (Layout.devices_of_kind layout Device.Heater))
+
+let test_fig2_layout () =
+  let layout = Layout_builder.fig2_layout () in
+  Alcotest.(check int) "5 devices" 5 (List.length (Layout.devices layout));
+  Alcotest.(check int) "4 flow ports" 4
+    (List.length (Layout.flow_ports layout));
+  Alcotest.(check int) "4 waste ports" 4
+    (List.length (Layout.waste_ports layout));
+  List.iter
+    (fun name ->
+      Alcotest.(check bool)
+        (name ^ " exists") true
+        (Layout.device_by_name layout name <> None))
+    [ "mixer"; "filter"; "detector1"; "detector2"; "heater" ];
+  (* The rendered map round-trips the documented picture. *)
+  let rendered = Layout.render layout in
+  Alcotest.(check int) "7 rows" 7
+    (List.length (String.split_on_char '\n' rendered))
+
+let test_fig2_fully_connected () =
+  let layout = Layout_builder.fig2_layout () in
+  (* Every port must reach every device cell. *)
+  List.iter
+    (fun (p : Port.t) ->
+      let reach = Pdw_synth.Router.reachable layout ~src:p.Port.position in
+      List.iter
+        (fun (d : Device.t) ->
+          List.iter
+            (fun c ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s reaches %s" p.Port.name d.Device.name)
+                true (Coord.Set.mem c reach))
+            (Layout.device_cells layout d.Device.id))
+        (Layout.devices layout))
+    (Layout.ports layout)
+
+module Layout_parser = Pdw_biochip.Layout_parser
+
+let test_layout_parse_roundtrip () =
+  let original = Layout_builder.fig2_layout () in
+  let rendered = Layout.render original in
+  match Layout_parser.parse rendered with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+    Alcotest.(check string) "render/parse round trip" rendered
+      (Layout.render parsed);
+    Alcotest.(check int) "same device count"
+      (List.length (Layout.devices original))
+      (List.length (Layout.devices parsed));
+    Alcotest.(check int) "same port count"
+      (List.length (Layout.ports original))
+      (List.length (Layout.ports parsed))
+
+let test_layout_parse_errors () =
+  (match Layout_parser.parse "" with
+  | Error "empty map" -> ()
+  | Error e -> Alcotest.failf "unexpected error %S" e
+  | Ok _ -> Alcotest.fail "expected failure");
+  (match Layout_parser.parse "+.
++" with
+  | Error e ->
+    Alcotest.(check bool) "ragged flagged" true
+      (String.length e > 0 && String.sub e 0 6 = "ragged")
+  | Ok _ -> Alcotest.fail "expected ragged failure");
+  (match Layout_parser.parse "+X
+++" with
+  | Error e ->
+    Alcotest.(check bool) "glyph flagged" true
+      (String.length e > 0 && String.sub e 0 7 = "unknown")
+  | Ok _ -> Alcotest.fail "expected glyph failure");
+  (* A port with no routable neighbour fails layout validation. *)
+  (match Layout_parser.parse "I.
+.." with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected isolated-port failure")
+
+let gen_fluid =
+  QCheck2.Gen.(
+    sized_size (int_range 0 3) (fix (fun self n ->
+        if n = 0 then
+          oneof
+            [
+              return Fluid.Buffer;
+              return Fluid.Waste;
+              map Fluid.reagent (oneofl [ "a"; "b"; "c" ]);
+            ]
+        else
+          oneof
+            [
+              map Fluid.reagent (oneofl [ "a"; "b"; "c" ]);
+              map2 Fluid.mix (self (n / 2)) (self (n / 2));
+              map Fluid.heat (self (n - 1));
+              map Fluid.filter (self (n - 1));
+            ])))
+
+let prop_same_type_reflexive =
+  QCheck2.Test.make ~name:"same_type is reflexive" ~count:200 gen_fluid
+    (fun f -> Fluid.same_type f f)
+
+let prop_contaminates_irreflexive =
+  QCheck2.Test.make ~name:"a fluid never contaminates itself" ~count:200
+    gen_fluid (fun f -> not (Fluid.contaminates ~residue:f ~incoming:f))
+
+let prop_mix_commutative =
+  QCheck2.Test.make ~name:"mix is commutative up to equal" ~count:200
+    QCheck2.Gen.(tup2 gen_fluid gen_fluid)
+    (fun (a, b) -> Fluid.equal (Fluid.mix a b) (Fluid.mix b a))
+
+let () =
+  Alcotest.run "pdw_biochip"
+    [
+      ( "fluid",
+        [
+          Alcotest.test_case "mix commutes" `Quick test_fluid_mix_commutes;
+          Alcotest.test_case "transforms distinct" `Quick
+            test_fluid_transforms_distinct;
+          Alcotest.test_case "contaminates" `Quick test_contaminates;
+          Alcotest.test_case "total order" `Quick
+            test_fluid_compare_total_order;
+        ] );
+      ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
+      ( "layout",
+        [
+          Alcotest.test_case "builder basics" `Quick test_builder_basics;
+          Alcotest.test_case "rejects overlap" `Quick
+            test_builder_rejects_overlap;
+          Alcotest.test_case "rejects diagonal runs" `Quick
+            test_builder_rejects_diagonal_run;
+          Alcotest.test_case "rejects isolated port" `Quick
+            test_layout_rejects_isolated_port;
+          Alcotest.test_case "lookups" `Quick test_layout_lookup;
+        ] );
+      ( "layout parser",
+        [
+          Alcotest.test_case "round trip" `Quick test_layout_parse_roundtrip;
+          Alcotest.test_case "errors" `Quick test_layout_parse_errors;
+        ] );
+      ( "fig2 chip",
+        [
+          Alcotest.test_case "structure" `Quick test_fig2_layout;
+          Alcotest.test_case "fully connected" `Quick
+            test_fig2_fully_connected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_same_type_reflexive;
+            prop_contaminates_irreflexive;
+            prop_mix_commutative;
+          ] );
+    ]

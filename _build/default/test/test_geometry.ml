@@ -1,0 +1,267 @@
+(* Unit and property tests for the pdw_geometry library. *)
+
+module Coord = Pdw_geometry.Coord
+module Direction = Pdw_geometry.Direction
+module Grid = Pdw_geometry.Grid
+module Gpath = Pdw_geometry.Gpath
+
+let coord = Alcotest.testable Coord.pp Coord.equal
+
+let test_coord_basics () =
+  let a = Coord.make 2 3 in
+  let b = Coord.make 2 4 in
+  Alcotest.(check int) "manhattan" 1 (Coord.manhattan a b);
+  Alcotest.(check bool) "adjacent" true (Coord.adjacent a b);
+  Alcotest.(check bool) "not adjacent to self" false (Coord.adjacent a a);
+  Alcotest.(check coord) "move south" b (Coord.move a Direction.South);
+  Alcotest.(check int) "neighbour count" 4 (List.length (Coord.neighbours a))
+
+let test_direction_roundtrip () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        "opposite of opposite" true
+        (Direction.equal d (Direction.opposite (Direction.opposite d))))
+    Direction.all
+
+let test_direction_to () =
+  let a = Coord.make 5 5 in
+  List.iter
+    (fun d ->
+      let b = Coord.move a d in
+      Alcotest.(check bool)
+        "direction_to inverts move" true
+        (Direction.equal d (Coord.direction_to a b)))
+    Direction.all;
+  Alcotest.check_raises "non-adjacent raises"
+    (Invalid_argument "Coord.direction_to: (5,5) and (7,5) not adjacent")
+    (fun () -> ignore (Coord.direction_to a (Coord.make 7 5)))
+
+let test_grid_bounds () =
+  let g = Grid.create ~width:4 ~height:3 0 in
+  Alcotest.(check int) "width" 4 (Grid.width g);
+  Alcotest.(check int) "height" 3 (Grid.height g);
+  Alcotest.(check bool) "in bounds" true (Grid.in_bounds g (Coord.make 3 2));
+  Alcotest.(check bool) "out of bounds x" false
+    (Grid.in_bounds g (Coord.make 4 0));
+  Alcotest.(check bool) "out of bounds y" false
+    (Grid.in_bounds g (Coord.make 0 3));
+  Alcotest.(check bool) "negative" false (Grid.in_bounds g (Coord.make (-1) 0))
+
+let test_grid_get_set () =
+  let g = Grid.create ~width:3 ~height:3 0 in
+  Grid.set g (Coord.make 1 2) 42;
+  Alcotest.(check int) "set/get" 42 (Grid.get g (Coord.make 1 2));
+  Alcotest.(check int) "untouched" 0 (Grid.get g (Coord.make 2 1));
+  let copy = Grid.copy g in
+  Grid.set copy (Coord.make 1 2) 7;
+  Alcotest.(check int) "copy is independent" 42 (Grid.get g (Coord.make 1 2))
+
+let test_grid_init_layout () =
+  let g = Grid.init ~width:3 ~height:2 (fun c -> (c.Coord.x, c.Coord.y)) in
+  Alcotest.(check (pair int int)) "cell (2,1)" (2, 1)
+    (Grid.get g (Coord.make 2 1));
+  Alcotest.(check (pair int int)) "cell (0,0)" (0, 0)
+    (Grid.get g (Coord.make 0 0))
+
+let test_grid_neighbours_corner () =
+  let g = Grid.create ~width:3 ~height:3 0 in
+  Alcotest.(check int) "corner has 2" 2
+    (List.length (Grid.neighbours g (Coord.make 0 0)));
+  Alcotest.(check int) "edge has 3" 3
+    (List.length (Grid.neighbours g (Coord.make 1 0)));
+  Alcotest.(check int) "interior has 4" 4
+    (List.length (Grid.neighbours g (Coord.make 1 1)))
+
+let test_grid_find_all () =
+  let g = Grid.init ~width:3 ~height:3 (fun c -> c.Coord.x = c.Coord.y) in
+  Alcotest.(check int) "diagonal cells" 3
+    (List.length (Grid.find_all g (fun v -> v)))
+
+let test_grid_render () =
+  let g = Grid.init ~width:2 ~height:2 (fun c -> c.Coord.x = 0) in
+  let s = Grid.render g (fun v -> if v then 'L' else 'R') in
+  Alcotest.(check string) "render" "LR\nLR" s
+
+let test_grid_invalid () =
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Grid: dimensions must be positive, got 0x3") (fun () ->
+      ignore (Grid.create ~width:0 ~height:3 0))
+
+let path_of_pairs pairs =
+  Gpath.of_cells (List.map (fun (x, y) -> Coord.make x y) pairs)
+
+let test_path_valid () =
+  let p = path_of_pairs [ (0, 0); (1, 0); (1, 1); (2, 1) ] in
+  Alcotest.(check int) "length" 4 (Gpath.length p);
+  Alcotest.(check coord) "source" (Coord.make 0 0) (Gpath.source p);
+  Alcotest.(check coord) "target" (Coord.make 2 1) (Gpath.target p);
+  Alcotest.(check bool) "mem" true (Gpath.mem p (Coord.make 1 1));
+  Alcotest.(check bool) "not mem" false (Gpath.mem p (Coord.make 0 1))
+
+let test_path_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Gpath.of_cells: empty path")
+    (fun () -> ignore (Gpath.of_cells []));
+  Alcotest.check_raises "gap"
+    (Invalid_argument "Gpath.of_cells: (0,0) and (2,0) not adjacent")
+    (fun () -> ignore (path_of_pairs [ (0, 0); (2, 0) ]));
+  Alcotest.check_raises "repeat"
+    (Invalid_argument "Gpath.of_cells: repeated cell") (fun () ->
+      ignore (path_of_pairs [ (0, 0); (1, 0); (0, 0) ]))
+
+let test_path_overlap () =
+  let a = path_of_pairs [ (0, 0); (1, 0); (2, 0) ] in
+  let b = path_of_pairs [ (2, 0); (2, 1) ] in
+  let c = path_of_pairs [ (0, 1); (1, 1) ] in
+  Alcotest.(check bool) "a overlaps b" true (Gpath.overlaps a b);
+  Alcotest.(check bool) "a no overlap c" false (Gpath.overlaps a c);
+  Alcotest.(check int) "overlap size" 1
+    (Pdw_geometry.Coord.Set.cardinal (Gpath.overlap a b))
+
+let test_path_contains_covers () =
+  let outer = path_of_pairs [ (0, 0); (1, 0); (2, 0); (2, 1) ] in
+  let inner = path_of_pairs [ (1, 0); (2, 0) ] in
+  Alcotest.(check bool) "contains" true (Gpath.contains ~outer ~inner);
+  Alcotest.(check bool) "not contains" false
+    (Gpath.contains ~outer:inner ~inner:outer);
+  let targets =
+    Pdw_geometry.Coord.Set.of_list [ Coord.make 2 0; Coord.make 2 1 ]
+  in
+  Alcotest.(check bool) "covers" true (Gpath.covers outer targets);
+  Alcotest.(check bool) "inner does not cover" false
+    (Gpath.covers inner targets)
+
+let test_path_reverse () =
+  let p = path_of_pairs [ (0, 0); (1, 0); (1, 1) ] in
+  let r = Gpath.reverse p in
+  Alcotest.(check coord) "reversed source" (Coord.make 1 1) (Gpath.source r);
+  Alcotest.(check coord) "reversed target" (Coord.make 0 0) (Gpath.target r);
+  Alcotest.(check bool) "double reverse" true (Gpath.equal p (Gpath.reverse r))
+
+let test_path_single_cell () =
+  let p = Gpath.of_cells [ Coord.make 3 3 ] in
+  Alcotest.(check int) "length 1" 1 (Gpath.length p);
+  Alcotest.(check bool) "source = target" true
+    (Coord.equal (Gpath.source p) (Gpath.target p));
+  Alcotest.(check bool) "covers empty set" true
+    (Gpath.covers p Pdw_geometry.Coord.Set.empty);
+  Alcotest.(check bool) "reverse is itself" true
+    (Gpath.equal p (Gpath.reverse p))
+
+let test_grid_map_fold () =
+  let g = Grid.init ~width:3 ~height:2 (fun c -> c.Coord.x + c.Coord.y) in
+  let doubled = Grid.map g (fun v -> 2 * v) in
+  Alcotest.(check int) "map" 6 (Grid.get doubled (Coord.make 2 1));
+  let sum = Grid.fold g ~init:0 ~f:(fun acc _ v -> acc + v) in
+  Alcotest.(check int) "fold" 9 sum;
+  Alcotest.(check int) "coords count" 6 (List.length (Grid.coords g))
+
+let test_direction_deltas () =
+  List.iter
+    (fun d ->
+      let dx, dy = Direction.delta d in
+      let ox, oy = Direction.delta (Direction.opposite d) in
+      Alcotest.(check (pair int int)) "opposite negates" (-dx, -dy) (ox, oy);
+      Alcotest.(check int) "unit step" 1 (abs dx + abs dy))
+    Direction.all
+
+(* Random straight-ish walks for property tests: a self-avoiding walk built
+   by rejecting revisits. *)
+let gen_walk =
+  QCheck2.Gen.(
+    let* len = int_range 1 20 in
+    let* steps = list_size (return (len - 1)) (int_range 0 3) in
+    let dir_of = function
+      | 0 -> Direction.North
+      | 1 -> Direction.South
+      | 2 -> Direction.West
+      | _ -> Direction.East
+    in
+    let rec build acc visited = function
+      | [] -> List.rev acc
+      | s :: rest -> (
+        match acc with
+        | [] -> List.rev acc
+        | here :: _ ->
+          let next = Coord.move here (dir_of s) in
+          if List.exists (Coord.equal next) visited then List.rev acc
+          else build (next :: acc) (next :: visited) rest)
+    in
+    let start = Coord.make 50 50 in
+    return (build [ start ] [ start ] steps))
+
+let prop_walk_is_valid_path =
+  QCheck2.Test.make ~name:"self-avoiding walks are valid paths" ~count:200
+    gen_walk (fun cells ->
+      let p = Gpath.of_cells cells in
+      Gpath.length p = List.length cells
+      && Coord.equal (Gpath.source p) (List.hd cells))
+
+let prop_reverse_involution =
+  QCheck2.Test.make ~name:"reverse is an involution" ~count:200 gen_walk
+    (fun cells ->
+      let p = Gpath.of_cells cells in
+      Gpath.equal p (Gpath.reverse (Gpath.reverse p)))
+
+let prop_manhattan_triangle =
+  QCheck2.Test.make ~name:"manhattan satisfies triangle inequality"
+    ~count:500
+    QCheck2.Gen.(
+      tup3
+        (tup2 (int_range (-50) 50) (int_range (-50) 50))
+        (tup2 (int_range (-50) 50) (int_range (-50) 50))
+        (tup2 (int_range (-50) 50) (int_range (-50) 50)))
+    (fun ((ax, ay), (bx, by), (cx, cy)) ->
+      let a = Coord.make ax ay
+      and b = Coord.make bx by
+      and c = Coord.make cx cy in
+      Coord.manhattan a c <= Coord.manhattan a b + Coord.manhattan b c)
+
+let prop_path_length_ge_manhattan =
+  QCheck2.Test.make ~name:"path length bounds manhattan distance" ~count:200
+    gen_walk (fun cells ->
+      let p = Gpath.of_cells cells in
+      Gpath.length p - 1 >= Coord.manhattan (Gpath.source p) (Gpath.target p))
+
+let () =
+  Alcotest.run "pdw_geometry"
+    [
+      ( "coord",
+        [
+          Alcotest.test_case "basics" `Quick test_coord_basics;
+          Alcotest.test_case "direction roundtrip" `Quick
+            test_direction_roundtrip;
+          Alcotest.test_case "direction_to" `Quick test_direction_to;
+          Alcotest.test_case "deltas" `Quick test_direction_deltas;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "bounds" `Quick test_grid_bounds;
+          Alcotest.test_case "get/set/copy" `Quick test_grid_get_set;
+          Alcotest.test_case "init" `Quick test_grid_init_layout;
+          Alcotest.test_case "neighbours at edges" `Quick
+            test_grid_neighbours_corner;
+          Alcotest.test_case "find_all" `Quick test_grid_find_all;
+          Alcotest.test_case "render" `Quick test_grid_render;
+          Alcotest.test_case "invalid dims" `Quick test_grid_invalid;
+          Alcotest.test_case "map/fold/coords" `Quick test_grid_map_fold;
+        ] );
+      ( "gpath",
+        [
+          Alcotest.test_case "valid path" `Quick test_path_valid;
+          Alcotest.test_case "invalid paths" `Quick test_path_invalid;
+          Alcotest.test_case "overlap" `Quick test_path_overlap;
+          Alcotest.test_case "contains/covers" `Quick
+            test_path_contains_covers;
+          Alcotest.test_case "reverse" `Quick test_path_reverse;
+          Alcotest.test_case "single cell" `Quick test_path_single_cell;
+        ] );
+      ( "gpath properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_walk_is_valid_path;
+            prop_reverse_involution;
+            prop_manhattan_triangle;
+            prop_path_length_ge_manhattan;
+          ] );
+    ]

@@ -1,0 +1,176 @@
+(* Tests for the discrete-time flow simulator, including the differential
+   check against the analytic contamination model: two independent
+   implementations of the fluidic semantics must agree on whether a
+   schedule is clean and on how many contaminated uses it has. *)
+
+module Coord = Pdw_geometry.Coord
+module Layout_builder = Pdw_biochip.Layout_builder
+module Benchmarks = Pdw_assay.Benchmarks
+module Schedule = Pdw_synth.Schedule
+module Synthesis = Pdw_synth.Synthesis
+module Flow_sim = Pdw_sim.Flow_sim
+module Contamination = Pdw_wash.Contamination
+module Pdw = Pdw_wash.Pdw
+module Dawo = Pdw_wash.Dawo
+module Wash_plan = Pdw_wash.Wash_plan
+
+let count_contaminated issues =
+  List.length
+    (List.filter
+       (function
+         | Flow_sim.Contaminated_flow _ -> true
+         | Flow_sim.Double_occupancy _ -> false)
+       issues)
+
+let count_double issues =
+  List.length
+    (List.filter
+       (function
+         | Flow_sim.Double_occupancy _ -> true
+         | Flow_sim.Contaminated_flow _ -> false)
+       issues)
+
+let test_sim_runs_baseline () =
+  let s = Synthesis.synthesize (Benchmarks.pcr ()) in
+  let sim = Flow_sim.run s.Synthesis.schedule in
+  Alcotest.(check int) "horizon = makespan"
+    (Schedule.makespan s.Synthesis.schedule)
+    (Flow_sim.makespan sim);
+  (* A valid schedule never double-occupies a cell. *)
+  Alcotest.(check int) "no double occupancy" 0
+    (count_double (Flow_sim.issues sim))
+
+let test_sim_detects_baseline_contamination () =
+  let s =
+    Synthesis.synthesize
+      ~layout:(Layout_builder.fig2_layout ())
+      (Benchmarks.motivating ())
+  in
+  let sim = Flow_sim.run s.Synthesis.schedule in
+  Alcotest.(check bool) "baseline contaminated" true
+    (count_contaminated (Flow_sim.issues sim) > 0)
+
+let test_sim_pdw_schedule_clean () =
+  let s =
+    Synthesis.synthesize
+      ~layout:(Layout_builder.fig2_layout ())
+      (Benchmarks.motivating ())
+  in
+  let o = Pdw.optimize s in
+  let sim = Flow_sim.run o.Wash_plan.schedule in
+  Alcotest.(check (list string)) "no issues" []
+    (List.map (Format.asprintf "%a" Flow_sim.pp_issue) (Flow_sim.issues sim))
+
+let test_sim_occupancy_bounds () =
+  let s = Synthesis.synthesize (Benchmarks.synthetic_1 ()) in
+  let sim = Flow_sim.run s.Synthesis.schedule in
+  List.iter
+    (fun (_, f) ->
+      Alcotest.(check bool) "occupancy in (0, 1]" true (f > 0.0 && f <= 1.0))
+    (Flow_sim.occupancy sim);
+  let u = Flow_sim.utilization sim in
+  Alcotest.(check bool) "utilization in (0, 1)" true (u > 0.0 && u < 1.0)
+
+let test_sim_cell_state_api () =
+  let s = Synthesis.synthesize (Benchmarks.pcr ()) in
+  let sim = Flow_sim.run s.Synthesis.schedule in
+  (* At t=0 some transport is running: at least one cell occupied. *)
+  let layout = s.Synthesis.layout in
+  let occupied_at t =
+    List.exists
+      (fun c -> (Flow_sim.cell_state sim ~time:t c).Flow_sim.occupant <> None)
+      (Pdw_geometry.Grid.coords (Pdw_biochip.Layout.grid layout))
+  in
+  Alcotest.(check bool) "t=0 active" true (occupied_at 0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument
+       (Printf.sprintf "Flow_sim.cell_state: time %d outside [0, %d]"
+          (Flow_sim.makespan sim + 1)
+          (Flow_sim.makespan sim)))
+    (fun () ->
+      ignore
+        (Flow_sim.cell_state sim
+           ~time:(Flow_sim.makespan sim + 1)
+           (Coord.make 0 0)))
+
+let test_sim_render_frame () =
+  let s =
+    Synthesis.synthesize
+      ~layout:(Layout_builder.fig2_layout ())
+      (Benchmarks.motivating ())
+  in
+  let sim = Flow_sim.run s.Synthesis.schedule in
+  let frame = Flow_sim.render_frame sim ~time:1 in
+  Alcotest.(check int) "7 rows" 7
+    (List.length (String.split_on_char '\n' frame));
+  Alcotest.(check bool) "something flows at t=1" true
+    (String.contains frame '#')
+
+(* The differential property: simulator and analytic model agree. *)
+let agree schedule =
+  let sim_dirty = count_contaminated (Flow_sim.issues (Flow_sim.run schedule)) in
+  let analytic_dirty =
+    List.length (Contamination.violations (Contamination.analyze schedule))
+  in
+  (sim_dirty = 0) = (analytic_dirty = 0)
+
+let test_differential_benchmarks () =
+  List.iter
+    (fun (name, b) ->
+      let s = Synthesis.synthesize b in
+      Alcotest.(check bool) (name ^ " baseline agreement") true
+        (agree s.Synthesis.schedule);
+      let pdw = Pdw.optimize s in
+      Alcotest.(check bool) (name ^ " pdw agreement") true
+        (agree pdw.Wash_plan.schedule);
+      let dawo = Dawo.optimize s in
+      Alcotest.(check bool) (name ^ " dawo agreement") true
+        (agree dawo.Wash_plan.schedule))
+    (Benchmarks.all ())
+
+let prop_differential_random =
+  QCheck2.Test.make
+    ~name:"simulator and analytic model agree on random assays" ~count:25
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let b = Pdw_assay.Assay_gen.random ~max_ops:7 ~seed () in
+      let s = Synthesis.synthesize b in
+      let pdw = Pdw.optimize s in
+      agree s.Synthesis.schedule && agree pdw.Wash_plan.schedule)
+
+let prop_no_double_occupancy_random =
+  QCheck2.Test.make
+    ~name:"simulated schedules never double-occupy a cell" ~count:25
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let b = Pdw_assay.Assay_gen.random ~max_ops:7 ~seed () in
+      let s = Synthesis.synthesize b in
+      let pdw = Pdw.optimize s in
+      count_double (Flow_sim.issues (Flow_sim.run s.Synthesis.schedule)) = 0
+      && count_double (Flow_sim.issues (Flow_sim.run pdw.Wash_plan.schedule))
+         = 0)
+
+let () =
+  Alcotest.run "pdw_sim"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "runs baseline" `Quick test_sim_runs_baseline;
+          Alcotest.test_case "detects contamination" `Quick
+            test_sim_detects_baseline_contamination;
+          Alcotest.test_case "PDW schedule clean" `Quick
+            test_sim_pdw_schedule_clean;
+          Alcotest.test_case "occupancy bounds" `Quick
+            test_sim_occupancy_bounds;
+          Alcotest.test_case "cell-state API" `Quick test_sim_cell_state_api;
+          Alcotest.test_case "render frame" `Quick test_sim_render_frame;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "all benchmarks, all planners" `Slow
+            test_differential_benchmarks;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_differential_random; prop_no_double_occupancy_random ] );
+    ]

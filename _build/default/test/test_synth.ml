@@ -1,0 +1,576 @@
+(* Tests for the pdw_synth library: placement, maze routing, flush
+   routing, the serial scheduler, and end-to-end synthesis on the
+   published benchmarks. *)
+
+module Coord = Pdw_geometry.Coord
+module Gpath = Pdw_geometry.Gpath
+module Device = Pdw_biochip.Device
+module Port = Pdw_biochip.Port
+module Layout = Pdw_biochip.Layout
+module Layout_builder = Pdw_biochip.Layout_builder
+module Benchmarks = Pdw_assay.Benchmarks
+module Placement = Pdw_synth.Placement
+module Router = Pdw_synth.Router
+module Task = Pdw_synth.Task
+module Schedule = Pdw_synth.Schedule
+module Scheduler = Pdw_synth.Scheduler
+module Synthesis = Pdw_synth.Synthesis
+
+let fig2 = Layout_builder.fig2_layout
+
+(* --- placement --- *)
+
+let test_placement_structure () =
+  let layout =
+    Placement.layout
+      ~device_kinds:[ Device.Mixer; Device.Heater; Device.Detector ]
+      ()
+  in
+  Alcotest.(check int) "3 devices" 3 (List.length (Layout.devices layout));
+  Alcotest.(check bool) "has flow ports" true
+    (List.length (Layout.flow_ports layout) >= 1);
+  Alcotest.(check bool) "has waste ports" true
+    (List.length (Layout.waste_ports layout) >= 1)
+
+let test_placement_connected () =
+  let layout =
+    Placement.layout
+      ~device_kinds:
+        [ Device.Mixer; Device.Mixer; Device.Heater; Device.Detector;
+          Device.Filter; Device.Storage ]
+      ()
+  in
+  let ports = Layout.ports layout in
+  let some_port = List.hd ports in
+  let reach = Router.reachable layout ~src:some_port.Port.position in
+  List.iter
+    (fun (d : Device.t) ->
+      Alcotest.(check bool)
+        (d.Device.name ^ " reachable") true
+        (List.for_all
+           (fun c -> Coord.Set.mem c reach)
+           (Layout.device_cells layout d.Device.id)))
+    (Layout.devices layout);
+  List.iter
+    (fun (p : Port.t) ->
+      Alcotest.(check bool)
+        (p.Port.name ^ " reachable") true
+        (Coord.Set.mem p.Port.position reach))
+    ports
+
+let test_placement_port_counts () =
+  let layout =
+    Placement.layout ~flow_ports:2 ~waste_ports:3
+      ~device_kinds:[ Device.Mixer ] ()
+  in
+  Alcotest.(check int) "2 flow" 2 (List.length (Layout.flow_ports layout));
+  Alcotest.(check int) "3 waste" 3 (List.length (Layout.waste_ports layout))
+
+let test_placement_rejects_empty () =
+  Alcotest.check_raises "empty library"
+    (Invalid_argument "Placement.layout: empty device library") (fun () ->
+      ignore (Placement.layout ~device_kinds:[] ()))
+
+let test_ring_layout_structure () =
+  let layout =
+    Placement.ring_layout
+      ~device_kinds:
+        [ Device.Mixer; Device.Mixer; Device.Heater; Device.Detector;
+          Device.Filter ]
+      ()
+  in
+  Alcotest.(check int) "5 devices" 5 (List.length (Layout.devices layout));
+  (* Everything reachable from the first port. *)
+  let port = List.hd (Layout.ports layout) in
+  let reach = Router.reachable layout ~src:port.Port.position in
+  List.iter
+    (fun (d : Device.t) ->
+      Alcotest.(check bool) (d.Device.name ^ " reachable") true
+        (List.for_all
+           (fun c -> Coord.Set.mem c reach)
+           (Layout.device_cells layout d.Device.id)))
+    (Layout.devices layout)
+
+let test_ring_synthesis_works () =
+  List.iter
+    (fun (name, (b : Benchmarks.t)) ->
+      let reagents =
+        List.length (Pdw_assay.Sequencing_graph.reagents b.Benchmarks.graph)
+      in
+      let layout =
+        Placement.ring_layout
+          ~flow_ports:(min 10 (max 4 reagents))
+          ~device_kinds:b.Benchmarks.device_kinds ()
+      in
+      let s = Synthesis.synthesize ~layout b in
+      Alcotest.(check (list string))
+        (name ^ " ring schedule valid")
+        []
+        (Schedule.violations s.Synthesis.schedule))
+    [ ("PCR", Benchmarks.pcr ()); ("Synthetic1", Benchmarks.synthetic_1 ()) ]
+
+let test_island_layout_multicell () =
+  let layout =
+    Placement.island_layout
+      ~device_kinds:[ Device.Mixer; Device.Heater; Device.Detector ]
+      ()
+  in
+  (* Every device occupies exactly three cells. *)
+  List.iter
+    (fun (d : Device.t) ->
+      Alcotest.(check int) (d.Device.name ^ " footprint") 3
+        (List.length (Layout.device_cells layout d.Device.id)))
+    (Layout.devices layout);
+  let port = List.hd (Layout.ports layout) in
+  let reach = Router.reachable layout ~src:port.Port.position in
+  List.iter
+    (fun (d : Device.t) ->
+      Alcotest.(check bool) (d.Device.name ^ " reachable") true
+        (List.for_all
+           (fun c -> Coord.Set.mem c reach)
+           (Layout.device_cells layout d.Device.id)))
+    (Layout.devices layout)
+
+let test_island_synthesis_and_wash () =
+  let b = Benchmarks.pcr () in
+  let reagents =
+    List.length (Pdw_assay.Sequencing_graph.reagents b.Benchmarks.graph)
+  in
+  let layout =
+    Placement.island_layout
+      ~flow_ports:(min 10 (max 4 reagents))
+      ~device_kinds:b.Benchmarks.device_kinds ()
+  in
+  let s = Synthesis.synthesize ~layout b in
+  Alcotest.(check (list string)) "island schedule valid" []
+    (Schedule.violations s.Synthesis.schedule);
+  let o = Pdw_wash.Pdw.optimize s in
+  Alcotest.(check bool) "island wash plan converges" true
+    o.Pdw_wash.Wash_plan.converged;
+  Alcotest.(check (list string)) "optimized island schedule valid" []
+    (Schedule.violations o.Pdw_wash.Wash_plan.schedule)
+
+(* --- routing --- *)
+
+let test_shortest_on_fig2 () =
+  let layout = fig2 () in
+  let in1 = Option.get (Layout.port_by_name layout "in1") in
+  let mixer = Option.get (Layout.device_by_name layout "mixer") in
+  let anchor = Layout.device_anchor layout mixer.Device.id in
+  match Router.shortest layout ~src:in1.Port.position ~dst:anchor () with
+  | None -> Alcotest.fail "no route in1 -> mixer"
+  | Some p ->
+    (* in1 (0,3) to mixer (6,3) along the bus: 7 cells. *)
+    Alcotest.(check int) "shortest length" 7 (Gpath.length p);
+    Alcotest.(check bool) "starts at in1" true
+      (Coord.equal (Gpath.source p) in1.Port.position);
+    Alcotest.(check bool) "ends at mixer" true
+      (Coord.equal (Gpath.target p) anchor)
+
+let test_shortest_respects_avoid () =
+  let layout = fig2 () in
+  let in1 = Option.get (Layout.port_by_name layout "in1") in
+  let mixer = Option.get (Layout.device_by_name layout "mixer") in
+  let anchor = Layout.device_anchor layout mixer.Device.id in
+  (* Block the bus cell (3,3): in1 -> mixer has no alternative. *)
+  let avoid = Coord.Set.singleton (Coord.make 3 3) in
+  Alcotest.(check bool) "blocked" true
+    (Router.shortest layout ~avoid ~src:in1.Port.position ~dst:anchor ()
+    = None)
+
+let test_route_does_not_pass_through_ports () =
+  let layout = fig2 () in
+  let in1 = Option.get (Layout.port_by_name layout "in1") in
+  let det2 = Option.get (Layout.device_by_name layout "detector2") in
+  let anchor = Layout.device_anchor layout det2.Device.id in
+  match Router.shortest layout ~src:in1.Port.position ~dst:anchor () with
+  | None -> Alcotest.fail "no route"
+  | Some p ->
+    let interior = List.tl (List.rev (List.tl (Gpath.cells p))) in
+    List.iter
+      (fun c ->
+        Alcotest.(check bool) "no port mid-path" true
+          (Layout.through_routable layout c))
+      interior
+
+let test_cheapest_avoids_costly_cells () =
+  let layout = fig2 () in
+  (* From in3 (9,0) to out4 (11,6): two routes around; penalize one bus
+     cell heavily and check the router detours when possible. *)
+  let in1 = Option.get (Layout.port_by_name layout "in1") in
+  let mixer = Option.get (Layout.device_by_name layout "mixer") in
+  let anchor = Layout.device_anchor layout mixer.Device.id in
+  let cost c = if Coord.equal c (Coord.make 3 3) then 50 else 0 in
+  match
+    ( Router.cheapest layout ~cost ~src:in1.Port.position ~dst:anchor (),
+      Router.shortest layout ~src:in1.Port.position ~dst:anchor () )
+  with
+  | Some expensive, Some plain ->
+    (* No detour exists on the bus, so the path is unchanged — but its
+       existence shows costs do not break reachability. *)
+    Alcotest.(check int) "same cells (no alternative)" (Gpath.length plain)
+      (Gpath.length expensive)
+  | _ -> Alcotest.fail "routes missing"
+
+let test_covering_visits_targets () =
+  let layout = fig2 () in
+  let in1 = Option.get (Layout.port_by_name layout "in1") in
+  let out4 = Option.get (Layout.port_by_name layout "out4") in
+  let targets = Coord.Set.of_list [ Coord.make 3 3; Coord.make 8 3 ] in
+  match
+    Router.covering layout ~src:in1.Port.position ~dst:out4.Port.position
+      ~targets ()
+  with
+  | None -> Alcotest.fail "no covering path"
+  | Some p ->
+    Alcotest.(check bool) "covers" true (Gpath.covers p targets);
+    Alcotest.(check bool) "simple path" true
+      (Gpath.length p = List.length (Gpath.cells p))
+
+let test_flush_structure () =
+  let layout = fig2 () in
+  let targets = Coord.Set.of_list [ Coord.make 4 3; Coord.make 5 3 ] in
+  match Router.flush layout ~targets () with
+  | None -> Alcotest.fail "no flush"
+  | Some (p, fp, wp) ->
+    let fport = Layout.port layout fp and wport = Layout.port layout wp in
+    Alcotest.(check bool) "starts at flow port" true
+      (Port.is_flow fport
+      && Coord.equal (Gpath.source p) fport.Port.position);
+    Alcotest.(check bool) "ends at waste port" true
+      (Port.is_waste wport
+      && Coord.equal (Gpath.target p) wport.Port.position);
+    Alcotest.(check bool) "covers targets" true (Gpath.covers p targets)
+
+(* --- scheduler --- *)
+
+let job ?(after = []) ?(release = 0) ?(rank = 0) key duration cells =
+  {
+    Scheduler.key;
+    duration;
+    after;
+    release;
+    cells = Coord.Set.of_list cells;
+    rank;
+  }
+
+let assignment_of key assignments = List.assoc key assignments
+
+let test_scheduler_precedence () =
+  let a = Scheduler.Key.Tsk 0 and b = Scheduler.Key.Tsk 1 in
+  let result =
+    Scheduler.run [ job a 3 [ Coord.make 0 0 ]; job ~after:[ a ] b 2 [] ]
+  in
+  let ra = assignment_of a result and rb = assignment_of b result in
+  Alcotest.(check bool) "b after a" true
+    (rb.Scheduler.start >= ra.Scheduler.finish)
+
+let test_scheduler_resource_conflict () =
+  let a = Scheduler.Key.Tsk 0 and b = Scheduler.Key.Tsk 1 in
+  let cell = [ Coord.make 1 1 ] in
+  let result = Scheduler.run [ job a 3 cell; job b 2 cell ] in
+  let ra = assignment_of a result and rb = assignment_of b result in
+  Alcotest.(check bool) "no overlap" true
+    (ra.Scheduler.finish <= rb.Scheduler.start
+    || rb.Scheduler.finish <= ra.Scheduler.start)
+
+let test_scheduler_disjoint_run_concurrently () =
+  let a = Scheduler.Key.Tsk 0 and b = Scheduler.Key.Tsk 1 in
+  let result =
+    Scheduler.run [ job a 5 [ Coord.make 0 0 ]; job b 5 [ Coord.make 1 1 ] ]
+  in
+  let ra = assignment_of a result and rb = assignment_of b result in
+  Alcotest.(check int) "both start at 0" 0
+    (max ra.Scheduler.start rb.Scheduler.start)
+
+let test_scheduler_release () =
+  let a = Scheduler.Key.Tsk 0 in
+  let result = Scheduler.run [ job ~release:7 a 1 [] ] in
+  Alcotest.(check int) "released" 7 (assignment_of a result).Scheduler.start
+
+let test_scheduler_rejects_cycle () =
+  let a = Scheduler.Key.Tsk 0 and b = Scheduler.Key.Tsk 1 in
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Scheduler.run: precedence cycle (no ready job)")
+    (fun () ->
+      ignore (Scheduler.run [ job ~after:[ b ] a 1 []; job ~after:[ a ] b 1 [] ]))
+
+let test_scheduler_rejects_duplicate () =
+  let a = Scheduler.Key.Tsk 0 in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Scheduler.run: duplicate job task#0") (fun () ->
+      ignore (Scheduler.run [ job a 1 []; job a 2 [] ]))
+
+let test_earliest_fit () =
+  let cell = Coord.make 0 0 in
+  let busy c = if Coord.equal c cell then [ (2, 5); (7, 9) ] else [] in
+  let fit lb duration =
+    Scheduler.earliest_fit ~busy ~cells:(Coord.Set.singleton cell) ~duration
+      ~lb
+  in
+  Alcotest.(check int) "fits before" 0 (fit 0 2);
+  Alcotest.(check int) "bumped past first" 5 (fit 1 2);
+  Alcotest.(check int) "gap too small" 9 (fit 1 3);
+  Alcotest.(check int) "after everything" 9 (fit 8 4)
+
+let test_scheduler_zero_duration () =
+  let a = Scheduler.Key.Tsk 0 and b = Scheduler.Key.Tsk 1 in
+  let cell = [ Coord.make 0 0 ] in
+  let result = Scheduler.run [ job a 0 cell; job ~after:[ a ] b 2 cell ] in
+  let ra = assignment_of a result and rb = assignment_of b result in
+  Alcotest.(check int) "zero duration" ra.Scheduler.start ra.Scheduler.finish;
+  Alcotest.(check bool) "b still ordered" true
+    (rb.Scheduler.start >= ra.Scheduler.finish)
+
+(* --- synthesis end-to-end --- *)
+
+let all_with_motivating () =
+  ("Motivating", Benchmarks.motivating (), Some (fig2 ()))
+  :: List.map (fun (n, b) -> (n, b, None)) (Benchmarks.all ())
+
+let test_synthesis_valid_schedules () =
+  List.iter
+    (fun (name, b, layout) ->
+      let s = Synthesis.synthesize ?layout b in
+      let errs = Schedule.violations s.Synthesis.schedule in
+      Alcotest.(check (list string)) (name ^ " violations") [] errs)
+    (all_with_motivating ())
+
+let test_synthesis_task_structure () =
+  let s = Synthesis.synthesize (Benchmarks.pcr ()) in
+  let graph = (s.Synthesis.benchmark).Benchmarks.graph in
+  let transports =
+    List.filter
+      (fun (t : Task.t) ->
+        match t.Task.purpose with
+        | Task.Transport _ -> true
+        | Task.Removal _ | Task.Disposal _ | Task.Wash _ -> false)
+      s.Synthesis.tasks
+  in
+  (* One transport per edge. *)
+  Alcotest.(check int) "transport per edge"
+    (Pdw_assay.Sequencing_graph.num_edges graph)
+    (List.length transports);
+  (* One disposal per sink. *)
+  let disposals =
+    List.filter
+      (fun (t : Task.t) ->
+        match t.Task.purpose with
+        | Task.Disposal _ -> true
+        | Task.Transport _ | Task.Removal _ | Task.Wash _ -> false)
+      s.Synthesis.tasks
+  in
+  Alcotest.(check int) "disposal per sink"
+    (List.length (Pdw_assay.Sequencing_graph.sinks graph))
+    (List.length disposals);
+  Alcotest.(check bool) "no washes from synthesis" true
+    (List.for_all (fun t -> not (Task.is_wash t)) s.Synthesis.tasks)
+
+let test_synthesis_binding_kinds () =
+  List.iter
+    (fun (name, b, layout) ->
+      let s = Synthesis.synthesize ?layout b in
+      let graph = b.Benchmarks.graph in
+      Array.iteri
+        (fun i device_id ->
+          let op = Pdw_assay.Sequencing_graph.op graph i in
+          let device = Layout.device s.Synthesis.layout device_id in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s op %d kind" name (i + 1))
+            true
+            (Device.kind_equal device.Device.kind
+               (Pdw_assay.Operation.device_kind op.Pdw_assay.Operation.kind)))
+        s.Synthesis.binding)
+    (all_with_motivating ())
+
+let test_synthesis_rejects_missing_device () =
+  (* A heat op with a mixer-only library cannot bind. *)
+  let graph =
+    Pdw_assay.Sequencing_graph.make ~name:"t"
+      [
+        {
+          Pdw_assay.Sequencing_graph.op =
+            Pdw_assay.Operation.make ~id:0 ~kind:Pdw_assay.Operation.Heat
+              ~duration:2 ();
+          inputs = [ Pdw_assay.Sequencing_graph.From_reagent (Pdw_biochip.Fluid.reagent "a") ];
+        };
+      ]
+  in
+  let b = { Benchmarks.graph; device_kinds = [ Device.Mixer ] } in
+  Alcotest.check_raises "no heater"
+    (Invalid_argument "Synthesis: no heater device for op 1") (fun () ->
+      ignore (Synthesis.synthesize b))
+
+let test_reschedule_is_stable () =
+  let s = Synthesis.synthesize (Benchmarks.pcr ()) in
+  let again = Synthesis.reschedule s ~tasks:s.Synthesis.tasks () in
+  Alcotest.(check int) "same completion"
+    (Schedule.assay_completion s.Synthesis.schedule)
+    (Schedule.assay_completion again);
+  Alcotest.(check (list string)) "still valid" [] (Schedule.violations again)
+
+(* --- control layer / valve actuation --- *)
+
+module Actuation = Pdw_synth.Actuation
+
+let test_actuation_consistent () =
+  let s = Synthesis.synthesize (Benchmarks.pcr ()) in
+  let plan = Actuation.of_schedule s.Synthesis.schedule in
+  Alcotest.(check bool) "events exist" true (Actuation.events plan <> []);
+  (* Switching count is even: every open eventually closes. *)
+  Alcotest.(check int) "balanced transitions" 0
+    (Actuation.switching_count plan mod 2);
+  Alcotest.(check bool) "peak within bounds" true
+    (Actuation.peak_open plan > 0)
+
+let test_actuation_state_matches_schedule () =
+  let s = Synthesis.synthesize (Benchmarks.pcr ()) in
+  let schedule = s.Synthesis.schedule in
+  let plan = Actuation.of_schedule schedule in
+  (* During any entry's run, all its valves are open. *)
+  List.iter
+    (fun entry ->
+      let t = Schedule.entry_start entry in
+      Coord.Set.iter
+        (fun cell ->
+          Alcotest.(check bool) "valve open during run" true
+            (Actuation.state_at plan ~time:t cell = Actuation.Open))
+        (Schedule.entry_cells schedule entry))
+    (Schedule.entries schedule);
+  (* After the makespan everything is closed. *)
+  let horizon = Schedule.makespan schedule in
+  List.iter
+    (fun (cell, _) ->
+      Alcotest.(check bool) "closed at the end" true
+        (Actuation.state_at plan ~time:horizon cell = Actuation.Closed))
+    (Actuation.per_valve plan)
+
+let test_actuation_merges_abutting_windows () =
+  (* Two back-to-back jobs on one cell: the valve opens once. *)
+  let graph =
+    (Benchmarks.pcr ()).Benchmarks.graph
+  in
+  ignore graph;
+  let s = Synthesis.synthesize (Benchmarks.kinase_1 ()) in
+  let plan = Actuation.of_schedule s.Synthesis.schedule in
+  (* per_valve counts transitions; each is >= 2 and even. *)
+  List.iter
+    (fun (_, n) ->
+      Alcotest.(check bool) "per-valve transitions even and positive" true
+        (n >= 2 && n mod 2 = 0))
+    (Actuation.per_valve plan)
+
+let prop_actuation_consistent_random =
+  QCheck2.Test.make
+    ~name:"actuation plans derive from any valid schedule" ~count:30
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let b = Pdw_assay.Assay_gen.random ~max_ops:7 ~seed () in
+      let s = Synthesis.synthesize b in
+      let plan = Actuation.of_schedule s.Synthesis.schedule in
+      Actuation.switching_count plan mod 2 = 0
+      && Actuation.peak_open plan > 0)
+
+let prop_random_assays_synthesize =
+  QCheck2.Test.make ~name:"random assays synthesize to valid schedules"
+    ~count:40
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let b = Pdw_assay.Assay_gen.random ~seed () in
+      let s = Synthesis.synthesize b in
+      Schedule.violations s.Synthesis.schedule = [])
+
+let prop_shortest_is_shortest =
+  (* BFS length equals manhattan distance on an empty street grid when
+     endpoints share a street, and is never below manhattan. *)
+  QCheck2.Test.make ~name:"routes are never shorter than manhattan"
+    ~count:100
+    QCheck2.Gen.(tup2 (int_range 0 10_000) (int_range 0 3))
+    (fun (seed, _) ->
+      let b = Pdw_assay.Assay_gen.random ~seed () in
+      let s = Synthesis.synthesize b in
+      List.for_all
+        (fun (t : Task.t) ->
+          let p = t.Task.path in
+          Gpath.length p
+          >= 1 + Coord.manhattan (Gpath.source p) (Gpath.target p))
+        s.Synthesis.tasks)
+
+let () =
+  Alcotest.run "pdw_synth"
+    [
+      ( "placement",
+        [
+          Alcotest.test_case "structure" `Quick test_placement_structure;
+          Alcotest.test_case "connected" `Quick test_placement_connected;
+          Alcotest.test_case "port counts" `Quick test_placement_port_counts;
+          Alcotest.test_case "rejects empty" `Quick
+            test_placement_rejects_empty;
+          Alcotest.test_case "ring structure" `Quick
+            test_ring_layout_structure;
+          Alcotest.test_case "ring synthesis" `Quick
+            test_ring_synthesis_works;
+          Alcotest.test_case "island multi-cell devices" `Quick
+            test_island_layout_multicell;
+          Alcotest.test_case "island synthesis + wash" `Quick
+            test_island_synthesis_and_wash;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "shortest on fig2" `Quick test_shortest_on_fig2;
+          Alcotest.test_case "respects avoid" `Quick
+            test_shortest_respects_avoid;
+          Alcotest.test_case "ports terminate paths" `Quick
+            test_route_does_not_pass_through_ports;
+          Alcotest.test_case "cheapest with costs" `Quick
+            test_cheapest_avoids_costly_cells;
+          Alcotest.test_case "covering visits targets" `Quick
+            test_covering_visits_targets;
+          Alcotest.test_case "flush structure" `Quick test_flush_structure;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "precedence" `Quick test_scheduler_precedence;
+          Alcotest.test_case "resource conflicts" `Quick
+            test_scheduler_resource_conflict;
+          Alcotest.test_case "disjoint concurrency" `Quick
+            test_scheduler_disjoint_run_concurrently;
+          Alcotest.test_case "release times" `Quick test_scheduler_release;
+          Alcotest.test_case "rejects cycles" `Quick
+            test_scheduler_rejects_cycle;
+          Alcotest.test_case "rejects duplicates" `Quick
+            test_scheduler_rejects_duplicate;
+          Alcotest.test_case "earliest_fit" `Quick test_earliest_fit;
+          Alcotest.test_case "zero-duration jobs" `Quick
+            test_scheduler_zero_duration;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "valid schedules (all benchmarks)" `Quick
+            test_synthesis_valid_schedules;
+          Alcotest.test_case "task structure" `Quick
+            test_synthesis_task_structure;
+          Alcotest.test_case "binding kinds" `Quick
+            test_synthesis_binding_kinds;
+          Alcotest.test_case "rejects missing device" `Quick
+            test_synthesis_rejects_missing_device;
+          Alcotest.test_case "reschedule stability" `Quick
+            test_reschedule_is_stable;
+        ] );
+      ( "actuation",
+        [
+          Alcotest.test_case "consistent plan" `Quick
+            test_actuation_consistent;
+          Alcotest.test_case "matches schedule" `Quick
+            test_actuation_state_matches_schedule;
+          Alcotest.test_case "merged windows" `Quick
+            test_actuation_merges_abutting_windows;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_random_assays_synthesize;
+            prop_shortest_is_shortest;
+            prop_actuation_consistent_random;
+          ] );
+    ]

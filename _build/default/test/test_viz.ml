@@ -1,0 +1,150 @@
+(* Tests for the SVG visualization library: document building/escaping,
+   layout maps and schedule Gantt charts. *)
+
+module Svg = Pdw_viz.Svg
+module Layout_svg = Pdw_viz.Layout_svg
+module Gantt_svg = Pdw_viz.Gantt_svg
+module Layout_builder = Pdw_biochip.Layout_builder
+module Benchmarks = Pdw_assay.Benchmarks
+module Synthesis = Pdw_synth.Synthesis
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let count_occurrences haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub haystack i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_svg_builder () =
+  let svg = Svg.create ~width:100.0 ~height:50.0 in
+  Svg.rect svg ~x:1.0 ~y:2.0 ~w:3.0 ~h:4.0 ~attrs:[ ("fill", "red") ] ();
+  Svg.line svg ~x1:0.0 ~y1:0.0 ~x2:9.0 ~y2:9.0 ();
+  Svg.circle svg ~cx:5.0 ~cy:5.0 ~r:2.0 ();
+  Svg.text svg ~x:0.0 ~y:0.0 "hello";
+  Svg.polyline svg [ (0.0, 0.0); (1.0, 1.0) ] ();
+  let out = Svg.to_string svg in
+  Alcotest.(check bool) "svg root" true (contains out "<svg xmlns");
+  Alcotest.(check bool) "closes root" true (contains out "</svg>");
+  Alcotest.(check bool) "has rect" true (contains out "<rect");
+  Alcotest.(check bool) "has line" true (contains out "<line");
+  Alcotest.(check bool) "has circle" true (contains out "<circle");
+  Alcotest.(check bool) "has text" true (contains out ">hello</text>");
+  Alcotest.(check bool) "has polyline" true (contains out "<polyline")
+
+let test_svg_escaping () =
+  let svg = Svg.create ~width:10.0 ~height:10.0 in
+  Svg.text svg ~x:0.0 ~y:0.0 "a<b & \"c\"";
+  let out = Svg.to_string svg in
+  Alcotest.(check bool) "escapes <" true (contains out "a&lt;b");
+  Alcotest.(check bool) "escapes &" true (contains out "&amp;");
+  Alcotest.(check bool) "escapes quotes" true (contains out "&quot;c&quot;");
+  Alcotest.(check bool) "no raw <b" false (contains out "a<b")
+
+let test_svg_balanced_tags () =
+  let svg = Svg.create ~width:10.0 ~height:10.0 in
+  Svg.rect svg ~x:0.0 ~y:0.0 ~w:1.0 ~h:1.0 ();
+  Svg.text svg ~x:0.0 ~y:0.0 "t";
+  let out = Svg.to_string svg in
+  Alcotest.(check int) "one <svg" 1 (count_occurrences out "<svg");
+  Alcotest.(check int) "one </svg>" 1 (count_occurrences out "</svg>");
+  Alcotest.(check int) "text closed"
+    (count_occurrences out "<text")
+    (count_occurrences out "</text>")
+
+let test_layout_svg () =
+  let layout = Layout_builder.fig2_layout () in
+  let out = Layout_svg.render layout in
+  Alcotest.(check bool) "is svg" true (contains out "<svg");
+  (* 5 devices drawn with their glyph labels, 8 ports as circles. *)
+  Alcotest.(check int) "8 port circles" 8 (count_occurrences out "<circle");
+  Alcotest.(check bool) "port names shown" true (contains out ">in1</text>");
+  Alcotest.(check bool) "mixer glyph" true (contains out ">M</text>")
+
+let test_layout_svg_highlight () =
+  let layout = Layout_builder.fig2_layout () in
+  let path =
+    Pdw_geometry.Gpath.of_cells
+      [ Pdw_geometry.Coord.make 1 3; Pdw_geometry.Coord.make 2 3 ]
+  in
+  let out = Layout_svg.render ~highlight:[ ("wash 1", path) ] layout in
+  Alcotest.(check bool) "has overlay" true (contains out "<polyline");
+  Alcotest.(check bool) "has legend" true (contains out ">wash 1</text>")
+
+let test_layout_svg_multicell () =
+  let layout =
+    Pdw_synth.Placement.island_layout
+      ~device_kinds:
+        Pdw_biochip.Device.[ Mixer; Heater; Detector ]
+      ()
+  in
+  let out = Layout_svg.render layout in
+  (* Three devices, three cells each: nine glyph labels. *)
+  let glyph_count =
+    List.fold_left
+      (fun acc g -> acc + count_occurrences out (">" ^ g ^ "</text>"))
+      0 [ "M"; "H"; "D" ]
+  in
+  Alcotest.(check int) "one glyph per device cell" 9 glyph_count
+
+let test_gantt_svg () =
+  let s =
+    Synthesis.synthesize
+      ~layout:(Layout_builder.fig2_layout ())
+      (Benchmarks.motivating ())
+  in
+  let out = Gantt_svg.render s.Synthesis.schedule in
+  Alcotest.(check bool) "is svg" true (contains out "<svg");
+  (* Row labels: the five devices and the task classes that occur. *)
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) (label ^ " row") true
+        (contains out (">" ^ label ^ "</text>")))
+    [ "mixer"; "filter"; "heater"; "transports"; "removals"; "disposals" ];
+  (* Bars: one rect per entry plus background; at least #entries rects. *)
+  let entries = List.length (Pdw_synth.Schedule.entries s.Synthesis.schedule) in
+  Alcotest.(check bool) "enough bars" true
+    (count_occurrences out "<rect" > entries)
+
+let test_gantt_svg_with_washes () =
+  let s =
+    Synthesis.synthesize
+      ~layout:(Layout_builder.fig2_layout ())
+      (Benchmarks.motivating ())
+  in
+  let o = Pdw_wash.Pdw.optimize s in
+  let out = Gantt_svg.render o.Pdw_wash.Wash_plan.schedule in
+  Alcotest.(check bool) "washes row" true (contains out ">washes</text>")
+
+let () =
+  Alcotest.run "pdw_viz"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "builder" `Quick test_svg_builder;
+          Alcotest.test_case "escaping" `Quick test_svg_escaping;
+          Alcotest.test_case "balanced tags" `Quick test_svg_balanced_tags;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "fig2 map" `Quick test_layout_svg;
+          Alcotest.test_case "highlights" `Quick test_layout_svg_highlight;
+          Alcotest.test_case "multi-cell devices" `Quick
+            test_layout_svg_multicell;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "baseline chart" `Quick test_gantt_svg;
+          Alcotest.test_case "wash rows" `Quick test_gantt_svg_with_washes;
+        ] );
+    ]
