@@ -20,15 +20,24 @@ module Wash_plan = Pdw_wash.Wash_plan
 module Metrics = Pdw_wash.Metrics
 module Report = Pdw_wash.Report
 
+module Domain_pool = Pdw_wash.Domain_pool
+
 let table2_benchmarks () = Benchmarks.all ()
 
+(* Per-benchmark fan-out: benchmarks are independent, so synthesis and
+   optimization map over a domain pool sized from the machine
+   ([Domain.recommended_domain_count], capped).  On a single-core host
+   the pool degrades to the serial path.  [Domain_pool.map] preserves
+   order, so every table prints exactly as the serial harness did. *)
+let pooled f xs = Domain_pool.with_pool (fun pool -> Domain_pool.map pool f xs)
+
 let synthesize_all () =
-  List.map
+  pooled
     (fun (name, b) -> (name, b, Synthesis.synthesize b))
     (table2_benchmarks ())
 
 let rows_of synthesized =
-  List.map
+  pooled
     (fun (name, (b : Benchmarks.t), s) ->
       let dawo = Dawo.optimize s in
       let pdw = Pdw.optimize s in
@@ -81,7 +90,7 @@ let run_ablate () =
   List.iter
     (fun (label, config) ->
       let metrics =
-        List.map
+        pooled
           (fun (_, _, s) -> (Pdw.optimize ~config s).Wash_plan.metrics)
           synthesized
       in
@@ -104,35 +113,40 @@ let run_archcompare () =
   Format.printf
     "@[<v>Architecture comparison (PDW): N_wash / L_wash(mm) / T_assay@,@,     %-14s | %-18s | %-18s | %-18s@," "Benchmark" "street grid"
     "ring bus" "islands (1x3)";
+  let rows =
+    pooled
+      (fun (name, (b : Benchmarks.t)) ->
+        let reagents =
+          List.length
+            (Pdw_assay.Sequencing_graph.reagents b.Benchmarks.graph)
+        in
+        let ports = min 10 (max 4 reagents) in
+        let run layout = Pdw.optimize (Synthesis.synthesize ?layout b) in
+        let grid = run None in
+        let ring =
+          run
+            (Some
+               (Pdw_synth.Placement.ring_layout ~flow_ports:ports
+                  ~device_kinds:b.Benchmarks.device_kinds ()))
+        in
+        let island =
+          run
+            (Some
+               (Pdw_synth.Placement.island_layout ~flow_ports:ports
+                  ~device_kinds:b.Benchmarks.device_kinds ()))
+        in
+        let cell (o : Wash_plan.outcome) =
+          let m = o.Wash_plan.metrics in
+          Printf.sprintf "%3d /%5.0f /%4d" m.Metrics.n_wash
+            m.Metrics.l_wash_mm m.Metrics.t_assay
+        in
+        (name, cell grid, cell ring, cell island))
+      (table2_benchmarks ())
+  in
   List.iter
-    (fun (name, (b : Benchmarks.t)) ->
-      let reagents =
-        List.length
-          (Pdw_assay.Sequencing_graph.reagents b.Benchmarks.graph)
-      in
-      let ports = min 10 (max 4 reagents) in
-      let run layout = Pdw.optimize (Synthesis.synthesize ?layout b) in
-      let grid = run None in
-      let ring =
-        run
-          (Some
-             (Pdw_synth.Placement.ring_layout ~flow_ports:ports
-                ~device_kinds:b.Benchmarks.device_kinds ()))
-      in
-      let island =
-        run
-          (Some
-             (Pdw_synth.Placement.island_layout ~flow_ports:ports
-                ~device_kinds:b.Benchmarks.device_kinds ()))
-      in
-      let cell (o : Wash_plan.outcome) =
-        let m = o.Wash_plan.metrics in
-        Printf.sprintf "%3d /%5.0f /%4d" m.Metrics.n_wash m.Metrics.l_wash_mm
-          m.Metrics.t_assay
-      in
-      Format.printf "%-14s | %-18s | %-18s | %-18s@," name (cell grid)
-        (cell ring) (cell island))
-    (table2_benchmarks ());
+    (fun (name, grid, ring, island) ->
+      Format.printf "%-14s | %-18s | %-18s | %-18s@," name grid ring island)
+    rows;
   Format.printf "@]@."
 
 (* Heuristic vs exact ILP wash paths (Eqs. (12)-(15)) on the motivating
@@ -231,18 +245,23 @@ let run_binding () =
   Format.printf
     "@[<v>Device binding: round-robin vs optimized (PDW)@,     %-14s | %8s %8s | %8s %8s@," "Benchmark" "rr:N" "rr:Ta" "opt:N"
     "opt:Ta";
+  let rows =
+    pooled
+      (fun (name, b) ->
+        let rr =
+          Pdw.optimize (Synthesis.synthesize ~optimize_binding:false b)
+        in
+        let opt =
+          Pdw.optimize (Synthesis.synthesize ~optimize_binding:true b)
+        in
+        (name, rr.Wash_plan.metrics, opt.Wash_plan.metrics))
+      (table2_benchmarks ())
+  in
   List.iter
-    (fun (name, b) ->
-      let rr =
-        Pdw.optimize (Synthesis.synthesize ~optimize_binding:false b)
-      in
-      let opt =
-        Pdw.optimize (Synthesis.synthesize ~optimize_binding:true b)
-      in
-      let a = rr.Wash_plan.metrics and o = opt.Wash_plan.metrics in
+    (fun (name, (a : Metrics.t), (o : Metrics.t)) ->
       Format.printf "%-14s | %8d %8d | %8d %8d@," name a.Metrics.n_wash
         a.Metrics.t_assay o.Metrics.n_wash o.Metrics.t_assay)
-    (table2_benchmarks ());
+    rows;
   Format.printf "@]@."
 
 (* Sensitivity to the dissolution time t_d of Eq. (17): how strongly do
@@ -304,9 +323,87 @@ let run_speed () =
     entries;
   Format.printf "@]@."
 
+(* Machine-readable solver timings (BENCH_solver.json): wall-clock for
+   the PDW and DAWO optimizers on every Table II benchmark plus the
+   exact-ILP wash-path run on the motivating chip.  Future PRs diff this
+   file to track the perf trajectory. *)
+let run_perf () =
+  let module J = Pdw_wash.Json_export in
+  let now () = Unix.gettimeofday () in
+  let timed f =
+    let t0 = now () in
+    let r = f () in
+    (r, (now () -. t0) *. 1000.0)
+  in
+  let synthesized = synthesize_all () in
+  let t_opt0 = now () in
+  let per_bench =
+    List.map
+      (fun (name, _, s) ->
+        let pdw, pdw_ms = timed (fun () -> Pdw.optimize s) in
+        let dawo, dawo_ms = timed (fun () -> Dawo.optimize s) in
+        (name, (pdw, pdw_ms), (dawo, dawo_ms)))
+      synthesized
+  in
+  let optimize_wall_ms = (now () -. t_opt0) *. 1000.0 in
+  let exact, exact_ms =
+    timed (fun () ->
+        let layout = Layout_builder.fig2_layout () in
+        let s = Synthesis.synthesize ~layout (Benchmarks.motivating ()) in
+        Pdw.optimize
+          ~config:
+            {
+              Pdw.default_config with
+              use_ilp_paths = true;
+              ilp_config =
+                { Pdw_lp.Ilp.default_config with time_limit = 20.0 };
+            }
+          s)
+  in
+  let planner_fields ms (o : Wash_plan.outcome) =
+    let m = o.Wash_plan.metrics in
+    [
+      ("wall_ms", J.Float ms);
+      ("n_wash", J.Int m.Metrics.n_wash);
+      ("l_wash_mm", J.Float m.Metrics.l_wash_mm);
+      ("t_assay_s", J.Int m.Metrics.t_assay);
+    ]
+  in
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "pathdriver-wash/bench-solver/v1");
+        ("mode", J.String "perf");
+        ("domains", J.Int (Pdw_wash.Domain_pool.default_size ()));
+        ( "benchmarks",
+          J.List
+            (List.map
+               (fun (name, (pdw, pdw_ms), (dawo, dawo_ms)) ->
+                 J.Obj
+                   [
+                     ("name", J.String name);
+                     ("pdw", J.Obj (planner_fields pdw_ms pdw));
+                     ("dawo", J.Obj (planner_fields dawo_ms dawo));
+                   ])
+               per_bench) );
+        ("optimize_wall_ms", J.Float optimize_wall_ms);
+        ( "exact_ilp",
+          J.Obj
+            (("name", J.String "Motivating")
+            :: planner_fields exact_ms exact) );
+      ]
+  in
+  let path = "BENCH_solver.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Format.printf "perf: wrote %s (optimize wall %.1f ms, exact ILP %.1f ms)@."
+    path optimize_wall_ms exact_ms
+
 let usage () =
   print_endline
-    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed]"
+    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf]"
 
 let () =
   let jobs =
@@ -328,6 +425,7 @@ let () =
     | _ :: [ "batch" ] -> [ run_batch ]
     | _ :: [ "ports" ] -> [ run_ports ]
     | _ :: [ "speed" ] -> [ run_speed ]
+    | _ :: [ "perf" ] -> [ run_perf ]
     | _ ->
       usage ();
       exit 1

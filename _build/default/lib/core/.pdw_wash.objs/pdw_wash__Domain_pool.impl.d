@@ -1,0 +1,1 @@
+lib/core/domain_pool.ml: Array Atomic Condition Domain Fun List Mutex Queue

@@ -1,0 +1,1 @@
+lib/core/domain_pool.mli:

@@ -1,0 +1,1 @@
+lib/core/occupancy.ml: Array Hashtbl Int List Mutex Pdw_geometry Pdw_synth

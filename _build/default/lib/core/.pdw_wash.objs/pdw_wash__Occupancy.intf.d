@@ -1,0 +1,1 @@
+lib/core/occupancy.mli: Pdw_geometry Pdw_synth

@@ -1,1 +1,1 @@
-lib/core/wash_path_search.ml: List Pdw_geometry Pdw_synth Wash_target
+lib/core/wash_path_search.ml: Atomic Hashtbl Mutex Occupancy Pdw_biochip Pdw_geometry Pdw_synth Wash_target

@@ -1,0 +1,92 @@
+module Coord = Pdw_geometry.Coord
+module Schedule = Pdw_synth.Schedule
+
+(* Interval index over a schedule's entries: which cells are occupied
+   during a time window?  The wash-path search asks this once per
+   candidate group per round, and the old implementation folded over
+   every entry each time.  Here entries are sorted by start time in an
+   array that doubles as an implicit balanced BST (midpoint recursion),
+   with each subtree augmented by its maximum finish time, so a window
+   query visits O(log n + k) spans where k is the number of overlaps. *)
+
+type span = { start : int; finish : int; cells : Coord.Set.t }
+
+type t = {
+  spans : span array; (* sorted by start time *)
+  subtree_max : int array; (* max finish over the implicit subtree *)
+  memo : (int * int, Coord.Set.t) Hashtbl.t;
+  memo_lock : Mutex.t;
+}
+
+let of_schedule schedule =
+  let spans =
+    List.map
+      (fun entry ->
+        {
+          start = Schedule.entry_start entry;
+          finish = Schedule.entry_finish entry;
+          cells = Schedule.entry_cells schedule entry;
+        })
+      (Schedule.entries schedule)
+    |> List.sort (fun a b -> Int.compare a.start b.start)
+    |> Array.of_list
+  in
+  let n = Array.length spans in
+  let subtree_max = Array.make n min_int in
+  let rec build lo hi =
+    if lo > hi then min_int
+    else begin
+      let mid = (lo + hi) / 2 in
+      let m =
+        max spans.(mid).finish (max (build lo (mid - 1)) (build (mid + 1) hi))
+      in
+      subtree_max.(mid) <- m;
+      m
+    end
+  in
+  if n > 0 then ignore (build 0 (n - 1));
+  { spans; subtree_max; memo = Hashtbl.create 32; memo_lock = Mutex.create () }
+
+let length t = Array.length t.spans
+
+(* A span overlaps [(lo, hi)] iff [start < hi && lo < finish] — the same
+   half-open convention the planner uses everywhere. *)
+let fold_overlapping t ~window:(lo, hi) ~init ~f =
+  let spans = t.spans in
+  let acc = ref init in
+  let rec visit l h =
+    if l <= h then begin
+      let mid = (l + h) / 2 in
+      (* Nothing below this subtree finishes after [lo]: prune it. *)
+      if t.subtree_max.(mid) > lo then begin
+        visit l (mid - 1);
+        let s = spans.(mid) in
+        if s.start < hi then begin
+          if lo < s.finish then acc := f !acc s.cells;
+          (* Right subtree only holds later starts; if even this node
+             starts at or past [hi], so does everything to its right. *)
+          visit (mid + 1) h
+        end
+      end
+    end
+  in
+  visit 0 (Array.length spans - 1);
+  !acc
+
+let busy t ~window =
+  let cached =
+    Mutex.lock t.memo_lock;
+    let r = Hashtbl.find_opt t.memo window in
+    Mutex.unlock t.memo_lock;
+    r
+  in
+  match cached with
+  | Some set -> set
+  | None ->
+    let set =
+      fold_overlapping t ~window ~init:Coord.Set.empty ~f:Coord.Set.union
+    in
+    Mutex.lock t.memo_lock;
+    Hashtbl.replace t.memo window set;
+    Mutex.unlock t.memo_lock;
+    set

@@ -1,0 +1,31 @@
+(** Interval-indexed schedule occupancy.
+
+    Answers "which cells does traffic occupy during this time window?" in
+    O(log n + k) — entries sorted by start time form an implicit balanced
+    BST whose subtrees are augmented with their maximum finish time, the
+    classic interval-tree layout.  The wash-path search asks this
+    question for every candidate group in every planning round, so the
+    index (plus a per-window memo) replaces a full fold over the
+    schedule on each query. *)
+
+type t
+
+(** Index a schedule's entries, precomputing each entry's cell set. *)
+val of_schedule : Pdw_synth.Schedule.t -> t
+
+(** Number of indexed entries. *)
+val length : t -> int
+
+(** Fold [f] over the cell sets of entries overlapping the half-open
+    window [(lo, hi)] — an entry overlaps iff [start < hi && lo < finish].
+    Visits O(log n + k) spans. *)
+val fold_overlapping :
+  t ->
+  window:int * int ->
+  init:'a ->
+  f:('a -> Pdw_geometry.Coord.Set.t -> 'a) ->
+  'a
+
+(** Union of occupied cells over the window.  Memoized per window
+    (mutex-guarded, safe to share across domains). *)
+val busy : t -> window:int * int -> Pdw_geometry.Coord.Set.t

@@ -2,15 +2,24 @@ module Coord = Pdw_geometry.Coord
 module Schedule = Pdw_synth.Schedule
 module Router = Pdw_synth.Router
 
-let busy_cells schedule ~window:(lo, hi) =
-  List.fold_left
-    (fun acc entry ->
-      let s = Schedule.entry_start entry and f = Schedule.entry_finish entry in
-      if s < hi && lo < f then
-        Coord.Set.union acc (Schedule.entry_cells schedule entry)
-      else acc)
-    Coord.Set.empty
-    (Schedule.entries schedule)
+(* The planner queries occupancy for many windows against the same
+   schedule (every candidate group of a round), and re-queries the same
+   groups while evaluating integration merges.  A single-slot memo keyed
+   by schedule identity covers this: schedules are immutable, and each
+   planning round builds a fresh one, naturally evicting the slot. *)
+let occupancy_slot : (Schedule.t * Occupancy.t) option Atomic.t =
+  Atomic.make None
+
+let occupancy_of schedule =
+  match Atomic.get occupancy_slot with
+  | Some (s, occ) when s == schedule -> occ
+  | _ ->
+    let occ = Occupancy.of_schedule schedule in
+    Atomic.set occupancy_slot (Some (schedule, occ));
+    occ
+
+let busy_cells schedule ~window =
+  Occupancy.busy (occupancy_of schedule) ~window
 
 (* Cost of entering a cell other traffic occupies during the wash window:
    a soft penalty, so the search trades a few cells of extra length for
@@ -18,7 +27,8 @@ let busy_cells schedule ~window:(lo, hi) =
    beta/gamma weights strike in Eq. (26)). *)
 let conflict_cell_penalty = 1
 
-let find ?(conflict_aware = true) ~layout ~schedule (g : Wash_target.group) =
+let find_uncached ~conflict_aware ~layout ~schedule
+    (g : Wash_target.group) =
   let targets = g.Wash_target.targets in
   let attempt_soft_cost () =
     if not conflict_aware then None
@@ -36,3 +46,58 @@ let find ?(conflict_aware = true) ~layout ~schedule (g : Wash_target.group) =
   match attempt_soft_cost () with
   | Some result -> Some result
   | None -> Router.flush layout ~targets ()
+
+(* Whole-search memo.  For a fixed layout and schedule, the result is a
+   function of the group's window, targets and conflict awareness alone;
+   integration re-evaluates the same candidate groups repeatedly while
+   deciding which removals to absorb.  One slot keyed by (layout,
+   schedule) identity, table keyed by the group's search-relevant
+   fields — target sets as sorted elements, since structurally equal
+   [Coord.Set.t] trees can hash differently. *)
+type find_key = int * int * bool * Coord.t list
+
+let find_slot :
+    (Pdw_biochip.Layout.t
+    * Schedule.t
+    * (find_key, (Pdw_geometry.Gpath.t * int * int) option) Hashtbl.t)
+    option
+    Atomic.t =
+  Atomic.make None
+
+let find_lock = Mutex.create ()
+
+let find ?(conflict_aware = true) ~layout ~schedule
+    (g : Wash_target.group) =
+  let table =
+    Mutex.lock find_lock;
+    let tbl =
+      match Atomic.get find_slot with
+      | Some (l, s, tbl) when l == layout && s == schedule -> tbl
+      | _ ->
+        let tbl = Hashtbl.create 64 in
+        Atomic.set find_slot (Some (layout, schedule, tbl));
+        tbl
+    in
+    Mutex.unlock find_lock;
+    tbl
+  in
+  let key =
+    ( g.Wash_target.release,
+      g.Wash_target.deadline,
+      conflict_aware,
+      Coord.Set.elements g.Wash_target.targets )
+  in
+  let cached =
+    Mutex.lock find_lock;
+    let r = Hashtbl.find_opt table key in
+    Mutex.unlock find_lock;
+    r
+  in
+  match cached with
+  | Some result -> result
+  | None ->
+    let result = find_uncached ~conflict_aware ~layout ~schedule g in
+    Mutex.lock find_lock;
+    Hashtbl.replace table key result;
+    Mutex.unlock find_lock;
+    result

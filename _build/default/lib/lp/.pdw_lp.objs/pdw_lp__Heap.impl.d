@@ -1,0 +1,1 @@
+lib/lp/heap.ml: Array

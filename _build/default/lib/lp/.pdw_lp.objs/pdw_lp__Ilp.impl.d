@@ -1,1 +1,1 @@
-lib/lp/ilp.ml: Array Float Format Lp_problem Option Presolve Simplex Sys
+lib/lp/ilp.ml: Array Float Format Heap List Lp_problem Option Presolve Simplex Sys

@@ -1,1 +1,1 @@
-lib/lp/simplex.ml: Array Format Lin_expr List Lp_problem Option
+lib/lp/simplex.ml: Array Format Hashtbl Lin_expr List Lp_problem Option

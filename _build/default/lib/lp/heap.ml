@@ -1,0 +1,74 @@
+(* Array-backed binary min-heap keyed by a float priority.  Equal
+   priorities break ties on insertion order (FIFO), so the
+   branch-and-bound frontier explores ties in the same order the old
+   sorted-list implementation did and runs stay deterministic. *)
+
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let before a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && before t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~priority value =
+  let entry = { priority; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let grown = Array.make (max 16 (2 * cap)) entry in
+    Array.blit t.data 0 grown 0 t.size;
+    t.data <- grown
+  end;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let min_priority t = if t.size = 0 then None else Some t.data.(0).priority
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* Point the stale slot at a live entry so the popped value can be
+         collected once the caller drops it. *)
+      t.data.(t.size) <- t.data.(0);
+      sift_down t 0
+    end;
+    Some top.value
+  end

@@ -1,0 +1,21 @@
+(** Array-backed binary min-heap keyed by a float priority, used for the
+    branch-and-bound frontier (best-first node selection in O(log n)
+    instead of the former O(n) sorted-list insertion).
+
+    Equal priorities pop in insertion order (FIFO), matching the old
+    sorted-list tie behaviour so searches stay deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [add t ~priority v] inserts [v]; smaller priorities pop first. *)
+val add : 'a t -> priority:float -> 'a -> unit
+
+(** Priority of the next element to pop, if any. *)
+val min_priority : 'a t -> float option
+
+(** Remove and return the minimum-priority element. *)
+val pop : 'a t -> 'a option

@@ -14,33 +14,36 @@ type result =
   | Unbounded
   | Unknown
 
-type node = { bound : float; var_bounds : Lp_problem.bounds array }
+(* A frontier node: LP bound inherited from the parent relaxation, the
+   branching bounds, and the parent's optimal simplex basis so the child
+   relaxation warm-starts with a dual-simplex run instead of a cold
+   two-phase solve. *)
+type node = {
+  bound : float;
+  var_bounds : Lp_problem.bounds array;
+  basis : Simplex.basis option;
+}
 
-(* Nodes kept in a list sorted by ascending LP bound (best-first).  Node
-   counts stay small for the models in this repository, so a heap is not
-   worth the complexity. *)
-let insert_node node nodes =
-  let rec go = function
-    | [] -> [ node ]
-    | n :: rest as all ->
-      if node.bound <= n.bound then node :: all else n :: go rest
-  in
-  go nodes
-
+(* Most-fractional branching.  Returns the variable together with the
+   floor of its relaxation value, so the branch bounds are derived from
+   the exact same quantity the fractionality test used — values just
+   outside [integrality_eps] can never round one way in the test and the
+   other way in the branch. *)
 let most_fractional ~integer ~eps solution =
   let best = ref None in
   Array.iteri
     (fun v x ->
       if integer.(v) then begin
-        let frac = x -. Float.round x in
-        let dist = abs_float frac in
+        let f = floor x in
+        let frac = x -. f in
+        let dist = Float.min frac (1.0 -. frac) in
         if dist > eps then
           match !best with
-          | Some (_, d) when d >= dist -> ()
-          | Some _ | None -> best := Some (v, dist)
+          | Some (_, _, d) when d >= dist -> ()
+          | Some _ | None -> best := Some (v, f, dist)
       end)
     solution;
-  Option.map fst !best
+  Option.map (fun (v, f, _) -> (v, f)) !best
 
 let solve ?(config = default_config) ?lazy_cuts ~integer
     (original : Lp_problem.t) =
@@ -50,9 +53,15 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
   | Presolve.Infeasible -> Infeasible
   | Presolve.Reduced p ->
   let start = Sys.time () in
-  let cuts = ref [] in
+  (* Lazy cuts accumulate in reverse generation order: prepending keeps
+     each round O(new cuts) instead of the former O(total²) list append,
+     and [relax] restores generation order so constraint indices — which
+     basis snapshots refer to — stay stable as cuts are appended. *)
+  let cuts_rev = ref [] in
   let incumbent = ref None in
-  let nodes = ref [ { bound = neg_infinity; var_bounds = p.var_bounds } ] in
+  let nodes : node Heap.t = Heap.create () in
+  Heap.add nodes ~priority:neg_infinity
+    { bound = neg_infinity; var_bounds = p.var_bounds; basis = None };
   let explored = ref 0 in
   let out_of_budget () =
     !explored >= config.max_nodes
@@ -60,7 +69,7 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
   in
   let relax var_bounds =
     Lp_problem.make ~num_vars:p.num_vars ~objective:p.objective
-      ~constraints:(p.constraints @ !cuts)
+      ~constraints:(p.constraints @ List.rev !cuts_rev)
       ~var_bounds
   in
   let better obj =
@@ -71,7 +80,13 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
   let saw_unbounded = ref false in
   let rec process node =
     incr explored;
-    match Simplex.solve (relax node.var_bounds) with
+    let relaxation = relax node.var_bounds in
+    let result, basis =
+      match node.basis with
+      | Some basis -> Simplex.solve_from_basis ~basis relaxation
+      | None -> Simplex.solve_keep_basis relaxation
+    in
+    match result with
     | Simplex.Infeasible -> ()
     | Simplex.Unbounded -> saw_unbounded := true
     | Simplex.Optimal { objective; solution } ->
@@ -92,36 +107,38 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
           match new_cuts with
           | [] -> incumbent := Some (objective, snapped)
           | _ :: _ ->
-            cuts := !cuts @ new_cuts;
-            (* Re-solve the same subproblem under the new cuts. *)
-            if not (out_of_budget ()) then process node)
-        | Some v ->
-          let x = solution.(v) in
+            cuts_rev := List.rev_append new_cuts !cuts_rev;
+            (* Re-solve the same subproblem under the new cuts, from the
+               basis that was optimal just before they were appended. *)
+            if not (out_of_budget ()) then
+              process { node with bound = objective; basis })
+        | Some (v, f) ->
           let lo = node.var_bounds.(v).lower in
           let hi = node.var_bounds.(v).upper in
           let down = Array.copy node.var_bounds in
-          down.(v) <- { lower = lo; upper = Some (Float.of_int (int_of_float (floor x))) };
+          down.(v) <- { lower = lo; upper = Some f };
           let up = Array.copy node.var_bounds in
-          up.(v) <- { lower = Float.of_int (int_of_float (ceil x)); upper = hi };
+          up.(v) <- { lower = f +. 1.0; upper = hi };
           let feasible_bounds (b : Lp_problem.bounds) =
             match b.upper with None -> true | Some u -> u >= b.lower
           in
           let push vb =
             if feasible_bounds vb.(v) then
-              nodes :=
-                insert_node { bound = objective; var_bounds = vb } !nodes
+              Heap.add nodes ~priority:objective
+                { bound = objective; var_bounds = vb; basis }
           in
           push down;
           push up
       end
   in
   let rec loop () =
-    match !nodes with
-    | [] -> ()
-    | node :: rest ->
-      if out_of_budget () then ()
+    match Heap.pop nodes with
+    | None -> ()
+    | Some node ->
+      if out_of_budget () then
+        (* Put the node back so exhaustion is detectable below. *)
+        Heap.add nodes ~priority:node.bound node
       else begin
-        nodes := rest;
         (* Prune against the incumbent. *)
         let prune =
           match !incumbent with
@@ -133,7 +150,7 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
       end
   in
   loop ();
-  let exhausted = out_of_budget () && !nodes <> [] in
+  let exhausted = out_of_budget () && not (Heap.is_empty nodes) in
   match (!incumbent, exhausted) with
   | Some (objective, solution), false -> Optimal { objective; solution }
   | Some (objective, solution), true -> Feasible { objective; solution }
@@ -144,6 +161,7 @@ let pp_result ppf = function
   | Infeasible -> Format.pp_print_string ppf "infeasible"
   | Unbounded -> Format.pp_print_string ppf "unbounded"
   | Unknown -> Format.pp_print_string ppf "unknown (budget exhausted)"
-  | Optimal { objective; _ } -> Format.fprintf ppf "optimal %g" objective
+  | Optimal { objective; _ } -> Format.fprintf ppf "optimal %g"
+  objective
   | Feasible { objective; _ } ->
     Format.fprintf ppf "feasible %g (budget exhausted)" objective

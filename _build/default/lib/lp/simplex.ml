@@ -5,6 +5,7 @@ type result =
 
 let eps = 1e-9
 let feas_eps = 1e-7
+let pivot_eps = 1e-7
 
 (* Internal standard form: minimize c.y subject to Ay = b, y >= 0, b >= 0.
    Original variables are shifted by their lower bounds; upper bounds
@@ -16,6 +17,20 @@ type tableau = {
   cols : int;               (* structural + slack columns, excl. artificials *)
   total : int;              (* all columns incl. artificials *)
 }
+
+(* A basis snapshot names the basic variables of an optimal tableau by
+   identity rather than column index, so it survives the re-layout a
+   branch-and-bound child performs (changed bounds add or shift
+   upper-bound rows; lazy cuts append constraint rows).  The slack of a
+   constraint is a well-defined LP variable regardless of how the row
+   was oriented during tableau construction, so these identities are
+   stable between parent and child. *)
+type basis_var =
+  | Structural of int   (* original problem variable *)
+  | Constr_slack of int (* slack/surplus of the k-th constraint *)
+  | Upper_slack of int  (* slack of variable v's upper-bound row *)
+
+type basis = basis_var list
 
 let rhs_index t = t.total
 
@@ -102,7 +117,12 @@ let iterate ?(allowed = fun _ -> true) t cost max_iters =
   in
   loop 0 0 false
 
-let solve ?max_iters (p : Lp_problem.t) =
+let default_iters max_iters m total =
+  match max_iters with Some k -> k | None -> 20_000 + (200 * (m + total))
+
+(* --- cold start: two-phase primal simplex --------------------------- *)
+
+let solve_cold ?max_iters ~want_basis (p : Lp_problem.t) =
   let n = p.num_vars in
   let lower v = p.var_bounds.(v).lower in
   (* Rows: original constraints (with lower-bound shift folded into rhs)
@@ -135,15 +155,22 @@ let solve ?max_iters (p : Lp_problem.t) =
           | Some u -> solution.(v) <- u
           | None -> unbounded := true)
       (Lin_expr.terms p.objective);
-    if !unbounded then Unbounded
+    if !unbounded then (Unbounded, None)
     else
-      Optimal
-        {
-          objective = Lin_expr.eval p.objective (fun v -> solution.(v));
-          solution;
-        }
+      ( Optimal
+          {
+            objective = Lin_expr.eval p.objective (fun v -> solution.(v));
+            solution;
+          },
+        Some [] )
   end
   else begin
+    (* Identity of each row's slack, in row construction order. *)
+    let row_idents =
+      Array.of_list
+        (List.mapi (fun k _ -> Constr_slack k) p.constraints
+        @ List.map (fun (v, _) -> Upper_slack v) upper_rows)
+    in
     (* Count slack columns: one per Le/Ge row (upper-bound rows are Le). *)
     let constrs =
       List.map
@@ -177,6 +204,11 @@ let solve ?max_iters (p : Lp_problem.t) =
     let rows = Array.init m (fun _ -> Array.make (total + 1) 0.0) in
     let basis = Array.make m (-1) in
     let t = { rows; basis; cols; total } in
+    (* Identity of every non-artificial column, for basis snapshots. *)
+    let ident_of_col = Array.make cols None in
+    for v = 0 to n - 1 do
+      ident_of_col.(v) <- Some (Structural v)
+    done;
     let slack = ref n in
     List.iteri
       (fun i (expr, rel, rhs) ->
@@ -188,22 +220,16 @@ let solve ?max_iters (p : Lp_problem.t) =
           (Lin_expr.terms expr);
         row.(total) <- rhs;
         (match rel with
-        | Lp_problem.Le ->
-          row.(!slack) <- 1.0;
-          incr slack
-        | Lp_problem.Ge ->
-          row.(!slack) <- -1.0;
+        | Lp_problem.Le | Lp_problem.Ge ->
+          row.(!slack) <- (if rel = Lp_problem.Le then 1.0 else -1.0);
+          ident_of_col.(!slack) <- Some row_idents.(i);
           incr slack
         | Lp_problem.Eq -> ());
         (* artificial column for this row *)
         row.(cols + i) <- 1.0;
         basis.(i) <- cols + i)
       constrs;
-    let max_iters =
-      match max_iters with
-      | Some k -> k
-      | None -> 20_000 + (200 * (m + total))
-    in
+    let max_iters = default_iters max_iters m total in
     (* Phase 1: minimize sum of artificials.  Reduced costs for the
        artificial basis: c_bar_j = -sum_i a_ij for structural/slack j. *)
     let cost1 = Array.make (total + 1) 0.0 in
@@ -223,7 +249,7 @@ let solve ?max_iters (p : Lp_problem.t) =
       assert false
     | `Optimal ->
       let phase1_obj = -.cost1.(total) in
-      if phase1_obj > feas_eps then Infeasible
+      if phase1_obj > feas_eps then (Infeasible, None)
       else begin
         (* Drive any basic artificial out or mark its row redundant. *)
         let redundant = Array.make m false in
@@ -258,7 +284,7 @@ let solve ?max_iters (p : Lp_problem.t) =
         (* Forbid artificials from re-entering. *)
         let allowed j = j < cols in
         match iterate ~allowed t cost2 max_iters with
-        | `Unbounded -> Unbounded
+        | `Unbounded -> (Unbounded, None)
         | `Optimal ->
           let y = Array.make cols 0.0 in
           for i = 0 to m - 1 do
@@ -269,9 +295,253 @@ let solve ?max_iters (p : Lp_problem.t) =
           let objective =
             Lin_expr.eval p.objective (fun v -> solution.(v))
           in
-          Optimal { objective; solution }
+          let snapshot =
+            if not want_basis then None
+            else begin
+              (* Usable only when every non-redundant row has a real
+                 (non-artificial) basic column with a stable identity. *)
+              let ok = ref true in
+              let idents = ref [] in
+              for i = m - 1 downto 0 do
+                if not redundant.(i) then
+                  if basis.(i) < cols then
+                    match ident_of_col.(basis.(i)) with
+                    | Some id -> idents := id :: !idents
+                    | None -> ok := false
+                  else ok := false
+              done;
+              if !ok then Some !idents else None
+            end
+          in
+          (Optimal { objective; solution }, snapshot)
       end
   end
+
+(* --- warm start: dual simplex from a parent basis ------------------- *)
+
+(* Re-optimize [p] starting from the basis of a previously solved,
+   closely related problem (same constraint matrix up to appended rows,
+   possibly different bounds/rhs — exactly the branch-and-bound child
+   situation).  The parent's optimal basis stays dual-feasible under rhs
+   changes, so a dual simplex run restores primal feasibility without a
+   phase-1 solve.  Any structural surprise (vanished identity, singular
+   basis, iteration trouble) falls back to the cold two-phase path, so
+   the result is always as reliable as [solve]. *)
+exception Fall_back_cold
+
+let solve_warm ?max_iters ~(basis : basis) (p : Lp_problem.t) =
+  let n = p.num_vars in
+  let lower v = p.var_bounds.(v).lower in
+  let shifted_rhs (c : Lp_problem.constr) =
+    let shift =
+      List.fold_left
+        (fun acc (v, coef) -> acc +. (coef *. lower v))
+        (Lin_expr.const_part c.expr)
+        (Lin_expr.terms c.expr)
+    in
+    c.rhs -. shift
+  in
+  let upper_rows =
+    List.concat
+      (List.init n (fun v ->
+           match p.var_bounds.(v).upper with
+           | None -> []
+           | Some u -> [ (v, u -. lower v) ]))
+  in
+  let nc = List.length p.constraints in
+  let m = nc + List.length upper_rows in
+  if m = 0 then solve_cold ?max_iters ~want_basis:true p
+  else begin
+    (* Raw orientation: every non-Eq row carries a +1 slack (Ge rows are
+       negated), rhs keeps its sign — dual simplex does not need b >= 0. *)
+    let constrs =
+      List.map
+        (fun (c : Lp_problem.constr) ->
+          let rhs = shifted_rhs c in
+          match c.relation with
+          | Lp_problem.Le -> (Lin_expr.terms c.expr, true, rhs)
+          | Lp_problem.Ge ->
+            ( List.map (fun (v, a) -> (v, -.a)) (Lin_expr.terms c.expr),
+              true,
+              -.rhs )
+          | Lp_problem.Eq -> (Lin_expr.terms c.expr, false, rhs))
+        p.constraints
+      @ List.map (fun (v, ub) -> ([ (v, 1.0) ], true, ub)) upper_rows
+    in
+    let row_idents =
+      Array.of_list
+        (List.mapi (fun k _ -> Constr_slack k) p.constraints
+        @ List.map (fun (v, _) -> Upper_slack v) upper_rows)
+    in
+    let num_slack =
+      List.length (List.filter (fun (_, has, _) -> has) constrs)
+    in
+    let cols = n + num_slack in
+    let total = cols in
+    let rows = Array.init m (fun _ -> Array.make (total + 1) 0.0) in
+    let tbasis = Array.make m (-1) in
+    let t = { rows; basis = tbasis; cols; total } in
+    let slack_col_of_row = Array.make m None in
+    let ident_of_col = Array.make cols None in
+    for v = 0 to n - 1 do
+      ident_of_col.(v) <- Some (Structural v)
+    done;
+    let col_of_ident = Hashtbl.create (m + n) in
+    for v = 0 to n - 1 do
+      Hashtbl.replace col_of_ident (Structural v) v
+    done;
+    let slack = ref n in
+    List.iteri
+      (fun i (terms, has_slack, rhs) ->
+        let row = rows.(i) in
+        List.iter (fun (v, coef) -> row.(v) <- row.(v) +. coef) terms;
+        row.(total) <- rhs;
+        if has_slack then begin
+          row.(!slack) <- 1.0;
+          slack_col_of_row.(i) <- Some !slack;
+          ident_of_col.(!slack) <- Some row_idents.(i);
+          Hashtbl.replace col_of_ident row_idents.(i) !slack;
+          incr slack
+        end)
+      constrs;
+    let orig_max_iters = max_iters in
+    let max_iters = default_iters max_iters m total in
+    (* Reduced costs start from the raw objective; installing each basic
+       column via [pivot] eliminates it from the cost row. *)
+    let cost = Array.make (total + 1) 0.0 in
+    List.iter (fun (v, c) -> cost.(v) <- c) (Lin_expr.terms p.objective);
+    let assigned = Array.make m false in
+    let is_basic = Array.make cols false in
+    let install ident =
+      match Hashtbl.find_opt col_of_ident ident with
+      | None -> raise Fall_back_cold (* identity gone: bounds changed shape *)
+      | Some j ->
+        if is_basic.(j) then raise Fall_back_cold
+        else begin
+          let best = ref None in
+          for i = 0 to m - 1 do
+            if not assigned.(i) then
+              let a = abs_float rows.(i).(j) in
+              match !best with
+              | Some (_, ba) when ba >= a -> ()
+              | Some _ | None -> best := Some (i, a)
+          done;
+          match !best with
+          | Some (i, a) when a > pivot_eps ->
+            pivot t cost i j;
+            assigned.(i) <- true;
+            is_basic.(j) <- true
+          | Some _ | None -> raise Fall_back_cold (* singular basis *)
+        end
+    in
+    let redundant = Array.make m false in
+    try
+      List.iter install basis;
+      (* Rows the parent basis does not span: new rows (appended cuts,
+         fresh upper bounds) take their own slack; a row that has become
+         all-zero is redundant; anything else means the snapshot does not
+         fit this problem. *)
+      for i = 0 to m - 1 do
+        if not assigned.(i) then begin
+          let covered =
+            match slack_col_of_row.(i) with
+            | Some j when (not is_basic.(j)) && abs_float rows.(i).(j) > pivot_eps ->
+              pivot t cost i j;
+              assigned.(i) <- true;
+              is_basic.(j) <- true;
+              true
+            | Some _ | None -> false
+          in
+          if not covered then begin
+            let zero = ref (abs_float rows.(i).(total) <= feas_eps) in
+            for j = 0 to total - 1 do
+              if abs_float rows.(i).(j) > pivot_eps then zero := false
+            done;
+            if !zero then redundant.(i) <- true else raise Fall_back_cold
+          end
+        end
+      done;
+      (* Dual simplex: drive negative rhs entries out while keeping the
+         reduced costs nonnegative (min-ratio rule on cost_j / -a_rj). *)
+      let rec dual_loop iters =
+        if iters > max_iters then raise Fall_back_cold;
+        let worst = ref None in
+        for i = 0 to m - 1 do
+          if not redundant.(i) then
+            let b = rows.(i).(total) in
+            if b < -.feas_eps then
+              match !worst with
+              | Some (_, wb) when wb <= b -> ()
+              | Some _ | None -> worst := Some (i, b)
+        done;
+        match !worst with
+        | None -> ()
+        | Some (r, _) ->
+          let row = rows.(r) in
+          let best = ref None in
+          for j = 0 to total - 1 do
+            if row.(j) < -.eps then begin
+              let ratio = cost.(j) /. -.row.(j) in
+              match !best with
+              | Some (_, br) when br <= ratio -> ()
+              | Some _ | None -> best := Some (j, ratio)
+            end
+          done;
+          (match !best with
+          | None -> raise Exit (* primal infeasible *)
+          | Some (j, _) -> pivot t cost r j);
+          dual_loop (iters + 1)
+      in
+      let infeasible = ref false in
+      (try dual_loop 0 with Exit -> infeasible := true);
+      if !infeasible then (Infeasible, None)
+      else begin
+        (* Tiny residual negatives are within feasibility tolerance; snap
+           them so the primal ratio test never sees a negative rhs. *)
+        for i = 0 to m - 1 do
+          if rows.(i).(total) < 0.0 then rows.(i).(total) <- 0.0
+        done;
+        (* Primal polish: normally zero iterations — the parent basis is
+           dual-feasible — but it also mops up numerical drift. *)
+        match iterate t cost max_iters with
+        | `Unbounded -> (Unbounded, None)
+        | `Optimal ->
+          let y = Array.make cols 0.0 in
+          for i = 0 to m - 1 do
+            if (not redundant.(i)) && tbasis.(i) >= 0 && tbasis.(i) < cols
+            then y.(tbasis.(i)) <- rows.(i).(total)
+          done;
+          let solution = Array.init n (fun v -> y.(v) +. lower v) in
+          let objective =
+            Lin_expr.eval p.objective (fun v -> solution.(v))
+          in
+          let snapshot =
+            let ok = ref true in
+            let idents = ref [] in
+            for i = m - 1 downto 0 do
+              if not redundant.(i) then
+                if tbasis.(i) >= 0 && tbasis.(i) < cols then
+                  match ident_of_col.(tbasis.(i)) with
+                  | Some id -> idents := id :: !idents
+                  | None -> ok := false
+                else ok := false
+            done;
+            if !ok then Some !idents else None
+          in
+          (Optimal { objective; solution }, snapshot)
+      end
+    with
+    | Fall_back_cold -> solve_cold ?max_iters:orig_max_iters ~want_basis:true p
+    | Failure _ -> solve_cold ?max_iters:orig_max_iters ~want_basis:true p
+  end
+
+(* --- public entry points -------------------------------------------- *)
+
+let solve ?max_iters p = fst (solve_cold ?max_iters ~want_basis:false p)
+
+let solve_keep_basis ?max_iters p = solve_cold ?max_iters ~want_basis:true p
+
+let solve_from_basis ?max_iters ~basis p = solve_warm ?max_iters ~basis p
 
 let pp_result ppf = function
   | Infeasible -> Format.pp_print_string ppf "infeasible"

@@ -1,15 +1,32 @@
-(** Two-phase dense primal simplex.
+(** Dense simplex solver: two-phase primal for cold starts, dual simplex
+    for warm starts from a parent basis.
 
     Solves [Lp_problem.t] instances: minimize a linear objective subject to
-    linear constraints and variable bounds.  Bland's rule is used for both
-    entering and leaving variables, so the method cannot cycle; problems in
-    this repository are small and well scaled (coefficients are mostly
-    [+-1] and big-M constants), so the dense tableau is adequate. *)
+    linear constraints and variable bounds.  Dantzig's rule with a
+    fallback to Bland's rule (which provably cannot cycle) drives the
+    pivot loop; problems in this repository are small and well scaled
+    (coefficients are mostly [+-1] and big-M constants), so the dense
+    tableau is adequate.
+
+    Warm starts serve branch and bound: a child node differs from its
+    parent only in variable bounds (branching) and appended rows (lazy
+    cuts), so the parent's optimal basis stays dual-feasible and a short
+    dual-simplex run restores primal feasibility — no phase-1 solve. *)
 
 type result =
   | Optimal of { objective : float; solution : float array }
   | Infeasible
   | Unbounded
+
+(** A basic variable named by identity rather than tableau column, so a
+    snapshot survives the re-layout of a related problem. *)
+type basis_var =
+  | Structural of int   (** original problem variable *)
+  | Constr_slack of int (** slack/surplus of the k-th constraint *)
+  | Upper_slack of int  (** slack of variable v's upper-bound row *)
+
+(** The basic variables of an optimal tableau (one per independent row). *)
+type basis = basis_var list
 
 (** [solve ?max_iters problem].
 
@@ -18,5 +35,18 @@ type result =
     @raise Failure if the iteration budget is exhausted, which indicates a
     numerically degenerate instance rather than a model error. *)
 val solve : ?max_iters:int -> Lp_problem.t -> result
+
+(** Like {!solve}, also returning a basis snapshot when the final tableau
+    admits one ([None] on infeasible/unbounded results or when an
+    artificial variable could not be driven out of the basis). *)
+val solve_keep_basis : ?max_iters:int -> Lp_problem.t -> result * basis option
+
+(** [solve_from_basis ~basis p] re-optimizes [p] starting from the given
+    snapshot of a closely related problem: same constraints in the same
+    order (possibly with rows appended) and same variables (possibly with
+    changed bounds).  Falls back to the cold two-phase path whenever the
+    snapshot does not fit, so it is exactly as reliable as {!solve}. *)
+val solve_from_basis :
+  ?max_iters:int -> basis:basis -> Lp_problem.t -> result * basis option
 
 val pp_result : Format.formatter -> result -> unit

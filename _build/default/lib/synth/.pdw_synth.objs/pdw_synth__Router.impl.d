@@ -1,1 +1,1 @@
-lib/synth/router.ml: Int List Option Pdw_biochip Pdw_geometry Queue Set
+lib/synth/router.ml: Hashtbl Int List Mutex Option Pdw_biochip Pdw_geometry Queue Set

@@ -160,7 +160,7 @@ let covering layout ?(avoid = Coord.Set.empty) ?(cost = fun _ -> 0) ~src
   let remaining = Coord.Set.filter (fun c -> not (Coord.equal c src)) remaining in
   go [ src ] (Coord.Set.singleton src) src remaining
 
-let flush layout ?(avoid = Coord.Set.empty) ?(cost = fun _ -> 0) ~targets () =
+let flush_uncached layout ~avoid ~cost ~targets () =
   let flow_ports = Layout.flow_ports layout in
   let waste_ports = Layout.waste_ports layout in
   (* Port pairs compete on total cost (length plus per-cell penalties),
@@ -169,22 +169,99 @@ let flush layout ?(avoid = Coord.Set.empty) ?(cost = fun _ -> 0) ~targets () =
     List.fold_left (fun acc c -> acc + 1 + cost c) 0 (Gpath.cells p)
   in
   let best = ref None in
+  (* Any covering path visits every target, so (manhattan src->t ->dst)
+     maximized over targets, plus one for the source cell, lower-bounds
+     the cell count and hence the cost (every cell costs >= 1).  A pair
+     whose bound cannot beat the incumbent is skipped without running
+     the covering search; ties already keep the earlier pair, so
+     pruning on [lb >= bc] never changes the winner. *)
   let consider fp wp =
-    let path =
-      covering layout ~avoid ~cost ~src:fp.Pdw_biochip.Port.position
-        ~dst:wp.Pdw_biochip.Port.position ~targets ()
+    let src = fp.Pdw_biochip.Port.position in
+    let dst = wp.Pdw_biochip.Port.position in
+    let lb =
+      1
+      + Coord.Set.fold
+          (fun t acc ->
+            max acc (Coord.manhattan src t + Coord.manhattan t dst))
+          targets (Coord.manhattan src dst)
     in
-    match path with
-    | None -> ()
-    | Some p -> (
-      let c = path_cost p in
-      match !best with
-      | Some (_, bc, _, _) when bc <= c -> ()
-      | Some _ | None ->
-        best := Some (p, c, fp.Pdw_biochip.Port.id, wp.Pdw_biochip.Port.id))
+    let skip =
+      match !best with Some (_, bc, _, _) -> lb >= bc | None -> false
+    in
+    if not skip then
+      let path = covering layout ~avoid ~cost ~src ~dst ~targets () in
+      match path with
+      | None -> ()
+      | Some p -> (
+        let c = path_cost p in
+        match !best with
+        | Some (_, bc, _, _) when bc <= c -> ()
+        | Some _ | None ->
+          best := Some (p, c, fp.Pdw_biochip.Port.id, wp.Pdw_biochip.Port.id))
   in
   List.iter (fun fp -> List.iter (consider fp) waste_ports) flow_ports;
   Option.map (fun (p, _, f, w) -> (p, f, w)) !best
+
+(* With no avoid set and no cost function, a flush path depends only on
+   the (immutable) layout and the target set, so results are memoized:
+   the planner asks for the same fallback path for the same group across
+   rounds, and DAWO-style planning always takes this branch.  Layouts
+   are keyed by physical identity (a short capped list); target sets by
+   their sorted elements, because structurally equal [Coord.Set.t] trees
+   can hash differently. *)
+let flush_memo :
+    (Layout.t
+    * (Coord.t list, (Gpath.t * int * int) option) Hashtbl.t)
+    list
+    ref =
+  ref []
+
+let flush_memo_lock = Mutex.create ()
+let flush_memo_cap = 8
+
+let flush_table layout =
+  Mutex.lock flush_memo_lock;
+  let tbl =
+    match List.find_opt (fun (l, _) -> l == layout) !flush_memo with
+    | Some (_, tbl) -> tbl
+    | None ->
+      let tbl = Hashtbl.create 64 in
+      let kept =
+        List.filteri (fun i _ -> i < flush_memo_cap - 1) !flush_memo
+      in
+      flush_memo := (layout, tbl) :: kept;
+      tbl
+  in
+  Mutex.unlock flush_memo_lock;
+  tbl
+
+let flush layout ?avoid ?cost ~targets () =
+  match (avoid, cost) with
+  | None, None ->
+    let tbl = flush_table layout in
+    let key = Coord.Set.elements targets in
+    let cached =
+      Mutex.lock flush_memo_lock;
+      let r = Hashtbl.find_opt tbl key in
+      Mutex.unlock flush_memo_lock;
+      r
+    in
+    (match cached with
+    | Some result -> result
+    | None ->
+      let result =
+        flush_uncached layout ~avoid:Coord.Set.empty
+          ~cost:(fun _ -> 0)
+          ~targets ()
+      in
+      Mutex.lock flush_memo_lock;
+      Hashtbl.replace tbl key result;
+      Mutex.unlock flush_memo_lock;
+      result)
+  | _ ->
+    let avoid = Option.value avoid ~default:Coord.Set.empty in
+    let cost = Option.value cost ~default:(fun _ -> 0) in
+    flush_uncached layout ~avoid ~cost ~targets ()
 
 let reachable layout ~src =
   let seen = Coord.Table.create 64 in

@@ -1,1 +1,1 @@
-test/test_lp.ml: Alcotest Array List Pdw_lp QCheck2 QCheck_alcotest
+test/test_lp.ml: Alcotest Array List Option Pdw_lp QCheck2 QCheck_alcotest

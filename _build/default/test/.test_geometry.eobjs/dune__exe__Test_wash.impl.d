@@ -1,1 +1,1 @@
-test/test_wash.ml: Alcotest List Option Pdw_assay Pdw_biochip Pdw_geometry Pdw_lp Pdw_synth Pdw_wash QCheck2 QCheck_alcotest
+test/test_wash.ml: Alcotest Lazy List Option Pdw_assay Pdw_biochip Pdw_geometry Pdw_lp Pdw_synth Pdw_wash QCheck2 QCheck_alcotest Random Sys

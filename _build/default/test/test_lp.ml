@@ -408,6 +408,110 @@ let prop_presolve_preserves_optimum =
         | Simplex.Unbounded, Simplex.Unbounded -> true
         | _, _ -> false))
 
+(* --- frontier heap --- *)
+
+module Heap = Pdw_lp.Heap
+
+let test_heap_pops_ascending () =
+  let h = Heap.create () in
+  let priorities = [ 5.0; 1.0; 4.0; -2.0; 3.0; 0.0; 4.0; 1.0 ] in
+  List.iteri (fun i p -> Heap.add h ~priority:p i) priorities;
+  Alcotest.(check int) "length" (List.length priorities) (Heap.length h);
+  Alcotest.(check (option (float 0.0))) "min priority" (Some (-2.0))
+    (Heap.min_priority h);
+  let rec drain last acc =
+    match Heap.min_priority h with
+    | None -> List.rev acc
+    | Some p ->
+      Alcotest.(check bool) "ascending" true (p >= last);
+      let v = Option.get (Heap.pop h) in
+      drain p (v :: acc)
+  in
+  let order = drain neg_infinity [] in
+  Alcotest.(check int) "all popped" (List.length priorities)
+    (List.length order);
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
+let test_heap_fifo_on_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.add h ~priority:7.0 v) [ 1; 2; 3; 4; 5 ];
+  let popped = List.init 5 (fun _ -> Option.get (Heap.pop h)) in
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4; 5 ] popped
+
+let test_heap_interleaved () =
+  let h = Heap.create () in
+  Heap.add h ~priority:2.0 "b";
+  Heap.add h ~priority:1.0 "a";
+  Alcotest.(check (option string)) "pop a" (Some "a") (Heap.pop h);
+  Heap.add h ~priority:0.5 "c";
+  Heap.add h ~priority:3.0 "d";
+  Alcotest.(check (option string)) "pop c" (Some "c") (Heap.pop h);
+  Alcotest.(check (option string)) "pop b" (Some "b") (Heap.pop h);
+  Alcotest.(check (option string)) "pop d" (Some "d") (Heap.pop h);
+  Alcotest.(check (option string)) "exhausted" None (Heap.pop h)
+
+(* --- warm starts --- *)
+
+(* Branching tightens one variable's bounds; the parent's optimal basis
+   fed to the dual simplex must land on the same optimum (status and
+   objective) the cold two-phase solve finds. *)
+let prop_warm_start_matches_cold =
+  QCheck2.Test.make
+    ~name:"warm-started child solve matches cold solve" ~count:300
+    QCheck2.Gen.(pair gen_binary_ilp (pair (int_range 0 5) bool))
+    (fun (spec, (branch_var, branch_up)) ->
+      let p = build_binary_ilp spec in
+      match Simplex.solve_keep_basis p with
+      | Simplex.Optimal _, Some basis ->
+        let v = branch_var mod p.num_vars in
+        let child_bounds = Array.copy p.var_bounds in
+        child_bounds.(v) <-
+          (if branch_up then { child_bounds.(v) with lower = 1.0 }
+           else { child_bounds.(v) with upper = Some 0.0 });
+        let child = { p with var_bounds = child_bounds } in
+        let warm, _ = Simplex.solve_from_basis ~basis child in
+        let cold = Simplex.solve child in
+        (match (warm, cold) with
+        | Simplex.Optimal { objective = a; _ },
+          Simplex.Optimal { objective = b; _ } ->
+          abs_float (a -. b) < 1e-6
+        | Simplex.Infeasible, Simplex.Infeasible -> true
+        | Simplex.Unbounded, Simplex.Unbounded -> true
+        | _, _ -> false)
+      | (Simplex.Optimal _ | Simplex.Infeasible | Simplex.Unbounded), _ ->
+        true)
+
+(* --- branching regression: near-integral relaxation values --- *)
+
+let test_branching_near_integral () =
+  (* The relaxation optimum x = 2.99998 is fractional (beyond the 1e-6
+     integrality tolerance) but rounds to 3; branching must still use
+     floor 2 / ceil 3 of the unsnapped value, giving the true integer
+     optimum x = 2. *)
+  let p =
+    Lp_problem.make ~num_vars:1
+      ~objective:(expr [ (-1.0, 0) ])
+      ~constraints:[ le (expr [ (1.0, 0) ]) 2.99998 ]
+      ~var_bounds:[| bounds ~ub:10.0 () |]
+  in
+  (match Ilp.solve ~integer:[| true |] p with
+  | Ilp.Optimal { objective; solution } ->
+    Alcotest.(check (float 1e-6)) "floor branch wins" (-2.0) objective;
+    Alcotest.(check (float 1e-6)) "x = 2" 2.0 solution.(0)
+  | r -> Alcotest.failf "expected optimal, got %a" Ilp.pp_result r);
+  (* Mirror case just above an integer: x >= 3.00002 forces x = 4. *)
+  let q =
+    Lp_problem.make ~num_vars:1
+      ~objective:(expr [ (1.0, 0) ])
+      ~constraints:[ ge (expr [ (1.0, 0) ]) 3.00002 ]
+      ~var_bounds:[| bounds ~ub:10.0 () |]
+  in
+  match Ilp.solve ~integer:[| true |] q with
+  | Ilp.Optimal { objective; solution } ->
+    Alcotest.(check (float 1e-6)) "ceil branch wins" 4.0 objective;
+    Alcotest.(check (float 1e-6)) "x = 4" 4.0 solution.(0)
+  | r -> Alcotest.failf "expected optimal, got %a" Ilp.pp_result r
+
 let test_lin_expr_algebra () =
   let e = Lin_expr.add (Lin_expr.term 2.0 0) (Lin_expr.term 3.0 1) in
   let e = Lin_expr.add e (Lin_expr.constant 4.0) in
@@ -448,6 +552,15 @@ let () =
             test_ilp_fractional_relaxation;
           Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
           Alcotest.test_case "lazy cuts" `Quick test_ilp_lazy_cuts;
+          Alcotest.test_case "near-integral branching" `Quick
+            test_branching_near_integral;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "pops ascending" `Quick test_heap_pops_ascending;
+          Alcotest.test_case "FIFO on ties" `Quick test_heap_fifo_on_ties;
+          Alcotest.test_case "interleaved add/pop" `Quick
+            test_heap_interleaved;
         ] );
       ( "model",
         [
@@ -473,5 +586,6 @@ let () =
             prop_simplex_below_ilp;
             prop_simplex_solution_feasible;
             prop_presolve_preserves_optimum;
+            prop_warm_start_matches_cold;
           ] );
     ]

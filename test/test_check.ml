@@ -14,14 +14,23 @@ module Wash_plan = Pdw_wash.Wash_plan
 module Validate = Pdw_check.Validate
 
 let test_all_benchmarks_verify () =
+  (* Per-benchmark fan-out over a domain pool: each worker synthesizes,
+     optimizes and validates independently; checks run on the caller. *)
+  let results =
+    Pdw_wash.Domain_pool.with_pool (fun pool ->
+        Pdw_wash.Domain_pool.map pool
+          (fun (name, b) ->
+            let s = Synthesis.synthesize b in
+            let pdw = Validate.outcome (Pdw.optimize s) in
+            let dawo = Validate.outcome (Dawo.optimize s) in
+            (name, Validate.ok pdw, Validate.ok dawo))
+          (Benchmarks.all () @ Benchmarks.extra ()))
+  in
   List.iter
-    (fun (name, b) ->
-      let s = Synthesis.synthesize b in
-      let pdw = Validate.outcome (Pdw.optimize s) in
-      Alcotest.(check bool) (name ^ " pdw verifies") true (Validate.ok pdw);
-      let dawo = Validate.outcome (Dawo.optimize s) in
-      Alcotest.(check bool) (name ^ " dawo verifies") true (Validate.ok dawo))
-    (Benchmarks.all () @ Benchmarks.extra ())
+    (fun (name, pdw_ok, dawo_ok) ->
+      Alcotest.(check bool) (name ^ " pdw verifies") true pdw_ok;
+      Alcotest.(check bool) (name ^ " dawo verifies") true dawo_ok)
+    results
 
 let test_baseline_flagged_as_contaminated () =
   (* A wash-free baseline must fail the contamination checks but pass the
