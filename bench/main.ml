@@ -8,7 +8,16 @@
      dune exec bench/main.exe -- motivating-- Figs. 2-3 walkthrough
      dune exec bench/main.exe -- ablate    -- PDW technique ablations
      dune exec bench/main.exe -- speed     -- Bechamel wall-clock runs
-*)
+
+   Any job additionally accepts:
+
+     --trace FILE   write a Chrome-trace JSON (chrome://tracing or
+                    ui.perfetto.dev) of the run's spans and counters
+     --stats        print the span summary tree and counter table
+
+   Either flag turns instrumentation on; without them every probe is a
+   no-op and the printed tables are byte-identical to an uninstrumented
+   build. *)
 
 module Benchmarks = Pdw_assay.Benchmarks
 module Layout_builder = Pdw_biochip.Layout_builder
@@ -21,6 +30,9 @@ module Metrics = Pdw_wash.Metrics
 module Report = Pdw_wash.Report
 
 module Domain_pool = Pdw_wash.Domain_pool
+module Trace = Pdw_obs.Trace
+module Counters = Pdw_obs.Counters
+module Trace_export = Pdw_obs.Trace_export
 
 let table2_benchmarks () = Benchmarks.all ()
 
@@ -323,10 +335,28 @@ let run_speed () =
     entries;
   Format.printf "@]@."
 
+(* Span names whose total duration run_perf folds into
+   BENCH_solver.json as per-stage wall time. *)
+let stage_names =
+  [
+    "synthesis.synthesize"; "plan.necessity"; "plan.grouping"; "plan.paths";
+    "plan.reschedule"; "simplex.solve"; "bb.node"; "router.flush";
+  ]
+
+let exact_ilp_config ~warm_start =
+  {
+    Pdw.default_config with
+    use_ilp_paths = true;
+    ilp_config =
+      { Pdw_lp.Ilp.default_config with time_limit = 20.0; warm_start };
+  }
+
 (* Machine-readable solver timings (BENCH_solver.json): wall-clock for
-   the PDW and DAWO optimizers on every Table II benchmark plus the
-   exact-ILP wash-path run on the motivating chip.  Future PRs diff this
-   file to track the perf trajectory. *)
+   the PDW and DAWO optimizers on every Table II benchmark, per-stage
+   wall time and solver counters from the observability layer, plus the
+   exact-ILP wash-path run on the motivating chip with the warm-started
+   dual simplex on and off.  Future PRs diff this file to track the
+   perf trajectory. *)
 let run_perf () =
   let module J = Pdw_wash.Json_export in
   let now () = Unix.gettimeofday () in
@@ -334,6 +364,15 @@ let run_perf () =
     let t0 = now () in
     let r = f () in
     (r, (now () -. t0) *. 1000.0)
+  in
+  (* Stage timings and counters come from the observability layer.
+     Snapshot the pre-existing state so a combined "--trace" run keeps
+     its spans and we still report deltas for this job only. *)
+  Trace.set_enabled true;
+  Counters.set_enabled true;
+  let events_before = Trace.num_events () in
+  let counters_before =
+    List.map (fun (name, _, v) -> (name, v)) (Counters.all ())
   in
   let synthesized = synthesize_all () in
   let t_opt0 = now () in
@@ -346,19 +385,51 @@ let run_perf () =
       synthesized
   in
   let optimize_wall_ms = (now () -. t_opt0) *. 1000.0 in
-  let exact, exact_ms =
+  let exact_s =
+    let layout = Layout_builder.fig2_layout () in
+    Synthesis.synthesize ~layout (Benchmarks.motivating ())
+  in
+  let warm, warm_ms =
     timed (fun () ->
-        let layout = Layout_builder.fig2_layout () in
-        let s = Synthesis.synthesize ~layout (Benchmarks.motivating ()) in
-        Pdw.optimize
-          ~config:
-            {
-              Pdw.default_config with
-              use_ilp_paths = true;
-              ilp_config =
-                { Pdw_lp.Ilp.default_config with time_limit = 20.0 };
-            }
-          s)
+        Pdw.optimize ~config:(exact_ilp_config ~warm_start:true) exact_s)
+  in
+  let cold, cold_ms =
+    timed (fun () ->
+        Pdw.optimize ~config:(exact_ilp_config ~warm_start:false) exact_s)
+  in
+  let stage_ms =
+    let tally = Hashtbl.create 16 in
+    List.iteri
+      (fun i (e : Trace.event) ->
+        if i >= events_before && List.mem e.Trace.name stage_names then
+          let prev =
+            match Hashtbl.find_opt tally e.Trace.name with
+            | Some ms -> ms
+            | None -> 0.0
+          in
+          Hashtbl.replace tally e.Trace.name (prev +. (e.Trace.dur *. 1000.0)))
+      (Trace.events ());
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find_opt tally name with
+        | Some ms -> Some (name, J.Float ms)
+        | None -> None)
+      stage_names
+  in
+  let counters_json =
+    List.filter_map
+      (fun (name, kind, v) ->
+        let v =
+          match kind with
+          | Counters.Counter -> (
+            v
+            - match List.assoc_opt name counters_before with
+              | Some before -> before
+              | None -> 0)
+          | Counters.Gauge -> v
+        in
+        if v = 0 then None else Some (name, J.Int v))
+      (Counters.all ())
   in
   let planner_fields ms (o : Wash_plan.outcome) =
     let m = o.Wash_plan.metrics in
@@ -372,7 +443,7 @@ let run_perf () =
   let json =
     J.Obj
       [
-        ("schema", J.String "pathdriver-wash/bench-solver/v1");
+        ("schema", J.String "pathdriver-wash/bench-solver/v2");
         ("mode", J.String "perf");
         ("domains", J.Int (Pdw_wash.Domain_pool.default_size ()));
         ( "benchmarks",
@@ -387,10 +458,15 @@ let run_perf () =
                    ])
                per_bench) );
         ("optimize_wall_ms", J.Float optimize_wall_ms);
+        ("stage_ms", J.Obj stage_ms);
+        ("counters", J.Obj counters_json);
         ( "exact_ilp",
           J.Obj
-            (("name", J.String "Motivating")
-            :: planner_fields exact_ms exact) );
+            [
+              ("name", J.String "Motivating");
+              ("warm_start", J.Obj (planner_fields warm_ms warm));
+              ("cold_start", J.Obj (planner_fields cold_ms cold));
+            ] );
       ]
   in
   let path = "BENCH_solver.json" in
@@ -398,36 +474,79 @@ let run_perf () =
   output_string oc (J.to_string json);
   output_string oc "\n";
   close_out oc;
-  Format.printf "perf: wrote %s (optimize wall %.1f ms, exact ILP %.1f ms)@."
-    path optimize_wall_ms exact_ms
+  Format.printf
+    "perf: wrote %s (optimize wall %.1f ms, exact ILP warm %.1f ms / cold \
+     %.1f ms)@."
+    path optimize_wall_ms warm_ms cold_ms
 
 let usage () =
   print_endline
-    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf]"
+    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf] [--trace FILE] [--stats]"
+
+(* Pull [--trace FILE] / [--stats] out of the argument list; either flag
+   enables the observability layer before any job runs. *)
+let parse_obs_flags args =
+  let rec go acc trace stats = function
+    | [] -> (List.rev acc, trace, stats)
+    | "--stats" :: rest -> go acc trace true rest
+    | "--trace" :: file :: rest -> go acc (Some file) stats rest
+    | [ "--trace" ] ->
+      usage ();
+      exit 1
+    | a :: rest -> go (a :: acc) trace stats rest
+  in
+  go [] None false args
+
+(* The default planner config never enters the LP layer (heuristic wash
+   paths), so an instrumented run tops itself up with one silent
+   exact-ILP solve on the motivating chip: the exported trace then
+   always carries simplex-solve and B&B-node spans alongside the
+   planner-phase and router spans, whatever job was selected. *)
+let run_ilp_probe () =
+  let layout = Layout_builder.fig2_layout () in
+  let s = Synthesis.synthesize ~layout (Benchmarks.motivating ()) in
+  ignore (Pdw.optimize ~config:(exact_ilp_config ~warm_start:true) s)
 
 let () =
+  let args, trace_file, stats =
+    parse_obs_flags (List.tl (Array.to_list Sys.argv))
+  in
+  let instrumented = trace_file <> None || stats in
+  if instrumented then begin
+    Trace.set_enabled true;
+    Counters.set_enabled true
+  end;
   let jobs =
-    match Array.to_list Sys.argv with
-    | _ :: [] | _ :: [ "all" ] ->
+    match args with
+    | [] | [ "all" ] ->
       [ run_table2; run_fig4; run_fig5; run_motivating; run_ablate;
         run_archcompare; run_ilppaths; run_scale; run_sensitivity;
         run_binding; run_batch; run_ports; run_speed ]
-    | _ :: [ "table2" ] -> [ run_table2 ]
-    | _ :: [ "fig4" ] -> [ run_fig4 ]
-    | _ :: [ "fig5" ] -> [ run_fig5 ]
-    | _ :: [ "motivating" ] -> [ run_motivating ]
-    | _ :: [ "ablate" ] -> [ run_ablate ]
-    | _ :: [ "archcompare" ] -> [ run_archcompare ]
-    | _ :: [ "ilppaths" ] -> [ run_ilppaths ]
-    | _ :: [ "scale" ] -> [ run_scale ]
-    | _ :: [ "sensitivity" ] -> [ run_sensitivity ]
-    | _ :: [ "binding" ] -> [ run_binding ]
-    | _ :: [ "batch" ] -> [ run_batch ]
-    | _ :: [ "ports" ] -> [ run_ports ]
-    | _ :: [ "speed" ] -> [ run_speed ]
-    | _ :: [ "perf" ] -> [ run_perf ]
+    | [ "table2" ] -> [ run_table2 ]
+    | [ "fig4" ] -> [ run_fig4 ]
+    | [ "fig5" ] -> [ run_fig5 ]
+    | [ "motivating" ] -> [ run_motivating ]
+    | [ "ablate" ] -> [ run_ablate ]
+    | [ "archcompare" ] -> [ run_archcompare ]
+    | [ "ilppaths" ] -> [ run_ilppaths ]
+    | [ "scale" ] -> [ run_scale ]
+    | [ "sensitivity" ] -> [ run_sensitivity ]
+    | [ "binding" ] -> [ run_binding ]
+    | [ "batch" ] -> [ run_batch ]
+    | [ "ports" ] -> [ run_ports ]
+    | [ "speed" ] -> [ run_speed ]
+    | [ "perf" ] -> [ run_perf ]
     | _ ->
       usage ();
       exit 1
   in
-  List.iter (fun job -> job ()) jobs
+  List.iter (fun job -> job ()) jobs;
+  if instrumented then begin
+    run_ilp_probe ();
+    (match trace_file with
+    | Some file ->
+      Trace_export.write_chrome file;
+      Format.printf "trace: wrote %s (%d spans)@." file (Trace.num_events ())
+    | None -> ());
+    if stats then Trace_export.summary Format.std_formatter
+  end

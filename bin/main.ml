@@ -94,8 +94,13 @@ let setup_logs verbose =
   end
 
 let cmd_run name method_ show_schedule as_json verbose no_necessity
-    no_integration ilp_paths dissolution =
+    no_integration ilp_paths dissolution trace_file stats =
   setup_logs verbose;
+  let instrumented = trace_file <> None || stats in
+  if instrumented then begin
+    Pdw_obs.Trace.set_enabled true;
+    Pdw_obs.Counters.set_enabled true
+  end;
   match load name with
   | Error (`Msg m) ->
     prerr_endline m;
@@ -133,6 +138,13 @@ let cmd_run name method_ show_schedule as_json verbose no_necessity
       if show_schedule then
         Format.printf "@.%a@." Schedule.pp outcome.Wash_plan.schedule
     end;
+    (match trace_file with
+    | Some file ->
+      Pdw_obs.Trace_export.write_chrome file;
+      Format.eprintf "trace: wrote %s (%d spans)@." file
+        (Pdw_obs.Trace.num_events ())
+    | None -> ());
+    if stats then Pdw_obs.Trace_export.summary Format.err_formatter;
     if outcome.Wash_plan.converged then 0 else 2
 
 let cmd_compare name =
@@ -326,6 +338,18 @@ let dissolution_arg =
   let doc = "Contaminant dissolution time t_d in seconds (Eq. 17)." in
   Arg.(value & opt (some int) None & info [ "dissolution" ] ~docv:"SECONDS" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record tracing spans and write a Chrome-trace JSON to $(docv)      (open it at chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc =
+    "Print the span summary tree and counter table to stderr after the      run."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let list_cmd =
   let doc = "List the available benchmarks with their |O|/|D|/|E| stats." in
   Cmd.v (Cmd.info "list" ~doc) Term.(const cmd_list $ const ())
@@ -344,7 +368,7 @@ let run_cmd =
     Term.(
       const cmd_run $ benchmark_arg $ method_arg $ schedule_arg $ json_arg
       $ verbose_arg $ no_necessity_arg $ no_integration_arg $ ilp_paths_arg
-      $ dissolution_arg)
+      $ dissolution_arg $ trace_arg $ stats_arg)
 
 let compare_cmd =
   let doc = "Compare PDW against DAWO on one benchmark." in
@@ -399,7 +423,7 @@ let verify_cmd =
 
 let main_cmd =
   let doc = "PathDriver-Wash: wash optimization for continuous-flow biochips" in
-  let info = Cmd.info "pdw" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "pdw" ~version:"1.2.0" ~doc in
   Cmd.group info
     [ list_cmd; layout_cmd; necessity_cmd; run_cmd; compare_cmd; table2_cmd;
       render_cmd; animate_cmd; actuations_cmd; optimize_file_cmd;

@@ -1,0 +1,31 @@
+(* Observability walkthrough: run PDW on the IVD benchmark with tracing
+   and counters enabled, write a Chrome-trace JSON of the run, and print
+   the span summary tree.
+
+     dune exec examples/trace_run.exe
+
+   Load the written trace_run.json at https://ui.perfetto.dev (or
+   chrome://tracing) to browse the same spans on a timeline. *)
+
+let () =
+  (* Instrumentation is off by default; both switches are one atomic
+     write.  Everything recorded afterwards — spans and counters — comes
+     from probes already compiled into the solver and planner. *)
+  Pdw_obs.Trace.set_enabled true;
+  Pdw_obs.Counters.set_enabled true;
+
+  let benchmark = Pdw_assay.Benchmarks.ivd () in
+  let synthesis = Pdw_synth.Synthesis.synthesize benchmark in
+  let outcome = Pdw_wash.Pdw.optimize synthesis in
+  Format.printf "PDW on IVD: %a@.@." Pdw_wash.Metrics.pp
+    outcome.Pdw_wash.Wash_plan.metrics;
+
+  (* Sink 1: Chrome-trace JSON for Perfetto. *)
+  let path = "trace_run.json" in
+  Pdw_obs.Trace_export.write_chrome path;
+  Format.printf "wrote %s (%d spans) — open it at ui.perfetto.dev@.@." path
+    (Pdw_obs.Trace.num_events ());
+
+  (* Sink 2: the plain-text summary — the same tree the --stats flag of
+     bin/main.exe and bench/main.exe prints. *)
+  Pdw_obs.Trace_export.summary Format.std_formatter

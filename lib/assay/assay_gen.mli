@@ -1,5 +1,5 @@
 (** Seeded random assay generator for property-based tests.  Kept free of
-    any QCheck dependency: tests generate a seed and call {!random}. *)
+    any QCheck dependency: tests generate a seed and call [random]. *)
 
 (** [random ~seed ()] builds a valid benchmark (sequencing graph + device
     library) with between [min_ops] and [max_ops] operations (defaults 3

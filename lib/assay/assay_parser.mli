@@ -20,6 +20,6 @@
     offending line. *)
 val parse : string -> (Benchmarks.t, string) result
 
-(** Inverse of {!parse}: a canonical serialization that re-parses to an
+(** Inverse of [parse]: a canonical serialization that re-parses to an
     equivalent benchmark. *)
 val to_string : name:string -> Benchmarks.t -> string

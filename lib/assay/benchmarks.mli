@@ -38,7 +38,7 @@ val synthetic_2 : unit -> t
 val synthetic_3 : unit -> t
 
 (** The assay of Fig. 1(c): two reagents, seven operations, run on the
-    {!Pdw_biochip.Layout_builder.fig2_layout} chip. *)
+    [Pdw_biochip.Layout_builder.fig2_layout] chip. *)
 val motivating : unit -> t
 
 (** Table II rows in paper order: name, benchmark. *)

@@ -16,7 +16,7 @@ type t
 (** [make ~name nodes] validates:
     - operation ids are dense [0 .. n-1] in list order;
     - every [From_op] reference exists and the graph is acyclic;
-    - every operation has at least {!Operation.min_inputs} inputs;
+    - every operation has at least [Operation.min_inputs] inputs;
     - reagent inputs are neither buffer nor waste.
     @raise Invalid_argument on violation. *)
 val make : name:string -> node list -> t
@@ -47,7 +47,7 @@ val sinks : t -> int list
 val topological_order : t -> int list
 
 (** Combined input fluid of an operation (reagents and upstream results
-    folded with {!Pdw_biochip.Fluid.mix}). *)
+    folded with [Pdw_biochip.Fluid.mix]). *)
 val input_fluid : t -> int -> Pdw_biochip.Fluid.t
 
 (** The individual input fluids of an operation, one per input edge, in

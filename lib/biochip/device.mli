@@ -15,5 +15,5 @@ val kind_to_string : kind -> string
 val pp_kind : Format.formatter -> kind -> unit
 val pp : Format.formatter -> t -> unit
 
-(** One-letter map glyph used by {!Layout.render}. *)
+(** One-letter map glyph used by [Layout.render]. *)
 val glyph : kind -> char

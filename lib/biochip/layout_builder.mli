@@ -1,4 +1,4 @@
-(** Mutable construction of {!Layout.t} values, plus the concrete chip of
+(** Mutable construction of [Layout.t] values, plus the concrete chip of
     the paper's motivating example (Fig. 2(a)). *)
 
 type t
@@ -27,7 +27,7 @@ val add_device :
 val add_port : t -> kind:Port.kind -> name:string -> Pdw_geometry.Coord.t ->
   Port.t
 
-(** Validate and freeze.  @raise Invalid_argument per {!Layout.make}. *)
+(** Validate and freeze.  @raise Invalid_argument per [Layout.make]. *)
 val build : t -> Layout.t
 
 (** The chip used by the motivating example (Section II, Fig. 2(a)): a

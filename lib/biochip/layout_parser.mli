@@ -1,4 +1,4 @@
-(** Parse a chip layout from the ASCII format {!Layout.render} produces:
+(** Parse a chip layout from the ASCII format [Layout.render] produces:
 
     {v
     .  blocked    +  channel     I  flow port    O  waste port

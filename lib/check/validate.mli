@@ -2,11 +2,11 @@
     checker in the repository:
 
     - structural schedule constraints (Eqs. (1)–(8), (19), (20)) via
-      {!Pdw_synth.Schedule.violations};
+      [Pdw_synth.Schedule.violations];
     - analytic contamination freedom via
-      {!Pdw_wash.Contamination.violations};
+      [Pdw_wash.Contamination.violations];
     - the independent discrete-time simulator
-      ({!Pdw_sim.Flow_sim.issues}) — a differential check, since it
+      ([Pdw_sim.Flow_sim.issues]) — a differential check, since it
       re-implements the fluidic semantics from scratch;
     - agreement between the two implementations;
     - wash self-consistency: every wash path covers its declared targets

@@ -54,4 +54,5 @@ type violation = {
     schedule — the end-to-end correctness criterion for PDW and DAWO. *)
 val violations : t -> violation list
 
+(** Human-readable rendering of one violation. *)
 val pp_violation : Format.formatter -> violation -> unit

@@ -12,6 +12,7 @@ let policy =
   }
 
 let optimize ?alpha ?beta ?gamma synthesis =
+  Pdw_obs.Trace.with_span ~cat:"core" "dawo.optimize" @@ fun () ->
   Wash_plan.run ?alpha ?beta ?gamma ~policy synthesis
 
 let run ?layout benchmark =

@@ -15,6 +15,7 @@ val optimize :
   ?alpha:float -> ?beta:float -> ?gamma:float ->
   Pdw_synth.Synthesis.t -> Wash_plan.outcome
 
+(** Synthesize a benchmark and run DAWO on the result. *)
 val run :
   ?layout:Pdw_biochip.Layout.t ->
   Pdw_assay.Benchmarks.t ->

@@ -2,7 +2,7 @@
     fan-out (per-benchmark synthesis and optimization in the harness and
     tests).
 
-    The pool spawns [size - 1] worker domains; during {!map} the calling
+    The pool spawns [size - 1] worker domains; during [map] the calling
     domain drains the queue alongside them, so a pool of size [n] keeps
     exactly [n] domains busy.  A pool of size 1 spawns nothing and runs
     every job inline — single-core machines degrade gracefully to the
@@ -15,7 +15,7 @@ type t
 val default_size : unit -> int
 
 (** [create ?size ()] spawns the workers.  [size] defaults to
-    {!default_size}; values below 1 are clamped to 1. *)
+    [default_size]; values below 1 are clamped to 1. *)
 val create : ?size:int -> unit -> t
 
 val size : t -> int

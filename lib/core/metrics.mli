@@ -5,7 +5,7 @@ type t = {
   n_wash : int;  (** number of wash operations (Eq. (23)) *)
   l_wash_mm : float;
       (** total wash-path length in millimetres (Eq. (25), scaled by the
-          channel pitch of {!Pdw_biochip.Units}) *)
+          channel pitch of [Pdw_biochip.Units]) *)
   t_assay : int;  (** completion time of the last operation (Eq. (22)) *)
   t_delay : int;  (** [t_assay] minus the baseline assay completion *)
   total_wash_time : int;  (** summed wash durations (Fig. 5) *)
@@ -28,4 +28,5 @@ val compute :
   Pdw_synth.Schedule.t ->
   t
 
+(** One-line rendering of the headline metrics. *)
 val pp : Format.formatter -> t -> unit

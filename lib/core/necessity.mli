@@ -9,6 +9,7 @@
     - [Needed]: the next use is a sensitive flow of a different type —
       the [r_(x,y) = 1] case that generates a wash requirement. *)
 
+(** Classification of one contamination event. *)
 type verdict =
   | Needed
   | Type1_unused
@@ -26,10 +27,13 @@ type event = {
       (** first later entry over the cell, if any *)
 }
 
+(** The classified contamination events of one schedule. *)
 type report
 
+(** Classify every contamination event of the analyzed schedule. *)
 val analyze : Contamination.t -> report
 
+(** Every classified event, in schedule order. *)
 val events : report -> event list
 
 (** Cells that must be washed under PDW's analysis: the [Needed] events
@@ -48,4 +52,5 @@ val dawo_demands : report -> event list
     (needed, type1, type2, type3, washed). *)
 val counts : report -> int * int * int * int * int
 
+(** Human-readable rendering of one classified event. *)
 val pp_event : Format.formatter -> event -> unit

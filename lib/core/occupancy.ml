@@ -1,6 +1,10 @@
 module Coord = Pdw_geometry.Coord
 module Schedule = Pdw_synth.Schedule
 
+let c_builds = Pdw_obs.Counters.counter "core.occupancy.builds"
+let c_hits = Pdw_obs.Counters.counter "core.occupancy.hits"
+let c_misses = Pdw_obs.Counters.counter "core.occupancy.misses"
+
 (* Interval index over a schedule's entries: which cells are occupied
    during a time window?  The wash-path search asks this once per
    candidate group per round, and the old implementation folded over
@@ -19,6 +23,7 @@ type t = {
 }
 
 let of_schedule schedule =
+  Pdw_obs.Counters.incr c_builds;
   let spans =
     List.map
       (fun entry ->
@@ -81,8 +86,11 @@ let busy t ~window =
     r
   in
   match cached with
-  | Some set -> set
+  | Some set ->
+    Pdw_obs.Counters.incr c_hits;
+    set
   | None ->
+    Pdw_obs.Counters.incr c_misses;
     let set =
       fold_overlapping t ~window ~init:Coord.Set.empty ~f:Coord.Set.union
     in

@@ -58,6 +58,7 @@ let policy config =
   }
 
 let optimize ?(config = default_config) synthesis =
+  Pdw_obs.Trace.with_span ~cat:"core" "pdw.optimize" @@ fun () ->
   Wash_plan.run ~alpha:config.alpha ~beta:config.beta ~gamma:config.gamma
     ~dissolution:config.dissolution ~policy:(policy config) synthesis
 

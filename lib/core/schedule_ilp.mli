@@ -10,13 +10,13 @@
     task set and paths are chosen, see DESIGN.md, design choice 3).
 
     The model has one binary per conflicting pair, so it is intentionally
-    restricted to small instances; {!Pdw_synth.Scheduler} is the scalable
+    restricted to small instances; [Pdw_synth.Scheduler] is the scalable
     default and this solver's role is to certify its quality (see the
     `schedule optimality gap` test and the `ablate` bench). *)
 
 (** [solve synthesis ~tasks ()] builds and solves the MILP for the given
     task set (washes included; their precedence comes via
-    [extra_after], exactly as in {!Pdw_synth.Synthesis.reschedule}).
+    [extra_after], exactly as in [Pdw_synth.Synthesis.reschedule]).
 
     Returns [Error _] when the instance exceeds [max_pairs] conflicting
     pairs (default 60), when the solver budget expires with no incumbent,

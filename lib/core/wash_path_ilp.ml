@@ -97,6 +97,7 @@ let components used_cells used_edges =
 
 let find ?(config = Pdw_lp.Ilp.default_config) ?(conflict_penalty = 3.0)
     ~layout ~schedule ~conflict_aware (g : Wash_target.group) =
+  Pdw_obs.Trace.with_span ~cat:"core" "wash_path.ilp" @@ fun () ->
   let graph = build_graph layout in
   let flow_ports = Layout.flow_ports layout in
   let waste_ports = Layout.waste_ports layout in

@@ -5,11 +5,11 @@
     (Eqs. (12), (13)), degree-2 at every other used cell (Eq. (14)),
     forced coverage of the wash targets (Eq. (15)).  Degree constraints
     alone admit disconnected cycles, which are eliminated lazily with
-    connectivity cuts (see {!Pdw_lp.Ilp}).
+    connectivity cuts (see [Pdw_lp.Ilp]).
 
     Minimizes path length, with a penalty on cells that are busy during
     the group's time window when [conflict_aware] — the same preference
-    {!Wash_path_search} applies heuristically. *)
+    [Wash_path_search] applies heuristically. *)
 
 (** [find ~layout ~schedule group] returns the optimal wash path with its
     flow/waste port ids, or [None] when the model is infeasible or the

@@ -68,6 +68,7 @@ let find_lock = Mutex.create ()
 
 let find ?(conflict_aware = true) ~layout ~schedule
     (g : Wash_target.group) =
+  Pdw_obs.Trace.with_span ~cat:"core" "wash_path.search" @@ fun () ->
   let table =
     Mutex.lock find_lock;
     let tbl =

@@ -1,5 +1,5 @@
 (** Heuristic wash-path construction (the scalable alternative to
-    {!Wash_path_ilp}; see DESIGN.md, design choice 3).
+    [Wash_path_ilp]; see DESIGN.md, design choice 3).
 
     For a wash group, picks the (flow port, waste port) pair and covering
     path of minimum length, preferring paths that avoid cells other

@@ -31,6 +31,12 @@ type outcome = {
 
 let fail fmt = Printf.ksprintf invalid_arg fmt
 
+module Trace = Pdw_obs.Trace
+
+let c_rounds = Pdw_obs.Counters.counter "core.plan.rounds"
+let c_groups = Pdw_obs.Counters.counter "core.plan.wash_groups"
+let c_merged = Pdw_obs.Counters.counter "core.plan.removals_merged"
+
 let log_src = Logs.Src.create "pdw.plan" ~doc:"PathDriver-Wash planning"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
@@ -72,7 +78,10 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
   let layout = synthesis.Synthesis.layout in
   let graph = synthesis.Synthesis.benchmark.Pdw_assay.Benchmarks.graph in
   let num_ops = Pdw_assay.Sequencing_graph.num_ops graph in
-  let necessity = Necessity.analyze (Contamination.analyze baseline) in
+  let necessity =
+    Trace.with_span ~cat:"core" "plan.necessity" (fun () ->
+        Necessity.analyze (Contamination.analyze baseline))
+  in
   let next_id = ref (Synthesis.next_task_id synthesis) in
   let fresh () =
     let id = !next_id in
@@ -153,6 +162,7 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
       (wash_key, wash_rank synthesis !tasks g) :: !rank_override
   in
   let reschedule () =
+    Trace.with_span ~cat:"core" "plan.reschedule" @@ fun () ->
     let all_tasks = !tasks @ !washes in
     let keep (a, b) =
       key_exists all_tasks num_ops a && key_exists all_tasks num_ops b
@@ -164,8 +174,13 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
   in
   let history = ref [] in
   let rec iterate round =
-    let report = Necessity.analyze (Contamination.analyze !schedule) in
-    let events = policy.demands report in
+    Pdw_obs.Counters.incr c_rounds;
+    let events =
+      Trace.with_span ~cat:"core" "plan.necessity"
+        ~args:[ ("round", string_of_int round) ] (fun () ->
+          let report = Necessity.analyze (Contamination.analyze !schedule) in
+          policy.demands report)
+    in
     history := List.length events :: !history;
     Log.debug (fun m ->
         m "round %d: %d wash demands" round (List.length events));
@@ -177,8 +192,9 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
       (round, false)
     end
     else begin
-      let groups = policy.grouping events in
       let groups =
+        Trace.with_span ~cat:"core" "plan.grouping" @@ fun () ->
+        let groups = policy.grouping events in
         if policy.integrate then begin
           let removals = List.filter Task.is_removal !tasks in
           (* Eq. (21): absorb a removal only if one wash path still
@@ -234,14 +250,17 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
             List.filter
               (fun (t : Task.t) -> not (List.mem t.Task.id absorbed))
               !tasks;
+          Pdw_obs.Counters.add c_merged (List.length absorbed);
           merged_groups
         end
         else groups
       in
+      Pdw_obs.Counters.add c_groups (List.length groups);
       Log.debug (fun m -> m "round %d: %d wash groups" round
                     (List.length groups));
       let current = !schedule in
-      List.iter (add_group current) groups;
+      Trace.with_span ~cat:"core" "plan.paths" (fun () ->
+          List.iter (add_group current) groups);
       reschedule ();
       iterate (round + 1)
     end

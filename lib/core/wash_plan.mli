@@ -1,4 +1,4 @@
-(** The planning engine shared by {!Pdw} and {!Dawo}: iteratively analyze
+(** The planning engine shared by [Pdw] and [Dawo]: iteratively analyze
     contamination, derive wash demands under a policy, build wash tasks
     with paths and time-window precedence, and reschedule — until the
     schedule is contamination-free or the round budget runs out.
@@ -42,7 +42,7 @@ type outcome = {
 (** [run ~policy synthesis]
     @param max_rounds fixpoint budget (default 8)
     @param dissolution override of the contaminant dissolution time [t_d]
-    of Eq. (17) (default {!Pdw_biochip.Units.dissolution_seconds})
+    of Eq. (17) (default [Pdw_biochip.Units.dissolution_seconds])
     @raise Invalid_argument if a wash group's targets cannot be covered
     by any port pair (disconnected layout). *)
 val run :

@@ -19,7 +19,7 @@ type group = {
       (** entries that must wait for the wash *)
   merged_removals : Pdw_synth.Task.t list;
       (** excess-fluid removals absorbed into this wash (Eq. (21));
-          filled by {!Integration} *)
+          filled by [Integration] *)
 }
 
 (** [group_by_use events] — one group per *using* entry: all the dirty
@@ -30,7 +30,7 @@ type group = {
 val group_by_use : Necessity.event list -> group list
 
 (** [group events] — the PDW policy: per-use groups (as
-    {!group_by_use}), then greedy merging of groups whose time windows
+    [group_by_use]), then greedy merging of groups whose time windows
     overlap and whose targets are spatially close — wash paths established
     globally can serve several demands with one flush.
 
@@ -44,4 +44,5 @@ val group :
     reasoning. *)
 val group_by_contaminator : Necessity.event list -> group list
 
+(** Human-readable rendering of one wash group. *)
 val pp : Format.formatter -> group -> unit

@@ -1,6 +1,6 @@
 (** Exhaustive reference solver for pure 0/1 problems: enumerates every
     assignment of the integer variables, evaluating continuous variables
-    are not supported.  Only usable for testing {!Simplex}/{!Ilp} on tiny
+    are not supported.  Only usable for testing [Simplex]/[Ilp] on tiny
     instances. *)
 
 (** [solve_binary problem] enumerates all 0/1 assignments of all variables

@@ -5,10 +5,16 @@
     Equal priorities pop in insertion order (FIFO), matching the old
     sorted-list tie behaviour so searches stay deterministic. *)
 
+(** A mutable min-heap of ['a] values. *)
 type 'a t
 
+(** A fresh empty heap. *)
 val create : unit -> 'a t
+
+(** Number of elements currently held. *)
 val length : 'a t -> int
+
+(** [is_empty t] is [length t = 0]. *)
 val is_empty : 'a t -> bool
 
 (** [add t ~priority v] inserts [v]; smaller priorities pop first. *)

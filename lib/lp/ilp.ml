@@ -1,11 +1,27 @@
+module Trace = Pdw_obs.Trace
+module Counters = Pdw_obs.Counters
+
+let c_nodes = Counters.counter "lp.bb.nodes_expanded"
+let c_pruned = Counters.counter "lp.bb.nodes_pruned"
+let c_cuts = Counters.counter "lp.bb.cuts_added"
+let c_incumbents = Counters.counter "lp.bb.incumbents"
+let c_presolve_removed = Counters.counter "lp.presolve.removed_constraints"
+let g_frontier_peak = Counters.gauge "lp.bb.frontier_peak"
+
 type config = {
   max_nodes : int;
   time_limit : float;
   integrality_eps : float;
+  warm_start : bool;
 }
 
 let default_config =
-  { max_nodes = 200_000; time_limit = 60.0; integrality_eps = 1e-6 }
+  {
+    max_nodes = 200_000;
+    time_limit = 60.0;
+    integrality_eps = 1e-6;
+    warm_start = true;
+  }
 
 type result =
   | Optimal of { objective : float; solution : float array }
@@ -47,11 +63,14 @@ let most_fractional ~integer ~eps solution =
 
 let solve ?(config = default_config) ?lazy_cuts ~integer
     (original : Lp_problem.t) =
+  Trace.with_span ~cat:"lp" "ilp.solve" @@ fun () ->
   if Array.length integer <> original.num_vars then
     invalid_arg "Ilp.solve: integer mask length mismatch";
-  match Presolve.run original with
+  match Trace.with_span ~cat:"lp" "lp.presolve" (fun () -> Presolve.run original) with
   | Presolve.Infeasible -> Infeasible
   | Presolve.Reduced p ->
+  if Counters.enabled () then
+    Counters.add c_presolve_removed (Presolve.removed_constraints original p);
   let start = Sys.time () in
   (* Lazy cuts accumulate in reverse generation order: prepending keeps
      each round O(new cuts) instead of the former O(total²) list append,
@@ -80,11 +99,14 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
   let saw_unbounded = ref false in
   let rec process node =
     incr explored;
+    Counters.incr c_nodes;
+    Trace.with_span ~cat:"lp" "bb.node" @@ fun () ->
     let relaxation = relax node.var_bounds in
     let result, basis =
       match node.basis with
-      | Some basis -> Simplex.solve_from_basis ~basis relaxation
-      | None -> Simplex.solve_keep_basis relaxation
+      | Some basis when config.warm_start ->
+        Simplex.solve_from_basis ~basis relaxation
+      | Some _ | None -> Simplex.solve_keep_basis relaxation
     in
     match result with
     | Simplex.Infeasible -> ()
@@ -105,8 +127,11 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
             match lazy_cuts with None -> [] | Some f -> f snapped
           in
           match new_cuts with
-          | [] -> incumbent := Some (objective, snapped)
+          | [] ->
+            Counters.incr c_incumbents;
+            incumbent := Some (objective, snapped)
           | _ :: _ ->
+            Counters.add c_cuts (List.length new_cuts);
             cuts_rev := List.rev_append new_cuts !cuts_rev;
             (* Re-solve the same subproblem under the new cuts, from the
                basis that was optimal just before they were appended. *)
@@ -128,7 +153,8 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
                 { bound = objective; var_bounds = vb; basis }
           in
           push down;
-          push up
+          push up;
+          Counters.set_max g_frontier_peak (Heap.length nodes)
       end
   in
   let rec loop () =
@@ -145,7 +171,7 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
           | Some (best, _) -> node.bound >= best -. 1e-9
           | None -> false
         in
-        if not prune then process node;
+        if prune then Counters.incr c_pruned else process node;
         loop ()
       end
   in

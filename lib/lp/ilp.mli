@@ -1,5 +1,5 @@
 (** Mixed-integer linear programming by best-first branch and bound on top
-    of {!Simplex}, with optional lazy constraints.
+    of [Simplex], with optional lazy constraints.
 
     Lazy constraints serve the wash-path model of Section III: its degree
     constraints (Eq. (14)) admit disconnected cycle solutions, which are
@@ -9,9 +9,14 @@
 type config = {
   max_nodes : int;        (** branch-and-bound node budget *)
   time_limit : float;     (** CPU seconds; mirrors the paper's 15-min cap *)
-  integrality_eps : float;
+  integrality_eps : float;  (** tolerance of the fractionality test *)
+  warm_start : bool;
+      (** re-solve child relaxations by dual simplex from the parent's
+          basis (default [true]; [false] forces cold two-phase solves —
+          the ablation measured by [bench/main.exe -- perf]) *)
 }
 
+(** 200k nodes, 60 s, [1e-6] integrality, warm starts on. *)
 val default_config : config
 
 type result =
@@ -39,4 +44,5 @@ val solve :
   Lp_problem.t ->
   result
 
+(** Print a result's status and objective (solutions elided). *)
 val pp_result : Format.formatter -> result -> unit

@@ -2,9 +2,13 @@
     identified by dense integer indices.  The building block for
     objectives and constraint left-hand sides. *)
 
+(** An immutable linear expression. *)
 type t
 
+(** The empty expression (no terms, zero constant). *)
 val zero : t
+
+(** [constant c] is the expression [c] with no variable terms. *)
 val constant : float -> t
 
 (** [term coeff var] is [coeff * x_var]. *)
@@ -13,14 +17,22 @@ val term : float -> int -> t
 (** [var v] is [1.0 * x_v]. *)
 val var : int -> t
 
+(** Term-wise sum of two expressions. *)
 val add : t -> t -> t
+
+(** Term-wise difference. *)
 val sub : t -> t -> t
+
+(** [scale c e] multiplies every coefficient and the constant by [c]. *)
 val scale : float -> t -> t
+
+(** Sum of a list of expressions. *)
 val sum : t list -> t
 
 (** [add_term expr coeff var] is [expr + coeff * x_var]. *)
 val add_term : t -> float -> int -> t
 
+(** The constant summand of the expression. *)
 val const_part : t -> float
 
 (** Coefficient of a variable (0 when absent). *)
@@ -32,4 +44,5 @@ val terms : t -> (int * float) list
 (** Evaluate under an assignment [var -> value]. *)
 val eval : t -> (int -> float) -> float
 
+(** Human-readable rendering, e.g. [2x0 - x3 + 1.5]. *)
 val pp : Format.formatter -> t -> unit

@@ -6,6 +6,7 @@
     Maximization is expressed by negating the objective at the modelling
     layer. *)
 
+(** Constraint sense: less-equal, greater-equal or equality. *)
 type relation = Le | Ge | Eq
 
 type constr = {
@@ -26,6 +27,7 @@ type t = {
   var_bounds : bounds array;  (** length [num_vars] *)
 }
 
+(** [{ lower = 0.0; upper = None }] — the non-negative orthant. *)
 val default_bounds : bounds
 
 (** [make ~num_vars ~objective ~constraints ~var_bounds] validates that no
@@ -43,4 +45,5 @@ val make :
     assignment [x] (default tolerance [1e-6]). *)
 val satisfies : ?eps:float -> t -> float array -> bool
 
+(** Human-readable rendering of the whole program. *)
 val pp : Format.formatter -> t -> unit

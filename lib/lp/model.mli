@@ -7,12 +7,14 @@ type t
 (** A variable handle, only valid for the model that created it. *)
 type var
 
+(** A fresh empty model. *)
 val create : unit -> t
 
 (** The big-M constant used by disjunctive constraints.  Large enough to
     dominate any time value in this repository's schedules. *)
 val big_m : float
 
+(** Number of variables declared so far. *)
 val num_vars : t -> int
 
 (** [continuous t name ~lb ?ub ()] declares a continuous variable. *)
@@ -24,18 +26,32 @@ val binary : t -> string -> var
 (** [integer t name ~lb ~ub] declares a bounded integer variable. *)
 val integer : t -> string -> lb:float -> ub:float -> var
 
+(** The name a variable was declared with. *)
 val name : t -> var -> string
 
-(** Expression helpers. *)
+(** The expression [1.0 * var]. *)
 val v : var -> Lin_expr.t
+
+(** [c *: var] is the expression [c * var]. *)
 val ( *: ) : float -> var -> Lin_expr.t
+
+(** Expression sum. *)
 val ( +: ) : Lin_expr.t -> Lin_expr.t -> Lin_expr.t
+
+(** Expression difference. *)
 val ( -: ) : Lin_expr.t -> Lin_expr.t -> Lin_expr.t
+
+(** Constant expression. *)
 val const : float -> Lin_expr.t
 
-(** Constraint helpers; [label] is kept for diagnostics. *)
+(** [add_le t lhs rhs] adds [lhs <= rhs]; [label] is kept for
+    diagnostics. *)
 val add_le : t -> ?label:string -> Lin_expr.t -> Lin_expr.t -> unit
+
+(** [add_ge t lhs rhs] adds [lhs >= rhs]. *)
 val add_ge : t -> ?label:string -> Lin_expr.t -> Lin_expr.t -> unit
+
+(** [add_eq t lhs rhs] adds [lhs = rhs]. *)
 val add_eq : t -> ?label:string -> Lin_expr.t -> Lin_expr.t -> unit
 
 (** [add_implies_ge t ~guard lhs rhs] encodes "if [guard] = 1 then
@@ -50,30 +66,36 @@ val add_disjunction :
   t -> order:var -> a_end:Lin_expr.t -> b_start:Lin_expr.t ->
   a_start:Lin_expr.t -> b_end:Lin_expr.t -> unit
 
+(** Set the (minimized) objective expression. *)
 val set_objective : t -> Lin_expr.t -> unit
 
 (** Freeze into an immutable problem plus its integer mask. *)
 val to_problem : t -> Lp_problem.t * bool array
 
+(** A variable assignment returned by the solver. *)
 type solution
 
 (** [solve ?ilp_config t] minimizes the objective. *)
 val solve : ?ilp_config:Ilp.config -> t -> (solution, string) Stdlib.result
 
-(** Like {!solve} but also accepts a lazy-cut callback over model vars. *)
+(** Like [solve] but also accepts a lazy-cut callback over model vars. *)
 val solve_with_cuts :
   ?ilp_config:Ilp.config ->
   cuts:((var -> float) -> (Lin_expr.t * Lp_problem.relation * float) list) ->
   t ->
   (solution, string) Stdlib.result
 
+(** Objective value of the returned assignment. *)
 val objective_value : solution -> float
+
+(** Value assigned to a variable. *)
 val value : solution -> var -> float
 
 (** [int_value sol var] rounds to the nearest integer; intended for
     integer/binary variables. *)
 val int_value : solution -> var -> int
 
+(** [bool_value sol var] is [int_value sol var <> 0]. *)
 val bool_value : solution -> var -> bool
 
 (** True when the solver exhausted its budget and returned the incumbent

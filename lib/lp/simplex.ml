@@ -1,3 +1,14 @@
+module Trace = Pdw_obs.Trace
+module Counters = Pdw_obs.Counters
+
+(* Observability probes: no-ops (one atomic flag check) unless tracing
+   is enabled, so the hot pivot loop is unaffected in normal runs. *)
+let c_pivots = Counters.counter "lp.simplex.pivots"
+let c_iterations = Counters.counter "lp.simplex.iterations"
+let c_cold = Counters.counter "lp.simplex.solves.cold"
+let c_warm = Counters.counter "lp.simplex.solves.warm"
+let c_fallbacks = Counters.counter "lp.simplex.warm_fallbacks"
+
 type result =
   | Optimal of { objective : float; solution : float array }
   | Infeasible
@@ -35,6 +46,7 @@ type basis = basis_var list
 let rhs_index t = t.total
 
 let pivot t cost row col =
+  Counters.incr c_pivots;
   let r = t.rows.(row) in
   let p = r.(col) in
   for j = 0 to t.total do
@@ -99,6 +111,7 @@ let iterate ?(allowed = fun _ -> true) t cost max_iters =
   in
   let degenerate_limit = 8 * (m + 8) in
   let rec loop iters degenerate_streak use_bland =
+    Counters.incr c_iterations;
     if iters > max_iters then
       failwith "Simplex: iteration limit exceeded (degenerate instance)";
     let enter = if use_bland then entering_bland () else entering_dantzig () in
@@ -123,6 +136,7 @@ let default_iters max_iters m total =
 (* --- cold start: two-phase primal simplex --------------------------- *)
 
 let solve_cold ?max_iters ~want_basis (p : Lp_problem.t) =
+  Counters.incr c_cold;
   let n = p.num_vars in
   let lower v = p.var_bounds.(v).lower in
   (* Rows: original constraints (with lower-bound shift folded into rhs)
@@ -531,17 +545,28 @@ let solve_warm ?max_iters ~(basis : basis) (p : Lp_problem.t) =
           (Optimal { objective; solution }, snapshot)
       end
     with
-    | Fall_back_cold -> solve_cold ?max_iters:orig_max_iters ~want_basis:true p
-    | Failure _ -> solve_cold ?max_iters:orig_max_iters ~want_basis:true p
+    | Fall_back_cold ->
+      Counters.incr c_fallbacks;
+      solve_cold ?max_iters:orig_max_iters ~want_basis:true p
+    | Failure _ ->
+      Counters.incr c_fallbacks;
+      solve_cold ?max_iters:orig_max_iters ~want_basis:true p
   end
 
 (* --- public entry points -------------------------------------------- *)
 
-let solve ?max_iters p = fst (solve_cold ?max_iters ~want_basis:false p)
+let solve ?max_iters p =
+  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
+      fst (solve_cold ?max_iters ~want_basis:false p))
 
-let solve_keep_basis ?max_iters p = solve_cold ?max_iters ~want_basis:true p
+let solve_keep_basis ?max_iters p =
+  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
+      solve_cold ?max_iters ~want_basis:true p)
 
-let solve_from_basis ?max_iters ~basis p = solve_warm ?max_iters ~basis p
+let solve_from_basis ?max_iters ~basis p =
+  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
+      Counters.incr c_warm;
+      solve_warm ?max_iters ~basis p)
 
 let pp_result ppf = function
   | Infeasible -> Format.pp_print_string ppf "infeasible"

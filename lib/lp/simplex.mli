@@ -36,7 +36,7 @@ type basis = basis_var list
     numerically degenerate instance rather than a model error. *)
 val solve : ?max_iters:int -> Lp_problem.t -> result
 
-(** Like {!solve}, also returning a basis snapshot when the final tableau
+(** Like [solve], also returning a basis snapshot when the final tableau
     admits one ([None] on infeasible/unbounded results or when an
     artificial variable could not be driven out of the basis). *)
 val solve_keep_basis : ?max_iters:int -> Lp_problem.t -> result * basis option
@@ -45,8 +45,9 @@ val solve_keep_basis : ?max_iters:int -> Lp_problem.t -> result * basis option
     snapshot of a closely related problem: same constraints in the same
     order (possibly with rows appended) and same variables (possibly with
     changed bounds).  Falls back to the cold two-phase path whenever the
-    snapshot does not fit, so it is exactly as reliable as {!solve}. *)
+    snapshot does not fit, so it is exactly as reliable as [solve]. *)
 val solve_from_basis :
   ?max_iters:int -> basis:basis -> Lp_problem.t -> result * basis option
 
+(** Human-readable rendering of a [result]. *)
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,73 @@
+type kind = Counter | Gauge
+
+type t = { name : string; kind : kind; cell : int Atomic.t }
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let register kind name =
+  Mutex.lock lock;
+  let t =
+    match Hashtbl.find_opt registry name with
+    | Some t ->
+      if t.kind <> kind then begin
+        Mutex.unlock lock;
+        invalid_arg
+          (Printf.sprintf "Counters: %S already registered with another kind"
+             name)
+      end;
+      t
+    | None ->
+      let t = { name; kind; cell = Atomic.make 0 } in
+      Hashtbl.replace registry name t;
+      t
+  in
+  Mutex.unlock lock;
+  t
+
+let counter name = register Counter name
+let gauge name = register Gauge name
+
+let incr t =
+  if t.kind <> Counter then invalid_arg "Counters.incr: not a counter";
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add t.cell 1)
+
+let add t n =
+  if n < 0 then invalid_arg "Counters.add: negative increment";
+  if t.kind <> Counter then invalid_arg "Counters.add: not a counter";
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add t.cell n)
+
+let set t v =
+  if t.kind <> Gauge then invalid_arg "Counters.set: not a gauge";
+  if Atomic.get enabled_flag then Atomic.set t.cell v
+
+let set_max t v =
+  if t.kind <> Gauge then invalid_arg "Counters.set_max: not a gauge";
+  if Atomic.get enabled_flag then begin
+    (* CAS loop: several domains may race to raise the peak. *)
+    let rec go () =
+      let cur = Atomic.get t.cell in
+      if v > cur && not (Atomic.compare_and_set t.cell cur v) then go ()
+    in
+    go ()
+  end
+
+let value t = Atomic.get t.cell
+let name t = t.name
+
+let all () =
+  Mutex.lock lock;
+  let l =
+    Hashtbl.fold (fun _ t acc -> (t.name, t.kind, value t) :: acc) registry []
+  in
+  Mutex.unlock lock;
+  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) l
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ t -> Atomic.set t.cell 0) registry;
+  Mutex.unlock lock

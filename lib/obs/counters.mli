@@ -1,0 +1,63 @@
+(** Named monotonic counters and gauges.
+
+    Counters only ever grow (simplex pivots, B&B nodes expanded, cache
+    hits); gauges record the latest or peak value of a level (frontier
+    size, group cardinality).  All cells are process-global atomics
+    registered by name on first use, so probes in the solver, the
+    router and the planner all feed one table that [Trace_export]
+    prints and exports.
+
+    Like spans, counting is off by default: every probe is a single
+    atomic-flag check when disabled, and values never change, so
+    instrumented code is behaviourally inert. *)
+
+type t
+
+type kind =
+  | Counter  (** monotonically non-decreasing *)
+  | Gauge    (** free-standing level; supports [set] and [set_max] *)
+
+(** Whether probes are live. *)
+val enabled : unit -> bool
+
+(** Turn counting on or off; values are kept either way (use [reset]). *)
+val set_enabled : bool -> unit
+
+(** [counter name] returns the counter registered under [name],
+    creating it at zero on first use.
+    @raise Invalid_argument if [name] is registered as a gauge. *)
+val counter : string -> t
+
+(** [gauge name] returns the gauge registered under [name], creating it
+    at zero on first use.
+    @raise Invalid_argument if [name] is registered as a counter. *)
+val gauge : string -> t
+
+(** Add one to a counter (no-op while disabled).
+    @raise Invalid_argument on a gauge. *)
+val incr : t -> unit
+
+(** [add t n] adds [n >= 0] to a counter (no-op while disabled).
+    @raise Invalid_argument on a negative [n] or on a gauge. *)
+val add : t -> int -> unit
+
+(** Set a gauge's level (no-op while disabled).
+    @raise Invalid_argument on a counter. *)
+val set : t -> int -> unit
+
+(** Raise a gauge to [n] if below it — a peak tracker (no-op while
+    disabled).
+    @raise Invalid_argument on a counter. *)
+val set_max : t -> int -> unit
+
+(** Current value. *)
+val value : t -> int
+
+(** Registered name. *)
+val name : t -> string
+
+(** Every registered cell as [(name, kind, value)], sorted by name. *)
+val all : unit -> (string * kind * int) list
+
+(** Zero every registered cell (registrations are kept). *)
+val reset : unit -> unit

@@ -1,0 +1,143 @@
+(* pdw_obs sits below every other library, so it carries its own
+   minimal JSON emitter rather than reusing the planner's Json_export. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let micros seconds = Int64.of_float (seconds *. 1e6)
+
+let event_json buf epoch (e : Trace.event) =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%Ld,\"dur\":%Ld,\"pid\":1,\"tid\":%d"
+       (escape e.Trace.name)
+       (escape (if e.Trace.cat = "" then "pdw" else e.Trace.cat))
+       (micros (e.Trace.ts -. epoch))
+       (micros e.Trace.dur) e.Trace.tid);
+  (match e.Trace.args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+      args;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let chrome_json () =
+  let epoch = Trace.epoch () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char buf ',';
+      event_json buf epoch e)
+    (Trace.events ());
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\",\"counters\":{";
+  let nonzero =
+    List.filter (fun (_, _, v) -> v <> 0) (Counters.all ())
+  in
+  List.iteri
+    (fun i (name, _, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (escape name) v))
+    nonzero;
+  Buffer.add_string buf "}";
+  if Trace.dropped () > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf ",\"droppedEvents\":%d" (Trace.dropped ()));
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let write_chrome path =
+  let oc = open_out path in
+  output_string oc (chrome_json ());
+  output_string oc "\n";
+  close_out oc
+
+(* --- plain-text summary ------------------------------------------- *)
+
+(* Aggregate events into a trie keyed by span path.  Worker-domain
+   spans merge into the same tree; the Chrome export keeps per-domain
+   lanes for anyone who needs them separated. *)
+type node = {
+  mutable count : int;
+  mutable total : float;
+  children : (string, node) Hashtbl.t;
+}
+
+let fresh () = { count = 0; total = 0.0; children = Hashtbl.create 4 }
+
+let build events =
+  let root = fresh () in
+  List.iter
+    (fun (e : Trace.event) ->
+      let rec descend node = function
+        | [] ->
+          node.count <- node.count + 1;
+          node.total <- node.total +. e.Trace.dur
+        | name :: rest ->
+          let child =
+            match Hashtbl.find_opt node.children name with
+            | Some c -> c
+            | None ->
+              let c = fresh () in
+              Hashtbl.replace node.children name c;
+              c
+          in
+          descend child rest
+      in
+      descend root e.Trace.path)
+    events;
+  root
+
+let summary ppf =
+  let root = build (Trace.events ()) in
+  Format.fprintf ppf "@[<v>%-46s %9s %12s %12s@," "span" "count"
+    "total ms" "self ms";
+  let rec print indent name node =
+    let child_total =
+      Hashtbl.fold (fun _ c acc -> acc +. c.total) node.children 0.0
+    in
+    let self = node.total -. child_total in
+    Format.fprintf ppf "%-46s %9d %12.2f %12.2f@,"
+      (String.make indent ' ' ^ name)
+      node.count (1000.0 *. node.total) (1000.0 *. self);
+    children indent node
+  and children indent node =
+    Hashtbl.fold (fun name c acc -> (name, c) :: acc) node.children []
+    |> List.sort (fun (na, a) (nb, b) ->
+           let c = Float.compare b.total a.total in
+           if c <> 0 then c else String.compare na nb)
+    |> List.iter (fun (name, c) -> print (indent + 2) name c)
+  in
+  children (-2) root;
+  if Trace.dropped () > 0 then
+    Format.fprintf ppf "(%d spans dropped at the %s-event cap)@,"
+      (Trace.dropped ()) "1,000,000";
+  let nonzero = List.filter (fun (_, _, v) -> v <> 0) (Counters.all ()) in
+  if nonzero <> [] then begin
+    Format.fprintf ppf "@,%-46s %9s@," "counter" "value";
+    List.iter
+      (fun (name, kind, v) ->
+        Format.fprintf ppf "%-46s %9d%s@," name v
+          (match kind with Counters.Gauge -> "  (gauge)" | Counters.Counter -> ""))
+      nonzero
+  end;
+  Format.fprintf ppf "@]@?"

@@ -1,0 +1,22 @@
+(** Export recorded spans and counters.
+
+    Two sinks: the Chrome trace-event JSON format — load the file at
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto} to browse
+    the span hierarchy per domain on a timeline — and a plain-text
+    summary that aggregates spans by call path into a tree with call
+    counts, total and self wall time, followed by every non-zero
+    counter and gauge. *)
+
+(** The Chrome trace as a JSON string: one complete ("ph":"X") event
+    per span with microsecond timestamps relative to [Trace.epoch],
+    [pid] 1 and the recording domain's id as [tid], plus a top-level
+    ["counters"] object with the final value of every non-zero cell. *)
+val chrome_json : unit -> string
+
+(** [write_chrome path] writes [chrome_json] to [path] followed by a
+    newline. *)
+val write_chrome : string -> unit
+
+(** Print the per-path span tree (count, total ms, self ms — self being
+    total minus the time in child spans) and the counter table. *)
+val summary : Format.formatter -> unit

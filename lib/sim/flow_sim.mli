@@ -3,7 +3,7 @@
     cell carries.
 
     This is an independent implementation of the fluidic semantics the
-    analytic model in {!Pdw_wash.Contamination} assumes — per-cell
+    analytic model in [Pdw_wash.Contamination] assumes — per-cell
     timelines there, a global time-stepped state machine here — used for
     differential testing, occupancy statistics and schedule animation. *)
 

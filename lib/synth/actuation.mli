@@ -14,6 +14,7 @@
     re-checked here at the control layer), and reports the switching
     statistics a chip driver cares about. *)
 
+(** Position of one valve. *)
 type state = Open | Closed
 
 type event = {
@@ -22,12 +23,13 @@ type event = {
   state : state;  (** state the valve transitions *to* at [time] *)
 }
 
+(** A complete, consistency-checked actuation plan. *)
 type t
 
 (** [of_schedule schedule] derives the plan.
     @raise Invalid_argument if two concurrent entries need one valve in
     different states (cannot happen for a schedule that passes
-    {!Schedule.violations}). *)
+    [Schedule.violations]). *)
 val of_schedule : Schedule.t -> t
 
 (** Chronological actuation events (initial all-closed state at time 0 is
@@ -48,4 +50,5 @@ val peak_open : t -> int
 (** Transitions per valve, busiest first. *)
 val per_valve : t -> (Pdw_geometry.Coord.t * int) list
 
+(** Human-readable rendering of one transition. *)
 val pp_event : Format.formatter -> event -> unit

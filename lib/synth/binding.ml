@@ -53,7 +53,10 @@ let cost graph layout binding =
   done;
   transport + (sharing_penalty * !sharing)
 
+let c_sweeps = Pdw_obs.Counters.counter "synth.binding.sweeps"
+
 let optimize graph layout ~init =
+  Pdw_obs.Trace.with_span ~cat:"synth" "binding.optimize" @@ fun () ->
   let binding = Array.copy init in
   let n = Sequencing_graph.num_ops graph in
   let current = ref (cost graph layout binding) in
@@ -62,6 +65,7 @@ let optimize graph layout ~init =
   while !improved && !sweeps < 25 do
     improved := false;
     incr sweeps;
+    Pdw_obs.Counters.incr c_sweeps;
     for i = 0 to n - 1 do
       let op = Sequencing_graph.op graph i in
       let kind = Operation.device_kind op.Operation.kind in

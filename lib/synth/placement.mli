@@ -27,7 +27,7 @@ val layout :
     lengthwise; excess, contamination and washing are tracked per cell,
     so washing a device costs three targets, not one.
 
-    Same parameters and validation as {!layout}. *)
+    Same parameters and validation as [layout]. *)
 val island_layout :
   ?flow_ports:int ->
   ?waste_ports:int ->
@@ -42,7 +42,7 @@ val island_layout :
     between any two points, so traffic shares channels heavily — a
     stress case for wash optimization.
 
-    Same parameters and validation as {!layout}. *)
+    Same parameters and validation as [layout]. *)
 val ring_layout :
   ?flow_ports:int ->
   ?waste_ports:int ->

@@ -2,6 +2,14 @@ module Coord = Pdw_geometry.Coord
 module Grid = Pdw_geometry.Grid
 module Gpath = Pdw_geometry.Gpath
 module Layout = Pdw_biochip.Layout
+module Trace = Pdw_obs.Trace
+module Counters = Pdw_obs.Counters
+
+let c_flush_calls = Counters.counter "synth.router.flush_calls"
+let c_flush_hits = Counters.counter "synth.router.flush_memo_hits"
+let c_flush_misses = Counters.counter "synth.router.flush_memo_misses"
+let c_lb_pruned = Counters.counter "synth.router.pairs_lb_pruned"
+let c_covering = Counters.counter "synth.router.covering_searches"
 
 (* BFS from [src] to [dst].  Intermediate cells must be through-routable
    (no ports) and outside [avoid]; [dst] only needs to be routable. *)
@@ -161,6 +169,7 @@ let covering layout ?(avoid = Coord.Set.empty) ?(cost = fun _ -> 0) ~src
   go [ src ] (Coord.Set.singleton src) src remaining
 
 let flush_uncached layout ~avoid ~cost ~targets () =
+  Trace.with_span ~cat:"synth" "router.flush" @@ fun () ->
   let flow_ports = Layout.flow_ports layout in
   let waste_ports = Layout.waste_ports layout in
   (* Port pairs compete on total cost (length plus per-cell penalties),
@@ -188,7 +197,9 @@ let flush_uncached layout ~avoid ~cost ~targets () =
     let skip =
       match !best with Some (_, bc, _, _) -> lb >= bc | None -> false
     in
-    if not skip then
+    if skip then Counters.incr c_lb_pruned
+    else begin
+      Counters.incr c_covering;
       let path = covering layout ~avoid ~cost ~src ~dst ~targets () in
       match path with
       | None -> ()
@@ -198,6 +209,7 @@ let flush_uncached layout ~avoid ~cost ~targets () =
         | Some (_, bc, _, _) when bc <= c -> ()
         | Some _ | None ->
           best := Some (p, c, fp.Pdw_biochip.Port.id, wp.Pdw_biochip.Port.id))
+    end
   in
   List.iter (fun fp -> List.iter (consider fp) waste_ports) flow_ports;
   Option.map (fun (p, _, f, w) -> (p, f, w)) !best
@@ -236,6 +248,7 @@ let flush_table layout =
   tbl
 
 let flush layout ?avoid ?cost ~targets () =
+  Counters.incr c_flush_calls;
   match (avoid, cost) with
   | None, None ->
     let tbl = flush_table layout in
@@ -247,8 +260,11 @@ let flush layout ?avoid ?cost ~targets () =
       r
     in
     (match cached with
-    | Some result -> result
+    | Some result ->
+      Counters.incr c_flush_hits;
+      result
     | None ->
+      Counters.incr c_flush_misses;
       let result =
         flush_uncached layout ~avoid:Coord.Set.empty
           ~cost:(fun _ -> 0)

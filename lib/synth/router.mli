@@ -35,7 +35,7 @@ val cheapest :
     [dst] passing through every target cell, built by greedy
     nearest-target chaining; or [None] when the greedy order fails.  The
     result is feasible but not necessarily minimum; the exact alternative
-    is {!Pdw_wash.Wash_path_ilp} in the core library. *)
+    is [Pdw_wash.Wash_path_ilp] in the core library. *)
 val covering :
   Pdw_biochip.Layout.t ->
   ?avoid:Pdw_geometry.Coord.Set.t ->

@@ -2,10 +2,12 @@
     a concrete layout — the artifact PathDriver-Wash consumes and
     produces (Fig. 2(b) / Fig. 3). *)
 
+(** One schedule row: a device-bound operation run or a timed task. *)
 type entry =
   | Op_run of { op_id : int; device_id : int; start : int; finish : int }
   | Task_run of { task : Task.t; start : int; finish : int }
 
+(** An immutable schedule, entries sorted by start time. *)
 type t
 
 (** [make ~graph ~layout ~binding entries] sorts entries by start time.
@@ -18,12 +20,22 @@ val make :
   entry list ->
   t
 
+(** The sequencing graph the schedule executes. *)
 val graph : t -> Pdw_assay.Sequencing_graph.t
+
+(** The chip layout the schedule runs on. *)
 val layout : t -> Pdw_biochip.Layout.t
+
+(** Per-operation device assignment ([binding.(op)] is a device id). *)
 val binding : t -> int array
+
+(** Every entry, sorted by start time. *)
 val entries : t -> entry list
 
+(** Start second of an entry. *)
 val entry_start : entry -> int
+
+(** Finish second of an entry. *)
 val entry_finish : entry -> int
 
 (** Cells an entry occupies while it runs (device footprint for op runs,
@@ -33,7 +45,10 @@ val entry_cells : t -> entry -> Pdw_geometry.Coord.Set.t
 (** The run of a given operation.  @raise Not_found if absent. *)
 val op_run : t -> int -> int * int * int  (** start, finish, device *)
 
+(** Every task entry as [(task, start, finish)]. *)
 val task_runs : t -> (Task.t * int * int) list
+
+(** The wash-task subset of [task_runs]. *)
 val wash_runs : t -> (Task.t * int * int) list
 
 (** Completion time of the last biochemical operation: the [T_assay] of

@@ -44,7 +44,11 @@ let earliest_fit ~busy ~cells ~duration ~lb =
   in
   search lb
 
+let c_jobs = Pdw_obs.Counters.counter "synth.scheduler.jobs"
+
 let run jobs =
+  Pdw_obs.Trace.with_span ~cat:"synth" "scheduler.run" @@ fun () ->
+  Pdw_obs.Counters.add c_jobs (List.length jobs);
   let by_key =
     List.fold_left
       (fun acc job ->

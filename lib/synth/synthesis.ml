@@ -20,7 +20,7 @@ type t = {
 let fail fmt = Printf.ksprintf invalid_arg fmt
 
 (* Device binding: round-robin baseline, optionally tightened by the
-   local search in {!Binding}. *)
+   local search in [Binding]. *)
 let bind_devices ?(optimize_binding = true) graph layout =
   let strip_prefix m =
     let prefix = "Binding: " in
@@ -370,6 +370,7 @@ let build_tasks graph layout binding reagent_ports =
   List.rev !tasks
 
 let synthesize ?layout ?optimize_binding (benchmark : Benchmarks.t) =
+  Pdw_obs.Trace.with_span ~cat:"synth" "synthesis.synthesize" @@ fun () ->
   let graph = benchmark.Benchmarks.graph in
   let layout =
     match layout with
@@ -410,6 +411,7 @@ let jobs ?dissolution t ~tasks =
 
 let reschedule t ~tasks ?dissolution ?(extra_after = [])
     ?(extra_release = []) ?(rank_override = []) () =
+  Pdw_obs.Trace.with_span ~cat:"synth" "synthesis.reschedule" @@ fun () ->
   let graph = t.benchmark.Benchmarks.graph in
   let jobs = jobs_of_tasks ?dissolution graph t.binding t.layout tasks in
   let jobs =

@@ -14,12 +14,12 @@ type t = {
   schedule : Schedule.t;  (** the baseline schedule of those tasks *)
 }
 
-(** [synthesize benchmark] builds the chip with {!Placement} (or uses
+(** [synthesize benchmark] builds the chip with [Placement] (or uses
     [layout] when given, e.g. the Fig. 2(a) chip), binds operations to
     devices, routes every task and schedules the assay.
 
     @param optimize_binding improve the round-robin binding with
-    {!Binding.optimize} (default true — the PathDriver+ tools whose role
+    [Binding.optimize] (default true — the PathDriver+ tools whose role
     this module plays optimize binding too; see the `binding` bench for
     the gain)
     @raise Invalid_argument when the device library lacks a kind the
@@ -41,7 +41,7 @@ val topo_position : t -> int -> int
 (** The scheduler jobs (durations, precedence, cell footprints, ranks)
     for a task set of this synthesis — the shared input of the serial
     scheduler and of the exact scheduling MILP
-    ({!Pdw_wash.Schedule_ilp}). *)
+    ([Pdw_wash.Schedule_ilp]). *)
 val jobs : ?dissolution:int -> t -> tasks:Task.t list -> Scheduler.job list
 
 (** Rebuild a schedule after the task set changes (washes added, merged

@@ -32,15 +32,20 @@ type purpose =
           (** removal-task ids it absorbs (the [psi] of Eq. (21)) *)
     }
 
+(** A fluidic task: its purpose and the flow path that realizes it. *)
 type t = { id : int; purpose : purpose; path : Pdw_geometry.Gpath.t }
 
+(** Bundle the three fields into a task. *)
 val make : id:int -> purpose:purpose -> path:Pdw_geometry.Gpath.t -> t
 
-(** Duration in seconds per {!Pdw_biochip.Units}: travel time for the
+(** Duration in seconds per [Pdw_biochip.Units]: travel time for the
     path, plus dissolution time for wash tasks (Eq. (17)). *)
 val duration : ?dissolution:int -> t -> int
 
+(** Whether the task is a wash flush. *)
 val is_wash : t -> bool
+
+(** Whether the task removes excess fluid to waste. *)
 val is_removal : t -> bool
 
 (** Tasks whose passage would be corrupted by residue: transports.
@@ -51,4 +56,5 @@ val is_sensitive : t -> bool
 (** Fluid the task pushes through its path ([None] for wash: buffer). *)
 val carried_fluid : t -> Pdw_biochip.Fluid.t option
 
+(** Human-readable rendering of one task. *)
 val pp : Format.formatter -> t -> unit

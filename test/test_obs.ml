@@ -1,0 +1,436 @@
+(* Tests for the observability layer (lib/obs): span nesting and
+   exception safety, counter monotonicity, the no-op guarantee when
+   disabled, Chrome-trace export well-formedness (checked with a small
+   JSON parser below), and a regression that tracing never changes the
+   planner's metrics — Json_export output byte-for-byte. *)
+
+module Trace = Pdw_obs.Trace
+module Counters = Pdw_obs.Counters
+module Trace_export = Pdw_obs.Trace_export
+
+(* Every test starts from a clean, enabled recorder with a fake clock it
+   can step, and leaves the layer disabled on the real clock. *)
+let fake_now = ref 0.0
+
+let with_obs f () =
+  Trace.reset ();
+  Counters.reset ();
+  Trace.set_clock (fun () -> !fake_now);
+  fake_now := 0.0;
+  Trace.set_enabled true;
+  Counters.set_enabled true;
+  Fun.protect f ~finally:(fun () ->
+      Trace.set_enabled false;
+      Counters.set_enabled false;
+      Trace.set_clock Unix.gettimeofday;
+      Trace.reset ();
+      Counters.reset ())
+
+let advance dt = fake_now := !fake_now +. dt
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  Trace.with_span ~cat:"t" "outer" (fun () ->
+      advance 1.0;
+      Trace.with_span ~cat:"t" "inner" (fun () -> advance 2.0);
+      advance 4.0);
+  match Trace.events () with
+  | [ inner; outer ] ->
+    (* Completion order: the child finishes (and is recorded) first. *)
+    Alcotest.(check string) "inner name" "inner" inner.Trace.name;
+    Alcotest.(check string) "outer name" "outer" outer.Trace.name;
+    Alcotest.(check (list string))
+      "inner path" [ "outer"; "inner" ] inner.Trace.path;
+    Alcotest.(check (list string)) "outer path" [ "outer" ] outer.Trace.path;
+    Alcotest.(check (float 1e-9)) "inner ts" 1.0 inner.Trace.ts;
+    Alcotest.(check (float 1e-9)) "inner dur" 2.0 inner.Trace.dur;
+    Alcotest.(check (float 1e-9)) "outer dur" 7.0 outer.Trace.dur;
+    (* A span never outlives its parent. *)
+    Alcotest.(check bool) "containment" true
+      (outer.Trace.ts <= inner.Trace.ts
+      && inner.Trace.ts +. inner.Trace.dur
+         <= outer.Trace.ts +. outer.Trace.dur)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_exception_safety () =
+  (try
+     Trace.with_span "outer" (fun () ->
+         Trace.with_span "boom" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  (* Both spans were recorded despite the raise, and the stack unwound:
+     a later span is not nested under the dead ones. *)
+  Trace.with_span "after" (fun () -> ());
+  let names = List.map (fun (e : Trace.event) -> e.Trace.name) (Trace.events ()) in
+  Alcotest.(check (list string)) "events" [ "boom"; "outer"; "after" ] names;
+  let after = List.nth (Trace.events ()) 2 in
+  Alcotest.(check (list string)) "clean stack" [ "after" ] after.Trace.path
+
+let test_span_args () =
+  Trace.with_span ~args:[ ("round", "3") ] "tagged" (fun () -> ());
+  match Trace.events () with
+  | [ e ] ->
+    Alcotest.(check (list (pair string string)))
+      "args" [ ("round", "3") ] e.Trace.args
+  | _ -> Alcotest.fail "expected one event"
+
+let test_disabled_records_nothing () =
+  Trace.set_enabled false;
+  Counters.set_enabled false;
+  let c = Counters.counter "test.disabled.counter" in
+  let before = Counters.value c in
+  let r =
+    Trace.with_span "ghost" (fun () ->
+        Counters.incr c;
+        Counters.add c 7;
+        17)
+  in
+  Alcotest.(check int) "result still returned" 17 r;
+  Alcotest.(check int) "no events" 0 (Trace.num_events ());
+  Alcotest.(check int) "counter untouched" before (Counters.value c)
+
+(* --- counters --- *)
+
+let test_counter_basics () =
+  let c = Counters.counter "test.basic.counter" in
+  let g = Counters.gauge "test.basic.gauge" in
+  Counters.incr c;
+  Counters.add c 4;
+  Counters.set g 9;
+  Counters.set_max g 3;
+  Counters.set_max g 12;
+  Alcotest.(check int) "counter" 5 (Counters.value c);
+  Alcotest.(check int) "gauge peak" 12 (Counters.value g);
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Counters.add: negative increment") (fun () ->
+      Counters.add c (-1));
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument
+       "Counters: \"test.basic.counter\" already registered with another kind")
+    (fun () -> ignore (Counters.gauge "test.basic.counter"));
+  Alcotest.check_raises "incr on gauge"
+    (Invalid_argument "Counters.incr: not a counter") (fun () ->
+      Counters.incr g);
+  Alcotest.check_raises "set on counter"
+    (Invalid_argument "Counters.set: not a gauge") (fun () ->
+      Counters.set c 1)
+
+let prop_counter_monotone =
+  QCheck2.Test.make ~name:"counters are monotonically non-decreasing"
+    ~count:100
+    QCheck2.Gen.(list (oneof [ return `Incr; map (fun n -> `Add n) (0 -- 50) ]))
+    (fun ops ->
+      Counters.set_enabled true;
+      let c = Counters.counter "test.prop.counter" in
+      let start = Counters.value c in
+      let expected = ref start in
+      List.for_all
+        (fun op ->
+          let before = Counters.value c in
+          (match op with
+          | `Incr ->
+            Counters.incr c;
+            incr expected
+          | `Add n ->
+            Counters.add c n;
+            expected := !expected + n);
+          let v = Counters.value c in
+          v >= before && v = !expected)
+        ops)
+
+let test_counters_all_sorted () =
+  ignore (Counters.counter "test.sorted.b");
+  ignore (Counters.counter "test.sorted.a");
+  let names = List.map (fun (n, _, _) -> n) (Counters.all ()) in
+  Alcotest.(check (list string))
+    "sorted" (List.sort compare names) names
+
+(* --- a minimal JSON parser, enough to load a Chrome trace --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail m = raise (Bad_json (Printf.sprintf "%s at %d" m !pos)) in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_body () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'; incr pos
+          | Some '\\' -> Buffer.add_char b '\\'; incr pos
+          | Some '/' -> Buffer.add_char b '/'; incr pos
+          | Some 'n' -> Buffer.add_char b '\n'; incr pos
+          | Some 't' -> Buffer.add_char b '\t'; incr pos
+          | Some 'r' -> Buffer.add_char b '\r'; incr pos
+          | Some 'b' -> Buffer.add_char b '\b'; incr pos
+          | Some 'f' -> Buffer.add_char b '\012'; incr pos
+          | Some 'u' ->
+            (* Keep the escape verbatim; exact code points don't matter
+               for well-formedness. *)
+            if !pos + 4 >= n then fail "bad \\u escape";
+            Buffer.add_string b (String.sub s (!pos - 1) 6);
+            pos := !pos + 5
+          | _ -> fail "bad escape");
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((key, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elements (v :: acc)
+          | Some ']' ->
+            incr pos;
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+(* --- export --- *)
+
+let record_sample_spans () =
+  Trace.with_span ~cat:"t" "parent" (fun () ->
+      advance 0.5;
+      Trace.with_span ~cat:"t" ~args:[ ("k", "v\"quoted\"") ] "child"
+        (fun () -> advance 0.25));
+  let c = Counters.counter "test.export.counter" in
+  Counters.add c 42
+
+let test_chrome_json_loads () =
+  record_sample_spans ();
+  let doc = parse_json (Trace_export.chrome_json ()) in
+  let events =
+    match member "traceEvents" doc with
+    | Some (Arr evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  Alcotest.(check int) "one event per span" (Trace.num_events ())
+    (List.length events);
+  List.iter
+    (fun e ->
+      Alcotest.(check (option string))
+        "complete event" (Some "X")
+        (match member "ph" e with Some (Str s) -> Some s | _ -> None);
+      let has k = member k e <> None in
+      Alcotest.(check bool) "required keys" true
+        (has "name" && has "ts" && has "dur" && has "pid" && has "tid"))
+    events;
+  (match member "counters" doc with
+  | Some (Obj fields) ->
+    Alcotest.(check bool) "counter exported" true
+      (match List.assoc_opt "test.export.counter" fields with
+      | Some (Num 42.0) -> true
+      | _ -> false)
+  | _ -> Alcotest.fail "counters missing");
+  (* Timestamps are microseconds relative to the epoch: the child span
+     started 0.5 s in. *)
+  let child =
+    List.find
+      (fun e -> member "name" e = Some (Str "child"))
+      events
+  in
+  Alcotest.(check bool) "relative microseconds" true
+    (match (member "ts" child, member "dur" child) with
+    | Some (Num ts), Some (Num dur) -> ts = 500_000.0 && dur = 250_000.0
+    | _ -> false)
+
+let test_write_chrome_roundtrip () =
+  record_sample_spans ();
+  let path = Filename.temp_file "pdw_trace" ".json" in
+  Fun.protect
+    (fun () ->
+      Trace_export.write_chrome path;
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match parse_json (String.trim text) with
+      | Obj _ -> ()
+      | _ -> Alcotest.fail "expected a JSON object")
+    ~finally:(fun () -> Sys.remove path)
+
+let test_summary_renders () =
+  record_sample_spans ();
+  let b = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer b in
+  Trace_export.summary ppf;
+  Format.pp_print_flush ppf ();
+  let text = Buffer.contents b in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec at i = i + nl <= tl && (String.sub text i nl = needle || at (i + 1)) in
+    at 0
+  in
+  let mentions needle =
+    Alcotest.(check bool) (needle ^ " in summary") true (contains needle)
+  in
+  mentions "parent";
+  mentions "child";
+  mentions "test.export.counter"
+
+(* --- regression: instrumentation never changes planner output --- *)
+
+let planner_json () =
+  let layout = Pdw_biochip.Layout_builder.fig2_layout () in
+  let s =
+    Pdw_synth.Synthesis.synthesize ~layout
+      (Pdw_assay.Benchmarks.motivating ())
+  in
+  let pdw = Pdw_wash.Pdw.optimize s in
+  let dawo = Pdw_wash.Dawo.optimize s in
+  Pdw_wash.Json_export.to_string
+    (Pdw_wash.Json_export.outcome pdw)
+  ^ "\n"
+  ^ Pdw_wash.Json_export.to_string (Pdw_wash.Json_export.outcome dawo)
+
+let test_tracing_is_metrics_inert () =
+  Trace.set_enabled false;
+  Counters.set_enabled false;
+  let plain = planner_json () in
+  Trace.set_enabled true;
+  Counters.set_enabled true;
+  let traced = planner_json () in
+  Alcotest.(check bool) "spans were recorded" true (Trace.num_events () > 0);
+  Alcotest.(check string) "byte-identical planner output" plain traced
+
+let () =
+  Alcotest.run "pdw_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "nesting" `Quick (with_obs test_span_nesting);
+          Alcotest.test_case "exception safety" `Quick
+            (with_obs test_span_exception_safety);
+          Alcotest.test_case "args" `Quick (with_obs test_span_args);
+          Alcotest.test_case "disabled is a no-op" `Quick
+            (with_obs test_disabled_records_nothing);
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "basics" `Quick (with_obs test_counter_basics);
+          Alcotest.test_case "all sorted" `Quick
+            (with_obs test_counters_all_sorted);
+          QCheck_alcotest.to_alcotest prop_counter_monotone;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome json loads" `Quick
+            (with_obs test_chrome_json_loads);
+          Alcotest.test_case "write_chrome round-trips" `Quick
+            (with_obs test_write_chrome_roundtrip);
+          Alcotest.test_case "summary renders" `Quick
+            (with_obs test_summary_renders);
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "tracing never changes metrics" `Quick
+            (with_obs test_tracing_is_metrics_inert);
+        ] );
+    ]
