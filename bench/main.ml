@@ -357,6 +357,23 @@ let exact_ilp_config ~warm_start =
    exact-ILP wash-path run on the motivating chip with the warm-started
    dual simplex on and off.  Future PRs diff this file to track the
    perf trajectory. *)
+(* Provenance stamped into BENCH_solver.json: which commit produced the
+   numbers and when.  The [compare] gate ignores these fields. *)
+let git_commit () =
+  match Unix.open_process_in "git rev-parse HEAD 2>/dev/null" with
+  | exception Unix.Unix_error _ -> "unknown"
+  | ic -> (
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown")
+
+let iso8601_now () =
+  let t = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
 let run_perf () =
   let module J = Pdw_wash.Json_export in
   let now () = Unix.gettimeofday () in
@@ -370,11 +387,18 @@ let run_perf () =
      its spans and we still report deltas for this job only. *)
   Trace.set_enabled true;
   Counters.set_enabled true;
+  (* Snapshots are taken before any pool spawns and read back only after
+     every [Domain_pool.with_pool] has joined its workers — counter cells
+     are plain atomics, so reading mid-flight could tear the deltas. *)
   let events_before = Trace.num_events () in
-  let counters_before =
-    List.map (fun (name, _, v) -> (name, v)) (Counters.all ())
+  let counters_before = Counters.snapshot () in
+  let pool_domains, synthesized =
+    Domain_pool.with_pool (fun pool ->
+        ( Domain_pool.size pool,
+          Domain_pool.map pool
+            (fun (name, b) -> (name, b, Synthesis.synthesize b))
+            (table2_benchmarks ()) ))
   in
-  let synthesized = synthesize_all () in
   let t_opt0 = now () in
   let per_bench =
     List.map
@@ -398,38 +422,14 @@ let run_perf () =
         Pdw.optimize ~config:(exact_ilp_config ~warm_start:false) exact_s)
   in
   let stage_ms =
-    let tally = Hashtbl.create 16 in
-    List.iteri
-      (fun i (e : Trace.event) ->
-        if i >= events_before && List.mem e.Trace.name stage_names then
-          let prev =
-            match Hashtbl.find_opt tally e.Trace.name with
-            | Some ms -> ms
-            | None -> 0.0
-          in
-          Hashtbl.replace tally e.Trace.name (prev +. (e.Trace.dur *. 1000.0)))
-      (Trace.events ());
-    List.filter_map
-      (fun name ->
-        match Hashtbl.find_opt tally name with
-        | Some ms -> Some (name, J.Float ms)
-        | None -> None)
-      stage_names
+    List.map
+      (fun (name, ms) -> (name, J.Float ms))
+      (Trace_export.stage_totals ~since:events_before ~names:stage_names ())
   in
   let counters_json =
-    List.filter_map
-      (fun (name, kind, v) ->
-        let v =
-          match kind with
-          | Counters.Counter -> (
-            v
-            - match List.assoc_opt name counters_before with
-              | Some before -> before
-              | None -> 0)
-          | Counters.Gauge -> v
-        in
-        if v = 0 then None else Some (name, J.Int v))
-      (Counters.all ())
+    List.map
+      (fun (name, _, v) -> (name, J.Int v))
+      (Counters.delta ~since:counters_before)
   in
   let planner_fields ms (o : Wash_plan.outcome) =
     let m = o.Wash_plan.metrics in
@@ -445,7 +445,9 @@ let run_perf () =
       [
         ("schema", J.String "pathdriver-wash/bench-solver/v2");
         ("mode", J.String "perf");
-        ("domains", J.Int (Pdw_wash.Domain_pool.default_size ()));
+        ("git_commit", J.String (git_commit ()));
+        ("generated_at", J.String (iso8601_now ()));
+        ("domains", J.Int pool_domains);
         ( "benchmarks",
           J.List
             (List.map
@@ -479,9 +481,118 @@ let run_perf () =
      %.1f ms)@."
     path optimize_wall_ms warm_ms cold_ms
 
+(* The CI perf-regression gate: diff two BENCH_solver.json snapshots
+   (schema v2).  Solution metrics — n_wash, l_wash_mm, t_assay_s — must
+   be identical: any drift means planner behaviour changed, and the gate
+   hard-fails.  Wall times wobble with machine and load, so they fail
+   only beyond [tolerance], the maximum allowed new/baseline ratio.
+   Provenance fields (git_commit, generated_at, domains) are ignored. *)
+let run_compare ~tolerance baseline_path new_path =
+  let module J = Pdw_obs.Json in
+  let load path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error m -> Error m
+    | text -> (
+      match J.parse text with
+      | Error m -> Error (Printf.sprintf "%s: %s" path m)
+      | Ok j -> Ok j)
+  in
+  match (load baseline_path, load new_path) with
+  | Error m, _ | _, Error m ->
+    prerr_endline ("compare: " ^ m);
+    1
+  | Ok base, Ok next ->
+    let failures = ref 0 in
+    let checks = ref 0 in
+    let fail fmt =
+      incr failures;
+      Printf.ksprintf (fun s -> Printf.printf "FAIL %s\n" s) fmt
+    in
+    let str k j = Option.bind (J.member k j) J.to_str in
+    let num k j = Option.bind (J.member k j) J.to_float in
+    (match (str "schema" base, str "schema" next) with
+    | Some a, Some b when a = b -> ()
+    | a, b ->
+      fail "schema mismatch: %s vs %s"
+        (Option.value a ~default:"(none)")
+        (Option.value b ~default:"(none)"));
+    let bench_list j =
+      match Option.bind (J.member "benchmarks" j) J.to_list with
+      | None -> []
+      | Some l ->
+        List.filter_map
+          (fun o ->
+            match str "name" o with Some n -> Some (n, o) | None -> None)
+          l
+    in
+    let check_entry label b n =
+      List.iter
+        (fun k ->
+          incr checks;
+          match (num k b, num k n) with
+          | Some x, Some y when x = y -> ()
+          | Some x, Some y ->
+            fail "%s %s: %g -> %g (solution metric changed)" label k x y
+          | _ -> fail "%s %s: missing" label k)
+        [ "n_wash"; "l_wash_mm"; "t_assay_s" ];
+      incr checks;
+      match (num "wall_ms" b, num "wall_ms" n) with
+      | Some x, Some y ->
+        if x > 0.0 && y > tolerance *. x then
+          fail "%s wall_ms: %.1f -> %.1f (over %.2fx tolerance)" label x y
+            tolerance
+        else Printf.printf "  ok %-28s wall %8.1f -> %8.1f ms\n" label x y
+      | _ -> fail "%s wall_ms: missing" label
+    in
+    let base_benches = bench_list base in
+    let next_benches = bench_list next in
+    List.iter
+      (fun (name, b) ->
+        match List.assoc_opt name next_benches with
+        | None -> fail "benchmark %s: missing from %s" name new_path
+        | Some n ->
+          List.iter
+            (fun m ->
+              match (J.member m b, J.member m n) with
+              | Some bo, Some no -> check_entry (name ^ "/" ^ m) bo no
+              | _ -> fail "benchmark %s: method %s missing" name m)
+            [ "pdw"; "dawo" ])
+      base_benches;
+    List.iter
+      (fun (name, _) ->
+        if not (List.mem_assoc name base_benches) then
+          fail "benchmark %s: not in baseline" name)
+      next_benches;
+    (match (J.member "exact_ilp" base, J.member "exact_ilp" next) with
+    | Some b, Some n ->
+      List.iter
+        (fun m ->
+          match (J.member m b, J.member m n) with
+          | Some bo, Some no -> check_entry ("exact_ilp/" ^ m) bo no
+          | _ -> fail "exact_ilp/%s: missing" m)
+        [ "warm_start"; "cold_start" ]
+    | _ -> fail "exact_ilp: missing");
+    (match (num "optimize_wall_ms" base, num "optimize_wall_ms" next) with
+    | Some x, Some y when x > 0.0 && y > tolerance *. x ->
+      fail "optimize_wall_ms: %.1f -> %.1f (over %.2fx tolerance)" x y
+        tolerance
+    | Some _, Some _ -> ()
+    | _ -> fail "optimize_wall_ms: missing");
+    if !failures = 0 then begin
+      Printf.printf "compare: OK (%d checks, wall-time tolerance %.2fx)\n"
+        !checks tolerance;
+      0
+    end
+    else begin
+      Printf.printf "compare: FAIL (%d finding(s) across %d checks)\n"
+        !failures !checks;
+      1
+    end
+
 let usage () =
   print_endline
-    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf] [--trace FILE] [--stats]"
+    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf] [--trace FILE] [--stats]\n\
+    \       main.exe compare BASELINE.json NEW.json [--tolerance RATIO]"
 
 (* Pull [--trace FILE] / [--stats] out of the argument list; either flag
    enables the observability layer before any job runs. *)
@@ -516,6 +627,28 @@ let () =
     Trace.set_enabled true;
     Counters.set_enabled true
   end;
+  (match args with
+  | "compare" :: rest ->
+    let rec split tol acc = function
+      | [] -> (tol, List.rev acc)
+      | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t -> split t acc rest
+        | None ->
+          usage ();
+          exit 1)
+      | [ "--tolerance" ] ->
+        usage ();
+        exit 1
+      | a :: rest -> split tol (a :: acc) rest
+    in
+    let tolerance, paths = split 1.5 [] rest in
+    (match paths with
+    | [ baseline; next ] -> exit (run_compare ~tolerance baseline next)
+    | _ ->
+      usage ();
+      exit 1)
+  | _ -> ());
   let jobs =
     match args with
     | [] | [ "all" ] ->

@@ -1,7 +1,7 @@
 (* The `pdw` command-line tool: run PathDriver-Wash or the DAWO baseline
    on the published benchmarks (or the motivating example), inspect
-   layouts, schedules and necessity analyses, and regenerate the paper's
-   experiments. *)
+   layouts, schedules and necessity analyses, explain individual wash
+   decisions from the ledger, and regenerate the paper's experiments. *)
 
 module Benchmarks = Pdw_assay.Benchmarks
 module Sequencing_graph = Pdw_assay.Sequencing_graph
@@ -16,6 +16,8 @@ module Dawo = Pdw_wash.Dawo
 module Wash_plan = Pdw_wash.Wash_plan
 module Metrics = Pdw_wash.Metrics
 module Report = Pdw_wash.Report
+module Explain = Pdw_wash.Explain
+module Events = Pdw_obs.Events
 
 let benchmark_names =
   [ "pcr"; "ivd"; "proteinsplit"; "kinase act-1"; "kinase act-2";
@@ -37,6 +39,145 @@ let synthesize name b =
   if is_motivating name then
     Synthesis.synthesize ~layout:(Layout_builder.fig2_layout ()) b
   else Synthesis.synthesize b
+
+(* --- observability flags, shared by every planner-running subcommand --- *)
+
+type obs = {
+  trace_file : string option;
+  stats : bool;
+  events_file : string option;
+  report_file : string option;
+}
+
+(* A planner run worth reporting on: benchmark name, its synthesis and
+   the outcome.  Multi-run subcommands (compare, table2) report their
+   last PDW run. *)
+type run_ctx = {
+  ctx_name : string;
+  ctx_synthesis : Synthesis.t;
+  ctx_outcome : Wash_plan.outcome;
+}
+
+let obs_setup obs =
+  let report = obs.report_file <> None in
+  if obs.trace_file <> None || obs.stats || report then begin
+    Pdw_obs.Trace.set_enabled true;
+    Pdw_obs.Counters.set_enabled true
+  end;
+  if obs.events_file <> None || report then Events.set_enabled true
+
+(* Same stage vocabulary bench/main.ml folds into BENCH_solver.json. *)
+let report_stage_names =
+  [ "synthesis.synthesize"; "plan.necessity"; "plan.grouping"; "plan.paths";
+    "plan.reschedule"; "simplex.solve"; "bb.node"; "router.flush" ]
+
+let wash_rows () =
+  let n = ref 0 in
+  List.filter_map
+    (function
+      | Events.Wash_path
+          {
+            round;
+            wash_task;
+            group;
+            targets;
+            window;
+            finder;
+            flow_port;
+            waste_port;
+            length;
+            merged_removals;
+            _;
+          } ->
+        incr n;
+        Some
+          {
+            Pdw_viz.Report_html.ordinal = !n;
+            task = wash_task;
+            round;
+            group;
+            n_targets = List.length targets;
+            length;
+            window;
+            finder;
+            flow_port;
+            waste_port;
+            n_merged = List.length merged_removals;
+          }
+      | _ -> None)
+    (Events.events ())
+
+let write_report file ctx =
+  let outcome = ctx.ctx_outcome in
+  let highlight =
+    List.mapi
+      (fun i (t : Pdw_synth.Task.t) ->
+        (Printf.sprintf "wash %d" (i + 1), t.Pdw_synth.Task.path))
+      outcome.Wash_plan.washes
+  in
+  let layout_svg =
+    Pdw_viz.Layout_svg.render ~highlight ctx.ctx_synthesis.Synthesis.layout
+  in
+  let gantt_svg = Pdw_viz.Gantt_svg.render outcome.Wash_plan.schedule in
+  let m = outcome.Wash_plan.metrics in
+  let metrics =
+    [
+      ("benchmark", ctx.ctx_name);
+      ("washes", string_of_int m.Metrics.n_wash);
+      ("wash length (mm)", Printf.sprintf "%.1f" m.Metrics.l_wash_mm);
+      ("assay time (s)", string_of_int m.Metrics.t_assay);
+      ("delay (s)", string_of_int m.Metrics.t_delay);
+      ("buffer (µL)", Printf.sprintf "%.1f" m.Metrics.buffer_ul);
+      ("objective (Eq. 26)", Printf.sprintf "%.3f" m.Metrics.objective);
+      ("rounds", string_of_int outcome.Wash_plan.rounds);
+      ("converged", string_of_bool outcome.Wash_plan.converged);
+    ]
+  in
+  let stage_ms =
+    Pdw_obs.Trace_export.stage_totals ~names:report_stage_names ()
+  in
+  let counters =
+    List.filter_map
+      (fun (name, _, v) -> if v <> 0 then Some (name, v) else None)
+      (Pdw_obs.Counters.all ())
+  in
+  let html =
+    Pdw_viz.Report_html.render
+      ~title:("PathDriver-Wash run: " ^ ctx.ctx_name)
+      ~layout_svg ~gantt_svg ~metrics ~stage_ms ~counters
+      ~washes:(wash_rows ())
+  in
+  Pdw_viz.Report_html.write file html;
+  Format.eprintf "report: wrote %s@." file
+
+let obs_finish obs ctx =
+  (match obs.trace_file with
+  | Some file ->
+    Pdw_obs.Trace_export.write_chrome file;
+    Format.eprintf "trace: wrote %s (%d spans)@." file
+      (Pdw_obs.Trace.num_events ())
+  | None -> ());
+  if obs.stats then Pdw_obs.Trace_export.summary Format.err_formatter;
+  (match obs.events_file with
+  | Some file ->
+    Events.write_jsonl file;
+    Format.eprintf "events: wrote %s (%d events%s)@." file
+      (Events.num_events ())
+      (let d = Events.dropped () in
+       if d = 0 then "" else Printf.sprintf ", %d dropped" d)
+  | None -> ());
+  match (obs.report_file, ctx) with
+  | Some file, Some ctx -> write_report file ctx
+  | Some _, None -> Format.eprintf "report: no planner run to report@."
+  | None, _ -> ()
+
+(* Runs [f] (which returns an exit code plus the run to report on) under
+   the requested observability, then writes trace/ledger/report files. *)
+let with_obs obs f =
+  obs_setup obs;
+  let code, ctx = f () in
+  obs_finish obs ctx;
+  code
 
 (* --- subcommand implementations --- *)
 
@@ -94,17 +235,13 @@ let setup_logs verbose =
   end
 
 let cmd_run name method_ show_schedule as_json verbose no_necessity
-    no_integration ilp_paths dissolution trace_file stats =
+    no_integration ilp_paths dissolution obs =
   setup_logs verbose;
-  let instrumented = trace_file <> None || stats in
-  if instrumented then begin
-    Pdw_obs.Trace.set_enabled true;
-    Pdw_obs.Counters.set_enabled true
-  end;
+  with_obs obs @@ fun () ->
   match load name with
   | Error (`Msg m) ->
     prerr_endline m;
-    1
+    (1, None)
   | Ok b ->
     let s = synthesize name b in
     let config =
@@ -138,20 +275,15 @@ let cmd_run name method_ show_schedule as_json verbose no_necessity
       if show_schedule then
         Format.printf "@.%a@." Schedule.pp outcome.Wash_plan.schedule
     end;
-    (match trace_file with
-    | Some file ->
-      Pdw_obs.Trace_export.write_chrome file;
-      Format.eprintf "trace: wrote %s (%d spans)@." file
-        (Pdw_obs.Trace.num_events ())
-    | None -> ());
-    if stats then Pdw_obs.Trace_export.summary Format.err_formatter;
-    if outcome.Wash_plan.converged then 0 else 2
+    ( (if outcome.Wash_plan.converged then 0 else 2),
+      Some { ctx_name = name; ctx_synthesis = s; ctx_outcome = outcome } )
 
-let cmd_compare name =
+let cmd_compare name obs =
+  with_obs obs @@ fun () ->
   match load name with
   | Error (`Msg m) ->
     prerr_endline m;
-    1
+    (1, None)
   | Ok b ->
     let s = synthesize name b in
     let dawo = Dawo.optimize s in
@@ -162,28 +294,34 @@ let cmd_compare name =
         dawo pdw
     in
     Report.print_table2 Format.std_formatter [ row ];
-    0
+    (0, Some { ctx_name = name; ctx_synthesis = s; ctx_outcome = pdw })
 
-let cmd_table2 () =
+let cmd_table2 obs =
+  with_obs obs @@ fun () ->
+  let last = ref None in
   let rows =
     List.map
       (fun (name, (b : Benchmarks.t)) ->
         let s = Synthesis.synthesize b in
+        let dawo = Dawo.optimize s in
+        let pdw = Pdw.optimize s in
+        last := Some { ctx_name = name; ctx_synthesis = s; ctx_outcome = pdw };
         Report.row ~name
           ~device_count:(List.length b.Benchmarks.device_kinds)
-          (Dawo.optimize s) (Pdw.optimize s))
+          dawo pdw)
       (Benchmarks.all ())
   in
   Report.print_table2 Format.std_formatter rows;
   Report.print_fig4 Format.std_formatter rows;
   Report.print_fig5 Format.std_formatter rows;
-  0
+  (0, !last)
 
-let cmd_render name output =
+let cmd_render name output obs =
+  with_obs obs @@ fun () ->
   match load name with
   | Error (`Msg m) ->
     prerr_endline m;
-    1
+    (1, None)
   | Ok b ->
     let s = synthesize name b in
     let outcome = Pdw.optimize s in
@@ -205,13 +343,14 @@ let cmd_render name output =
     in
     write (output ^ "-layout.svg") layout_svg;
     write (output ^ "-schedule.svg") gantt_svg;
-    0
+    (0, Some { ctx_name = name; ctx_synthesis = s; ctx_outcome = outcome })
 
-let cmd_animate name time =
+let cmd_animate name time obs =
+  with_obs obs @@ fun () ->
   match load name with
   | Error (`Msg m) ->
     prerr_endline m;
-    1
+    (1, None)
   | Ok b ->
     let s = synthesize name b in
     let outcome = Pdw.optimize s in
@@ -223,13 +362,14 @@ let cmd_animate name time =
       horizon
       (100.0 *. Pdw_sim.Flow_sim.utilization sim)
       (Pdw_sim.Flow_sim.render_frame sim ~time:t);
-    0
+    (0, Some { ctx_name = name; ctx_synthesis = s; ctx_outcome = outcome })
 
-let cmd_actuations name =
+let cmd_actuations name obs =
+  with_obs obs @@ fun () ->
   match load name with
   | Error (`Msg m) ->
     prerr_endline m;
-    1
+    (1, None)
   | Ok b ->
     let s = synthesize name b in
     let outcome = Pdw.optimize s in
@@ -249,42 +389,46 @@ let cmd_actuations name =
             (Pdw_geometry.Coord.to_string valve)
             n)
       (Pdw_synth.Actuation.per_valve plan);
-    0
+    (0, Some { ctx_name = name; ctx_synthesis = s; ctx_outcome = outcome })
 
-let cmd_optimize_file path =
+let cmd_optimize_file path obs =
+  with_obs obs @@ fun () ->
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error m ->
     prerr_endline m;
-    1
+    (1, None)
   | text -> (
     match Pdw_assay.Assay_parser.parse text with
     | Error m ->
       Printf.eprintf "%s: %s\n" path m;
-      1
+      (1, None)
     | Ok b ->
       let s = Synthesis.synthesize b in
       let outcome = Pdw.optimize s in
       Format.printf "PDW on %s: %a@." path Metrics.pp
         outcome.Wash_plan.metrics;
       Format.printf "%a@." Schedule.pp outcome.Wash_plan.schedule;
-      if outcome.Wash_plan.converged then 0 else 2)
+      ( (if outcome.Wash_plan.converged then 0 else 2),
+        Some { ctx_name = path; ctx_synthesis = s; ctx_outcome = outcome } ))
 
-let cmd_paths name =
+let cmd_paths name obs =
+  with_obs obs @@ fun () ->
   match load name with
   | Error (`Msg m) ->
     prerr_endline m;
-    1
+    (1, None)
   | Ok b ->
     let s = synthesize name b in
     let outcome = Pdw.optimize s in
     Report.print_flow_paths Format.std_formatter outcome.Wash_plan.schedule;
-    0
+    (0, Some { ctx_name = name; ctx_synthesis = s; ctx_outcome = outcome })
 
-let cmd_verify name method_ =
+let cmd_verify name method_ obs =
+  with_obs obs @@ fun () ->
   match load name with
   | Error (`Msg m) ->
     prerr_endline m;
-    1
+    (1, None)
   | Ok b ->
     let s = synthesize name b in
     let outcome =
@@ -294,7 +438,67 @@ let cmd_verify name method_ =
     in
     let report = Pdw_check.Validate.outcome outcome in
     Format.printf "%a@." Pdw_check.Validate.pp report;
-    if Pdw_check.Validate.ok report then 0 else 2
+    ( (if Pdw_check.Validate.ok report then 0 else 2),
+      Some { ctx_name = name; ctx_synthesis = s; ctx_outcome = outcome } )
+
+let cmd_explain name ledger method_ cell_opt wash_opt obs =
+  with_obs obs @@ fun () ->
+  let events_result =
+    match (ledger, name) with
+    | Some file, _ ->
+      Result.map (fun es -> (es, None)) (Events.load_jsonl file)
+    | None, None ->
+      Error "explain: give a BENCHMARK to re-run, or --ledger FILE"
+    | None, Some name -> (
+      match load name with
+      | Error (`Msg m) -> Error m
+      | Ok b ->
+        (* Re-run the planner with the ledger on; start it clean so wash
+           ordinals are stable regardless of the surrounding flags. *)
+        Events.set_enabled true;
+        Events.reset ();
+        let s = synthesize name b in
+        let outcome =
+          match method_ with
+          | `Pdw -> Pdw.optimize s
+          | `Dawo -> Dawo.optimize s
+        in
+        Ok
+          ( Events.events (),
+            Some { ctx_name = name; ctx_synthesis = s; ctx_outcome = outcome }
+          ))
+  in
+  match events_result with
+  | Error m ->
+    prerr_endline m;
+    (1, None)
+  | Ok (events, ctx) ->
+    let code = ref 0 in
+    (match cell_opt with
+    | Some (x, y) -> (
+      match Explain.cell ~events ~x ~y with
+      | Some text -> print_string text
+      | None ->
+        Printf.printf
+          "cell (%d,%d): no ledger entries — the cell was never \
+           contaminated\n"
+          x y;
+        code := 1)
+    | None -> ());
+    (match wash_opt with
+    | Some n -> (
+      match Explain.wash ~events n with
+      | Some text -> print_string text
+      | None ->
+        Printf.printf "wash #%d: not in the ledger (%d washes recorded)\n" n
+          (Explain.num_washes ~events);
+        code := 1)
+    | None -> ());
+    if cell_opt = None && wash_opt = None then begin
+      print_endline (Explain.digest ~events);
+      print_endline "hint: ask --cell X,Y or --wash N"
+    end;
+    (!code, ctx)
 
 (* --- cmdliner wiring --- *)
 
@@ -338,17 +542,35 @@ let dissolution_arg =
   let doc = "Contaminant dissolution time t_d in seconds (Eq. 17)." in
   Arg.(value & opt (some int) None & info [ "dissolution" ] ~docv:"SECONDS" ~doc)
 
-let trace_arg =
-  let doc =
-    "Record tracing spans and write a Chrome-trace JSON to $(docv)      (open it at chrome://tracing or ui.perfetto.dev)."
+let obs_term =
+  let trace_arg =
+    let doc =
+      "Record tracing spans and write a Chrome-trace JSON to $(docv)      (open it at chrome://tracing or ui.perfetto.dev)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-let stats_arg =
-  let doc =
-    "Print the span summary tree and counter table to stderr after the      run."
+  let stats_arg =
+    let doc =
+      "Print the span summary tree and counter table to stderr after the      run."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
   in
-  Arg.(value & flag & info [ "stats" ] ~doc)
+  let events_arg =
+    let doc =
+      "Record the decision ledger and write it as JSONL to $(docv)      (one typed event per line; feed it back with $(b,pdw explain      --ledger))."
+    in
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  let report_arg =
+    let doc =
+      "Write a self-contained HTML run report to $(docv): layout and      Gantt SVGs, metrics, stage timings, counters and the sortable      wash-decision table.  Implies tracing, counters and the decision      ledger.  Multi-run subcommands report their last PDW run."
+    in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  in
+  Term.(
+    const (fun trace_file stats events_file report_file ->
+        { trace_file; stats; events_file; report_file })
+    $ trace_arg $ stats_arg $ events_arg $ report_arg)
 
 let list_cmd =
   let doc = "List the available benchmarks with their |O|/|D|/|E| stats." in
@@ -368,15 +590,16 @@ let run_cmd =
     Term.(
       const cmd_run $ benchmark_arg $ method_arg $ schedule_arg $ json_arg
       $ verbose_arg $ no_necessity_arg $ no_integration_arg $ ilp_paths_arg
-      $ dissolution_arg $ trace_arg $ stats_arg)
+      $ dissolution_arg $ obs_term)
 
 let compare_cmd =
   let doc = "Compare PDW against DAWO on one benchmark." in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(const cmd_compare $ benchmark_arg)
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const cmd_compare $ benchmark_arg $ obs_term)
 
 let table2_cmd =
   let doc = "Regenerate Table II and Figs. 4-5 over all eight benchmarks." in
-  Cmd.v (Cmd.info "table2" ~doc) Term.(const cmd_table2 $ const ())
+  Cmd.v (Cmd.info "table2" ~doc) Term.(const cmd_table2 $ obs_term)
 
 let render_cmd =
   let output =
@@ -385,7 +608,7 @@ let render_cmd =
   in
   let doc = "Render the optimized chip and schedule as SVG files." in
   Cmd.v (Cmd.info "render" ~doc)
-    Term.(const cmd_render $ benchmark_arg $ output)
+    Term.(const cmd_render $ benchmark_arg $ output $ obs_term)
 
 let animate_cmd =
   let time =
@@ -394,12 +617,12 @@ let animate_cmd =
   in
   let doc = "Show the simulated chip state at a given second." in
   Cmd.v (Cmd.info "animate" ~doc)
-    Term.(const cmd_animate $ benchmark_arg $ time)
+    Term.(const cmd_animate $ benchmark_arg $ time $ obs_term)
 
 let actuations_cmd =
   let doc = "Derive the valve actuation plan of the optimized schedule." in
   Cmd.v (Cmd.info "actuations" ~doc)
-    Term.(const cmd_actuations $ benchmark_arg)
+    Term.(const cmd_actuations $ benchmark_arg $ obs_term)
 
 let optimize_file_cmd =
   let file =
@@ -408,25 +631,73 @@ let optimize_file_cmd =
   in
   let doc = "Synthesize and optimize an assay from a text file." in
   Cmd.v (Cmd.info "optimize-file" ~doc)
-    Term.(const cmd_optimize_file $ file)
+    Term.(const cmd_optimize_file $ file $ obs_term)
 
 let paths_cmd =
   let doc = "List every flow path of the optimized schedule (Table I style)." in
-  Cmd.v (Cmd.info "paths" ~doc) Term.(const cmd_paths $ benchmark_arg)
+  Cmd.v (Cmd.info "paths" ~doc)
+    Term.(const cmd_paths $ benchmark_arg $ obs_term)
 
 let verify_cmd =
   let doc =
     "Run every checker (structural, contamination, simulator, actuation)      on an optimized benchmark."
   in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const cmd_verify $ benchmark_arg $ method_arg)
+    Term.(const cmd_verify $ benchmark_arg $ method_arg $ obs_term)
+
+let explain_cmd =
+  let opt_benchmark =
+    let doc =
+      "Benchmark to re-run with the decision ledger on (omit when      loading a ledger with $(b,--ledger))."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let ledger =
+    let doc =
+      "Load the decision ledger from a JSONL file written by      $(b,--events) instead of re-running the planner."
+    in
+    Arg.(value & opt (some file) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+  in
+  let cell =
+    let cell_conv =
+      let parse s =
+        match String.split_on_char ',' s with
+        | [ x; y ] -> (
+          match
+            (int_of_string_opt (String.trim x), int_of_string_opt (String.trim y))
+          with
+          | Some x, Some y -> Ok (x, y)
+          | _ -> Error (`Msg (Printf.sprintf "invalid cell %S, expected X,Y" s)))
+        | _ -> Error (`Msg (Printf.sprintf "invalid cell %S, expected X,Y" s))
+      in
+      let print ppf (x, y) = Format.fprintf ppf "%d,%d" x y in
+      Arg.conv (parse, print)
+    in
+    let doc =
+      "Explain every ledger decision about cell $(docv): why it was      washed or why washing was skipped, with the classification rule      and the later use behind it."
+    in
+    Arg.(value & opt (some cell_conv) None & info [ "cell" ] ~docv:"X,Y" ~doc)
+  in
+  let wash =
+    let doc =
+      "Explain wash number $(docv) (1-based): its targets, group,      merged removals, chosen ports, path and time window."
+    in
+    Arg.(value & opt (some int) None & info [ "wash" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Answer why-questions from the decision ledger: why a cell was      washed or skipped ($(b,--cell)), or the full provenance of one wash      ($(b,--wash))."
+  in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const cmd_explain $ opt_benchmark $ ledger $ method_arg $ cell $ wash
+      $ obs_term)
 
 let main_cmd =
   let doc = "PathDriver-Wash: wash optimization for continuous-flow biochips" in
-  let info = Cmd.info "pdw" ~version:"1.2.0" ~doc in
+  let info = Cmd.info "pdw" ~version:"1.3.0" ~doc in
   Cmd.group info
     [ list_cmd; layout_cmd; necessity_cmd; run_cmd; compare_cmd; table2_cmd;
       render_cmd; animate_cmd; actuations_cmd; optimize_file_cmd;
-      paths_cmd; verify_cmd ]
+      paths_cmd; verify_cmd; explain_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -8,6 +8,7 @@ let policy =
     grouping = Wash_target.group_by_use;
     integrate = false;
     conflict_aware = false;
+    finder = "dawo-bfs";
     path_finder;
   }
 

@@ -1,0 +1,230 @@
+module Events = Pdw_obs.Events
+
+let buf_out f =
+  let b = Buffer.create 512 in
+  f b;
+  Buffer.contents b
+
+let window_str (a, b) = Printf.sprintf "[%ds, %ds)" a b
+
+(* Wash_path events in ledger (= creation) order, paired with their
+   1-based ordinal so cell explanations can say "wash #3".  Events are
+   kept whole: the payloads are inline records, which cannot escape
+   their match. *)
+let washes_of events =
+  let n = ref 0 in
+  List.filter_map
+    (function
+      | Events.Wash_path _ as e ->
+        incr n;
+        Some (!n, e)
+      | _ -> None)
+    events
+
+(* The classification clauses, spelled out.  Keyed on the rule string so
+   an unknown rule (from a future ledger version) degrades to itself. *)
+let rule_meaning = function
+  | "sensitive-incompatible-flow" ->
+    "the next use is a sensitive flow of a different fluid, so the \
+     residue would contaminate it (r = 1, Sec. III-A)"
+  | "no-later-use" ->
+    "no later schedule entry touches the cell, so the residue can stay \
+     (Type 1)"
+  | "tolerated-co-input" ->
+    "the next flow lists the residue among its tolerated co-inputs \
+     (Type 2)"
+  | "non-contaminating-fluid" ->
+    "the residue fluid cannot contaminate the next flow — same or \
+     compatible fluid type (Type 2)"
+  | "waste-bound-next-use" ->
+    "the next flow over the cell is waste-bound, so contamination is \
+     harmless (Type 3)"
+  | "buffer-front-cleans" ->
+    "a wash-buffer front already scrubs the cell before any sensitive \
+     use"
+  | "insensitive-non-waste-flow" ->
+    "a later flow crosses the cell but the schedule already cleans the \
+     residue first"
+  | other -> other
+
+let covering_washes ~cell events =
+  List.filter
+    (fun (_, e) ->
+      match e with
+      | Events.Wash_path { targets; _ } -> List.mem cell targets
+      | _ -> false)
+    (washes_of events)
+
+let cell ~events ~x ~y =
+  let cell = (x, y) in
+  let verdicts =
+    List.filter
+      (function
+        | Events.Necessity_verdict { cell = c; _ } -> c = cell
+        | _ -> false)
+      events
+  in
+  if verdicts = [] then None
+  else
+    Some
+      (buf_out @@ fun b ->
+       Buffer.add_string b
+         (Printf.sprintf "cell (%d,%d): %d ledger decision(s)\n" x y
+            (List.length verdicts));
+       let covering = covering_washes ~cell events in
+       List.iter
+         (function
+           | Events.Necessity_verdict
+               {
+                 round;
+                 residue;
+                 deposited_at;
+                 source;
+                 verdict;
+                 rule;
+                 next_use;
+                 next_start;
+                 next_fluid;
+                 _;
+               } ->
+             Buffer.add_string b
+               (Printf.sprintf
+                  "- round %d: residue %s deposited at t=%ds by %s\n" round
+                  residue deposited_at source);
+             (match (next_use, next_start) with
+             | Some use, Some t ->
+               Buffer.add_string b
+                 (Printf.sprintf "    next use: %s at t=%ds%s\n" use t
+                    (match next_fluid with
+                    | Some f -> Printf.sprintf " pushing %s" f
+                    | None -> " (buffer)"))
+             | _ -> Buffer.add_string b "    next use: none\n");
+             Buffer.add_string b
+               (Printf.sprintf "    verdict: %s — %s\n" verdict
+                  (rule_meaning rule));
+             if verdict = "needed" then begin
+               let same_round =
+                 List.filter
+                   (fun (_, e) ->
+                     match e with
+                     | Events.Wash_path { round = r; _ } -> r = round
+                     | _ -> false)
+                   covering
+               in
+               match same_round with
+               | (n, Events.Wash_path { wash_task; group; window; _ }) :: _
+                 ->
+                 Buffer.add_string b
+                   (Printf.sprintf
+                      "    -> covered by wash #%d (task %d, group %d, \
+                       window %s)\n"
+                      n wash_task group (window_str window))
+               | _ ->
+                 Buffer.add_string b
+                   "    -> no covering wash recorded this round (later \
+                    round or unconverged)\n"
+             end
+           | _ -> ())
+         verdicts;
+       match covering with
+       | [] -> ()
+       | ws ->
+         Buffer.add_string b
+           (Printf.sprintf "  washed by: %s\n"
+              (String.concat ", "
+                 (List.map (fun (n, _) -> Printf.sprintf "wash #%d" n) ws))))
+
+let num_washes ~events = List.length (washes_of events)
+
+let wash ~events n =
+  match List.find_opt (fun (i, _) -> i = n) (washes_of events) with
+  | Some
+      ( _,
+        Events.Wash_path
+          {
+            round;
+            wash_task;
+            group;
+            targets;
+            window;
+            finder;
+            flow_port;
+            waste_port;
+            flow_candidates;
+            waste_candidates;
+            length;
+            merged_removals;
+            contaminators;
+            use_keys;
+          } ) ->
+    Some
+      (buf_out @@ fun b ->
+       Buffer.add_string b
+         (Printf.sprintf "wash #%d = task %d (round %d, group %d)\n" n
+            wash_task round group);
+       Buffer.add_string b
+         (Printf.sprintf "  targets (%d): %s\n" (List.length targets)
+            (String.concat " "
+               (List.map (fun (x, y) -> Printf.sprintf "(%d,%d)" x y)
+                  targets)));
+       Buffer.add_string b
+         (Printf.sprintf "  contaminated by: %s\n"
+            (match contaminators with
+            | [] -> "(unrecorded)"
+            | cs -> String.concat ", " cs));
+       Buffer.add_string b
+         (Printf.sprintf "  forced by later use: %s\n"
+            (match use_keys with
+            | [] -> "(unrecorded)"
+            | us -> String.concat ", " us));
+       Buffer.add_string b
+         (Printf.sprintf "  window: %s\n" (window_str window));
+       Buffer.add_string b
+         (Printf.sprintf
+            "  path: flow port %d -> waste port %d, %d cells (%s; \
+             considered %d flow x %d waste candidates)\n"
+            flow_port waste_port length finder flow_candidates
+            waste_candidates);
+       match merged_removals with
+       | [] -> Buffer.add_string b "  merged removals: none\n"
+       | ids ->
+         Buffer.add_string b
+           (Printf.sprintf "  merged removals (Eq. (21)): %s\n"
+              (String.concat ", " (List.map (Printf.sprintf "task %d") ids)));
+         List.iter
+           (fun id ->
+             List.iter
+               (function
+                 | Events.Merge_accept
+                     { removal_task; base_len; enlarged_len; budget; window; _ }
+                   when removal_task = id ->
+                   Buffer.add_string b
+                     (Printf.sprintf
+                        "    task %d: path grew %d -> %d cells (budget \
+                         %d), merged window %s\n"
+                        id base_len enlarged_len budget (window_str window))
+                 | _ -> ())
+               events)
+           ids)
+  | _ -> None
+
+let digest ~events =
+  let nv = ref 0
+  and ma = ref 0
+  and mr = ref 0
+  and wp = ref 0
+  and rs = ref 0
+  and ii = ref 0 in
+  List.iter
+    (function
+      | Events.Necessity_verdict _ -> incr nv
+      | Events.Merge_accept _ -> incr ma
+      | Events.Merge_reject _ -> incr mr
+      | Events.Wash_path _ -> incr wp
+      | Events.Reschedule_shift _ -> incr rs
+      | Events.Ilp_incumbent _ -> incr ii)
+    events;
+  Printf.sprintf
+    "ledger: %d events (%d verdicts, %d merges accepted, %d rejected, %d \
+     washes, %d shifts, %d incumbents)"
+    (List.length events) !nv !ma !mr !wp !rs !ii

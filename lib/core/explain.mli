@@ -1,0 +1,30 @@
+(** Answer "why" questions against a decision ledger
+    ([Pdw_obs.Events]): why a contaminated cell was washed or skipped
+    (the Sec. III-A necessity classification, with the exact later use
+    that forced it), and the full provenance chain of one wash —
+    targets, group, ψ-merged removals (Eq. (21)), chosen ports and
+    path, time window.
+
+    The engine is pure over an event list, so the [explain] CLI can
+    feed it either a freshly recorded in-process ledger or one loaded
+    from a [--events] JSONL file. *)
+
+(** [cell ~events ~x ~y] renders every ledger decision about cell
+    [(x, y)]: one paragraph per necessity verdict in ledger order,
+    each naming the classification rule that fired, plus the wash that
+    eventually covered the cell, if any.  [None] when the ledger never
+    mentions the cell. *)
+val cell : events:Pdw_obs.Events.t list -> x:int -> y:int -> string option
+
+(** Number of wash-path decisions in the ledger (creation order, which
+    matches the outcome's wash order). *)
+val num_washes : events:Pdw_obs.Events.t list -> int
+
+(** [wash ~events n] is the provenance chain of the [n]-th wash
+    (1-based): targets → group → ψ-merges → path/ports → time window.
+    [None] when the ledger has fewer than [n] washes. *)
+val wash : events:Pdw_obs.Events.t list -> int -> string option
+
+(** One-line ledger digest: event counts per type, e.g. for a footer
+    under an [explain] answer. *)
+val digest : events:Pdw_obs.Events.t list -> string

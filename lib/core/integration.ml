@@ -26,6 +26,57 @@ let removal_window schedule (task : Task.t) =
     Some (transport_finish, op_start, dst_op, transport)
   | Task.Transport _ | Task.Disposal _ | Task.Wash _ -> None
 
+module Events = Pdw_obs.Events
+
+(* Why no group could absorb a removal: name the constraint of Eq. (21)
+   that blocked — an overlapping-window group whose targets sit too far,
+   or (when not even the windows line up) the group whose window came
+   closest to overlapping. *)
+let emit_no_fit ~release ~deadline ~excess groups
+    (task : Pdw_synth.Task.t) =
+  if Events.enabled () then begin
+    let overlap (g : Wash_target.group) =
+      min g.Wash_target.deadline deadline - max g.Wash_target.release release
+    in
+    let best_by f l =
+      List.fold_left
+        (fun acc g ->
+          match acc with
+          | Some b when f b >= f g -> acc
+          | _ -> Some g)
+        None l
+    in
+    let overlapping =
+      List.filter (fun g -> overlap g > 0) (Array.to_list groups)
+    in
+    let reason, blocking =
+      match overlapping with
+      | [] ->
+        (* No window lines up at all: report the nearest miss. *)
+        ("no-overlapping-window", best_by overlap (Array.to_list groups))
+      | gs ->
+        (* Windows overlapped, so distance blocked: every overlapping
+           group's targets are beyond [radius] (otherwise [fits] would
+           have placed the removal there).  Report the nearest one. *)
+        ( "targets-too-far",
+          best_by (fun g -> -set_distance excess g.Wash_target.targets) gs )
+    in
+    Events.emit
+      (Events.Merge_reject
+         {
+           round = Events.current_round ();
+           removal_task = task.Pdw_synth.Task.id;
+           reason;
+           removal_window = Some (release, deadline);
+           group = Option.map (fun (g : Wash_target.group) -> g.Wash_target.id) blocking;
+           blocking_window =
+             Option.map
+               (fun (g : Wash_target.group) ->
+                 (g.Wash_target.release, g.Wash_target.deadline))
+               blocking;
+         })
+  end
+
 let merge ?(radius = 8) ?(accept = fun ~removal:_ _ -> true) ~schedule
     ~removals groups =
   let groups = Array.of_list groups in
@@ -68,6 +119,8 @@ let merge ?(radius = 8) ?(accept = fun ~removal:_ _ -> true) ~schedule
           in
           if accept ~removal:task enlarged then groups.(i) <- enlarged
           else standalone := task :: !standalone
-        | None -> standalone := task :: !standalone))
+        | None ->
+          emit_no_fit ~release ~deadline ~excess groups task;
+          standalone := task :: !standalone))
     removals;
   (Array.to_list groups, List.rev !standalone)

@@ -114,6 +114,25 @@ let verdict_to_string = function
   | Type3_waste_only -> "type3:waste-only"
   | Washed -> "washed"
 
+(* Mirror of [classify], naming the clause instead of the verdict: the
+   decision ledger records both so `explain` can answer *why* a cell was
+   skipped, not just which bucket it fell into. *)
+let rule (e : event) =
+  match (e.verdict, e.next_use) with
+  | Type1_unused, _ -> "no-later-use"
+  | Washed, Some touch -> (
+    match touch.Contamination.incoming with
+    | None -> "buffer-front-cleans"
+    | Some _ -> "insensitive-non-waste-flow")
+  | Washed, None -> "buffer-front-cleans"
+  | Type2_same_fluid, Some touch ->
+    if List.exists (Fluid.equal e.fluid) touch.Contamination.tolerates then
+      "tolerated-co-input"
+    else "non-contaminating-fluid"
+  | Type2_same_fluid, None -> "non-contaminating-fluid"
+  | Type3_waste_only, _ -> "waste-bound-next-use"
+  | Needed, _ -> "sensitive-incompatible-flow"
+
 let pp_event ppf e =
   Format.fprintf ppf "%a %a@%d by %s -> %s" Coord.pp e.cell Fluid.pp e.fluid
     e.time

@@ -52,5 +52,17 @@ val dawo_demands : report -> event list
     (needed, type1, type2, type3, washed). *)
 val counts : report -> int * int * int * int * int
 
+(** Canonical verdict name ([needed], [type1:unused], ...), as written
+    into the decision ledger. *)
+val verdict_to_string : verdict -> string
+
+(** The exact classification clause that fired for an event, e.g.
+    [no-later-use] (Type 1), [tolerated-co-input] vs
+    [non-contaminating-fluid] (the two Type 2 subcases),
+    [waste-bound-next-use] (Type 3), [buffer-front-cleans] /
+    [insensitive-non-waste-flow] (washed) or
+    [sensitive-incompatible-flow] (needed). *)
+val rule : event -> string
+
 (** Human-readable rendering of one classified event. *)
 val pp_event : Format.formatter -> event -> unit

@@ -54,6 +54,7 @@ let policy config =
     grouping;
     integrate = config.integrate;
     conflict_aware = config.conflict_aware;
+    finder = (if config.use_ilp_paths then "ilp" else "heuristic");
     path_finder;
   }
 

@@ -9,6 +9,7 @@ type policy = {
   grouping : Necessity.event list -> Wash_target.group list;
   integrate : bool;
   conflict_aware : bool;
+  finder : string;
   path_finder :
     layout:Pdw_biochip.Layout.t ->
     schedule:Schedule.t ->
@@ -32,6 +33,41 @@ type outcome = {
 let fail fmt = Printf.ksprintf invalid_arg fmt
 
 module Trace = Pdw_obs.Trace
+module Events = Pdw_obs.Events
+
+(* Every contamination verdict of a round, with the clause that fired
+   and the later use that forced (or excused) the wash — the wash-
+   necessity half of the decision ledger (Sec. III-A). *)
+let emit_necessity round report =
+  if Events.enabled () then
+    List.iter
+      (fun (e : Necessity.event) ->
+        let next = e.Necessity.next_use in
+        Events.emit
+          (Events.Necessity_verdict
+             {
+               round;
+               cell = (e.Necessity.cell.Coord.x, e.Necessity.cell.Coord.y);
+               residue = Pdw_biochip.Fluid.to_string e.Necessity.fluid;
+               deposited_at = e.Necessity.time;
+               source = Scheduler.Key.to_string e.Necessity.source;
+               verdict = Necessity.verdict_to_string e.Necessity.verdict;
+               rule = Necessity.rule e;
+               next_use =
+                 Option.map
+                   (fun (t : Contamination.touch) ->
+                     Scheduler.Key.to_string t.Contamination.key)
+                   next;
+               next_start =
+                 Option.map
+                   (fun (t : Contamination.touch) -> t.Contamination.start)
+                   next;
+               next_fluid =
+                 Option.bind next (fun (t : Contamination.touch) ->
+                     Option.map Pdw_biochip.Fluid.to_string
+                       t.Contamination.incoming);
+             }))
+      (Necessity.events report)
 
 let c_rounds = Pdw_obs.Counters.counter "core.plan.rounds"
 let c_groups = Pdw_obs.Counters.counter "core.plan.wash_groups"
@@ -125,7 +161,7 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
       policy.path_finder ~layout ~schedule:current_schedule
         ~conflict_aware:policy.conflict_aware g
     with
-    | Some (p, _, _) -> make_wash current_schedule g p
+    | Some (p, fp, wp) -> make_wash current_schedule g p ~ports:(fp, wp)
     | None ->
       if Coord.Set.cardinal g.Wash_target.targets <= 1 then
         fail "Wash_plan: no wash path covers group %d (%d targets)"
@@ -136,7 +172,8 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
         add_group current_schedule a;
         add_group current_schedule b
       end
-  and make_wash _current_schedule (g : Wash_target.group) path =
+  and make_wash _current_schedule (g : Wash_target.group) path
+      ~ports:(flow_port, waste_port) =
     let wash =
       Task.make ~id:(fresh ())
         ~purpose:
@@ -150,6 +187,35 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
              })
         ~path
     in
+    if Events.enabled () then
+      Events.emit
+        (Events.Wash_path
+           {
+             round = Events.current_round ();
+             wash_task = wash.Task.id;
+             group = g.Wash_target.id;
+             targets =
+               List.map
+                 (fun (c : Coord.t) -> (c.Coord.x, c.Coord.y))
+                 (Coord.Set.elements g.Wash_target.targets);
+             window = (g.Wash_target.release, g.Wash_target.deadline);
+             finder = policy.finder;
+             flow_port;
+             waste_port;
+             flow_candidates =
+               List.length (Pdw_biochip.Layout.flow_ports layout);
+             waste_candidates =
+               List.length (Pdw_biochip.Layout.waste_ports layout);
+             length = Pdw_geometry.Gpath.length path;
+             merged_removals =
+               List.map
+                 (fun (t : Task.t) -> t.Task.id)
+                 g.Wash_target.merged_removals;
+             contaminators =
+               List.map Scheduler.Key.to_string g.Wash_target.contaminators;
+             use_keys =
+               List.map Scheduler.Key.to_string g.Wash_target.use_keys;
+           });
     washes := wash :: !washes;
     let wash_key = Scheduler.Key.Tsk wash.Task.id in
     List.iter
@@ -161,6 +227,14 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
     rank_override :=
       (wash_key, wash_rank synthesis !tasks g) :: !rank_override
   in
+  (* Start seconds of every operation, for the ledger's before/after
+     reschedule deltas. *)
+  let op_starts sched =
+    List.init num_ops (fun op ->
+        match Schedule.op_run sched op with
+        | start, _, _ -> Some start
+        | exception Not_found -> None)
+  in
   let reschedule () =
     Trace.with_span ~cat:"core" "plan.reschedule" @@ fun () ->
     let all_tasks = !tasks @ !washes in
@@ -168,17 +242,37 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
       key_exists all_tasks num_ops a && key_exists all_tasks num_ops b
     in
     let edges = List.filter keep !extra_after in
+    let before = if Events.enabled () then Some (op_starts !schedule) else None in
     schedule :=
       Synthesis.reschedule synthesis ~tasks:all_tasks ?dissolution
-        ~extra_after:edges ~rank_override:!rank_override ()
+        ~extra_after:edges ~rank_override:!rank_override ();
+    match before with
+    | None -> ()
+    | Some before ->
+      List.iteri
+        (fun op after ->
+          match (List.nth before op, after) with
+          | Some from_start, Some to_start when from_start <> to_start ->
+            Events.emit
+              (Events.Reschedule_shift
+                 {
+                   round = Events.current_round ();
+                   key = Scheduler.Key.to_string (Scheduler.Key.Op op);
+                   from_start;
+                   to_start;
+                 })
+          | _ -> ())
+        (op_starts !schedule)
   in
   let history = ref [] in
   let rec iterate round =
     Pdw_obs.Counters.incr c_rounds;
+    Events.set_round round;
     let events =
       Trace.with_span ~cat:"core" "plan.necessity"
         ~args:[ ("round", string_of_int round) ] (fun () ->
           let report = Necessity.analyze (Contamination.analyze !schedule) in
+          emit_necessity round report;
           policy.demands report)
     in
     history := List.length events :: !history;
@@ -216,10 +310,25 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
               | None -> ())
             groups;
           let accept ~removal (g : Wash_target.group) =
+            let reject reason =
+              if Events.enabled () then
+                Events.emit
+                  (Events.Merge_reject
+                     {
+                       round;
+                       removal_task = removal.Task.id;
+                       reason;
+                       removal_window = None;
+                       group = Some g.Wash_target.id;
+                       blocking_window =
+                         Some (g.Wash_target.release, g.Wash_target.deadline);
+                     });
+              false
+            in
             match
               (Hashtbl.find_opt base_len g.Wash_target.id, path_len g)
             with
-            | None, _ | _, None -> false
+            | None, _ | _, None -> reject "no-covering-path"
             | Some current, Some enlarged_len ->
               (* Growth budget: a handful of cells, and never more than
                  the removal path being replaced — beyond that the beta
@@ -230,9 +339,22 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
               in
               if enlarged_len - current <= budget then begin
                 Hashtbl.replace base_len g.Wash_target.id enlarged_len;
+                if Events.enabled () then
+                  Events.emit
+                    (Events.Merge_accept
+                       {
+                         round;
+                         removal_task = removal.Task.id;
+                         group = g.Wash_target.id;
+                         base_len = current;
+                         enlarged_len;
+                         budget;
+                         window =
+                           (g.Wash_target.release, g.Wash_target.deadline);
+                       });
                 true
               end
-              else false
+              else reject "path-growth"
           in
           let merged_groups, _standalone =
             Integration.merge ~accept ~schedule:!schedule ~removals groups

@@ -16,6 +16,11 @@ type policy = {
       (** absorb excess-fluid removals into wash paths (Eq. (21)) *)
   conflict_aware : bool;
       (** choose wash paths avoiding concurrently busy cells *)
+  finder : string;
+      (** name stamped into the decision ledger's wash-path events
+          ([heuristic], [ilp], [dawo-bfs]); an exact-ILP run that
+          exhausts its budget and falls back to the heuristic keeps
+          the [ilp] tag *)
   path_finder :
     layout:Pdw_biochip.Layout.t ->
     schedule:Pdw_synth.Schedule.t ->

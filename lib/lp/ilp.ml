@@ -129,6 +129,10 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
           match new_cuts with
           | [] ->
             Counters.incr c_incumbents;
+            if Pdw_obs.Events.enabled () then
+              Pdw_obs.Events.emit
+                (Pdw_obs.Events.Ilp_incumbent
+                   { objective; nodes_expanded = !explored });
             incumbent := Some (objective, snapped)
           | _ :: _ ->
             Counters.add c_cuts (List.length new_cuts);

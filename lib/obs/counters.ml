@@ -71,3 +71,22 @@ let reset () =
   Mutex.lock lock;
   Hashtbl.iter (fun _ t -> Atomic.set t.cell 0) registry;
   Mutex.unlock lock
+
+type snapshot = (string * int) list
+
+let snapshot () = List.map (fun (name, _, v) -> (name, v)) (all ())
+
+let delta ~since =
+  List.filter_map
+    (fun (name, kind, v) ->
+      let moved =
+        match kind with
+        | Counter -> (
+          v
+          - match List.assoc_opt name since with
+            | Some before -> before
+            | None -> 0)
+        | Gauge -> v
+      in
+      if moved = 0 then None else Some (name, kind, moved))
+    (all ())

@@ -59,5 +59,19 @@ val name : t -> string
 (** Every registered cell as [(name, kind, value)], sorted by name. *)
 val all : unit -> (string * kind * int) list
 
+(** A point-in-time copy of every cell, for in-process deltas. *)
+type snapshot
+
+(** Capture the current value of every registered cell.  Cells are
+    atomics, so a snapshot taken while worker domains still run can
+    interleave with their updates; benchmark harnesses should snapshot
+    only after their [Domain_pool] has joined. *)
+val snapshot : unit -> snapshot
+
+(** [delta ~since] is [all ()] restricted to cells that moved since the
+    snapshot: counters report the increase, gauges their current level.
+    Cells registered after [since] count from zero.  Sorted by name. *)
+val delta : since:snapshot -> (string * kind * int) list
+
 (** Zero every registered cell (registrations are kept). *)
 val reset : unit -> unit

@@ -1,0 +1,129 @@
+(** The decision ledger: typed, structured records of *why* the planner
+    did what it did, complementing the *timing* story of [Trace] and
+    [Counters].
+
+    Spans say a planning round took 4 ms; the ledger says that cell
+    (3,2) was classified Type 2 because the next flow over it carries
+    the same fluid (Sec. III-A), that removal task 7 was rejected from
+    wash-group 1 because their time windows do not overlap (Eq. (21)),
+    and that wash 3 chose flow port [in4] over three other candidates.
+
+    The discipline mirrors [Trace]: recording is off by default behind
+    one atomic flag, every probe is a single atomic load when disabled,
+    and an emitting probe never influences planner behaviour — with the
+    ledger off, planner output is byte-identical to an uninstrumented
+    build (regression-tested in [test/test_obs.ml]).
+
+    Serialization is JSONL — one self-describing JSON object per line,
+    round-trippable through [of_line] for the [explain] CLI. *)
+
+(** One planner decision.  Coordinates are [(x, y)] pairs; scheduler
+    keys, fluids and rules are their canonical string renderings, so
+    the ledger is self-contained and [pdw_obs] stays below the planner
+    libraries. *)
+type t =
+  | Necessity_verdict of {
+      round : int;  (** fixpoint round of the classification *)
+      cell : int * int;
+      residue : string;  (** fluid left on the cell *)
+      deposited_at : int;  (** second the residue appeared *)
+      source : string;  (** schedule entry that deposited it *)
+      verdict : string;  (** ["needed"], ["type1:unused"], ... *)
+      rule : string;  (** the clause that fired, e.g. ["no-later-use"] *)
+      next_use : string option;  (** first later entry over the cell *)
+      next_start : int option;  (** its start second *)
+      next_fluid : string option;  (** fluid it pushes (None = buffer) *)
+    }
+  | Merge_accept of {
+      round : int;
+      removal_task : int;  (** task id of the absorbed removal *)
+      group : int;  (** wash group it merged into (Eq. (21)) *)
+      base_len : int;  (** wash-path length before the merge *)
+      enlarged_len : int;  (** after absorbing the removal's excess *)
+      budget : int;  (** max growth the psi test allowed *)
+      window : int * int;  (** merged [release, deadline) window *)
+    }
+  | Merge_reject of {
+      round : int;
+      removal_task : int;
+      reason : string;
+          (** ["no-overlapping-window"], ["targets-too-far"],
+              ["path-growth"] or ["no-covering-path"] *)
+      removal_window : (int * int) option;  (** the removal's window *)
+      group : int option;  (** closest candidate group, if any *)
+      blocking_window : (int * int) option;
+          (** that candidate's window — the constraint that blocked *)
+    }
+  | Wash_path of {
+      round : int;
+      wash_task : int;  (** task id of the created wash *)
+      group : int;
+      targets : (int * int) list;
+      window : int * int;
+      finder : string;  (** ["heuristic"] or ["ilp"] *)
+      flow_port : int;  (** chosen flow-port id *)
+      waste_port : int;  (** chosen waste-port id *)
+      flow_candidates : int;  (** flow ports considered (Eq. (12)) *)
+      waste_candidates : int;  (** waste ports considered *)
+      length : int;  (** cells on the chosen path *)
+      merged_removals : int list;  (** absorbed removal task ids *)
+      contaminators : string list;  (** keys that dirtied the targets *)
+      use_keys : string list;  (** keys whose reuse forced the wash *)
+    }
+  | Reschedule_shift of {
+      round : int;
+      key : string;  (** the shifted operation *)
+      from_start : int;
+      to_start : int;
+    }
+  | Ilp_incumbent of {
+      objective : float;
+      nodes_expanded : int;  (** B&B nodes when the incumbent improved *)
+    }
+
+(** Whether probes are live. *)
+val enabled : unit -> bool
+
+(** Turn the ledger on or off.  Recorded events are kept either way
+    (use [reset]). *)
+val set_enabled : bool -> unit
+
+(** Record one event (single atomic load and no-op while disabled).
+    Events beyond the one-million cap are counted, not stored. *)
+val emit : t -> unit
+
+(** Recorded events in emission order. *)
+val events : unit -> t list
+
+val num_events : unit -> int
+
+(** Events lost to the cap. *)
+val dropped : unit -> int
+
+(** Discard recorded events and zero the drop count. *)
+val reset : unit -> unit
+
+(** The ambient planning round of the calling domain, stamped into
+    events emitted by probes that have no round of their own (e.g.
+    inside [Integration.merge]).  Planner loops set it at the top
+    of each fixpoint round; it is domain-local, so pooled planner runs
+    do not clobber each other. *)
+val set_round : int -> unit
+
+val current_round : unit -> int
+
+(** One-line JSON of an event: a [{"seq":…,"type":…,…}] object.  [seq]
+    is the event's position in the ledger. *)
+val to_line : seq:int -> t -> string
+
+(** Parse one JSONL line back.  Inverse of [to_line]; the [seq] field
+    is returned alongside the event. *)
+val of_line : string -> (int * t, string) result
+
+(** [write_jsonl path] writes every recorded event, one line each,
+    in emission order. *)
+val write_jsonl : string -> unit
+
+(** [load_jsonl path] reads a ledger file written by [write_jsonl]
+    (blank lines skipped), failing on the first malformed line. *)
+val load_jsonl : string -> (t list, string) result

@@ -1,0 +1,262 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Shortest representation that parses back to the same float. *)
+let float_repr f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (float_repr f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\":";
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+exception Bad of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let fail m = raise (Bad (Printf.sprintf "%s at offset %d" m !pos)) in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if
+      !pos + String.length word <= n
+      && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "bad \\u escape";
+    let code = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape"
+      in
+      code := (!code * 16) + d;
+      incr pos
+    done;
+    !code
+  in
+  let string_body () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          (match peek () with
+          | Some '"' -> Buffer.add_char b '"'; incr pos
+          | Some '\\' -> Buffer.add_char b '\\'; incr pos
+          | Some '/' -> Buffer.add_char b '/'; incr pos
+          | Some 'n' -> Buffer.add_char b '\n'; incr pos
+          | Some 't' -> Buffer.add_char b '\t'; incr pos
+          | Some 'r' -> Buffer.add_char b '\r'; incr pos
+          | Some 'b' -> Buffer.add_char b '\b'; incr pos
+          | Some 'f' -> Buffer.add_char b '\012'; incr pos
+          | Some 'u' ->
+            incr pos;
+            let code = hex4 () in
+            (* UTF-8 encode the code point (surrogates kept verbatim:
+               escape fidelity is not needed for any ledger field). *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b
+                (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+          | _ -> fail "bad escape");
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let fractional = ref false in
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '-' | '+' -> true
+      | '.' | 'e' | 'E' ->
+        fractional := true;
+        true
+      | _ -> false
+    do
+      incr pos
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if not !fractional then
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt lit with
+        | Some f -> Float f
+        | None -> fail "bad number")
+    else
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((key, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elements (v :: acc)
+          | Some ']' ->
+            incr pos;
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+      end
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of input"
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None

@@ -1,0 +1,39 @@
+(** A minimal self-contained JSON value with a printer and a parser.
+
+    [pdw_obs] sits below every other library, so observability sinks
+    that need to read JSON back — the event ledger of [Events], the
+    bench [compare] gate that diffs two [BENCH_solver.json] snapshots,
+    the [explain] CLI loading a ledger file — share this one
+    implementation instead of each carrying its own.  Integers are kept
+    apart from floats so sequence numbers and counts survive a
+    round-trip textually unchanged. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** Serialize with proper string escaping; object fields keep order.
+    Integers print without a decimal point; floats print as
+    [Printf %.17g] restricted to shortest round-trip, so
+    [parse (to_string v)] reproduces [v]. *)
+val to_string : t -> string
+
+(** Parse one JSON document.  A numeric literal without ['.'], ['e'] or
+    ['E'] that fits in an OCaml [int] parses as [Int], anything else
+    numeric as [Float].  Trailing non-whitespace is an error. *)
+val parse : string -> (t, string) result
+
+(** [member k j] is field [k] of object [j], if any. *)
+val member : string -> t -> t option
+
+(** Coercions; [to_float] also accepts [Int]. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

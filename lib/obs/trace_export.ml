@@ -71,6 +71,23 @@ let write_chrome path =
   output_string oc "\n";
   close_out oc
 
+let stage_totals ?(since = 0) ~names () =
+  let tally = Hashtbl.create 16 in
+  List.iteri
+    (fun i (e : Trace.event) ->
+      if i >= since && List.mem e.Trace.name names then
+        let prev =
+          match Hashtbl.find_opt tally e.Trace.name with
+          | Some ms -> ms
+          | None -> 0.0
+        in
+        Hashtbl.replace tally e.Trace.name (prev +. (e.Trace.dur *. 1000.0)))
+    (Trace.events ());
+  List.filter_map
+    (fun name ->
+      Option.map (fun ms -> (name, ms)) (Hashtbl.find_opt tally name))
+    names
+
 (* --- plain-text summary ------------------------------------------- *)
 
 (* Aggregate events into a trie keyed by span path.  Worker-domain

@@ -20,3 +20,10 @@ val write_chrome : string -> unit
 (** Print the per-path span tree (count, total ms, self ms — self being
     total minus the time in child spans) and the counter table. *)
 val summary : Format.formatter -> unit
+
+(** [stage_totals ~names ()] sums recorded span durations by name,
+    returning [(name, total_ms)] in the order of [names], omitting
+    names never recorded.  [since] skips the first [since] recorded
+    events, so a harness can report one job's stages while an outer
+    [--trace] keeps the full buffer (default 0). *)
+val stage_totals : ?since:int -> names:string list -> unit -> (string * float) list

@@ -1,0 +1,142 @@
+type wash_row = {
+  ordinal : int;
+  task : int;
+  round : int;
+  group : int;
+  n_targets : int;
+  length : int;
+  window : int * int;
+  finder : string;
+  flow_port : int;
+  waste_port : int;
+  n_merged : int;
+}
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let style =
+  {css|
+body { font-family: system-ui, sans-serif; margin: 1.5rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; border-bottom: 1px solid #ddd; }
+.cards { display: flex; flex-wrap: wrap; gap: .7rem; }
+.card { border: 1px solid #ddd; border-radius: 6px; padding: .5rem .9rem; background: #fafaff; }
+.card .v { font-size: 1.2rem; font-weight: 600; } .card .k { font-size: .75rem; color: #667; }
+table { border-collapse: collapse; font-size: .85rem; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem; text-align: right; }
+th { background: #eef; cursor: pointer; user-select: none; }
+th:first-child, td:first-child { text-align: left; }
+tr:nth-child(even) { background: #f6f6fa; }
+.svgbox { border: 1px solid #ddd; border-radius: 6px; padding: .5rem; overflow-x: auto; }
+|css}
+
+(* Sorts a table by the clicked column; numeric when every cell parses
+   as a number, lexicographic otherwise.  Plain DOM, no dependencies. *)
+let sort_script =
+  {js|
+function sortTable(th) {
+  const table = th.closest('table'), col = th.cellIndex;
+  const rows = Array.from(table.tBodies[0].rows);
+  const dir = th.dataset.dir === 'asc' ? -1 : 1;
+  th.dataset.dir = dir === 1 ? 'asc' : 'desc';
+  const num = rows.every(r => r.cells[col].textContent.trim() === '' ||
+                              !isNaN(parseFloat(r.cells[col].textContent)));
+  rows.sort((a, b) => {
+    const x = a.cells[col].textContent.trim(), y = b.cells[col].textContent.trim();
+    return dir * (num ? (parseFloat(x) || 0) - (parseFloat(y) || 0) : x.localeCompare(y));
+  });
+  rows.forEach(r => table.tBodies[0].appendChild(r));
+}
+document.querySelectorAll('table.sortable th').forEach(th =>
+  th.addEventListener('click', () => sortTable(th)));
+|js}
+
+let pairs_table b ~caption rows render_value =
+  if rows <> [] then begin
+    Buffer.add_string b (Printf.sprintf "<h2>%s</h2>\n<table>\n" caption);
+    Buffer.add_string b "<thead><tr><th>name</th><th>value</th></tr></thead>\n<tbody>\n";
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "<tr><td>%s</td><td>%s</td></tr>\n" (escape k)
+             (render_value v)))
+      rows;
+    Buffer.add_string b "</tbody></table>\n"
+  end
+
+let render ~title ~layout_svg ~gantt_svg ~metrics ~stage_ms ~counters
+    ~washes =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
+  Buffer.add_string b "<meta charset=\"utf-8\">\n";
+  Buffer.add_string b
+    (Printf.sprintf "<title>%s</title>\n<style>%s</style>\n</head>\n<body>\n"
+       (escape title) style);
+  Buffer.add_string b (Printf.sprintf "<h1>%s</h1>\n" (escape title));
+
+  if metrics <> [] then begin
+    Buffer.add_string b "<div class=\"cards\">\n";
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "<div class=\"card\"><div class=\"v\">%s</div><div \
+              class=\"k\">%s</div></div>\n"
+             (escape v) (escape k)))
+      metrics;
+    Buffer.add_string b "</div>\n"
+  end;
+
+  Buffer.add_string b "<h2>Chip layout &amp; wash paths</h2>\n";
+  Buffer.add_string b
+    (Printf.sprintf "<div class=\"svgbox\">\n%s\n</div>\n" layout_svg);
+  Buffer.add_string b "<h2>Schedule (Gantt)</h2>\n";
+  Buffer.add_string b
+    (Printf.sprintf "<div class=\"svgbox\">\n%s\n</div>\n" gantt_svg);
+
+  if washes <> [] then begin
+    Buffer.add_string b
+      "<h2>Wash decisions</h2>\n<table class=\"sortable\">\n<thead><tr>";
+    List.iter
+      (fun h -> Buffer.add_string b (Printf.sprintf "<th>%s</th>" h))
+      [
+        "#"; "task"; "round"; "group"; "targets"; "path cells"; "window";
+        "finder"; "flow port"; "waste port"; "merged removals";
+      ];
+    Buffer.add_string b "</tr></thead>\n<tbody>\n";
+    List.iter
+      (fun r ->
+        let rl, dl = r.window in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<tr><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td>\
+              <td>%d</td><td>[%d, %d)</td><td>%s</td><td>%d</td><td>%d</td>\
+              <td>%d</td></tr>\n"
+             r.ordinal r.task r.round r.group r.n_targets r.length rl dl
+             (escape r.finder) r.flow_port r.waste_port r.n_merged))
+      washes;
+    Buffer.add_string b "</tbody></table>\n"
+  end;
+
+  pairs_table b ~caption:"Stage timings (ms)" stage_ms (fun v ->
+      Printf.sprintf "%.2f" v);
+  pairs_table b ~caption:"Counters" counters string_of_int;
+
+  Buffer.add_string b
+    (Printf.sprintf "<script>%s</script>\n</body>\n</html>\n" sort_script);
+  Buffer.contents b
+
+let write path html =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc html)

@@ -1,0 +1,40 @@
+(** Self-contained HTML run report: one file embedding the layout and
+    Gantt SVGs next to the run's metrics, stage timings, counters and a
+    sortable wash-decision table.  No external assets — the page works
+    from a [file://] open or a CI artifact download.
+
+    Inputs are primitives (pre-rendered SVG strings, name/value lists)
+    so the renderer stays below [bin] and is trivially testable. *)
+
+(** One row of the wash-decision table, straight from the decision
+    ledger's wash-path events. *)
+type wash_row = {
+  ordinal : int;  (** 1-based wash number, [explain --wash N]'s N *)
+  task : int;
+  round : int;
+  group : int;
+  n_targets : int;
+  length : int;  (** path length in cells *)
+  window : int * int;
+  finder : string;
+  flow_port : int;
+  waste_port : int;
+  n_merged : int;  (** psi-absorbed removals (Eq. (21)) *)
+}
+
+(** [render ~title ~layout_svg ~gantt_svg ~metrics ~stage_ms ~counters
+    ~washes] is the full HTML document.  [metrics] are name/value pairs
+    shown as headline cards; [stage_ms] and [counters] render as plain
+    tables (omitted when empty); [washes] as the sortable table. *)
+val render :
+  title:string ->
+  layout_svg:string ->
+  gantt_svg:string ->
+  metrics:(string * string) list ->
+  stage_ms:(string * float) list ->
+  counters:(string * int) list ->
+  washes:wash_row list ->
+  string
+
+(** [write path html] writes the document to [path]. *)
+val write : string -> string -> unit

@@ -1,0 +1,202 @@
+(* Golden tests for the explain engine (lib/core/explain.ml) over a real
+   decision ledger: run the planner on the Motivating example with the
+   ledger on, then check that `explain` attributes a known Needed cell,
+   a known Type-1 skip and a known Type-2 skip to the right rules, and
+   that a psi merge decision is explained with its windows.  The
+   Motivating chip's nine removals are all psi-rejected (their windows
+   never overlap a wash group's), so PCR supplies the accepted-merge
+   side. *)
+
+module Events = Pdw_obs.Events
+module Explain = Pdw_wash.Explain
+module Synthesis = Pdw_synth.Synthesis
+module Benchmarks = Pdw_assay.Benchmarks
+module Layout_builder = Pdw_biochip.Layout_builder
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let ledger_of ?layout benchmark =
+  Events.reset ();
+  Events.set_enabled true;
+  let s = Synthesis.synthesize ?layout benchmark in
+  let outcome = Pdw_wash.Pdw.optimize s in
+  Events.set_enabled false;
+  let events = Events.events () in
+  Events.reset ();
+  (events, outcome)
+
+let motivating =
+  lazy
+    (ledger_of ~layout:(Layout_builder.fig2_layout ())
+       (Benchmarks.motivating ()))
+
+let check_mentions ~what text needles =
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions %S" what needle)
+        true (contains text needle))
+    needles
+
+(* Cell (2,2) of the Motivating chip is the filter outlet: round 0
+   classifies it Needed (residue r1 against the later filtered-product
+   flow), and wash #1 covers it. *)
+let test_needed_cell () =
+  let events, _ = Lazy.force motivating in
+  match Explain.cell ~events ~x:2 ~y:2 with
+  | None -> Alcotest.fail "cell (2,2) missing from the ledger"
+  | Some text ->
+    check_mentions ~what:"needed cell" text
+      [
+        "verdict: needed";
+        "sensitive";
+        "next use: task#2";
+        "covered by wash #1";
+        "washed by:";
+      ]
+
+(* Type-1 skip: after task#6 the filter outlet is never reused, so its
+   residue may stay. *)
+let test_type1_cell () =
+  let events, _ = Lazy.force motivating in
+  match Explain.cell ~events ~x:2 ~y:2 with
+  | None -> Alcotest.fail "cell (2,2) missing from the ledger"
+  | Some text ->
+    check_mentions ~what:"type1 skip" text
+      [ "verdict: type1:unused"; "no later schedule entry" ]
+
+(* Type-2 skip: cell (2,1) sees the same fluid again (tolerated
+   co-input), so washing is skipped. *)
+let test_type2_cell () =
+  let events, _ = Lazy.force motivating in
+  match Explain.cell ~events ~x:2 ~y:1 with
+  | None -> Alcotest.fail "cell (2,1) missing from the ledger"
+  | Some text ->
+    check_mentions ~what:"type2 skip" text
+      [ "verdict: type2:same-fluid"; "tolerated co-inputs" ]
+
+let test_unknown_cell () =
+  let events, _ = Lazy.force motivating in
+  Alcotest.(check bool)
+    "cell far off-chip has no entries" true
+    (Explain.cell ~events ~x:99 ~y:99 = None)
+
+(* Wash provenance: every recorded wash explains its full chain, and
+   ordinals past the end return None. *)
+let test_wash_provenance () =
+  let events, outcome = Lazy.force motivating in
+  let n = Explain.num_washes ~events in
+  Alcotest.(check int) "one ledger wash per planned wash"
+    (List.length outcome.Pdw_wash.Wash_plan.washes)
+    n;
+  Alcotest.(check bool) "washes recorded" true (n > 0);
+  (match Explain.wash ~events 1 with
+  | None -> Alcotest.fail "wash #1 missing"
+  | Some text ->
+    check_mentions ~what:"wash #1" text
+      [
+        "wash #1 = task";
+        "targets (";
+        "window: [";
+        "path: flow port";
+        "contaminated by:";
+        "forced by later use:";
+      ]);
+  Alcotest.(check bool) "past-the-end wash" true
+    (Explain.wash ~events (n + 1) = None)
+
+(* The Motivating example's psi rejections: every removal asks to merge
+   and is turned down with the blocking group's window. *)
+let test_psi_reject_recorded () =
+  let events, _ = Lazy.force motivating in
+  let rejects =
+    List.filter
+      (function Events.Merge_reject _ -> true | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "rejections recorded" true (rejects <> []);
+  List.iter
+    (function
+      | Events.Merge_reject { reason; blocking_window; _ } ->
+        Alcotest.(check bool)
+          ("known reason: " ^ reason)
+          true
+          (List.mem reason
+             [
+               "no-overlapping-window"; "targets-too-far"; "path-growth";
+               "no-covering-path";
+             ]);
+        if reason = "no-overlapping-window" then
+          Alcotest.(check bool) "blocking window attached" true
+            (blocking_window <> None)
+      | _ -> ())
+    rejects
+
+(* PCR merges removals into washes (seven under the default policy), so
+   its ledger carries Merge_accept events whose removal ids reappear in
+   some wash's provenance. *)
+let test_psi_accept_on_pcr () =
+  match List.assoc_opt "PCR" (Benchmarks.all ()) with
+  | None -> Alcotest.fail "PCR benchmark missing"
+  | Some b ->
+    let events, _ = ledger_of b in
+    let accepted =
+      List.filter_map
+        (function
+          | Events.Merge_accept { removal_task; base_len; enlarged_len; _ }
+            ->
+            Alcotest.(check bool) "path never shrinks" true
+              (enlarged_len >= base_len);
+            Some removal_task
+          | _ -> None)
+        events
+    in
+    Alcotest.(check bool) "psi merges accepted on PCR" true (accepted <> []);
+    let explained =
+      List.init (Explain.num_washes ~events) (fun i ->
+          match Explain.wash ~events (i + 1) with
+          | Some text -> text
+          | None -> "")
+      |> String.concat "\n"
+    in
+    List.iter
+      (fun id ->
+        Alcotest.(check bool)
+          (Printf.sprintf "merged removal %d surfaces in a wash" id)
+          true
+          (contains explained (Printf.sprintf "task %d" id)))
+      accepted
+
+let () =
+  Alcotest.run "pdw_explain"
+    [
+      ( "cell",
+        [
+          Alcotest.test_case "needed cell attributed" `Quick
+            test_needed_cell;
+          Alcotest.test_case "type-1 skip attributed" `Quick
+            test_type1_cell;
+          Alcotest.test_case "type-2 skip attributed" `Quick
+            test_type2_cell;
+          Alcotest.test_case "unknown cell" `Quick test_unknown_cell;
+        ] );
+      ( "wash",
+        [
+          Alcotest.test_case "provenance chain" `Quick
+            test_wash_provenance;
+        ] );
+      ( "psi",
+        [
+          Alcotest.test_case "rejections carry windows" `Quick
+            test_psi_reject_recorded;
+          Alcotest.test_case "accepts surface on PCR" `Quick
+            test_psi_accept_on_pcr;
+        ] );
+    ]

@@ -7,6 +7,8 @@
 module Trace = Pdw_obs.Trace
 module Counters = Pdw_obs.Counters
 module Trace_export = Pdw_obs.Trace_export
+module Events = Pdw_obs.Events
+module Json = Pdw_obs.Json
 
 (* Every test starts from a clean, enabled recorder with a fake clock it
    can step, and leaves the layer disabled on the real clock. *)
@@ -22,9 +24,11 @@ let with_obs f () =
   Fun.protect f ~finally:(fun () ->
       Trace.set_enabled false;
       Counters.set_enabled false;
+      Events.set_enabled false;
       Trace.set_clock Unix.gettimeofday;
       Trace.reset ();
-      Counters.reset ())
+      Counters.reset ();
+      Events.reset ())
 
 let advance dt = fake_now := !fake_now +. dt
 
@@ -375,6 +379,188 @@ let test_summary_renders () =
   mentions "child";
   mentions "test.export.counter"
 
+(* --- counter snapshots --- *)
+
+let test_counter_snapshot_delta () =
+  let c = Counters.counter "test.snap.counter" in
+  let g = Counters.gauge "test.snap.gauge" in
+  Counters.add c 3;
+  Counters.set g 5;
+  let snap = Counters.snapshot () in
+  let d0 = Counters.delta ~since:snap in
+  Alcotest.(check bool) "unmoved counter filtered" true
+    (not (List.exists (fun (n, _, _) -> n = "test.snap.counter") d0));
+  Alcotest.(check bool) "gauge reports its level" true
+    (List.exists (fun (n, _, v) -> n = "test.snap.gauge" && v = 5) d0);
+  Counters.add c 4;
+  Counters.set_max g 9;
+  let d = Counters.delta ~since:snap in
+  Alcotest.(check bool) "counter reports the increase" true
+    (List.exists (fun (n, _, v) -> n = "test.snap.counter" && v = 4) d);
+  Alcotest.(check bool) "gauge reports the new level" true
+    (List.exists (fun (n, _, v) -> n = "test.snap.gauge" && v = 9) d)
+
+(* --- the shared JSON value --- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("i", Json.Int 42);
+        ("f", Json.Float 0.1);
+        ("whole", Json.Float 3.0);
+        ("s", Json.Str "a \"quoted\"\nline");
+        ("b", Json.Bool false);
+        ("z", Json.Null);
+        ("a", Json.Arr [ Json.Int (-1); Json.Float 1e-9 ]);
+        ("empty", Json.Obj []);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error m -> Alcotest.failf "parse: %s" m
+
+(* --- the decision ledger --- *)
+
+let run_planner_with_events () =
+  Events.reset ();
+  Events.set_enabled true;
+  let layout = Pdw_biochip.Layout_builder.fig2_layout () in
+  let s =
+    Pdw_synth.Synthesis.synthesize ~layout
+      (Pdw_assay.Benchmarks.motivating ())
+  in
+  ignore (Pdw_wash.Pdw.optimize s);
+  Events.set_enabled false;
+  Events.events ()
+
+let test_events_jsonl_well_formed () =
+  let events = run_planner_with_events () in
+  Alcotest.(check bool) "ledger non-empty" true (events <> []);
+  let path = Filename.temp_file "pdw_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Events.write_jsonl path;
+      let lines =
+        In_channel.with_open_text path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "one line per event" (List.length events)
+        (List.length lines);
+      List.iteri
+        (fun i line ->
+          match parse_json line with
+          | Obj fields ->
+            Alcotest.(check bool)
+              (Printf.sprintf "line %d seq" i)
+              true
+              (List.assoc_opt "seq" fields = Some (Num (float_of_int i)));
+            Alcotest.(check bool)
+              (Printf.sprintf "line %d type" i)
+              true
+              (match List.assoc_opt "type" fields with
+              | Some (Str _) -> true
+              | _ -> false)
+          | _ -> Alcotest.failf "line %d is not a JSON object" i)
+        lines;
+      match Events.load_jsonl path with
+      | Ok loaded ->
+        Alcotest.(check bool) "ledger round-trips" true (loaded = events)
+      | Error m -> Alcotest.failf "load_jsonl: %s" m)
+
+let test_event_line_roundtrip () =
+  let samples =
+    [
+      Events.Necessity_verdict
+        {
+          round = 2;
+          cell = (3, 4);
+          residue = "r1";
+          deposited_at = 7;
+          source = "task#3";
+          verdict = "needed";
+          rule = "sensitive-incompatible-flow";
+          next_use = Some "op5";
+          next_start = Some 12;
+          next_fluid = Some "filtered(r1)";
+        };
+      Events.Necessity_verdict
+        {
+          round = 0;
+          cell = (0, 0);
+          residue = "s \"quoted\"";
+          deposited_at = 0;
+          source = "task#0";
+          verdict = "type1:unused";
+          rule = "no-later-use";
+          next_use = None;
+          next_start = None;
+          next_fluid = None;
+        };
+      Events.Merge_accept
+        {
+          round = 1;
+          removal_task = 9;
+          group = 2;
+          base_len = 6;
+          enlarged_len = 8;
+          budget = 9;
+          window = (4, 11);
+        };
+      Events.Merge_reject
+        {
+          round = 1;
+          removal_task = 5;
+          reason = "no-overlapping-window";
+          removal_window = Some (1, 2);
+          group = Some 0;
+          blocking_window = Some (2, 5);
+        };
+      Events.Merge_reject
+        {
+          round = 3;
+          removal_task = 6;
+          reason = "no-covering-path";
+          removal_window = None;
+          group = None;
+          blocking_window = None;
+        };
+      Events.Wash_path
+        {
+          round = 1;
+          wash_task = 19;
+          group = 0;
+          targets = [ (2, 2); (3, 2) ];
+          window = (2, 5);
+          finder = "heuristic";
+          flow_port = 0;
+          waste_port = 5;
+          flow_candidates = 4;
+          waste_candidates = 4;
+          length = 6;
+          merged_removals = [ 7; 8 ];
+          contaminators = [ "task#1" ];
+          use_keys = [ "task#2"; "op1" ];
+        };
+      Events.Reschedule_shift
+        { round = 2; key = "op3"; from_start = 10; to_start = 14 };
+      Events.Ilp_incumbent { objective = -12.5; nodes_expanded = 431 };
+    ]
+  in
+  List.iteri
+    (fun i e ->
+      let line = Events.to_line ~seq:i e in
+      match Events.of_line line with
+      | Ok (seq, e') ->
+        Alcotest.(check int) "seq round-trips" i seq;
+        Alcotest.(check bool)
+          (Printf.sprintf "event %d round-trips" i)
+          true (e = e')
+      | Error m -> Alcotest.failf "of_line (event %d): %s" i m)
+    samples
+
 (* --- regression: instrumentation never changes planner output --- *)
 
 let planner_json () =
@@ -400,6 +586,19 @@ let test_tracing_is_metrics_inert () =
   Alcotest.(check bool) "spans were recorded" true (Trace.num_events () > 0);
   Alcotest.(check string) "byte-identical planner output" plain traced
 
+(* The ledger's side of the same guarantee: recording events (then
+   discarding them) leaves the planner's JSON output byte-identical. *)
+let test_events_are_metrics_inert () =
+  Events.set_enabled false;
+  Events.reset ();
+  let plain = planner_json () in
+  Events.set_enabled true;
+  let recorded = planner_json () in
+  Alcotest.(check bool) "events were recorded" true (Events.num_events () > 0);
+  Events.set_enabled false;
+  Events.reset ();
+  Alcotest.(check string) "byte-identical planner output" plain recorded
+
 let () =
   Alcotest.run "pdw_obs"
     [
@@ -417,7 +616,18 @@ let () =
           Alcotest.test_case "basics" `Quick (with_obs test_counter_basics);
           Alcotest.test_case "all sorted" `Quick
             (with_obs test_counters_all_sorted);
+          Alcotest.test_case "snapshot delta" `Quick
+            (with_obs test_counter_snapshot_delta);
           QCheck_alcotest.to_alcotest prop_counter_monotone;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "json value round-trips" `Quick
+            (with_obs test_json_roundtrip);
+          Alcotest.test_case "jsonl well-formed and round-trips" `Quick
+            (with_obs test_events_jsonl_well_formed);
+          Alcotest.test_case "every constructor round-trips" `Quick
+            (with_obs test_event_line_roundtrip);
         ] );
       ( "export",
         [
@@ -432,5 +642,7 @@ let () =
         [
           Alcotest.test_case "tracing never changes metrics" `Quick
             (with_obs test_tracing_is_metrics_inert);
+          Alcotest.test_case "the ledger never changes metrics" `Quick
+            (with_obs test_events_are_metrics_inert);
         ] );
     ]

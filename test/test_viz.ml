@@ -126,6 +126,62 @@ let test_gantt_svg_with_washes () =
   let out = Gantt_svg.render o.Pdw_wash.Wash_plan.schedule in
   Alcotest.(check bool) "washes row" true (contains out ">washes</text>")
 
+(* The HTML run report embeds both SVGs verbatim into one well-formed,
+   self-contained page. *)
+let test_report_html () =
+  let s =
+    Synthesis.synthesize
+      ~layout:(Layout_builder.fig2_layout ())
+      (Benchmarks.motivating ())
+  in
+  let o = Pdw_wash.Pdw.optimize s in
+  let layout_svg = Layout_svg.render s.Synthesis.layout in
+  let gantt_svg = Gantt_svg.render o.Pdw_wash.Wash_plan.schedule in
+  let html =
+    Pdw_viz.Report_html.render ~title:"report <smoke>" ~layout_svg
+      ~gantt_svg
+      ~metrics:[ ("washes", "6"); ("converged", "true") ]
+      ~stage_ms:[ ("plan.paths", 1.25) ]
+      ~counters:[ ("core.plan.rounds", 2) ]
+      ~washes:
+        [
+          {
+            Pdw_viz.Report_html.ordinal = 1;
+            task = 19;
+            round = 1;
+            group = 0;
+            n_targets = 1;
+            length = 6;
+            window = (2, 5);
+            finder = "heuristic";
+            flow_port = 0;
+            waste_port = 5;
+            n_merged = 0;
+          };
+        ]
+  in
+  Alcotest.(check bool) "doctype" true (contains html "<!DOCTYPE html>");
+  Alcotest.(check bool) "closes html" true (contains html "</html>");
+  Alcotest.(check bool) "title escaped" true
+    (contains html "report &lt;smoke&gt;");
+  Alcotest.(check bool) "embeds layout svg" true (contains html layout_svg);
+  Alcotest.(check bool) "embeds gantt svg" true (contains html gantt_svg);
+  Alcotest.(check bool) "wash table" true
+    (contains html "<table class=\"sortable\">");
+  Alcotest.(check bool) "wash row" true (contains html "<td>heuristic</td>");
+  Alcotest.(check bool) "stage table" true (contains html "plan.paths");
+  Alcotest.(check bool) "counter table" true
+    (contains html "core.plan.rounds");
+  Alcotest.(check bool) "sorter present" true (contains html "sortTable");
+  (* Structural sanity: every opened tag of the kinds we emit closes. *)
+  List.iter
+    (fun tag ->
+      Alcotest.(check int)
+        (tag ^ " balanced")
+        (count_occurrences html ("<" ^ tag))
+        (count_occurrences html ("</" ^ tag ^ ">")))
+    [ "table"; "thead"; "tbody"; "h2"; "title"; "script"; "style" ]
+
 let () =
   Alcotest.run "pdw_viz"
     [
@@ -147,4 +203,6 @@ let () =
           Alcotest.test_case "baseline chart" `Quick test_gantt_svg;
           Alcotest.test_case "wash rows" `Quick test_gantt_svg_with_washes;
         ] );
+      ( "report",
+        [ Alcotest.test_case "html smoke" `Quick test_report_html ] );
     ]
