@@ -14,10 +14,15 @@
      --trace FILE   write a Chrome-trace JSON (chrome://tracing or
                     ui.perfetto.dev) of the run's spans and counters
      --stats        print the span summary tree and counter table
+     --domains N    run the harness pool and the router's parallel
+                    port-pair flush on N domains (default: sized from
+                    the machine)
 
-   Either flag turns instrumentation on; without them every probe is a
-   no-op and the printed tables are byte-identical to an uninstrumented
-   build. *)
+   The trace flags turn instrumentation on; without them every probe is
+   a no-op and the printed tables are byte-identical to an
+   uninstrumented build.  [--domains] never changes any table either:
+   the flush reduction is deterministic (ties go to the earliest port
+   pair at any domain count). *)
 
 module Benchmarks = Pdw_assay.Benchmarks
 module Layout_builder = Pdw_biochip.Layout_builder
@@ -30,9 +35,14 @@ module Metrics = Pdw_wash.Metrics
 module Report = Pdw_wash.Report
 
 module Domain_pool = Pdw_wash.Domain_pool
+module Router = Pdw_synth.Router
 module Trace = Pdw_obs.Trace
 module Counters = Pdw_obs.Counters
 module Trace_export = Pdw_obs.Trace_export
+
+(* [--domains N]: overrides both the harness pool size and the router's
+   flush-pool size; [None] leaves the machine-sized defaults. *)
+let domains_override : int option ref = ref None
 
 let table2_benchmarks () = Benchmarks.all ()
 
@@ -393,7 +403,7 @@ let run_perf () =
   let events_before = Trace.num_events () in
   let counters_before = Counters.snapshot () in
   let pool_domains, synthesized =
-    Domain_pool.with_pool (fun pool ->
+    Domain_pool.with_pool ?size:!domains_override (fun pool ->
         ( Domain_pool.size pool,
           Domain_pool.map pool
             (fun (name, b) -> (name, b, Synthesis.synthesize b))
@@ -426,6 +436,12 @@ let run_perf () =
       (fun (name, ms) -> (name, J.Float ms))
       (Trace_export.stage_totals ~since:events_before ~names:stage_names ())
   in
+  let stage_alloc_words =
+    List.map
+      (fun (name, (minor, major)) ->
+        (name, J.Obj [ ("minor", J.Float minor); ("major", J.Float major) ]))
+      (Trace_export.stage_allocs ~since:events_before ~names:stage_names ())
+  in
   let counters_json =
     List.map
       (fun (name, _, v) -> (name, J.Int v))
@@ -443,7 +459,7 @@ let run_perf () =
   let json =
     J.Obj
       [
-        ("schema", J.String "pathdriver-wash/bench-solver/v2");
+        ("schema", J.String "pathdriver-wash/bench-solver/v3");
         ("mode", J.String "perf");
         ("git_commit", J.String (git_commit ()));
         ("generated_at", J.String (iso8601_now ()));
@@ -461,6 +477,7 @@ let run_perf () =
                per_bench) );
         ("optimize_wall_ms", J.Float optimize_wall_ms);
         ("stage_ms", J.Obj stage_ms);
+        ("stage_alloc_words", J.Obj stage_alloc_words);
         ("counters", J.Obj counters_json);
         ( "exact_ilp",
           J.Obj
@@ -481,12 +498,16 @@ let run_perf () =
      %.1f ms)@."
     path optimize_wall_ms warm_ms cold_ms
 
-(* The CI perf-regression gate: diff two BENCH_solver.json snapshots
-   (schema v2).  Solution metrics — n_wash, l_wash_mm, t_assay_s — must
-   be identical: any drift means planner behaviour changed, and the gate
-   hard-fails.  Wall times wobble with machine and load, so they fail
-   only beyond [tolerance], the maximum allowed new/baseline ratio.
-   Provenance fields (git_commit, generated_at, domains) are ignored. *)
+(* The CI perf-regression gate: diff two BENCH_solver.json snapshots.
+   Solution metrics — n_wash, l_wash_mm, t_assay_s — must be identical:
+   any drift means planner behaviour changed, and the gate hard-fails.
+   Wall times wobble with machine and load, so they fail only beyond
+   [tolerance], the maximum allowed new/baseline ratio.  Provenance
+   fields (git_commit, generated_at, domains) are ignored, as is any
+   field this gate does not know about — so the schema may grow new
+   sections without invalidating old baselines.  Schemas only need to
+   agree on the family (the part before the trailing version segment);
+   a version difference is reported but is not a failure. *)
 let run_compare ~tolerance baseline_path new_path =
   let module J = Pdw_obs.Json in
   let load path =
@@ -510,8 +531,15 @@ let run_compare ~tolerance baseline_path new_path =
     in
     let str k j = Option.bind (J.member k j) J.to_str in
     let num k j = Option.bind (J.member k j) J.to_float in
+    let schema_family s =
+      match String.rindex_opt s '/' with
+      | Some i -> String.sub s 0 i
+      | None -> s
+    in
     (match (str "schema" base, str "schema" next) with
     | Some a, Some b when a = b -> ()
+    | Some a, Some b when schema_family a = schema_family b ->
+      Printf.printf "  note schema %s vs %s (same family; comparing)\n" a b
     | a, b ->
       fail "schema mismatch: %s vs %s"
         (Option.value a ~default:"(none)")
@@ -591,22 +619,29 @@ let run_compare ~tolerance baseline_path new_path =
 
 let usage () =
   print_endline
-    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf] [--trace FILE] [--stats]\n\
+    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf] [--trace FILE] [--stats] [--domains N]\n\
     \       main.exe compare BASELINE.json NEW.json [--tolerance RATIO]"
 
-(* Pull [--trace FILE] / [--stats] out of the argument list; either flag
-   enables the observability layer before any job runs. *)
+(* Pull [--trace FILE] / [--stats] / [--domains N] out of the argument
+   list; the trace flags enable the observability layer before any job
+   runs. *)
 let parse_obs_flags args =
-  let rec go acc trace stats = function
-    | [] -> (List.rev acc, trace, stats)
-    | "--stats" :: rest -> go acc trace true rest
-    | "--trace" :: file :: rest -> go acc (Some file) stats rest
-    | [ "--trace" ] ->
+  let rec go acc trace stats domains = function
+    | [] -> (List.rev acc, trace, stats, domains)
+    | "--stats" :: rest -> go acc trace true domains rest
+    | "--trace" :: file :: rest -> go acc (Some file) stats domains rest
+    | "--domains" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> go acc trace stats (Some n) rest
+      | Some _ | None ->
+        usage ();
+        exit 1)
+    | [ "--trace" ] | [ "--domains" ] ->
       usage ();
       exit 1
-    | a :: rest -> go (a :: acc) trace stats rest
+    | a :: rest -> go (a :: acc) trace stats domains rest
   in
-  go [] None false args
+  go [] None false None args
 
 (* The default planner config never enters the LP layer (heuristic wash
    paths), so an instrumented run tops itself up with one silent
@@ -619,9 +654,14 @@ let run_ilp_probe () =
   ignore (Pdw.optimize ~config:(exact_ilp_config ~warm_start:true) s)
 
 let () =
-  let args, trace_file, stats =
+  let args, trace_file, stats, domains =
     parse_obs_flags (List.tl (Array.to_list Sys.argv))
   in
+  (match domains with
+  | Some n ->
+    domains_override := Some n;
+    Router.set_flush_domains n
+  | None -> ());
   let instrumented = trace_file <> None || stats in
   if instrumented then begin
     Trace.set_enabled true;

@@ -3,14 +3,63 @@ module Grid = Pdw_geometry.Grid
 
 type cell = Blocked | Channel | Device_cell of int | Port_cell of int
 
+(* Packed routing view of the grid, precomputed once per layout so the
+   router's hot path never allocates neighbour lists or re-matches cell
+   constructors.  Cells are keyed by their row-major [Grid.index];
+   [nbr] holds four slots per cell in [Direction.all] order
+   (north, south, west, east), [-1] where the neighbour is out of
+   bounds — the same enumeration order as [Grid.neighbours], which the
+   search kernel's path-identity guarantee relies on. *)
+module Routing = struct
+  type t = {
+    width : int;
+    height : int;
+    ncells : int;
+    routable : Bytes.t;  (* '\001' where a fluid may occupy the cell *)
+    through : Bytes.t;  (* '\001' where fluid may also pass through *)
+    nbr : int array;  (* 4 slots per cell, -1 padded *)
+  }
+end
+
 type t = {
   grid : cell Grid.t;
   devices : Device.t array;
   ports : Port.t array;
   device_cells : Coord.t list array; (* indexed by device id *)
+  routing : Routing.t;
+  (* Lazily-built true shortest-distance field of each port over
+     routable cells ([max_int] = unreachable); see [port_distances]. *)
+  port_dist : int array option array;
+  port_dist_lock : Mutex.t;
 }
 
 let fail fmt = Printf.ksprintf invalid_arg fmt
+
+let build_routing grid =
+  let width = Grid.width grid and height = Grid.height grid in
+  let ncells = width * height in
+  let routable = Bytes.make ncells '\000' in
+  let through = Bytes.make ncells '\000' in
+  Grid.iter grid (fun c v ->
+      let i = Grid.index grid c in
+      match v with
+      | Blocked -> ()
+      | Channel | Device_cell _ ->
+        Bytes.set routable i '\001';
+        Bytes.set through i '\001'
+      | Port_cell _ -> Bytes.set routable i '\001');
+  let nbr = Array.make (4 * ncells) (-1) in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      let i = (y * width) + x in
+      (* Direction.all order: north, south, west, east. *)
+      if y > 0 then nbr.((4 * i) + 0) <- i - width;
+      if y < height - 1 then nbr.((4 * i) + 1) <- i + width;
+      if x > 0 then nbr.((4 * i) + 2) <- i - 1;
+      if x < width - 1 then nbr.((4 * i) + 3) <- i + 1
+    done
+  done;
+  { Routing.width; height; ncells; routable; through; nbr }
 
 let make ~grid ~devices ~ports =
   let devices = Array.of_list devices in
@@ -65,9 +114,69 @@ let make ~grid ~devices ~ports =
       in
       if not ok then fail "Layout: port %s has no routable neighbour" p.name)
     ports;
-  { grid; devices; ports; device_cells }
+  {
+    grid;
+    devices;
+    ports;
+    device_cells;
+    routing = build_routing grid;
+    port_dist = Array.make (Array.length ports) None;
+    port_dist_lock = Mutex.create ();
+  }
 
 let grid t = t.grid
+let routing t = t.routing
+
+(* BFS over routable cells from the port's own cell.  This relaxes the
+   through-routability constraint on interior cells, so the field
+   lower-bounds the cell count of ANY routable walk between the port
+   and a cell — including covering paths, whose interiors may contain
+   port cells as segment endpoints — while still dominating the
+   manhattan bound. *)
+let compute_port_distances t src =
+  let rt = t.routing in
+  let n = rt.Routing.ncells in
+  let dist = Array.make n max_int in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  let si = Grid.index t.grid src in
+  if Bytes.get rt.Routing.routable si = '\001' then begin
+    dist.(si) <- 0;
+    queue.(!tail) <- si;
+    incr tail
+  end;
+  while !head < !tail do
+    let here = queue.(!head) in
+    incr head;
+    let d = dist.(here) + 1 in
+    for k = 4 * here to (4 * here) + 3 do
+      let next = rt.Routing.nbr.(k) in
+      if
+        next >= 0
+        && Bytes.get rt.Routing.routable next = '\001'
+        && dist.(next) = max_int
+      then begin
+        dist.(next) <- d;
+        queue.(!tail) <- next;
+        incr tail
+      end
+    done
+  done;
+  dist
+
+let port_distances t id =
+  if id < 0 || id >= Array.length t.ports then raise Not_found;
+  Mutex.lock t.port_dist_lock;
+  let dist =
+    match t.port_dist.(id) with
+    | Some dist -> dist
+    | None ->
+      let dist = compute_port_distances t t.ports.(id).Port.position in
+      t.port_dist.(id) <- Some dist;
+      dist
+  in
+  Mutex.unlock t.port_dist_lock;
+  dist
 let width t = Grid.width t.grid
 let height t = Grid.height t.grid
 

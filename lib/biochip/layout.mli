@@ -12,6 +12,26 @@ type cell =
 
 type t
 
+(** Packed, allocation-free routing view of a layout, precomputed once
+    per layout for flat-array search kernels.  Cells are keyed by their
+    row-major {!Pdw_geometry.Grid.index}. *)
+module Routing : sig
+  type t = private {
+    width : int;
+    height : int;
+    ncells : int;  (** [width * height] *)
+    routable : Bytes.t;  (** ['\001'] where a fluid may occupy the cell *)
+    through : Bytes.t;
+        (** ['\001'] where fluid may also pass through (routable and not
+            a port) *)
+    nbr : int array;
+        (** four slots per cell in [Direction.all] order (north, south,
+            west, east) — the same enumeration order as
+            [Grid.neighbours] — holding the neighbour's cell index, or
+            [-1] where out of bounds *)
+  }
+end
+
 (** [make ~grid ~devices ~ports] validates:
     - device/port ids are dense and match the grid's cells;
     - every port cell sits at the port's recorded position;
@@ -25,6 +45,19 @@ val make :
   t
 
 val grid : t -> cell Pdw_geometry.Grid.t
+
+(** The layout's packed routing table (built once by {!make}). *)
+val routing : t -> Routing.t
+
+(** [port_distances t id] is the true shortest-distance field of port
+    [id]: for every cell index, the minimum number of edges of a walk
+    from the port's cell to that cell over routable cells, or [max_int]
+    when unreachable.  Dominates the manhattan bound, so it is a valid
+    (and much tighter) lower bound for port-pair pruning in the flush
+    search.  Computed on first use and cached on the layout;
+    thread-safe. *)
+val port_distances : t -> int -> int array
+
 val width : t -> int
 val height : t -> int
 

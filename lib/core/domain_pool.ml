@@ -1,117 +1,6 @@
-(* A small fixed pool of worker domains for embarrassingly-parallel
-   fan-out (per-benchmark synthesis and optimization in the harness and
-   tests).  The pool owns [size - 1] worker domains; the caller's domain
-   participates in draining the queue during [map], so a pool of size n
-   keeps exactly n domains busy.  A pool of size 1 spawns nothing and
-   runs everything inline, which keeps single-core machines and
-   recursive uses (a map inside a map) safe. *)
+(* Re-export: the pool implementation lives in [Pdw_pool] (lib/pool) so
+   layers below the planner — notably the router's parallel port-pair
+   flush in [Pdw_synth] — can share it.  [Pdw_wash.Domain_pool] remains
+   the historical entry point for the harness and tests. *)
 
-type job = unit -> unit
-
-type t = {
-  size : int;
-  queue : job Queue.t;
-  mutex : Mutex.t;
-  nonempty : Condition.t;
-  mutable closed : bool;
-  mutable workers : unit Domain.t list;
-}
-
-let default_size () = max 1 (min 8 (Domain.recommended_domain_count ()))
-
-let rec worker_loop t =
-  Mutex.lock t.mutex;
-  let rec next () =
-    if t.closed then None
-    else
-      match Queue.take_opt t.queue with
-      | Some job -> Some job
-      | None ->
-        Condition.wait t.nonempty t.mutex;
-        next ()
-  in
-  let job = next () in
-  Mutex.unlock t.mutex;
-  match job with
-  | None -> ()
-  | Some job ->
-    (try job () with _ -> ());
-    worker_loop t
-
-let create ?size () =
-  let size = match size with Some s -> max 1 s | None -> default_size () in
-  let t =
-    {
-      size;
-      queue = Queue.create ();
-      mutex = Mutex.create ();
-      nonempty = Condition.create ();
-      closed = false;
-      workers = [];
-    }
-  in
-  t.workers <-
-    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
-
-let size t = t.size
-
-let shutdown t =
-  Mutex.lock t.mutex;
-  t.closed <- true;
-  Condition.broadcast t.nonempty;
-  Mutex.unlock t.mutex;
-  List.iter Domain.join t.workers;
-  t.workers <- []
-
-(* Results are collected positionally; exceptions propagate to the
-   caller once every slot has settled (so no worker is left writing into
-   a dead array). *)
-let map t f xs =
-  match xs with
-  | [] -> []
-  | [ x ] -> [ f x ]
-  | xs when t.size = 1 -> List.map f xs
-  | xs ->
-    let arr = Array.of_list xs in
-    let n = Array.length arr in
-    let results = Array.make n None in
-    let remaining = Atomic.make n in
-    let run i =
-      let r = try Ok (f arr.(i)) with e -> Error e in
-      results.(i) <- Some r;
-      ignore (Atomic.fetch_and_add remaining (-1))
-    in
-    Mutex.lock t.mutex;
-    for i = 0 to n - 1 do
-      Queue.add (fun () -> run i) t.queue
-    done;
-    Condition.broadcast t.nonempty;
-    Mutex.unlock t.mutex;
-    (* The caller drains the queue alongside the workers, then spins
-       briefly for stragglers still executing their last job. *)
-    let rec drain () =
-      Mutex.lock t.mutex;
-      let job = Queue.take_opt t.queue in
-      Mutex.unlock t.mutex;
-      match job with
-      | Some job ->
-        job ();
-        drain ()
-      | None -> ()
-    in
-    drain ();
-    while Atomic.get remaining > 0 do
-      Domain.cpu_relax ()
-    done;
-    Array.to_list
-      (Array.map
-         (function
-           | Some (Ok r) -> r
-           | Some (Error e) -> raise e
-           | None -> assert false)
-         results)
-
-let with_pool ?size f =
-  let t = create ?size () in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+include Pdw_pool.Domain_pool

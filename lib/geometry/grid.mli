@@ -16,6 +16,14 @@ val height : 'a t -> int
 
 val in_bounds : 'a t -> Coord.t -> bool
 
+(** Row-major flat index of an in-bounds coordinate: [y * width + x].
+    Flat-array search kernels key their per-cell state on this.
+    @raise Invalid_argument if the coordinate is out of bounds. *)
+val index : 'a t -> Coord.t -> int
+
+(** Inverse of {!index}. *)
+val coord_of_index : 'a t -> int -> Coord.t
+
 (** @raise Invalid_argument if the coordinate is out of bounds. *)
 val get : 'a t -> Coord.t -> 'a
 

@@ -6,6 +6,8 @@ type event = {
   tid : int;
   path : string list;
   args : (string * string) list;
+  minor_words : float;
+  major_words : float;
 }
 
 (* The single gate every probe checks: one atomic load when disabled. *)
@@ -81,10 +83,15 @@ let with_span ?(cat = "") ?(args = []) name f =
   else begin
     let stack = Domain.DLS.get stack_key in
     Domain.DLS.set stack_key (name :: stack);
+    (* [Gc.quick_stat] reads the current domain's allocation counters
+       without walking the heap, and a span runs on one domain, so the
+       deltas are this span's own allocations (children included). *)
+    let gc0 = Gc.quick_stat () in
     let t0 = now () in
     Fun.protect
       ~finally:(fun () ->
         let t1 = now () in
+        let gc1 = Gc.quick_stat () in
         Domain.DLS.set stack_key stack;
         if Atomic.get enabled_flag then
           record
@@ -96,6 +103,8 @@ let with_span ?(cat = "") ?(args = []) name f =
               tid = (Domain.self () :> int);
               path = List.rev (name :: stack);
               args;
+              minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+              major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
             })
       f
   end

@@ -24,6 +24,10 @@ type event = {
   tid : int;
   path : string list;
   args : (string * string) list;  (** free-form key/value annotations *)
+  minor_words : float;
+      (** words allocated on the recording domain's minor heap during
+          the span (child spans included), from [Gc.quick_stat] deltas *)
+  major_words : float;  (** ditto for the major heap *)
 }
 
 (** Whether spans are being recorded. *)

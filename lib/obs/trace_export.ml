@@ -88,6 +88,24 @@ let stage_totals ?(since = 0) ~names () =
       Option.map (fun ms -> (name, ms)) (Hashtbl.find_opt tally name))
     names
 
+let stage_allocs ?(since = 0) ~names () =
+  let tally = Hashtbl.create 16 in
+  List.iteri
+    (fun i (e : Trace.event) ->
+      if i >= since && List.mem e.Trace.name names then
+        let minor, major =
+          match Hashtbl.find_opt tally e.Trace.name with
+          | Some acc -> acc
+          | None -> (0.0, 0.0)
+        in
+        Hashtbl.replace tally e.Trace.name
+          (minor +. e.Trace.minor_words, major +. e.Trace.major_words))
+    (Trace.events ());
+  List.filter_map
+    (fun name ->
+      Option.map (fun acc -> (name, acc)) (Hashtbl.find_opt tally name))
+    names
+
 (* --- plain-text summary ------------------------------------------- *)
 
 (* Aggregate events into a trie keyed by span path.  Worker-domain

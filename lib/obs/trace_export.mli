@@ -27,3 +27,14 @@ val summary : Format.formatter -> unit
     events, so a harness can report one job's stages while an outer
     [--trace] keeps the full buffer (default 0). *)
 val stage_totals : ?since:int -> names:string list -> unit -> (string * float) list
+
+(** [stage_allocs ~names ()] sums recorded span allocation deltas by
+    name, returning [(name, (minor_words, major_words))] in the order of
+    [names], omitting names never recorded.  Nested spans with listed
+    names double-count their common allocations, exactly as
+    [stage_totals] double-counts their common time. *)
+val stage_allocs :
+  ?since:int ->
+  names:string list ->
+  unit ->
+  (string * (float * float)) list

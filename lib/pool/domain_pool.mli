@@ -1,0 +1,33 @@
+(** A small fixed pool of worker domains for embarrassingly-parallel
+    fan-out (per-benchmark synthesis and optimization in the harness and
+    tests).
+
+    The pool spawns [size - 1] worker domains; during [map] the calling
+    domain drains the queue alongside them, so a pool of size [n] keeps
+    exactly [n] domains busy.  A pool of size 1 spawns nothing and runs
+    every job inline — single-core machines degrade gracefully to the
+    serial behaviour. *)
+
+type t
+
+(** Default pool size: [Domain.recommended_domain_count ()], clamped to
+    [1..8] (the fan-out here is at most the eight Table II benchmarks). *)
+val default_size : unit -> int
+
+(** [create ?size ()] spawns the workers.  [size] defaults to
+    [default_size]; values below 1 are clamped to 1. *)
+val create : ?size:int -> unit -> t
+
+val size : t -> int
+
+(** [map t f xs] applies [f] to every element, fanning the calls out
+    across the pool.  Results keep list order.  If any call raised, one
+    of the exceptions is re-raised after all jobs have settled. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Signal the workers to exit and join them.  The pool must not be used
+    afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)
+val with_pool : ?size:int -> (t -> 'a) -> 'a
