@@ -498,6 +498,98 @@ let run_perf () =
      %.1f ms)@."
     path optimize_wall_ms warm_ms cold_ms
 
+(* Planning-service throughput (BENCH_serve.json): an in-process daemon
+   on a temp socket, driven by the duplicate-heavy loadgen at 1, 2 and 4
+   worker domains.  Reports throughput, client-side latency percentiles
+   and the cache hit rate; every outcome is verified byte-identical to a
+   local one-shot run.  A separate artifact from BENCH_solver.json, so
+   the solver compare gate never sees it. *)
+let run_serve () =
+  let module Server = Pdw_service.Server in
+  let module Loadgen = Pdw_service.Loadgen in
+  let module Protocol = Pdw_service.Protocol in
+  let module J = Pdw_wash.Json_export in
+  let specs =
+    List.map
+      (fun name -> Protocol.spec (Protocol.Benchmark name))
+      [ "pcr"; "ivd"; "proteinsplit" ]
+  in
+  let measure workers =
+    let socket_path =
+      let path = Filename.temp_file "pdw-bench" ".sock" in
+      Sys.remove path;
+      path
+    in
+    let srv =
+      Server.start
+        {
+          Server.socket_path;
+          workers;
+          queue_limit = 128;
+          cache_capacity = 64;
+          job_timeout_ms = 120_000;
+          max_retries = 1;
+        }
+    in
+    Fun.protect
+      ~finally:(fun () -> Server.stop srv)
+      (fun () ->
+        (* Warm nothing: the first wave of duplicates exercises the
+           coalescer, later waves the cache — both are the service's
+           steady state. *)
+        let s =
+          Loadgen.run ~socket_path ~clients:16 ~per_client:8 ~verify:true
+            specs
+        in
+        if s.Loadgen.mismatches > 0 then
+          failwith "serve bench: served plans diverged from local runs";
+        let hit_rate =
+          if s.Loadgen.plans = 0 then 0.0
+          else float_of_int s.Loadgen.cached /. float_of_int s.Loadgen.plans
+        in
+        Format.printf
+          "serve: workers=%d  %5.1f plans/s  p50 %6.2f ms  p95 %6.2f ms  \
+           p99 %6.2f ms  cache %3.0f%%  coalesced %d@."
+          workers s.Loadgen.throughput s.Loadgen.p50_ms s.Loadgen.p95_ms
+          s.Loadgen.p99_ms (100.0 *. hit_rate) s.Loadgen.coalesced;
+        J.Obj
+          [
+            ("workers", J.Int workers);
+            ("requests", J.Int s.Loadgen.requests);
+            ("plans", J.Int s.Loadgen.plans);
+            ("cached", J.Int s.Loadgen.cached);
+            ("coalesced", J.Int s.Loadgen.coalesced);
+            ("shed", J.Int s.Loadgen.shed);
+            ("timeouts", J.Int s.Loadgen.timeouts);
+            ("errors", J.Int s.Loadgen.errors);
+            ("throughput_rps", J.Float s.Loadgen.throughput);
+            ("p50_ms", J.Float s.Loadgen.p50_ms);
+            ("p95_ms", J.Float s.Loadgen.p95_ms);
+            ("p99_ms", J.Float s.Loadgen.p99_ms);
+            ("cache_hit_rate", J.Float hit_rate);
+          ])
+  in
+  let runs = List.map measure [ 1; 2; 4 ] in
+  let json =
+    J.Obj
+      [
+        ("schema", J.String "pathdriver-wash/bench-serve/v1");
+        ("git_commit", J.String (git_commit ()));
+        ("generated_at", J.String (iso8601_now ()));
+        ("clients", J.Int 16);
+        ("per_client", J.Int 8);
+        ( "benchmarks",
+          J.List (List.map (fun n -> J.String n) [ "pcr"; "ivd"; "proteinsplit" ]) );
+        ("runs", J.List runs);
+      ]
+  in
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Format.printf "serve: wrote %s@." path
+
 (* The CI perf-regression gate: diff two BENCH_solver.json snapshots.
    Solution metrics — n_wash, l_wash_mm, t_assay_s — must be identical:
    any drift means planner behaviour changed, and the gate hard-fails.
@@ -619,7 +711,7 @@ let run_compare ~tolerance baseline_path new_path =
 
 let usage () =
   print_endline
-    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf] [--trace FILE] [--stats] [--domains N]\n\
+    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf|serve] [--trace FILE] [--stats] [--domains N]\n\
     \       main.exe compare BASELINE.json NEW.json [--tolerance RATIO]"
 
 (* Pull [--trace FILE] / [--stats] / [--domains N] out of the argument
@@ -709,6 +801,7 @@ let () =
     | [ "ports" ] -> [ run_ports ]
     | [ "speed" ] -> [ run_speed ]
     | [ "perf" ] -> [ run_perf ]
+    | [ "serve" ] -> [ run_serve ]
     | _ ->
       usage ();
       exit 1

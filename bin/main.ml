@@ -18,6 +18,10 @@ module Metrics = Pdw_wash.Metrics
 module Report = Pdw_wash.Report
 module Explain = Pdw_wash.Explain
 module Events = Pdw_obs.Events
+module Server = Pdw_service.Server
+module Client = Pdw_service.Client
+module Loadgen = Pdw_service.Loadgen
+module Protocol = Pdw_service.Protocol
 
 let benchmark_names =
   [ "pcr"; "ivd"; "proteinsplit"; "kinase act-1"; "kinase act-2";
@@ -500,6 +504,152 @@ let cmd_explain name ledger method_ cell_opt wash_opt obs =
     end;
     (!code, ctx)
 
+(* --- planning service subcommands --- *)
+
+let default_socket () =
+  Filename.concat (Filename.get_temp_dir_name ()) "pdw.sock"
+
+let cmd_serve socket workers queue_limit cache_size timeout_ms retries =
+  let cfg =
+    {
+      Server.socket_path = socket;
+      workers;
+      queue_limit;
+      cache_capacity = cache_size;
+      job_timeout_ms = timeout_ms;
+      max_retries = retries;
+    }
+  in
+  match Server.start cfg with
+  | exception Unix.Unix_error (e, _, arg) ->
+    Printf.eprintf "pdw serve: cannot listen on %s: %s\n" arg
+      (Unix.error_message e);
+    1
+  | server ->
+    Printf.eprintf
+      "pdw serve: listening on %s (workers=%d queue-limit=%d cache=%d)\n%!"
+      socket workers queue_limit cache_size;
+    Server.wait server;
+    Printf.eprintf "pdw serve: stopped\n%!";
+    0
+
+(* Shared by submit and loadgen: turn CLI flags into the same planner
+   config [cmd_run] builds, so served and one-shot runs line up. *)
+let submit_config no_necessity no_integration ilp_paths dissolution =
+  {
+    Pdw.default_config with
+    necessity = not no_necessity;
+    integrate = not no_integration;
+    use_ilp_paths = ilp_paths;
+    dissolution =
+      Option.value dissolution ~default:Pdw.default_config.Pdw.dissolution;
+  }
+
+let cmd_submit bench file stats ping shutdown server_version socket method_
+    no_cache no_necessity no_integration ilp_paths dissolution =
+  let submit_spec () =
+    match (bench, file) with
+    | Some _, Some _ -> Error "give a BENCHMARK or --file, not both"
+    | Some name, None ->
+      Ok (Protocol.Submit
+            { spec =
+                Protocol.spec ~method_
+                  ~config:(submit_config no_necessity no_integration ilp_paths
+                             dissolution)
+                  (Protocol.Benchmark name);
+              no_cache })
+    | None, Some path -> (
+      match In_channel.with_open_text path In_channel.input_all with
+      | exception Sys_error m -> Error m
+      | text ->
+        Ok (Protocol.Submit
+              { spec =
+                  Protocol.spec ~method_
+                    ~config:(submit_config no_necessity no_integration
+                               ilp_paths dissolution)
+                    (Protocol.Inline text);
+                no_cache }))
+    | None, None ->
+      Error
+        "give a BENCHMARK, --file FILE, or one of --stats / --ping / \
+         --server-version / --shutdown"
+  in
+  let request =
+    if stats then Ok Protocol.Stats
+    else if ping then Ok Protocol.Ping
+    else if shutdown then Ok Protocol.Shutdown
+    else if server_version then Ok Protocol.Version
+    else submit_spec ()
+  in
+  match request with
+  | Error m ->
+    prerr_endline ("pdw submit: " ^ m);
+    1
+  | Ok req -> (
+    match Client.connect socket with
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "pdw submit: cannot reach %s: %s\n" socket
+        (Unix.error_message e);
+      1
+    | client ->
+      let reply = Client.request client req in
+      Client.close client;
+      (match reply with
+      | Error m ->
+        prerr_endline ("pdw submit: " ^ m);
+        1
+      | Ok (Protocol.Plan { cached; coalesced; digest; wall_ms; outcome }) ->
+        (* The outcome on stdout, byte-identical to [pdw run --json];
+           request metadata on stderr where it can't corrupt a pipe. *)
+        print_endline outcome;
+        Printf.eprintf "pdw submit: %s cached=%b coalesced=%b wall=%.1fms\n"
+          digest cached coalesced wall_ms;
+        0
+      | Ok (Protocol.Shed { in_flight; limit }) ->
+        Printf.eprintf "pdw submit: shed (%d in flight, limit %d)\n" in_flight
+          limit;
+        3
+      | Ok (Protocol.Timeout { after_ms }) ->
+        Printf.eprintf "pdw submit: timed out after %d ms\n" after_ms;
+        4
+      | Ok (Protocol.Stats_reply stats) ->
+        print_endline (Pdw_obs.Json.to_string stats);
+        0
+      | Ok (Protocol.Version_reply v) ->
+        print_endline v;
+        0
+      | Ok Protocol.Pong ->
+        print_endline "pong";
+        0
+      | Ok Protocol.Bye ->
+        print_endline "server shutting down";
+        0
+      | Ok (Protocol.Burned { ms }) ->
+        Printf.eprintf "pdw submit: burned %d ms\n" ms;
+        0
+      | Ok (Protocol.Error m) ->
+        prerr_endline ("pdw submit: server error: " ^ m);
+        1))
+
+let cmd_loadgen benches socket clients per_client verify as_json method_ =
+  let benches = if benches = [] then [ "pcr"; "ivd"; "proteinsplit" ] else benches in
+  let specs =
+    List.map (fun name -> Protocol.spec ~method_ (Protocol.Benchmark name)) benches
+  in
+  match Loadgen.run ~socket_path:socket ~clients ~per_client ~verify specs with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "pdw loadgen: cannot reach %s: %s\n" socket
+      (Unix.error_message e);
+    1
+  | exception Invalid_argument m ->
+    prerr_endline ("pdw loadgen: " ^ m);
+    1
+  | s ->
+    if as_json then
+      print_endline (Pdw_obs.Json.to_string (Loadgen.summary_json s))
+    else Format.printf "%a@." Loadgen.pp_summary s;
+    if s.Loadgen.mismatches > 0 || s.Loadgen.errors > 0 then 1 else 0
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -692,12 +842,119 @@ let explain_cmd =
       const cmd_explain $ opt_benchmark $ ledger $ method_arg $ cell $ wash
       $ obs_term)
 
+let socket_arg =
+  let doc = "Unix-domain socket path of the planning daemon." in
+  Arg.(
+    value
+    & opt string (default_socket ())
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let workers =
+    let doc = "Planner worker domains." in
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let queue_limit =
+    let doc =
+      "Maximum jobs in flight (queued + running); submissions beyond it      are refused with an explicit shed reply."
+    in
+    Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
+  in
+  let cache_size =
+    let doc = "Plan-cache capacity (entries, LRU eviction)." in
+    Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"N" ~doc)
+  in
+  let timeout_ms =
+    let doc = "Per-request timeout in milliseconds." in
+    Arg.(value & opt int 60_000 & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let retries =
+    let doc = "Extra planner attempts after a crashed attempt." in
+    Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Run the planning daemon: a Unix-socket server with a bounded job      queue, content-addressed plan cache, request coalescing and a      worker-domain pool.  Stop it with $(b,pdw submit --shutdown)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const cmd_serve $ socket_arg $ workers $ queue_limit $ cache_size
+      $ timeout_ms $ retries)
+
+let submit_cmd =
+  let bench =
+    let doc = "Benchmark to plan (see $(b,pdw list))." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let file =
+    let doc = "Submit an inline assay description file instead of a      benchmark." in
+    Arg.(value & opt (some file) None & info [ "file" ] ~docv:"FILE" ~doc)
+  in
+  let stats =
+    let doc = "Fetch the daemon's stats snapshot (queue depth, cache hit      rate, latency percentiles) as JSON." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let ping =
+    let doc = "Health-check the daemon." in
+    Arg.(value & flag & info [ "ping" ] ~doc)
+  in
+  let shutdown =
+    let doc = "Ask the daemon to shut down." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let server_version =
+    let doc = "Print the daemon's version." in
+    Arg.(value & flag & info [ "server-version" ] ~doc)
+  in
+  let no_cache =
+    let doc = "Bypass the plan cache: always compute fresh, don't store." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let doc =
+    "Submit one planning request to a running daemon and print the      outcome JSON (byte-identical to $(b,pdw run --json)).  Exit codes:      0 plan, 3 shed, 4 timeout, 1 error."
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const cmd_submit $ bench $ file $ stats $ ping $ shutdown
+      $ server_version $ socket_arg $ method_arg $ no_cache $ no_necessity_arg
+      $ no_integration_arg $ ilp_paths_arg $ dissolution_arg)
+
+let loadgen_cmd =
+  let benches =
+    let doc = "Benchmarks to cycle through (default: pcr ivd proteinsplit)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"BENCHMARK" ~doc)
+  in
+  let clients =
+    let doc = "Concurrent client connections." in
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let per_client =
+    let doc = "Requests per client." in
+    Arg.(value & opt int 4 & info [ "per-client" ] ~docv:"N" ~doc)
+  in
+  let verify =
+    let doc =
+      "Recompute every distinct spec locally and require served outcomes      to be byte-identical."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let as_json =
+    let doc = "Emit the summary as JSON." in
+    Arg.(value & flag & info [ "j"; "json" ] ~doc)
+  in
+  let doc =
+    "Drive a running daemon with concurrent duplicate-heavy traffic and      report throughput, latency percentiles, cache/coalescing counts and      byte-identity verification.  Exits nonzero on mismatches or errors."
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const cmd_loadgen $ benches $ socket_arg $ clients $ per_client $ verify
+      $ as_json $ method_arg)
+
 let main_cmd =
   let doc = "PathDriver-Wash: wash optimization for continuous-flow biochips" in
-  let info = Cmd.info "pdw" ~version:"1.3.0" ~doc in
+  let info = Cmd.info "pdw" ~version:Pdw_service.Version.version ~doc in
   Cmd.group info
     [ list_cmd; layout_cmd; necessity_cmd; run_cmd; compare_cmd; table2_cmd;
       render_cmd; animate_cmd; actuations_cmd; optimize_file_cmd;
-      paths_cmd; verify_cmd; explain_cmd ]
+      paths_cmd; verify_cmd; explain_cmd; serve_cmd; submit_cmd; loadgen_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

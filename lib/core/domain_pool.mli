@@ -5,8 +5,10 @@
 type t = Pdw_pool.Domain_pool.t
 
 val default_size : unit -> int
-val create : ?size:int -> unit -> t
+val create : ?size:int -> ?dedicated:bool -> unit -> t
 val size : t -> int
+val submit : t -> (unit -> unit) -> unit
+val pending : t -> int
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 val shutdown : t -> unit
 val with_pool : ?size:int -> (t -> 'a) -> 'a

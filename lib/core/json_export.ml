@@ -30,6 +30,14 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Shortest representation that parses back to the same float — the
+   wire protocol (lib/service) embeds these values and re-parses them
+   with [Pdw_obs.Json.parse], so printing must not lose precision.
+   Mirrors [Pdw_obs.Json]'s float printing exactly. *)
+let float_repr f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
@@ -37,7 +45,7 @@ let rec write buf = function
   | Float f ->
     if Float.is_integer f && Float.abs f < 1e15 then
       Buffer.add_string buf (Printf.sprintf "%.1f" f)
-    else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    else Buffer.add_string buf (float_repr f)
   | String s ->
     Buffer.add_char buf '"';
     Buffer.add_string buf (escape s);
@@ -66,6 +74,28 @@ let to_string j =
   let buf = Buffer.create 1024 in
   write buf j;
   Buffer.contents buf
+
+(* Conversions to/from the shared observability JSON value, so service
+   replies can embed exported outcomes and round-trip tests can compare
+   [Pdw_obs.Json.parse (to_string j)] against [to_obs j]. *)
+let rec to_obs = function
+  | Null -> Pdw_obs.Json.Null
+  | Bool b -> Pdw_obs.Json.Bool b
+  | Int i -> Pdw_obs.Json.Int i
+  | Float f -> Pdw_obs.Json.Float f
+  | String s -> Pdw_obs.Json.Str s
+  | List l -> Pdw_obs.Json.Arr (List.map to_obs l)
+  | Obj fields -> Pdw_obs.Json.Obj (List.map (fun (k, v) -> (k, to_obs v)) fields)
+
+let rec of_obs = function
+  | Pdw_obs.Json.Null -> Null
+  | Pdw_obs.Json.Bool b -> Bool b
+  | Pdw_obs.Json.Int i -> Int i
+  | Pdw_obs.Json.Float f -> Float f
+  | Pdw_obs.Json.Str s -> String s
+  | Pdw_obs.Json.Arr l -> List (List.map of_obs l)
+  | Pdw_obs.Json.Obj fields ->
+    Obj (List.map (fun (k, v) -> (k, of_obs v)) fields)
 
 let coord (c : Coord.t) = List [ Int c.Coord.x; Int c.Coord.y ]
 

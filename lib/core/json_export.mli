@@ -12,8 +12,18 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
-(** Serialize with proper string escaping; objects keep field order. *)
+(** Serialize with proper string escaping (control characters
+    U+0000–U+001F emitted as [\uXXXX]); objects keep field order.
+    Floats print in the shortest form that parses back to the same
+    value, so [Pdw_obs.Json.parse (to_string j)] recovers [to_obs j]
+    exactly — the property the service wire protocol depends on. *)
 val to_string : json -> string
+
+(** Convert to the shared observability JSON value ([Pdw_obs.Json.t]). *)
+val to_obs : json -> Pdw_obs.Json.t
+
+(** Inverse of [to_obs]. *)
+val of_obs : Pdw_obs.Json.t -> json
 
 val metrics : Metrics.t -> json
 

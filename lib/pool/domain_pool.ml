@@ -10,6 +10,7 @@ type job = unit -> unit
 
 type t = {
   size : int;
+  dedicated : bool;
   queue : job Queue.t;
   mutex : Mutex.t;
   nonempty : Condition.t;
@@ -38,11 +39,12 @@ let rec worker_loop t =
     (try job () with _ -> ());
     worker_loop t
 
-let create ?size () =
+let create ?size ?(dedicated = false) () =
   let size = match size with Some s -> max 1 s | None -> default_size () in
   let t =
     {
       size;
+      dedicated;
       queue = Queue.create ();
       mutex = Mutex.create ();
       nonempty = Condition.create ();
@@ -50,11 +52,36 @@ let create ?size () =
       workers = [];
     }
   in
+  (* A dedicated pool spawns [size] continuously-draining workers (the
+     caller never participates — it only [submit]s); a map-style pool
+     spawns [size - 1] and the caller drains alongside them. *)
+  let spawned = if dedicated then size else size - 1 in
   t.workers <-
-    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    List.init spawned (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let size t = t.size
+
+(* Fire-and-forget: enqueue one job for the worker domains.  The job's
+   own completion signalling (if any) is the caller's business — the
+   planning service layers job records with mutex/condvar on top. *)
+let submit t job =
+  if not t.dedicated then
+    invalid_arg "Domain_pool.submit: pool was not created with ~dedicated";
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.submit: pool is shut down"
+  end;
+  Queue.add job t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n
 
 let shutdown t =
   Mutex.lock t.mutex;

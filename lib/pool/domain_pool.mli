@@ -14,11 +14,26 @@ type t
     [1..8] (the fan-out here is at most the eight Table II benchmarks). *)
 val default_size : unit -> int
 
-(** [create ?size ()] spawns the workers.  [size] defaults to
-    [default_size]; values below 1 are clamped to 1. *)
-val create : ?size:int -> unit -> t
+(** [create ?size ?dedicated ()] spawns the workers.  [size] defaults to
+    [default_size]; values below 1 are clamped to 1.
+
+    With [~dedicated:true] the pool spawns [size] worker domains that
+    drain the queue continuously — the owning domain never participates.
+    This is the mode for long-lived asynchronous use ([submit], as in
+    the planning service); the default mode is for [map]-style fan-out
+    where the caller drains alongside [size - 1] workers. *)
+val create : ?size:int -> ?dedicated:bool -> unit -> t
 
 val size : t -> int
+
+(** [submit t job] enqueues [job] for the worker domains and returns
+    immediately.  Exceptions from [job] are swallowed by the worker
+    loop; completion signalling is the caller's responsibility.
+    @raise Invalid_argument on a non-dedicated or shut-down pool. *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Jobs enqueued but not yet picked up by a worker. *)
+val pending : t -> int
 
 (** [map t f xs] applies [f] to every element, fanning the calls out
     across the pool.  Results keep list order.  If any call raised, one

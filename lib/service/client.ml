@@ -1,0 +1,25 @@
+type t = { fd : Unix.file_descr }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let request t req =
+  match
+    Wire.write_json t.fd (Protocol.request_to_json req);
+    Wire.read_json t.fd
+  with
+  | Some j -> Protocol.reply_of_json j
+  | None -> Error "server closed the connection"
+  | exception Wire.Protocol_error m -> Error m
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_client path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

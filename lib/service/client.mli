@@ -1,0 +1,18 @@
+(** A blocking client for the planning daemon: one Unix-socket
+    connection, synchronous request/reply. *)
+
+type t
+
+(** [connect path] dials the daemon's socket.
+    @raise Unix.Unix_error when nothing is listening. *)
+val connect : string -> t
+
+(** [request t req] sends one request and reads its reply.  Transport
+    and protocol failures come back as [Error] — a client never
+    raises mid-conversation. *)
+val request : t -> Protocol.request -> (Protocol.reply, string) result
+
+val close : t -> unit
+
+(** [with_client path f] connects, runs [f], always closes. *)
+val with_client : string -> (t -> 'a) -> 'a

@@ -1,0 +1,40 @@
+module Benchmarks = Pdw_assay.Benchmarks
+module Assay_parser = Pdw_assay.Assay_parser
+module Layout_builder = Pdw_biochip.Layout_builder
+module Synthesis = Pdw_synth.Synthesis
+module Pdw = Pdw_wash.Pdw
+module Dawo = Pdw_wash.Dawo
+module Json_export = Pdw_wash.Json_export
+module Trace = Pdw_obs.Trace
+
+(* Mirrors bin/main.ml's [synthesize]: the motivating example runs on
+   the paper's hand-built Fig. 2 layout, everything else on a freshly
+   synthesized chip. *)
+let synthesize_benchmark name b =
+  if String.lowercase_ascii name = "motivating" then
+    Synthesis.synthesize ~layout:(Layout_builder.fig2_layout ()) b
+  else Synthesis.synthesize b
+
+let resolve (source : Protocol.source) =
+  match source with
+  | Protocol.Benchmark name -> (
+    match Benchmarks.find name with
+    | Some b -> Ok (synthesize_benchmark name b)
+    | None -> Error (Printf.sprintf "unknown benchmark %S" name))
+  | Protocol.Inline text -> (
+    match Assay_parser.parse text with
+    | Ok b -> Ok (Synthesis.synthesize b)
+    | Error m -> Error (Printf.sprintf "assay parse error: %s" m))
+
+let plan (spec : Protocol.spec) =
+  Trace.with_span "service.plan" @@ fun () ->
+  match Trace.with_span "service.synthesize" (fun () -> resolve spec.Protocol.source) with
+  | Error _ as e -> e
+  | Ok s ->
+    let outcome =
+      Trace.with_span "service.optimize" @@ fun () ->
+      match spec.Protocol.method_ with
+      | `Pdw -> Pdw.optimize ~config:spec.Protocol.config s
+      | `Dawo -> Dawo.optimize s
+    in
+    Ok (Json_export.to_string (Json_export.outcome outcome))

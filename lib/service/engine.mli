@@ -1,0 +1,17 @@
+(** Resolving a service job into the outcome JSON a one-shot run prints.
+
+    [plan] follows exactly the pipeline of [pdw run --json] /
+    [pdw optimize-file]: resolve the benchmark (or parse the inline
+    assay), synthesize — the motivating example on its hand-built
+    Fig. 2 layout, everything else on a fresh synthesized chip — then
+    optimize with the requested method and serialize via
+    [Json_export.outcome].  Every job synthesizes fresh, so a served
+    plan is byte-identical to the single-shot CLI on the same spec;
+    repeat-request speed comes from the plan cache above, not from
+    sharing mutable synthesis state between workers. *)
+
+(** [plan spec] is the outcome JSON text, or a user-facing error
+    (unknown benchmark, assay parse failure).  Never raises for bad
+    input; planner bugs propagate as exceptions for the server's retry
+    logic to classify. *)
+val plan : Protocol.spec -> (string, string) result

@@ -1,0 +1,144 @@
+module Json = Pdw_obs.Json
+
+type summary = {
+  requests : int;
+  plans : int;
+  cached : int;
+  coalesced : int;
+  shed : int;
+  timeouts : int;
+  errors : int;
+  mismatches : int;
+  wall_s : float;
+  throughput : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+type acc = {
+  mutable a_plans : int;
+  mutable a_cached : int;
+  mutable a_coalesced : int;
+  mutable a_shed : int;
+  mutable a_timeouts : int;
+  mutable a_errors : int;
+  mutable a_mismatches : int;
+  mutable a_latencies : float list;
+  lock : Mutex.t;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let run ~socket_path ~clients ~per_client ~verify specs =
+  if specs = [] then invalid_arg "Loadgen.run: empty spec list";
+  let specs = Array.of_list specs in
+  let expected =
+    if not verify then [||]
+    else
+      Array.map
+        (fun spec ->
+          match Engine.plan spec with
+          | Ok outcome -> outcome
+          | Error m ->
+            invalid_arg
+              (Printf.sprintf "Loadgen.run: local plan failed (%s)" m))
+        specs
+  in
+  let acc =
+    {
+      a_plans = 0;
+      a_cached = 0;
+      a_coalesced = 0;
+      a_shed = 0;
+      a_timeouts = 0;
+      a_errors = 0;
+      a_mismatches = 0;
+      a_latencies = [];
+      lock = Mutex.create ();
+    }
+  in
+  let record f =
+    Mutex.lock acc.lock;
+    f acc;
+    Mutex.unlock acc.lock
+  in
+  let client_thread k =
+    Client.with_client socket_path @@ fun c ->
+    for i = 0 to per_client - 1 do
+      (* Round-robin with a per-client offset: neighbours hit the same
+         spec at the same time, which is exactly the duplicate traffic
+         the coalescer and cache are there for. *)
+      let idx = ((k * per_client) + i) mod Array.length specs in
+      let spec = specs.(idx) in
+      let t0 = Unix.gettimeofday () in
+      let reply = Client.request c (Protocol.Submit { spec; no_cache = false }) in
+      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      record (fun a ->
+          match reply with
+          | Ok (Protocol.Plan { cached; coalesced; outcome; _ }) ->
+            a.a_plans <- a.a_plans + 1;
+            if cached then a.a_cached <- a.a_cached + 1;
+            if coalesced then a.a_coalesced <- a.a_coalesced + 1;
+            a.a_latencies <- ms :: a.a_latencies;
+            if verify && not (String.equal outcome expected.(idx)) then
+              a.a_mismatches <- a.a_mismatches + 1
+          | Ok (Protocol.Shed _) -> a.a_shed <- a.a_shed + 1
+          | Ok (Protocol.Timeout _) -> a.a_timeouts <- a.a_timeouts + 1
+          | Ok _ | Error _ -> a.a_errors <- a.a_errors + 1)
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun k -> Thread.create client_thread k) in
+  List.iter Thread.join threads;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let sorted = Array.of_list acc.a_latencies in
+  Array.sort compare sorted;
+  {
+    requests = clients * per_client;
+    plans = acc.a_plans;
+    cached = acc.a_cached;
+    coalesced = acc.a_coalesced;
+    shed = acc.a_shed;
+    timeouts = acc.a_timeouts;
+    errors = acc.a_errors;
+    mismatches = acc.a_mismatches;
+    wall_s;
+    throughput = (if wall_s > 0.0 then float_of_int acc.a_plans /. wall_s else 0.0);
+    p50_ms = percentile sorted 0.50;
+    p95_ms = percentile sorted 0.95;
+    p99_ms = percentile sorted 0.99;
+  }
+
+let summary_json s =
+  Json.Obj
+    [
+      ("requests", Json.Int s.requests);
+      ("plans", Json.Int s.plans);
+      ("cached", Json.Int s.cached);
+      ("coalesced", Json.Int s.coalesced);
+      ("shed", Json.Int s.shed);
+      ("timeouts", Json.Int s.timeouts);
+      ("errors", Json.Int s.errors);
+      ("mismatches", Json.Int s.mismatches);
+      ("wall_s", Json.Float s.wall_s);
+      ("throughput_rps", Json.Float s.throughput);
+      ("p50_ms", Json.Float s.p50_ms);
+      ("p95_ms", Json.Float s.p95_ms);
+      ("p99_ms", Json.Float s.p99_ms);
+    ]
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>requests  %d (plans %d, cached %d, coalesced %d)@,\
+     refused   shed %d, timeouts %d, errors %d@,\
+     verify    %s@,\
+     wall      %.2f s (%.1f plans/s)@,\
+     latency   p50 %.1f ms, p95 %.1f ms, p99 %.1f ms@]" s.requests s.plans
+    s.cached s.coalesced s.shed s.timeouts s.errors
+    (if s.mismatches = 0 then "all outcomes byte-identical to local runs"
+     else Printf.sprintf "%d MISMATCHES" s.mismatches)
+    s.wall_s s.throughput s.p50_ms s.p95_ms s.p99_ms

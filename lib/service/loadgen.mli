@@ -1,0 +1,40 @@
+(** Concurrent load generator for the planning daemon.
+
+    Spawns [clients] threads, each with its own connection, each
+    submitting [per_client] requests round-robin over a spec list —
+    so with more clients than specs, identical requests are in flight
+    concurrently by construction, exercising the cache and the
+    coalescer.  With [verify] on, every served outcome is compared
+    byte-for-byte against a locally computed plan for the same spec
+    (one local run per distinct spec). *)
+
+type summary = {
+  requests : int;
+  plans : int;  (** [Plan] replies (cached or computed) *)
+  cached : int;
+  coalesced : int;
+  shed : int;
+  timeouts : int;
+  errors : int;
+  mismatches : int;  (** served outcomes that differ from a local run *)
+  wall_s : float;
+  throughput : float;  (** plans per wall-clock second *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+(** [run ~socket_path ~clients ~per_client ~verify specs] drives the
+    daemon and gathers the tallies.  [specs] must be non-empty.
+    @raise Invalid_argument on an empty spec list. *)
+val run :
+  socket_path:string ->
+  clients:int ->
+  per_client:int ->
+  verify:bool ->
+  Protocol.spec list ->
+  summary
+
+val summary_json : summary -> Pdw_obs.Json.t
+
+val pp_summary : Format.formatter -> summary -> unit

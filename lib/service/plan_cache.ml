@@ -1,0 +1,111 @@
+module Counters = Pdw_obs.Counters
+
+let c_hits = Counters.counter "service.cache.hits"
+let c_misses = Counters.counter "service.cache.misses"
+let c_evictions = Counters.counter "service.cache.evictions"
+
+(* Doubly-linked LRU list threaded through a hash table.  [head] is the
+   most recently used entry, [tail] the eviction candidate. *)
+type node = {
+  key : string;
+  mutable value : string;
+  mutable prev : node option;  (* towards head *)
+  mutable next : node option;  (* towards tail *)
+}
+
+type t = {
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity () =
+  let capacity = max 1 capacity in
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    Counters.incr c_hits;
+    unlink t n;
+    push_front t n;
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    Counters.incr c_misses;
+    None
+
+let add t key value =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    n.value <- value;
+    unlink t n;
+    push_front t n
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then begin
+      match t.tail with
+      | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.table lru.key;
+        t.evictions <- t.evictions + 1;
+        Counters.incr c_evictions
+      | None -> ()
+    end;
+    let n = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key n;
+    push_front t n
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  length : int;
+  capacity : int;
+}
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    length = Hashtbl.length t.table;
+    capacity = t.capacity;
+  }
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total

@@ -1,0 +1,35 @@
+(** Content-addressed plan cache: digest of the canonicalized
+    (layout+assay, method, config) request → the full outcome JSON a
+    one-shot run would print.
+
+    Bounded LRU: [add] beyond capacity evicts the least-recently-used
+    entry; [find] promotes.  Thread-safe (one mutex — operations are
+    O(1) pointer surgery, so the lock is never held long).  Hit, miss
+    and eviction counts feed both the module's own [stats] record and
+    the [Pdw_obs.Counters] table ([service.cache.*]). *)
+
+type t
+
+(** [create ~capacity ()] — [capacity] is clamped to at least 1. *)
+val create : capacity:int -> unit -> t
+
+(** [find t digest] is the cached outcome, promoting the entry to
+    most-recently-used.  Counts a hit or a miss. *)
+val find : t -> string -> string option
+
+(** [add t digest outcome] inserts or refreshes, evicting the LRU entry
+    when over capacity. *)
+val add : t -> string -> string -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  length : int;
+  capacity : int;
+}
+
+val stats : t -> stats
+
+(** [hit_rate s] is hits / (hits + misses), or 0 before any lookup. *)
+val hit_rate : stats -> float

@@ -1,0 +1,293 @@
+module Json = Pdw_obs.Json
+module Pdw = Pdw_wash.Pdw
+
+type method_ = [ `Pdw | `Dawo ]
+
+type source = Benchmark of string | Inline of string
+
+type spec = { source : source; method_ : method_; config : Pdw.config }
+
+type request =
+  | Submit of { spec : spec; no_cache : bool }
+  | Burn of { ms : int }
+  | Stats
+  | Version
+  | Ping
+  | Shutdown
+
+type reply =
+  | Plan of {
+      cached : bool;
+      coalesced : bool;
+      digest : string;
+      wall_ms : float;
+      outcome : string;
+    }
+  | Shed of { in_flight : int; limit : int }
+  | Timeout of { after_ms : int }
+  | Stats_reply of Json.t
+  | Version_reply of string
+  | Pong
+  | Burned of { ms : int }
+  | Bye
+  | Error of string
+
+let spec ?(method_ = `Pdw) ?(config = Pdw.default_config) source =
+  { source; method_; config }
+
+let method_name = function `Pdw -> "pdw" | `Dawo -> "dawo"
+
+let method_of_name = function
+  | "pdw" -> Ok `Pdw
+  | "dawo" -> Ok `Dawo
+  | m -> Result.Error (Printf.sprintf "unknown method %S" m)
+
+(* Every wire-configurable field, fixed order — this exact list is the
+   canonical form the digest hashes, so adding a field here changes
+   every digest (as it must: old cached plans no longer answer the
+   richer request space). *)
+let config_to_json (c : Pdw.config) =
+  Json.Obj
+    [
+      ("necessity", Json.Bool c.Pdw.necessity);
+      ("integrate", Json.Bool c.Pdw.integrate);
+      ("conflict_aware", Json.Bool c.Pdw.conflict_aware);
+      ("use_ilp_paths", Json.Bool c.Pdw.use_ilp_paths);
+      ("dissolution", Json.Int c.Pdw.dissolution);
+      ("max_group_targets", Json.Int c.Pdw.max_group_targets);
+      ("grouping_radius", Json.Int c.Pdw.grouping_radius);
+      ("alpha", Json.Float c.Pdw.alpha);
+      ("beta", Json.Float c.Pdw.beta);
+      ("gamma", Json.Float c.Pdw.gamma);
+    ]
+
+(* Missing fields keep their defaults, so clients send only what they
+   override; unknown fields are rejected (a typo would otherwise
+   silently plan the wrong problem AND miss the cache forever). *)
+let config_of_json j =
+  match j with
+  | Json.Obj fields ->
+    let known =
+      [ "necessity"; "integrate"; "conflict_aware"; "use_ilp_paths";
+        "dissolution"; "max_group_targets"; "grouping_radius"; "alpha";
+        "beta"; "gamma" ]
+    in
+    let unknown = List.filter (fun (k, _) -> not (List.mem k known)) fields in
+    if unknown <> [] then
+      Result.Error
+        (Printf.sprintf "unknown config field %S" (fst (List.hd unknown)))
+    else begin
+      let bool_f k dflt =
+        match Json.member k j with
+        | Some (Json.Bool b) -> Ok b
+        | None -> Ok dflt
+        | Some _ -> Result.Error (Printf.sprintf "config.%s: expected bool" k)
+      in
+      let int_f k dflt =
+        match Option.map Json.to_int (Json.member k j) with
+        | Some (Some i) -> Ok i
+        | None -> Ok dflt
+        | Some None -> Result.Error (Printf.sprintf "config.%s: expected int" k)
+      in
+      let float_f k dflt =
+        match Option.map Json.to_float (Json.member k j) with
+        | Some (Some f) -> Ok f
+        | None -> Ok dflt
+        | Some None ->
+          Result.Error (Printf.sprintf "config.%s: expected number" k)
+      in
+      let d = Pdw.default_config in
+      let ( let* ) = Result.bind in
+      let* necessity = bool_f "necessity" d.Pdw.necessity in
+      let* integrate = bool_f "integrate" d.Pdw.integrate in
+      let* conflict_aware = bool_f "conflict_aware" d.Pdw.conflict_aware in
+      let* use_ilp_paths = bool_f "use_ilp_paths" d.Pdw.use_ilp_paths in
+      let* dissolution = int_f "dissolution" d.Pdw.dissolution in
+      let* max_group_targets =
+        int_f "max_group_targets" d.Pdw.max_group_targets
+      in
+      let* grouping_radius = int_f "grouping_radius" d.Pdw.grouping_radius in
+      let* alpha = float_f "alpha" d.Pdw.alpha in
+      let* beta = float_f "beta" d.Pdw.beta in
+      let* gamma = float_f "gamma" d.Pdw.gamma in
+      Ok
+        {
+          d with
+          Pdw.necessity;
+          integrate;
+          conflict_aware;
+          use_ilp_paths;
+          dissolution;
+          max_group_targets;
+          grouping_radius;
+          alpha;
+          beta;
+          gamma;
+        }
+    end
+  | _ -> Result.Error "config: expected an object"
+
+let canonical_json { source; method_; config } =
+  let source_fields =
+    match source with
+    | Benchmark name ->
+      [ ("source", Json.Str "benchmark");
+        ("benchmark", Json.Str (String.lowercase_ascii name)) ]
+    | Inline text ->
+      [ ("source", Json.Str "inline"); ("assay", Json.Str text) ]
+  in
+  Json.Obj
+    (source_fields
+    @ [ ("method", Json.Str (method_name method_));
+        ("config", config_to_json config) ])
+
+let digest spec =
+  Digest.to_hex (Digest.string (Json.to_string (canonical_json spec)))
+
+let request_to_json = function
+  | Submit { spec = { source; method_; config }; no_cache } ->
+    let source_fields =
+      match source with
+      | Benchmark name -> [ ("benchmark", Json.Str name) ]
+      | Inline text -> [ ("assay", Json.Str text) ]
+    in
+    Json.Obj
+      (( ("op", Json.Str "submit") :: source_fields)
+      @ [ ("method", Json.Str (method_name method_));
+          ("config", config_to_json config);
+          ("no_cache", Json.Bool no_cache) ])
+  | Burn { ms } -> Json.Obj [ ("op", Json.Str "burn"); ("ms", Json.Int ms) ]
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Version -> Json.Obj [ ("op", Json.Str "version") ]
+  | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
+  | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
+
+let request_of_json j =
+  let ( let* ) = Result.bind in
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  match str "op" with
+  | None -> Result.Error "request: missing \"op\""
+  | Some "submit" ->
+    let* source =
+      match (str "benchmark", str "assay") with
+      | Some name, None -> Ok (Benchmark name)
+      | None, Some text -> Ok (Inline text)
+      | Some _, Some _ ->
+        Result.Error "submit: give \"benchmark\" or \"assay\", not both"
+      | None, None -> Result.Error "submit: missing \"benchmark\" or \"assay\""
+    in
+    let* method_ =
+      match str "method" with
+      | None -> Ok `Pdw
+      | Some m -> method_of_name m
+    in
+    let* config =
+      match Json.member "config" j with
+      | None -> Ok Pdw_wash.Pdw.default_config
+      | Some c -> config_of_json c
+    in
+    let no_cache =
+      match Json.member "no_cache" j with
+      | Some (Json.Bool b) -> b
+      | Some _ | None -> false
+    in
+    Ok (Submit { spec = { source; method_; config }; no_cache })
+  | Some "burn" -> (
+    match Option.bind (Json.member "ms" j) Json.to_int with
+    | Some ms when ms >= 0 -> Ok (Burn { ms })
+    | Some _ | None -> Result.Error "burn: missing non-negative \"ms\"")
+  | Some "stats" -> Ok Stats
+  | Some "version" -> Ok Version
+  | Some "ping" -> Ok Ping
+  | Some "shutdown" -> Ok Shutdown
+  | Some op -> Result.Error (Printf.sprintf "unknown op %S" op)
+
+let reply_to_json = function
+  | Plan { cached; coalesced; digest; wall_ms; outcome } ->
+    let outcome_json =
+      (* The outcome is Json_export text; to_string of the parse is
+         byte-identical (the round-trip property), so embedding it as a
+         value — not an escaped string — is safe. *)
+      match Json.parse outcome with
+      | Ok j -> j
+      | Error _ -> Json.Str outcome
+    in
+    Json.Obj
+      [
+        ("status", Json.Str "ok");
+        ("cached", Json.Bool cached);
+        ("coalesced", Json.Bool coalesced);
+        ("digest", Json.Str digest);
+        ("wall_ms", Json.Float wall_ms);
+        ("outcome", outcome_json);
+      ]
+  | Shed { in_flight; limit } ->
+    Json.Obj
+      [
+        ("status", Json.Str "shed");
+        ("in_flight", Json.Int in_flight);
+        ("limit", Json.Int limit);
+      ]
+  | Timeout { after_ms } ->
+    Json.Obj
+      [ ("status", Json.Str "timeout"); ("after_ms", Json.Int after_ms) ]
+  | Stats_reply stats ->
+    Json.Obj [ ("status", Json.Str "ok"); ("stats", stats) ]
+  | Version_reply v ->
+    Json.Obj [ ("status", Json.Str "ok"); ("version", Json.Str v) ]
+  | Pong -> Json.Obj [ ("status", Json.Str "ok"); ("pong", Json.Bool true) ]
+  | Burned { ms } ->
+    Json.Obj [ ("status", Json.Str "ok"); ("burned_ms", Json.Int ms) ]
+  | Bye -> Json.Obj [ ("status", Json.Str "ok"); ("bye", Json.Bool true) ]
+  | Error m ->
+    Json.Obj [ ("status", Json.Str "error"); ("message", Json.Str m) ]
+
+let reply_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  match str "status" with
+  | Some "shed" -> (
+    match (int "in_flight", int "limit") with
+    | Some in_flight, Some limit -> Ok (Shed { in_flight; limit })
+    | _ -> Result.Error "shed reply: missing fields")
+  | Some "timeout" -> (
+    match int "after_ms" with
+    | Some after_ms -> Ok (Timeout { after_ms })
+    | None -> Result.Error "timeout reply: missing after_ms")
+  | Some "error" -> (
+    match str "message" with
+    | Some m -> Ok (Error m)
+    | None -> Result.Error "error reply: missing message")
+  | Some "ok" -> (
+    match Json.member "outcome" j with
+    | Some outcome_json ->
+      let get_bool k =
+        match Json.member k j with Some (Json.Bool b) -> b | _ -> false
+      in
+      Ok
+        (Plan
+           {
+             cached = get_bool "cached";
+             coalesced = get_bool "coalesced";
+             digest = Option.value (str "digest") ~default:"";
+             wall_ms =
+               Option.value
+                 (Option.bind (Json.member "wall_ms" j) Json.to_float)
+                 ~default:0.0;
+             outcome = Json.to_string outcome_json;
+           })
+    | None -> (
+      match Json.member "stats" j with
+      | Some stats -> Ok (Stats_reply stats)
+      | None -> (
+        match str "version" with
+        | Some v -> Ok (Version_reply v)
+        | None -> (
+          match int "burned_ms" with
+          | Some ms -> Ok (Burned { ms })
+          | None ->
+            if Json.member "bye" j <> None then Ok Bye
+            else if Json.member "pong" j <> None then Ok Pong
+            else Result.Error "ok reply: unrecognized shape"))))
+  | Some s -> Result.Error (Printf.sprintf "unknown status %S" s)
+  | None -> Result.Error "reply: missing \"status\""

@@ -1,0 +1,78 @@
+(** The planning-service request/reply vocabulary and its JSON codec.
+
+    Requests are JSON objects with an ["op"] discriminator; replies
+    carry a ["status"] field.  Planned outcomes travel as the exact
+    [Pdw_wash.Json_export] text a one-shot [pdw run --json] would print,
+    so byte-identity between served and single-shot plans is a protocol
+    guarantee, not an accident ([Json_export.to_string] round-trips
+    through [Pdw_obs.Json.parse], see its interface). *)
+
+module Json = Pdw_obs.Json
+
+type method_ = [ `Pdw | `Dawo ]
+
+(** What to plan: a named Table II benchmark (the ["motivating"] name
+    selects the Fig. 2(a) layout, exactly like the CLI) or an inline
+    assay in the [Pdw_assay.Assay_parser] text format. *)
+type source = Benchmark of string | Inline of string
+
+type spec = {
+  source : source;
+  method_ : method_;
+  config : Pdw_wash.Pdw.config;
+      (** wire-configurable subset; [ilp_config] stays at its default *)
+}
+
+type request =
+  | Submit of { spec : spec; no_cache : bool }
+      (** plan (or fetch from cache); [no_cache] forces a fresh
+          computation and skips coalescing *)
+  | Burn of { ms : int }
+      (** a synthetic job that holds a worker for [ms] milliseconds —
+          load-generation and backpressure testing *)
+  | Stats  (** queue depth, cache hit rate, latency percentiles *)
+  | Version
+  | Ping
+  | Shutdown  (** stop accepting, drain, exit *)
+
+type reply =
+  | Plan of {
+      cached : bool;  (** served from the plan cache *)
+      coalesced : bool;  (** attached to an identical in-flight job *)
+      digest : string;  (** content address of the canonical spec *)
+      wall_ms : float;  (** server-side time to answer this request *)
+      outcome : string;  (** raw [Json_export] outcome text *)
+    }
+  | Shed of { in_flight : int; limit : int }
+      (** admission refused: the bounded queue is full — back off *)
+  | Timeout of { after_ms : int }
+      (** the job exceeded the per-job wall-clock budget; the result
+          will still land in the cache when it completes *)
+  | Stats_reply of Json.t
+  | Version_reply of string
+  | Pong
+  | Burned of { ms : int }
+  | Bye  (** shutdown acknowledged *)
+  | Error of string
+
+(** [spec ?method_ ?config source] with defaults [`Pdw] and
+    [Pdw_wash.Pdw.default_config]. *)
+val spec :
+  ?method_:method_ -> ?config:Pdw_wash.Pdw.config -> source -> spec
+
+(** Canonical JSON of a spec: every config field present, in a fixed
+    order, with defaults resolved — the cache key's preimage.  Two
+    requests digest equal iff they are the same planning problem. *)
+val canonical_json : spec -> Json.t
+
+(** Hex MD5 of [canonical_json] — the content address used by the plan
+    cache and request coalescing. *)
+val digest : spec -> string
+
+val request_to_json : request -> Json.t
+
+val request_of_json : Json.t -> (request, string) result
+
+val reply_to_json : reply -> Json.t
+
+val reply_of_json : Json.t -> (reply, string) result

@@ -1,0 +1,496 @@
+module Json = Pdw_obs.Json
+module Counters = Pdw_obs.Counters
+module Trace = Pdw_obs.Trace
+module Domain_pool = Pdw_pool.Domain_pool
+
+let c_requests = Counters.counter "service.requests"
+let c_coalesced = Counters.counter "service.coalesced"
+let c_timeouts = Counters.counter "service.timeouts"
+let c_retries = Counters.counter "service.retries"
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_limit : int;
+  cache_capacity : int;
+  job_timeout_ms : int;
+  max_retries : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = 2;
+    queue_limit = 64;
+    cache_capacity = 256;
+    job_timeout_ms = 60_000;
+    max_retries = 1;
+  }
+
+(* One planning job, shared by every coalesced waiter.  Waiters poll
+   [state] under [lock] (OCaml's Condition has no timed wait, and the
+   per-request timeout must fire even if the worker never finishes). *)
+type job_state = Running | Finished of (string, string) result
+
+type job = {
+  digest : string;
+  mutable state : job_state;
+  lock : Mutex.t;
+}
+
+type counts = {
+  mutable submitted : int;
+  mutable completed : int;
+  mutable coalesced : int;
+  mutable timeouts : int;
+  mutable errors : int;
+  mutable burns : int;
+}
+
+(* Latency samples for percentile reporting: a bounded ring of the most
+   recent completions (old traffic ages out, stats stay O(1) memory). *)
+let lat_capacity = 4096
+
+type t = {
+  cfg : config;
+  cache : Plan_cache.t;
+  adm : Admission.t;
+  pool : Domain_pool.t;
+  jobs : (string, job) Hashtbl.t;
+  jobs_lock : Mutex.t;
+  counts : counts;
+  lat : float array;
+  mutable lat_n : int;  (* total samples ever; ring index = n mod cap *)
+  counts_lock : Mutex.t;
+  started_at : float;
+  listen_fd : Unix.file_descr;
+  stop_r : Unix.file_descr;  (* self-pipe: [stop] wakes the accept loop *)
+  stop_w : Unix.file_descr;
+  mutable conns : Unix.file_descr list;
+  mutable stopping : bool;
+  mutable stopped : bool;
+  lifecycle : Mutex.t;
+  lifecycle_cond : Condition.t;
+}
+
+let config t = t.cfg
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* --- metrics -------------------------------------------------------- *)
+
+let with_counts t f =
+  Mutex.lock t.counts_lock;
+  f t.counts;
+  Mutex.unlock t.counts_lock
+
+let record_latency t ms =
+  Mutex.lock t.counts_lock;
+  t.lat.(t.lat_n mod lat_capacity) <- ms;
+  t.lat_n <- t.lat_n + 1;
+  Mutex.unlock t.counts_lock
+
+let latency_percentiles t =
+  Mutex.lock t.counts_lock;
+  let n = min t.lat_n lat_capacity in
+  let samples = Array.sub t.lat 0 n in
+  Mutex.unlock t.counts_lock;
+  Array.sort compare samples;
+  let pct q =
+    if n = 0 then 0.0
+    else samples.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+  in
+  (n, pct 0.50, pct 0.95, pct 0.99)
+
+let stats_json t =
+  let cs = Plan_cache.stats t.cache in
+  let n, p50, p95, p99 = latency_percentiles t in
+  Mutex.lock t.counts_lock;
+  let c = t.counts in
+  let submitted = c.submitted
+  and completed = c.completed
+  and coalesced = c.coalesced
+  and timeouts = c.timeouts
+  and errors = c.errors
+  and burns = c.burns in
+  Mutex.unlock t.counts_lock;
+  Json.Obj
+    [
+      ("version", Json.Str Version.version);
+      ("workers", Json.Int t.cfg.workers);
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ( "queue",
+        Json.Obj
+          [
+            ("in_flight", Json.Int (Admission.in_flight t.adm));
+            ("pending", Json.Int (Domain_pool.pending t.pool));
+            ("limit", Json.Int (Admission.limit t.adm));
+            ("shed", Json.Int (Admission.shed_count t.adm));
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int cs.Plan_cache.hits);
+            ("misses", Json.Int cs.Plan_cache.misses);
+            ("evictions", Json.Int cs.Plan_cache.evictions);
+            ("length", Json.Int cs.Plan_cache.length);
+            ("capacity", Json.Int cs.Plan_cache.capacity);
+            ("hit_rate", Json.Float (Plan_cache.hit_rate cs));
+          ] );
+      ( "requests",
+        Json.Obj
+          [
+            ("submitted", Json.Int submitted);
+            ("completed", Json.Int completed);
+            ("coalesced", Json.Int coalesced);
+            ("timeouts", Json.Int timeouts);
+            ("errors", Json.Int errors);
+            ("burns", Json.Int burns);
+          ] );
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("samples", Json.Int n);
+            ("p50", Json.Float p50);
+            ("p95", Json.Float p95);
+            ("p99", Json.Float p99);
+          ] );
+    ]
+
+(* --- the job machinery ---------------------------------------------- *)
+
+(* Wait for [job] to finish, polling its state until [deadline_ms].
+   1 ms granularity: coarse against planner runtimes, and waiters are
+   systhreads, so the polls just interleave with real work. *)
+let wait_job job ~deadline_ms =
+  let rec loop () =
+    Mutex.lock job.lock;
+    let state = job.state in
+    Mutex.unlock job.lock;
+    match state with
+    | Finished r -> Some r
+    | Running ->
+      if now_ms () >= deadline_ms then None
+      else begin
+        Thread.delay 0.001;
+        loop ()
+      end
+  in
+  loop ()
+
+let finish_job job result =
+  Mutex.lock job.lock;
+  job.state <- Finished result;
+  Mutex.unlock job.lock
+
+(* The worker side of one submit: plan with bounded retry, publish to
+   the cache, wake the waiters, give the admission slot back. *)
+let run_plan_job t job spec ~registered ~cache_write =
+  let rec attempt k =
+    match Engine.plan spec with
+    | result -> result
+    | exception e ->
+      if k < t.cfg.max_retries then begin
+        Counters.incr c_retries;
+        attempt (k + 1)
+      end
+      else
+        Error
+          (Printf.sprintf "planner failed after %d attempt(s): %s" (k + 1)
+             (Printexc.to_string e))
+  in
+  let result = attempt 0 in
+  (match result with
+  | Ok outcome when cache_write -> Plan_cache.add t.cache job.digest outcome
+  | _ -> ());
+  (* Publish before deregistering: a request that finds the job in the
+     table just as it finishes reads [Finished] instantly; one that
+     misses the table re-checks the cache-filled path on its own. *)
+  finish_job job result;
+  if registered then begin
+    Mutex.lock t.jobs_lock;
+    Hashtbl.remove t.jobs job.digest;
+    Mutex.unlock t.jobs_lock
+  end;
+  Admission.release t.adm;
+  with_counts t (fun c ->
+      match result with
+      | Ok _ -> c.completed <- c.completed + 1
+      | Error _ -> c.errors <- c.errors + 1)
+
+(* Decide, atomically against other submissions, what this request
+   does: join an in-flight twin, start a fresh job, or shed. *)
+type admission_outcome =
+  | Joined of job
+  | Started of job
+  | Refused
+
+let admit_submit t spec digest ~no_cache =
+  Mutex.lock t.jobs_lock;
+  let outcome =
+    match
+      if no_cache then None else Hashtbl.find_opt t.jobs digest
+    with
+    | Some job -> Joined job
+    | None ->
+      if Admission.try_admit t.adm then begin
+        let job = { digest; state = Running; lock = Mutex.create () } in
+        if not no_cache then Hashtbl.add t.jobs digest job;
+        Domain_pool.submit t.pool (fun () ->
+            run_plan_job t job spec ~registered:(not no_cache)
+              ~cache_write:(not no_cache));
+        Started job
+      end
+      else Refused
+  in
+  Mutex.unlock t.jobs_lock;
+  outcome
+
+let handle_submit t spec ~no_cache =
+  let t0 = now_ms () in
+  with_counts t (fun c -> c.submitted <- c.submitted + 1);
+  Counters.incr c_requests;
+  let digest = Protocol.digest spec in
+  let cache_hit =
+    if no_cache then None else Plan_cache.find t.cache digest
+  in
+  match cache_hit with
+  | Some outcome ->
+    let wall_ms = now_ms () -. t0 in
+    record_latency t wall_ms;
+    Protocol.Plan { cached = true; coalesced = false; digest; wall_ms; outcome }
+  | None -> (
+    match admit_submit t spec digest ~no_cache with
+    | Refused ->
+      Protocol.Shed
+        { in_flight = Admission.in_flight t.adm; limit = t.cfg.queue_limit }
+    | (Joined job | Started job) as adm -> (
+      let coalesced =
+        match adm with Joined _ -> true | _ -> false
+      in
+      if coalesced then begin
+        with_counts t (fun c -> c.coalesced <- c.coalesced + 1);
+        Counters.incr c_coalesced
+      end;
+      match
+        wait_job job ~deadline_ms:(t0 +. float_of_int t.cfg.job_timeout_ms)
+      with
+      | None ->
+        with_counts t (fun c -> c.timeouts <- c.timeouts + 1);
+        Counters.incr c_timeouts;
+        Protocol.Timeout { after_ms = t.cfg.job_timeout_ms }
+      | Some (Error m) -> Protocol.Error m
+      | Some (Ok outcome) ->
+        let wall_ms = now_ms () -. t0 in
+        record_latency t wall_ms;
+        Protocol.Plan { cached = false; coalesced; digest; wall_ms; outcome }))
+
+(* [burn] occupies a worker and an admission slot for [ms] — synthetic
+   load with a deterministic duration, for backpressure tests and the
+   serve benchmark's shed scenario. *)
+let handle_burn t ~ms =
+  if Admission.try_admit t.adm then begin
+    let job = { digest = ""; state = Running; lock = Mutex.create () } in
+    Domain_pool.submit t.pool (fun () ->
+        Unix.sleepf (float_of_int ms /. 1000.0);
+        finish_job job (Ok "");
+        Admission.release t.adm;
+        with_counts t (fun c -> c.burns <- c.burns + 1));
+    (* A burn waits as long as it burns, plus the normal job timeout for
+       its turn in the queue. *)
+    let deadline_ms =
+      now_ms () +. float_of_int (ms + t.cfg.job_timeout_ms)
+    in
+    match wait_job job ~deadline_ms with
+    | Some _ -> Protocol.Burned { ms }
+    | None ->
+      with_counts t (fun c -> c.timeouts <- c.timeouts + 1);
+      Protocol.Timeout { after_ms = ms + t.cfg.job_timeout_ms }
+  end
+  else
+    Protocol.Shed
+      { in_flight = Admission.in_flight t.adm; limit = t.cfg.queue_limit }
+
+(* --- lifecycle ------------------------------------------------------ *)
+
+let initiate_stop t =
+  Mutex.lock t.lifecycle;
+  let first = not t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.lifecycle;
+  if first then
+    (* Wake the accept loop via the self-pipe (closing a listening
+       socket does not reliably interrupt a blocked accept). *)
+    try ignore (Unix.write_substring t.stop_w "x" 0 1) with _ -> ()
+
+let handle t req =
+  Trace.with_span "service.request" @@ fun () ->
+  match req with
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Version -> Protocol.Version_reply Version.version
+  | Protocol.Stats -> Protocol.Stats_reply (stats_json t)
+  | Protocol.Shutdown ->
+    initiate_stop t;
+    Protocol.Bye
+  | Protocol.Burn { ms } -> handle_burn t ~ms
+  | Protocol.Submit { spec; no_cache } -> handle_submit t spec ~no_cache
+
+let register_conn t fd =
+  Mutex.lock t.lifecycle;
+  t.conns <- fd :: t.conns;
+  Mutex.unlock t.lifecycle
+
+let unregister_conn t fd =
+  Mutex.lock t.lifecycle;
+  t.conns <- List.filter (fun fd' -> fd' <> fd) t.conns;
+  Mutex.unlock t.lifecycle
+
+let conn_loop t fd =
+  (try
+     let rec loop () =
+       match Wire.read_json fd with
+       | None -> ()
+       | Some j -> (
+         let req = Protocol.request_of_json j in
+         let reply =
+           match req with
+           (* Shutdown is sequenced here, not in [handle]: the [Bye]
+              must be on the wire before teardown closes this socket. *)
+           | Ok Protocol.Shutdown -> Protocol.Bye
+           | Ok req -> handle t req
+           | Error m -> Protocol.Error m
+         in
+         Wire.write_json fd (Protocol.reply_to_json reply);
+         match req with
+         | Ok Protocol.Shutdown -> initiate_stop t
+         | _ -> loop ())
+     in
+     loop ()
+   with
+  | Wire.Protocol_error m ->
+    (* Tell the client what was wrong with its bytes if the pipe still
+       works, then hang up — framing is unrecoverable mid-stream. *)
+    (try Wire.write_json fd (Protocol.reply_to_json (Protocol.Error m))
+     with _ -> ())
+  | Unix.Unix_error _ | Sys_error _ -> ());
+  unregister_conn t fd;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    let stop_now =
+      Mutex.lock t.lifecycle;
+      let s = t.stopping in
+      Mutex.unlock t.lifecycle;
+      s
+    in
+    if not stop_now then begin
+      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.0) with
+      | readable, _, _ ->
+        if List.mem t.stop_r readable then ()
+        else begin
+          (match Unix.accept t.listen_fd with
+          | fd, _ ->
+            register_conn t fd;
+            ignore (Thread.create (conn_loop t) fd)
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+            ->
+            ());
+          loop ()
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    end
+  in
+  loop ();
+  (* Tear down: listener first (no new work), then live connections
+     (shutdown wakes their blocked reader threads), then the worker
+     domains (running jobs finish; queued jobs die with their
+     waiters). *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+  Mutex.lock t.lifecycle;
+  let conns = t.conns in
+  Mutex.unlock t.lifecycle;
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  Domain_pool.shutdown t.pool;
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  Mutex.lock t.lifecycle;
+  t.stopped <- true;
+  Condition.broadcast t.lifecycle_cond;
+  Mutex.unlock t.lifecycle
+
+let start cfg =
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path)
+      with Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+        (* A stale socket file from a crashed daemon: if nobody answers
+           on it, replace it; if a live daemon does, fail loudly. *)
+        let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        let live =
+          match Unix.connect probe (Unix.ADDR_UNIX cfg.socket_path) with
+          | () -> true
+          | exception Unix.Unix_error (_, _, _) -> false
+        in
+        (try Unix.close probe with Unix.Unix_error _ -> ());
+        if live then
+          raise
+            (Unix.Unix_error (Unix.EADDRINUSE, "bind", cfg.socket_path));
+        Sys.remove cfg.socket_path;
+        Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path));
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      cache = Plan_cache.create ~capacity:cfg.cache_capacity ();
+      adm = Admission.create ~limit:cfg.queue_limit;
+      pool = Domain_pool.create ~size:(max 1 cfg.workers) ~dedicated:true ();
+      jobs = Hashtbl.create 64;
+      jobs_lock = Mutex.create ();
+      counts =
+        {
+          submitted = 0;
+          completed = 0;
+          coalesced = 0;
+          timeouts = 0;
+          errors = 0;
+          burns = 0;
+        };
+      lat = Array.make lat_capacity 0.0;
+      lat_n = 0;
+      counts_lock = Mutex.create ();
+      started_at = Unix.gettimeofday ();
+      listen_fd;
+      stop_r;
+      stop_w;
+      conns = [];
+      stopping = false;
+      stopped = false;
+      lifecycle = Mutex.create ();
+      lifecycle_cond = Condition.create ();
+    }
+  in
+  ignore (Thread.create accept_loop t);
+  t
+
+let wait t =
+  Mutex.lock t.lifecycle;
+  while not t.stopped do
+    Condition.wait t.lifecycle_cond t.lifecycle
+  done;
+  Mutex.unlock t.lifecycle
+
+let stop t =
+  initiate_stop t;
+  wait t

@@ -1,0 +1,71 @@
+(** The planning daemon: a Unix-domain-socket server that turns framed
+    JSON requests ({!Wire}, {!Protocol}) into wash plans.
+
+    Request flow for a [submit]:
+
+    + digest the canonicalized spec ({!Protocol.digest});
+    + consult the content-addressed plan cache — a hit answers
+      immediately with the stored outcome text;
+    + coalesce: if an identical job is already queued or running, join
+      it as a waiter (no admission slot consumed — the waiter adds no
+      work);
+    + admission control: a fresh job takes an in-flight slot or, past
+      [queue_limit], is refused with an explicit [shed] reply — the
+      queue is bounded at the front door, never silently;
+    + a {!Pdw_pool.Domain_pool} worker runs the planner, retrying
+      crashed attempts up to [max_retries] times, then stores the
+      outcome in the cache and wakes every waiter;
+    + a waiter that outlives [job_timeout_ms] gets a [timeout] reply;
+      the job itself keeps running and still populates the cache.
+
+    Served outcomes are byte-identical to [pdw run --json] on the same
+    spec: workers run the same synthesis/optimize/serialize pipeline
+    ({!Engine}), and replies embed the outcome text verbatim.
+
+    Connections are handled by one systhread each (they mostly block on
+    I/O or on job completion); only planner work runs on the worker
+    domains. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** planner worker domains *)
+  queue_limit : int;  (** max jobs in flight (queued + running) *)
+  cache_capacity : int;  (** plan-cache entries *)
+  job_timeout_ms : int;  (** per-request wait before a [timeout] reply *)
+  max_retries : int;  (** extra planner attempts after a crash *)
+}
+
+(** Defaults: 2 workers, 64 in-flight jobs, 256 cached plans, 60 s
+    timeout, 1 retry. *)
+val default_config : socket_path:string -> config
+
+type t
+
+(** [start config] binds the socket (replacing a stale socket file),
+    spawns the worker domains and the accept thread, and returns
+    immediately.  SIGPIPE is ignored process-wide (a client hanging up
+    mid-reply must not kill the daemon).
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+val start : config -> t
+
+val config : t -> config
+
+(** Handle one request in-process, exactly as a connection would — the
+    unit-testable core of the daemon.  [Shutdown] replies [Bye] and
+    initiates [stop] asynchronously. *)
+val handle : t -> Protocol.request -> Protocol.reply
+
+(** The [stats] payload: queue depth and shed count, cache hit rate,
+    request tallies, latency percentiles (p50/p95/p99 over recent
+    requests). *)
+val stats_json : t -> Pdw_obs.Json.t
+
+(** Initiate shutdown and wait: stop accepting, close live connections,
+    join the worker domains (running jobs finish; queued jobs are
+    abandoned — their waiters are gone with the connections).  The
+    socket file is removed.  Idempotent. *)
+val stop : t -> unit
+
+(** Block until the server has stopped (via [stop] or a [shutdown]
+    request). *)
+val wait : t -> unit

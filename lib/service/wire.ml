@@ -1,0 +1,76 @@
+exception Protocol_error of string
+
+let max_frame = 64 * 1024 * 1024
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* Read exactly [len] bytes into a fresh string; [None] if EOF strikes
+   before the first byte, error if it strikes later. *)
+let read_exactly fd len ~eof_ok =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then Some (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 ->
+        if off = 0 && eof_ok then None
+        else fail "unexpected end of stream (%d of %d bytes)" off len
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* The header is short, so byte-at-a-time reads are fine (a frame costs
+   ~10 syscalls either way; the payload read dominates). *)
+let read_frame fd =
+  let byte = Bytes.create 1 in
+  let rec read_byte () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> None
+    | _ -> Some (Bytes.get byte 0)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_byte ()
+  in
+  let rec header acc ndigits =
+    match read_byte () with
+    | None ->
+      if ndigits = 0 then None else fail "end of stream inside frame header"
+    | Some '\n' ->
+      if ndigits = 0 then fail "empty frame header" else Some acc
+    | Some ('0' .. '9' as c) ->
+      if ndigits >= 9 then fail "frame header too long"
+      else header ((acc * 10) + (Char.code c - Char.code '0')) (ndigits + 1)
+    | Some c -> fail "bad byte %C in frame header" c
+  in
+  match header 0 0 with
+  | None -> None
+  | Some len ->
+    if len > max_frame then fail "frame of %d bytes exceeds limit" len;
+    if len = 0 then Some ""
+    else read_exactly fd len ~eof_ok:false
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let write_frame fd payload =
+  if String.length payload > max_frame then
+    fail "refusing to send a %d-byte frame" (String.length payload);
+  (* One write for header + payload: atomic enough for interleaving
+     diagnostics, and one syscall for the common small reply. *)
+  write_all fd (string_of_int (String.length payload) ^ "\n" ^ payload)
+
+let read_json fd =
+  match read_frame fd with
+  | None -> None
+  | Some payload -> (
+    match Pdw_obs.Json.parse payload with
+    | Ok j -> Some j
+    | Error m -> fail "bad JSON payload: %s" m)
+
+let write_json fd j = write_frame fd (Pdw_obs.Json.to_string j)

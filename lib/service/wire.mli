@@ -1,0 +1,30 @@
+(** Length-prefixed JSON framing over a file descriptor — the planning
+    service's wire format.
+
+    A frame is an ASCII decimal byte count terminated by ['\n'],
+    followed by exactly that many payload bytes (UTF-8 JSON).  The
+    explicit prefix makes message boundaries independent of JSON
+    whitespace and lets both sides pre-size buffers; it also rejects
+    oversized frames before allocating. *)
+
+(** Raised on malformed headers, oversized frames, or truncated
+    payloads. *)
+exception Protocol_error of string
+
+(** Frames above this many payload bytes are rejected (64 MiB). *)
+val max_frame : int
+
+(** [read_frame fd] reads one frame; [None] on clean end-of-stream
+    (EOF before any header byte).
+    @raise Protocol_error on a malformed header or mid-frame EOF. *)
+val read_frame : Unix.file_descr -> string option
+
+(** [write_frame fd payload] writes the header and payload. *)
+val write_frame : Unix.file_descr -> string -> unit
+
+(** [read_json fd] reads a frame and parses it.
+    @raise Protocol_error when the payload is not valid JSON. *)
+val read_json : Unix.file_descr -> Pdw_obs.Json.t option
+
+(** [write_json fd j] frames [Pdw_obs.Json.to_string j]. *)
+val write_json : Unix.file_descr -> Pdw_obs.Json.t -> unit

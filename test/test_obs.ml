@@ -420,6 +420,69 @@ let test_json_roundtrip () =
   | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
   | Error m -> Alcotest.failf "parse: %s" m
 
+(* Control characters (U+0000–U+001F) must leave [Json_export.to_string]
+   as \uXXXX escapes and come back intact through the shared parser —
+   the service wire protocol ships outcome JSON in exactly this way. *)
+let test_json_export_control_chars () =
+  let module J = Pdw_wash.Json_export in
+  let s = String.init 0x20 Char.chr in
+  let printed = J.to_string (J.Obj [ ("s", J.String s) ]) in
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "no raw control byte in output" true
+        (Char.code c >= 0x20))
+    printed;
+  match Json.parse printed with
+  | Ok (Json.Obj [ ("s", Json.Str s') ]) ->
+    Alcotest.(check string) "all 32 control characters survive" s s'
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error m -> Alcotest.failf "parse: %s" m
+
+(* The wire-protocol property: any value printed by [Json_export] parses
+   back to the same value with [Pdw_obs.Json.parse].  Floats exercise
+   the shortest-round-trip printer; strings exercise escaping. *)
+let json_gen : Pdw_obs.Json.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let finite_float =
+    map
+      (fun f -> if Float.is_nan f || Float.abs f = Float.infinity then 0.5 else f)
+      float
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) small_signed_int;
+        map (fun f -> Json.Float f) finite_float;
+        map (fun s -> Json.Str s) (string_size ~gen:char (0 -- 12));
+      ]
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then scalar
+      else
+        frequency
+          [
+            (3, scalar);
+            (1, map (fun l -> Json.Arr l) (list_size (0 -- 4) (self (n / 2))));
+            ( 1,
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (0 -- 4)
+                   (pair (string_size ~gen:printable (0 -- 8)) (self (n / 2))))
+            );
+          ])
+
+let prop_json_export_roundtrip =
+  QCheck2.Test.make
+    ~name:"Pdw_obs.Json.parse (Json_export.to_string j) = j" ~count:500
+    json_gen
+    (fun j ->
+      let module J = Pdw_wash.Json_export in
+      match Json.parse (J.to_string (J.of_obs j)) with
+      | Ok j' -> j' = j
+      | Error _ -> false)
+
 (* --- the decision ledger --- *)
 
 let run_planner_with_events () =
@@ -624,6 +687,9 @@ let () =
         [
           Alcotest.test_case "json value round-trips" `Quick
             (with_obs test_json_roundtrip);
+          Alcotest.test_case "json export escapes control characters" `Quick
+            (with_obs test_json_export_control_chars);
+          QCheck_alcotest.to_alcotest prop_json_export_roundtrip;
           Alcotest.test_case "jsonl well-formed and round-trips" `Quick
             (with_obs test_events_jsonl_well_formed);
           Alcotest.test_case "every constructor round-trips" `Quick

@@ -1,0 +1,374 @@
+(* Tests for the planning service: wire framing, protocol codecs and
+   digests, the LRU plan cache, admission control, and the daemon
+   end-to-end over a real Unix socket — cache hits, coalescing,
+   byte-identity with one-shot runs, explicit shedding under load, and
+   per-request timeouts. *)
+
+module Wire = Pdw_service.Wire
+module Protocol = Pdw_service.Protocol
+module Plan_cache = Pdw_service.Plan_cache
+module Admission = Pdw_service.Admission
+module Engine = Pdw_service.Engine
+module Server = Pdw_service.Server
+module Client = Pdw_service.Client
+module Loadgen = Pdw_service.Loadgen
+module Json = Pdw_obs.Json
+module Pdw = Pdw_wash.Pdw
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
+(* --- wire framing --- *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () -> f r w)
+
+(* Write from a separate thread: payloads larger than the pipe buffer
+   would otherwise deadlock a single-threaded write-then-read. *)
+let frame_roundtrip payload =
+  with_pipe @@ fun r w ->
+  let writer = Thread.create (fun () -> Wire.write_frame w payload) () in
+  let got = Wire.read_frame r in
+  Thread.join writer;
+  match got with
+  | Some got -> Alcotest.(check string) "frame round-trips" payload got
+  | None -> Alcotest.fail "unexpected end of stream"
+
+let test_wire_roundtrip () =
+  frame_roundtrip "";
+  frame_roundtrip "{\"op\":\"ping\"}";
+  (* Every byte value, control characters included: framing is
+     byte-count-based, so nothing in the payload can confuse it. *)
+  frame_roundtrip (String.init 256 Char.chr);
+  frame_roundtrip (String.make (1 lsl 20) 'x')
+
+let test_wire_eof () =
+  with_pipe @@ fun r w ->
+  Unix.close w;
+  Alcotest.(check bool) "clean EOF is None" true (Wire.read_frame r = None)
+
+let test_wire_bad_header () =
+  let expect_protocol_error raw =
+    with_pipe @@ fun r w ->
+    ignore (Unix.write_substring w raw 0 (String.length raw));
+    Unix.close w;
+    match Wire.read_frame r with
+    | exception Wire.Protocol_error _ -> ()
+    | _ -> Alcotest.fail (Printf.sprintf "accepted bad header %S" raw)
+  in
+  expect_protocol_error "12x\npayload";
+  expect_protocol_error "\n";
+  expect_protocol_error "999999999999\n";
+  (* Truncated payload: header promises more bytes than the stream has. *)
+  expect_protocol_error "10\nabc"
+
+(* --- protocol codecs and digests --- *)
+
+let spec_of ?method_ ?config name = Protocol.spec ?method_ ?config (Protocol.Benchmark name)
+
+let test_protocol_request_roundtrip () =
+  let reqs =
+    [
+      Protocol.Submit { spec = spec_of "pcr"; no_cache = false };
+      Protocol.Submit
+        {
+          spec =
+            Protocol.spec ~method_:`Dawo
+              ~config:{ Pdw.default_config with Pdw.dissolution = 3 }
+              (Protocol.Inline "assay text\nwith lines");
+          no_cache = true;
+        };
+      Protocol.Burn { ms = 42 };
+      Protocol.Stats;
+      Protocol.Version;
+      Protocol.Ping;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.request_of_json (Protocol.request_to_json req) with
+      | Ok got ->
+        Alcotest.(check bool) "request round-trips" true (got = req)
+      | Error m -> Alcotest.fail m)
+    reqs
+
+let test_protocol_digest () =
+  let d = Protocol.digest in
+  Alcotest.(check string) "benchmark name is case-insensitive"
+    (d (spec_of "PCR")) (d (spec_of "pcr"));
+  Alcotest.(check bool) "different benchmarks differ" true
+    (d (spec_of "pcr") <> d (spec_of "ivd"));
+  Alcotest.(check bool) "method changes the digest" true
+    (d (spec_of "pcr") <> d (spec_of ~method_:`Dawo "pcr"));
+  Alcotest.(check bool) "config changes the digest" true
+    (d (spec_of "pcr")
+    <> d (spec_of ~config:{ Pdw.default_config with Pdw.dissolution = 3 } "pcr"))
+
+let test_protocol_rejects_unknown_config () =
+  let j =
+    Json.Obj
+      [
+        ("op", Json.Str "submit");
+        ("benchmark", Json.Str "pcr");
+        ("config", Json.Obj [ ("disolution", Json.Int 3) ]);
+      ]
+  in
+  match Protocol.request_of_json j with
+  | Error m ->
+    Alcotest.(check bool) "error names the field" true
+      (contains ~needle:"disolution" m)
+  | Ok _ -> Alcotest.fail "accepted a misspelled config field"
+
+(* --- plan cache --- *)
+
+let test_cache_lru () =
+  let c = Plan_cache.create ~capacity:2 () in
+  Plan_cache.add c "a" "A";
+  Plan_cache.add c "b" "B";
+  Alcotest.(check (option string)) "hit a" (Some "A") (Plan_cache.find c "a");
+  (* [a] was just promoted, so inserting [c] evicts [b]. *)
+  Plan_cache.add c "c" "C";
+  Alcotest.(check (option string)) "b evicted" None (Plan_cache.find c "b");
+  Alcotest.(check (option string)) "a survives" (Some "A") (Plan_cache.find c "a");
+  Alcotest.(check (option string)) "c present" (Some "C") (Plan_cache.find c "c");
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Plan_cache.evictions;
+  Alcotest.(check int) "length" 2 s.Plan_cache.length;
+  Alcotest.(check int) "misses" 1 s.Plan_cache.misses;
+  Alcotest.(check int) "hits" 3 s.Plan_cache.hits
+
+let test_cache_refresh () =
+  let c = Plan_cache.create ~capacity:2 () in
+  Plan_cache.add c "a" "A";
+  Plan_cache.add c "a" "A2";
+  Alcotest.(check (option string)) "refreshed value" (Some "A2")
+    (Plan_cache.find c "a");
+  Alcotest.(check int) "no growth" 1 (Plan_cache.stats c).Plan_cache.length
+
+(* --- admission control --- *)
+
+let test_admission () =
+  let a = Admission.create ~limit:2 in
+  Alcotest.(check bool) "slot 1" true (Admission.try_admit a);
+  Alcotest.(check bool) "slot 2" true (Admission.try_admit a);
+  Alcotest.(check bool) "slot 3 refused" false (Admission.try_admit a);
+  Alcotest.(check int) "shed counted" 1 (Admission.shed_count a);
+  Admission.release a;
+  Alcotest.(check bool) "slot freed" true (Admission.try_admit a);
+  Alcotest.(check int) "in flight" 2 (Admission.in_flight a)
+
+(* --- the daemon, end to end --- *)
+
+let fresh_socket () =
+  let path = Filename.temp_file "pdw-svc" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server ?(workers = 2) ?(queue_limit = 4) ?(cache = 8)
+    ?(timeout_ms = 30_000) f =
+  let cfg =
+    {
+      Server.socket_path = fresh_socket ();
+      workers;
+      queue_limit;
+      cache_capacity = cache;
+      job_timeout_ms = timeout_ms;
+      max_retries = 1;
+    }
+  in
+  let srv = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () -> f cfg.Server.socket_path srv)
+
+(* [Plan]'s payload is an inline record, so destructure it here and hand
+   back a plain tuple: (cached, coalesced, outcome). *)
+let submit_ok c spec =
+  match Client.request c (Protocol.Submit { spec; no_cache = false }) with
+  | Ok (Protocol.Plan { cached; coalesced; outcome; _ }) ->
+    (cached, coalesced, outcome)
+  | Ok _ -> Alcotest.fail "expected a plan reply"
+  | Error m -> Alcotest.fail m
+
+let test_server_plan_and_cache () =
+  with_server @@ fun path _srv ->
+  let spec = spec_of "pcr" in
+  let expected =
+    match Engine.plan spec with Ok o -> o | Error m -> Alcotest.fail m
+  in
+  Client.with_client path @@ fun c ->
+  let cached1, _, outcome1 = submit_ok c spec in
+  Alcotest.(check bool) "first is computed" false cached1;
+  Alcotest.(check string) "served plan = one-shot plan" expected outcome1;
+  let cached2, _, outcome2 = submit_ok c spec in
+  Alcotest.(check bool) "repeat is a cache hit" true cached2;
+  Alcotest.(check string) "cached bytes identical" expected outcome2;
+  (* Case-insensitive canonicalization: "PCR" hits the same entry. *)
+  let cached3, _, _ = submit_ok c (spec_of "PCR") in
+  Alcotest.(check bool) "canonicalized repeat hits" true cached3
+
+let test_server_simple_ops () =
+  with_server @@ fun path srv ->
+  Client.with_client path @@ fun c ->
+  (match Client.request c Protocol.Ping with
+  | Ok Protocol.Pong -> ()
+  | _ -> Alcotest.fail "ping");
+  (match Client.request c Protocol.Version with
+  | Ok (Protocol.Version_reply v) ->
+    Alcotest.(check string) "version matches the library"
+      Pdw_service.Version.version v
+  | _ -> Alcotest.fail "version");
+  (* The in-process [handle] answers identically to the socket path. *)
+  (match Server.handle srv Protocol.Ping with
+  | Protocol.Pong -> ()
+  | _ -> Alcotest.fail "in-process ping");
+  match Client.request c Protocol.Stats with
+  | Ok (Protocol.Stats_reply j) ->
+    let member_keys =
+      [ "version"; "workers"; "queue"; "cache"; "requests"; "latency_ms" ]
+    in
+    List.iter
+      (fun k ->
+        Alcotest.(check bool) (Printf.sprintf "stats has %S" k) true
+          (Json.member k j <> None))
+      member_keys
+  | _ -> Alcotest.fail "stats"
+
+let test_server_bad_requests () =
+  with_server @@ fun path _srv ->
+  Client.with_client path @@ fun c ->
+  (match Client.request c (Protocol.Submit { spec = spec_of "nope"; no_cache = false }) with
+  | Ok (Protocol.Error m) ->
+    Alcotest.(check bool) "names the benchmark" true (contains ~needle:"nope" m)
+  | _ -> Alcotest.fail "expected an error reply");
+  match
+    Client.request c
+      (Protocol.Submit
+         { spec = Protocol.spec (Protocol.Inline "not an assay {"); no_cache = false })
+  with
+  | Ok (Protocol.Error _) -> ()
+  | _ -> Alcotest.fail "expected a parse-error reply"
+
+let test_server_shed () =
+  (* One worker, two in-flight slots.  Two long burns fill the slots
+     (one running, one queued); the third request must be refused with
+     an explicit shed, not queued silently. *)
+  with_server ~workers:1 ~queue_limit:2 @@ fun path _srv ->
+  let burn () =
+    Client.with_client path @@ fun c ->
+    Client.request c (Protocol.Burn { ms = 500 })
+  in
+  let t1 = Thread.create burn () in
+  let t2 = Thread.create burn () in
+  Thread.delay 0.15;
+  (Client.with_client path @@ fun c ->
+   match Client.request c (Protocol.Burn { ms = 10 }) with
+   | Ok (Protocol.Shed { in_flight; limit }) ->
+     Alcotest.(check int) "limit reported" 2 limit;
+     Alcotest.(check bool) "in_flight at limit" true (in_flight >= 2)
+   | Ok r ->
+     Alcotest.failf "expected shed, got %s"
+       (Json.to_string (Protocol.reply_to_json r))
+   | Error m -> Alcotest.fail m);
+  List.iter Thread.join [ t1; t2 ]
+
+let test_server_timeout () =
+  (* One worker busy burning for 600 ms; a submit with a 150 ms budget
+     must come back as an explicit timeout, not hang. *)
+  with_server ~workers:1 ~queue_limit:4 ~timeout_ms:150 @@ fun path _srv ->
+  let burner =
+    Thread.create
+      (fun () ->
+        Client.with_client path @@ fun c ->
+        Client.request c (Protocol.Burn { ms = 600 }))
+      ()
+  in
+  Thread.delay 0.15;
+  (Client.with_client path @@ fun c ->
+   match Client.request c (Protocol.Submit { spec = spec_of "pcr"; no_cache = false }) with
+   | Ok (Protocol.Timeout { after_ms }) ->
+     Alcotest.(check int) "reports its budget" 150 after_ms
+   | Ok r ->
+     Alcotest.failf "expected timeout, got %s"
+       (Json.to_string (Protocol.reply_to_json r))
+   | Error m -> Alcotest.fail m);
+  Thread.join burner
+
+let test_server_loadgen () =
+  with_server ~workers:2 ~queue_limit:64 @@ fun path _srv ->
+  let specs = [ spec_of "pcr"; spec_of "ivd" ] in
+  let s =
+    Loadgen.run ~socket_path:path ~clients:8 ~per_client:3 ~verify:true specs
+  in
+  Alcotest.(check int) "all requests answered with plans" s.Loadgen.requests
+    s.Loadgen.plans;
+  Alcotest.(check int) "no shed at low load" 0 s.Loadgen.shed;
+  Alcotest.(check int) "no mismatches" 0 s.Loadgen.mismatches;
+  Alcotest.(check int) "no errors" 0 s.Loadgen.errors;
+  Alcotest.(check bool) "duplicates were cached or coalesced" true
+    (s.Loadgen.cached + s.Loadgen.coalesced > 0)
+
+let test_server_shutdown_request () =
+  let cfg =
+    Server.default_config ~socket_path:(fresh_socket ())
+  in
+  let cfg = { cfg with Server.workers = 1 } in
+  let srv = Server.start cfg in
+  (Client.with_client cfg.Server.socket_path @@ fun c ->
+   match Client.request c Protocol.Shutdown with
+   | Ok Protocol.Bye -> ()
+   | _ -> Alcotest.fail "expected bye");
+  Server.wait srv;
+  Alcotest.(check bool) "socket file removed" false
+    (Sys.file_exists cfg.Server.socket_path)
+
+let () =
+  Alcotest.run "pdw_service"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "frame round-trips" `Quick test_wire_roundtrip;
+          Alcotest.test_case "clean EOF" `Quick test_wire_eof;
+          Alcotest.test_case "malformed frames" `Quick test_wire_bad_header;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trips" `Quick
+            test_protocol_request_roundtrip;
+          Alcotest.test_case "digest canonicalization" `Quick
+            test_protocol_digest;
+          Alcotest.test_case "unknown config field" `Quick
+            test_protocol_rejects_unknown_config;
+        ] );
+      ( "plan cache",
+        [
+          Alcotest.test_case "LRU eviction and promotion" `Quick test_cache_lru;
+          Alcotest.test_case "refresh in place" `Quick test_cache_refresh;
+        ] );
+      ( "admission",
+        [ Alcotest.test_case "bounded slots" `Quick test_admission ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "plan, cache, byte-identity" `Quick
+            test_server_plan_and_cache;
+          Alcotest.test_case "ping, version, stats" `Quick
+            test_server_simple_ops;
+          Alcotest.test_case "bad requests answered" `Quick
+            test_server_bad_requests;
+          Alcotest.test_case "explicit shed at the limit" `Quick
+            test_server_shed;
+          Alcotest.test_case "per-request timeout" `Quick test_server_timeout;
+          Alcotest.test_case "concurrent loadgen, verified" `Slow
+            test_server_loadgen;
+          Alcotest.test_case "shutdown request" `Quick
+            test_server_shutdown_request;
+        ] );
+    ]

@@ -150,6 +150,59 @@ let prop_no_double_occupancy_random =
       && count_double (Flow_sim.issues (Flow_sim.run pdw.Wash_plan.schedule))
          = 0)
 
+(* --- failure paths: the simulator on malformed or degenerate input --- *)
+
+(* A hand-built schedule that breaks Eq. 3: two runs overlap in time on
+   the same device.  The structural checker must flag it, and the
+   simulator must replay it anyway and report the double occupancy
+   (rather than crash — it exists to diagnose exactly such schedules). *)
+let test_sim_overlapping_entries () =
+  let s = Synthesis.synthesize (Benchmarks.pcr ()) in
+  let schedule = s.Synthesis.schedule in
+  let graph = Schedule.graph schedule in
+  let layout = Schedule.layout schedule in
+  let device = List.hd (Pdw_biochip.Layout.devices layout) in
+  let d = device.Pdw_biochip.Device.id in
+  let binding = Array.make (Pdw_assay.Sequencing_graph.num_ops graph) d in
+  let bad =
+    Schedule.make ~graph ~layout ~binding
+      [
+        Schedule.Op_run { op_id = 0; device_id = d; start = 0; finish = 5 };
+        Schedule.Op_run { op_id = 1; device_id = d; start = 2; finish = 6 };
+      ]
+  in
+  Alcotest.(check bool) "structural checker flags the overlap" true
+    (Schedule.violations bad <> []);
+  let sim = Flow_sim.run bad in
+  Alcotest.(check bool) "simulator reports double occupancy" true
+    (count_double (Flow_sim.issues sim) > 0)
+
+(* A zero-duration run ([start = finish]) occupies nothing and deposits
+   its residue at its (instant) finish; the simulator must step through
+   it without raising. *)
+let test_sim_zero_duration_op () =
+  let s = Synthesis.synthesize (Benchmarks.pcr ()) in
+  let schedule = s.Synthesis.schedule in
+  let graph = Schedule.graph schedule in
+  let layout = Schedule.layout schedule in
+  let device = List.hd (Pdw_biochip.Layout.devices layout) in
+  let d = device.Pdw_biochip.Device.id in
+  let binding = Array.make (Pdw_assay.Sequencing_graph.num_ops graph) d in
+  let degenerate =
+    Schedule.make ~graph ~layout ~binding
+      [ Schedule.Op_run { op_id = 0; device_id = d; start = 0; finish = 0 } ]
+  in
+  let sim = Flow_sim.run degenerate in
+  Alcotest.(check int) "zero-length horizon" 0 (Flow_sim.makespan sim);
+  Alcotest.(check int) "no double occupancy" 0
+    (count_double (Flow_sim.issues sim));
+  (* The frame at t = 0 must render and the cell-state API must answer. *)
+  let cell = List.hd (Pdw_biochip.Layout.device_cells layout d) in
+  let st = Flow_sim.cell_state sim ~time:0 cell in
+  Alcotest.(check bool) "cell unoccupied at the instant boundary" true
+    (st.Flow_sim.occupant = None);
+  ignore (Flow_sim.render_frame sim ~time:0)
+
 let () =
   Alcotest.run "pdw_sim"
     [
@@ -164,6 +217,13 @@ let () =
             test_sim_occupancy_bounds;
           Alcotest.test_case "cell-state API" `Quick test_sim_cell_state_api;
           Alcotest.test_case "render frame" `Quick test_sim_render_frame;
+        ] );
+      ( "failure paths",
+        [
+          Alcotest.test_case "overlapping entries" `Quick
+            test_sim_overlapping_entries;
+          Alcotest.test_case "zero-duration op" `Quick
+            test_sim_zero_duration_op;
         ] );
       ( "differential",
         [
