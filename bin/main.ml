@@ -631,12 +631,21 @@ let cmd_submit bench file stats ping shutdown server_version socket method_
         prerr_endline ("pdw submit: server error: " ^ m);
         1))
 
-let cmd_loadgen benches socket clients per_client verify as_json method_ =
+let cmd_loadgen benches socket clients per_client requests warmup pipeline
+    verify as_json method_ =
   let benches = if benches = [] then [ "pcr"; "ivd"; "proteinsplit" ] else benches in
   let specs =
     List.map (fun name -> Protocol.spec ~method_ (Protocol.Benchmark name)) benches
   in
-  match Loadgen.run ~socket_path:socket ~clients ~per_client ~verify specs with
+  let per_client =
+    match requests with
+    | Some total -> (max 0 total + max 1 clients - 1) / max 1 clients
+    | None -> per_client
+  in
+  match
+    Loadgen.run ~socket_path:socket ~clients ~per_client ~warmup ~pipeline
+      ~verify specs
+  with
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "pdw loadgen: cannot reach %s: %s\n" socket
       (Unix.error_message e);
@@ -928,8 +937,24 @@ let loadgen_cmd =
     Arg.(value & opt int 8 & info [ "clients" ] ~docv:"N" ~doc)
   in
   let per_client =
-    let doc = "Requests per client." in
-    Arg.(value & opt int 4 & info [ "per-client" ] ~docv:"N" ~doc)
+    let doc = "Measured requests per client (overridden by $(b,--requests))." in
+    Arg.(value & opt int 64 & info [ "per-client" ] ~docv:"N" ~doc)
+  in
+  let requests =
+    let doc =
+      "Total measured requests, split evenly across clients (rounded up).      Overrides $(b,--per-client)."
+    in
+    Arg.(value & opt (some int) None & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let warmup =
+    let doc =
+      "Warm-up requests issued before the measured phase and excluded      from every recorded figure."
+    in
+    Arg.(value & opt int 0 & info [ "warmup" ] ~docv:"N" ~doc)
+  in
+  let pipeline =
+    let doc = "Requests each client keeps in flight per batched write." in
+    Arg.(value & opt int 1 & info [ "pipeline" ] ~docv:"N" ~doc)
   in
   let verify =
     let doc =
@@ -946,8 +971,8 @@ let loadgen_cmd =
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(
-      const cmd_loadgen $ benches $ socket_arg $ clients $ per_client $ verify
-      $ as_json $ method_arg)
+      const cmd_loadgen $ benches $ socket_arg $ clients $ per_client
+      $ requests $ warmup $ pipeline $ verify $ as_json $ method_arg)
 
 let main_cmd =
   let doc = "PathDriver-Wash: wash optimization for continuous-flow biochips" in

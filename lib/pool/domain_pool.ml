@@ -4,17 +4,40 @@
    participates in draining the queue during [map], so a pool of size n
    keeps exactly n domains busy.  A pool of size 1 spawns nothing and
    runs everything inline, which keeps single-core machines and
-   recursive uses (a map inside a map) safe. *)
+   recursive uses (a map inside a map) safe.
+
+   A pool created with [~dedicated:true] instead owns one *private*
+   queue per worker: [submit_to] targets a specific worker, so a caller
+   that shards its work (the planning service hashes plan digests to
+   shards) pays for one short per-worker lock, never a pool-global
+   one. *)
 
 type job = unit -> unit
+
+(* One worker's private queue (dedicated mode).  [peak] is the largest
+   depth ever observed at enqueue time — cheap to maintain here, and
+   the service's stats/bench layers want per-worker backlog peaks.
+   [domain] is spawned lazily on the first job: every live domain costs
+   real throughput even when idle (each one extends the stop-the-world
+   barrier of every minor collection), so a shard that never sees a
+   job must never pay for a worker. *)
+type worker_queue = {
+  q : job Queue.t;
+  m : Mutex.t;
+  c : Condition.t;
+  mutable peak : int;
+  mutable domain : unit Domain.t option;
+}
 
 type t = {
   size : int;
   dedicated : bool;
-  queue : job Queue.t;
+  queue : job Queue.t;  (* map-mode shared queue *)
   mutex : Mutex.t;
   nonempty : Condition.t;
-  mutable closed : bool;
+  wqs : worker_queue array;  (* dedicated mode; [||] otherwise *)
+  rr : int Atomic.t;  (* round-robin cursor for un-targeted [submit] *)
+  closed : bool Atomic.t;
   mutable workers : unit Domain.t list;
 }
 
@@ -23,7 +46,7 @@ let default_size () = max 1 (min 8 (Domain.recommended_domain_count ()))
 let rec worker_loop t =
   Mutex.lock t.mutex;
   let rec next () =
-    if t.closed then None
+    if Atomic.get t.closed then None
     else
       match Queue.take_opt t.queue with
       | Some job -> Some job
@@ -39,6 +62,28 @@ let rec worker_loop t =
     (try job () with _ -> ());
     worker_loop t
 
+(* A dedicated worker drains only its own queue.  No stealing: the
+   point of per-worker queues is that a shard's jobs stay on the
+   shard's worker, and admission bounds each queue upstream. *)
+let rec dedicated_loop t w =
+  Mutex.lock w.m;
+  let rec next () =
+    if Atomic.get t.closed then None
+    else
+      match Queue.take_opt w.q with
+      | Some job -> Some job
+      | None ->
+        Condition.wait w.c w.m;
+        next ()
+  in
+  let job = next () in
+  Mutex.unlock w.m;
+  match job with
+  | None -> ()
+  | Some job ->
+    (try job () with _ -> ());
+    dedicated_loop t w
+
 let create ?size ?(dedicated = false) () =
   let size = match size with Some s -> max 1 s | None -> default_size () in
   let t =
@@ -48,46 +93,111 @@ let create ?size ?(dedicated = false) () =
       queue = Queue.create ();
       mutex = Mutex.create ();
       nonempty = Condition.create ();
-      closed = false;
+      wqs =
+        (if dedicated then
+           Array.init size (fun _ ->
+               {
+                 q = Queue.create ();
+                 m = Mutex.create ();
+                 c = Condition.create ();
+                 peak = 0;
+                 domain = None;
+               })
+         else [||]);
+      rr = Atomic.make 0;
+      closed = Atomic.make false;
       workers = [];
     }
   in
-  (* A dedicated pool spawns [size] continuously-draining workers (the
-     caller never participates — it only [submit]s); a map-style pool
-     spawns [size - 1] and the caller drains alongside them. *)
-  let spawned = if dedicated then size else size - 1 in
-  t.workers <-
-    List.init spawned (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  (* A dedicated pool's workers are spawned lazily, one per queue, on
+     first use (see [submit_to]); a map-style pool spawns [size - 1]
+     eagerly and the caller drains alongside them. *)
+  if not dedicated then
+    t.workers <-
+      List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
 let size t = t.size
 
-(* Fire-and-forget: enqueue one job for the worker domains.  The job's
-   own completion signalling (if any) is the caller's business — the
+(* Fire-and-forget onto worker [i]'s private queue.  The job's own
+   completion signalling (if any) is the caller's business — the
    planning service layers job records with mutex/condvar on top. *)
+let submit_to t i job =
+  if not t.dedicated then
+    invalid_arg "Domain_pool.submit_to: pool was not created with ~dedicated";
+  if i < 0 || i >= t.size then
+    invalid_arg
+      (Printf.sprintf "Domain_pool.submit_to: worker %d of %d" i t.size);
+  let w = t.wqs.(i) in
+  Mutex.lock w.m;
+  if Atomic.get t.closed then begin
+    Mutex.unlock w.m;
+    invalid_arg "Domain_pool.submit_to: pool is shut down"
+  end;
+  Queue.add job w.q;
+  let depth = Queue.length w.q in
+  if depth > w.peak then w.peak <- depth;
+  if w.domain = None then
+    (* First job ever for this worker: bring its domain up now.  The
+       job is already queued, so the fresh loop finds it without
+       needing the signal below. *)
+    w.domain <- Some (Domain.spawn (fun () -> dedicated_loop t w));
+  Condition.signal w.c;
+  Mutex.unlock w.m
+
 let submit t job =
   if not t.dedicated then
     invalid_arg "Domain_pool.submit: pool was not created with ~dedicated";
-  Mutex.lock t.mutex;
-  if t.closed then begin
-    Mutex.unlock t.mutex;
-    invalid_arg "Domain_pool.submit: pool is shut down"
-  end;
-  Queue.add job t.queue;
-  Condition.signal t.nonempty;
-  Mutex.unlock t.mutex
+  let k = Atomic.fetch_and_add t.rr 1 in
+  submit_to t (k mod t.size) job
+
+let pending_per_worker t =
+  Array.map
+    (fun w ->
+      Mutex.lock w.m;
+      let n = Queue.length w.q in
+      Mutex.unlock w.m;
+      n)
+    t.wqs
+
+let peak_per_worker t =
+  Array.map
+    (fun w ->
+      Mutex.lock w.m;
+      let n = w.peak in
+      Mutex.unlock w.m;
+      n)
+    t.wqs
 
 let pending t =
-  Mutex.lock t.mutex;
-  let n = Queue.length t.queue in
-  Mutex.unlock t.mutex;
-  n
+  if t.dedicated then Array.fold_left ( + ) 0 (pending_per_worker t)
+  else begin
+    Mutex.lock t.mutex;
+    let n = Queue.length t.queue in
+    Mutex.unlock t.mutex;
+    n
+  end
 
 let shutdown t =
+  Atomic.set t.closed true;
   Mutex.lock t.mutex;
-  t.closed <- true;
   Condition.broadcast t.nonempty;
   Mutex.unlock t.mutex;
+  (* Collect each dedicated worker's domain under its queue lock —
+     [submit_to] observes [closed] under the same lock, so no spawn can
+     race past this point. *)
+  let lazy_workers =
+    Array.fold_left
+      (fun acc w ->
+        Mutex.lock w.m;
+        Condition.broadcast w.c;
+        let d = w.domain in
+        w.domain <- None;
+        Mutex.unlock w.m;
+        match d with Some d -> d :: acc | None -> acc)
+      [] t.wqs
+  in
+  List.iter Domain.join lazy_workers;
   List.iter Domain.join t.workers;
   t.workers <- []
 

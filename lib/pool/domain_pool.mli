@@ -6,7 +6,12 @@
     domain drains the queue alongside them, so a pool of size [n] keeps
     exactly [n] domains busy.  A pool of size 1 spawns nothing and runs
     every job inline — single-core machines degrade gracefully to the
-    serial behaviour. *)
+    serial behaviour.
+
+    A pool created with [~dedicated:true] instead owns one private
+    queue per worker: [submit_to] targets a specific worker, so a
+    sharded caller (the planning service hashes plan digests to shards)
+    touches one short per-worker lock, never a pool-global one. *)
 
 type t
 
@@ -14,34 +19,52 @@ type t
     [1..8] (the fan-out here is at most the eight Table II benchmarks). *)
 val default_size : unit -> int
 
-(** [create ?size ?dedicated ()] spawns the workers.  [size] defaults to
+(** [create ?size ?dedicated ()] makes a pool.  [size] defaults to
     [default_size]; values below 1 are clamped to 1.
 
-    With [~dedicated:true] the pool spawns [size] worker domains that
-    drain the queue continuously — the owning domain never participates.
-    This is the mode for long-lived asynchronous use ([submit], as in
-    the planning service); the default mode is for [map]-style fan-out
-    where the caller drains alongside [size - 1] workers. *)
+    With [~dedicated:true] the pool owns [size] workers, each draining
+    its own private queue continuously — the owning domain never
+    participates.  A dedicated worker's domain is spawned lazily, on
+    the first job ever sent its way: every live domain lengthens the
+    stop-the-world barrier of every minor collection, so a queue that
+    never sees a job never costs one.  This is the mode for long-lived
+    asynchronous use ([submit]/[submit_to], as in the planning
+    service); the default mode spawns [size - 1] domains eagerly for
+    [map]-style fan-out where the caller drains alongside them. *)
 val create : ?size:int -> ?dedicated:bool -> unit -> t
 
 val size : t -> int
 
-(** [submit t job] enqueues [job] for the worker domains and returns
-    immediately.  Exceptions from [job] are swallowed by the worker
-    loop; completion signalling is the caller's responsibility.
+(** [submit_to t i job] enqueues [job] on worker [i]'s private queue and
+    returns immediately.  Exceptions from [job] are swallowed by the
+    worker loop; completion signalling is the caller's responsibility.
+    @raise Invalid_argument on a non-dedicated or shut-down pool, or an
+    out-of-range worker index. *)
+val submit_to : t -> int -> (unit -> unit) -> unit
+
+(** [submit t job] enqueues [job] on the next worker, round-robin.
     @raise Invalid_argument on a non-dedicated or shut-down pool. *)
 val submit : t -> (unit -> unit) -> unit
 
-(** Jobs enqueued but not yet picked up by a worker. *)
+(** Jobs enqueued but not yet picked up by a worker (summed over all
+    per-worker queues in dedicated mode). *)
 val pending : t -> int
+
+(** Per-worker queue depths, index [i] for worker [i].  [[||]] for a
+    non-dedicated pool. *)
+val pending_per_worker : t -> int array
+
+(** Per-worker high-water marks: the deepest each worker's queue has
+    ever been at enqueue time.  [[||]] for a non-dedicated pool. *)
+val peak_per_worker : t -> int array
 
 (** [map t f xs] applies [f] to every element, fanning the calls out
     across the pool.  Results keep list order.  If any call raised, one
     of the exceptions is re-raised after all jobs have settled. *)
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
-(** Signal the workers to exit and join them.  The pool must not be used
-    afterwards. *)
+(** Signal the workers to exit and join them.  Jobs still queued are
+    abandoned.  The pool must not be used afterwards. *)
 val shutdown : t -> unit
 
 (** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)

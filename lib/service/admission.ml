@@ -6,17 +6,20 @@ let g_inflight = Counters.gauge "service.queue.in_flight"
 type t = {
   limit : int;
   mutable in_flight : int;
+  mutable peak : int;
   mutable shed : int;
   lock : Mutex.t;
 }
 
-let create ~limit = { limit = max 1 limit; in_flight = 0; shed = 0; lock = Mutex.create () }
+let create ~limit =
+  { limit = max 1 limit; in_flight = 0; peak = 0; shed = 0; lock = Mutex.create () }
 
 let try_admit t =
   Mutex.lock t.lock;
   let admitted = t.in_flight < t.limit in
   if admitted then begin
     t.in_flight <- t.in_flight + 1;
+    if t.in_flight > t.peak then t.peak <- t.in_flight;
     Counters.set_max g_inflight t.in_flight
   end
   else begin
@@ -34,6 +37,12 @@ let release t =
 let in_flight t =
   Mutex.lock t.lock;
   let n = t.in_flight in
+  Mutex.unlock t.lock;
+  n
+
+let peak t =
+  Mutex.lock t.lock;
+  let n = t.peak in
   Mutex.unlock t.lock;
   n
 

@@ -21,6 +21,10 @@ val release : t -> unit
 
 val in_flight : t -> int
 
+(** High-water mark of [in_flight] since creation — the shard's
+    queued+running depth peak reported by stats and the serve bench. *)
+val peak : t -> int
+
 val limit : t -> int
 
 (** Total submissions refused so far. *)

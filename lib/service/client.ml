@@ -1,4 +1,4 @@
-type t = { fd : Unix.file_descr }
+type t = { fd : Unix.file_descr; rd : Wire.Buffered.t }
 
 let connect path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -6,17 +6,37 @@ let connect path =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  { fd }
+  { fd; rd = Wire.Buffered.create fd }
 
-let request t req =
-  match
-    Wire.write_json t.fd (Protocol.request_to_json req);
-    Wire.read_json t.fd
-  with
+let read_reply t =
+  match Wire.Buffered.read_json t.rd with
   | Some j -> Protocol.reply_of_json j
   | None -> Error "server closed the connection"
   | exception Wire.Protocol_error m -> Error m
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let request t req =
+  match Wire.write_json t.fd (Protocol.request_to_json req) with
+  | () -> read_reply t
+  | exception Wire.Protocol_error m -> Error m
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* Pipelining: every request leaves in one batched write, then the
+   replies are read back in order — the server answers a connection's
+   requests strictly in sequence, so position k is request k's reply. *)
+let request_many t reqs =
+  match
+    let wr = Wire.Batch.create t.fd in
+    List.iter
+      (fun req -> Wire.Batch.add_json wr (Protocol.request_to_json req))
+      reqs;
+    Wire.Batch.flush wr
+  with
+  | exception Wire.Protocol_error m -> List.map (fun _ -> Error m) reqs
+  | exception Unix.Unix_error (e, _, _) ->
+    let m = Unix.error_message e in
+    List.map (fun _ -> Error m) reqs
+  | () -> List.map (fun _ -> read_reply t) reqs
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 

@@ -1,5 +1,5 @@
 (** A blocking client for the planning daemon: one Unix-socket
-    connection, synchronous request/reply. *)
+    connection, synchronous request/reply, with optional pipelining. *)
 
 type t
 
@@ -11,6 +11,13 @@ val connect : string -> t
     and protocol failures come back as [Error] — a client never
     raises mid-conversation. *)
 val request : t -> Protocol.request -> (Protocol.reply, string) result
+
+(** [request_many t reqs] pipelines: all requests leave in one batched
+    write ({!Wire.Batch}), then the replies are read back in request
+    order.  The result list is positionally aligned with [reqs].  On a
+    transport failure every not-yet-answered slot carries the error. *)
+val request_many :
+  t -> Protocol.request list -> (Protocol.reply, string) result list
 
 val close : t -> unit
 

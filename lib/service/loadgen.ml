@@ -1,6 +1,10 @@
 module Json = Pdw_obs.Json
 
 type summary = {
+  clients : int;
+  per_client : int;
+  warmup : int;
+  pipeline : int;
   requests : int;
   plans : int;
   cached : int;
@@ -25,6 +29,7 @@ type acc = {
   mutable a_errors : int;
   mutable a_mismatches : int;
   mutable a_latencies : float list;
+  mutable a_done_at : float;  (* when the last client finished measuring *)
   lock : Mutex.t;
 }
 
@@ -33,9 +38,15 @@ let percentile sorted q =
   if n = 0 then 0.0
   else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
 
-let run ~socket_path ~clients ~per_client ~verify specs =
+let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
+    ~verify specs =
   if specs = [] then invalid_arg "Loadgen.run: empty spec list";
+  let clients = max 1 clients in
+  let per_client = max 0 per_client in
+  let warmup_per_client = (max 0 warmup + clients - 1) / clients in
+  let pipeline = max 1 pipeline in
   let specs = Array.of_list specs in
+  let nspecs = Array.length specs in
   let expected =
     if not verify then [||]
     else
@@ -58,6 +69,7 @@ let run ~socket_path ~clients ~per_client ~verify specs =
       a_errors = 0;
       a_mismatches = 0;
       a_latencies = [];
+      a_done_at = 0.0;
       lock = Mutex.create ();
     }
   in
@@ -66,38 +78,80 @@ let run ~socket_path ~clients ~per_client ~verify specs =
     f acc;
     Mutex.unlock acc.lock
   in
+  (* All clients finish their warm-up before any measured request is
+     sent; the last one through the barrier starts the wall clock, so
+     neither connection setup nor cold-cache planning pollutes the
+     recorded throughput and percentiles. *)
+  let t0 = ref 0.0 in
+  let bar_m = Mutex.create () in
+  let bar_c = Condition.create () in
+  let arrived = ref 0 in
+  let sync () =
+    Mutex.lock bar_m;
+    incr arrived;
+    if !arrived >= clients then begin
+      t0 := Unix.gettimeofday ();
+      Condition.broadcast bar_c
+    end
+    else
+      while !arrived < clients do
+        Condition.wait bar_c bar_m
+      done;
+    Mutex.unlock bar_m
+  in
+  let submit_req idx =
+    Protocol.Submit { spec = specs.(idx); no_cache = false }
+  in
   let client_thread k =
     Client.with_client socket_path @@ fun c ->
-    for i = 0 to per_client - 1 do
-      (* Round-robin with a per-client offset: neighbours hit the same
-         spec at the same time, which is exactly the duplicate traffic
-         the coalescer and cache are there for. *)
-      let idx = ((k * per_client) + i) mod Array.length specs in
-      let spec = specs.(idx) in
-      let t0 = Unix.gettimeofday () in
-      let reply = Client.request c (Protocol.Submit { spec; no_cache = false }) in
-      let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-      record (fun a ->
-          match reply with
-          | Ok (Protocol.Plan { cached; coalesced; outcome; _ }) ->
-            a.a_plans <- a.a_plans + 1;
-            if cached then a.a_cached <- a.a_cached + 1;
-            if coalesced then a.a_coalesced <- a.a_coalesced + 1;
-            a.a_latencies <- ms :: a.a_latencies;
-            if verify && not (String.equal outcome expected.(idx)) then
-              a.a_mismatches <- a.a_mismatches + 1
-          | Ok (Protocol.Shed _) -> a.a_shed <- a.a_shed + 1
-          | Ok (Protocol.Timeout _) -> a.a_timeouts <- a.a_timeouts + 1
-          | Ok _ | Error _ -> a.a_errors <- a.a_errors + 1)
-    done
+    for i = 0 to warmup_per_client - 1 do
+      ignore
+        (Client.request c (submit_req (((k * warmup_per_client) + i) mod nspecs)))
+    done;
+    sync ();
+    (* Round-robin with a per-client offset: neighbours hit the same
+       spec at the same time, which is exactly the duplicate traffic
+       the coalescer and cache are there for.  [pipeline] requests are
+       in flight per chunk; the recorded latency is the chunk's
+       send-to-reply wall, i.e. what a caller of that batch observes. *)
+    let rec go i =
+      if i < per_client then begin
+        let n = min pipeline (per_client - i) in
+        let idxs = List.init n (fun j -> ((k * per_client) + i + j) mod nspecs) in
+        let t_send = Unix.gettimeofday () in
+        let replies = Client.request_many c (List.map submit_req idxs) in
+        let ms = (Unix.gettimeofday () -. t_send) *. 1000.0 in
+        List.iter2
+          (fun idx reply ->
+            record (fun a ->
+                match reply with
+                | Ok (Protocol.Plan { cached; coalesced; outcome; _ }) ->
+                  a.a_plans <- a.a_plans + 1;
+                  if cached then a.a_cached <- a.a_cached + 1;
+                  if coalesced then a.a_coalesced <- a.a_coalesced + 1;
+                  a.a_latencies <- ms :: a.a_latencies;
+                  if verify && not (String.equal outcome expected.(idx)) then
+                    a.a_mismatches <- a.a_mismatches + 1
+                | Ok (Protocol.Shed _) -> a.a_shed <- a.a_shed + 1
+                | Ok (Protocol.Timeout _) -> a.a_timeouts <- a.a_timeouts + 1
+                | Ok _ | Error _ -> a.a_errors <- a.a_errors + 1))
+          idxs replies;
+        go (i + n)
+      end
+    in
+    go 0;
+    record (fun a -> a.a_done_at <- Float.max a.a_done_at (Unix.gettimeofday ()))
   in
-  let t0 = Unix.gettimeofday () in
   let threads = List.init clients (fun k -> Thread.create client_thread k) in
   List.iter Thread.join threads;
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Float.max 0.0 (acc.a_done_at -. !t0) in
   let sorted = Array.of_list acc.a_latencies in
   Array.sort compare sorted;
   {
+    clients;
+    per_client;
+    warmup = warmup_per_client * clients;
+    pipeline;
     requests = clients * per_client;
     plans = acc.a_plans;
     cached = acc.a_cached;
@@ -116,6 +170,10 @@ let run ~socket_path ~clients ~per_client ~verify specs =
 let summary_json s =
   Json.Obj
     [
+      ("clients", Json.Int s.clients);
+      ("per_client", Json.Int s.per_client);
+      ("warmup", Json.Int s.warmup);
+      ("pipeline", Json.Int s.pipeline);
       ("requests", Json.Int s.requests);
       ("plans", Json.Int s.plans);
       ("cached", Json.Int s.cached);
@@ -134,11 +192,13 @@ let summary_json s =
 let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>requests  %d (plans %d, cached %d, coalesced %d)@,\
+     load      %d clients x %d requests, pipeline %d, warmup %d (excluded)@,\
      refused   shed %d, timeouts %d, errors %d@,\
      verify    %s@,\
      wall      %.2f s (%.1f plans/s)@,\
      latency   p50 %.1f ms, p95 %.1f ms, p99 %.1f ms@]" s.requests s.plans
-    s.cached s.coalesced s.shed s.timeouts s.errors
+    s.cached s.coalesced s.clients s.per_client s.pipeline s.warmup s.shed
+    s.timeouts s.errors
     (if s.mismatches = 0 then "all outcomes byte-identical to local runs"
      else Printf.sprintf "%d MISMATCHES" s.mismatches)
     s.wall_s s.throughput s.p50_ms s.p95_ms s.p99_ms

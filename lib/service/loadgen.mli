@@ -4,12 +4,27 @@
     submitting [per_client] requests round-robin over a spec list —
     so with more clients than specs, identical requests are in flight
     concurrently by construction, exercising the cache and the
-    coalescer.  With [verify] on, every served outcome is compared
-    byte-for-byte against a locally computed plan for the same spec
-    (one local run per distinct spec). *)
+    coalescer.
+
+    A campaign has two phases.  First every client issues its share of
+    [warmup] requests; nothing about them is recorded.  Then all
+    clients rendezvous at a barrier — the last one through starts the
+    wall clock — and the measured phase begins, so connection setup and
+    cold-cache planning never pollute the throughput figure or the
+    percentiles.  With [pipeline] > 1 each client keeps that many
+    requests in flight per batched write ({!Client.request_many}); the
+    recorded latency is the batch's send-to-reply wall time.
+
+    With [verify] on, every served outcome is compared byte-for-byte
+    against a locally computed plan for the same spec (one local run
+    per distinct spec). *)
 
 type summary = {
-  requests : int;
+  clients : int;
+  per_client : int;  (** measured requests per client *)
+  warmup : int;  (** warm-up requests issued, excluded from all figures *)
+  pipeline : int;  (** requests in flight per client *)
+  requests : int;  (** measured requests = [clients * per_client] *)
   plans : int;  (** [Plan] replies (cached or computed) *)
   cached : int;
   coalesced : int;
@@ -17,20 +32,26 @@ type summary = {
   timeouts : int;
   errors : int;
   mismatches : int;  (** served outcomes that differ from a local run *)
-  wall_s : float;
+  wall_s : float;  (** measured phase only, barrier to last reply *)
   throughput : float;  (** plans per wall-clock second *)
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
 }
 
-(** [run ~socket_path ~clients ~per_client ~verify specs] drives the
-    daemon and gathers the tallies.  [specs] must be non-empty.
-    @raise Invalid_argument on an empty spec list. *)
+(** [run ~socket_path ~clients ~per_client ?warmup ?pipeline ~verify
+    specs] drives the daemon and gathers the tallies.  [warmup] is the
+    total warm-up request count, split evenly across clients (rounded
+    up; default 0).  [pipeline] defaults to 1 (strict request/reply).
+    [specs] must be non-empty.
+    @raise Invalid_argument on an empty spec list, or when [verify] is
+    set and a local plan fails. *)
 val run :
   socket_path:string ->
   clients:int ->
   per_client:int ->
+  ?warmup:int ->
+  ?pipeline:int ->
   verify:bool ->
   Protocol.spec list ->
   summary

@@ -5,7 +5,10 @@ let c_misses = Counters.counter "service.cache.misses"
 let c_evictions = Counters.counter "service.cache.evictions"
 
 (* Doubly-linked LRU list threaded through a hash table.  [head] is the
-   most recently used entry, [tail] the eviction candidate. *)
+   most recently used entry, [tail] the eviction candidate.  One such
+   structure per shard; a digest maps to exactly one shard, so every
+   operation takes exactly one short per-shard lock and concurrent
+   traffic on distinct shards never contends. *)
 type node = {
   key : string;
   mutable value : string;
@@ -13,8 +16,8 @@ type node = {
   mutable next : node option;  (* towards tail *)
 }
 
-type t = {
-  capacity : int;
+type shard = {
+  shard_capacity : int;
   table : (string, node) Hashtbl.t;
   mutable head : node option;
   mutable tail : node option;
@@ -24,69 +27,87 @@ type t = {
   lock : Mutex.t;
 }
 
-let create ~capacity () =
+type t = { shards : shard array }
+
+let create ~capacity ?(shards = 1) () =
   let capacity = max 1 capacity in
+  let shards = max 1 (min shards capacity) in
+  (* Round the per-shard budget up: the cache may hold slightly more
+     than [capacity] in total, never less per shard than its fair
+     share — an LRU that silently shrank per shard would evict hot
+     entries a single-shard cache of the same capacity would keep. *)
+  let shard_capacity = (capacity + shards - 1) / shards in
   {
-    capacity;
-    table = Hashtbl.create (2 * capacity);
-    head = None;
-    tail = None;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
-    lock = Mutex.create ();
+    shards =
+      Array.init shards (fun _ ->
+          {
+            shard_capacity;
+            table = Hashtbl.create (2 * shard_capacity);
+            head = None;
+            tail = None;
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+            lock = Mutex.create ();
+          });
   }
 
-let unlink t n =
-  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
-  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+let shard_count t = Array.length t.shards
+
+let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let unlink s n =
+  (match n.prev with Some p -> p.next <- n.next | None -> s.head <- n.next);
+  (match n.next with Some x -> x.prev <- n.prev | None -> s.tail <- n.prev);
   n.prev <- None;
   n.next <- None
 
-let push_front t n =
-  n.next <- t.head;
+let push_front s n =
+  n.next <- s.head;
   n.prev <- None;
-  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
-  t.head <- Some n
+  (match s.head with Some h -> h.prev <- Some n | None -> s.tail <- Some n);
+  s.head <- Some n
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock s.lock)
 
 let find t key =
-  locked t @@ fun () ->
-  match Hashtbl.find_opt t.table key with
+  let s = shard_of t key in
+  locked s @@ fun () ->
+  match Hashtbl.find_opt s.table key with
   | Some n ->
-    t.hits <- t.hits + 1;
+    s.hits <- s.hits + 1;
     Counters.incr c_hits;
-    unlink t n;
-    push_front t n;
+    unlink s n;
+    push_front s n;
     Some n.value
   | None ->
-    t.misses <- t.misses + 1;
+    s.misses <- s.misses + 1;
     Counters.incr c_misses;
     None
 
 let add t key value =
-  locked t @@ fun () ->
-  match Hashtbl.find_opt t.table key with
+  let s = shard_of t key in
+  locked s @@ fun () ->
+  match Hashtbl.find_opt s.table key with
   | Some n ->
     n.value <- value;
-    unlink t n;
-    push_front t n
+    unlink s n;
+    push_front s n
   | None ->
-    if Hashtbl.length t.table >= t.capacity then begin
-      match t.tail with
+    if Hashtbl.length s.table >= s.shard_capacity then begin
+      match s.tail with
       | Some lru ->
-        unlink t lru;
-        Hashtbl.remove t.table lru.key;
-        t.evictions <- t.evictions + 1;
+        unlink s lru;
+        Hashtbl.remove s.table lru.key;
+        s.evictions <- s.evictions + 1;
         Counters.incr c_evictions
       | None -> ()
     end;
     let n = { key; value; prev = None; next = None } in
-    Hashtbl.replace t.table key n;
-    push_front t n
+    Hashtbl.replace s.table key n;
+    push_front s n
 
 type stats = {
   hits : int;
@@ -96,15 +117,34 @@ type stats = {
   capacity : int;
 }
 
+let shard_stats t =
+  Array.map
+    (fun s ->
+      locked s @@ fun () ->
+      {
+        hits = s.hits;
+        misses = s.misses;
+        evictions = s.evictions;
+        length = Hashtbl.length s.table;
+        capacity = s.shard_capacity;
+      })
+    t.shards
+
+(* Aggregated over shards.  Each shard is snapshotted under its own
+   lock; the sum is exactly the sum of those snapshots (what the stats
+   endpoint's consistency check relies on), not a global freeze. *)
 let stats t =
-  locked t @@ fun () ->
-  {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    length = Hashtbl.length t.table;
-    capacity = t.capacity;
-  }
+  Array.fold_left
+    (fun acc s ->
+      {
+        hits = acc.hits + s.hits;
+        misses = acc.misses + s.misses;
+        evictions = acc.evictions + s.evictions;
+        length = acc.length + s.length;
+        capacity = acc.capacity + s.capacity;
+      })
+    { hits = 0; misses = 0; evictions = 0; length = 0; capacity = 0 }
+    (shard_stats t)
 
 let hit_rate s =
   let total = s.hits + s.misses in

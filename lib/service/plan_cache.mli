@@ -2,23 +2,31 @@
     (layout+assay, method, config) request → the full outcome JSON a
     one-shot run would print.
 
-    Bounded LRU: [add] beyond capacity evicts the least-recently-used
-    entry; [find] promotes.  Thread-safe (one mutex — operations are
-    O(1) pointer surgery, so the lock is never held long).  Hit, miss
-    and eviction counts feed both the module's own [stats] record and
-    the [Pdw_obs.Counters] table ([service.cache.*]). *)
+    Sharded bounded LRU: a digest hashes to one of [shards] independent
+    LRU structures, each with its own lock, recency list and counters —
+    concurrent traffic on distinct shards never contends, and every
+    operation takes exactly one short per-shard lock.  [add] beyond a
+    shard's capacity evicts that shard's least-recently-used entry;
+    [find] promotes.  Hit, miss and eviction counts feed both the
+    module's own [stats] record and the [Pdw_obs.Counters] table
+    ([service.cache.*]). *)
 
 type t
 
-(** [create ~capacity ()] — [capacity] is clamped to at least 1. *)
-val create : capacity:int -> unit -> t
+(** [create ~capacity ?shards ()] — [capacity] is clamped to at least
+    1, [shards] (default 1) to [1..capacity].  Each shard holds up to
+    [ceil (capacity / shards)] entries, so the total never rounds below
+    [capacity]. *)
+val create : capacity:int -> ?shards:int -> unit -> t
+
+val shard_count : t -> int
 
 (** [find t digest] is the cached outcome, promoting the entry to
-    most-recently-used.  Counts a hit or a miss. *)
+    most-recently-used within its shard.  Counts a hit or a miss. *)
 val find : t -> string -> string option
 
-(** [add t digest outcome] inserts or refreshes, evicting the LRU entry
-    when over capacity. *)
+(** [add t digest outcome] inserts or refreshes, evicting the owning
+    shard's LRU entry when that shard is at capacity. *)
 val add : t -> string -> string -> unit
 
 type stats = {
@@ -29,7 +37,14 @@ type stats = {
   capacity : int;
 }
 
+(** Aggregate over all shards.  Each shard is snapshotted under its own
+    lock; the totals are exactly the field-wise sums of {!shard_stats}
+    taken at the same moment. *)
 val stats : t -> stats
+
+(** One snapshot per shard, index-aligned with the internal shard
+    array. *)
+val shard_stats : t -> stats array
 
 (** [hit_rate s] is hits / (hits + misses), or 0 before any lookup. *)
 val hit_rate : stats -> float

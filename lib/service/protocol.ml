@@ -242,6 +242,33 @@ let reply_to_json = function
   | Error m ->
     Json.Obj [ ("status", Json.Str "error"); ("message", Json.Str m) ]
 
+(* The serving hot path: a [Plan] reply's envelope is tiny but its
+   outcome can be tens of kilobytes, and [reply_to_json] re-parses and
+   re-prints that text on every reply.  The outcome is [Json_export]
+   text whose parse/print round-trip is byte-identical (the property
+   [reply_to_json] already relies on), so splicing it verbatim into a
+   hand-built envelope produces the same bytes with zero parsing.  The
+   envelope mirrors [Pdw_obs.Json]'s compact printer exactly; anything
+   that is not a JSON object falls back to the codec. *)
+let reply_to_string reply =
+  match reply with
+  | Plan { cached; coalesced; digest; wall_ms; outcome }
+    when String.length outcome > 0 && outcome.[0] = '{' ->
+    let b = Buffer.create (String.length outcome + 128) in
+    Buffer.add_string b "{\"status\":\"ok\",\"cached\":";
+    Buffer.add_string b (if cached then "true" else "false");
+    Buffer.add_string b ",\"coalesced\":";
+    Buffer.add_string b (if coalesced then "true" else "false");
+    Buffer.add_string b ",\"digest\":";
+    Buffer.add_string b (Json.to_string (Json.Str digest));
+    Buffer.add_string b ",\"wall_ms\":";
+    Buffer.add_string b (Json.to_string (Json.Float wall_ms));
+    Buffer.add_string b ",\"outcome\":";
+    Buffer.add_string b outcome;
+    Buffer.add_char b '}';
+    Buffer.contents b
+  | reply -> Json.to_string (reply_to_json reply)
+
 let reply_of_json j =
   let str k = Option.bind (Json.member k j) Json.to_str in
   let int k = Option.bind (Json.member k j) Json.to_int in

@@ -75,4 +75,12 @@ val request_of_json : Json.t -> (request, string) result
 
 val reply_to_json : reply -> Json.t
 
+(** [reply_to_string r] is [Json.to_string (reply_to_json r)], byte for
+    byte — but for [Plan] replies the outcome text is spliced verbatim
+    into a hand-built envelope instead of being re-parsed and
+    re-printed.  The equality rests on the [Json_export] round-trip
+    property ([to_string (parse outcome) = outcome]); the server uses
+    this on every reply it frames. *)
+val reply_to_string : reply -> string
+
 val reply_of_json : Json.t -> (reply, string) result

@@ -51,17 +51,29 @@ type counts = {
    recent completions (old traffic ages out, stats stay O(1) memory). *)
 let lat_capacity = 4096
 
-type t = {
-  cfg : config;
-  cache : Plan_cache.t;
-  adm : Admission.t;
-  pool : Domain_pool.t;
-  jobs : (string, job) Hashtbl.t;
+(* One shard per worker domain.  A request's digest picks its shard;
+   everything the request mutates — the coalescing table, the admission
+   slots, the tallies, the latency ring — belongs to that shard alone,
+   so two requests on different shards never share a lock, and the
+   planner job lands on the shard's own worker queue. *)
+type shard = {
+  sid : int;
+  jobs : (string, job) Hashtbl.t;  (* in-flight jobs, for coalescing *)
   jobs_lock : Mutex.t;
+  adm : Admission.t;  (* bounded queued+running slots for this shard *)
   counts : counts;
   lat : float array;
   mutable lat_n : int;  (* total samples ever; ring index = n mod cap *)
   counts_lock : Mutex.t;
+}
+
+type t = {
+  cfg : config;
+  cache : Plan_cache.t;
+  pool : Domain_pool.t;
+  shards : shard array;
+  shard_limit : int;  (* per-shard admission bound *)
+  burn_rr : int Atomic.t;  (* burns carry no digest; spread them *)
   started_at : float;
   listen_fd : Unix.file_descr;
   stop_r : Unix.file_descr;  (* self-pipe: [stop] wakes the accept loop *)
@@ -77,24 +89,60 @@ let config t = t.cfg
 
 let now_ms () = Unix.gettimeofday () *. 1000.0
 
+let shard_for t digest =
+  t.shards.(Hashtbl.hash digest mod Array.length t.shards)
+
 (* --- metrics -------------------------------------------------------- *)
 
-let with_counts t f =
-  Mutex.lock t.counts_lock;
-  f t.counts;
-  Mutex.unlock t.counts_lock
+let with_counts sh f =
+  Mutex.lock sh.counts_lock;
+  f sh.counts;
+  Mutex.unlock sh.counts_lock
 
-let record_latency t ms =
-  Mutex.lock t.counts_lock;
-  t.lat.(t.lat_n mod lat_capacity) <- ms;
-  t.lat_n <- t.lat_n + 1;
-  Mutex.unlock t.counts_lock
+let record_latency sh ms =
+  Mutex.lock sh.counts_lock;
+  sh.lat.(sh.lat_n mod lat_capacity) <- ms;
+  sh.lat_n <- sh.lat_n + 1;
+  Mutex.unlock sh.counts_lock
 
-let latency_percentiles t =
-  Mutex.lock t.counts_lock;
-  let n = min t.lat_n lat_capacity in
-  let samples = Array.sub t.lat 0 n in
-  Mutex.unlock t.counts_lock;
+(* A per-shard snapshot, taken under that shard's locks only.  The
+   aggregate the stats endpoint reports is the field-wise sum of these
+   snapshots — internally consistent by construction (totals equal the
+   sum of the shard rows they are printed next to). *)
+type shard_snapshot = {
+  snap_counts : counts;  (* a private copy *)
+  snap_in_flight : int;
+  snap_depth_peak : int;
+  snap_shed : int;
+  snap_samples : float array;
+}
+
+let snapshot_shard sh =
+  Mutex.lock sh.counts_lock;
+  let c = sh.counts in
+  let snap_counts =
+    {
+      submitted = c.submitted;
+      completed = c.completed;
+      coalesced = c.coalesced;
+      timeouts = c.timeouts;
+      errors = c.errors;
+      burns = c.burns;
+    }
+  in
+  let n = min sh.lat_n lat_capacity in
+  let snap_samples = Array.sub sh.lat 0 n in
+  Mutex.unlock sh.counts_lock;
+  {
+    snap_counts;
+    snap_in_flight = Admission.in_flight sh.adm;
+    snap_depth_peak = Admission.peak sh.adm;
+    snap_shed = Admission.shed_count sh.adm;
+    snap_samples;
+  }
+
+let percentiles samples =
+  let n = Array.length samples in
   Array.sort compare samples;
   let pct q =
     if n = 0 then 0.0
@@ -102,18 +150,63 @@ let latency_percentiles t =
   in
   (n, pct 0.50, pct 0.95, pct 0.99)
 
+(* Peak queued+running depth per shard, for the serve bench's scaling
+   report. *)
+let shard_depth_peaks t =
+  Array.to_list (Array.map (fun sh -> Admission.peak sh.adm) t.shards)
+
 let stats_json t =
-  let cs = Plan_cache.stats t.cache in
-  let n, p50, p95, p99 = latency_percentiles t in
-  Mutex.lock t.counts_lock;
-  let c = t.counts in
-  let submitted = c.submitted
-  and completed = c.completed
-  and coalesced = c.coalesced
-  and timeouts = c.timeouts
-  and errors = c.errors
-  and burns = c.burns in
-  Mutex.unlock t.counts_lock;
+  let snaps = Array.map snapshot_shard t.shards in
+  let cache_shards = Plan_cache.shard_stats t.cache in
+  let cache_total =
+    Array.fold_left
+      (fun (h, m, e, l, cap) (s : Plan_cache.stats) ->
+        (h + s.hits, m + s.misses, e + s.evictions, l + s.length,
+         cap + s.capacity))
+      (0, 0, 0, 0, 0) cache_shards
+  in
+  let hits, misses, evictions, length, capacity = cache_total in
+  let pend = Domain_pool.pending_per_worker t.pool in
+  let qpeaks = Domain_pool.peak_per_worker t.pool in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 snaps in
+  let in_flight = sum (fun s -> s.snap_in_flight) in
+  let shed = sum (fun s -> s.snap_shed) in
+  let depth_peak =
+    Array.fold_left (fun acc s -> max acc s.snap_depth_peak) 0 snaps
+  in
+  let samples = Array.concat (Array.to_list (Array.map (fun s -> s.snap_samples) snaps)) in
+  let n, p50, p95, p99 = percentiles samples in
+  let cache_shard_json (s : Plan_cache.stats) =
+    Json.Obj
+      [
+        ("hits", Json.Int s.hits);
+        ("misses", Json.Int s.misses);
+        ("evictions", Json.Int s.evictions);
+        ("length", Json.Int s.length);
+      ]
+  in
+  let shard_json i s =
+    Json.Obj
+      [
+        ("id", Json.Int i);
+        ("in_flight", Json.Int s.snap_in_flight);
+        ("depth_peak", Json.Int s.snap_depth_peak);
+        ("shed", Json.Int s.snap_shed);
+        ("pending", Json.Int (if i < Array.length pend then pend.(i) else 0));
+        ( "queue_peak",
+          Json.Int (if i < Array.length qpeaks then qpeaks.(i) else 0) );
+        ("submitted", Json.Int s.snap_counts.submitted);
+        ("completed", Json.Int s.snap_counts.completed);
+        ("coalesced", Json.Int s.snap_counts.coalesced);
+        ("timeouts", Json.Int s.snap_counts.timeouts);
+        ("errors", Json.Int s.snap_counts.errors);
+        ("burns", Json.Int s.snap_counts.burns);
+        ( "cache",
+          if i < Array.length cache_shards then cache_shard_json cache_shards.(i)
+          else cache_shard_json
+                 { hits = 0; misses = 0; evictions = 0; length = 0; capacity = 0 } );
+      ]
+  in
   Json.Obj
     [
       ("version", Json.Str Version.version);
@@ -122,30 +215,35 @@ let stats_json t =
       ( "queue",
         Json.Obj
           [
-            ("in_flight", Json.Int (Admission.in_flight t.adm));
-            ("pending", Json.Int (Domain_pool.pending t.pool));
-            ("limit", Json.Int (Admission.limit t.adm));
-            ("shed", Json.Int (Admission.shed_count t.adm));
+            ("in_flight", Json.Int in_flight);
+            ("pending", Json.Int (Array.fold_left ( + ) 0 pend));
+            ("limit", Json.Int (t.shard_limit * Array.length t.shards));
+            ("shard_limit", Json.Int t.shard_limit);
+            ("depth_peak", Json.Int depth_peak);
+            ("shed", Json.Int shed);
           ] );
       ( "cache",
         Json.Obj
           [
-            ("hits", Json.Int cs.Plan_cache.hits);
-            ("misses", Json.Int cs.Plan_cache.misses);
-            ("evictions", Json.Int cs.Plan_cache.evictions);
-            ("length", Json.Int cs.Plan_cache.length);
-            ("capacity", Json.Int cs.Plan_cache.capacity);
-            ("hit_rate", Json.Float (Plan_cache.hit_rate cs));
+            ("hits", Json.Int hits);
+            ("misses", Json.Int misses);
+            ("evictions", Json.Int evictions);
+            ("length", Json.Int length);
+            ("capacity", Json.Int capacity);
+            ( "hit_rate",
+              Json.Float
+                (if hits + misses = 0 then 0.0
+                 else float_of_int hits /. float_of_int (hits + misses)) );
           ] );
       ( "requests",
         Json.Obj
           [
-            ("submitted", Json.Int submitted);
-            ("completed", Json.Int completed);
-            ("coalesced", Json.Int coalesced);
-            ("timeouts", Json.Int timeouts);
-            ("errors", Json.Int errors);
-            ("burns", Json.Int burns);
+            ("submitted", Json.Int (sum (fun s -> s.snap_counts.submitted)));
+            ("completed", Json.Int (sum (fun s -> s.snap_counts.completed)));
+            ("coalesced", Json.Int (sum (fun s -> s.snap_counts.coalesced)));
+            ("timeouts", Json.Int (sum (fun s -> s.snap_counts.timeouts)));
+            ("errors", Json.Int (sum (fun s -> s.snap_counts.errors)));
+            ("burns", Json.Int (sum (fun s -> s.snap_counts.burns)));
           ] );
       ( "latency_ms",
         Json.Obj
@@ -155,6 +253,8 @@ let stats_json t =
             ("p95", Json.Float p95);
             ("p99", Json.Float p99);
           ] );
+      ( "shards",
+        Json.Arr (Array.to_list (Array.mapi shard_json snaps)) );
     ]
 
 (* --- the job machinery ---------------------------------------------- *)
@@ -184,8 +284,8 @@ let finish_job job result =
   Mutex.unlock job.lock
 
 (* The worker side of one submit: plan with bounded retry, publish to
-   the cache, wake the waiters, give the admission slot back. *)
-let run_plan_job t job spec ~registered ~cache_write =
+   the cache, wake the waiters, give the shard's admission slot back. *)
+let run_plan_job t sh job spec ~registered ~cache_write =
   let rec attempt k =
     match Engine.plan spec with
     | result -> result
@@ -208,94 +308,99 @@ let run_plan_job t job spec ~registered ~cache_write =
      misses the table re-checks the cache-filled path on its own. *)
   finish_job job result;
   if registered then begin
-    Mutex.lock t.jobs_lock;
-    Hashtbl.remove t.jobs job.digest;
-    Mutex.unlock t.jobs_lock
+    Mutex.lock sh.jobs_lock;
+    Hashtbl.remove sh.jobs job.digest;
+    Mutex.unlock sh.jobs_lock
   end;
-  Admission.release t.adm;
-  with_counts t (fun c ->
+  Admission.release sh.adm;
+  with_counts sh (fun c ->
       match result with
       | Ok _ -> c.completed <- c.completed + 1
       | Error _ -> c.errors <- c.errors + 1)
 
-(* Decide, atomically against other submissions, what this request
-   does: join an in-flight twin, start a fresh job, or shed. *)
+(* Decide, atomically against other submissions on the same shard, what
+   this request does: join an in-flight twin, start a fresh job, or
+   shed. *)
 type admission_outcome =
   | Joined of job
   | Started of job
   | Refused
 
-let admit_submit t spec digest ~no_cache =
-  Mutex.lock t.jobs_lock;
+let admit_submit t sh spec digest ~no_cache =
+  Mutex.lock sh.jobs_lock;
   let outcome =
     match
-      if no_cache then None else Hashtbl.find_opt t.jobs digest
+      if no_cache then None else Hashtbl.find_opt sh.jobs digest
     with
     | Some job -> Joined job
     | None ->
-      if Admission.try_admit t.adm then begin
+      if Admission.try_admit sh.adm then begin
         let job = { digest; state = Running; lock = Mutex.create () } in
-        if not no_cache then Hashtbl.add t.jobs digest job;
-        Domain_pool.submit t.pool (fun () ->
-            run_plan_job t job spec ~registered:(not no_cache)
+        if not no_cache then Hashtbl.add sh.jobs digest job;
+        Domain_pool.submit_to t.pool sh.sid (fun () ->
+            run_plan_job t sh job spec ~registered:(not no_cache)
               ~cache_write:(not no_cache));
         Started job
       end
       else Refused
   in
-  Mutex.unlock t.jobs_lock;
+  Mutex.unlock sh.jobs_lock;
   outcome
 
 let handle_submit t spec ~no_cache =
   let t0 = now_ms () in
-  with_counts t (fun c -> c.submitted <- c.submitted + 1);
   Counters.incr c_requests;
   let digest = Protocol.digest spec in
+  let sh = shard_for t digest in
+  with_counts sh (fun c -> c.submitted <- c.submitted + 1);
   let cache_hit =
     if no_cache then None else Plan_cache.find t.cache digest
   in
   match cache_hit with
   | Some outcome ->
     let wall_ms = now_ms () -. t0 in
-    record_latency t wall_ms;
+    record_latency sh wall_ms;
     Protocol.Plan { cached = true; coalesced = false; digest; wall_ms; outcome }
   | None -> (
-    match admit_submit t spec digest ~no_cache with
+    match admit_submit t sh spec digest ~no_cache with
     | Refused ->
       Protocol.Shed
-        { in_flight = Admission.in_flight t.adm; limit = t.cfg.queue_limit }
+        { in_flight = Admission.in_flight sh.adm; limit = t.shard_limit }
     | (Joined job | Started job) as adm -> (
       let coalesced =
         match adm with Joined _ -> true | _ -> false
       in
       if coalesced then begin
-        with_counts t (fun c -> c.coalesced <- c.coalesced + 1);
+        with_counts sh (fun c -> c.coalesced <- c.coalesced + 1);
         Counters.incr c_coalesced
       end;
       match
         wait_job job ~deadline_ms:(t0 +. float_of_int t.cfg.job_timeout_ms)
       with
       | None ->
-        with_counts t (fun c -> c.timeouts <- c.timeouts + 1);
+        with_counts sh (fun c -> c.timeouts <- c.timeouts + 1);
         Counters.incr c_timeouts;
         Protocol.Timeout { after_ms = t.cfg.job_timeout_ms }
       | Some (Error m) -> Protocol.Error m
       | Some (Ok outcome) ->
         let wall_ms = now_ms () -. t0 in
-        record_latency t wall_ms;
+        record_latency sh wall_ms;
         Protocol.Plan { cached = false; coalesced; digest; wall_ms; outcome }))
 
 (* [burn] occupies a worker and an admission slot for [ms] — synthetic
    load with a deterministic duration, for backpressure tests and the
-   serve benchmark's shed scenario. *)
+   serve benchmark's shed scenario.  Burns carry no digest, so they
+   round-robin across shards. *)
 let handle_burn t ~ms =
-  if Admission.try_admit t.adm then begin
+  let k = Atomic.fetch_and_add t.burn_rr 1 in
+  let sh = t.shards.(k mod Array.length t.shards) in
+  if Admission.try_admit sh.adm then begin
     let job = { digest = ""; state = Running; lock = Mutex.create () } in
-    Domain_pool.submit t.pool (fun () ->
+    Domain_pool.submit_to t.pool sh.sid (fun () ->
         Unix.sleepf (float_of_int ms /. 1000.0);
         finish_job job (Ok "");
-        Admission.release t.adm;
-        with_counts t (fun c -> c.burns <- c.burns + 1));
+        Admission.release sh.adm;
+        with_counts sh (fun c -> c.burns <- c.burns + 1));
     (* A burn waits as long as it burns, plus the normal job timeout for
        its turn in the queue. *)
     let deadline_ms =
@@ -304,12 +409,12 @@ let handle_burn t ~ms =
     match wait_job job ~deadline_ms with
     | Some _ -> Protocol.Burned { ms }
     | None ->
-      with_counts t (fun c -> c.timeouts <- c.timeouts + 1);
+      with_counts sh (fun c -> c.timeouts <- c.timeouts + 1);
       Protocol.Timeout { after_ms = ms + t.cfg.job_timeout_ms }
   end
   else
     Protocol.Shed
-      { in_flight = Admission.in_flight t.adm; limit = t.cfg.queue_limit }
+      { in_flight = Admission.in_flight sh.adm; limit = t.shard_limit }
 
 (* --- lifecycle ------------------------------------------------------ *)
 
@@ -345,11 +450,24 @@ let unregister_conn t fd =
   t.conns <- List.filter (fun fd' -> fd' <> fd) t.conns;
   Mutex.unlock t.lifecycle
 
+(* Flush the reply batch before it grows past this — a client that
+   streams requests without ever reading could otherwise balloon the
+   buffer. *)
+let max_unflushed = 256 * 1024
+
+(* One reader thread per connection: drain every complete frame the
+   last [read] syscall delivered, batch the replies, and flush them in
+   one write exactly when the input buffer runs dry (the moment we
+   would block).  A pipelined client thus costs one read and one write
+   syscall per batch, not per request; worker domains never touch the
+   socket. *)
 let conn_loop t fd =
+  let rd = Wire.Buffered.create fd in
+  let wr = Wire.Batch.create fd in
   (try
      let rec loop () =
-       match Wire.read_json fd with
-       | None -> ()
+       match Wire.Buffered.read_json rd with
+       | None -> Wire.Batch.flush wr
        | Some j -> (
          let req = Protocol.request_of_json j in
          let reply =
@@ -360,17 +478,26 @@ let conn_loop t fd =
            | Ok req -> handle t req
            | Error m -> Protocol.Error m
          in
-         Wire.write_json fd (Protocol.reply_to_json reply);
+         Wire.Batch.add_frame wr (Protocol.reply_to_string reply);
          match req with
-         | Ok Protocol.Shutdown -> initiate_stop t
-         | _ -> loop ())
+         | Ok Protocol.Shutdown ->
+           Wire.Batch.flush wr;
+           initiate_stop t
+         | _ ->
+           if
+             Wire.Batch.pending wr >= max_unflushed
+             || not (Wire.Buffered.has_frame rd)
+           then Wire.Batch.flush wr;
+           loop ())
      in
      loop ()
    with
   | Wire.Protocol_error m ->
     (* Tell the client what was wrong with its bytes if the pipe still
        works, then hang up — framing is unrecoverable mid-stream. *)
-    (try Wire.write_json fd (Protocol.reply_to_json (Protocol.Error m))
+    (try
+       Wire.Batch.add_frame wr (Protocol.reply_to_string (Protocol.Error m));
+       Wire.Batch.flush wr
      with _ -> ())
   | Unix.Unix_error _ | Sys_error _ -> ());
   unregister_conn t fd;
@@ -427,6 +554,16 @@ let accept_loop t =
 
 let start cfg =
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* The serving hot path allocates multi-KB reply strings at request
+     rate, and every minor collection stops the world across all
+     domains — at the default minor-heap size the daemon spends a
+     visible fraction of its time at that barrier.  A bigger nursery
+     (4M words, ~32 MB per domain on 64-bit) trades a little memory for
+     far fewer global pauses.  Never shrink a user-raised setting. *)
+  (let gc = Gc.get () in
+   let want = 4 * 1024 * 1024 in
+   if gc.Gc.minor_heap_size < want then
+     Gc.set { gc with Gc.minor_heap_size = want });
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path)
@@ -450,26 +587,39 @@ let start cfg =
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      raise e);
   let stop_r, stop_w = Unix.pipe () in
+  let workers = max 1 cfg.workers in
+  (* Per-shard bound, rounded up: the effective global limit is
+     [shard_limit * workers], never below the configured intent. *)
+  let shard_limit = (max 1 cfg.queue_limit + workers - 1) / workers in
+  let mk_counts () =
+    {
+      submitted = 0;
+      completed = 0;
+      coalesced = 0;
+      timeouts = 0;
+      errors = 0;
+      burns = 0;
+    }
+  in
   let t =
     {
       cfg;
-      cache = Plan_cache.create ~capacity:cfg.cache_capacity ();
-      adm = Admission.create ~limit:cfg.queue_limit;
-      pool = Domain_pool.create ~size:(max 1 cfg.workers) ~dedicated:true ();
-      jobs = Hashtbl.create 64;
-      jobs_lock = Mutex.create ();
-      counts =
-        {
-          submitted = 0;
-          completed = 0;
-          coalesced = 0;
-          timeouts = 0;
-          errors = 0;
-          burns = 0;
-        };
-      lat = Array.make lat_capacity 0.0;
-      lat_n = 0;
-      counts_lock = Mutex.create ();
+      cache = Plan_cache.create ~capacity:cfg.cache_capacity ~shards:workers ();
+      pool = Domain_pool.create ~size:workers ~dedicated:true ();
+      shards =
+        Array.init workers (fun sid ->
+            {
+              sid;
+              jobs = Hashtbl.create 64;
+              jobs_lock = Mutex.create ();
+              adm = Admission.create ~limit:shard_limit;
+              counts = mk_counts ();
+              lat = Array.make lat_capacity 0.0;
+              lat_n = 0;
+              counts_lock = Mutex.create ();
+            });
+      shard_limit;
+      burn_rr = Atomic.make 0;
       started_at = Unix.gettimeofday ();
       listen_fd;
       stop_r;

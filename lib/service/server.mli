@@ -1,36 +1,53 @@
 (** The planning daemon: a Unix-domain-socket server that turns framed
     JSON requests ({!Wire}, {!Protocol}) into wash plans.
 
+    Admission is sharded: a request's content digest hashes to one of
+    [workers] shards, and everything the request touches — the
+    coalescing table, the bounded admission slots, the tallies, the
+    latency ring, the plan-cache shard, the worker's run queue — is
+    private to that shard.  There is no global front-door lock;
+    requests on different shards proceed independently, so throughput
+    scales with worker count instead of serializing on shared state.
+
     Request flow for a [submit]:
 
-    + digest the canonicalized spec ({!Protocol.digest});
-    + consult the content-addressed plan cache — a hit answers
-      immediately with the stored outcome text;
-    + coalesce: if an identical job is already queued or running, join
-      it as a waiter (no admission slot consumed — the waiter adds no
-      work);
-    + admission control: a fresh job takes an in-flight slot or, past
-      [queue_limit], is refused with an explicit [shed] reply — the
-      queue is bounded at the front door, never silently;
-    + a {!Pdw_pool.Domain_pool} worker runs the planner, retrying
-      crashed attempts up to [max_retries] times, then stores the
-      outcome in the cache and wakes every waiter;
+    + digest the canonicalized spec ({!Protocol.digest}) and pick its
+      shard;
+    + consult the sharded plan cache — a hit answers immediately with
+      the stored outcome text, touching only the cache shard's lock;
+    + coalesce: if an identical job is already queued or running on the
+      shard, join it as a waiter (no admission slot consumed — the
+      waiter adds no work);
+    + shard admission: a fresh job takes one of the shard's
+      [queue_limit / workers] (rounded up) in-flight slots or is
+      refused with an explicit [shed] reply — the queue is bounded at
+      the front door, never silently;
+    + the job runs on the shard's own {!Pdw_pool.Domain_pool} worker
+      queue ([submit_to]), retrying crashed attempts up to
+      [max_retries] times, then stores the outcome in the cache and
+      wakes every waiter;
     + a waiter that outlives [job_timeout_ms] gets a [timeout] reply;
       the job itself keeps running and still populates the cache.
 
+    Framing stays off the compute path: each connection gets a reader
+    thread that drains every complete frame a single [read] syscall
+    delivered ({!Wire.Buffered}), batches the replies, and flushes them
+    in one write when the input runs dry ({!Wire.Batch}) — pipelined
+    clients cost one syscall pair per batch.  Worker domains never
+    touch a socket.
+
     Served outcomes are byte-identical to [pdw run --json] on the same
     spec: workers run the same synthesis/optimize/serialize pipeline
-    ({!Engine}), and replies embed the outcome text verbatim.
-
-    Connections are handled by one systhread each (they mostly block on
-    I/O or on job completion); only planner work runs on the worker
-    domains. *)
+    ({!Engine}), and replies splice the outcome text verbatim
+    ({!Protocol.reply_to_string}). *)
 
 type config = {
   socket_path : string;
-  workers : int;  (** planner worker domains *)
-  queue_limit : int;  (** max jobs in flight (queued + running) *)
-  cache_capacity : int;  (** plan-cache entries *)
+  workers : int;  (** planner worker domains = shards *)
+  queue_limit : int;
+      (** max jobs in flight (queued + running), split evenly across
+          shards (rounded up per shard) *)
+  cache_capacity : int;  (** plan-cache entries, split across shards *)
   job_timeout_ms : int;  (** per-request wait before a [timeout] reply *)
   max_retries : int;  (** extra planner attempts after a crash *)
 }
@@ -55,10 +72,17 @@ val config : t -> config
     initiates [stop] asynchronously. *)
 val handle : t -> Protocol.request -> Protocol.reply
 
-(** The [stats] payload: queue depth and shed count, cache hit rate,
-    request tallies, latency percentiles (p50/p95/p99 over recent
-    requests). *)
+(** The [stats] payload.  Totals (queue depth, shed count, cache hit
+    rate, request tallies, p50/p95/p99 latency) are field-wise sums of
+    the per-shard snapshots listed under ["shards"] — each row carries
+    its shard's in-flight count, depth peak, shed/coalesce counters,
+    worker-queue depth and peak, and cache-shard counters, so the
+    aggregate is internally consistent with the breakdown. *)
 val stats_json : t -> Pdw_obs.Json.t
+
+(** Peak queued+running admission depth per shard since start — the
+    serve bench records these alongside its scaling curve. *)
+val shard_depth_peaks : t -> int list
 
 (** Initiate shutdown and wait: stop accepting, close live connections,
     join the worker domains (running jobs finish; queued jobs are

@@ -69,6 +69,58 @@ let test_wire_bad_header () =
   (* Truncated payload: header promises more bytes than the stream has. *)
   expect_protocol_error "10\nabc"
 
+(* Batched framing: many frames land in the writer's buffer, one flush
+   moves them, and the buffered reader hands them all out of (at most)
+   one refill.  A 1 KiB read buffer (the floor) forces payloads bigger
+   than the buffer through the straight-from-fd spill path. *)
+let test_wire_buffered_batch () =
+  let payloads =
+    [ ""; "{\"op\":\"ping\"}"; String.init 256 Char.chr; String.make 4096 'y' ]
+  in
+  with_pipe @@ fun r w ->
+  let wr = Wire.Batch.create w in
+  List.iter (Wire.Batch.add_frame wr) payloads;
+  Alcotest.(check bool) "frames pending before flush" true
+    (Wire.Batch.pending wr > 0);
+  let writer =
+    Thread.create
+      (fun () ->
+        Wire.Batch.flush wr;
+        Unix.close w)
+      ()
+  in
+  let rd = Wire.Buffered.create ~buf_size:1024 r in
+  List.iteri
+    (fun i expected ->
+      match Wire.Buffered.read_frame rd with
+      | Some got ->
+        Alcotest.(check string) (Printf.sprintf "frame %d" i) expected got
+      | None -> Alcotest.failf "eof before frame %d" i)
+    payloads;
+  Alcotest.(check bool) "clean EOF after the batch" true
+    (Wire.Buffered.read_frame rd = None);
+  Thread.join writer
+
+(* [has_frame] looks only at bytes already buffered — it must say yes
+   while complete frames wait, and no once the buffer is drained. *)
+let test_wire_has_frame () =
+  with_pipe @@ fun r w ->
+  let wr = Wire.Batch.create w in
+  Wire.Batch.add_frame wr "one";
+  Wire.Batch.add_frame wr "two";
+  Wire.Batch.flush wr;
+  let rd = Wire.Buffered.create r in
+  (match Wire.Buffered.read_frame rd with
+  | Some got -> Alcotest.(check string) "first frame" "one" got
+  | None -> Alcotest.fail "eof");
+  Alcotest.(check bool) "second frame already buffered" true
+    (Wire.Buffered.has_frame rd);
+  (match Wire.Buffered.read_frame rd with
+  | Some got -> Alcotest.(check string) "second frame" "two" got
+  | None -> Alcotest.fail "eof");
+  Alcotest.(check bool) "buffer drained" false (Wire.Buffered.has_frame rd);
+  Unix.close w
+
 (* --- protocol codecs and digests --- *)
 
 let spec_of ?method_ ?config name = Protocol.spec ?method_ ?config (Protocol.Benchmark name)
@@ -153,6 +205,56 @@ let test_cache_refresh () =
     (Plan_cache.find c "a");
   Alcotest.(check int) "no growth" 1 (Plan_cache.stats c).Plan_cache.length
 
+(* Sharded cache under real parallelism: domains hammer overlapping
+   keys across shards, then every invariant the sharding must preserve
+   is checked — per-shard LRU bounds, totals equal to the field-wise
+   sum of the per-shard stats, and hit/miss tallies accounting for
+   every lookup. *)
+let test_cache_sharded_stress () =
+  let capacity = 32 and nshards = 4 and ndomains = 4 and ops = 1_000 in
+  let nkeys = 64 in
+  let c = Plan_cache.create ~capacity ~shards:nshards () in
+  Alcotest.(check int) "shard count" nshards (Plan_cache.shard_count c);
+  let worker d () =
+    for i = 0 to ops - 1 do
+      let k = Printf.sprintf "k%d" (((i * 7) + d) mod nkeys) in
+      Plan_cache.add c k ("v" ^ k);
+      (match Plan_cache.find c k with
+      | Some v ->
+        if not (String.equal v ("v" ^ k)) then
+          failwith ("wrong value for " ^ k)
+      | None -> ());
+      if i mod 97 = 0 then ignore (Plan_cache.stats c)
+    done
+  in
+  let domains = List.init ndomains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  let shard_stats = Plan_cache.shard_stats c in
+  Alcotest.(check int) "one stats row per shard" nshards
+    (Array.length shard_stats);
+  Array.iteri
+    (fun i (s : Plan_cache.stats) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d within its LRU bound" i)
+        true
+        (s.Plan_cache.length <= s.Plan_cache.capacity))
+    shard_stats;
+  let total = Plan_cache.stats c in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 shard_stats in
+  Alcotest.(check int) "hits = sum of shard hits"
+    (sum (fun s -> s.Plan_cache.hits)) total.Plan_cache.hits;
+  Alcotest.(check int) "misses = sum of shard misses"
+    (sum (fun s -> s.Plan_cache.misses)) total.Plan_cache.misses;
+  Alcotest.(check int) "evictions = sum of shard evictions"
+    (sum (fun s -> s.Plan_cache.evictions)) total.Plan_cache.evictions;
+  Alcotest.(check int) "length = sum of shard lengths"
+    (sum (fun s -> s.Plan_cache.length)) total.Plan_cache.length;
+  (* Every [find] above was tallied exactly once, somewhere. *)
+  Alcotest.(check int) "every lookup accounted for" (ndomains * ops)
+    (total.Plan_cache.hits + total.Plan_cache.misses);
+  Alcotest.(check bool) "64 keys through 32 slots forced evictions" true
+    (total.Plan_cache.evictions > 0)
+
 (* --- admission control --- *)
 
 let test_admission () =
@@ -163,7 +265,71 @@ let test_admission () =
   Alcotest.(check int) "shed counted" 1 (Admission.shed_count a);
   Admission.release a;
   Alcotest.(check bool) "slot freed" true (Admission.try_admit a);
-  Alcotest.(check int) "in flight" 2 (Admission.in_flight a)
+  Alcotest.(check int) "in flight" 2 (Admission.in_flight a);
+  (* The high-water mark survives releases: it reports the deepest the
+     shard has ever been, not where it is now. *)
+  Admission.release a;
+  Admission.release a;
+  Alcotest.(check int) "peak sticks at the high-water mark" 2
+    (Admission.peak a);
+  Alcotest.(check int) "while in_flight drains" 0 (Admission.in_flight a)
+
+(* --- the worker pool's dedicated mode --- *)
+
+module Pool = Pdw_pool.Domain_pool
+
+let test_pool_dedicated () =
+  let pool = Pool.create ~size:3 ~dedicated:true () in
+  let counts = Array.init 3 (fun _ -> Atomic.make 0) in
+  let jobs_per_worker = 20 in
+  for _ = 1 to jobs_per_worker do
+    for i = 0 to 2 do
+      Pool.submit_to pool i (fun () -> Atomic.incr counts.(i))
+    done
+  done;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let all_done () =
+    Array.for_all (fun c -> Atomic.get c = jobs_per_worker) counts
+  in
+  while (not (all_done ())) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check bool) "every targeted job ran on its worker" true
+    (all_done ());
+  (* Each queue saw at least one enqueue, so each peak is positive, and
+     a peak never exceeds what was ever enqueued there. *)
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "worker %d peak in [1..%d]" i jobs_per_worker)
+        true
+        (p >= 1 && p <= jobs_per_worker))
+    (Pool.peak_per_worker pool);
+  Alcotest.(check int) "nothing left pending" 0 (Pool.pending pool);
+  Pool.shutdown pool;
+  match Pool.submit_to pool 0 (fun () -> ()) with
+  | () -> Alcotest.fail "submit_to accepted a job after shutdown"
+  | exception Invalid_argument _ -> ()
+
+let test_pool_round_robin () =
+  let pool = Pool.create ~size:2 ~dedicated:true () in
+  let total = 10 in
+  let seen = Atomic.make 0 in
+  for _ = 1 to total do
+    Pool.submit pool (fun () -> Atomic.incr seen)
+  done;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Atomic.get seen < total && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check int) "all round-robin jobs ran" total (Atomic.get seen);
+  (* Round-robin spreads the backlog: both private queues were used. *)
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool) (Printf.sprintf "worker %d saw work" i) true
+        (p >= 1))
+    (Pool.peak_per_worker pool);
+  Pool.shutdown pool
 
 (* --- the daemon, end to end --- *)
 
@@ -316,6 +482,151 @@ let test_server_loadgen () =
   Alcotest.(check bool) "duplicates were cached or coalesced" true
     (s.Loadgen.cached + s.Loadgen.coalesced > 0)
 
+(* A connection's requests leave in one batched write and the replies
+   come back in request order, positionally aligned. *)
+let test_server_pipelined () =
+  with_server @@ fun path _srv ->
+  let expected =
+    match Engine.plan (spec_of "pcr") with
+    | Ok o -> o
+    | Error m -> Alcotest.fail m
+  in
+  Client.with_client path @@ fun c ->
+  let submit = Protocol.Submit { spec = spec_of "pcr"; no_cache = false } in
+  match
+    Client.request_many c [ Protocol.Ping; submit; Protocol.Version; submit ]
+  with
+  | [ Ok Protocol.Pong;
+      Ok (Protocol.Plan { outcome = o1; _ });
+      Ok (Protocol.Version_reply _);
+      Ok (Protocol.Plan { cached; outcome = o2; _ });
+    ] ->
+    Alcotest.(check string) "first plan byte-identical" expected o1;
+    Alcotest.(check string) "second plan byte-identical" expected o2;
+    (* Same connection, requests processed in order: by the time the
+       duplicate runs, the first outcome is in the cache. *)
+    Alcotest.(check bool) "duplicate in the same batch hits" true cached
+  | replies ->
+    Alcotest.failf "unexpected replies: %s"
+      (String.concat "; "
+         (List.map
+            (function
+              | Ok r -> Json.to_string (Protocol.reply_to_json r)
+              | Error m -> "error " ^ m)
+            replies))
+
+(* The stats endpoint under live load: whatever the snapshot caught
+   mid-flight, every total must equal the field-wise sum of the
+   per-shard rows it was reported with. *)
+let test_server_stats_consistency () =
+  with_server ~workers:2 ~queue_limit:64 ~cache:8 @@ fun path srv ->
+  let stop = Atomic.make false in
+  let driver k =
+    Client.with_client path @@ fun c ->
+    let specs = [| spec_of "pcr"; spec_of "ivd"; spec_of "proteinsplit" |] in
+    let i = ref k in
+    while not (Atomic.get stop) do
+      (match
+         Client.request c
+           (Protocol.Submit
+              { spec = specs.(!i mod 3); no_cache = !i mod 5 = 0 })
+       with
+      | Ok _ -> ()
+      | Error m -> failwith m);
+      incr i
+    done
+  in
+  let drivers = List.init 4 (fun k -> Thread.create driver k) in
+  let jget j k =
+    match Json.member k j with
+    | Some v -> v
+    | None -> Alcotest.failf "stats missing %S" k
+  in
+  let jint j k =
+    match Json.to_int (jget j k) with
+    | Some i -> i
+    | None -> Alcotest.failf "stats field %S is not an int" k
+  in
+  let check_snapshot s =
+    let shards =
+      match Json.to_list (jget s "shards") with
+      | Some l -> l
+      | None -> Alcotest.fail "shards is not an array"
+    in
+    Alcotest.(check int) "one row per worker" 2 (List.length shards);
+    let sum f = List.fold_left (fun acc sh -> acc + f sh) 0 shards in
+    let queue = jget s "queue" in
+    Alcotest.(check int) "in_flight = sum of shards"
+      (sum (fun sh -> jint sh "in_flight"))
+      (jint queue "in_flight");
+    Alcotest.(check int) "shed = sum of shards"
+      (sum (fun sh -> jint sh "shed"))
+      (jint queue "shed");
+    Alcotest.(check int) "depth_peak = max over shards"
+      (List.fold_left (fun acc sh -> max acc (jint sh "depth_peak")) 0 shards)
+      (jint queue "depth_peak");
+    let requests = jget s "requests" in
+    List.iter
+      (fun k ->
+        Alcotest.(check int)
+          (Printf.sprintf "requests.%s = sum of shards" k)
+          (sum (fun sh -> jint sh k))
+          (jint requests k))
+      [ "submitted"; "completed"; "coalesced"; "timeouts"; "errors"; "burns" ];
+    let cache = jget s "cache" in
+    List.iter
+      (fun k ->
+        Alcotest.(check int)
+          (Printf.sprintf "cache.%s = sum of shards" k)
+          (sum (fun sh -> jint (jget sh "cache") k))
+          (jint cache k))
+      [ "hits"; "misses"; "evictions"; "length" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      List.iter Thread.join drivers)
+    (fun () ->
+      (* Several snapshots while the drivers are mid-request: totals
+         and shard rows must agree in every one of them. *)
+      for _ = 1 to 5 do
+        Thread.delay 0.05;
+        match Server.handle srv Protocol.Stats with
+        | Protocol.Stats_reply s -> check_snapshot s
+        | _ -> Alcotest.fail "expected a stats reply"
+      done);
+  (* Quiescent check: every driver has its last reply, so once the
+     final job's slot release lands, nothing is in flight or queued. *)
+  Thread.delay 0.05;
+  match Server.handle srv Protocol.Stats with
+  | Protocol.Stats_reply s ->
+    check_snapshot s;
+    let queue = jget s "queue" in
+    Alcotest.(check int) "nothing in flight when idle" 0
+      (jint queue "in_flight");
+    Alcotest.(check int) "nothing queued when idle" 0 (jint queue "pending")
+  | _ -> Alcotest.fail "expected a stats reply"
+
+(* Warm-up requests prime the cache but never touch the recorded
+   figures; the measured phase then runs fully cached. *)
+let test_server_loadgen_warmup () =
+  with_server ~workers:2 ~queue_limit:64 @@ fun path _srv ->
+  let s =
+    Loadgen.run ~socket_path:path ~clients:4 ~per_client:4 ~warmup:8
+      ~pipeline:2 ~verify:true [ spec_of "pcr" ]
+  in
+  Alcotest.(check int) "summary reports the warm-up size" 8 s.Loadgen.warmup;
+  Alcotest.(check int) "summary reports the pipeline depth" 2
+    s.Loadgen.pipeline;
+  Alcotest.(check int) "measured requests exclude warm-up" 16
+    s.Loadgen.requests;
+  Alcotest.(check int) "every measured request planned" 16 s.Loadgen.plans;
+  (* The warm-up already planned the only spec, so the measured phase
+     is pure cache hits — the steady state the percentiles describe. *)
+  Alcotest.(check int) "measured phase fully cached" 16 s.Loadgen.cached;
+  Alcotest.(check int) "no mismatches" 0 s.Loadgen.mismatches;
+  Alcotest.(check int) "no errors" 0 s.Loadgen.errors
+
 let test_server_shutdown_request () =
   let cfg =
     Server.default_config ~socket_path:(fresh_socket ())
@@ -338,6 +649,10 @@ let () =
           Alcotest.test_case "frame round-trips" `Quick test_wire_roundtrip;
           Alcotest.test_case "clean EOF" `Quick test_wire_eof;
           Alcotest.test_case "malformed frames" `Quick test_wire_bad_header;
+          Alcotest.test_case "batched write, buffered read" `Quick
+            test_wire_buffered_batch;
+          Alcotest.test_case "has_frame sees only the buffer" `Quick
+            test_wire_has_frame;
         ] );
       ( "protocol",
         [
@@ -352,9 +667,17 @@ let () =
         [
           Alcotest.test_case "LRU eviction and promotion" `Quick test_cache_lru;
           Alcotest.test_case "refresh in place" `Quick test_cache_refresh;
+          Alcotest.test_case "sharded, hammered by domains" `Slow
+            test_cache_sharded_stress;
         ] );
       ( "admission",
         [ Alcotest.test_case "bounded slots" `Quick test_admission ] );
+      ( "pool",
+        [
+          Alcotest.test_case "dedicated per-worker queues" `Quick
+            test_pool_dedicated;
+          Alcotest.test_case "round-robin submit" `Quick test_pool_round_robin;
+        ] );
       ( "daemon",
         [
           Alcotest.test_case "plan, cache, byte-identity" `Quick
@@ -368,6 +691,12 @@ let () =
           Alcotest.test_case "per-request timeout" `Quick test_server_timeout;
           Alcotest.test_case "concurrent loadgen, verified" `Slow
             test_server_loadgen;
+          Alcotest.test_case "pipelined batch, ordered replies" `Quick
+            test_server_pipelined;
+          Alcotest.test_case "stats consistent under load" `Slow
+            test_server_stats_consistency;
+          Alcotest.test_case "loadgen warm-up excluded" `Slow
+            test_server_loadgen_warmup;
           Alcotest.test_case "shutdown request" `Quick
             test_server_shutdown_request;
         ] );
