@@ -632,7 +632,7 @@ let cmd_submit bench file stats ping shutdown server_version socket method_
         1))
 
 let cmd_loadgen benches socket clients per_client requests warmup pipeline
-    verify as_json method_ =
+    no_cache verify as_json method_ =
   let benches = if benches = [] then [ "pcr"; "ivd"; "proteinsplit" ] else benches in
   let specs =
     List.map (fun name -> Protocol.spec ~method_ (Protocol.Benchmark name)) benches
@@ -644,7 +644,7 @@ let cmd_loadgen benches socket clients per_client requests warmup pipeline
   in
   match
     Loadgen.run ~socket_path:socket ~clients ~per_client ~warmup ~pipeline
-      ~verify specs
+      ~no_cache ~verify specs
   with
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "pdw loadgen: cannot reach %s: %s\n" socket
@@ -956,6 +956,12 @@ let loadgen_cmd =
     let doc = "Requests each client keeps in flight per batched write." in
     Arg.(value & opt int 1 & info [ "pipeline" ] ~docv:"N" ~doc)
   in
+  let no_cache =
+    let doc =
+      "Bypass the daemon's plan cache and coalescer on every request,      so each one is planned from scratch on a worker domain — a planner      workout instead of a cache workout."
+    in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
   let verify =
     let doc =
       "Recompute every distinct spec locally and require served outcomes      to be byte-identical."
@@ -972,7 +978,8 @@ let loadgen_cmd =
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(
       const cmd_loadgen $ benches $ socket_arg $ clients $ per_client
-      $ requests $ warmup $ pipeline $ verify $ as_json $ method_arg)
+      $ requests $ warmup $ pipeline $ no_cache $ verify $ as_json
+      $ method_arg)
 
 let main_cmd =
   let doc = "PathDriver-Wash: wash optimization for continuous-flow biochips" in

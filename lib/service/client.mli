@@ -12,10 +12,14 @@ val connect : string -> t
     raises mid-conversation. *)
 val request : t -> Protocol.request -> (Protocol.reply, string) result
 
-(** [request_many t reqs] pipelines: all requests leave in one batched
-    write ({!Wire.Batch}), then the replies are read back in request
-    order.  The result list is positionally aligned with [reqs].  On a
-    transport failure every not-yet-answered slot carries the error. *)
+(** [request_many t reqs] pipelines: requests leave in batched writes
+    ({!Wire.Batch}) and the replies are read back in request order.
+    The batch is written in bounded chunks — each chunk's replies are
+    drained before the next chunk is sent — so a batch of any size is
+    safe: unbounded write-before-read could deadlock against a server
+    blocked flushing replies.  The result list is positionally aligned
+    with [reqs].  On a transport failure every not-yet-answered slot
+    carries the error. *)
 val request_many :
   t -> Protocol.request list -> (Protocol.reply, string) result list
 

@@ -5,6 +5,7 @@ type summary = {
   per_client : int;
   warmup : int;
   pipeline : int;
+  no_cache : bool;
   requests : int;
   plans : int;
   cached : int;
@@ -39,7 +40,7 @@ let percentile sorted q =
   else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
 
 let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
-    ~verify specs =
+    ?(no_cache = false) ~verify specs =
   if specs = [] then invalid_arg "Loadgen.run: empty spec list";
   let clients = max 1 clients in
   let per_client = max 0 per_client in
@@ -99,8 +100,12 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
       done;
     Mutex.unlock bar_m
   in
+  (* [no_cache] turns the campaign from a cache/coalescer workout into
+     a planner workout: every request carries [no_cache = true], so the
+     daemon plans it from scratch on a worker domain — nothing is
+     served by the cache or joined to an in-flight twin. *)
   let submit_req idx =
-    Protocol.Submit { spec = specs.(idx); no_cache = false }
+    Protocol.Submit { spec = specs.(idx); no_cache }
   in
   let client_thread k =
     Client.with_client socket_path @@ fun c ->
@@ -152,6 +157,7 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
     per_client;
     warmup = warmup_per_client * clients;
     pipeline;
+    no_cache;
     requests = clients * per_client;
     plans = acc.a_plans;
     cached = acc.a_cached;
@@ -174,6 +180,7 @@ let summary_json s =
       ("per_client", Json.Int s.per_client);
       ("warmup", Json.Int s.warmup);
       ("pipeline", Json.Int s.pipeline);
+      ("no_cache", Json.Bool s.no_cache);
       ("requests", Json.Int s.requests);
       ("plans", Json.Int s.plans);
       ("cached", Json.Int s.cached);
@@ -192,13 +199,14 @@ let summary_json s =
 let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>requests  %d (plans %d, cached %d, coalesced %d)@,\
-     load      %d clients x %d requests, pipeline %d, warmup %d (excluded)@,\
+     load      %d clients x %d requests, pipeline %d, warmup %d (excluded)%s@,\
      refused   shed %d, timeouts %d, errors %d@,\
      verify    %s@,\
      wall      %.2f s (%.1f plans/s)@,\
      latency   p50 %.1f ms, p95 %.1f ms, p99 %.1f ms@]" s.requests s.plans
-    s.cached s.coalesced s.clients s.per_client s.pipeline s.warmup s.shed
-    s.timeouts s.errors
+    s.cached s.coalesced s.clients s.per_client s.pipeline s.warmup
+    (if s.no_cache then ", no-cache" else "")
+    s.shed s.timeouts s.errors
     (if s.mismatches = 0 then "all outcomes byte-identical to local runs"
      else Printf.sprintf "%d MISMATCHES" s.mismatches)
     s.wall_s s.throughput s.p50_ms s.p95_ms s.p99_ms

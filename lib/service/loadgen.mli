@@ -24,6 +24,7 @@ type summary = {
   per_client : int;  (** measured requests per client *)
   warmup : int;  (** warm-up requests issued, excluded from all figures *)
   pipeline : int;  (** requests in flight per client *)
+  no_cache : bool;  (** every request bypassed the cache and coalescer *)
   requests : int;  (** measured requests = [clients * per_client] *)
   plans : int;  (** [Plan] replies (cached or computed) *)
   cached : int;
@@ -39,11 +40,15 @@ type summary = {
   p99_ms : float;
 }
 
-(** [run ~socket_path ~clients ~per_client ?warmup ?pipeline ~verify
-    specs] drives the daemon and gathers the tallies.  [warmup] is the
-    total warm-up request count, split evenly across clients (rounded
-    up; default 0).  [pipeline] defaults to 1 (strict request/reply).
-    [specs] must be non-empty.
+(** [run ~socket_path ~clients ~per_client ?warmup ?pipeline ?no_cache
+    ~verify specs] drives the daemon and gathers the tallies.  [warmup]
+    is the total warm-up request count, split evenly across clients
+    (rounded up; default 0).  [pipeline] defaults to 1 (strict
+    request/reply).  With [no_cache] (default false) every request —
+    warm-up included — bypasses the plan cache and the coalescer, so
+    each one is planned from scratch on a worker domain: the campaign
+    measures planner throughput rather than cache-hit framing.  [specs]
+    must be non-empty.
     @raise Invalid_argument on an empty spec list, or when [verify] is
     set and a local plan fails. *)
 val run :
@@ -52,6 +57,7 @@ val run :
   per_client:int ->
   ?warmup:int ->
   ?pipeline:int ->
+  ?no_cache:bool ->
   verify:bool ->
   Protocol.spec list ->
   summary

@@ -248,6 +248,10 @@ let reply_to_json = function
    text whose parse/print round-trip is byte-identical (the property
    [reply_to_json] already relies on), so splicing it verbatim into a
    hand-built envelope produces the same bytes with zero parsing.  The
+   server guarantees the splice is safe by checking the round-trip once
+   when the plan is computed (Server.validate_outcome) — before the
+   outcome can reach the cache or a frame — so a violated invariant
+   turns into an error reply there, never a malformed frame here.  The
    envelope mirrors [Pdw_obs.Json]'s compact printer exactly; anything
    that is not a JSON object falls back to the codec. *)
 let reply_to_string reply =

@@ -155,6 +155,15 @@ let percentiles samples =
 let shard_depth_peaks t =
   Array.to_list (Array.map (fun sh -> Admission.peak sh.adm) t.shards)
 
+(* Shed replies report the *global* picture — total in-flight jobs and
+   the effective limit across every shard — so their client-visible
+   semantics match the configured [queue_limit], not the internal
+   per-shard split. *)
+let total_in_flight t =
+  Array.fold_left (fun acc sh -> acc + Admission.in_flight sh.adm) 0 t.shards
+
+let global_limit t = t.shard_limit * Array.length t.shards
+
 let stats_json t =
   let snaps = Array.map snapshot_shard t.shards in
   let cache_shards = Plan_cache.shard_stats t.cache in
@@ -283,6 +292,19 @@ let finish_job job result =
   job.state <- Finished result;
   Mutex.unlock job.lock
 
+(* [Protocol.reply_to_string] splices outcome text verbatim into the
+   wire frame, relying on Json_export's byte-identical parse/print
+   round-trip.  That invariant is checked here, once per *computed*
+   plan — not on every reply — so a violation (engine drift, truncated
+   bytes) surfaces as a loud per-request error instead of a corrupt
+   frame served from the cache forever after. *)
+let validate_outcome outcome =
+  match Json.parse outcome with
+  | Ok j when String.equal (Json.to_string j) outcome -> Ok outcome
+  | Ok _ -> Error "internal: plan outcome is not round-trip-canonical JSON"
+  | Error m ->
+    Error (Printf.sprintf "internal: plan outcome is not valid JSON: %s" m)
+
 (* The worker side of one submit: plan with bounded retry, publish to
    the cache, wake the waiters, give the shard's admission slot back. *)
 let run_plan_job t sh job spec ~registered ~cache_write =
@@ -299,7 +321,7 @@ let run_plan_job t sh job spec ~registered ~cache_write =
           (Printf.sprintf "planner failed after %d attempt(s): %s" (k + 1)
              (Printexc.to_string e))
   in
-  let result = attempt 0 in
+  let result = Result.bind (attempt 0) validate_outcome in
   (match result with
   | Ok outcome when cache_write -> Plan_cache.add t.cache job.digest outcome
   | _ -> ());
@@ -364,8 +386,7 @@ let handle_submit t spec ~no_cache =
   | None -> (
     match admit_submit t sh spec digest ~no_cache with
     | Refused ->
-      Protocol.Shed
-        { in_flight = Admission.in_flight sh.adm; limit = t.shard_limit }
+      Protocol.Shed { in_flight = total_in_flight t; limit = global_limit t }
     | (Joined job | Started job) as adm -> (
       let coalesced =
         match adm with Joined _ -> true | _ -> false
@@ -413,8 +434,7 @@ let handle_burn t ~ms =
       Protocol.Timeout { after_ms = ms + t.cfg.job_timeout_ms }
   end
   else
-    Protocol.Shed
-      { in_flight = Admission.in_flight sh.adm; limit = t.shard_limit }
+    Protocol.Shed { in_flight = total_in_flight t; limit = global_limit t }
 
 (* --- lifecycle ------------------------------------------------------ *)
 

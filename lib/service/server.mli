@@ -46,7 +46,15 @@ type config = {
   workers : int;  (** planner worker domains = shards *)
   queue_limit : int;
       (** max jobs in flight (queued + running), split evenly across
-          shards (rounded up per shard) *)
+          shards: each shard admits up to [queue_limit / workers]
+          (rounded up) jobs, so the effective global limit is that
+          per-shard bound times [workers] — never below [queue_limit].
+          The split is a deliberate trade for lock-free-across-shards
+          admission: a digest-skewed workload whose distinct digests
+          all hash to one shard is shed once that shard's bound fills,
+          i.e. at roughly [1/workers] of the global limit, even while
+          other shards sit idle.  [shed] replies always report the
+          global in-flight count and the global effective limit. *)
   cache_capacity : int;  (** plan-cache entries, split across shards *)
   job_timeout_ms : int;  (** per-request wait before a [timeout] reply *)
   max_retries : int;  (** extra planner attempts after a crash *)

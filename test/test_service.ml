@@ -162,7 +162,19 @@ let test_protocol_digest () =
     (d (spec_of "pcr") <> d (spec_of ~method_:`Dawo "pcr"));
   Alcotest.(check bool) "config changes the digest" true
     (d (spec_of "pcr")
-    <> d (spec_of ~config:{ Pdw.default_config with Pdw.dissolution = 3 } "pcr"))
+    <> d (spec_of ~config:{ Pdw.default_config with Pdw.dissolution = 3 } "pcr"));
+  (* The serve bench spreads its planner campaign across shards with
+     tiny weight nudges; those variants must really get distinct
+     digests (floats print in shortest round-trip form, so an epsilon
+     always shows up in the canonical JSON). *)
+  Alcotest.(check bool) "an alpha epsilon changes the digest" true
+    (d (spec_of "pcr")
+    <> d
+         (spec_of
+            ~config:
+              { Pdw.default_config with
+                Pdw.alpha = Pdw.default_config.Pdw.alpha +. 1e-9 }
+            "pcr"))
 
 let test_protocol_rejects_unknown_config () =
   let j =
@@ -515,6 +527,44 @@ let test_server_pipelined () =
               | Error m -> "error " ^ m)
             replies))
 
+(* A batch far bigger than the client's chunking threshold: the client
+   must interleave writes and reads (unbounded write-before-read can
+   deadlock against a server blocked flushing replies) and still hand
+   back every reply in request order. *)
+let test_server_pipelined_huge_batch () =
+  with_server ~workers:1 @@ fun path _srv ->
+  Client.with_client path @@ fun c ->
+  let n = 10_000 in
+  let replies = Client.request_many c (List.init n (fun _ -> Protocol.Ping)) in
+  Alcotest.(check int) "one reply per request" n (List.length replies);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok Protocol.Pong -> ()
+      | Ok other ->
+        Alcotest.failf "reply %d: expected pong, got %s" i
+          (Json.to_string (Protocol.reply_to_json other))
+      | Error m -> Alcotest.failf "reply %d: %s" i m)
+    replies
+
+(* A no-cache campaign is a pure planner workout: nothing is served
+   from the cache and nothing coalesces — every request plans from
+   scratch on a worker domain, still byte-identical to a local run. *)
+let test_server_loadgen_no_cache () =
+  with_server ~workers:2 ~queue_limit:64 @@ fun path _srv ->
+  let s =
+    Loadgen.run ~socket_path:path ~clients:4 ~per_client:3 ~warmup:4
+      ~no_cache:true ~verify:true
+      [ spec_of "pcr"; spec_of "ivd" ]
+  in
+  Alcotest.(check bool) "summary says no-cache" true s.Loadgen.no_cache;
+  Alcotest.(check int) "every request planned" s.Loadgen.requests
+    s.Loadgen.plans;
+  Alcotest.(check int) "nothing served from the cache" 0 s.Loadgen.cached;
+  Alcotest.(check int) "nothing coalesced" 0 s.Loadgen.coalesced;
+  Alcotest.(check int) "no mismatches" 0 s.Loadgen.mismatches;
+  Alcotest.(check int) "no errors" 0 s.Loadgen.errors
+
 (* The stats endpoint under live load: whatever the snapshot caught
    mid-flight, every total must equal the field-wise sum of the
    per-shard rows it was reported with. *)
@@ -693,6 +743,10 @@ let () =
             test_server_loadgen;
           Alcotest.test_case "pipelined batch, ordered replies" `Quick
             test_server_pipelined;
+          Alcotest.test_case "huge pipelined batch, chunked" `Slow
+            test_server_pipelined_huge_batch;
+          Alcotest.test_case "loadgen no-cache planner workout" `Slow
+            test_server_loadgen_no_cache;
           Alcotest.test_case "stats consistent under load" `Slow
             test_server_stats_consistency;
           Alcotest.test_case "loadgen warm-up excluded" `Slow
