@@ -808,6 +808,38 @@ let run_compare ~tolerance baseline_path new_path =
         tolerance
     | Some _, Some _ -> ()
     | _ -> fail "optimize_wall_ms: missing");
+    (* Stage-allocation budget.  The LP-core stages earn a hard gate of
+       their own: the flat-arena rebuild exists to keep the solver off
+       the allocator, so a minor-word regression beyond 10% over the
+       committed baseline is a structural leak (a boxed float sneaking
+       back into a pivot loop), not measurement noise.  Other stages are
+       not gated here — their budgets are owned by their own PRs.  The
+       check is skipped when either snapshot predates the
+       [stage_alloc_words] section, so old baselines stay valid. *)
+    (match
+       (J.member "stage_alloc_words" base, J.member "stage_alloc_words" next)
+     with
+    | Some b, Some n ->
+      List.iter
+        (fun stage ->
+          match (J.member stage b, J.member stage n) with
+          | Some bo, Some no -> (
+            incr checks;
+            match (num "minor" bo, num "minor" no) with
+            | Some x, Some y when x > 0.0 && y > 1.1 *. x ->
+              fail "alloc %s minor: %.0f -> %.0f words (over 1.10x budget)"
+                stage x y
+            | Some x, Some y ->
+              Printf.printf "  ok alloc %-22s minor %9.0f -> %9.0f words\n"
+                stage x y
+            | _ -> fail "alloc %s: minor field missing" stage)
+          | _ ->
+            Printf.printf "  note alloc %s: absent from a snapshot; skipped\n"
+              stage)
+        [ "simplex.solve"; "bb.node" ]
+    | _ ->
+      Printf.printf
+        "  note stage_alloc_words absent; allocation budget skipped\n");
     if !failures = 0 then begin
       Printf.printf "compare: OK (%d checks, wall-time tolerance %.2fx)\n"
         !checks tolerance;

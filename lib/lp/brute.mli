@@ -1,11 +1,15 @@
 (** Exhaustive reference solver for pure 0/1 problems: enumerates every
-    assignment of the integer variables, evaluating continuous variables
-    are not supported.  Only usable for testing [Simplex]/[Ilp] on tiny
-    instances. *)
+    assignment of the binary variables and keeps the best feasible one.
+    Continuous variables are not supported.  Only usable for testing
+    [Simplex]/[Ilp] on tiny instances. *)
 
-(** [solve_binary problem] enumerates all 0/1 assignments of all variables
-    (every variable must have bounds within [0, 1]) and returns the best
-    feasible one.
+(** [solve_binary problem] enumerates all 0/1 assignments of all
+    variables (every variable must have bounds within [0, 1]) and
+    returns the best feasible one.
+
+    @param problem the 0/1 problem to enumerate.
+    @return [Some (objective, assignment)] for the best feasible
+    assignment, or [None] when no assignment satisfies the constraints.
     @raise Invalid_argument if a variable's bounds exceed [0, 1] or there
     are more than 24 variables. *)
 val solve_binary :

@@ -8,20 +8,26 @@
 (** A mutable min-heap of ['a] values. *)
 type 'a t
 
-(** A fresh empty heap. *)
+(** [create ()] is a fresh empty heap.
+    @return an empty heap; storage grows on demand. *)
 val create : unit -> 'a t
 
-(** Number of elements currently held. *)
+(** [length t] is the number of elements currently held.
+    @return the element count, [0] for an empty heap. *)
 val length : 'a t -> int
 
-(** [is_empty t] is [length t = 0]. *)
+(** [is_empty t] is [length t = 0].
+    @return whether the heap holds no elements. *)
 val is_empty : 'a t -> bool
 
-(** [add t ~priority v] inserts [v]; smaller priorities pop first. *)
+(** [add t ~priority v] inserts [v]; smaller priorities pop first.
+    @param priority sort key; ties pop in insertion order. *)
 val add : 'a t -> priority:float -> 'a -> unit
 
-(** Priority of the next element to pop, if any. *)
+(** [min_priority t] is the priority of the next element to pop.
+    @return the smallest priority, or [None] on an empty heap. *)
 val min_priority : 'a t -> float option
 
-(** Remove and return the minimum-priority element. *)
+(** [pop t] removes the minimum-priority element.
+    @return the removed element, or [None] on an empty heap. *)
 val pop : 'a t -> 'a option

@@ -74,9 +74,23 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
   let start = Sys.time () in
   (* Lazy cuts accumulate in reverse generation order: prepending keeps
      each round O(new cuts) instead of the former O(total²) list append,
-     and [relax] restores generation order so constraint indices — which
-     basis snapshots refer to — stay stable as cuts are appended. *)
+     and recompiling restores generation order so constraint indices —
+     which basis snapshots refer to — stay stable as cuts are appended. *)
   let cuts_rev = ref [] in
+  (* The constraint matrix and objective are identical in every node;
+     only the variable bounds differ.  Compile once (validating through
+     [Lp_problem.make]) and recompile only when lazy cuts append rows —
+     nodes then share one packed matrix and one solver arena instead of
+     rebuilding an [Lp_problem.t] per relaxation. *)
+  let arena = Solver_arena.create () in
+  let packed = ref (Lp_problem.compile p) in
+  let recompile () =
+    packed :=
+      Lp_problem.compile
+        (Lp_problem.make ~num_vars:p.num_vars ~objective:p.objective
+           ~constraints:(p.constraints @ List.rev !cuts_rev)
+           ~var_bounds:p.var_bounds)
+  in
   let incumbent = ref None in
   let nodes : node Heap.t = Heap.create () in
   Heap.add nodes ~priority:neg_infinity
@@ -85,11 +99,6 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
   let out_of_budget () =
     !explored >= config.max_nodes
     || Sys.time () -. start >= config.time_limit
-  in
-  let relax var_bounds =
-    Lp_problem.make ~num_vars:p.num_vars ~objective:p.objective
-      ~constraints:(p.constraints @ List.rev !cuts_rev)
-      ~var_bounds
   in
   let better obj =
     match !incumbent with
@@ -101,12 +110,12 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
     incr explored;
     Counters.incr c_nodes;
     Trace.with_span ~cat:"lp" "bb.node" @@ fun () ->
-    let relaxation = relax node.var_bounds in
     let result, basis =
       match node.basis with
       | Some basis when config.warm_start ->
-        Simplex.solve_from_basis ~basis relaxation
-      | Some _ | None -> Simplex.solve_keep_basis relaxation
+        Simplex.solve_packed_from_basis ~arena ~basis !packed node.var_bounds
+      | Some _ | None ->
+        Simplex.solve_packed ~arena ~want_basis:true !packed node.var_bounds
     in
     match result with
     | Simplex.Infeasible -> ()
@@ -137,6 +146,7 @@ let solve ?(config = default_config) ?lazy_cuts ~integer
           | _ :: _ ->
             Counters.add c_cuts (List.length new_cuts);
             cuts_rev := List.rev_append new_cuts !cuts_rev;
+            recompile ();
             (* Re-solve the same subproblem under the new cuts, from the
                basis that was optimal just before they were appended. *)
             if not (out_of_budget ()) then

@@ -32,10 +32,16 @@ type result =
 (** [solve ~integer problem] minimizes [problem] with [integer.(v)]
     requiring [x_v] integral.
 
+    @param config search budgets and warm-start switch (defaults to
+    {!default_config}).
     @param lazy_cuts called on every integral candidate solution; returned
     constraints are added globally and the node re-solved.  Each returned
     cut must be violated by the candidate, otherwise the search can loop;
     an empty list accepts the candidate.
+    @param integer per-variable integrality mask, length
+    [problem.num_vars].
+    @return the search outcome; [Optimal] only when the whole tree was
+    explored within budget.
     @raise Invalid_argument if [integer] length mismatches the problem. *)
 val solve :
   ?config:config ->

@@ -36,6 +36,75 @@ let make ~num_vars ~objective ~constraints ~var_bounds =
     var_bounds;
   { num_vars; objective; constraints; var_bounds }
 
+(* --- packed (compiled) form ----------------------------------------- *)
+
+type packed = {
+  pk_num_vars : int;
+  pk_rows : int;
+  pk_off : int array;
+  pk_col : int array;
+  pk_coef : float array;
+  pk_const : float array;
+  pk_rel : relation array;
+  pk_rhs : float array;
+  pk_obj_col : int array;
+  pk_obj_coef : float array;
+  pk_obj_const : float;
+}
+
+(* [Lin_expr.terms] returns bindings in ascending variable order, so the
+   packed rows replay the exact traversal order the list-based solver
+   used — summations hit the same floats in the same order, which keeps
+   the flat solver's arithmetic bit-identical to [Simplex.Reference]. *)
+let compile (p : t) =
+  let rows = Array.of_list p.constraints in
+  let nrows = Array.length rows in
+  let row_terms = Array.map (fun c -> Lin_expr.terms c.expr) rows in
+  let nnz = Array.fold_left (fun acc ts -> acc + List.length ts) 0 row_terms in
+  let pk_off = Array.make (nrows + 1) 0 in
+  let pk_col = Array.make nnz 0 in
+  let pk_coef = Array.make nnz 0.0 in
+  let pk_const = Array.make nrows 0.0 in
+  let pk_rel = Array.make nrows Le in
+  let pk_rhs = Array.make nrows 0.0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i c ->
+      pk_off.(i) <- !k;
+      List.iter
+        (fun (v, a) ->
+          pk_col.(!k) <- v;
+          pk_coef.(!k) <- a;
+          incr k)
+        row_terms.(i);
+      pk_const.(i) <- Lin_expr.const_part c.expr;
+      pk_rel.(i) <- c.relation;
+      pk_rhs.(i) <- c.rhs)
+    rows;
+  pk_off.(nrows) <- !k;
+  let obj_terms = Lin_expr.terms p.objective in
+  let nobj = List.length obj_terms in
+  let pk_obj_col = Array.make nobj 0 in
+  let pk_obj_coef = Array.make nobj 0.0 in
+  List.iteri
+    (fun i (v, a) ->
+      pk_obj_col.(i) <- v;
+      pk_obj_coef.(i) <- a)
+    obj_terms;
+  {
+    pk_num_vars = p.num_vars;
+    pk_rows = nrows;
+    pk_off;
+    pk_col;
+    pk_coef;
+    pk_const;
+    pk_rel;
+    pk_rhs;
+    pk_obj_col;
+    pk_obj_coef;
+    pk_obj_const = Lin_expr.const_part p.objective;
+  }
+
 let satisfies ?(eps = 1e-6) t x =
   let lookup v = x.(v) in
   let constr_ok c =

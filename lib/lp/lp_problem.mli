@@ -41,6 +41,39 @@ val make :
   var_bounds:bounds array ->
   t
 
+(** A compiled (CSR) snapshot of a problem's constraint matrix and
+    objective, produced once by {!compile} and then shared by every
+    branch-and-bound node: nodes differ only in their [bounds array],
+    which the solver takes separately, so the list/map traversals and
+    validation of {!make} happen once per ILP instead of once per node.
+
+    Rows keep the constraint order of the source problem; within a row,
+    columns are in ascending variable order (the [Lin_expr.terms]
+    order), so a solver iterating the packed rows performs the same
+    floating-point operations in the same order as one iterating the
+    original lists. *)
+type packed = {
+  pk_num_vars : int;  (** Number of structural variables. *)
+  pk_rows : int;  (** Number of constraint rows. *)
+  pk_off : int array;
+      (** Row start offsets into [pk_col]/[pk_coef]; length
+          [pk_rows + 1], row [i] spans [pk_off.(i) .. pk_off.(i+1) - 1]. *)
+  pk_col : int array;  (** Column (variable) index of each nonzero. *)
+  pk_coef : float array;  (** Coefficient of each nonzero. *)
+  pk_const : float array;
+      (** Constant summand of each row's left-hand side. *)
+  pk_rel : relation array;  (** Sense of each row. *)
+  pk_rhs : float array;  (** Right-hand side of each row. *)
+  pk_obj_col : int array;  (** Objective nonzeros: variable indices. *)
+  pk_obj_coef : float array;  (** Objective nonzeros: coefficients. *)
+  pk_obj_const : float;  (** Constant summand of the objective. *)
+}
+
+(** [compile t] packs [t]'s constraints and objective into flat arrays.
+    @return the packed form; [t] itself is unchanged and stays the
+    source of truth for [satisfies]/[pp]. *)
+val compile : t -> packed
+
 (** [satisfies ?eps t x] checks every constraint and bound under
     assignment [x] (default tolerance [1e-6]). *)
 val satisfies : ?eps:float -> t -> float array -> bool

@@ -17,7 +17,10 @@ val big_m : float
 (** Number of variables declared so far. *)
 val num_vars : t -> int
 
-(** [continuous t name ~lb ?ub ()] declares a continuous variable. *)
+(** [continuous t name ~lb ?ub ()] declares a continuous variable.
+    @param lb lower bound.
+    @param ub optional upper bound (unbounded above when omitted).
+    @return the handle of the new variable. *)
 val continuous : t -> string -> lb:float -> ?ub:float -> unit -> var
 
 (** [binary t name] declares a 0/1 variable. *)
@@ -44,14 +47,16 @@ val ( -: ) : Lin_expr.t -> Lin_expr.t -> Lin_expr.t
 (** Constant expression. *)
 val const : float -> Lin_expr.t
 
-(** [add_le t lhs rhs] adds [lhs <= rhs]; [label] is kept for
-    diagnostics. *)
+(** [add_le t lhs rhs] adds [lhs <= rhs].
+    @param label kept for diagnostics. *)
 val add_le : t -> ?label:string -> Lin_expr.t -> Lin_expr.t -> unit
 
-(** [add_ge t lhs rhs] adds [lhs >= rhs]. *)
+(** [add_ge t lhs rhs] adds [lhs >= rhs].
+    @param label kept for diagnostics. *)
 val add_ge : t -> ?label:string -> Lin_expr.t -> Lin_expr.t -> unit
 
-(** [add_eq t lhs rhs] adds [lhs = rhs]. *)
+(** [add_eq t lhs rhs] adds [lhs = rhs].
+    @param label kept for diagnostics. *)
 val add_eq : t -> ?label:string -> Lin_expr.t -> Lin_expr.t -> unit
 
 (** [add_implies_ge t ~guard lhs rhs] encodes "if [guard] = 1 then
@@ -75,10 +80,19 @@ val to_problem : t -> Lp_problem.t * bool array
 (** A variable assignment returned by the solver. *)
 type solution
 
-(** [solve ?ilp_config t] minimizes the objective. *)
+(** [solve ?ilp_config t] minimizes the objective.
+    @param ilp_config branch-and-bound budgets (defaults to
+    [Ilp.default_config]).
+    @return the solution, or [Error] naming the failure status
+    (infeasible, unbounded, budget exhausted with no incumbent). *)
 val solve : ?ilp_config:Ilp.config -> t -> (solution, string) Stdlib.result
 
-(** Like [solve] but also accepts a lazy-cut callback over model vars. *)
+(** Like {!solve} but also accepts a lazy-cut callback over model vars.
+    @param ilp_config branch-and-bound budgets.
+    @param cuts receives each integral candidate as a [var -> value]
+    lookup; returned constraints are appended and the candidate
+    re-solved ([[]] accepts it).
+    @return as {!solve}. *)
 val solve_with_cuts :
   ?ilp_config:Ilp.config ->
   cuts:((var -> float) -> (Lin_expr.t * Lp_problem.relation * float) list) ->

@@ -14,11 +14,24 @@
     variables keep their bounds), so solutions transfer directly; only
     the constraint set shrinks. *)
 
+(** Outcome of a presolve pass. *)
 type result =
   | Reduced of Lp_problem.t  (** equivalent, no-larger problem *)
-  | Infeasible
+  | Infeasible  (** the reductions proved the problem infeasible *)
 
+(** [run problem] applies the reductions to a fixed point.
+
+    @param problem the problem to simplify; not mutated.
+    @return the reduced, optimum-equivalent problem, or [Infeasible] when
+    a reduction exposes a contradiction (empty row with unsatisfiable
+    rhs, crossed bounds). *)
 val run : Lp_problem.t -> result
 
-(** Number of constraints removed by [run] (for diagnostics/tests). *)
+(** [removed_constraints original reduced] counts the constraints
+    presolve eliminated (for diagnostics/tests).
+
+    @param original the problem as handed to {!run}.
+    @param reduced the [Reduced] payload {!run} returned for it.
+    @return [List.length original.constraints - List.length
+    reduced.constraints]. *)
 val removed_constraints : Lp_problem.t -> Lp_problem.t -> int

@@ -1,10 +1,15 @@
 module Trace = Pdw_obs.Trace
 module Counters = Pdw_obs.Counters
+module A = Solver_arena
 
 (* Observability probes: no-ops (one atomic flag check) unless tracing
-   is enabled, so the hot pivot loop is unaffected in normal runs. *)
+   is enabled.  The flat solver accumulates pivot/iteration counts in
+   plain mutable ints and flushes them once per solve behind a single
+   [Counters.enabled] check, so bookkeeping costs nothing in the pivot
+   kernel when --stats is off. *)
 let c_pivots = Counters.counter "lp.simplex.pivots"
 let c_iterations = Counters.counter "lp.simplex.iterations"
+let c_flips = Counters.counter "lp.simplex.bound_flips"
 let c_cold = Counters.counter "lp.simplex.solves.cold"
 let c_warm = Counters.counter "lp.simplex.solves.warm"
 let c_fallbacks = Counters.counter "lp.simplex.warm_fallbacks"
@@ -18,555 +23,31 @@ let eps = 1e-9
 let feas_eps = 1e-7
 let pivot_eps = 1e-7
 
-(* Internal standard form: minimize c.y subject to Ay = b, y >= 0, b >= 0.
-   Original variables are shifted by their lower bounds; upper bounds
-   become extra rows; slack/surplus/artificial columns are appended. *)
-
-type tableau = {
-  rows : float array array; (* m rows, each of length cols + 1 (rhs last) *)
-  basis : int array;        (* basic column of each row *)
-  cols : int;               (* structural + slack columns, excl. artificials *)
-  total : int;              (* all columns incl. artificials *)
-}
-
 (* A basis snapshot names the basic variables of an optimal tableau by
    identity rather than column index, so it survives the re-layout a
-   branch-and-bound child performs (changed bounds add or shift
-   upper-bound rows; lazy cuts append constraint rows).  The slack of a
-   constraint is a well-defined LP variable regardless of how the row
-   was oriented during tableau construction, so these identities are
-   stable between parent and child. *)
+   branch-and-bound child performs (changed bounds, appended lazy-cut
+   rows).  The slack of a constraint is a well-defined LP variable
+   regardless of how the row was oriented during tableau construction,
+   so these identities are stable between parent and child.
+
+   [Upper_slack] belongs to the reference solver, which materializes
+   every finite upper bound as an explicit [x_v <= u] row with its own
+   slack.  The production solver keeps upper bounds implicit (see below)
+   and instead records nonbasic-at-upper variables as [At_upper].
+   Feeding either solver the other's snapshot is safe: the unknown
+   constructor triggers the cold fallback. *)
 type basis_var =
   | Structural of int   (* original problem variable *)
   | Constr_slack of int (* slack/surplus of the k-th constraint *)
   | Upper_slack of int  (* slack of variable v's upper-bound row *)
+  | At_upper of int     (* variable v nonbasic at its upper bound *)
 
 type basis = basis_var list
-
-let rhs_index t = t.total
-
-let pivot t cost row col =
-  Counters.incr c_pivots;
-  let r = t.rows.(row) in
-  let p = r.(col) in
-  for j = 0 to t.total do
-    r.(j) <- r.(j) /. p
-  done;
-  let eliminate other =
-    if other != r then begin
-      let f = other.(col) in
-      if f <> 0.0 then
-        for j = 0 to t.total do
-          other.(j) <- other.(j) -. (f *. r.(j))
-        done
-    end
-  in
-  Array.iter eliminate t.rows;
-  let f = cost.(col) in
-  if f <> 0.0 then
-    for j = 0 to t.total do
-      cost.(j) <- cost.(j) -. (f *. r.(j))
-    done;
-  t.basis.(row) <- col
-
-(* Pivoting: Dantzig's rule (most negative reduced cost) for speed, with
-   a permanent switch to Bland's rule — which provably cannot cycle —
-   after a long streak of degenerate pivots. *)
-let iterate ?(allowed = fun _ -> true) t cost max_iters =
-  let m = Array.length t.rows in
-  let entering_bland () =
-    let rec go j =
-      if j > t.total - 1 then None
-      else if allowed j && cost.(j) < -.eps then Some j
-      else go (j + 1)
-    in
-    go 0
-  in
-  let entering_dantzig () =
-    let best = ref None in
-    for j = 0 to t.total - 1 do
-      if allowed j && cost.(j) < -.eps then
-        match !best with
-        | Some (_, c) when c <= cost.(j) -> ()
-        | Some _ | None -> best := Some (j, cost.(j))
-    done;
-    Option.map fst !best
-  in
-  let leaving col =
-    let best = ref None in
-    for i = 0 to m - 1 do
-      let a = t.rows.(i).(col) in
-      if a > eps then begin
-        let ratio = t.rows.(i).(rhs_index t) /. a in
-        match !best with
-        | None -> best := Some (i, ratio)
-        | Some (bi, br) ->
-          if
-            ratio < br -. eps
-            || (abs_float (ratio -. br) <= eps && t.basis.(i) < t.basis.(bi))
-          then best := Some (i, ratio)
-      end
-    done;
-    !best
-  in
-  let degenerate_limit = 8 * (m + 8) in
-  let rec loop iters degenerate_streak use_bland =
-    Counters.incr c_iterations;
-    if iters > max_iters then
-      failwith "Simplex: iteration limit exceeded (degenerate instance)";
-    let enter = if use_bland then entering_bland () else entering_dantzig () in
-    match enter with
-    | None -> `Optimal
-    | Some col -> (
-      match leaving col with
-      | None -> `Unbounded
-      | Some (row, ratio) ->
-        pivot t cost row col;
-        let degenerate_streak =
-          if ratio <= eps then degenerate_streak + 1 else 0
-        in
-        let use_bland = use_bland || degenerate_streak > degenerate_limit in
-        loop (iters + 1) degenerate_streak use_bland)
-  in
-  loop 0 0 false
 
 let default_iters max_iters m total =
   match max_iters with Some k -> k | None -> 20_000 + (200 * (m + total))
 
-(* --- cold start: two-phase primal simplex --------------------------- *)
-
-let solve_cold ?max_iters ~want_basis (p : Lp_problem.t) =
-  Counters.incr c_cold;
-  let n = p.num_vars in
-  let lower v = p.var_bounds.(v).lower in
-  (* Rows: original constraints (with lower-bound shift folded into rhs)
-     plus one row per finite upper bound. *)
-  let shifted_rhs (c : Lp_problem.constr) =
-    let shift =
-      List.fold_left
-        (fun acc (v, coef) -> acc +. (coef *. lower v))
-        (Lin_expr.const_part c.expr)
-        (Lin_expr.terms c.expr)
-    in
-    c.rhs -. shift
-  in
-  let upper_rows =
-    List.concat
-      (List.init n (fun v ->
-           match p.var_bounds.(v).upper with
-           | None -> []
-           | Some u -> [ (v, u -. lower v) ]))
-  in
-  let m = List.length p.constraints + List.length upper_rows in
-  if m = 0 then begin
-    (* No constraints: each variable sits at the bound its cost prefers. *)
-    let solution = Array.init n lower in
-    let unbounded = ref false in
-    List.iter
-      (fun (v, c) ->
-        if c < 0.0 then
-          match p.var_bounds.(v).upper with
-          | Some u -> solution.(v) <- u
-          | None -> unbounded := true)
-      (Lin_expr.terms p.objective);
-    if !unbounded then (Unbounded, None)
-    else
-      ( Optimal
-          {
-            objective = Lin_expr.eval p.objective (fun v -> solution.(v));
-            solution;
-          },
-        Some [] )
-  end
-  else begin
-    (* Identity of each row's slack, in row construction order. *)
-    let row_idents =
-      Array.of_list
-        (List.mapi (fun k _ -> Constr_slack k) p.constraints
-        @ List.map (fun (v, _) -> Upper_slack v) upper_rows)
-    in
-    (* Count slack columns: one per Le/Ge row (upper-bound rows are Le). *)
-    let constrs =
-      List.map
-        (fun (c : Lp_problem.constr) -> (c.expr, c.relation, shifted_rhs c))
-        p.constraints
-      @ List.map
-          (fun (v, ub) -> (Lin_expr.var v, Lp_problem.Le, ub))
-          upper_rows
-    in
-    (* Normalize to nonnegative rhs. *)
-    let constrs =
-      List.map
-        (fun (expr, rel, rhs) ->
-          if rhs < 0.0 then
-            let flip = function
-              | Lp_problem.Le -> Lp_problem.Ge
-              | Lp_problem.Ge -> Lp_problem.Le
-              | Lp_problem.Eq -> Lp_problem.Eq
-            in
-            (Lin_expr.scale (-1.0) expr, flip rel, -.rhs)
-          else (expr, rel, rhs))
-        constrs
-    in
-    let num_slack =
-      List.length
-        (List.filter (fun (_, rel, _) -> rel <> Lp_problem.Eq) constrs)
-    in
-    let cols = n + num_slack in
-    let total = cols + m in
-    (* one artificial per row keeps the setup simple *)
-    let rows = Array.init m (fun _ -> Array.make (total + 1) 0.0) in
-    let basis = Array.make m (-1) in
-    let t = { rows; basis; cols; total } in
-    (* Identity of every non-artificial column, for basis snapshots. *)
-    let ident_of_col = Array.make cols None in
-    for v = 0 to n - 1 do
-      ident_of_col.(v) <- Some (Structural v)
-    done;
-    let slack = ref n in
-    List.iteri
-      (fun i (expr, rel, rhs) ->
-        let row = rows.(i) in
-        List.iter
-          (fun (v, coef) ->
-            (* lower-bound shift: constant part already folded into rhs *)
-            row.(v) <- row.(v) +. coef)
-          (Lin_expr.terms expr);
-        row.(total) <- rhs;
-        (match rel with
-        | Lp_problem.Le | Lp_problem.Ge ->
-          row.(!slack) <- (if rel = Lp_problem.Le then 1.0 else -1.0);
-          ident_of_col.(!slack) <- Some row_idents.(i);
-          incr slack
-        | Lp_problem.Eq -> ());
-        (* artificial column for this row *)
-        row.(cols + i) <- 1.0;
-        basis.(i) <- cols + i)
-      constrs;
-    let max_iters = default_iters max_iters m total in
-    (* Phase 1: minimize sum of artificials.  Reduced costs for the
-       artificial basis: c_bar_j = -sum_i a_ij for structural/slack j. *)
-    let cost1 = Array.make (total + 1) 0.0 in
-    for j = 0 to total do
-      let s = ref 0.0 in
-      for i = 0 to m - 1 do
-        s := !s +. rows.(i).(j)
-      done;
-      if j < cols then cost1.(j) <- -. !s
-      else if j < total then cost1.(j) <- 0.0
-      else cost1.(j) <- -. !s
-      (* cost1.(total) = -z where z = sum rhs *)
-    done;
-    match iterate t cost1 max_iters with
-    | `Unbounded ->
-      (* Phase-1 objective is bounded below by 0; cannot happen. *)
-      assert false
-    | `Optimal ->
-      let phase1_obj = -.cost1.(total) in
-      if phase1_obj > feas_eps then (Infeasible, None)
-      else begin
-        (* Drive any basic artificial out or mark its row redundant. *)
-        let redundant = Array.make m false in
-        for i = 0 to m - 1 do
-          if basis.(i) >= cols then begin
-            let found = ref None in
-            for j = 0 to cols - 1 do
-              if !found = None && abs_float (rows.(i).(j)) > eps then
-                found := Some j
-            done;
-            match !found with
-            | Some j -> pivot t cost1 i j
-            | None -> redundant.(i) <- true
-          end
-        done;
-        (* Phase 2: original objective on structural columns.  Reduced
-           costs: start from c and eliminate basic columns. *)
-        let cost2 = Array.make (total + 1) 0.0 in
-        List.iter
-          (fun (v, c) -> cost2.(v) <- c)
-          (Lin_expr.terms p.objective);
-        for i = 0 to m - 1 do
-          if not redundant.(i) then begin
-            let b = basis.(i) in
-            let f = cost2.(b) in
-            if f <> 0.0 then
-              for j = 0 to total do
-                cost2.(j) <- cost2.(j) -. (f *. rows.(i).(j))
-              done
-          end
-        done;
-        (* Forbid artificials from re-entering. *)
-        let allowed j = j < cols in
-        match iterate ~allowed t cost2 max_iters with
-        | `Unbounded -> (Unbounded, None)
-        | `Optimal ->
-          let y = Array.make cols 0.0 in
-          for i = 0 to m - 1 do
-            if (not redundant.(i)) && basis.(i) < cols then
-              y.(basis.(i)) <- rows.(i).(total)
-          done;
-          let solution = Array.init n (fun v -> y.(v) +. lower v) in
-          let objective =
-            Lin_expr.eval p.objective (fun v -> solution.(v))
-          in
-          let snapshot =
-            if not want_basis then None
-            else begin
-              (* Usable only when every non-redundant row has a real
-                 (non-artificial) basic column with a stable identity. *)
-              let ok = ref true in
-              let idents = ref [] in
-              for i = m - 1 downto 0 do
-                if not redundant.(i) then
-                  if basis.(i) < cols then
-                    match ident_of_col.(basis.(i)) with
-                    | Some id -> idents := id :: !idents
-                    | None -> ok := false
-                  else ok := false
-              done;
-              if !ok then Some !idents else None
-            end
-          in
-          (Optimal { objective; solution }, snapshot)
-      end
-  end
-
-(* --- warm start: dual simplex from a parent basis ------------------- *)
-
-(* Re-optimize [p] starting from the basis of a previously solved,
-   closely related problem (same constraint matrix up to appended rows,
-   possibly different bounds/rhs — exactly the branch-and-bound child
-   situation).  The parent's optimal basis stays dual-feasible under rhs
-   changes, so a dual simplex run restores primal feasibility without a
-   phase-1 solve.  Any structural surprise (vanished identity, singular
-   basis, iteration trouble) falls back to the cold two-phase path, so
-   the result is always as reliable as [solve]. *)
 exception Fall_back_cold
-
-let solve_warm ?max_iters ~(basis : basis) (p : Lp_problem.t) =
-  let n = p.num_vars in
-  let lower v = p.var_bounds.(v).lower in
-  let shifted_rhs (c : Lp_problem.constr) =
-    let shift =
-      List.fold_left
-        (fun acc (v, coef) -> acc +. (coef *. lower v))
-        (Lin_expr.const_part c.expr)
-        (Lin_expr.terms c.expr)
-    in
-    c.rhs -. shift
-  in
-  let upper_rows =
-    List.concat
-      (List.init n (fun v ->
-           match p.var_bounds.(v).upper with
-           | None -> []
-           | Some u -> [ (v, u -. lower v) ]))
-  in
-  let nc = List.length p.constraints in
-  let m = nc + List.length upper_rows in
-  if m = 0 then solve_cold ?max_iters ~want_basis:true p
-  else begin
-    (* Raw orientation: every non-Eq row carries a +1 slack (Ge rows are
-       negated), rhs keeps its sign — dual simplex does not need b >= 0. *)
-    let constrs =
-      List.map
-        (fun (c : Lp_problem.constr) ->
-          let rhs = shifted_rhs c in
-          match c.relation with
-          | Lp_problem.Le -> (Lin_expr.terms c.expr, true, rhs)
-          | Lp_problem.Ge ->
-            ( List.map (fun (v, a) -> (v, -.a)) (Lin_expr.terms c.expr),
-              true,
-              -.rhs )
-          | Lp_problem.Eq -> (Lin_expr.terms c.expr, false, rhs))
-        p.constraints
-      @ List.map (fun (v, ub) -> ([ (v, 1.0) ], true, ub)) upper_rows
-    in
-    let row_idents =
-      Array.of_list
-        (List.mapi (fun k _ -> Constr_slack k) p.constraints
-        @ List.map (fun (v, _) -> Upper_slack v) upper_rows)
-    in
-    let num_slack =
-      List.length (List.filter (fun (_, has, _) -> has) constrs)
-    in
-    let cols = n + num_slack in
-    let total = cols in
-    let rows = Array.init m (fun _ -> Array.make (total + 1) 0.0) in
-    let tbasis = Array.make m (-1) in
-    let t = { rows; basis = tbasis; cols; total } in
-    let slack_col_of_row = Array.make m None in
-    let ident_of_col = Array.make cols None in
-    for v = 0 to n - 1 do
-      ident_of_col.(v) <- Some (Structural v)
-    done;
-    let col_of_ident = Hashtbl.create (m + n) in
-    for v = 0 to n - 1 do
-      Hashtbl.replace col_of_ident (Structural v) v
-    done;
-    let slack = ref n in
-    List.iteri
-      (fun i (terms, has_slack, rhs) ->
-        let row = rows.(i) in
-        List.iter (fun (v, coef) -> row.(v) <- row.(v) +. coef) terms;
-        row.(total) <- rhs;
-        if has_slack then begin
-          row.(!slack) <- 1.0;
-          slack_col_of_row.(i) <- Some !slack;
-          ident_of_col.(!slack) <- Some row_idents.(i);
-          Hashtbl.replace col_of_ident row_idents.(i) !slack;
-          incr slack
-        end)
-      constrs;
-    let orig_max_iters = max_iters in
-    let max_iters = default_iters max_iters m total in
-    (* Reduced costs start from the raw objective; installing each basic
-       column via [pivot] eliminates it from the cost row. *)
-    let cost = Array.make (total + 1) 0.0 in
-    List.iter (fun (v, c) -> cost.(v) <- c) (Lin_expr.terms p.objective);
-    let assigned = Array.make m false in
-    let is_basic = Array.make cols false in
-    let install ident =
-      match Hashtbl.find_opt col_of_ident ident with
-      | None -> raise Fall_back_cold (* identity gone: bounds changed shape *)
-      | Some j ->
-        if is_basic.(j) then raise Fall_back_cold
-        else begin
-          let best = ref None in
-          for i = 0 to m - 1 do
-            if not assigned.(i) then
-              let a = abs_float rows.(i).(j) in
-              match !best with
-              | Some (_, ba) when ba >= a -> ()
-              | Some _ | None -> best := Some (i, a)
-          done;
-          match !best with
-          | Some (i, a) when a > pivot_eps ->
-            pivot t cost i j;
-            assigned.(i) <- true;
-            is_basic.(j) <- true
-          | Some _ | None -> raise Fall_back_cold (* singular basis *)
-        end
-    in
-    let redundant = Array.make m false in
-    try
-      List.iter install basis;
-      (* Rows the parent basis does not span: new rows (appended cuts,
-         fresh upper bounds) take their own slack; a row that has become
-         all-zero is redundant; anything else means the snapshot does not
-         fit this problem. *)
-      for i = 0 to m - 1 do
-        if not assigned.(i) then begin
-          let covered =
-            match slack_col_of_row.(i) with
-            | Some j when (not is_basic.(j)) && abs_float rows.(i).(j) > pivot_eps ->
-              pivot t cost i j;
-              assigned.(i) <- true;
-              is_basic.(j) <- true;
-              true
-            | Some _ | None -> false
-          in
-          if not covered then begin
-            let zero = ref (abs_float rows.(i).(total) <= feas_eps) in
-            for j = 0 to total - 1 do
-              if abs_float rows.(i).(j) > pivot_eps then zero := false
-            done;
-            if !zero then redundant.(i) <- true else raise Fall_back_cold
-          end
-        end
-      done;
-      (* Dual simplex: drive negative rhs entries out while keeping the
-         reduced costs nonnegative (min-ratio rule on cost_j / -a_rj). *)
-      let rec dual_loop iters =
-        if iters > max_iters then raise Fall_back_cold;
-        let worst = ref None in
-        for i = 0 to m - 1 do
-          if not redundant.(i) then
-            let b = rows.(i).(total) in
-            if b < -.feas_eps then
-              match !worst with
-              | Some (_, wb) when wb <= b -> ()
-              | Some _ | None -> worst := Some (i, b)
-        done;
-        match !worst with
-        | None -> ()
-        | Some (r, _) ->
-          let row = rows.(r) in
-          let best = ref None in
-          for j = 0 to total - 1 do
-            if row.(j) < -.eps then begin
-              let ratio = cost.(j) /. -.row.(j) in
-              match !best with
-              | Some (_, br) when br <= ratio -> ()
-              | Some _ | None -> best := Some (j, ratio)
-            end
-          done;
-          (match !best with
-          | None -> raise Exit (* primal infeasible *)
-          | Some (j, _) -> pivot t cost r j);
-          dual_loop (iters + 1)
-      in
-      let infeasible = ref false in
-      (try dual_loop 0 with Exit -> infeasible := true);
-      if !infeasible then (Infeasible, None)
-      else begin
-        (* Tiny residual negatives are within feasibility tolerance; snap
-           them so the primal ratio test never sees a negative rhs. *)
-        for i = 0 to m - 1 do
-          if rows.(i).(total) < 0.0 then rows.(i).(total) <- 0.0
-        done;
-        (* Primal polish: normally zero iterations — the parent basis is
-           dual-feasible — but it also mops up numerical drift. *)
-        match iterate t cost max_iters with
-        | `Unbounded -> (Unbounded, None)
-        | `Optimal ->
-          let y = Array.make cols 0.0 in
-          for i = 0 to m - 1 do
-            if (not redundant.(i)) && tbasis.(i) >= 0 && tbasis.(i) < cols
-            then y.(tbasis.(i)) <- rows.(i).(total)
-          done;
-          let solution = Array.init n (fun v -> y.(v) +. lower v) in
-          let objective =
-            Lin_expr.eval p.objective (fun v -> solution.(v))
-          in
-          let snapshot =
-            let ok = ref true in
-            let idents = ref [] in
-            for i = m - 1 downto 0 do
-              if not redundant.(i) then
-                if tbasis.(i) >= 0 && tbasis.(i) < cols then
-                  match ident_of_col.(tbasis.(i)) with
-                  | Some id -> idents := id :: !idents
-                  | None -> ok := false
-                else ok := false
-            done;
-            if !ok then Some !idents else None
-          in
-          (Optimal { objective; solution }, snapshot)
-      end
-    with
-    | Fall_back_cold ->
-      Counters.incr c_fallbacks;
-      solve_cold ?max_iters:orig_max_iters ~want_basis:true p
-    | Failure _ ->
-      Counters.incr c_fallbacks;
-      solve_cold ?max_iters:orig_max_iters ~want_basis:true p
-  end
-
-(* --- public entry points -------------------------------------------- *)
-
-let solve ?max_iters p =
-  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
-      fst (solve_cold ?max_iters ~want_basis:false p))
-
-let solve_keep_basis ?max_iters p =
-  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
-      solve_cold ?max_iters ~want_basis:true p)
-
-let solve_from_basis ?max_iters ~basis p =
-  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
-      Counters.incr c_warm;
-      solve_warm ?max_iters ~basis p)
 
 let pp_result ppf = function
   | Infeasible -> Format.pp_print_string ppf "infeasible"
@@ -579,3 +60,1333 @@ let pp_result ppf = function
         Format.fprintf ppf "%g" v)
       solution;
     Format.pp_print_string ppf "]"
+
+(* ===================================================================== *)
+(* Reference implementation: the pre-arena list/2-D-array solver, kept   *)
+(* verbatim as the equivalence oracle for the flat kernel below (the     *)
+(* same pattern as Search_kernel vs. the reference router in PR 4).      *)
+(* ===================================================================== *)
+
+module Reference = struct
+  (* Internal standard form: minimize c.y subject to Ay = b, y >= 0,
+     b >= 0.  Original variables are shifted by their lower bounds;
+     upper bounds become extra rows; slack/surplus/artificial columns
+     are appended. *)
+
+  type tableau = {
+    rows : float array array; (* m rows, each of length cols + 1 (rhs last) *)
+    basis : int array;        (* basic column of each row *)
+    cols : int;               (* structural + slack columns, excl. artificials *)
+    total : int;              (* all columns incl. artificials *)
+  }
+
+  let rhs_index t = t.total
+
+  let pivot t cost row col =
+    Counters.incr c_pivots;
+    let r = t.rows.(row) in
+    let p = r.(col) in
+    for j = 0 to t.total do
+      r.(j) <- r.(j) /. p
+    done;
+    let eliminate other =
+      if other != r then begin
+        let f = other.(col) in
+        if f <> 0.0 then
+          for j = 0 to t.total do
+            other.(j) <- other.(j) -. (f *. r.(j))
+          done
+      end
+    in
+    Array.iter eliminate t.rows;
+    let f = cost.(col) in
+    if f <> 0.0 then
+      for j = 0 to t.total do
+        cost.(j) <- cost.(j) -. (f *. r.(j))
+      done;
+    t.basis.(row) <- col
+
+  (* Pivoting: Dantzig's rule (most negative reduced cost) for speed,
+     with a permanent switch to Bland's rule — which provably cannot
+     cycle — after a long streak of degenerate pivots. *)
+  let iterate ?(allowed = fun _ -> true) t cost max_iters =
+    let m = Array.length t.rows in
+    let entering_bland () =
+      let rec go j =
+        if j > t.total - 1 then None
+        else if allowed j && cost.(j) < -.eps then Some j
+        else go (j + 1)
+      in
+      go 0
+    in
+    let entering_dantzig () =
+      let best = ref None in
+      for j = 0 to t.total - 1 do
+        if allowed j && cost.(j) < -.eps then
+          match !best with
+          | Some (_, c) when c <= cost.(j) -> ()
+          | Some _ | None -> best := Some (j, cost.(j))
+      done;
+      Option.map fst !best
+    in
+    let leaving col =
+      let best = ref None in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(col) in
+        if a > eps then begin
+          let ratio = t.rows.(i).(rhs_index t) /. a in
+          match !best with
+          | None -> best := Some (i, ratio)
+          | Some (bi, br) ->
+            if
+              ratio < br -. eps
+              || (abs_float (ratio -. br) <= eps && t.basis.(i) < t.basis.(bi))
+            then best := Some (i, ratio)
+        end
+      done;
+      !best
+    in
+    let degenerate_limit = 8 * (m + 8) in
+    let rec loop iters degenerate_streak use_bland =
+      Counters.incr c_iterations;
+      if iters > max_iters then
+        failwith "Simplex: iteration limit exceeded (degenerate instance)";
+      let enter =
+        if use_bland then entering_bland () else entering_dantzig ()
+      in
+      match enter with
+      | None -> `Optimal
+      | Some col -> (
+        match leaving col with
+        | None -> `Unbounded
+        | Some (row, ratio) ->
+          pivot t cost row col;
+          let degenerate_streak =
+            if ratio <= eps then degenerate_streak + 1 else 0
+          in
+          let use_bland = use_bland || degenerate_streak > degenerate_limit in
+          loop (iters + 1) degenerate_streak use_bland)
+    in
+    loop 0 0 false
+
+  (* --- cold start: two-phase primal simplex ------------------------- *)
+
+  let solve_cold ?max_iters ~want_basis (p : Lp_problem.t) =
+    Counters.incr c_cold;
+    let n = p.num_vars in
+    let lower v = p.var_bounds.(v).lower in
+    (* Rows: original constraints (with lower-bound shift folded into
+       rhs) plus one row per finite upper bound. *)
+    let shifted_rhs (c : Lp_problem.constr) =
+      let shift =
+        List.fold_left
+          (fun acc (v, coef) -> acc +. (coef *. lower v))
+          (Lin_expr.const_part c.expr)
+          (Lin_expr.terms c.expr)
+      in
+      c.rhs -. shift
+    in
+    let upper_rows =
+      List.concat
+        (List.init n (fun v ->
+             match p.var_bounds.(v).upper with
+             | None -> []
+             | Some u -> [ (v, u -. lower v) ]))
+    in
+    let m = List.length p.constraints + List.length upper_rows in
+    if m = 0 then begin
+      (* No constraints: each variable sits at the bound its cost
+         prefers. *)
+      let solution = Array.init n lower in
+      let unbounded = ref false in
+      List.iter
+        (fun (v, c) ->
+          if c < 0.0 then
+            match p.var_bounds.(v).upper with
+            | Some u -> solution.(v) <- u
+            | None -> unbounded := true)
+        (Lin_expr.terms p.objective);
+      if !unbounded then (Unbounded, None)
+      else
+        ( Optimal
+            {
+              objective = Lin_expr.eval p.objective (fun v -> solution.(v));
+              solution;
+            },
+          Some [] )
+    end
+    else begin
+      (* Identity of each row's slack, in row construction order. *)
+      let row_idents =
+        Array.of_list
+          (List.mapi (fun k _ -> Constr_slack k) p.constraints
+          @ List.map (fun (v, _) -> Upper_slack v) upper_rows)
+      in
+      (* Count slack columns: one per Le/Ge row (upper-bound rows are
+         Le). *)
+      let constrs =
+        List.map
+          (fun (c : Lp_problem.constr) -> (c.expr, c.relation, shifted_rhs c))
+          p.constraints
+        @ List.map
+            (fun (v, ub) -> (Lin_expr.var v, Lp_problem.Le, ub))
+            upper_rows
+      in
+      (* Normalize to nonnegative rhs. *)
+      let constrs =
+        List.map
+          (fun (expr, rel, rhs) ->
+            if rhs < 0.0 then
+              let flip = function
+                | Lp_problem.Le -> Lp_problem.Ge
+                | Lp_problem.Ge -> Lp_problem.Le
+                | Lp_problem.Eq -> Lp_problem.Eq
+              in
+              (Lin_expr.scale (-1.0) expr, flip rel, -.rhs)
+            else (expr, rel, rhs))
+          constrs
+      in
+      let num_slack =
+        List.length
+          (List.filter (fun (_, rel, _) -> rel <> Lp_problem.Eq) constrs)
+      in
+      let cols = n + num_slack in
+      let total = cols + m in
+      (* one artificial per row keeps the setup simple *)
+      let rows = Array.init m (fun _ -> Array.make (total + 1) 0.0) in
+      let basis = Array.make m (-1) in
+      let t = { rows; basis; cols; total } in
+      (* Identity of every non-artificial column, for basis snapshots. *)
+      let ident_of_col = Array.make cols None in
+      for v = 0 to n - 1 do
+        ident_of_col.(v) <- Some (Structural v)
+      done;
+      let slack = ref n in
+      List.iteri
+        (fun i (expr, rel, rhs) ->
+          let row = rows.(i) in
+          List.iter
+            (fun (v, coef) ->
+              (* lower-bound shift: constant part already folded into
+                 rhs *)
+              row.(v) <- row.(v) +. coef)
+            (Lin_expr.terms expr);
+          row.(total) <- rhs;
+          (match rel with
+          | Lp_problem.Le | Lp_problem.Ge ->
+            row.(!slack) <- (if rel = Lp_problem.Le then 1.0 else -1.0);
+            ident_of_col.(!slack) <- Some row_idents.(i);
+            incr slack
+          | Lp_problem.Eq -> ());
+          (* artificial column for this row *)
+          row.(cols + i) <- 1.0;
+          basis.(i) <- cols + i)
+        constrs;
+      let max_iters = default_iters max_iters m total in
+      (* Phase 1: minimize sum of artificials.  Reduced costs for the
+         artificial basis: c_bar_j = -sum_i a_ij for structural/slack
+         j. *)
+      let cost1 = Array.make (total + 1) 0.0 in
+      for j = 0 to total do
+        let s = ref 0.0 in
+        for i = 0 to m - 1 do
+          s := !s +. rows.(i).(j)
+        done;
+        if j < cols then cost1.(j) <- -. !s
+        else if j < total then cost1.(j) <- 0.0
+        else cost1.(j) <- -. !s
+        (* cost1.(total) = -z where z = sum rhs *)
+      done;
+      match iterate t cost1 max_iters with
+      | `Unbounded ->
+        (* Phase-1 objective is bounded below by 0; cannot happen. *)
+        assert false
+      | `Optimal ->
+        let phase1_obj = -.cost1.(total) in
+        if phase1_obj > feas_eps then (Infeasible, None)
+        else begin
+          (* Drive any basic artificial out or mark its row redundant. *)
+          let redundant = Array.make m false in
+          for i = 0 to m - 1 do
+            if basis.(i) >= cols then begin
+              let found = ref None in
+              for j = 0 to cols - 1 do
+                if !found = None && abs_float (rows.(i).(j)) > eps then
+                  found := Some j
+              done;
+              match !found with
+              | Some j -> pivot t cost1 i j
+              | None -> redundant.(i) <- true
+            end
+          done;
+          (* Phase 2: original objective on structural columns.
+             Reduced costs: start from c and eliminate basic columns. *)
+          let cost2 = Array.make (total + 1) 0.0 in
+          List.iter
+            (fun (v, c) -> cost2.(v) <- c)
+            (Lin_expr.terms p.objective);
+          for i = 0 to m - 1 do
+            if not redundant.(i) then begin
+              let b = basis.(i) in
+              let f = cost2.(b) in
+              if f <> 0.0 then
+                for j = 0 to total do
+                  cost2.(j) <- cost2.(j) -. (f *. rows.(i).(j))
+                done
+            end
+          done;
+          (* Forbid artificials from re-entering. *)
+          let allowed j = j < cols in
+          match iterate ~allowed t cost2 max_iters with
+          | `Unbounded -> (Unbounded, None)
+          | `Optimal ->
+            let y = Array.make cols 0.0 in
+            for i = 0 to m - 1 do
+              if (not redundant.(i)) && basis.(i) < cols then
+                y.(basis.(i)) <- rows.(i).(total)
+            done;
+            let solution = Array.init n (fun v -> y.(v) +. lower v) in
+            let objective =
+              Lin_expr.eval p.objective (fun v -> solution.(v))
+            in
+            let snapshot =
+              if not want_basis then None
+              else begin
+                (* Usable only when every non-redundant row has a real
+                   (non-artificial) basic column with a stable
+                   identity. *)
+                let ok = ref true in
+                let idents = ref [] in
+                for i = m - 1 downto 0 do
+                  if not redundant.(i) then
+                    if basis.(i) < cols then
+                      match ident_of_col.(basis.(i)) with
+                      | Some id -> idents := id :: !idents
+                      | None -> ok := false
+                    else ok := false
+                done;
+                if !ok then Some !idents else None
+              end
+            in
+            (Optimal { objective; solution }, snapshot)
+        end
+    end
+
+  (* --- warm start: dual simplex from a parent basis ----------------- *)
+
+  (* Re-optimize [p] starting from the basis of a previously solved,
+     closely related problem (same constraint matrix up to appended
+     rows, possibly different bounds/rhs — exactly the branch-and-bound
+     child situation).  The parent's optimal basis stays dual-feasible
+     under rhs changes, so a dual simplex run restores primal
+     feasibility without a phase-1 solve.  Any structural surprise
+     (vanished identity, singular basis, iteration trouble) falls back
+     to the cold two-phase path, so the result is always as reliable as
+     [solve]. *)
+
+  let solve_warm ?max_iters ~(basis : basis) (p : Lp_problem.t) =
+    let n = p.num_vars in
+    let lower v = p.var_bounds.(v).lower in
+    let shifted_rhs (c : Lp_problem.constr) =
+      let shift =
+        List.fold_left
+          (fun acc (v, coef) -> acc +. (coef *. lower v))
+          (Lin_expr.const_part c.expr)
+          (Lin_expr.terms c.expr)
+      in
+      c.rhs -. shift
+    in
+    let upper_rows =
+      List.concat
+        (List.init n (fun v ->
+             match p.var_bounds.(v).upper with
+             | None -> []
+             | Some u -> [ (v, u -. lower v) ]))
+    in
+    let nc = List.length p.constraints in
+    let m = nc + List.length upper_rows in
+    if m = 0 then solve_cold ?max_iters ~want_basis:true p
+    else begin
+      (* Raw orientation: every non-Eq row carries a +1 slack (Ge rows
+         are negated), rhs keeps its sign — dual simplex does not need
+         b >= 0. *)
+      let constrs =
+        List.map
+          (fun (c : Lp_problem.constr) ->
+            let rhs = shifted_rhs c in
+            match c.relation with
+            | Lp_problem.Le -> (Lin_expr.terms c.expr, true, rhs)
+            | Lp_problem.Ge ->
+              ( List.map (fun (v, a) -> (v, -.a)) (Lin_expr.terms c.expr),
+                true,
+                -.rhs )
+            | Lp_problem.Eq -> (Lin_expr.terms c.expr, false, rhs))
+          p.constraints
+        @ List.map (fun (v, ub) -> ([ (v, 1.0) ], true, ub)) upper_rows
+      in
+      let row_idents =
+        Array.of_list
+          (List.mapi (fun k _ -> Constr_slack k) p.constraints
+          @ List.map (fun (v, _) -> Upper_slack v) upper_rows)
+      in
+      let num_slack =
+        List.length (List.filter (fun (_, has, _) -> has) constrs)
+      in
+      let cols = n + num_slack in
+      let total = cols in
+      let rows = Array.init m (fun _ -> Array.make (total + 1) 0.0) in
+      let tbasis = Array.make m (-1) in
+      let t = { rows; basis = tbasis; cols; total } in
+      let slack_col_of_row = Array.make m None in
+      let ident_of_col = Array.make cols None in
+      for v = 0 to n - 1 do
+        ident_of_col.(v) <- Some (Structural v)
+      done;
+      let col_of_ident = Hashtbl.create (m + n) in
+      for v = 0 to n - 1 do
+        Hashtbl.replace col_of_ident (Structural v) v
+      done;
+      let slack = ref n in
+      List.iteri
+        (fun i (terms, has_slack, rhs) ->
+          let row = rows.(i) in
+          List.iter (fun (v, coef) -> row.(v) <- row.(v) +. coef) terms;
+          row.(total) <- rhs;
+          if has_slack then begin
+            row.(!slack) <- 1.0;
+            slack_col_of_row.(i) <- Some !slack;
+            ident_of_col.(!slack) <- Some row_idents.(i);
+            Hashtbl.replace col_of_ident row_idents.(i) !slack;
+            incr slack
+          end)
+        constrs;
+      let orig_max_iters = max_iters in
+      let max_iters = default_iters max_iters m total in
+      (* Reduced costs start from the raw objective; installing each
+         basic column via [pivot] eliminates it from the cost row. *)
+      let cost = Array.make (total + 1) 0.0 in
+      List.iter (fun (v, c) -> cost.(v) <- c) (Lin_expr.terms p.objective);
+      let assigned = Array.make m false in
+      let is_basic = Array.make cols false in
+      let install ident =
+        match Hashtbl.find_opt col_of_ident ident with
+        | None -> raise Fall_back_cold (* identity gone: bounds changed *)
+        | Some j ->
+          if is_basic.(j) then raise Fall_back_cold
+          else begin
+            let best = ref None in
+            for i = 0 to m - 1 do
+              if not assigned.(i) then
+                let a = abs_float rows.(i).(j) in
+                match !best with
+                | Some (_, ba) when ba >= a -> ()
+                | Some _ | None -> best := Some (i, a)
+            done;
+            match !best with
+            | Some (i, a) when a > pivot_eps ->
+              pivot t cost i j;
+              assigned.(i) <- true;
+              is_basic.(j) <- true
+            | Some _ | None -> raise Fall_back_cold (* singular basis *)
+          end
+      in
+      let redundant = Array.make m false in
+      try
+        List.iter install basis;
+        (* Rows the parent basis does not span: new rows (appended cuts,
+           fresh upper bounds) take their own slack; a row that has
+           become all-zero is redundant; anything else means the
+           snapshot does not fit this problem. *)
+        for i = 0 to m - 1 do
+          if not assigned.(i) then begin
+            let covered =
+              match slack_col_of_row.(i) with
+              | Some j
+                when (not is_basic.(j)) && abs_float rows.(i).(j) > pivot_eps
+                ->
+                pivot t cost i j;
+                assigned.(i) <- true;
+                is_basic.(j) <- true;
+                true
+              | Some _ | None -> false
+            in
+            if not covered then begin
+              let zero = ref (abs_float rows.(i).(total) <= feas_eps) in
+              for j = 0 to total - 1 do
+                if abs_float rows.(i).(j) > pivot_eps then zero := false
+              done;
+              if !zero then redundant.(i) <- true else raise Fall_back_cold
+            end
+          end
+        done;
+        (* Dual simplex: drive negative rhs entries out while keeping
+           the reduced costs nonnegative (min-ratio rule on
+           cost_j / -a_rj). *)
+        let rec dual_loop iters =
+          if iters > max_iters then raise Fall_back_cold;
+          let worst = ref None in
+          for i = 0 to m - 1 do
+            if not redundant.(i) then
+              let b = rows.(i).(total) in
+              if b < -.feas_eps then
+                match !worst with
+                | Some (_, wb) when wb <= b -> ()
+                | Some _ | None -> worst := Some (i, b)
+          done;
+          match !worst with
+          | None -> ()
+          | Some (r, _) ->
+            let row = rows.(r) in
+            let best = ref None in
+            for j = 0 to total - 1 do
+              if row.(j) < -.eps then begin
+                let ratio = cost.(j) /. -.row.(j) in
+                match !best with
+                | Some (_, br) when br <= ratio -> ()
+                | Some _ | None -> best := Some (j, ratio)
+              end
+            done;
+            (match !best with
+            | None -> raise Exit (* primal infeasible *)
+            | Some (j, _) -> pivot t cost r j);
+            dual_loop (iters + 1)
+        in
+        let infeasible = ref false in
+        (try dual_loop 0 with Exit -> infeasible := true);
+        if !infeasible then (Infeasible, None)
+        else begin
+          (* Tiny residual negatives are within feasibility tolerance;
+             snap them so the primal ratio test never sees a negative
+             rhs. *)
+          for i = 0 to m - 1 do
+            if rows.(i).(total) < 0.0 then rows.(i).(total) <- 0.0
+          done;
+          (* Primal polish: normally zero iterations — the parent basis
+             is dual-feasible — but it also mops up numerical drift. *)
+          match iterate t cost max_iters with
+          | `Unbounded -> (Unbounded, None)
+          | `Optimal ->
+            let y = Array.make cols 0.0 in
+            for i = 0 to m - 1 do
+              if (not redundant.(i)) && tbasis.(i) >= 0 && tbasis.(i) < cols
+              then y.(tbasis.(i)) <- rows.(i).(total)
+            done;
+            let solution = Array.init n (fun v -> y.(v) +. lower v) in
+            let objective =
+              Lin_expr.eval p.objective (fun v -> solution.(v))
+            in
+            let snapshot =
+              let ok = ref true in
+              let idents = ref [] in
+              for i = m - 1 downto 0 do
+                if not redundant.(i) then
+                  if tbasis.(i) >= 0 && tbasis.(i) < cols then
+                    match ident_of_col.(tbasis.(i)) with
+                    | Some id -> idents := id :: !idents
+                    | None -> ok := false
+                  else ok := false
+              done;
+              if !ok then Some !idents else None
+            in
+            (Optimal { objective; solution }, snapshot)
+        end
+      with
+      | Fall_back_cold ->
+        Counters.incr c_fallbacks;
+        solve_cold ?max_iters:orig_max_iters ~want_basis:true p
+      | Failure _ ->
+        Counters.incr c_fallbacks;
+        solve_cold ?max_iters:orig_max_iters ~want_basis:true p
+    end
+
+  (* --- reference entry points --------------------------------------- *)
+
+  let solve ?max_iters p = fst (solve_cold ?max_iters ~want_basis:false p)
+  let solve_keep_basis ?max_iters p = solve_cold ?max_iters ~want_basis:true p
+
+  let solve_from_basis ?max_iters ~basis p =
+    Counters.incr c_warm;
+    solve_warm ?max_iters ~basis p
+end
+
+(* ===================================================================== *)
+(* Flat-arena bounded-variable simplex: the production path.             *)
+(*                                                                       *)
+(* Differences from [Reference], beyond the data layout (one flat float  *)
+(* array inside a reusable [Solver_arena.t], problems pre-compiled as    *)
+(* [Lp_problem.packed] CSR rows shared by every B&B node):               *)
+(*                                                                       *)
+(*  - Upper bounds are implicit.  A variable with a finite upper bound   *)
+(*    u is never given an explicit  x <= u  row; instead each nonbasic   *)
+(*    variable carries an at-lower / at-upper status and the rhs column  *)
+(*    stores basic values *given those statuses*.  For the all-binary    *)
+(*    wash-path ILPs this halves-to-thirds the row count (m = #constrs   *)
+(*    instead of #constrs + #finite-uppers), and branching — which only  *)
+(*    tightens bounds — costs a bound flip, not a pivot.                 *)
+(*  - A bound flip (nonbasic variable jumps to its other bound) updates  *)
+(*    only the rhs column: O(m) instead of an O(m * nnz) pivot.          *)
+(*  - The pivot kernel applies the product-form eta update over the      *)
+(*    nonzero support of the normalized pivot row only.                  *)
+(*                                                                       *)
+(* The QCheck suite checks this solver against [Reference] for equal     *)
+(* status and objective value (cold and warm-started) on random LPs and  *)
+(* against [Brute] on tiny ILPs; the bench `compare` gate checks the     *)
+(* end-to-end plans are byte-identical.                                  *)
+(* ===================================================================== *)
+
+(* Encoded basis-variable identities index the arena's [col_of_ident]
+   lookup table, replacing the per-solve Hashtbl of the reference
+   solver.  The identity space is [n] structurals then [nrows]
+   constraint slacks; [Upper_slack] (a reference-solver identity) and
+   [At_upper] (handled before encoding) have no column here. *)
+let encode (pk : Lp_problem.packed) = function
+  | Structural v ->
+    if v >= 0 && v < pk.pk_num_vars then v else raise Fall_back_cold
+  | Constr_slack k ->
+    if k >= 0 && k < pk.pk_rows then pk.pk_num_vars + k
+    else raise Fall_back_cold
+  | Upper_slack _ | At_upper _ -> raise Fall_back_cold
+
+let decode (pk : Lp_problem.packed) code =
+  let n = pk.pk_num_vars in
+  if code < n then Structural code else Constr_slack (code - n)
+
+(* Per-solve shape and local statistics.  [npivots]/[niters]/[nflips]
+   are plain ints flushed to the shared counters once per solve. *)
+type ctx = {
+  ar : A.t;
+  m : int;
+  cols : int;
+  total : int;
+  stride : int;
+  mutable npivots : int;
+  mutable niters : int;
+  mutable nflips : int;
+}
+
+let flush_counters c =
+  if Counters.enabled () then begin
+    Counters.add c_pivots c.npivots;
+    Counters.add c_iterations c.niters;
+    Counters.add c_flips c.nflips
+  end;
+  c.npivots <- 0;
+  c.niters <- 0;
+  c.nflips <- 0
+
+let lower (vb : Lp_problem.bounds array) v = vb.(v).Lp_problem.lower
+
+(* Same fold as the reference [shifted_rhs]: constant part seeds the
+   accumulator, terms in ascending variable order. *)
+let shifted_rhs (pk : Lp_problem.packed) vb i =
+  let s = ref pk.pk_const.(i) in
+  for k = pk.pk_off.(i) to pk.pk_off.(i + 1) - 1 do
+    s := !s +. (pk.pk_coef.(k) *. lower vb pk.pk_col.(k))
+  done;
+  pk.pk_rhs.(i) -. !s
+
+(* Objective value: same operation order as [Lin_expr.eval] (ascending
+   variables, accumulator seeded with the constant). *)
+let eval_obj (pk : Lp_problem.packed) (x : float array) =
+  let acc = ref pk.pk_obj_const in
+  for k = 0 to Array.length pk.pk_obj_col - 1 do
+    acc := !acc +. (pk.pk_obj_coef.(k) *. x.(pk.pk_obj_col.(k)))
+  done;
+  !acc
+
+(* The pivot kernel.  Normalizing the pivot row records the column
+   support of the resulting eta vector in [ar.eta]; the elimination of
+   every other row (and the cost row) is the product-form update
+   B' = E * B applied only over that support.  Columns outside the
+   support would subtract f * 0.0 — a no-op — so skipping them cuts
+   the per-pivot work from O(m * total) to O(m * nnz(eta)). *)
+let pivot (c : ctx) cost row col =
+  c.npivots <- c.npivots + 1;
+  let tab = c.ar.A.tab and eta = c.ar.A.eta in
+  let rb = row * c.stride in
+  let p = Array.unsafe_get tab (rb + col) in
+  let ne = ref 0 in
+  for j = 0 to c.total do
+    let v = Array.unsafe_get tab (rb + j) in
+    if v <> 0.0 then begin
+      Array.unsafe_set tab (rb + j) (v /. p);
+      Array.unsafe_set eta !ne j;
+      incr ne
+    end
+  done;
+  let ne = !ne in
+  for i = 0 to c.m - 1 do
+    if i <> row then begin
+      let ib = i * c.stride in
+      let f = Array.unsafe_get tab (ib + col) in
+      if f <> 0.0 then
+        for k = 0 to ne - 1 do
+          let j = Array.unsafe_get eta k in
+          Array.unsafe_set tab (ib + j)
+            (Array.unsafe_get tab (ib + j)
+            -. (f *. Array.unsafe_get tab (rb + j)))
+        done
+    end
+  done;
+  let f = Array.unsafe_get cost col in
+  if f <> 0.0 then
+    for k = 0 to ne - 1 do
+      let j = Array.unsafe_get eta k in
+      Array.unsafe_set cost j
+        (Array.unsafe_get cost j -. (f *. Array.unsafe_get tab (rb + j)))
+    done;
+  c.ar.A.basis.(row) <- col
+
+(* Bound flips.  Moving nonbasic [j] from its lower to its upper bound
+   (or back) shifts every basic value by -+ a_ij * u_j — an O(m) rhs
+   update, no pivot.  The cost row's rhs cell tracks -z through the same
+   identity (delta z = d_j * delta x_j), which phase 1 reads as the
+   artificial sum.  Reduced costs are basis-determined and unaffected. *)
+let flip_to_upper (c : ctx) cost j =
+  c.nflips <- c.nflips + 1;
+  let tab = c.ar.A.tab in
+  let uj = c.ar.A.ubound.(j) in
+  if uj <> 0.0 then begin
+    for i = 0 to c.m - 1 do
+      let a = Array.unsafe_get tab ((i * c.stride) + j) in
+      if a <> 0.0 then begin
+        let bi = (i * c.stride) + c.total in
+        Array.unsafe_set tab bi (Array.unsafe_get tab bi -. (a *. uj))
+      end
+    done;
+    cost.(c.total) <- cost.(c.total) -. (cost.(j) *. uj)
+  end;
+  c.ar.A.at_upper.(j) <- c.ar.A.epoch
+
+let flip_to_lower (c : ctx) cost j =
+  c.nflips <- c.nflips + 1;
+  let tab = c.ar.A.tab in
+  let uj = c.ar.A.ubound.(j) in
+  if uj <> 0.0 then begin
+    for i = 0 to c.m - 1 do
+      let a = Array.unsafe_get tab ((i * c.stride) + j) in
+      if a <> 0.0 then begin
+        let bi = (i * c.stride) + c.total in
+        Array.unsafe_set tab bi (Array.unsafe_get tab bi +. (a *. uj))
+      end
+    done;
+    cost.(c.total) <- cost.(c.total) +. (cost.(j) *. uj)
+  end;
+  c.ar.A.at_upper.(j) <- 0
+
+(* Primal iteration for bounded variables: Dantzig's rule on the signed
+   reduced cost (a variable at its upper bound improves the objective by
+   *decreasing*, i.e. when its reduced cost is positive), Bland's rule
+   after a degenerate streak.  The ratio test is three-way: a basic
+   variable hits its lower bound, a basic variable hits its (finite)
+   upper bound, or the entering variable itself reaches its opposite
+   bound first — a bound flip with no basis change. *)
+let iterate_b (c : ctx) ~limit cost max_iters =
+  let tab = c.ar.A.tab and basis = c.ar.A.basis in
+  let u = c.ar.A.ubound and atup = c.ar.A.at_upper and epoch = c.ar.A.epoch in
+  let stride = c.stride and m = c.m and total = c.total in
+  (* The signed reduced cost (negated for an at-upper column, whose
+     improving direction is downwards) is computed inline in both scans:
+     a local float-returning helper would box its result on every call
+     — one allocation per column per iteration — which is exactly the
+     kind of pressure this solver exists to avoid. *)
+  let entering_bland () =
+    let rec go j =
+      if j > limit - 1 then -1
+      else begin
+        let cj = Array.unsafe_get cost j in
+        let s = if Array.unsafe_get atup j = epoch then -.cj else cj in
+        if s < -.eps then j else go (j + 1)
+      end
+    in
+    go 0
+  in
+  let entering_dantzig () =
+    let best = ref (-1) and bestc = ref 0.0 in
+    for j = 0 to limit - 1 do
+      let cj = Array.unsafe_get cost j in
+      let s = if Array.unsafe_get atup j = epoch then -.cj else cj in
+      if s < -.eps && (!best < 0 || s < !bestc) then begin
+        best := j;
+        bestc := s
+      end
+    done;
+    !best
+  in
+  (* Returns (row, leaves_at_upper, step).  row = -1 means the entering
+     variable's own bound is the binding limit (flip), with step = u_j;
+     a still-infinite step means the LP is unbounded. *)
+  let leaving col =
+    let sigma = if atup.(col) = epoch then -1.0 else 1.0 in
+    let bi = ref (-1) and bup = ref false and br = ref u.(col) in
+    for i = 0 to m - 1 do
+      let a = sigma *. Array.unsafe_get tab ((i * stride) + col) in
+      if a > eps then begin
+        (* basic i decreases towards its lower bound (0) *)
+        let ratio = Array.unsafe_get tab ((i * stride) + total) /. a in
+        if
+          ratio < !br -. eps
+          || (abs_float (ratio -. !br) <= eps
+             && (!bi < 0
+                || Array.unsafe_get basis i < Array.unsafe_get basis !bi))
+        then begin
+          bi := i;
+          bup := false;
+          br := ratio
+        end
+      end
+      else if a < -.eps then begin
+        (* basic i increases towards its upper bound, if finite *)
+        let ub = u.(Array.unsafe_get basis i) in
+        if ub < infinity then begin
+          let ratio =
+            (ub -. Array.unsafe_get tab ((i * stride) + total)) /. -.a
+          in
+          if
+            ratio < !br -. eps
+            || (abs_float (ratio -. !br) <= eps
+               && (!bi < 0
+                  || Array.unsafe_get basis i < Array.unsafe_get basis !bi))
+          then begin
+            bi := i;
+            bup := true;
+            br := ratio
+          end
+        end
+      end
+    done;
+    (!bi, !bup, !br)
+  in
+  let degenerate_limit = 8 * (m + 8) in
+  let rec loop iters degenerate_streak use_bland =
+    c.niters <- c.niters + 1;
+    if iters > max_iters then
+      failwith "Simplex: iteration limit exceeded (degenerate instance)";
+    let col = if use_bland then entering_bland () else entering_dantzig () in
+    if col < 0 then `Optimal
+    else begin
+      let row, to_upper, step = leaving col in
+      if row < 0 && u.(col) = infinity then `Unbounded
+      else begin
+        if row < 0 then begin
+          (* The entering variable reaches its opposite bound first. *)
+          if atup.(col) = epoch then flip_to_lower c cost col
+          else flip_to_upper c cost col
+        end
+        else begin
+          let leaving_col = Array.unsafe_get basis row in
+          (* An entering variable at its upper bound is first restored
+             to its lower-bound reference; the pivot then lands it on
+             exactly the value the ratio test chose. *)
+          if atup.(col) = epoch then flip_to_lower c cost col;
+          pivot c cost row col;
+          if to_upper then flip_to_upper c cost leaving_col
+        end;
+        let degenerate_streak =
+          if step <= eps then degenerate_streak + 1 else 0
+        in
+        let use_bland = use_bland || degenerate_streak > degenerate_limit in
+        loop (iters + 1) degenerate_streak use_bland
+      end
+    end
+  in
+  loop 0 0 false
+
+(* --- cold start: two-phase primal simplex --------------------------- *)
+
+let solve_bound_only (pk : Lp_problem.packed) vb =
+  let n = pk.pk_num_vars in
+  (* No constraints: each variable sits at the bound its cost prefers. *)
+  let solution = Array.init n (fun v -> lower vb v) in
+  let unbounded = ref false in
+  for k = 0 to Array.length pk.pk_obj_col - 1 do
+    if pk.pk_obj_coef.(k) < 0.0 then begin
+      let v = pk.pk_obj_col.(k) in
+      match vb.(v).Lp_problem.upper with
+      | Some u -> solution.(v) <- u
+      | None -> unbounded := true
+    end
+  done;
+  if !unbounded then (Unbounded, None)
+  else (Optimal { objective = eval_obj pk solution; solution }, Some [])
+
+(* Shared by the cold and warm extraction paths: basic values from the
+   rhs column, then upper-bound values for nonbasic-at-upper structurals
+   (a basic column is never marked at-upper — every flip happens on a
+   nonbasic column, and the entering column is unflipped before its
+   pivot). *)
+let extract (c : ctx) (pk : Lp_problem.packed) vb =
+  let ar = c.ar in
+  let n = pk.pk_num_vars in
+  let y = ar.A.y in
+  let basis = ar.A.basis and redundant = ar.A.redundant_stamp in
+  let epoch = ar.A.epoch in
+  for i = 0 to c.m - 1 do
+    let b = basis.(i) in
+    if redundant.(i) <> epoch && b >= 0 && b < c.cols then
+      y.(b) <- ar.A.tab.((i * c.stride) + c.total)
+  done;
+  for v = 0 to n - 1 do
+    if ar.A.at_upper.(v) = epoch then y.(v) <- ar.A.ubound.(v)
+  done;
+  let solution = Array.init n (fun v -> y.(v) +. lower vb v) in
+  (Optimal { objective = eval_obj pk solution; solution }, solution)
+
+(* Snapshot: the basic identities row by row, preceded by the nonbasic
+   at-upper structurals so a warm start replays the bound flips before
+   installing the basis. *)
+let snapshot_basis (c : ctx) (pk : Lp_problem.packed) =
+  let ar = c.ar in
+  let basis = ar.A.basis and redundant = ar.A.redundant_stamp in
+  let ident_of_col = ar.A.ident_of_col and epoch = ar.A.epoch in
+  let ok = ref true in
+  let idents = ref [] in
+  for i = c.m - 1 downto 0 do
+    if redundant.(i) <> epoch then
+      if basis.(i) >= 0 && basis.(i) < c.cols then
+        idents := decode pk ident_of_col.(basis.(i)) :: !idents
+      else ok := false
+  done;
+  for v = pk.pk_num_vars - 1 downto 0 do
+    if ar.A.at_upper.(v) = epoch then idents := At_upper v :: !idents
+  done;
+  if !ok then Some !idents else None
+
+let solve_cold_packed ?max_iters ~arena ~want_basis (pk : Lp_problem.packed)
+    (vb : Lp_problem.bounds array) =
+  Counters.incr c_cold;
+  let n = pk.pk_num_vars in
+  let nc = pk.pk_rows in
+  let m = nc in
+  if m = 0 then solve_bound_only pk vb
+  else begin
+    (* First pass: orient every row to a nonnegative rhs (all structural
+       variables start at their lower bound, so the row activity is 0)
+       and count columns.  A Le-oriented row starts feasible on its own
+       slack; Ge- and Eq-oriented rows need an artificial. *)
+    let num_slack = ref 0 and num_art = ref 0 in
+    for i = 0 to nc - 1 do
+      let neg = shifted_rhs pk vb i < 0.0 in
+      (match pk.pk_rel.(i) with
+      | Lp_problem.Eq -> incr num_art
+      | Lp_problem.Le ->
+        incr num_slack;
+        if neg then incr num_art
+      | Lp_problem.Ge ->
+        incr num_slack;
+        if not neg then incr num_art)
+    done;
+    let cols = n + !num_slack in
+    let total = cols + !num_art in
+    let stride = total + 1 in
+    A.reserve arena ~rows:m ~stride ~idents:(n + nc);
+    let ar = arena in
+    let tab = ar.A.tab and basis = ar.A.basis in
+    let ident_of_col = ar.A.ident_of_col and u = ar.A.ubound in
+    let c = { ar; m; cols; total; stride; npivots = 0; niters = 0; nflips = 0 }
+    in
+    for v = 0 to n - 1 do
+      ident_of_col.(v) <- v;
+      u.(v) <-
+        (match vb.(v).Lp_problem.upper with
+        | None -> infinity
+        | Some uu -> uu -. lower vb v)
+    done;
+    let slack = ref n in
+    let art = ref 0 in
+    for i = 0 to nc - 1 do
+      let base = i * stride in
+      let rhs0 = shifted_rhs pk vb i in
+      let neg = rhs0 < 0.0 in
+      for k = pk.pk_off.(i) to pk.pk_off.(i + 1) - 1 do
+        let v = pk.pk_col.(k) in
+        let coef = if neg then -.pk.pk_coef.(k) else pk.pk_coef.(k) in
+        tab.(base + v) <- tab.(base + v) +. coef
+      done;
+      tab.(base + total) <- (if neg then -.rhs0 else rhs0);
+      let rel =
+        match pk.pk_rel.(i) with
+        | Lp_problem.Eq -> Lp_problem.Eq
+        | Lp_problem.Le -> if neg then Lp_problem.Ge else Lp_problem.Le
+        | Lp_problem.Ge -> if neg then Lp_problem.Le else Lp_problem.Ge
+      in
+      (match rel with
+      | Lp_problem.Le | Lp_problem.Ge ->
+        tab.(base + !slack) <- (if rel = Lp_problem.Le then 1.0 else -1.0);
+        ident_of_col.(!slack) <- n + i;
+        u.(!slack) <- infinity;
+        if rel = Lp_problem.Le then basis.(i) <- !slack;
+        incr slack
+      | Lp_problem.Eq -> ());
+      if rel <> Lp_problem.Le then begin
+        let ac = cols + !art in
+        incr art;
+        tab.(base + ac) <- 1.0;
+        u.(ac) <- infinity;
+        basis.(i) <- ac
+      end
+    done;
+    let max_iters = default_iters max_iters m total in
+    (* Phase 1: minimize the sum of artificials.  Slack-basic rows
+       contribute nothing; for the artificial rows the reduced costs
+       are c_bar_j = -sum a_ij and cost1.(total) = -sum rhs = -z. *)
+    let cost1 = ar.A.cost in
+    let phase1 = !num_art > 0 in
+    if phase1 then begin
+      for i = 0 to m - 1 do
+        if basis.(i) >= cols then begin
+          let base = i * stride in
+          for j = 0 to total do
+            cost1.(j) <- cost1.(j) -. tab.(base + j)
+          done
+        end
+      done;
+      (* artificial columns are basic; their reduced cost is 0 *)
+      for j = cols to total - 1 do
+        cost1.(j) <- 0.0
+      done
+    end;
+    let phase1_outcome =
+      if phase1 then iterate_b c ~limit:total cost1 max_iters else `Optimal
+    in
+    match phase1_outcome with
+    | `Unbounded ->
+      (* Phase-1 objective is bounded below by 0; cannot happen. *)
+      assert false
+    | `Optimal ->
+      let phase1_obj = -.cost1.(total) in
+      if phase1 && phase1_obj > feas_eps then begin
+        flush_counters c;
+        (Infeasible, None)
+      end
+      else begin
+        (* Drive any basic artificial out or mark its row redundant. *)
+        let redundant = ar.A.redundant_stamp and epoch = ar.A.epoch in
+        if phase1 then
+          for i = 0 to m - 1 do
+            if basis.(i) >= cols then begin
+              let base = i * stride in
+              let found = ref (-1) in
+              let j = ref 0 in
+              while !found < 0 && !j < cols do
+                if abs_float tab.(base + !j) > eps then found := !j;
+                incr j
+              done;
+              if !found >= 0 then begin
+                if ar.A.at_upper.(!found) = epoch then
+                  flip_to_lower c cost1 !found;
+                pivot c cost1 i !found
+              end
+              else redundant.(i) <- epoch
+            end
+          done;
+        (* Phase 2: original objective on structural columns.  Reduced
+           costs: start from c and eliminate basic columns; the at-upper
+           statuses carry over unchanged (reduced costs do not depend on
+           nonbasic statuses). *)
+        let cost2 = ar.A.cost2 in
+        for k = 0 to Array.length pk.pk_obj_col - 1 do
+          cost2.(pk.pk_obj_col.(k)) <- pk.pk_obj_coef.(k)
+        done;
+        for i = 0 to m - 1 do
+          if redundant.(i) <> epoch then begin
+            let f = cost2.(basis.(i)) in
+            if f <> 0.0 then begin
+              let base = i * stride in
+              for j = 0 to total do
+                cost2.(j) <- cost2.(j) -. (f *. tab.(base + j))
+              done
+            end
+          end
+        done;
+        match iterate_b c ~limit:cols cost2 max_iters with
+        | `Unbounded ->
+          flush_counters c;
+          (Unbounded, None)
+        | `Optimal ->
+          let result, _ = extract c pk vb in
+          let snapshot =
+            if not want_basis then None else snapshot_basis c pk
+          in
+          flush_counters c;
+          (result, snapshot)
+      end
+  end
+
+(* --- warm start: dual simplex from a parent basis ------------------- *)
+
+let solve_warm_packed ?max_iters ~arena ~(basis : basis)
+    (pk : Lp_problem.packed) (vb : Lp_problem.bounds array) =
+  let n = pk.pk_num_vars in
+  let nc = pk.pk_rows in
+  let m = nc in
+  if m = 0 then solve_cold_packed ?max_iters ~arena ~want_basis:true pk vb
+  else begin
+    let num_slack = ref 0 in
+    for i = 0 to nc - 1 do
+      if pk.pk_rel.(i) <> Lp_problem.Eq then incr num_slack
+    done;
+    let cols = n + !num_slack in
+    let total = cols in
+    let stride = total + 1 in
+    A.reserve arena ~rows:m ~stride ~idents:(n + nc);
+    let ar = arena in
+    let tab = ar.A.tab and tbasis = ar.A.basis in
+    let ident_of_col = ar.A.ident_of_col in
+    let slack_of_row = ar.A.slack_of_row in
+    let col_of_ident = ar.A.col_of_ident in
+    let co_stamp = ar.A.col_of_ident_stamp in
+    let u = ar.A.ubound and atup = ar.A.at_upper in
+    let epoch = ar.A.epoch in
+    let c = { ar; m; cols; total; stride; npivots = 0; niters = 0; nflips = 0 }
+    in
+    Array.fill tbasis 0 m (-1);
+    for v = 0 to n - 1 do
+      ident_of_col.(v) <- v;
+      col_of_ident.(v) <- v;
+      co_stamp.(v) <- epoch;
+      u.(v) <-
+        (match vb.(v).Lp_problem.upper with
+        | None -> infinity
+        | Some uu -> uu -. lower vb v)
+    done;
+    (* Raw orientation: every non-Eq row carries a +1 slack (Ge rows are
+       negated), rhs keeps its sign — dual simplex does not need
+       b >= 0. *)
+    let slack = ref n in
+    for i = 0 to nc - 1 do
+      let base = i * stride in
+      let rhs0 = shifted_rhs pk vb i in
+      let ge = pk.pk_rel.(i) = Lp_problem.Ge in
+      for k = pk.pk_off.(i) to pk.pk_off.(i + 1) - 1 do
+        let v = pk.pk_col.(k) in
+        let coef = if ge then -.pk.pk_coef.(k) else pk.pk_coef.(k) in
+        tab.(base + v) <- tab.(base + v) +. coef
+      done;
+      tab.(base + total) <- (if ge then -.rhs0 else rhs0);
+      if pk.pk_rel.(i) <> Lp_problem.Eq then begin
+        tab.(base + !slack) <- 1.0;
+        slack_of_row.(i) <- !slack;
+        ident_of_col.(!slack) <- n + i;
+        col_of_ident.(n + i) <- !slack;
+        co_stamp.(n + i) <- epoch;
+        u.(!slack) <- infinity;
+        incr slack
+      end
+      else slack_of_row.(i) <- -1
+    done;
+    let orig_max_iters = max_iters in
+    let max_iters = default_iters max_iters m total in
+    (* Reduced costs start from the raw objective; installing each basic
+       column via [pivot] eliminates it from the cost row. *)
+    let cost = ar.A.cost in
+    for k = 0 to Array.length pk.pk_obj_col - 1 do
+      cost.(pk.pk_obj_col.(k)) <- pk.pk_obj_coef.(k)
+    done;
+    let assigned = ar.A.assigned_stamp in
+    let is_basic = ar.A.basic_stamp in
+    let redundant = ar.A.redundant_stamp in
+    let install ident =
+      match ident with
+      | At_upper v ->
+        if v < 0 || v >= n then raise Fall_back_cold;
+        (* a variable can no longer sit at an infinite upper bound *)
+        if u.(v) = infinity then raise Fall_back_cold;
+        if atup.(v) <> epoch then flip_to_upper c cost v
+      | Structural _ | Constr_slack _ | Upper_slack _ ->
+        let code = encode pk ident in
+        if co_stamp.(code) <> epoch then
+          raise Fall_back_cold (* identity gone: shape changed *)
+        else begin
+          let j = col_of_ident.(code) in
+          if is_basic.(j) = epoch then raise Fall_back_cold
+          else begin
+            let bi = ref (-1) and ba = ref 0.0 in
+            for i = 0 to m - 1 do
+              if assigned.(i) <> epoch then begin
+                let a = abs_float tab.((i * stride) + j) in
+                if !bi < 0 || a > !ba then begin
+                  bi := i;
+                  ba := a
+                end
+              end
+            done;
+            if !bi >= 0 && !ba > pivot_eps then begin
+              if atup.(j) = epoch then flip_to_lower c cost j;
+              pivot c cost !bi j;
+              assigned.(!bi) <- epoch;
+              is_basic.(j) <- epoch
+            end
+            else raise Fall_back_cold (* singular basis *)
+          end
+        end
+    in
+    try
+      List.iter install basis;
+      (* Rows the parent basis does not span: new rows (appended cuts)
+         take their own slack; a row that has become all-zero is
+         redundant; anything else means the snapshot does not fit. *)
+      for i = 0 to m - 1 do
+        if assigned.(i) <> epoch then begin
+          let base = i * stride in
+          let covered =
+            let j = slack_of_row.(i) in
+            if
+              j >= 0 && is_basic.(j) <> epoch
+              && abs_float tab.(base + j) > pivot_eps
+            then begin
+              pivot c cost i j;
+              assigned.(i) <- epoch;
+              is_basic.(j) <- epoch;
+              true
+            end
+            else false
+          in
+          if not covered then begin
+            let zero = ref (abs_float tab.(base + total) <= feas_eps) in
+            for j = 0 to total - 1 do
+              if abs_float tab.(base + j) > pivot_eps then zero := false
+            done;
+            if !zero then redundant.(i) <- epoch else raise Fall_back_cold
+          end
+        end
+      done;
+      (* Dual simplex with bounds: pick the worst bound violation of a
+         basic variable — below its lower bound (rhs < 0) or above its
+         finite upper bound — and pivot it out in the direction that
+         restores the bound, choosing the entering column by the dual
+         min-ratio rule on the *signed* reduced cost (positive at a
+         lower bound, negative at an upper bound), which preserves dual
+         feasibility. *)
+      let rec dual_loop iters =
+        if iters > max_iters then raise Fall_back_cold;
+        let wi = ref (-1) and wv = ref 0.0 and wabove = ref false in
+        for i = 0 to m - 1 do
+          if redundant.(i) <> epoch then begin
+            let b = tab.((i * stride) + total) in
+            if b < -.feas_eps then begin
+              if !wi < 0 || b < !wv then begin
+                wi := i;
+                wv := b;
+                wabove := false
+              end
+            end
+            else begin
+              let ub = u.(tbasis.(i)) in
+              if ub < infinity && b > ub +. feas_eps then begin
+                let v = ub -. b in
+                if !wi < 0 || v < !wv then begin
+                  wi := i;
+                  wv := v;
+                  wabove := true
+                end
+              end
+            end
+          end
+        done;
+        if !wi >= 0 then begin
+          let r = !wi and above = !wabove in
+          let rb = r * stride in
+          let basic_col = tbasis.(r) in
+          let bj = ref (-1) and brr = ref 0.0 in
+          for j = 0 to total - 1 do
+            if j <> basic_col then begin
+              let a = tab.(rb + j) in
+              let at_up = atup.(j) = epoch in
+              (* the basic variable must decrease (above) or increase
+                 (below); an at-lower nonbasic can only increase, an
+                 at-upper one only decrease *)
+              let elig =
+                if above then (not at_up && a > eps) || (at_up && a < -.eps)
+                else (not at_up && a < -.eps) || (at_up && a > eps)
+              in
+              if elig then begin
+                let d_hat = if at_up then -.cost.(j) else cost.(j) in
+                let ratio = d_hat /. abs_float a in
+                if !bj < 0 || ratio < !brr then begin
+                  bj := j;
+                  brr := ratio
+                end
+              end
+            end
+          done;
+          if !bj < 0 then raise Exit (* primal infeasible *)
+          else begin
+            let j = !bj in
+            if atup.(j) = epoch then flip_to_lower c cost j;
+            pivot c cost r j;
+            if above then flip_to_upper c cost basic_col
+          end;
+          dual_loop (iters + 1)
+        end
+      in
+      let infeasible = ref false in
+      (try dual_loop 0 with Exit -> infeasible := true);
+      if !infeasible then begin
+        flush_counters c;
+        (Infeasible, None)
+      end
+      else begin
+        (* Residual violations are within feasibility tolerance; snap
+           them so the primal ratio test sees in-bound values. *)
+        for i = 0 to m - 1 do
+          if redundant.(i) <> epoch then begin
+            let bi = (i * stride) + total in
+            let b = tab.(bi) in
+            if b < 0.0 then tab.(bi) <- 0.0
+            else begin
+              let ub = u.(tbasis.(i)) in
+              if b > ub then tab.(bi) <- ub
+            end
+          end
+        done;
+        (* Primal polish: normally zero iterations — the parent basis is
+           dual-feasible — but it also mops up numerical drift. *)
+        match iterate_b c ~limit:total cost max_iters with
+        | `Unbounded ->
+          flush_counters c;
+          (Unbounded, None)
+        | `Optimal ->
+          let result, _ = extract c pk vb in
+          let snapshot = snapshot_basis c pk in
+          flush_counters c;
+          (result, snapshot)
+      end
+    with
+    | Fall_back_cold | Failure _ ->
+      Counters.incr c_fallbacks;
+      flush_counters c;
+      solve_cold_packed ?max_iters:orig_max_iters ~arena ~want_basis:true pk
+        vb
+  end
+
+(* --- public entry points -------------------------------------------- *)
+
+let solve_packed ?max_iters ~arena ~want_basis pk vb =
+  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
+      solve_cold_packed ?max_iters ~arena ~want_basis pk vb)
+
+let solve_packed_from_basis ?max_iters ~arena ~basis pk vb =
+  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
+      Counters.incr c_warm;
+      solve_warm_packed ?max_iters ~arena ~basis pk vb)
+
+let solve ?max_iters (p : Lp_problem.t) =
+  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
+      let arena = A.create () in
+      fst
+        (solve_cold_packed ?max_iters ~arena ~want_basis:false
+           (Lp_problem.compile p) p.var_bounds))
+
+let solve_keep_basis ?max_iters (p : Lp_problem.t) =
+  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
+      let arena = A.create () in
+      solve_cold_packed ?max_iters ~arena ~want_basis:true
+        (Lp_problem.compile p) p.var_bounds)
+
+let solve_from_basis ?max_iters ~basis (p : Lp_problem.t) =
+  Trace.with_span ~cat:"lp" "simplex.solve" (fun () ->
+      Counters.incr c_warm;
+      let arena = A.create () in
+      solve_warm_packed ?max_iters ~arena ~basis (Lp_problem.compile p)
+        p.var_bounds)

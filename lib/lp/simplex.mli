@@ -1,53 +1,167 @@
-(** Dense simplex solver: two-phase primal for cold starts, dual simplex
-    for warm starts from a parent basis.
+(** Flat-arena simplex solver: two-phase primal for cold starts, dual
+    simplex for warm starts from a parent basis.
 
-    Solves [Lp_problem.t] instances: minimize a linear objective subject to
-    linear constraints and variable bounds.  Dantzig's rule with a
+    Solves [Lp_problem.t] instances: minimize a linear objective subject
+    to linear constraints and variable bounds.  Dantzig's rule with a
     fallback to Bland's rule (which provably cannot cycle) drives the
     pivot loop; problems in this repository are small and well scaled
     (coefficients are mostly [+-1] and big-M constants), so the dense
     tableau is adequate.
+
+    The production path works on a {!Lp_problem.packed} problem (CSR
+    rows compiled once per ILP) and a caller-owned {!Solver_arena.t}:
+    the tableau, cost rows, basis and every scratch mark live in flat
+    arrays that are reused across all branch-and-bound nodes, and the
+    pivot kernel applies the product-form eta update only over the
+    nonzero support of the pivot row.  Upper bounds are handled
+    implicitly (bounded-variable simplex): a finite upper bound never
+    becomes a tableau row; nonbasic variables carry an at-lower /
+    at-upper status and swap bounds in an O(m) "bound flip", so the
+    tableau has one row per constraint rather than one per constraint
+    plus one per bounded variable.  The retained {!Reference}
+    implementation is the equivalence oracle: the QCheck suite checks
+    both solvers agree on status and objective value, and the bench
+    [compare] gate checks end-to-end plans are byte-identical — see
+    DESIGN.md, "LP core internals".
 
     Warm starts serve branch and bound: a child node differs from its
     parent only in variable bounds (branching) and appended rows (lazy
     cuts), so the parent's optimal basis stays dual-feasible and a short
     dual-simplex run restores primal feasibility — no phase-1 solve. *)
 
+(** Outcome of an LP solve. *)
 type result =
   | Optimal of { objective : float; solution : float array }
-  | Infeasible
-  | Unbounded
+      (** Optimal objective value and one optimal assignment. *)
+  | Infeasible  (** No assignment satisfies all constraints. *)
+  | Unbounded  (** The objective decreases without bound. *)
 
 (** A basic variable named by identity rather than tableau column, so a
-    snapshot survives the re-layout of a related problem. *)
+    snapshot survives the re-layout of a related problem.
+    [Upper_slack] only appears in snapshots of the {!Reference} solver
+    (which materializes upper bounds as rows); [At_upper] only in
+    snapshots of the production solver (which keeps them as nonbasic
+    statuses).  Either solver falls back to a cold solve when handed
+    the other's constructor. *)
 type basis_var =
   | Structural of int   (** original problem variable *)
   | Constr_slack of int (** slack/surplus of the k-th constraint *)
   | Upper_slack of int  (** slack of variable v's upper-bound row *)
+  | At_upper of int     (** variable v nonbasic at its upper bound *)
 
-(** The basic variables of an optimal tableau (one per independent row). *)
+(** The basic variables of an optimal tableau (one per independent
+    row). *)
 type basis = basis_var list
 
-(** [solve ?max_iters problem].
+(** [solve ?max_iters problem] solves [problem] from scratch with the
+    two-phase primal simplex.
 
-    @param max_iters safety valve for the pivot loop (default scales with
-    problem size).
-    @raise Failure if the iteration budget is exhausted, which indicates a
-    numerically degenerate instance rather than a model error. *)
+    @param max_iters safety valve for the pivot loop (default scales
+    with problem size).
+    @return the LP outcome.
+    @raise Failure if the iteration budget is exhausted, which indicates
+    a numerically degenerate instance rather than a model error. *)
 val solve : ?max_iters:int -> Lp_problem.t -> result
 
-(** Like [solve], also returning a basis snapshot when the final tableau
-    admits one ([None] on infeasible/unbounded results or when an
-    artificial variable could not be driven out of the basis). *)
+(** [solve_keep_basis ?max_iters problem] is {!solve}, also returning a
+    basis snapshot when the final tableau admits one.
+
+    @param max_iters safety valve for the pivot loop.
+    @return the outcome paired with a snapshot ([None] on
+    infeasible/unbounded results or when an artificial variable could
+    not be driven out of the basis). *)
 val solve_keep_basis : ?max_iters:int -> Lp_problem.t -> result * basis option
 
-(** [solve_from_basis ~basis p] re-optimizes [p] starting from the given
-    snapshot of a closely related problem: same constraints in the same
-    order (possibly with rows appended) and same variables (possibly with
-    changed bounds).  Falls back to the cold two-phase path whenever the
-    snapshot does not fit, so it is exactly as reliable as [solve]. *)
+(** [solve_from_basis ?max_iters ~basis p] re-optimizes [p] starting
+    from the given snapshot of a closely related problem: same
+    constraints in the same order (possibly with rows appended) and same
+    variables (possibly with changed bounds).  Falls back to the cold
+    two-phase path whenever the snapshot does not fit, so it is exactly
+    as reliable as {!solve}.
+
+    @param max_iters safety valve for the pivot loop.
+    @param basis snapshot of the parent problem's optimal basis.
+    @return the outcome paired with a snapshot of the new basis. *)
 val solve_from_basis :
   ?max_iters:int -> basis:basis -> Lp_problem.t -> result * basis option
 
-(** Human-readable rendering of a [result]. *)
+(** [solve_packed ?max_iters ~arena ~want_basis pk vb] is the arena
+    entry point used by branch and bound: solve the compiled problem
+    [pk] under variable bounds [vb] (which may differ from the bounds
+    the problem was compiled with — that is the whole point: one
+    compiled matrix serves every node of a B&B tree).
+
+    @param max_iters safety valve for the pivot loop.
+    @param arena caller-owned scratch, reused across calls.
+    @param want_basis whether to build a basis snapshot on success.
+    @param pk the compiled constraint matrix and objective.
+    @param vb per-node variable bounds; length [pk.pk_num_vars].
+    @return the outcome paired with a snapshot when requested and
+    available.
+    @raise Failure if the iteration budget is exhausted. *)
+val solve_packed :
+  ?max_iters:int ->
+  arena:Solver_arena.t ->
+  want_basis:bool ->
+  Lp_problem.packed ->
+  Lp_problem.bounds array ->
+  result * basis option
+
+(** [solve_packed_from_basis ?max_iters ~arena ~basis pk vb] is
+    {!solve_from_basis} over a compiled problem and a reusable arena:
+    dual-simplex warm start from [basis], falling back to
+    {!solve_packed} when the snapshot does not fit.
+
+    @param max_iters safety valve for the pivot loop.
+    @param arena caller-owned scratch, reused across calls.
+    @param basis snapshot of the parent node's optimal basis.
+    @param pk the compiled constraint matrix and objective.
+    @param vb per-node variable bounds; length [pk.pk_num_vars].
+    @return the outcome paired with a snapshot of the new basis.
+    @raise Failure if the iteration budget is exhausted on the cold
+    fallback path. *)
+val solve_packed_from_basis :
+  ?max_iters:int ->
+  arena:Solver_arena.t ->
+  basis:basis ->
+  Lp_problem.packed ->
+  Lp_problem.bounds array ->
+  result * basis option
+
+(** Human-readable rendering of a {!result}. *)
 val pp_result : Format.formatter -> result -> unit
+
+(** The pre-arena solver ([float array array] tableau rebuilt on every
+    call, upper bounds as explicit rows), kept verbatim as the
+    equivalence oracle for the flat bounded-variable kernel: the QCheck
+    suite asserts that both implementations agree on result status and
+    objective value on random LPs, cold and warm-started (solutions may
+    differ between alternate optima, so only the value is compared).
+    Same pattern as the reference router kept next to
+    [Search_kernel]. *)
+module Reference : sig
+  (** [solve ?max_iters problem] solves [problem] with the reference
+      two-phase primal simplex.
+
+      @param max_iters safety valve for the pivot loop.
+      @return the LP outcome.
+      @raise Failure if the iteration budget is exhausted. *)
+  val solve : ?max_iters:int -> Lp_problem.t -> result
+
+  (** [solve_keep_basis ?max_iters problem] is the reference
+      {!val:solve} that also returns a basis snapshot when available.
+
+      @param max_iters safety valve for the pivot loop.
+      @return the outcome paired with an optional snapshot. *)
+  val solve_keep_basis :
+    ?max_iters:int -> Lp_problem.t -> result * basis option
+
+  (** [solve_from_basis ?max_iters ~basis p] is the reference warm
+      start: dual simplex from [basis] with cold fallback.
+
+      @param max_iters safety valve for the pivot loop.
+      @param basis snapshot of the parent problem's optimal basis.
+      @return the outcome paired with an optional snapshot. *)
+  val solve_from_basis :
+    ?max_iters:int -> basis:basis -> Lp_problem.t -> result * basis option
+end

@@ -1,0 +1,85 @@
+module Counters = Pdw_obs.Counters
+
+let c_builds = Counters.counter "lp.arena.builds"
+let c_grows = Counters.counter "lp.arena.grows"
+
+type t = {
+  mutable tab : float array;
+  mutable cost : float array;
+  mutable cost2 : float array;
+  mutable y : float array;
+  mutable basis : int array;
+  mutable slack_of_row : int array;
+  mutable ident_of_col : int array;
+  mutable col_of_ident : int array;
+  mutable col_of_ident_stamp : int array;
+  mutable redundant_stamp : int array;
+  mutable assigned_stamp : int array;
+  mutable basic_stamp : int array;
+  mutable eta : int array;
+  mutable ubound : float array;
+  mutable at_upper : int array;
+  mutable epoch : int;
+}
+
+let create () =
+  {
+    tab = [||];
+    cost = [||];
+    cost2 = [||];
+    y = [||];
+    basis = [||];
+    slack_of_row = [||];
+    ident_of_col = [||];
+    col_of_ident = [||];
+    col_of_ident_stamp = [||];
+    redundant_stamp = [||];
+    assigned_stamp = [||];
+    basic_stamp = [||];
+    eta = [||];
+    ubound = [||];
+    at_upper = [||];
+    epoch = 0;
+  }
+
+(* Geometric growth so a whole branch-and-bound run settles into a
+   steady state after the first few solves: reserve becomes a handful of
+   Array.fill calls and one epoch bump, with no allocation at all. *)
+let grow_float a n =
+  if Array.length a >= n then a
+  else begin
+    Counters.incr c_grows;
+    Array.make (max n ((2 * Array.length a) + 8)) 0.0
+  end
+
+let grow_int a n =
+  if Array.length a >= n then a
+  else begin
+    Counters.incr c_grows;
+    Array.make (max n ((2 * Array.length a) + 8)) 0
+  end
+
+let reserve ar ~rows ~stride ~idents =
+  Counters.incr c_builds;
+  ar.tab <- grow_float ar.tab (rows * stride);
+  ar.cost <- grow_float ar.cost stride;
+  ar.cost2 <- grow_float ar.cost2 stride;
+  ar.y <- grow_float ar.y stride;
+  ar.basis <- grow_int ar.basis rows;
+  ar.slack_of_row <- grow_int ar.slack_of_row rows;
+  ar.ident_of_col <- grow_int ar.ident_of_col stride;
+  ar.col_of_ident <- grow_int ar.col_of_ident idents;
+  ar.col_of_ident_stamp <- grow_int ar.col_of_ident_stamp idents;
+  ar.redundant_stamp <- grow_int ar.redundant_stamp rows;
+  ar.assigned_stamp <- grow_int ar.assigned_stamp rows;
+  ar.basic_stamp <- grow_int ar.basic_stamp stride;
+  ar.eta <- grow_int ar.eta stride;
+  ar.ubound <- grow_float ar.ubound stride;
+  ar.at_upper <- grow_int ar.at_upper stride;
+  (* Only the dense float extents a build writes sparsely need zeroing;
+     every stamped array is invalidated wholesale by the epoch bump. *)
+  Array.fill ar.tab 0 (rows * stride) 0.0;
+  Array.fill ar.cost 0 stride 0.0;
+  Array.fill ar.cost2 0 stride 0.0;
+  Array.fill ar.y 0 stride 0.0;
+  ar.epoch <- ar.epoch + 1

@@ -1,0 +1,94 @@
+(** Reusable flat storage for the simplex solver.
+
+    A branch-and-bound run solves hundreds of closely related LPs whose
+    tableaux all have (nearly) the same shape.  Allocating a fresh
+    [float array array] tableau, cost rows, basis arrays and scratch
+    marks for every node made the LP core the dominant allocator of the
+    whole planner (~29 M minor words per perf run).  An arena is
+    created once per ILP and handed to every [Simplex.solve_packed] /
+    [Simplex.solve_packed_from_basis] call; after the first few solves
+    the buffers have grown to the working-set high-water mark and a
+    solve allocates nothing but its result.
+
+    {2 Layout}
+
+    The tableau is a single flat [float array] in row-major order:
+    row [i], column [j] lives at [i * stride + j] where
+    [stride = total + 1] and column [total] holds the right-hand side.
+    [cost] and [cost2] are the phase-1 / phase-2 reduced-cost rows
+    (length [stride]; the last cell carries [-z]).  [eta] is scratch
+    for the pivot kernel: the nonzero support of the normalized pivot
+    row, i.e. the column indices of the product-form eta vector.
+
+    {2 Epoch stamping}
+
+    Scratch marks ([redundant_stamp], [assigned_stamp], [basic_stamp],
+    [col_of_ident_stamp]) are never cleared.  [reserve] bumps [epoch];
+    a cell is "set" iff it equals the current epoch, so invalidating
+    every mark between solves costs one integer store instead of an
+    [Array.fill] per array.  The same trick drives the PR 4 routing
+    kernel (see DESIGN.md, "Search kernel").
+
+    Growth is geometric and counted on the ["lp.arena.grows"] counter;
+    tableau builds are counted on ["lp.arena.builds"] — a healthy run
+    shows builds in the hundreds and grows in the single digits. *)
+
+(** Mutable solver scratch.  Not thread-safe: one arena belongs to one
+    solve at a time (each B&B run owns a private arena). *)
+type t = {
+  mutable tab : float array;
+      (** Row-major tableau, [rows * stride] floats; rhs in the last
+          column of each row. *)
+  mutable cost : float array;
+      (** Phase-1 (cold) or dual (warm) reduced-cost row, length
+          [stride]. *)
+  mutable cost2 : float array;  (** Phase-2 reduced-cost row. *)
+  mutable y : float array;
+      (** Basic-variable values gathered during solution extraction. *)
+  mutable basis : int array;  (** Basic column of each row. *)
+  mutable slack_of_row : int array;
+      (** Warm start: the slack column of each row, [-1] for Eq rows. *)
+  mutable ident_of_col : int array;
+      (** Encoded {!Simplex.basis_var} identity of each non-artificial
+          column (for basis snapshots). *)
+  mutable col_of_ident : int array;
+      (** Warm start: column index of an encoded identity; valid only
+          where [col_of_ident_stamp] matches [epoch]. *)
+  mutable col_of_ident_stamp : int array;
+      (** Epoch stamps validating [col_of_ident]. *)
+  mutable redundant_stamp : int array;
+      (** Rows marked redundant this epoch. *)
+  mutable assigned_stamp : int array;
+      (** Warm start: rows already claimed by an installed basis
+          column. *)
+  mutable basic_stamp : int array;
+      (** Warm start: columns already installed into the basis. *)
+  mutable eta : int array;
+      (** Pivot-kernel scratch: column support of the eta vector. *)
+  mutable ubound : float array;
+      (** Per-column upper bound of the shifted variable ([u - l] for
+          structurals, [infinity] for slacks and artificials), length
+          [stride]; fully rewritten by every tableau build. *)
+  mutable at_upper : int array;
+      (** Bound status of each nonbasic column: at its upper bound iff
+          the cell equals [epoch] (a bound flip back to the lower bound
+          resets the cell to 0, which never matches a live epoch). *)
+  mutable epoch : int;  (** Current validity stamp. *)
+}
+
+(** [create ()] is an empty arena; buffers grow on first use.
+    @return a fresh arena with all buffers empty and epoch 0. *)
+val create : unit -> t
+
+(** [reserve ar ~rows ~stride ~idents] prepares [ar] for one solve:
+    grows every buffer to at least the requested extent (geometric
+    doubling), zeroes the dense float extents the tableau build writes
+    sparsely, and bumps the epoch so all stamped marks of earlier
+    solves become invalid.
+
+    @param rows   number of tableau rows (one per constraint; upper
+                  bounds are implicit nonbasic statuses, not rows).
+    @param stride row length including the rhs column ([total + 1]).
+    @param idents size of the encoded identity space ([n + nrows] for
+                  structural and constraint-slack identities). *)
+val reserve : t -> rows:int -> stride:int -> idents:int -> unit

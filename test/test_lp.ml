@@ -481,6 +481,96 @@ let prop_warm_start_matches_cold =
       | (Simplex.Optimal _ | Simplex.Infeasible | Simplex.Unbounded), _ ->
         true)
 
+(* --- flat-arena solver vs the reference implementation --- *)
+
+module Solver_arena = Pdw_lp.Solver_arena
+
+(* The bounded-variable flat-arena solver and the retained [Reference]
+   implementation (explicit upper-bound rows, per-call tableaux) must
+   agree on status and objective for every LP.  Solutions are not
+   compared: alternate optima are legitimate, and the two pivot orders
+   routinely land on different vertices of the same optimal face. *)
+let same_status_and_objective a b =
+  match (a, b) with
+  | Simplex.Optimal { objective = x; _ }, Simplex.Optimal { objective = y; _ }
+    ->
+    abs_float (x -. y) < 1e-6
+  | Simplex.Infeasible, Simplex.Infeasible -> true
+  | Simplex.Unbounded, Simplex.Unbounded -> true
+  | _, _ -> false
+
+let prop_production_matches_reference =
+  QCheck2.Test.make
+    ~name:"flat-arena simplex matches the reference solver (cold)" ~count:300
+    gen_binary_ilp (fun spec ->
+      let p = build_binary_ilp spec in
+      let prod = Simplex.solve p in
+      let refr = Simplex.Reference.solve p in
+      same_status_and_objective prod refr
+      (* Tiny instances also admit exhaustive enumeration: the shared LP
+         optimum must lower-bound the brute-force integer optimum. *)
+      &&
+      match (prod, Brute.solve_binary p) with
+      | Simplex.Optimal { objective = lp; _ }, Some (int_obj, _) ->
+        lp <= int_obj +. 1e-6
+      | _, _ -> true)
+
+(* Warm-started equivalence.  Basis snapshots are not cross-compatible
+   ([At_upper] vs [Upper_slack] triggers the cold fallback by design),
+   so each solver warm-starts from its OWN parent basis; the dual
+   simplex of both must land on the same objective. *)
+let prop_warm_production_matches_reference =
+  QCheck2.Test.make
+    ~name:"flat-arena simplex matches the reference solver (warm)" ~count:300
+    QCheck2.Gen.(pair gen_binary_ilp (pair (int_range 0 5) bool))
+    (fun (spec, (branch_var, branch_up)) ->
+      let p = build_binary_ilp spec in
+      match (Simplex.solve_keep_basis p, Simplex.Reference.solve_keep_basis p)
+      with
+      | (Simplex.Optimal _, Some basis_p), (Simplex.Optimal _, Some basis_r)
+        ->
+        let v = branch_var mod p.num_vars in
+        let child_bounds = Array.copy p.var_bounds in
+        child_bounds.(v) <-
+          (if branch_up then { child_bounds.(v) with lower = 1.0 }
+           else { child_bounds.(v) with upper = Some 0.0 });
+        let child = { p with var_bounds = child_bounds } in
+        let warm_p, _ = Simplex.solve_from_basis ~basis:basis_p child in
+        let warm_r, _ =
+          Simplex.Reference.solve_from_basis ~basis:basis_r child
+        in
+        same_status_and_objective warm_p warm_r
+      | _, _ -> true)
+
+(* Epoch-stamped scratch reuse: two consecutive solves of the same
+   packed problem through one arena must be bit-identical — the second
+   solve runs entirely on stale marks invalidated only by the epoch
+   bump, so any missed invalidation shows up as a diverging result. *)
+let test_arena_epoch_reuse () =
+  let p =
+    Lp_problem.make ~num_vars:3
+      ~objective:(expr [ (-10.0, 0); (-6.0, 1); (-4.0, 2) ])
+      ~constraints:
+        [
+          le (expr [ (1.0, 0); (1.0, 1); (1.0, 2) ]) 2.0;
+          ge (expr [ (1.0, 0); (1.0, 2) ]) 1.0;
+          eq (expr [ (1.0, 1); (1.0, 2) ]) 1.0;
+        ]
+      ~var_bounds:[| bounds ~ub:1.0 (); bounds ~ub:1.0 (); bounds ~ub:1.0 () |]
+  in
+  let arena = Solver_arena.create () in
+  let pk = Lp_problem.compile p in
+  let solve () = Simplex.solve_packed ~arena ~want_basis:true pk p.var_bounds in
+  let r1, b1 = solve () in
+  let r2, b2 = solve () in
+  (match (r1, r2) with
+  | Simplex.Optimal { objective = o1; solution = s1 },
+    Simplex.Optimal { objective = o2; solution = s2 } ->
+    Alcotest.(check (float 0.0)) "same objective" o1 o2;
+    Alcotest.(check (array (float 0.0))) "same solution" s1 s2
+  | _, _ -> Alcotest.fail "expected optimal results from both solves");
+  Alcotest.(check bool) "same basis snapshot" true (b1 = b2)
+
 (* --- branching regression: near-integral relaxation values --- *)
 
 let test_branching_near_integral () =
@@ -570,6 +660,8 @@ let () =
       ( "reference",
         [ Alcotest.test_case "brute knapsack" `Quick test_brute_matches_example ]
       );
+      ( "arena",
+        [ Alcotest.test_case "epoch reuse" `Quick test_arena_epoch_reuse ] );
       ( "presolve",
         [
           Alcotest.test_case "singleton rows" `Quick
@@ -587,5 +679,7 @@ let () =
             prop_simplex_solution_feasible;
             prop_presolve_preserves_optimum;
             prop_warm_start_matches_cold;
+            prop_production_matches_reference;
+            prop_warm_production_matches_reference;
           ] );
     ]
