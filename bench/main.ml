@@ -592,6 +592,39 @@ let run_serve () =
       workers label s.Loadgen.throughput s.Loadgen.p50_ms s.Loadgen.p95_ms
       s.Loadgen.p99_ms s.Loadgen.cached s.Loadgen.coalesced
   in
+  (* Per-campaign server-side breakdown: the server's histograms are
+     cumulative, so snapshotting before/after a campaign and diffing
+     (exact, bucket-wise) isolates that campaign's queue-wait vs
+     service-time story. *)
+  let module H = Pdw_obs.Histogram in
+  let hist_summary h =
+    J.Obj
+      [
+        ("samples", J.Int (H.count h));
+        ("mean", J.Float (H.mean h));
+        ("p50", J.Float (H.quantile h 0.50));
+        ("p95", J.Float (H.quantile h 0.95));
+        ("p99", J.Float (H.quantile h 0.99));
+      ]
+  in
+  let server_interval (a : Server.telemetry) (b : Server.telemetry) =
+    J.Obj
+      [
+        ("latency_ms", hist_summary (H.diff a.Server.latency b.Server.latency));
+        ( "queue_wait_ms",
+          hist_summary (H.diff a.Server.queue_wait b.Server.queue_wait) );
+        ("service_ms", hist_summary (H.diff a.Server.service b.Server.service));
+      ]
+  in
+  let print_breakdown workers label (a : Server.telemetry)
+      (b : Server.telemetry) =
+    let qw = H.diff a.Server.queue_wait b.Server.queue_wait in
+    let sv = H.diff a.Server.service b.Server.service in
+    Format.printf
+      "serve: workers=%d  %-7s  queue-wait p95 %6.2f ms  service p95 %6.2f \
+       ms  (%d jobs)@."
+      workers label (H.quantile qw 0.95) (H.quantile sv 0.95) (H.count sv)
+  in
   let measure workers =
     let socket_path =
       let path = Filename.temp_file "pdw-bench" ".sock" in
@@ -617,12 +650,14 @@ let run_serve () =
            measured hit phase runs under the same conditions a
            hit-dominated production mix would see.  The planner
            campaign then forces every shard's worker to life. *)
+        let tel0 = Server.telemetry srv in
         let cached =
           Loadgen.run ~socket_path ~clients:serve_clients
             ~per_client:serve_per_client ~warmup:serve_warmup
             ~pipeline:serve_pipeline ~verify:true specs
         in
         check "cached" cached;
+        let tel1 = Server.telemetry srv in
         let planner =
           Loadgen.run ~socket_path ~clients:planner_clients
             ~per_client:planner_per_client ~warmup:planner_warmup
@@ -630,9 +665,11 @@ let run_serve () =
             (planner_specs ())
         in
         check "planner" planner;
+        let tel2 = Server.telemetry srv in
         let peaks = Server.shard_depth_peaks srv in
         print_campaign workers "cached" cached;
         print_campaign workers "planner" planner;
+        print_breakdown workers "planner" tel2 tel1;
         Format.printf "serve: workers=%d  shard depth peaks [%s]@." workers
           (String.concat ";" (List.map string_of_int peaks));
         ( (cached.Loadgen.throughput, planner.Loadgen.throughput),
@@ -642,7 +679,9 @@ let run_serve () =
               ( "queue_depth_peaks",
                 J.List (List.map (fun p -> J.Int p) peaks) );
               ("cached", J.of_obs (Loadgen.summary_json cached));
+              ("cached_server", server_interval tel1 tel0);
               ("planner", J.of_obs (Loadgen.summary_json planner));
+              ("planner_server", server_interval tel2 tel1);
             ] ))
   in
   let measured = List.map measure serve_workers in
@@ -682,7 +721,7 @@ let run_serve () =
   let json =
     J.Obj
       [
-        ("schema", J.String "pathdriver-wash/bench-serve/v3");
+        ("schema", J.String "pathdriver-wash/bench-serve/v4");
         ("git_commit", J.String (git_commit ()));
         ("generated_at", J.String (iso8601_now ()));
         ("host_cores", J.Int host_cores);

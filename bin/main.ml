@@ -509,7 +509,8 @@ let cmd_explain name ledger method_ cell_opt wash_opt obs =
 let default_socket () =
   Filename.concat (Filename.get_temp_dir_name ()) "pdw.sock"
 
-let cmd_serve socket workers queue_limit cache_size timeout_ms retries =
+let cmd_serve socket workers queue_limit cache_size timeout_ms retries
+    slow_log slow_ms =
   let cfg =
     {
       Server.socket_path = socket;
@@ -520,6 +521,9 @@ let cmd_serve socket workers queue_limit cache_size timeout_ms retries =
       max_retries = retries;
     }
   in
+  (match slow_log with
+  | Some path -> Pdw_obs.Reqtrace.set_slow_log ~threshold_ms:slow_ms path
+  | None -> ());
   match Server.start cfg with
   | exception Unix.Unix_error (e, _, arg) ->
     Printf.eprintf "pdw serve: cannot listen on %s: %s\n" arg
@@ -615,6 +619,9 @@ let cmd_submit bench file stats ping shutdown server_version socket method_
       | Ok (Protocol.Stats_reply stats) ->
         print_endline (Pdw_obs.Json.to_string stats);
         0
+      | Ok (Protocol.Metrics_reply text) ->
+        print_string text;
+        0
       | Ok (Protocol.Version_reply v) ->
         print_endline v;
         0
@@ -630,6 +637,134 @@ let cmd_submit bench file stats ping shutdown server_version socket method_
       | Ok (Protocol.Error m) ->
         prerr_endline ("pdw submit: server error: " ^ m);
         1))
+
+(* --- pdw stats: the daemon's telemetry from the outside --- *)
+
+let jget j path =
+  List.fold_left
+    (fun acc k -> Option.bind acc (Pdw_obs.Json.member k))
+    (Some j) path
+
+let jint j path =
+  match Option.bind (jget j path) Pdw_obs.Json.to_int with
+  | Some i -> i
+  | None -> 0
+
+let jfloat j path =
+  match Option.bind (jget j path) Pdw_obs.Json.to_float with
+  | Some f -> f
+  | None -> 0.0
+
+let jstr j path =
+  match Option.bind (jget j path) Pdw_obs.Json.to_str with
+  | Some s -> s
+  | None -> "?"
+
+let print_stats_human j =
+  let lat name =
+    Printf.printf "%-10s n %-7d p50 %6.1f ms   p95 %6.1f ms   p99 %6.1f ms\n"
+      name
+      (jint j [ name; "samples" ])
+      (jfloat j [ name; "p50" ])
+      (jfloat j [ name; "p95" ])
+      (jfloat j [ name; "p99" ])
+  in
+  Printf.printf "pdw daemon %s — up %.1f s, %d workers\n" (jstr j [ "version" ])
+    (jfloat j [ "uptime_s" ])
+    (jint j [ "workers" ]);
+  Printf.printf
+    "queue      in-flight %d, pending %d, limit %d, depth peak %d, shed %d\n"
+    (jint j [ "queue"; "in_flight" ])
+    (jint j [ "queue"; "pending" ])
+    (jint j [ "queue"; "limit" ])
+    (jint j [ "queue"; "depth_peak" ])
+    (jint j [ "queue"; "shed" ]);
+  Printf.printf
+    "cache      hits %d, misses %d (hit rate %.1f%%), evictions %d, %d/%d \
+     entries\n"
+    (jint j [ "cache"; "hits" ])
+    (jint j [ "cache"; "misses" ])
+    (100.0 *. jfloat j [ "cache"; "hit_rate" ])
+    (jint j [ "cache"; "evictions" ])
+    (jint j [ "cache"; "length" ])
+    (jint j [ "cache"; "capacity" ]);
+  Printf.printf
+    "requests   submitted %d, completed %d, coalesced %d, timeouts %d, \
+     errors %d, burns %d\n"
+    (jint j [ "requests"; "submitted" ])
+    (jint j [ "requests"; "completed" ])
+    (jint j [ "requests"; "coalesced" ])
+    (jint j [ "requests"; "timeouts" ])
+    (jint j [ "requests"; "errors" ])
+    (jint j [ "requests"; "burns" ]);
+  lat "latency_ms";
+  lat "queue_wait_ms";
+  lat "service_ms";
+  match jget j [ "shards" ] with
+  | Some (Pdw_obs.Json.Arr shards) ->
+    List.iter
+      (fun s ->
+        Printf.printf
+          "shard %-4d in-flight %d, pending %d, submitted %d, shed %d, \
+           cache hits %d\n"
+          (jint s [ "id" ])
+          (jint s [ "in_flight" ])
+          (jint s [ "pending" ])
+          (jint s [ "submitted" ])
+          (jint s [ "shed" ])
+          (jint s [ "cache"; "hits" ]))
+      shards
+  | _ -> ()
+
+let cmd_stats socket prometheus as_json watch interval =
+  let fetch () =
+    match Client.connect socket with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "cannot reach %s: %s" socket (Unix.error_message e))
+    | client ->
+      let req = if prometheus then Protocol.Metrics else Protocol.Stats in
+      let reply = Client.request client req in
+      Client.close client;
+      (match reply with
+      | Ok (Protocol.Metrics_reply text) -> Ok (`Metrics text)
+      | Ok (Protocol.Stats_reply j) -> Ok (`Stats j)
+      | Ok (Protocol.Error m) -> Error ("server error: " ^ m)
+      | Ok _ -> Error "unexpected reply shape"
+      | Error m -> Error m)
+  in
+  let show payload =
+    (match payload with
+    | `Metrics text ->
+      print_string text;
+      if text <> "" && text.[String.length text - 1] <> '\n' then
+        print_newline ()
+    | `Stats j ->
+      if as_json then print_endline (Pdw_obs.Json.to_string j)
+      else print_stats_human j);
+    flush stdout
+  in
+  if not watch then (
+    match fetch () with
+    | Error m ->
+      prerr_endline ("pdw stats: " ^ m);
+      1
+    | Ok payload ->
+      show payload;
+      0)
+  else
+    (* Refresh until interrupted or the daemon goes away. *)
+    let rec loop () =
+      match fetch () with
+      | Error m ->
+        prerr_endline ("pdw stats: " ^ m);
+        1
+      | Ok payload ->
+        print_string "\027[2J\027[H";
+        show payload;
+        Unix.sleepf (Float.max 0.1 interval);
+        loop ()
+    in
+    loop ()
 
 let cmd_loadgen benches socket clients per_client requests warmup pipeline
     no_cache verify as_json method_ =
@@ -881,13 +1016,49 @@ let serve_cmd =
     let doc = "Extra planner attempts after a crashed attempt." in
     Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
   in
+  let slow_log =
+    let doc =
+      "Append every request slower than $(b,--slow-ms) to $(docv) as      JSONL — one record per request with its id, digest, outcome and      stage-by-stage timing.  Off by default (and byte-inert when off)."
+    in
+    Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"FILE" ~doc)
+  in
+  let slow_ms =
+    let doc = "Slow-request threshold in milliseconds for $(b,--slow-log)." in
+    Arg.(value & opt float 100.0 & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
   let doc =
     "Run the planning daemon: a Unix-socket server with a bounded job      queue, content-addressed plan cache, request coalescing and a      worker-domain pool.  Stop it with $(b,pdw submit --shutdown)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const cmd_serve $ socket_arg $ workers $ queue_limit $ cache_size
-      $ timeout_ms $ retries)
+      $ timeout_ms $ retries $ slow_log $ slow_ms)
+
+let stats_cmd =
+  let prometheus =
+    let doc =
+      "Fetch the Prometheus text exposition ($(b,metrics) verb) instead of      the JSON stats snapshot — counters, gauges and histogram buckets,      merged and per shard/worker, ready for a scraper."
+    in
+    Arg.(value & flag & info [ "prometheus" ] ~doc)
+  in
+  let as_json =
+    let doc = "Print the raw stats JSON instead of the human summary." in
+    Arg.(value & flag & info [ "j"; "json" ] ~doc)
+  in
+  let watch =
+    let doc = "Refresh continuously until interrupted." in
+    Arg.(value & flag & info [ "w"; "watch" ] ~doc)
+  in
+  let interval =
+    let doc = "Refresh interval in seconds for $(b,--watch)." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let doc =
+    "Show a running daemon's telemetry: a human-readable summary by      default, the raw stats JSON with $(b,--json), or the Prometheus      scrape text with $(b,--prometheus); $(b,--watch) refreshes in      place."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const cmd_stats $ socket_arg $ prometheus $ as_json $ watch $ interval)
 
 let submit_cmd =
   let bench =
@@ -987,6 +1158,7 @@ let main_cmd =
   Cmd.group info
     [ list_cmd; layout_cmd; necessity_cmd; run_cmd; compare_cmd; table2_cmd;
       render_cmd; animate_cmd; actuations_cmd; optimize_file_cmd;
-      paths_cmd; verify_cmd; explain_cmd; serve_cmd; submit_cmd; loadgen_cmd ]
+      paths_cmd; verify_cmd; explain_cmd; serve_cmd; submit_cmd; loadgen_cmd;
+      stats_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,5 @@
+external now : unit -> float = "pdw_obs_monotonic_seconds"
+
+let now_ms () = now () *. 1000.0
+
+let elapsed_ms ~since = now_ms () -. since

@@ -1,0 +1,24 @@
+(** Monotonic time for latency measurement.
+
+    [Unix.gettimeofday] is wall-clock time: NTP slews and steps move it
+    backwards or jump it forwards, and a latency computed as the
+    difference of two wall-clock reads silently absorbs those jumps —
+    a stepped clock mid-request turns into a negative or wildly inflated
+    percentile.  Every duration the service telemetry records (request
+    wall time, queue wait, engine stages, loadgen batch latency) is the
+    difference of two [now] reads instead.
+
+    The epoch of this clock is arbitrary (boot time on Linux); only
+    differences between two reads are meaningful.  Reads never decrease
+    and are immune to wall-clock adjustment. *)
+
+(** Monotonic seconds since an arbitrary fixed origin. *)
+val now : unit -> float
+
+(** [now] in milliseconds — the unit every latency figure in the
+    service layer uses. *)
+val now_ms : unit -> float
+
+(** [elapsed_ms ~since] is [now_ms () -. since] for a [since] taken
+    from [now_ms]. *)
+val elapsed_ms : since:float -> float

@@ -1,0 +1,16 @@
+/* Monotonic clock for pdw_obs: CLOCK_MONOTONIC seconds as a double.
+   The OCaml standard library only exposes wall-clock time
+   (Unix.gettimeofday), which steps under NTP adjustment and corrupts
+   latency measurements; every duration the telemetry layer records
+   goes through this stub instead. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value pdw_obs_monotonic_seconds(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

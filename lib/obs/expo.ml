@@ -1,0 +1,91 @@
+type t = Buffer.t
+
+let create () = Buffer.create 4096
+
+let contents t = Buffer.contents t
+
+let number v =
+  if Float.is_nan v then "NaN"
+  else if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+(* Label values escape backslash, double quote and newline (the only
+   characters the text format treats specially inside quotes). *)
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_labels t = function
+  | [] -> ()
+  | labels ->
+    Buffer.add_char t '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char t ',';
+        Buffer.add_string t k;
+        Buffer.add_string t "=\"";
+        Buffer.add_string t (escape_label v);
+        Buffer.add_char t '"')
+      labels;
+    Buffer.add_char t '}'
+
+let sample t name labels v =
+  Buffer.add_string t name;
+  add_labels t labels;
+  Buffer.add_char t ' ';
+  Buffer.add_string t (number v);
+  Buffer.add_char t '\n'
+
+(* HELP text: newline and backslash are the escapable characters. *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let header t name help kind =
+  Printf.bprintf t "# HELP %s %s\n" name (escape_help help);
+  Printf.bprintf t "# TYPE %s %s\n" name kind
+
+let counter t ~name ~help samples =
+  header t name help "counter";
+  List.iter (fun (labels, v) -> sample t name labels v) samples
+
+let gauge t ~name ~help samples =
+  header t name help "gauge";
+  List.iter (fun (labels, v) -> sample t name labels v) samples
+
+let histogram_body t name labels h =
+  List.iter
+    (fun (le, cum) ->
+      sample t (name ^ "_bucket") (labels @ [ ("le", number le) ])
+        (float_of_int cum))
+    (Histogram.cumulative h);
+  sample t (name ^ "_sum") labels (Histogram.sum h);
+  sample t (name ^ "_count") labels (float_of_int (Histogram.count h))
+
+let histogram t ~name ~help ?(labels = []) h =
+  header t name help "histogram";
+  histogram_body t name labels h
+
+let histograms t ~name ~help samples =
+  header t name help "histogram";
+  List.iter (fun (labels, h) -> histogram_body t name labels h) samples

@@ -1,0 +1,51 @@
+(** Prometheus text-exposition builder.
+
+    The [Metrics] protocol verb and [pdw stats --prometheus] reply with
+    the Prometheus text format, version 0.0.4: for each metric family a
+    [# HELP] and [# TYPE] comment followed by one
+    [name{label="value",…} number] sample per line.  This module is the
+    single place that knows the syntax — label escaping, the [+Inf]
+    bucket bound, cumulative [le] semantics — so the server, tests and
+    CI scrape checks all agree on it.
+
+    Families are emitted in call order; a family's samples stay
+    contiguous under its [# TYPE] line, as the format requires. *)
+
+type t
+
+val create : unit -> t
+
+(** The exposition text accumulated so far (ends with a newline when
+    non-empty). *)
+val contents : t -> string
+
+(** [counter t ~name ~help samples] emits one cumulative-counter family;
+    each sample is [(labels, value)].  Pass [[[], v]] for an unlabelled
+    single sample. *)
+val counter :
+  t -> name:string -> help:string -> ((string * string) list * float) list
+  -> unit
+
+(** Same shape, [# TYPE … gauge]. *)
+val gauge :
+  t -> name:string -> help:string -> ((string * string) list * float) list
+  -> unit
+
+(** [histogram t ~name ~help ?labels h] emits [name_bucket{le="…"}]
+    lines from [Histogram.cumulative] (so the final [le="+Inf"] bucket
+    always equals [name_count]), then [name_sum] and [name_count].
+    [labels] (default none) are attached to every line, before [le]. *)
+val histogram :
+  t -> name:string -> help:string -> ?labels:(string * string) list
+  -> Histogram.t -> unit
+
+(** [histograms t ~name ~help samples] — one family holding several
+    labelled histograms (e.g. one per shard); all must share a config. *)
+val histograms :
+  t -> name:string -> help:string
+  -> ((string * string) list * Histogram.t) list -> unit
+
+(** A number as the exposition writes it: integers without a decimal
+    point, [+Inf]/[-Inf]/[NaN] spelled the Prometheus way, everything
+    else shortest round-trip.  Exposed for tests. *)
+val number : float -> string

@@ -27,6 +27,22 @@ type worker_queue = {
   c : Condition.t;
   mutable peak : int;
   mutable domain : unit Domain.t option;
+  (* Telemetry the worker writes about itself, under [m].  The GC word
+     counts come from the worker's own [Gc.quick_stat] — minor/major
+     words are domain-local in OCaml 5, so only the worker can read
+     them — sampled once per completed job. *)
+  mutable jobs_done : int;
+  mutable minor_words : float;
+  mutable major_words : float;
+}
+
+type worker_stats = {
+  pending : int;
+  peak : int;
+  jobs_done : int;
+  minor_words : float;
+  major_words : float;
+  live : bool;
 }
 
 type t = {
@@ -82,6 +98,12 @@ let rec dedicated_loop t w =
   | None -> ()
   | Some job ->
     (try job () with _ -> ());
+    let gc = Gc.quick_stat () in
+    Mutex.lock w.m;
+    w.jobs_done <- w.jobs_done + 1;
+    w.minor_words <- gc.Gc.minor_words;
+    w.major_words <- gc.Gc.major_words;
+    Mutex.unlock w.m;
     dedicated_loop t w
 
 let create ?size ?(dedicated = false) () =
@@ -102,6 +124,9 @@ let create ?size ?(dedicated = false) () =
                  c = Condition.create ();
                  peak = 0;
                  domain = None;
+                 jobs_done = 0;
+                 minor_words = 0.0;
+                 major_words = 0.0;
                })
          else [||]);
       rr = Atomic.make 0;
@@ -167,6 +192,24 @@ let peak_per_worker t =
       let n = w.peak in
       Mutex.unlock w.m;
       n)
+    t.wqs
+
+let worker_stats t =
+  Array.map
+    (fun w ->
+      Mutex.lock w.m;
+      let s =
+        {
+          pending = Queue.length w.q;
+          peak = w.peak;
+          jobs_done = w.jobs_done;
+          minor_words = w.minor_words;
+          major_words = w.major_words;
+          live = w.domain <> None;
+        }
+      in
+      Mutex.unlock w.m;
+      s)
     t.wqs
 
 let pending t =

@@ -58,6 +58,25 @@ val pending_per_worker : t -> int array
     ever been at enqueue time.  [[||]] for a non-dedicated pool. *)
 val peak_per_worker : t -> int array
 
+(** One dedicated worker's telemetry, as sampled by the worker itself
+    after each completed job.  [minor_words]/[major_words] are the
+    worker domain's cumulative GC allocation counters
+    ([Gc.quick_stat], domain-local in OCaml 5 — only the worker can
+    read its own), so their deltas rate cleanly in a scraper.  [live]
+    is whether the lazily-spawned domain exists yet. *)
+type worker_stats = {
+  pending : int;
+  peak : int;
+  jobs_done : int;
+  minor_words : float;
+  major_words : float;
+  live : bool;
+}
+
+(** Per-worker telemetry snapshot, index [i] for worker [i].  [[||]]
+    for a non-dedicated pool. *)
+val worker_stats : t -> worker_stats array
+
 (** [map t f xs] applies [f] to every element, fanning the calls out
     across the pool.  Results keep list order.  If any call raised, one
     of the exceptions is re-raised after all jobs have settled. *)

@@ -6,6 +6,7 @@ module Pdw = Pdw_wash.Pdw
 module Dawo = Pdw_wash.Dawo
 module Json_export = Pdw_wash.Json_export
 module Trace = Pdw_obs.Trace
+module Clock = Pdw_obs.Clock
 
 (* Mirrors bin/main.ml's [synthesize]: the motivating example runs on
    the paper's hand-built Fig. 2 layout, everything else on a freshly
@@ -26,15 +27,24 @@ let resolve (source : Protocol.source) =
     | Ok b -> Ok (Synthesis.synthesize b)
     | Error m -> Error (Printf.sprintf "assay parse error: %s" m))
 
-let plan (spec : Protocol.spec) =
+let plan_timed (spec : Protocol.spec) =
   Trace.with_span "service.plan" @@ fun () ->
-  match Trace.with_span "service.synthesize" (fun () -> resolve spec.Protocol.source) with
-  | Error _ as e -> e
+  let t0 = Clock.now_ms () in
+  match
+    Trace.with_span "service.synthesize" (fun () ->
+        resolve spec.Protocol.source)
+  with
+  | Error _ as e -> (e, [ ("synthesize", Clock.elapsed_ms ~since:t0) ])
   | Ok s ->
+    let t1 = Clock.now_ms () in
     let outcome =
       Trace.with_span "service.optimize" @@ fun () ->
       match spec.Protocol.method_ with
       | `Pdw -> Pdw.optimize ~config:spec.Protocol.config s
       | `Dawo -> Dawo.optimize s
     in
-    Ok (Json_export.to_string (Json_export.outcome outcome))
+    let t2 = Clock.now_ms () in
+    ( Ok (Json_export.to_string (Json_export.outcome outcome)),
+      [ ("synthesize", t1 -. t0); ("optimize", t2 -. t1) ] )
+
+let plan spec = fst (plan_timed spec)

@@ -15,3 +15,11 @@
     input; planner bugs propagate as exceptions for the server's retry
     logic to classify. *)
 val plan : Protocol.spec -> (string, string) result
+
+(** [plan] plus the request's own stage timings — monotonic wall
+    milliseconds of the same spans [Trace] aggregates, as
+    [(stage, ms)] in execution order (["synthesize"], then
+    ["optimize"] unless resolution failed).  The server threads these
+    into its per-request [Reqtrace] records. *)
+val plan_timed :
+  Protocol.spec -> (string, string) result * (string * float) list

@@ -1,4 +1,6 @@
 module Json = Pdw_obs.Json
+module Clock = Pdw_obs.Clock
+module Histogram = Pdw_obs.Histogram
 
 type summary = {
   clients : int;
@@ -29,15 +31,10 @@ type acc = {
   mutable a_timeouts : int;
   mutable a_errors : int;
   mutable a_mismatches : int;
-  mutable a_latencies : float list;
+  a_lat : Histogram.t;  (* per-chunk send-to-reply wall, lock-free *)
   mutable a_done_at : float;  (* when the last client finished measuring *)
   lock : Mutex.t;
 }
-
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
 
 let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
     ?(no_cache = false) ~verify specs =
@@ -69,7 +66,7 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
       a_timeouts = 0;
       a_errors = 0;
       a_mismatches = 0;
-      a_latencies = [];
+      a_lat = Histogram.create ();
       a_done_at = 0.0;
       lock = Mutex.create ();
     }
@@ -91,7 +88,7 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
     Mutex.lock bar_m;
     incr arrived;
     if !arrived >= clients then begin
-      t0 := Unix.gettimeofday ();
+      t0 := Clock.now ();
       Condition.broadcast bar_c
     end
     else
@@ -123,9 +120,9 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
       if i < per_client then begin
         let n = min pipeline (per_client - i) in
         let idxs = List.init n (fun j -> ((k * per_client) + i + j) mod nspecs) in
-        let t_send = Unix.gettimeofday () in
+        let t_send = Clock.now_ms () in
         let replies = Client.request_many c (List.map submit_req idxs) in
-        let ms = (Unix.gettimeofday () -. t_send) *. 1000.0 in
+        let ms = Clock.elapsed_ms ~since:t_send in
         List.iter2
           (fun idx reply ->
             record (fun a ->
@@ -134,7 +131,7 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
                   a.a_plans <- a.a_plans + 1;
                   if cached then a.a_cached <- a.a_cached + 1;
                   if coalesced then a.a_coalesced <- a.a_coalesced + 1;
-                  a.a_latencies <- ms :: a.a_latencies;
+                  Histogram.record a.a_lat ms;
                   if verify && not (String.equal outcome expected.(idx)) then
                     a.a_mismatches <- a.a_mismatches + 1
                 | Ok (Protocol.Shed _) -> a.a_shed <- a.a_shed + 1
@@ -145,13 +142,11 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
       end
     in
     go 0;
-    record (fun a -> a.a_done_at <- Float.max a.a_done_at (Unix.gettimeofday ()))
+    record (fun a -> a.a_done_at <- Float.max a.a_done_at (Clock.now ()))
   in
   let threads = List.init clients (fun k -> Thread.create client_thread k) in
   List.iter Thread.join threads;
   let wall_s = Float.max 0.0 (acc.a_done_at -. !t0) in
-  let sorted = Array.of_list acc.a_latencies in
-  Array.sort compare sorted;
   {
     clients;
     per_client;
@@ -168,9 +163,9 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
     mismatches = acc.a_mismatches;
     wall_s;
     throughput = (if wall_s > 0.0 then float_of_int acc.a_plans /. wall_s else 0.0);
-    p50_ms = percentile sorted 0.50;
-    p95_ms = percentile sorted 0.95;
-    p99_ms = percentile sorted 0.99;
+    p50_ms = Histogram.quantile acc.a_lat 0.50;
+    p95_ms = Histogram.quantile acc.a_lat 0.95;
+    p99_ms = Histogram.quantile acc.a_lat 0.99;
   }
 
 let summary_json s =

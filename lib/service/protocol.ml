@@ -11,6 +11,7 @@ type request =
   | Submit of { spec : spec; no_cache : bool }
   | Burn of { ms : int }
   | Stats
+  | Metrics
   | Version
   | Ping
   | Shutdown
@@ -26,6 +27,7 @@ type reply =
   | Shed of { in_flight : int; limit : int }
   | Timeout of { after_ms : int }
   | Stats_reply of Json.t
+  | Metrics_reply of string
   | Version_reply of string
   | Pong
   | Burned of { ms : int }
@@ -158,6 +160,7 @@ let request_to_json = function
           ("no_cache", Json.Bool no_cache) ])
   | Burn { ms } -> Json.Obj [ ("op", Json.Str "burn"); ("ms", Json.Int ms) ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Metrics -> Json.Obj [ ("op", Json.Str "metrics") ]
   | Version -> Json.Obj [ ("op", Json.Str "version") ]
   | Ping -> Json.Obj [ ("op", Json.Str "ping") ]
   | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ]
@@ -197,6 +200,7 @@ let request_of_json j =
     | Some ms when ms >= 0 -> Ok (Burn { ms })
     | Some _ | None -> Result.Error "burn: missing non-negative \"ms\"")
   | Some "stats" -> Ok Stats
+  | Some "metrics" -> Ok Metrics
   | Some "version" -> Ok Version
   | Some "ping" -> Ok Ping
   | Some "shutdown" -> Ok Shutdown
@@ -233,6 +237,8 @@ let reply_to_json = function
       [ ("status", Json.Str "timeout"); ("after_ms", Json.Int after_ms) ]
   | Stats_reply stats ->
     Json.Obj [ ("status", Json.Str "ok"); ("stats", stats) ]
+  | Metrics_reply text ->
+    Json.Obj [ ("status", Json.Str "ok"); ("metrics", Json.Str text) ]
   | Version_reply v ->
     Json.Obj [ ("status", Json.Str "ok"); ("version", Json.Str v) ]
   | Pong -> Json.Obj [ ("status", Json.Str "ok"); ("pong", Json.Bool true) ]
@@ -311,6 +317,9 @@ let reply_of_json j =
       match Json.member "stats" j with
       | Some stats -> Ok (Stats_reply stats)
       | None -> (
+        match Option.bind (Json.member "metrics" j) Json.to_str with
+        | Some text -> Ok (Metrics_reply text)
+        | None -> (
         match str "version" with
         | Some v -> Ok (Version_reply v)
         | None -> (
@@ -319,6 +328,6 @@ let reply_of_json j =
           | None ->
             if Json.member "bye" j <> None then Ok Bye
             else if Json.member "pong" j <> None then Ok Pong
-            else Result.Error "ok reply: unrecognized shape"))))
+            else Result.Error "ok reply: unrecognized shape")))))
   | Some s -> Result.Error (Printf.sprintf "unknown status %S" s)
   | None -> Result.Error "reply: missing \"status\""

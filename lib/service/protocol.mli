@@ -31,6 +31,10 @@ type request =
       (** a synthetic job that holds a worker for [ms] milliseconds —
           load-generation and backpressure testing *)
   | Stats  (** queue depth, cache hit rate, latency percentiles *)
+  | Metrics
+      (** Prometheus text exposition of every counter, gauge and
+          histogram the server keeps — the scrape surface behind
+          [pdw stats --prometheus] *)
   | Version
   | Ping
   | Shutdown  (** stop accepting, drain, exit *)
@@ -49,6 +53,9 @@ type reply =
       (** the job exceeded the per-job wall-clock budget; the result
           will still land in the cache when it completes *)
   | Stats_reply of Json.t
+  | Metrics_reply of string
+      (** the exposition text, JSON-escaped in transit; [pdw stats
+          --prometheus] prints it verbatim *)
   | Version_reply of string
   | Pong
   | Burned of { ms : int }

@@ -1,6 +1,10 @@
 module Json = Pdw_obs.Json
 module Counters = Pdw_obs.Counters
 module Trace = Pdw_obs.Trace
+module Histogram = Pdw_obs.Histogram
+module Clock = Pdw_obs.Clock
+module Reqtrace = Pdw_obs.Reqtrace
+module Expo = Pdw_obs.Expo
 module Domain_pool = Pdw_pool.Domain_pool
 
 let c_requests = Counters.counter "service.requests"
@@ -34,7 +38,13 @@ type job_state = Running | Finished of (string, string) result
 
 type job = {
   digest : string;
+  enqueued_at : float;  (* [Clock.now_ms] at admission *)
   mutable state : job_state;
+  (* Written by the worker under [lock] before [state] flips to
+     [Finished], so any waiter that observes the result also sees the
+     job's own timing breakdown. *)
+  mutable queue_ms : float;  (* admission to worker pickup *)
+  mutable stage_ms : (string * float) list;  (* Engine.plan_timed stages *)
   lock : Mutex.t;
 }
 
@@ -47,23 +57,22 @@ type counts = {
   mutable burns : int;
 }
 
-(* Latency samples for percentile reporting: a bounded ring of the most
-   recent completions (old traffic ages out, stats stay O(1) memory). *)
-let lat_capacity = 4096
-
 (* One shard per worker domain.  A request's digest picks its shard;
    everything the request mutates — the coalescing table, the admission
-   slots, the tallies, the latency ring — belongs to that shard alone,
-   so two requests on different shards never share a lock, and the
-   planner job lands on the shard's own worker queue. *)
+   slots, the tallies, the latency histograms — belongs to that shard
+   alone, so two requests on different shards never share a lock, and
+   the planner job lands on the shard's own worker queue.  The
+   histograms are lock-free even within a shard, and merge exactly
+   across shards for the aggregate stats/metrics views. *)
 type shard = {
   sid : int;
   jobs : (string, job) Hashtbl.t;  (* in-flight jobs, for coalescing *)
   jobs_lock : Mutex.t;
   adm : Admission.t;  (* bounded queued+running slots for this shard *)
   counts : counts;
-  lat : float array;
-  mutable lat_n : int;  (* total samples ever; ring index = n mod cap *)
+  h_latency : Histogram.t;  (* submit wall time, accept to reply (ms) *)
+  h_queue : Histogram.t;  (* admission to worker pickup (ms) *)
+  h_service : Histogram.t;  (* worker compute time per job (ms) *)
   counts_lock : Mutex.t;
 }
 
@@ -74,6 +83,8 @@ type t = {
   shards : shard array;
   shard_limit : int;  (* per-shard admission bound *)
   burn_rr : int Atomic.t;  (* burns carry no digest; spread them *)
+  req_ids : int Atomic.t;  (* request ids, minted at accept *)
+  ring : Reqtrace.ring;  (* recent finished submits *)
   started_at : float;
   listen_fd : Unix.file_descr;
   stop_r : Unix.file_descr;  (* self-pipe: [stop] wakes the accept loop *)
@@ -87,7 +98,9 @@ type t = {
 
 let config t = t.cfg
 
-let now_ms () = Unix.gettimeofday () *. 1000.0
+(* Monotonic milliseconds: every duration below is a difference of two
+   of these, immune to NTP steps (see [Pdw_obs.Clock]). *)
+let now_ms = Clock.now_ms
 
 let shard_for t digest =
   t.shards.(Hashtbl.hash digest mod Array.length t.shards)
@@ -99,12 +112,6 @@ let with_counts sh f =
   f sh.counts;
   Mutex.unlock sh.counts_lock
 
-let record_latency sh ms =
-  Mutex.lock sh.counts_lock;
-  sh.lat.(sh.lat_n mod lat_capacity) <- ms;
-  sh.lat_n <- sh.lat_n + 1;
-  Mutex.unlock sh.counts_lock
-
 (* A per-shard snapshot, taken under that shard's locks only.  The
    aggregate the stats endpoint reports is the field-wise sum of these
    snapshots — internally consistent by construction (totals equal the
@@ -114,7 +121,6 @@ type shard_snapshot = {
   snap_in_flight : int;
   snap_depth_peak : int;
   snap_shed : int;
-  snap_samples : float array;
 }
 
 let snapshot_shard sh =
@@ -130,25 +136,34 @@ let snapshot_shard sh =
       burns = c.burns;
     }
   in
-  let n = min sh.lat_n lat_capacity in
-  let snap_samples = Array.sub sh.lat 0 n in
   Mutex.unlock sh.counts_lock;
   {
     snap_counts;
     snap_in_flight = Admission.in_flight sh.adm;
     snap_depth_peak = Admission.peak sh.adm;
     snap_shed = Admission.shed_count sh.adm;
-    snap_samples;
   }
 
-let percentiles samples =
-  let n = Array.length samples in
-  Array.sort compare samples;
-  let pct q =
-    if n = 0 then 0.0
-    else samples.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
-  in
-  (n, pct 0.50, pct 0.95, pct 0.99)
+(* The merged view of one per-shard histogram family: exact bucket-wise
+   sum, order-independent. *)
+let merged_hist t f =
+  Array.fold_left
+    (fun acc sh -> Histogram.merge acc (f sh))
+    (Histogram.like (f t.shards.(0)))
+    t.shards
+
+type telemetry = {
+  latency : Histogram.t;
+  queue_wait : Histogram.t;
+  service : Histogram.t;
+}
+
+let telemetry t =
+  {
+    latency = merged_hist t (fun sh -> sh.h_latency);
+    queue_wait = merged_hist t (fun sh -> sh.h_queue);
+    service = merged_hist t (fun sh -> sh.h_service);
+  }
 
 (* Peak queued+running depth per shard, for the serve bench's scaling
    report. *)
@@ -183,8 +198,17 @@ let stats_json t =
   let depth_peak =
     Array.fold_left (fun acc s -> max acc s.snap_depth_peak) 0 snaps
   in
-  let samples = Array.concat (Array.to_list (Array.map (fun s -> s.snap_samples) snaps)) in
-  let n, p50, p95, p99 = percentiles samples in
+  let tel = telemetry t in
+  let hist_summary h =
+    Json.Obj
+      [
+        ("samples", Json.Int (Histogram.count h));
+        ("mean", Json.Float (Histogram.mean h));
+        ("p50", Json.Float (Histogram.quantile h 0.50));
+        ("p95", Json.Float (Histogram.quantile h 0.95));
+        ("p99", Json.Float (Histogram.quantile h 0.99));
+      ]
+  in
   let cache_shard_json (s : Plan_cache.stats) =
     Json.Obj
       [
@@ -254,17 +278,156 @@ let stats_json t =
             ("errors", Json.Int (sum (fun s -> s.snap_counts.errors)));
             ("burns", Json.Int (sum (fun s -> s.snap_counts.burns)));
           ] );
-      ( "latency_ms",
-        Json.Obj
-          [
-            ("samples", Json.Int n);
-            ("p50", Json.Float p50);
-            ("p95", Json.Float p95);
-            ("p99", Json.Float p99);
-          ] );
+      ("latency_ms", hist_summary tel.latency);
+      ("queue_wait_ms", hist_summary tel.queue_wait);
+      ("service_ms", hist_summary tel.service);
       ( "shards",
         Json.Arr (Array.to_list (Array.mapi shard_json snaps)) );
     ]
+
+(* Prometheus text exposition of the full telemetry surface.  Merged
+   families ([pdw_*]) are exact bucket/field sums of the per-shard
+   families ([pdw_shard_*{shard=…}]) — scrapers and the CI smoke test
+   can assert the shard rows sum to the totals.  Worker families
+   ([pdw_worker_*{worker=…}]) carry each domain's queue and GC story;
+   allocation words are cumulative, so their rate() is allocation
+   throughput. *)
+let metrics_text t =
+  let e = Expo.create () in
+  let snaps = Array.map snapshot_shard t.shards in
+  let fl = float_of_int in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 snaps in
+  let shard_label i = ("shard", string_of_int i) in
+  Expo.gauge e ~name:"pdw_uptime_seconds"
+    ~help:"Seconds since the server started"
+    [ ([], Unix.gettimeofday () -. t.started_at) ];
+  Expo.gauge e ~name:"pdw_workers"
+    ~help:"Configured worker domains (= shards)"
+    [ ([], fl t.cfg.workers) ];
+  (* Request tallies: one merged counter per kind, plus the per-shard
+     breakdown in a single labelled family. *)
+  let kinds =
+    [
+      ("submitted", fun (c : counts) -> c.submitted);
+      ("completed", fun c -> c.completed);
+      ("coalesced", fun c -> c.coalesced);
+      ("timeouts", fun c -> c.timeouts);
+      ("errors", fun c -> c.errors);
+      ("burns", fun c -> c.burns);
+    ]
+  in
+  List.iter
+    (fun (kind, get) ->
+      Expo.counter e
+        ~name:(Printf.sprintf "pdw_requests_%s_total" kind)
+        ~help:(Printf.sprintf "Requests %s, summed over shards" kind)
+        [ ([], fl (sum (fun s -> get s.snap_counts))) ])
+    kinds;
+  Expo.counter e ~name:"pdw_requests_shed_total"
+    ~help:"Requests refused by admission control, summed over shards"
+    [ ([], fl (sum (fun s -> s.snap_shed))) ];
+  Expo.counter e ~name:"pdw_shard_requests_total"
+    ~help:"Per-shard request tallies by kind"
+    (List.concat
+       (Array.to_list
+          (Array.mapi
+             (fun i s ->
+               List.map
+                 (fun (kind, get) ->
+                   ([ shard_label i; ("kind", kind) ], fl (get s.snap_counts)))
+                 kinds
+               @ [ ([ shard_label i; ("kind", "shed") ], fl s.snap_shed) ])
+             snaps)));
+  (* Queue and cache state. *)
+  Expo.gauge e ~name:"pdw_queue_in_flight"
+    ~help:"Jobs admitted and not yet released (queued + running)"
+    [ ([], fl (sum (fun s -> s.snap_in_flight))) ];
+  Expo.gauge e ~name:"pdw_queue_limit"
+    ~help:"Effective global admission limit"
+    [ ([], fl (t.shard_limit * Array.length t.shards)) ];
+  Expo.gauge e ~name:"pdw_queue_depth_peak"
+    ~help:"Deepest any shard's admission window has been"
+    [ ([], fl (Array.fold_left (fun a s -> max a s.snap_depth_peak) 0 snaps)) ];
+  let cache_shards = Plan_cache.shard_stats t.cache in
+  let csum f = Array.fold_left (fun acc s -> acc + f s) 0 cache_shards in
+  Expo.counter e ~name:"pdw_cache_hits_total" ~help:"Plan-cache hits"
+    [ ([], fl (csum (fun (s : Plan_cache.stats) -> s.hits))) ];
+  Expo.counter e ~name:"pdw_cache_misses_total" ~help:"Plan-cache misses"
+    [ ([], fl (csum (fun s -> s.misses))) ];
+  Expo.counter e ~name:"pdw_cache_evictions_total"
+    ~help:"Plans evicted to admit fresher ones"
+    [ ([], fl (csum (fun s -> s.evictions))) ];
+  Expo.gauge e ~name:"pdw_cache_length" ~help:"Plans currently cached"
+    [ ([], fl (csum (fun s -> s.length))) ];
+  Expo.gauge e ~name:"pdw_cache_capacity" ~help:"Plan-cache capacity"
+    [ ([], fl (csum (fun s -> s.capacity))) ];
+  (* Latency story: merged histograms plus the per-shard request-wall
+     family (same bucket boundaries, so the rows sum to the total). *)
+  let tel = telemetry t in
+  Expo.histogram e ~name:"pdw_request_latency_ms"
+    ~help:"Submit wall time, accept to reply (ms), merged over shards"
+    tel.latency;
+  Expo.histogram e ~name:"pdw_queue_wait_ms"
+    ~help:"Admission to worker pickup (ms), merged over shards"
+    tel.queue_wait;
+  Expo.histogram e ~name:"pdw_service_ms"
+    ~help:"Worker compute time per job (ms), merged over shards"
+    tel.service;
+  Expo.histograms e ~name:"pdw_shard_request_latency_ms"
+    ~help:"Per-shard submit wall time (ms)"
+    (Array.to_list
+       (Array.mapi
+          (fun i sh -> ([ shard_label i ], sh.h_latency))
+          t.shards));
+  (* Worker domains: queue state and the worker's own GC counters. *)
+  let ws = Domain_pool.worker_stats t.pool in
+  let per_worker get =
+    Array.to_list
+      (Array.mapi
+         (fun i (w : Domain_pool.worker_stats) ->
+           ([ ("worker", string_of_int i) ], get w))
+         ws)
+  in
+  Expo.counter e ~name:"pdw_worker_jobs_done_total"
+    ~help:"Jobs completed by each worker domain"
+    (per_worker (fun w -> fl w.jobs_done));
+  Expo.counter e ~name:"pdw_worker_minor_words_total"
+    ~help:"Cumulative minor-heap words allocated by each worker domain"
+    (per_worker (fun w -> w.minor_words));
+  Expo.counter e ~name:"pdw_worker_major_words_total"
+    ~help:"Cumulative major-heap words allocated by each worker domain"
+    (per_worker (fun w -> w.major_words));
+  Expo.gauge e ~name:"pdw_worker_queue_pending"
+    ~help:"Jobs waiting in each worker's private queue"
+    (per_worker (fun w -> fl w.pending));
+  Expo.gauge e ~name:"pdw_worker_queue_peak"
+    ~help:"Deepest each worker's queue has been at enqueue time"
+    (per_worker (fun w -> fl w.peak));
+  Expo.gauge e ~name:"pdw_worker_live"
+    ~help:"Whether the worker's lazily-spawned domain exists (0/1)"
+    (per_worker (fun w -> if w.live then 1.0 else 0.0));
+  Expo.counter e ~name:"pdw_reqtrace_seen_total"
+    ~help:"Finished submits noted in the recent-requests ring"
+    [ ([], fl (Reqtrace.seen t.ring)) ];
+  (* The process-global Pdw_obs.Counters registry, one labelled family
+     per kind (planner internals: pivots, cache probes, retries…). *)
+  let cells = Counters.all () in
+  let row (n, _, v) = ([ ("name", n) ], fl v) in
+  (match List.filter (fun (_, k, _) -> k = Counters.Counter) cells with
+  | [] -> ()
+  | cs ->
+    Expo.counter e ~name:"pdw_internal_total"
+      ~help:"Process-global Pdw_obs.Counters counters, by name"
+      (List.map row cs));
+  (match List.filter (fun (_, k, _) -> k = Counters.Gauge) cells with
+  | [] -> ()
+  | gs ->
+    Expo.gauge e ~name:"pdw_internal_gauge"
+      ~help:"Process-global Pdw_obs.Counters gauges, by name"
+      (List.map row gs));
+  Expo.contents e
+
+let recent_requests t = Reqtrace.recent t.ring
 
 (* --- the job machinery ---------------------------------------------- *)
 
@@ -306,10 +469,16 @@ let validate_outcome outcome =
     Error (Printf.sprintf "internal: plan outcome is not valid JSON: %s" m)
 
 (* The worker side of one submit: plan with bounded retry, publish to
-   the cache, wake the waiters, give the shard's admission slot back. *)
+   the cache, wake the waiters, give the shard's admission slot back.
+   The worker also owns the job's timing story — how long it waited in
+   the queue, how long each engine stage took — written into the job
+   before the result is published, so waiters read both together. *)
 let run_plan_job t sh job spec ~registered ~cache_write =
+  let picked_up = now_ms () in
+  let queue_ms = Float.max 0.0 (picked_up -. job.enqueued_at) in
+  Histogram.record sh.h_queue queue_ms;
   let rec attempt k =
-    match Engine.plan spec with
+    match Engine.plan_timed spec with
     | result -> result
     | exception e ->
       if k < t.cfg.max_retries then begin
@@ -317,18 +486,25 @@ let run_plan_job t sh job spec ~registered ~cache_write =
         attempt (k + 1)
       end
       else
-        Error
-          (Printf.sprintf "planner failed after %d attempt(s): %s" (k + 1)
-             (Printexc.to_string e))
+        ( Error
+            (Printf.sprintf "planner failed after %d attempt(s): %s" (k + 1)
+               (Printexc.to_string e)),
+          [] )
   in
-  let result = Result.bind (attempt 0) validate_outcome in
+  let result, stages = attempt 0 in
+  let result = Result.bind result validate_outcome in
+  Histogram.record sh.h_service (now_ms () -. picked_up);
   (match result with
   | Ok outcome when cache_write -> Plan_cache.add t.cache job.digest outcome
   | _ -> ());
   (* Publish before deregistering: a request that finds the job in the
      table just as it finishes reads [Finished] instantly; one that
      misses the table re-checks the cache-filled path on its own. *)
-  finish_job job result;
+  Mutex.lock job.lock;
+  job.queue_ms <- queue_ms;
+  job.stage_ms <- stages;
+  job.state <- Finished result;
+  Mutex.unlock job.lock;
   if registered then begin
     Mutex.lock sh.jobs_lock;
     Hashtbl.remove sh.jobs job.digest;
@@ -357,7 +533,16 @@ let admit_submit t sh spec digest ~no_cache =
     | Some job -> Joined job
     | None ->
       if Admission.try_admit sh.adm then begin
-        let job = { digest; state = Running; lock = Mutex.create () } in
+        let job =
+          {
+            digest;
+            enqueued_at = now_ms ();
+            state = Running;
+            queue_ms = 0.0;
+            stage_ms = [];
+            lock = Mutex.create ();
+          }
+        in
         if not no_cache then Hashtbl.add sh.jobs digest job;
         Domain_pool.submit_to t.pool sh.sid (fun () ->
             run_plan_job t sh job spec ~registered:(not no_cache)
@@ -372,22 +557,36 @@ let admit_submit t sh spec digest ~no_cache =
 let handle_submit t spec ~no_cache =
   let t0 = now_ms () in
   Counters.incr c_requests;
+  let id = 1 + Atomic.fetch_and_add t.req_ids 1 in
   let digest = Protocol.digest spec in
   let sh = shard_for t digest in
+  (* Every exit path notes one record in the recent-requests ring (and
+     the slow-request ledger, when armed): the request's id, outcome
+     and stage-by-stage timing. *)
+  let note outcome total_ms stages =
+    Reqtrace.note t.ring
+      { Reqtrace.id; digest; shard = sh.sid; outcome; total_ms; stages }
+  in
   with_counts sh (fun c -> c.submitted <- c.submitted + 1);
   let cache_hit =
     if no_cache then None else Plan_cache.find t.cache digest
   in
+  let t_cache = now_ms () in
   match cache_hit with
   | Some outcome ->
-    let wall_ms = now_ms () -. t0 in
-    record_latency sh wall_ms;
+    let wall_ms = t_cache -. t0 in
+    Histogram.record sh.h_latency wall_ms;
+    note Reqtrace.Hit wall_ms [ ("cache", wall_ms) ];
     Protocol.Plan { cached = true; coalesced = false; digest; wall_ms; outcome }
   | None -> (
     match admit_submit t sh spec digest ~no_cache with
     | Refused ->
+      let wall_ms = now_ms () -. t0 in
+      note Reqtrace.Shed wall_ms
+        [ ("cache", t_cache -. t0); ("admission", wall_ms -. (t_cache -. t0)) ];
       Protocol.Shed { in_flight = total_in_flight t; limit = global_limit t }
     | (Joined job | Started job) as adm -> (
+      let t_adm = now_ms () in
       let coalesced =
         match adm with Joined _ -> true | _ -> false
       in
@@ -395,18 +594,41 @@ let handle_submit t spec ~no_cache =
         with_counts sh (fun c -> c.coalesced <- c.coalesced + 1);
         Counters.incr c_coalesced
       end;
+      let front_stages =
+        [ ("cache", t_cache -. t0); ("admission", t_adm -. t_cache) ]
+      in
       match
         wait_job job ~deadline_ms:(t0 +. float_of_int t.cfg.job_timeout_ms)
       with
       | None ->
         with_counts sh (fun c -> c.timeouts <- c.timeouts + 1);
         Counters.incr c_timeouts;
-        Protocol.Timeout { after_ms = t.cfg.job_timeout_ms }
-      | Some (Error m) -> Protocol.Error m
-      | Some (Ok outcome) ->
         let wall_ms = now_ms () -. t0 in
-        record_latency sh wall_ms;
-        Protocol.Plan { cached = false; coalesced; digest; wall_ms; outcome }))
+        note Reqtrace.Timeout wall_ms
+          (front_stages @ [ ("wait", wall_ms -. (t_adm -. t0)) ]);
+        Protocol.Timeout { after_ms = t.cfg.job_timeout_ms }
+      | Some result ->
+        let t_done = now_ms () in
+        let wall_ms = t_done -. t0 in
+        (* The job's own breakdown was published under its lock before
+           [Finished]; a coalesced waiter shares the planner stages of
+           the job it joined. *)
+        let stages =
+          front_stages
+          @ [ ("queue", job.queue_ms) ]
+          @ job.stage_ms
+          @ [ ("wait", t_done -. t_adm) ]
+        in
+        (match result with
+        | Error m ->
+          note Reqtrace.Failed wall_ms stages;
+          Protocol.Error m
+        | Ok outcome ->
+          Histogram.record sh.h_latency wall_ms;
+          note
+            (if coalesced then Reqtrace.Coalesced else Reqtrace.Planned)
+            wall_ms stages;
+          Protocol.Plan { cached = false; coalesced; digest; wall_ms; outcome })))
 
 (* [burn] occupies a worker and an admission slot for [ms] — synthetic
    load with a deterministic duration, for backpressure tests and the
@@ -416,9 +638,21 @@ let handle_burn t ~ms =
   let k = Atomic.fetch_and_add t.burn_rr 1 in
   let sh = t.shards.(k mod Array.length t.shards) in
   if Admission.try_admit sh.adm then begin
-    let job = { digest = ""; state = Running; lock = Mutex.create () } in
+    let job =
+      {
+        digest = "";
+        enqueued_at = now_ms ();
+        state = Running;
+        queue_ms = 0.0;
+        stage_ms = [];
+        lock = Mutex.create ();
+      }
+    in
     Domain_pool.submit_to t.pool sh.sid (fun () ->
+        Histogram.record sh.h_queue
+          (Float.max 0.0 (now_ms () -. job.enqueued_at));
         Unix.sleepf (float_of_int ms /. 1000.0);
+        Histogram.record sh.h_service (float_of_int ms);
         finish_job job (Ok "");
         Admission.release sh.adm;
         with_counts sh (fun c -> c.burns <- c.burns + 1));
@@ -454,6 +688,7 @@ let handle t req =
   | Protocol.Ping -> Protocol.Pong
   | Protocol.Version -> Protocol.Version_reply Version.version
   | Protocol.Stats -> Protocol.Stats_reply (stats_json t)
+  | Protocol.Metrics -> Protocol.Metrics_reply (metrics_text t)
   | Protocol.Shutdown ->
     initiate_stop t;
     Protocol.Bye
@@ -574,6 +809,11 @@ let accept_loop t =
 
 let start cfg =
   if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* The daemon is the one place counters are always worth their single
+     fetch-and-add: the scrape surface exports the registry, and a
+     daemon with dark internals is strictly worse than one a scraper
+     can read. *)
+  Counters.set_enabled true;
   (* The serving hot path allocates multi-KB reply strings at request
      rate, and every minor collection stops the world across all
      domains — at the default minor-heap size the daemon spends a
@@ -634,12 +874,15 @@ let start cfg =
               jobs_lock = Mutex.create ();
               adm = Admission.create ~limit:shard_limit;
               counts = mk_counts ();
-              lat = Array.make lat_capacity 0.0;
-              lat_n = 0;
+              h_latency = Histogram.create ();
+              h_queue = Histogram.create ();
+              h_service = Histogram.create ();
               counts_lock = Mutex.create ();
             });
       shard_limit;
       burn_rr = Atomic.make 0;
+      req_ids = Atomic.make 0;
+      ring = Reqtrace.create_ring ();
       started_at = Unix.gettimeofday ();
       listen_fd;
       stop_r;

@@ -4,7 +4,7 @@
     Admission is sharded: a request's content digest hashes to one of
     [workers] shards, and everything the request touches — the
     coalescing table, the bounded admission slots, the tallies, the
-    latency ring, the plan-cache shard, the worker's run queue — is
+    latency histograms, the plan-cache shard, the worker's run queue — is
     private to that shard.  There is no global front-door lock;
     requests on different shards proceed independently, so throughput
     scales with worker count instead of serializing on shared state.
@@ -87,6 +87,33 @@ val handle : t -> Protocol.request -> Protocol.reply
     worker-queue depth and peak, and cache-shard counters, so the
     aggregate is internally consistent with the breakdown. *)
 val stats_json : t -> Pdw_obs.Json.t
+
+(** The scrape surface: Prometheus text exposition of every counter,
+    gauge and histogram the server keeps — merged families ([pdw_*]),
+    their exact per-shard breakdowns ([pdw_shard_*{shard=…}]), worker
+    queue/GC families ([pdw_worker_*{worker=…}]) and the process-global
+    {!Pdw_obs.Counters} registry.  Served for the [metrics] protocol
+    verb and [pdw stats --prometheus]. *)
+val metrics_text : t -> string
+
+(** Merged (exact bucket-wise sum over shards) copies of the server's
+    cumulative histograms.  [latency] is submit wall time accept to
+    reply; [queue_wait] admission to worker pickup; [service] worker
+    compute time per job — all in milliseconds.  Snapshot two and
+    {!Pdw_obs.Histogram.diff} them for an interval view (the serve
+    bench reports per-campaign queue-wait vs service-time this way). *)
+type telemetry = {
+  latency : Pdw_obs.Histogram.t;
+  queue_wait : Pdw_obs.Histogram.t;
+  service : Pdw_obs.Histogram.t;
+}
+
+val telemetry : t -> telemetry
+
+(** The most recent finished submits (bounded ring, newest first):
+    request id, digest, shard, outcome, and the stage-by-stage timing
+    breakdown.  See {!Pdw_obs.Reqtrace}. *)
+val recent_requests : t -> Pdw_obs.Reqtrace.record list
 
 (** Peak queued+running admission depth per shard since start — the
     serve bench records these alongside its scaling curve. *)

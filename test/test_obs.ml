@@ -9,6 +9,9 @@ module Counters = Pdw_obs.Counters
 module Trace_export = Pdw_obs.Trace_export
 module Events = Pdw_obs.Events
 module Json = Pdw_obs.Json
+module Histogram = Pdw_obs.Histogram
+module Clock = Pdw_obs.Clock
+module Reqtrace = Pdw_obs.Reqtrace
 
 (* Every test starts from a clean, enabled recorder with a fake clock it
    can step, and leaves the layer disabled on the real clock. *)
@@ -624,6 +627,226 @@ let test_event_line_roundtrip () =
       | Error m -> Alcotest.failf "of_line (event %d): %s" i m)
     samples
 
+(* --- latency histograms --- *)
+
+let hist_of values =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) values;
+  h
+
+(* Two histograms agree iff their non-empty buckets, totals and
+   (fixed-point, hence exactly comparable) sums all match. *)
+let hist_equal a b =
+  Histogram.buckets a = Histogram.buckets b
+  && Histogram.count a = Histogram.count b
+  && Histogram.sum a = Histogram.sum b
+
+let test_histogram_create_validation () =
+  let expect_invalid what f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "create accepted %s" what
+  in
+  expect_invalid "lo = 0" (fun () -> Histogram.create ~lo:0.0 ());
+  expect_invalid "lo > hi" (fun () -> Histogram.create ~lo:10.0 ~hi:1.0 ());
+  expect_invalid "rel_err = 0" (fun () -> Histogram.create ~rel_err:0.0 ());
+  expect_invalid "rel_err = 1" (fun () -> Histogram.create ~rel_err:1.0 ())
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.)) "sum" 0.0 (Histogram.sum h);
+  Alcotest.(check (float 0.)) "mean" 0.0 (Histogram.mean h);
+  Alcotest.(check (float 0.)) "quantile" 0.0 (Histogram.quantile h 0.5);
+  Alcotest.(check bool) "no buckets" true (Histogram.buckets h = []);
+  match Histogram.cumulative h with
+  | [ (bound, 0) ] -> Alcotest.(check (float 0.)) "+Inf entry" infinity bound
+  | _ -> Alcotest.fail "empty cumulative should be the +Inf entry alone"
+
+let test_histogram_edges () =
+  let h = Histogram.create () in
+  Histogram.record h Float.nan;
+  Histogram.record h (-5.0);
+  Histogram.record h 0.0;
+  Alcotest.(check int) "NaN, negative and zero all counted" 3
+    (Histogram.count h);
+  let cfg = Histogram.config h in
+  Alcotest.(check (float 1e-12)) "underflow reports lo" cfg.Histogram.lo
+    (Histogram.quantile h 0.99);
+  Histogram.record h 1e12 (* far past hi *);
+  (match List.rev (Histogram.buckets h) with
+  | (bound, 1) :: _ ->
+    Alcotest.(check (float 0.)) "overflow bucket is open-ended" infinity bound
+  | _ -> Alcotest.fail "overflow bucket missing");
+  Alcotest.(check bool) "overflow quantile reports the finite top bound" true
+    (Float.is_finite (Histogram.quantile h 1.0))
+
+let test_histogram_mean_sum () =
+  let h = hist_of [ 2.0; 4.0; 6.0 ] in
+  (* The sum is fixed point in units of 2^-20: exact to ~1e-6 here. *)
+  Alcotest.(check (float 1e-4)) "sum" 12.0 (Histogram.sum h);
+  Alcotest.(check (float 1e-4)) "mean" 4.0 (Histogram.mean h)
+
+let test_histogram_config_mismatch () =
+  let a = Histogram.create () and b = Histogram.create ~rel_err:0.01 () in
+  match Histogram.merge a b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "merge accepted differing configs"
+
+let test_histogram_cumulative () =
+  let h = hist_of [ 0.5; 1.0; 2.0; 2.0; 40.0 ] in
+  let cum = Histogram.cumulative h in
+  let rec monotone = function
+    | (b1, c1) :: ((b2, c2) :: _ as rest) ->
+      b1 < b2 && c1 <= c2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "bounds and counts non-decreasing" true (monotone cum);
+  match List.rev cum with
+  | (bound, total) :: _ ->
+    Alcotest.(check (float 0.)) "ends at +Inf" infinity bound;
+    Alcotest.(check int) "+Inf counts everything" (Histogram.count h) total
+  | [] -> Alcotest.fail "cumulative came back empty"
+
+(* Values well inside [lo, hi] so the relative-error bound applies. *)
+let hist_values_gen =
+  QCheck2.Gen.(list_size (1 -- 200) (float_range 0.01 100_000.0))
+
+(* The accuracy contract: the reported quantile is the representative
+   of the bucket holding the sample the retired sorted-array code would
+   have picked (rank ⌊q·(n-1)+0.5⌋), so it is within a factor 1+α of
+   that exact sample. *)
+let prop_histogram_quantile_oracle =
+  QCheck2.Test.make
+    ~name:"Histogram.quantile within rel_err of the sorted-array rank"
+    ~count:300
+    QCheck2.Gen.(pair hist_values_gen (float_range 0.0 1.0))
+    (fun (values, q) ->
+      let h = hist_of values in
+      let arr = Array.of_list values in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      let rank =
+        min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5))
+      in
+      let exact = arr.(rank) in
+      let est = Histogram.quantile h q in
+      let rel_err = (Histogram.config h).Histogram.rel_err in
+      est >= (exact /. (1.0 +. rel_err)) -. 1e-9
+      && est <= (exact *. (1.0 +. rel_err)) +. 1e-9)
+
+let prop_histogram_merge_commutes =
+  QCheck2.Test.make ~name:"Histogram.merge commutes" ~count:100
+    QCheck2.Gen.(pair hist_values_gen hist_values_gen)
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      hist_equal (Histogram.merge a b) (Histogram.merge b a))
+
+let prop_histogram_merge_assoc =
+  QCheck2.Test.make ~name:"Histogram.merge associates" ~count:100
+    QCheck2.Gen.(triple hist_values_gen hist_values_gen hist_values_gen)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      hist_equal
+        (Histogram.merge (Histogram.merge a b) c)
+        (Histogram.merge a (Histogram.merge b c)))
+
+(* Interval snapshots rest on this: the histogram of [a]'s records is
+   recoverable exactly from cumulative snapshots taken around them. *)
+let prop_histogram_diff_inverts_merge =
+  QCheck2.Test.make ~name:"Histogram.diff (merge a b) b = a" ~count:100
+    QCheck2.Gen.(pair hist_values_gen hist_values_gen)
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      hist_equal (Histogram.diff (Histogram.merge a b) b) a)
+
+(* --- the monotonic clock --- *)
+
+let test_clock_monotone () =
+  let prev = ref (Clock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now () in
+    if t < !prev then Alcotest.fail "monotonic clock went backwards";
+    prev := t
+  done;
+  let since = Clock.now_ms () in
+  Alcotest.(check bool) "elapsed_ms non-negative" true
+    (Clock.elapsed_ms ~since >= 0.0);
+  Alcotest.(check bool) "now_ms is now in milliseconds" true
+    (Float.abs ((Clock.now () *. 1000.0) -. Clock.now_ms ()) < 100.0)
+
+(* --- request traces --- *)
+
+let mk_record ?(stages = [ ("cache", 0.02); ("queue", 1.5) ]) ~outcome
+    ~total_ms id =
+  {
+    Reqtrace.id;
+    digest = Printf.sprintf "d%04x" id;
+    shard = id mod 4;
+    outcome;
+    total_ms;
+    stages;
+  }
+
+let test_reqtrace_roundtrip () =
+  List.iteri
+    (fun i outcome ->
+      let r = mk_record ~outcome ~total_ms:(0.5 +. float_of_int i) i in
+      match Reqtrace.of_line (Reqtrace.to_line r) with
+      | Ok r' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "outcome %s round-trips"
+             (Reqtrace.outcome_to_string outcome))
+          true (r = r')
+      | Error m -> Alcotest.failf "of_line: %s" m)
+    Reqtrace.[ Hit; Planned; Coalesced; Shed; Timeout; Failed ]
+
+let test_reqtrace_ring () =
+  let ring = Reqtrace.create_ring ~capacity:4 () in
+  Alcotest.(check bool) "empty ring" true (Reqtrace.recent ring = []);
+  for i = 1 to 10 do
+    Reqtrace.note ring
+      (mk_record ~outcome:Reqtrace.Planned ~total_ms:(float_of_int i) i)
+  done;
+  Alcotest.(check int) "seen counts every note" 10 (Reqtrace.seen ring);
+  let ids = List.map (fun r -> r.Reqtrace.id) (Reqtrace.recent ring) in
+  Alcotest.(check (list int)) "bounded, newest first" [ 10; 9; 8; 7 ] ids
+
+(* The ledger's byte-inertness: disabled (the default), noting a slow
+   request writes nothing anywhere; enabled, only records at or above
+   the threshold land; disabling again stops the flow. *)
+let test_reqtrace_slow_log_gating () =
+  let ring = Reqtrace.create_ring () in
+  let path = Filename.temp_file "pdw_slow" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Reqtrace.disable_slow_log ();
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Alcotest.(check bool) "ledger off by default" false
+        (Reqtrace.slow_log_enabled ());
+      Reqtrace.note ring (mk_record ~outcome:Reqtrace.Planned ~total_ms:900.0 1);
+      Alcotest.(check int) "disabled ledger writes nothing" 0
+        (Unix.stat path).Unix.st_size;
+      Reqtrace.set_slow_log ~threshold_ms:100.0 path;
+      Alcotest.(check bool) "enabled" true (Reqtrace.slow_log_enabled ());
+      Reqtrace.note ring (mk_record ~outcome:Reqtrace.Hit ~total_ms:5.0 2);
+      Reqtrace.note ring (mk_record ~outcome:Reqtrace.Planned ~total_ms:250.0 3);
+      Reqtrace.disable_slow_log ();
+      Reqtrace.note ring (mk_record ~outcome:Reqtrace.Planned ~total_ms:999.0 4);
+      let lines =
+        In_channel.with_open_text path In_channel.input_all
+        |> String.split_on_char '\n'
+        |> List.filter (fun l -> l <> "")
+      in
+      match lines with
+      | [ line ] -> (
+        match Reqtrace.of_line line with
+        | Ok r ->
+          Alcotest.(check int) "only the slow request landed" 3 r.Reqtrace.id
+        | Error m -> Alcotest.failf "ledger line unparseable: %s" m)
+      | ls -> Alcotest.failf "expected 1 ledger line, got %d" (List.length ls))
+
 (* --- regression: instrumentation never changes planner output --- *)
 
 let planner_json () =
@@ -703,6 +926,33 @@ let () =
             (with_obs test_write_chrome_roundtrip);
           Alcotest.test_case "summary renders" `Quick
             (with_obs test_summary_renders);
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "create validates its config" `Quick
+            test_histogram_create_validation;
+          Alcotest.test_case "empty histogram" `Quick test_histogram_empty;
+          Alcotest.test_case "underflow and overflow" `Quick
+            test_histogram_edges;
+          Alcotest.test_case "sum and mean" `Quick test_histogram_mean_sum;
+          Alcotest.test_case "merge rejects differing configs" `Quick
+            test_histogram_config_mismatch;
+          Alcotest.test_case "cumulative form" `Quick test_histogram_cumulative;
+          QCheck_alcotest.to_alcotest prop_histogram_quantile_oracle;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_commutes;
+          QCheck_alcotest.to_alcotest prop_histogram_merge_assoc;
+          QCheck_alcotest.to_alcotest prop_histogram_diff_inverts_merge;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotone" `Quick test_clock_monotone ] );
+      ( "reqtrace",
+        [
+          Alcotest.test_case "every outcome round-trips" `Quick
+            test_reqtrace_roundtrip;
+          Alcotest.test_case "bounded ring, newest first" `Quick
+            test_reqtrace_ring;
+          Alcotest.test_case "slow-request ledger gating" `Quick
+            test_reqtrace_slow_log_gating;
         ] );
       ( "regression",
         [

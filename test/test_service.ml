@@ -677,6 +677,205 @@ let test_server_loadgen_warmup () =
   Alcotest.(check int) "no mismatches" 0 s.Loadgen.mismatches;
   Alcotest.(check int) "no errors" 0 s.Loadgen.errors
 
+(* --- the scrape surface --- *)
+
+(* A strict-enough parser for the Prometheus text exposition format:
+   every line must be a [# HELP]/[# TYPE] comment or a sample
+   [name{labels} value]; samples are collected keyed by their full
+   series name (labels included), types by family name.  Anything
+   malformed fails the test on the spot. *)
+let parse_exposition text =
+  let samples = Hashtbl.create 64 in
+  let types = Hashtbl.create 32 in
+  let is_name_char ch =
+    (ch >= 'a' && ch <= 'z')
+    || (ch >= 'A' && ch <= 'Z')
+    || (ch >= '0' && ch <= '9')
+    || ch = '_' || ch = ':'
+  in
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let value_of line s =
+    match s with
+    | "+Inf" -> infinity
+    | "-Inf" -> neg_infinity
+    | "NaN" -> Float.nan
+    | s -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> Alcotest.failf "unparseable value in sample line %S" line)
+  in
+  List.iter
+    (fun line ->
+      if starts_with "# HELP " line then ()
+      else if starts_with "# TYPE " line then (
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; kind ] ->
+          if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+            Alcotest.failf "unknown TYPE %S for %s" kind name;
+          if Hashtbl.mem types name then
+            Alcotest.failf "duplicate TYPE for %s" name;
+          Hashtbl.replace types name kind
+        | _ -> Alcotest.failf "malformed TYPE line %S" line)
+      else if line <> "" && line.[0] = '#' then
+        Alcotest.failf "unexpected comment %S" line
+      else
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "malformed sample line %S" line
+        | Some sp ->
+          let series = String.sub line 0 sp in
+          let v =
+            value_of line (String.sub line (sp + 1) (String.length line - sp - 1))
+          in
+          let name_end =
+            match String.index_opt series '{' with
+            | Some i ->
+              if series.[String.length series - 1] <> '}' then
+                Alcotest.failf "unclosed label set in %S" line;
+              i
+            | None -> String.length series
+          in
+          if name_end = 0 then Alcotest.failf "empty metric name in %S" line;
+          String.iteri
+            (fun i ch ->
+              if i < name_end && not (is_name_char ch) then
+                Alcotest.failf "bad metric name in %S" line)
+            series;
+          if Hashtbl.mem samples series then
+            Alcotest.failf "duplicate series %S" series;
+          Hashtbl.replace samples series v)
+    (List.filter (fun l -> l <> "") (String.split_on_char '\n' text));
+  (samples, types)
+
+(* The metrics verb end to end: a loaded server's exposition parses,
+   carries every advertised family with the right type, and is
+   internally consistent — per-shard histogram counts sum to the merged
+   count, which equals the number of plans actually served. *)
+let test_server_metrics () =
+  with_server ~workers:2 @@ fun path srv ->
+  Client.with_client path @@ fun c ->
+  let _ = submit_ok c (spec_of "pcr") in
+  let _ = submit_ok c (spec_of "pcr") in
+  (* cache hit *)
+  let _ = submit_ok c (spec_of "ivd") in
+  let text =
+    match Client.request c Protocol.Metrics with
+    | Ok (Protocol.Metrics_reply t) -> t
+    | Ok r ->
+      Alcotest.failf "expected metrics, got %s"
+        (Json.to_string (Protocol.reply_to_json r))
+    | Error m -> Alcotest.fail m
+  in
+  (* The in-process handle serves the same surface. *)
+  (match Server.handle srv Protocol.Metrics with
+  | Protocol.Metrics_reply _ -> ()
+  | _ -> Alcotest.fail "in-process metrics");
+  let samples, types = parse_exposition text in
+  let get series =
+    match Hashtbl.find_opt samples series with
+    | Some v -> v
+    | None -> Alcotest.failf "missing series %S" series
+  in
+  List.iter
+    (fun (name, kind) ->
+      match Hashtbl.find_opt types name with
+      | Some k -> Alcotest.(check string) (name ^ " type") kind k
+      | None -> Alcotest.failf "missing family %s" name)
+    [
+      ("pdw_uptime_seconds", "gauge");
+      ("pdw_workers", "gauge");
+      ("pdw_requests_submitted_total", "counter");
+      ("pdw_requests_completed_total", "counter");
+      ("pdw_requests_shed_total", "counter");
+      ("pdw_shard_requests_total", "counter");
+      ("pdw_queue_in_flight", "gauge");
+      ("pdw_queue_limit", "gauge");
+      ("pdw_cache_hits_total", "counter");
+      ("pdw_cache_misses_total", "counter");
+      ("pdw_request_latency_ms", "histogram");
+      ("pdw_queue_wait_ms", "histogram");
+      ("pdw_service_ms", "histogram");
+      ("pdw_shard_request_latency_ms", "histogram");
+      ("pdw_worker_jobs_done_total", "counter");
+      ("pdw_worker_minor_words_total", "counter");
+      ("pdw_worker_queue_pending", "gauge");
+      ("pdw_reqtrace_seen_total", "counter");
+    ];
+  (* Request accounting: 3 submits, one served from the cache. *)
+  Alcotest.(check (float 0.)) "submitted" 3.0 (get "pdw_requests_submitted_total");
+  Alcotest.(check (float 0.)) "cache hits" 1.0 (get "pdw_cache_hits_total");
+  Alcotest.(check (float 0.)) "uncoalesced" 0.0 (get "pdw_requests_coalesced_total");
+  (* Every plan reply — hit or freshly planned — recorded one latency
+     sample; the per-shard rows sum exactly to the merged family. *)
+  let merged = get "pdw_request_latency_ms_count" in
+  Alcotest.(check (float 0.)) "latency count = plans served" 3.0 merged;
+  let sum_prefix prefix =
+    Hashtbl.fold
+      (fun series v acc ->
+        if
+          String.length series >= String.length prefix
+          && String.sub series 0 (String.length prefix) = prefix
+        then acc +. v
+        else acc)
+      samples 0.0
+  in
+  Alcotest.(check (float 0.)) "shard counts sum to the merged count" merged
+    (sum_prefix "pdw_shard_request_latency_ms_count{");
+  Alcotest.(check (float 0.)) "+Inf bucket equals the count" merged
+    (get "pdw_request_latency_ms_bucket{le=\"+Inf\"}");
+  (* Two jobs actually ran on workers (the hit never left the front). *)
+  Alcotest.(check (float 0.)) "service histogram counts worker jobs" 2.0
+    (get "pdw_service_ms_count");
+  Alcotest.(check (float 0.)) "queue-wait histogram counts worker jobs" 2.0
+    (get "pdw_queue_wait_ms_count");
+  Alcotest.(check (float 0.)) "worker jobs sum to the planner jobs" 2.0
+    (sum_prefix "pdw_worker_jobs_done_total{");
+  Alcotest.(check (float 0.)) "every submit was traced" 3.0
+    (get "pdw_reqtrace_seen_total");
+  Alcotest.(check bool) "latency sum is positive" true
+    (get "pdw_request_latency_ms_sum" > 0.0)
+
+(* The server-side telemetry APIs behind the bench's per-campaign
+   breakdown: interval histograms via diff of cumulative snapshots, and
+   the recent-requests ring with its stage breakdowns. *)
+let test_server_telemetry_and_ring () =
+  with_server @@ fun path srv ->
+  Client.with_client path @@ fun c ->
+  let module H = Pdw_obs.Histogram in
+  let module R = Pdw_obs.Reqtrace in
+  let before = Server.telemetry srv in
+  let _ = submit_ok c (spec_of "pcr") in
+  let _ = submit_ok c (spec_of "pcr") in
+  let after = Server.telemetry srv in
+  let interval = H.diff after.Server.latency before.Server.latency in
+  Alcotest.(check int) "two plan replies in the interval" 2 (H.count interval);
+  Alcotest.(check int) "one planner job serviced" 1
+    (H.count after.Server.service);
+  Alcotest.(check int) "one queue wait recorded" 1
+    (H.count after.Server.queue_wait);
+  match Server.recent_requests srv with
+  | [ hit; planned ] ->
+    Alcotest.(check bool) "newest record is the cache hit" true
+      (hit.R.outcome = R.Hit);
+    Alcotest.(check bool) "older record planned" true
+      (planned.R.outcome = R.Planned);
+    Alcotest.(check bool) "ids mint in accept order" true
+      (planned.R.id < hit.R.id);
+    Alcotest.(check string) "digests correlate" planned.R.digest hit.R.digest;
+    (* The planned record carries the full boundary-by-boundary story:
+       front stages, queue wait, the engine's own stage names. *)
+    List.iter
+      (fun stage ->
+        Alcotest.(check bool)
+          (Printf.sprintf "planned record has stage %S" stage)
+          true
+          (List.mem_assoc stage planned.R.stages))
+      [ "cache"; "admission"; "queue"; "synthesize"; "optimize"; "wait" ];
+    Alcotest.(check bool) "hit record is front-door only" true
+      (List.map fst hit.R.stages = [ "cache" ])
+  | rs -> Alcotest.failf "expected 2 recent records, got %d" (List.length rs)
+
 let test_server_shutdown_request () =
   let cfg =
     Server.default_config ~socket_path:(fresh_socket ())
@@ -751,6 +950,10 @@ let () =
             test_server_stats_consistency;
           Alcotest.test_case "loadgen warm-up excluded" `Slow
             test_server_loadgen_warmup;
+          Alcotest.test_case "metrics exposition parses and adds up" `Quick
+            test_server_metrics;
+          Alcotest.test_case "telemetry snapshots and the request ring" `Quick
+            test_server_telemetry_and_ring;
           Alcotest.test_case "shutdown request" `Quick
             test_server_shutdown_request;
         ] );
