@@ -640,6 +640,8 @@ let run_serve () =
           cache_capacity = 64;
           job_timeout_ms = 120_000;
           max_retries = 1;
+          store_dir = None;
+          store_max_bytes = 256 * 1024 * 1024;
         }
     in
     Fun.protect
@@ -718,19 +720,37 @@ let run_serve () =
              workers"
             host_cores (at4 /. base))
    | _ -> ());
+  (* BENCH_serve.json is shared with the fleet campaign ([bench --
+     fleet]); whichever job runs rewrites its own sections and carries
+     the other's through, so running the two in either order leaves
+     both curves in the file. *)
+  let carried_fleet =
+    match
+      In_channel.with_open_text "BENCH_serve.json" In_channel.input_all
+    with
+    | exception Sys_error _ -> []
+    | text -> (
+      match Pdw_obs.Json.parse text with
+      | Error _ -> []
+      | Ok j -> (
+        match Pdw_obs.Json.member "fleet" j with
+        | Some f -> [ ("fleet", J.of_obs f) ]
+        | None -> []))
+  in
   let json =
     J.Obj
-      [
-        ("schema", J.String "pathdriver-wash/bench-serve/v4");
-        ("git_commit", J.String (git_commit ()));
-        ("generated_at", J.String (iso8601_now ()));
-        ("host_cores", J.Int host_cores);
-        ("tolerance", J.Float serve_tolerance);
-        ( "benchmarks",
-          J.List (List.map (fun n -> J.String n) serve_benchmarks) );
-        ("planner_spec_count", J.Int planner_spec_count);
-        ("runs", J.List runs);
-      ]
+      ([
+         ("schema", J.String "pathdriver-wash/bench-serve/v5");
+         ("git_commit", J.String (git_commit ()));
+         ("generated_at", J.String (iso8601_now ()));
+         ("host_cores", J.Int host_cores);
+         ("tolerance", J.Float serve_tolerance);
+         ( "benchmarks",
+           J.List (List.map (fun n -> J.String n) serve_benchmarks) );
+         ("planner_spec_count", J.Int planner_spec_count);
+         ("runs", J.List runs);
+       ]
+      @ carried_fleet)
   in
   let path = "BENCH_serve.json" in
   let oc = open_out path in
@@ -738,6 +758,287 @@ let run_serve () =
   output_string oc "\n";
   close_out oc;
   Format.printf "serve: wrote %s@." path
+
+(* --- the fleet campaign: 1/2/4 shard *processes* behind the router ---
+
+   The in-process curve above tops out wherever one OCaml runtime does:
+   cached hits are served by connection threads that all share a master
+   lock, so worker domains cannot help them.  The fleet campaign
+   measures the tier that removes that ceiling — [bench] drives the
+   router process, the router fans out over N independent shard daemon
+   processes, and every process owns its own runtime and GC.
+
+   Topology per setting: this process (loadgen client threads only)
+   -> router process -> N shard processes, all spawned fork/exec from
+   this very executable via hidden [shardd]/[routerd] argv modes
+   (never a bare fork: the bench runtime has live domains).  All
+   settings share one plan-store directory, so later settings start
+   store-warm — the run summaries record the resulting store-tier hits,
+   which is the second-tier behaviour the store exists to provide.
+
+   The campaign drives >= 1e5 verified pipelined requests across the
+   three settings; the gate mirrors the in-process cached gate
+   (monotone vs the 1-process baseline within [serve_tolerance]) plus
+   the scale-out claim itself: on a host with >= 4 cores, 4 shard
+   processes must beat the 1-process baseline by >= 2x. *)
+let fleet_procs = [ 1; 2; 4 ]
+let fleet_clients = 8
+let fleet_per_client = 4608  (* 3 settings x 8 x 4608 = 110,592 measured *)
+let fleet_warmup = 64
+let fleet_pipeline = 32
+let fleet_seed = 424242
+let fleet_shard_workers = 2
+
+let run_shardd socket store =
+  let module Server = Pdw_service.Server in
+  let srv =
+    Server.start
+      {
+        Server.socket_path = socket;
+        workers = fleet_shard_workers;
+        queue_limit = 256;
+        cache_capacity = 64;
+        job_timeout_ms = 120_000;
+        max_retries = 1;
+        store_dir = Some store;
+        store_max_bytes = 256 * 1024 * 1024;
+      }
+  in
+  Server.wait srv
+
+let run_routerd socket shard_sockets =
+  let module Router = Pdw_service.Router in
+  let r =
+    Router.start (Router.default_config ~socket_path:socket ~shard_sockets)
+  in
+  Router.wait r
+
+let spawn_self args =
+  Unix.create_process Sys.executable_name
+    (Array.of_list (Sys.executable_name :: args))
+    Unix.stdin Unix.stdout Unix.stderr
+
+let wait_for_daemon path ~timeout_s =
+  let module Client = Pdw_service.Client in
+  let module Protocol = Pdw_service.Protocol in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let ok =
+      match Client.connect path with
+      | exception Unix.Unix_error _ -> false
+      | c ->
+        let r = Client.request c Protocol.Ping in
+        Client.close c;
+        r = Ok Protocol.Pong
+    in
+    if ok then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let kill_and_reap pids =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec reap pending =
+    if pending <> [] then
+      if Unix.gettimeofday () > deadline then
+        List.iter
+          (fun pid ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          pending
+      else begin
+        let still =
+          List.filter
+            (fun pid ->
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ -> true
+              | _ -> false
+              | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false)
+            pending
+        in
+        if still <> [] then Unix.sleepf 0.05;
+        reap still
+      end
+  in
+  reap pids
+
+let run_fleet () =
+  let module Loadgen = Pdw_service.Loadgen in
+  let module Protocol = Pdw_service.Protocol in
+  let module Client = Pdw_service.Client in
+  let module O = Pdw_obs.Json in
+  let host_cores = Domain.recommended_domain_count () in
+  let specs =
+    List.map
+      (fun name -> Protocol.spec (Protocol.Benchmark name))
+      serve_benchmarks
+  in
+  let base_dir = Filename.temp_file "pdw-fleet-bench" "" in
+  Sys.remove base_dir;
+  Unix.mkdir base_dir 0o755;
+  let store_dir = Filename.concat base_dir "store" in
+  let measure procs =
+    let shard_sockets =
+      List.init procs (fun i ->
+          Filename.concat base_dir (Printf.sprintf "shard-%d-%d.sock" procs i))
+    in
+    let router_socket =
+      Filename.concat base_dir (Printf.sprintf "router-%d.sock" procs)
+    in
+    let shard_pids =
+      List.map (fun s -> spawn_self [ "shardd"; s; store_dir ]) shard_sockets
+    in
+    let router_pid = ref None in
+    Fun.protect
+      ~finally:(fun () ->
+        kill_and_reap (shard_pids @ Option.to_list !router_pid))
+      (fun () ->
+        if
+          not
+            (List.for_all
+               (fun s -> wait_for_daemon s ~timeout_s:15.0)
+               shard_sockets)
+        then failwith "fleet bench: shard daemons did not come up";
+        router_pid :=
+          Some (spawn_self ([ "routerd"; router_socket ] @ shard_sockets));
+        if not (wait_for_daemon router_socket ~timeout_s:15.0) then
+          failwith "fleet bench: router did not come up";
+        let cached =
+          Loadgen.run ~socket_path:router_socket ~clients:fleet_clients
+            ~per_client:fleet_per_client ~warmup:fleet_warmup
+            ~pipeline:fleet_pipeline ~seed:fleet_seed ~verify:true specs
+        in
+        if cached.Loadgen.mismatches > 0 then
+          failwith "fleet bench: served plans diverged from local runs";
+        if
+          cached.Loadgen.errors > 0
+          || cached.Loadgen.timeouts > 0
+          || cached.Loadgen.shed > 0
+        then failwith "fleet bench: errors, timeouts or shed under load";
+        (* The fleet-merged stats carry the per-shard-process
+           breakdowns (each proc's own requests/cache/store sections). *)
+        let router_stats =
+          match Client.connect router_socket with
+          | exception Unix.Unix_error _ -> O.Null
+          | c ->
+            let r = Client.request c Protocol.Stats in
+            Client.close c;
+            (match r with
+            | Ok (Protocol.Stats_reply j) -> j
+            | _ -> O.Null)
+        in
+        (* Shut the fleet down through the router: it broadcasts to the
+           shards first, so the reap below is a join, not a kill. *)
+        (match Client.connect router_socket with
+        | exception Unix.Unix_error _ -> ()
+        | c ->
+          ignore (Client.request c Protocol.Shutdown);
+          Client.close c);
+        Format.printf
+          "fleet: procs=%d  cached  %7.1f plans/s  p50 %6.2f ms  p95 %6.2f \
+           ms  p99 %6.2f ms  store hits %d@."
+          procs cached.Loadgen.throughput cached.Loadgen.p50_ms
+          cached.Loadgen.p95_ms cached.Loadgen.p99_ms
+          cached.Loadgen.store_hits;
+        ( cached.Loadgen.throughput,
+          O.Obj
+            [
+              ("procs", O.Int procs);
+              ("shard_workers", O.Int fleet_shard_workers);
+              ("cached", Loadgen.summary_json cached);
+              ("router", router_stats);
+            ] ))
+  in
+  let measured = List.map measure fleet_procs in
+  let curve = List.map fst measured in
+  let settings = List.map snd measured in
+  (match List.combine fleet_procs curve with
+  | [] -> ()
+  | (_, base) :: rest ->
+    List.iter
+      (fun (p, rps) ->
+        if rps < base *. serve_tolerance then
+          failwith
+            (Printf.sprintf
+               "fleet bench: throughput inverted: %.1f rps at %d processes < \
+                %.2f x %.1f rps at 1 process"
+               rps p serve_tolerance base))
+      rest;
+    if host_cores >= 4 then begin
+      let at4 = List.assoc 4 (List.combine fleet_procs curve) in
+      if at4 < 2.0 *. base then
+        failwith
+          (Printf.sprintf
+             "fleet bench: %d-core host but only %.2fx scale-out at 4 shard \
+              processes"
+             host_cores (at4 /. base))
+    end);
+  let fleet_obj =
+    O.Obj
+      [
+        ("clients", O.Int fleet_clients);
+        ("per_client", O.Int fleet_per_client);
+        ("warmup", O.Int fleet_warmup);
+        ("pipeline", O.Int fleet_pipeline);
+        ("seed", O.Int fleet_seed);
+        ("host_cores", O.Int host_cores);
+        ("tolerance", O.Float serve_tolerance);
+        ( "total_requests",
+          O.Int (List.length fleet_procs * fleet_clients * fleet_per_client)
+        );
+        ("settings", O.Arr settings);
+      ]
+  in
+  (* Merge into BENCH_serve.json, preserving the in-process sections
+     [bench -- serve] wrote (and refreshing provenance). *)
+  let carried =
+    match
+      In_channel.with_open_text "BENCH_serve.json" In_channel.input_all
+    with
+    | exception Sys_error _ -> []
+    | text -> (
+      match O.parse text with
+      | Error _ -> []
+      | Ok (O.Obj fields) ->
+        List.filter
+          (fun (k, _) ->
+            not
+              (List.mem k [ "schema"; "git_commit"; "generated_at"; "fleet" ]))
+          fields
+      | Ok _ -> [])
+  in
+  let json =
+    O.Obj
+      ([
+         ("schema", O.Str "pathdriver-wash/bench-serve/v5");
+         ("git_commit", O.Str (git_commit ()));
+         ("generated_at", O.Str (iso8601_now ()));
+       ]
+      @ carried
+      @ [ ("fleet", fleet_obj) ])
+  in
+  let path = "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (O.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  (try
+     List.iter
+       (fun f ->
+         let p = Filename.concat base_dir f in
+         if Sys.file_exists p && not (Sys.is_directory p) then Sys.remove p)
+       (Array.to_list (Sys.readdir base_dir) @ []);
+     Array.iter
+       (fun f -> Sys.remove (Filename.concat store_dir f))
+       (try Sys.readdir store_dir with Sys_error _ -> [||]);
+     (try Unix.rmdir store_dir with Unix.Unix_error _ -> ());
+     Unix.rmdir base_dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Format.printf "fleet: wrote %s@." path
 
 (* The CI perf-regression gate: diff two BENCH_solver.json snapshots.
    Solution metrics — n_wash, l_wash_mm, t_assay_s — must be identical:
@@ -892,7 +1193,7 @@ let run_compare ~tolerance baseline_path new_path =
 
 let usage () =
   print_endline
-    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf|serve] [--trace FILE] [--stats] [--domains N]\n\
+    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf|serve|fleet] [--trace FILE] [--stats] [--domains N]\n\
     \       main.exe compare BASELINE.json NEW.json [--tolerance RATIO]"
 
 (* Pull [--trace FILE] / [--stats] / [--domains N] out of the argument
@@ -927,6 +1228,18 @@ let run_ilp_probe () =
   ignore (Pdw.optimize ~config:(exact_ilp_config ~warm_start:true) s)
 
 let () =
+  (* Hidden fleet-process modes, dispatched before anything else: the
+     fleet campaign re-execs this very binary as its shard daemons and
+     its router (fork/exec — a bare fork is unsafe once this runtime
+     has domains).  Not part of the public job list. *)
+  (match List.tl (Array.to_list Sys.argv) with
+  | [ "shardd"; socket; store ] ->
+    run_shardd socket store;
+    exit 0
+  | "routerd" :: socket :: (_ :: _ as shard_sockets) ->
+    run_routerd socket shard_sockets;
+    exit 0
+  | _ -> ());
   let args, trace_file, stats, domains =
     parse_obs_flags (List.tl (Array.to_list Sys.argv))
   in
@@ -983,6 +1296,7 @@ let () =
     | [ "speed" ] -> [ run_speed ]
     | [ "perf" ] -> [ run_perf ]
     | [ "serve" ] -> [ run_serve ]
+    | [ "fleet" ] -> [ run_fleet ]
     | _ ->
       usage ();
       exit 1

@@ -19,6 +19,7 @@ module Report = Pdw_wash.Report
 module Explain = Pdw_wash.Explain
 module Events = Pdw_obs.Events
 module Server = Pdw_service.Server
+module Router = Pdw_service.Router
 module Client = Pdw_service.Client
 module Loadgen = Pdw_service.Loadgen
 module Protocol = Pdw_service.Protocol
@@ -510,7 +511,7 @@ let default_socket () =
   Filename.concat (Filename.get_temp_dir_name ()) "pdw.sock"
 
 let cmd_serve socket workers queue_limit cache_size timeout_ms retries
-    slow_log slow_ms =
+    slow_log slow_ms store store_max_mb =
   let cfg =
     {
       Server.socket_path = socket;
@@ -519,6 +520,8 @@ let cmd_serve socket workers queue_limit cache_size timeout_ms retries
       cache_capacity = cache_size;
       job_timeout_ms = timeout_ms;
       max_retries = retries;
+      store_dir = store;
+      store_max_bytes = store_max_mb * 1024 * 1024;
     }
   in
   (match slow_log with
@@ -602,12 +605,14 @@ let cmd_submit bench file stats ping shutdown server_version socket method_
       | Error m ->
         prerr_endline ("pdw submit: " ^ m);
         1
-      | Ok (Protocol.Plan { cached; coalesced; digest; wall_ms; outcome }) ->
+      | Ok (Protocol.Plan { cached; coalesced; tier; digest; wall_ms; outcome })
+        ->
         (* The outcome on stdout, byte-identical to [pdw run --json];
            request metadata on stderr where it can't corrupt a pipe. *)
         print_endline outcome;
-        Printf.eprintf "pdw submit: %s cached=%b coalesced=%b wall=%.1fms\n"
-          digest cached coalesced wall_ms;
+        Printf.eprintf
+          "pdw submit: %s cached=%b tier=%s coalesced=%b wall=%.1fms\n" digest
+          cached (Protocol.tier_name tier) coalesced wall_ms;
         0
       | Ok (Protocol.Shed { in_flight; limit }) ->
         Printf.eprintf "pdw submit: shed (%d in flight, limit %d)\n" in_flight
@@ -633,6 +638,9 @@ let cmd_submit bench file stats ping shutdown server_version socket method_
         0
       | Ok (Protocol.Burned { ms }) ->
         Printf.eprintf "pdw submit: burned %d ms\n" ms;
+        0
+      | Ok (Protocol.Hello_reply { version; rev }) ->
+        Printf.printf "%s (wire rev %d)\n" version rev;
         0
       | Ok (Protocol.Error m) ->
         prerr_endline ("pdw submit: server error: " ^ m);
@@ -660,6 +668,60 @@ let jstr j path =
   | Some s -> s
   | None -> "?"
 
+(* The router's stats payload (role = "router") prints as a fleet view:
+   routing counters, summed tallies, then one line per shard process. *)
+let print_fleet_human j =
+  Printf.printf "pdw router %s — up %.1f s, %d/%d shard processes live\n"
+    (jstr j [ "version" ])
+    (jfloat j [ "uptime_s" ])
+    (jint j [ "fleet"; "procs_live" ])
+    (jint j [ "fleet"; "procs_total" ]);
+  Printf.printf
+    "routing    forwarded %d, retries %d, rerings %d, no-live-shard %d, \
+     vnodes %d\n"
+    (jint j [ "fleet"; "forwarded" ])
+    (jint j [ "fleet"; "retries" ])
+    (jint j [ "fleet"; "rerings" ])
+    (jint j [ "fleet"; "no_live_shard" ])
+    (jint j [ "fleet"; "vnodes" ]);
+  Printf.printf
+    "requests   submitted %d, completed %d, coalesced %d, timeouts %d, \
+     errors %d\n"
+    (jint j [ "requests"; "submitted" ])
+    (jint j [ "requests"; "completed" ])
+    (jint j [ "requests"; "coalesced" ])
+    (jint j [ "requests"; "timeouts" ])
+    (jint j [ "requests"; "errors" ]);
+  Printf.printf
+    "cache      hits %d, misses %d, promotions %d, demotions %d (fleet sums)\n"
+    (jint j [ "cache"; "hits" ])
+    (jint j [ "cache"; "misses" ])
+    (jint j [ "cache"; "promotions" ])
+    (jint j [ "cache"; "demotions" ]);
+  Printf.printf "forward    n %-7d p50 %6.1f ms   p95 %6.1f ms   p99 %6.1f ms\n"
+    (jint j [ "forward_ms"; "samples" ])
+    (jfloat j [ "forward_ms"; "p50" ])
+    (jfloat j [ "forward_ms"; "p95" ])
+    (jfloat j [ "forward_ms"; "p99" ]);
+  match jget j [ "procs" ] with
+  | Some (Pdw_obs.Json.Arr procs) ->
+    List.iter
+      (fun p ->
+        let up =
+          match jget p [ "up" ] with
+          | Some (Pdw_obs.Json.Bool b) -> b
+          | _ -> false
+        in
+        Printf.printf "proc %-4d %-4s %s forwarded %d%s\n" (jint p [ "proc" ])
+          (if up then "up" else "DOWN")
+          (jstr p [ "socket" ])
+          (jint p [ "forwarded" ])
+          (match jget p [ "error" ] with
+          | Some (Pdw_obs.Json.Str m) -> " — " ^ m
+          | _ -> ""))
+      procs
+  | _ -> ()
+
 let print_stats_human j =
   let lat name =
     Printf.printf "%-10s n %-7d p50 %6.1f ms   p95 %6.1f ms   p99 %6.1f ms\n"
@@ -681,13 +743,29 @@ let print_stats_human j =
     (jint j [ "queue"; "shed" ]);
   Printf.printf
     "cache      hits %d, misses %d (hit rate %.1f%%), evictions %d, %d/%d \
-     entries\n"
+     entries, promotions %d, demotions %d\n"
     (jint j [ "cache"; "hits" ])
     (jint j [ "cache"; "misses" ])
     (100.0 *. jfloat j [ "cache"; "hit_rate" ])
     (jint j [ "cache"; "evictions" ])
     (jint j [ "cache"; "length" ])
-    (jint j [ "cache"; "capacity" ]);
+    (jint j [ "cache"; "capacity" ])
+    (jint j [ "cache"; "promotions" ])
+    (jint j [ "cache"; "demotions" ]);
+  (match jget j [ "cache"; "store" ] with
+  | Some _ ->
+    Printf.printf
+      "store      hits %d, misses %d, writes %d, evictions %d, corrupt %d, \
+       %d entries (%d/%d bytes)\n"
+      (jint j [ "cache"; "store"; "hits" ])
+      (jint j [ "cache"; "store"; "misses" ])
+      (jint j [ "cache"; "store"; "writes" ])
+      (jint j [ "cache"; "store"; "evictions" ])
+      (jint j [ "cache"; "store"; "corrupt" ])
+      (jint j [ "cache"; "store"; "entries" ])
+      (jint j [ "cache"; "store"; "bytes" ])
+      (jint j [ "cache"; "store"; "max_bytes" ])
+  | None -> ());
   Printf.printf
     "requests   submitted %d, completed %d, coalesced %d, timeouts %d, \
      errors %d, burns %d\n"
@@ -740,6 +818,7 @@ let cmd_stats socket prometheus as_json watch interval =
         print_newline ()
     | `Stats j ->
       if as_json then print_endline (Pdw_obs.Json.to_string j)
+      else if jget j [ "fleet" ] <> None then print_fleet_human j
       else print_stats_human j);
     flush stdout
   in
@@ -767,7 +846,7 @@ let cmd_stats socket prometheus as_json watch interval =
     loop ()
 
 let cmd_loadgen benches socket clients per_client requests warmup pipeline
-    no_cache verify as_json method_ =
+    no_cache seed verify as_json method_ =
   let benches = if benches = [] then [ "pcr"; "ivd"; "proteinsplit" ] else benches in
   let specs =
     List.map (fun name -> Protocol.spec ~method_ (Protocol.Benchmark name)) benches
@@ -779,7 +858,7 @@ let cmd_loadgen benches socket clients per_client requests warmup pipeline
   in
   match
     Loadgen.run ~socket_path:socket ~clients ~per_client ~warmup ~pipeline
-      ~no_cache ~verify specs
+      ~no_cache ?seed ~verify specs
   with
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "pdw loadgen: cannot reach %s: %s\n" socket
@@ -793,6 +872,189 @@ let cmd_loadgen benches socket clients per_client requests warmup pipeline
       print_endline (Pdw_obs.Json.to_string (Loadgen.summary_json s))
     else Format.printf "%a@." Loadgen.pp_summary s;
     if s.Loadgen.mismatches > 0 || s.Loadgen.errors > 0 then 1 else 0
+
+(* --- pdw fleet: a multi-process shard fleet behind one router --- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let shard_socket run_dir i =
+  Filename.concat run_dir (Printf.sprintf "shard-%d.sock" i)
+
+let shard_pidfile run_dir i =
+  Filename.concat run_dir (Printf.sprintf "shard-%d.pid" i)
+
+let write_pidfile path pid =
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc "%d\n" pid)
+
+(* Poll until the daemon behind [path] answers a ping (it unlinks and
+   rebinds its socket on start, so existence alone proves nothing). *)
+let wait_for_daemon path ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    let ok =
+      match Client.connect path with
+      | exception Unix.Unix_error _ -> false
+      | c ->
+        let r = Client.request c Protocol.Ping in
+        Client.close c;
+        r = Ok Protocol.Pong
+    in
+    if ok then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+(* Spawn one shard daemon: fork/exec of this very binary running
+   [pdw serve] — never a bare fork, which is unsafe once the parent has
+   spawned domains or threads. *)
+let spawn_shard ~run_dir ~i ~workers ~queue_limit ~cache_size ~timeout_ms
+    ~retries ~store_dir =
+  let args =
+    [ "serve"; "--socket"; shard_socket run_dir i; "--workers";
+      string_of_int workers; "--queue-limit"; string_of_int queue_limit;
+      "--cache-size"; string_of_int cache_size; "--timeout-ms";
+      string_of_int timeout_ms; "--retries"; string_of_int retries ]
+    @ match store_dir with Some d -> [ "--store"; d ] | None -> []
+  in
+  let pid =
+    Unix.create_process Sys.executable_name
+      (Array.of_list (Sys.executable_name :: args))
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  write_pidfile (shard_pidfile run_dir i) pid;
+  pid
+
+let cmd_fleet_start socket run_dir shards workers queue_limit cache_size
+    timeout_ms retries no_store vnodes =
+  let shards = max 1 shards in
+  mkdir_p run_dir;
+  let store_dir =
+    if no_store then None else Some (Filename.concat run_dir "store")
+  in
+  let pids =
+    List.init shards (fun i ->
+        spawn_shard ~run_dir ~i ~workers ~queue_limit ~cache_size ~timeout_ms
+          ~retries ~store_dir)
+  in
+  let shard_sockets = List.init shards (shard_socket run_dir) in
+  let ready =
+    List.for_all (fun p -> wait_for_daemon p ~timeout_s:15.0) shard_sockets
+  in
+  if not ready then begin
+    Printf.eprintf "pdw fleet: shard daemons did not come up; killing fleet\n";
+    List.iter (fun pid -> try Unix.kill pid Sys.sigkill with _ -> ()) pids;
+    1
+  end
+  else begin
+    let cfg =
+      { (Router.default_config ~socket_path:socket ~shard_sockets) with
+        vnodes }
+    in
+    match Router.start cfg with
+    | exception Unix.Unix_error (e, _, arg) ->
+      Printf.eprintf "pdw fleet: cannot listen on %s: %s\n" arg
+        (Unix.error_message e);
+      List.iter (fun pid -> try Unix.kill pid Sys.sigkill with _ -> ()) pids;
+      1
+    | router ->
+      write_pidfile (Filename.concat run_dir "router.pid") (Unix.getpid ());
+      Printf.eprintf
+        "pdw fleet: router on %s, %d shard processes under %s%s\n%!" socket
+        shards run_dir
+        (match store_dir with
+        | Some d -> Printf.sprintf " (store %s)" d
+        | None -> "");
+      Router.wait router;
+      (* Reap the shard daemons; a [shutdown] through the router already
+         broadcast to them, so normally they are exiting — escalate to
+         SIGKILL only if one wedges. *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec reap pending =
+        if pending = [] then ()
+        else if Unix.gettimeofday () > deadline then
+          List.iter (fun pid -> try Unix.kill pid Sys.sigkill with _ -> ())
+            pending
+        else begin
+          let still =
+            List.filter
+              (fun pid ->
+                match Unix.waitpid [ Unix.WNOHANG ] pid with
+                | 0, _ -> true
+                | _ -> false
+                | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false)
+              pending
+          in
+          if still <> [] then Unix.sleepf 0.1;
+          reap still
+        end
+      in
+      reap pids;
+      Printf.eprintf "pdw fleet: stopped\n%!";
+      0
+  end
+
+(* One request against the router (or any daemon) socket. *)
+let fleet_request socket req =
+  match Client.connect socket with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "cannot reach %s: %s" socket (Unix.error_message e))
+  | c ->
+    let r = Client.request c req in
+    Client.close c;
+    r
+
+let cmd_fleet_stop socket =
+  match fleet_request socket Protocol.Shutdown with
+  | Ok Protocol.Bye ->
+    print_endline "fleet shutting down";
+    0
+  | Ok _ ->
+    prerr_endline "pdw fleet stop: unexpected reply";
+    1
+  | Error m ->
+    prerr_endline ("pdw fleet stop: " ^ m);
+    1
+
+let cmd_fleet_status socket as_json =
+  match fleet_request socket Protocol.Stats with
+  | Ok (Protocol.Stats_reply j) ->
+    if as_json then print_endline (Pdw_obs.Json.to_string j)
+    else if jget j [ "fleet" ] <> None then print_fleet_human j
+    else print_stats_human j;
+    0
+  | Ok _ ->
+    prerr_endline "pdw fleet status: unexpected reply";
+    1
+  | Error m ->
+    prerr_endline ("pdw fleet status: " ^ m);
+    1
+
+(* Drain one shard: a [shutdown] straight to its own socket.  The
+   daemon answers [Bye] and exits; the router notices the dead
+   connection, fails over its in-flight requests and drops the shard
+   from the ring — exactly the path a crash exercises, minus the crash. *)
+let cmd_fleet_drain run_dir shard =
+  let path = shard_socket run_dir shard in
+  match fleet_request path Protocol.Shutdown with
+  | Ok Protocol.Bye ->
+    Printf.printf "shard %d draining (%s)\n" shard path;
+    0
+  | Ok _ ->
+    prerr_endline "pdw fleet drain: unexpected reply";
+    1
+  | Error m ->
+    prerr_endline ("pdw fleet drain: " ^ m);
+    1
 
 (* --- cmdliner wiring --- *)
 
@@ -1026,13 +1288,23 @@ let serve_cmd =
     let doc = "Slow-request threshold in milliseconds for $(b,--slow-log)." in
     Arg.(value & opt float 100.0 & info [ "slow-ms" ] ~docv:"MS" ~doc)
   in
+  let store =
+    let doc =
+      "Back the plan cache with a persistent content-addressed store in      $(docv): computed plans are written through to digest-named files      and survive restarts, so a fresh daemon (or another daemon sharing      the directory) serves warm plans immediately."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let store_max_mb =
+    let doc = "Plan-store byte budget in MiB (LRU eviction)." in
+    Arg.(value & opt int 256 & info [ "store-max-mb" ] ~docv:"MIB" ~doc)
+  in
   let doc =
     "Run the planning daemon: a Unix-socket server with a bounded job      queue, content-addressed plan cache, request coalescing and a      worker-domain pool.  Stop it with $(b,pdw submit --shutdown)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const cmd_serve $ socket_arg $ workers $ queue_limit $ cache_size
-      $ timeout_ms $ retries $ slow_log $ slow_ms)
+      $ timeout_ms $ retries $ slow_log $ slow_ms $ store $ store_max_mb)
 
 let stats_cmd =
   let prometheus =
@@ -1133,6 +1405,12 @@ let loadgen_cmd =
     in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
+  let seed =
+    let doc =
+      "Seed the spec-selection RNG: the whole campaign's request sequence      becomes a pure function of this seed (each client draws from its      own PRNG state split from the root), reproducible across runs and      machines.  Without it, clients cycle specs round-robin."
+    in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+  in
   let verify =
     let doc =
       "Recompute every distinct spec locally and require served outcomes      to be byte-identical."
@@ -1149,8 +1427,95 @@ let loadgen_cmd =
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(
       const cmd_loadgen $ benches $ socket_arg $ clients $ per_client
-      $ requests $ warmup $ pipeline $ no_cache $ verify $ as_json
+      $ requests $ warmup $ pipeline $ no_cache $ seed $ verify $ as_json
       $ method_arg)
+
+let fleet_cmd =
+  let run_dir_arg =
+    let doc =
+      "Fleet run directory: shard sockets, pid files and (by default)      the shared plan store live here."
+    in
+    Arg.(
+      value
+      & opt string
+          (Filename.concat (Filename.get_temp_dir_name ()) "pdw-fleet")
+      & info [ "run-dir" ] ~docv:"DIR" ~doc)
+  in
+  let start =
+    let shards =
+      let doc = "Shard daemon processes to spawn." in
+      Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+    in
+    let workers =
+      let doc = "Planner worker domains per shard process." in
+      Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+    in
+    let queue_limit =
+      let doc = "Per-shard-process job queue limit." in
+      Arg.(value & opt int 64 & info [ "queue-limit" ] ~docv:"N" ~doc)
+    in
+    let cache_size =
+      let doc = "Per-shard-process plan-cache capacity." in
+      Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"N" ~doc)
+    in
+    let timeout_ms =
+      let doc = "Per-request timeout in milliseconds." in
+      Arg.(value & opt int 60_000 & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+    in
+    let retries =
+      let doc = "Extra planner attempts after a crashed attempt." in
+      Arg.(value & opt int 1 & info [ "retries" ] ~docv:"N" ~doc)
+    in
+    let no_store =
+      let doc =
+        "Run the shards without the shared persistent plan store (plans      live only in each process's memory)."
+      in
+      Arg.(value & flag & info [ "no-store" ] ~doc)
+    in
+    let vnodes =
+      let doc = "Consistent-hash ring points per shard." in
+      Arg.(value & opt int 64 & info [ "vnodes" ] ~docv:"N" ~doc)
+    in
+    let doc =
+      "Spawn $(b,--shards) planning daemons (one process each, sockets      and pid files under $(b,--run-dir)) plus the consistent-hash router      on $(b,--socket), and run until a $(b,shutdown) arrives through the      router.  The shards share one persistent plan store, so any of them      serves a plan any other has computed."
+    in
+    Cmd.v (Cmd.info "start" ~doc)
+      Term.(
+        const cmd_fleet_start $ socket_arg $ run_dir_arg $ shards $ workers
+        $ queue_limit $ cache_size $ timeout_ms $ retries $ no_store $ vnodes)
+  in
+  let stop =
+    let doc =
+      "Shut the fleet down: the router broadcasts $(b,shutdown) to every      live shard, then stops itself."
+    in
+    Cmd.v (Cmd.info "stop" ~doc) Term.(const cmd_fleet_stop $ socket_arg)
+  in
+  let status =
+    let as_json =
+      let doc = "Print the raw fleet stats JSON." in
+      Arg.(value & flag & info [ "j"; "json" ] ~doc)
+    in
+    let doc =
+      "Show the fleet: live shard processes, routing counters, summed      request/cache tallies, forward latency."
+    in
+    Cmd.v (Cmd.info "status" ~doc)
+      Term.(const cmd_fleet_status $ socket_arg $ as_json)
+  in
+  let drain =
+    let shard =
+      let doc = "Shard index to drain (its socket under $(b,--run-dir))." in
+      Arg.(required & pos 0 (some int) None & info [] ~docv:"SHARD" ~doc)
+    in
+    let doc =
+      "Gracefully remove one shard process: send $(b,shutdown) straight      to its socket.  The router notices the dead connection, re-forwards      anything in flight and drops the shard from the ring — clients see      no errors."
+    in
+    Cmd.v (Cmd.info "drain" ~doc)
+      Term.(const cmd_fleet_drain $ run_dir_arg $ shard)
+  in
+  let doc =
+    "Run and manage a multi-process shard fleet: a consistent-hash router      in front of N independent planning daemons sharing a persistent plan      store."
+  in
+  Cmd.group (Cmd.info "fleet" ~doc) [ start; stop; status; drain ]
 
 let main_cmd =
   let doc = "PathDriver-Wash: wash optimization for continuous-flow biochips" in
@@ -1159,6 +1524,6 @@ let main_cmd =
     [ list_cmd; layout_cmd; necessity_cmd; run_cmd; compare_cmd; table2_cmd;
       render_cmd; animate_cmd; actuations_cmd; optimize_file_cmd;
       paths_cmd; verify_cmd; explain_cmd; serve_cmd; submit_cmd; loadgen_cmd;
-      stats_cmd ]
+      stats_cmd; fleet_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -89,3 +89,342 @@ let histogram t ~name ~help ?(labels = []) h =
 let histograms t ~name ~help samples =
   header t name help "histogram";
   List.iter (fun (labels, h) -> histogram_body t name labels h) samples
+
+(* --- parsing and merging -------------------------------------------- *)
+
+type kind = Counter | Gauge | Histogram | Untyped
+
+type sample = {
+  sample_name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type family = {
+  fam_name : string;
+  fam_help : string;
+  fam_kind : kind;
+  fam_samples : sample list;
+}
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+  | Untyped -> "untyped"
+
+let kind_of_name = function
+  | "counter" -> Counter
+  | "gauge" -> Gauge
+  | "histogram" -> Histogram
+  | _ -> Untyped
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      if s.[i] = '\\' && i + 1 < n then begin
+        (match s.[i + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | c -> Buffer.add_char buf c);
+        go (i + 2)
+      end
+      else begin
+        Buffer.add_char buf s.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents buf
+
+let value_of_string s =
+  match s with
+  | "+Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some Float.nan
+  | s -> float_of_string_opt s
+
+(* Parse one sample line: [name{k="v",…} value].  The label grammar is
+   exactly what [add_labels] writes — keys bare, values double-quoted
+   with backslash escapes. *)
+let parse_sample line =
+  let err m = Error (Printf.sprintf "%s: %s" m line) in
+  match String.index_opt line '{' with
+  | None -> (
+    match String.index_opt line ' ' with
+    | None -> err "sample without value"
+    | Some sp -> (
+      let name = String.sub line 0 sp in
+      let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+      match value_of_string (String.trim v) with
+      | Some value -> Ok { sample_name = name; labels = []; value }
+      | None -> err "unreadable value"))
+  | Some ob -> (
+    let name = String.sub line 0 ob in
+    let n = String.length line in
+    (* Scan the label block respecting escapes, to find its end. *)
+    let buf_k = Buffer.create 16 in
+    let buf_v = Buffer.create 16 in
+    let labels = ref [] in
+    let rec key i =
+      if i >= n then Error "unterminated labels"
+      else if line.[i] = '}' then Ok (i + 1)
+      else if line.[i] = ',' then key (i + 1)
+      else if line.[i] = '=' then begin
+        if i + 1 >= n || line.[i + 1] <> '"' then Error "expected quote"
+        else value (i + 2)
+      end
+      else begin
+        Buffer.add_char buf_k line.[i];
+        key (i + 1)
+      end
+    and value i =
+      if i >= n then Error "unterminated label value"
+      else if line.[i] = '\\' && i + 1 < n then begin
+        (match line.[i + 1] with
+        | 'n' -> Buffer.add_char buf_v '\n'
+        | c -> Buffer.add_char buf_v c);
+        value (i + 2)
+      end
+      else if line.[i] = '"' then begin
+        labels := (Buffer.contents buf_k, Buffer.contents buf_v) :: !labels;
+        Buffer.clear buf_k;
+        Buffer.clear buf_v;
+        key (i + 1)
+      end
+      else begin
+        Buffer.add_char buf_v line.[i];
+        value (i + 1)
+      end
+    in
+    match key (ob + 1) with
+    | Error m -> err m
+    | Ok after -> (
+      let rest = String.trim (String.sub line after (n - after)) in
+      match value_of_string rest with
+      | Some value ->
+        Ok { sample_name = name; labels = List.rev !labels; value }
+      | None -> err "unreadable value"))
+
+(* A sample [foo_bucket]/[foo_sum]/[foo_count] belongs to the histogram
+   family [foo]; everything else must match its family name exactly. *)
+let belongs_to fam sample_name =
+  String.equal fam sample_name
+  || List.exists
+       (fun suffix -> String.equal (fam ^ suffix) sample_name)
+       [ "_bucket"; "_sum"; "_count" ]
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  (* Families in emission order; each family's samples in order.  Both
+     are accumulated newest-first and reversed at the end. *)
+  let fams = ref [] in  (* (name, help ref, kind ref, samples ref) *)
+  let find name =
+    List.find_opt (fun (n, _, _, _) -> String.equal n name) !fams
+  in
+  let obtain name =
+    match find name with
+    | Some f -> f
+    | None ->
+      let f = (name, ref "", ref Untyped, ref []) in
+      fams := f :: !fams;
+      f
+  in
+  let current = ref None in
+  let meta_name line prefix =
+    (* "# HELP name rest" / "# TYPE name rest" *)
+    let body =
+      String.sub line (String.length prefix)
+        (String.length line - String.length prefix)
+    in
+    match String.index_opt body ' ' with
+    | None -> (body, "")
+    | Some sp ->
+      ( String.sub body 0 sp,
+        String.sub body (sp + 1) (String.length body - sp - 1) )
+  in
+  let err = ref None in
+  List.iter
+    (fun line ->
+      if !err = None && String.length (String.trim line) > 0 then
+        if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+          let name, help = meta_name line "# HELP " in
+          let _, h, _, _ = obtain name in
+          h := unescape help;
+          current := Some name
+        end
+        else if String.length line >= 7 && String.sub line 0 7 = "# TYPE "
+        then begin
+          let name, kind = meta_name line "# TYPE " in
+          let _, _, k, _ = obtain name in
+          k := kind_of_name (String.trim kind);
+          current := Some name
+        end
+        else if line.[0] = '#' then ()
+        else
+          match parse_sample line with
+          | Error m -> err := Some m
+          | Ok s ->
+            let fam_name =
+              match !current with
+              | Some fam when belongs_to fam s.sample_name -> fam
+              | _ -> s.sample_name
+            in
+            let _, _, _, samples = obtain fam_name in
+            samples := s :: !samples)
+    lines;
+  match !err with
+  | Some m -> Error m
+  | None ->
+    Ok
+      (List.rev_map
+         (fun (name, help, kind, samples) ->
+           {
+             fam_name = name;
+             fam_help = !help;
+             fam_kind = !kind;
+             fam_samples = List.rev !samples;
+           })
+         !fams)
+
+(* Plain summation by (name, labels) key, first-seen order — the merge
+   rule for counters (additive by definition) and gauges (the sum reads
+   as the fleet total: in-flight jobs, cache lengths). *)
+let sum_samples sample_lists =
+  let acc = ref [] in
+  List.iter
+    (List.iter (fun (s : sample) ->
+         match
+           List.find_opt
+             (fun ((s' : sample), _) ->
+               String.equal s'.sample_name s.sample_name
+               && s'.labels = s.labels)
+             !acc
+         with
+         | Some (_, v) -> v := !v +. s.value
+         | None -> acc := (s, ref s.value) :: !acc))
+    sample_lists;
+  List.rev_map (fun (s, v) -> { s with value = !v }) !acc
+
+(* [labels] minus its [le] pair, preserving the order of the rest. *)
+let split_le labels =
+  let rec go acc = function
+    | [] -> None
+    | ("le", v) :: rest -> Some (List.rev_append acc rest, v)
+    | kv :: rest -> go (kv :: acc) rest
+  in
+  go [] labels
+
+(* Histogram bucket lines are sparse — {!Histogram.cumulative} emits
+   only non-empty buckets — so two shards rarely agree on their [le]
+   sets, and summing lines by equal keys would undercount every bound
+   the other shard skipped.  A missing bound still has an exact value:
+   the buckets between two emitted bounds are empty, so the cumulative
+   count at any bound equals the count at the greatest emitted bound at
+   or below it (0 below the first).  Each source is therefore evaluated
+   as a step function over the union of bounds and the evaluations sum —
+   which is exactly {!Histogram.merge} expressed on the text surface.
+   [_sum]/[_count] lines stay plainly additive. *)
+let merge_histogram_family fam_name sample_lists =
+  let bucket_name = fam_name ^ "_bucket" in
+  (* (base labels, one ascending (le, value) list per source), groups
+     and sources both in first-seen order *)
+  let groups = ref [] in
+  let others = ref [] in
+  List.iter
+    (fun samples ->
+      let local = ref [] in
+      List.iter
+        (fun (s : sample) ->
+          match
+            if String.equal s.sample_name bucket_name then
+              match split_le s.labels with
+              | Some (base, le_text) ->
+                Option.map (fun le -> (base, le)) (value_of_string le_text)
+              | None -> None
+            else None
+          with
+          | None -> others := s :: !others
+          | Some (base, le) -> (
+            match List.find_opt (fun (b, _) -> b = base) !local with
+            | Some (_, pts) -> pts := (le, s.value) :: !pts
+            | None -> local := (base, ref [ (le, s.value) ]) :: !local))
+        samples;
+      List.iter
+        (fun (base, pts) ->
+          let pts = List.sort compare (List.rev !pts) in
+          match List.find_opt (fun (b, _) -> b = base) !groups with
+          | Some (_, srcs) -> srcs := pts :: !srcs
+          | None -> groups := (base, ref [ pts ]) :: !groups)
+        (List.rev !local))
+    sample_lists;
+  let bucket_samples =
+    List.concat_map
+      (fun (base, srcs) ->
+        let srcs = List.rev !srcs in
+        let bounds =
+          List.sort_uniq compare (List.concat_map (List.map fst) srcs)
+        in
+        let step pts x =
+          List.fold_left
+            (fun acc (le, v) -> if le <= x then v else acc)
+            0.0 pts
+        in
+        List.map
+          (fun le ->
+            {
+              sample_name = bucket_name;
+              labels = base @ [ ("le", number le) ];
+              value =
+                List.fold_left (fun acc pts -> acc +. step pts le) 0.0 srcs;
+            })
+          bounds)
+      (List.rev !groups)
+  in
+  bucket_samples @ sum_samples [ List.rev !others ]
+
+(* Fleet merge: same-named families collapse into one; counter and
+   gauge samples with the same (name, labels) key sum; histogram
+   families merge bucket-wise over the union of their (sparse) bounds.
+   Non-additive gauges (uptimes) should be dropped or re-labelled by
+   the caller before merging. *)
+let merge family_lists =
+  let fams = ref [] in
+  let obtain (f : family) =
+    match
+      List.find_opt (fun (n, _, _, _) -> String.equal n f.fam_name) !fams
+    with
+    | Some e -> e
+    | None ->
+      let e = (f.fam_name, f.fam_help, f.fam_kind, ref []) in
+      fams := e :: !fams;
+      e
+  in
+  List.iter
+    (List.iter (fun f ->
+         let _, _, _, srcs = obtain f in
+         srcs := f.fam_samples :: !srcs))
+    family_lists;
+  List.rev_map
+    (fun (name, help, kind, srcs) ->
+      let sources = List.rev !srcs in
+      {
+        fam_name = name;
+        fam_help = help;
+        fam_kind = kind;
+        fam_samples =
+          (match kind with
+          | Histogram -> merge_histogram_family name sources
+          | Counter | Gauge | Untyped -> sum_samples sources);
+      })
+    !fams
+
+let write t fams =
+  List.iter
+    (fun f ->
+      header t f.fam_name f.fam_help (kind_name f.fam_kind);
+      List.iter
+        (fun (s : sample) -> sample t s.sample_name s.labels s.value)
+        f.fam_samples)
+    fams

@@ -49,3 +49,50 @@ val histograms :
     point, [+Inf]/[-Inf]/[NaN] spelled the Prometheus way, everything
     else shortest round-trip.  Exposed for tests. *)
 val number : float -> string
+
+(** {1 Parsing and merging}
+
+    The fleet router scrapes each shard process's exposition text and
+    re-serves one merged view; these are the pieces.  The parser reads
+    the dialect this module writes (which is a subset of the format
+    every Prometheus client emits), so a scrape of one pdw daemon
+    always parses. *)
+
+type kind = Counter | Gauge | Histogram | Untyped
+
+(** One sample line.  For histogram families [sample_name] keeps its
+    [_bucket]/[_sum]/[_count] suffix and bucket bounds stay in
+    [labels] as the [le] pair — merging by summation over these lines
+    is exactly {!Histogram.merge} expressed on the text surface. *)
+type sample = {
+  sample_name : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type family = {
+  fam_name : string;
+  fam_help : string;
+  fam_kind : kind;
+  fam_samples : sample list;
+}
+
+(** [parse text] reads an exposition into families, in emission order.
+    Samples that appear before any [# HELP]/[# TYPE] header form an
+    [Untyped] family of their own. *)
+val parse : string -> (family list, string) result
+
+(** [merge lists] collapses same-named families — additive by (name,
+    labels) key for counters, fleet-total semantics for gauges, and an
+    exact bucket-wise merge for histograms: bucket lines are sparse
+    (only non-empty buckets are emitted), so each source's cumulative
+    counts are evaluated as a step function over the union of [le]
+    bounds before summing — equal to {!Histogram.merge} of the
+    underlying histograms.  Families and samples keep first-seen order
+    (a histogram family's buckets sort ascending per label set, ahead
+    of its [_sum]/[_count]).  Callers must drop or re-label
+    non-additive gauges (uptimes) first. *)
+val merge : family list list -> family list
+
+(** Re-emit parsed or merged families into a builder. *)
+val write : t -> family list -> unit

@@ -8,9 +8,11 @@ type summary = {
   warmup : int;
   pipeline : int;
   no_cache : bool;
+  seed : int option;
   requests : int;
   plans : int;
   cached : int;
+  store_hits : int;
   coalesced : int;
   shed : int;
   timeouts : int;
@@ -23,9 +25,29 @@ type summary = {
   p99_ms : float;
 }
 
+(* Seeded spec selection.  The root PRNG state is a pure function of
+   the seed; each client's state is the [client]-th [Random.State.split]
+   of a fresh root, so the sequence a client draws depends only on
+   (seed, client index, nspecs, counts) — never on thread scheduling.
+   The earlier design drew from one shared state under the accumulator
+   lock, which made every run's spec sequence a race. *)
+let client_state ~seed ~client =
+  let root = Random.State.make [| seed |] in
+  let st = ref root in
+  for _ = 0 to client do
+    st := Random.State.split root
+  done;
+  !st
+
+let spec_indices ~seed ~client ~nspecs ~warmup ~count =
+  if nspecs <= 0 then invalid_arg "Loadgen.spec_indices: nspecs <= 0";
+  let st = client_state ~seed ~client in
+  Array.init (warmup + count) (fun _ -> Random.State.int st nspecs)
+
 type acc = {
   mutable a_plans : int;
   mutable a_cached : int;
+  mutable a_store : int;
   mutable a_coalesced : int;
   mutable a_shed : int;
   mutable a_timeouts : int;
@@ -37,7 +59,7 @@ type acc = {
 }
 
 let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
-    ?(no_cache = false) ~verify specs =
+    ?(no_cache = false) ?seed ~verify specs =
   if specs = [] then invalid_arg "Loadgen.run: empty spec list";
   let clients = max 1 clients in
   let per_client = max 0 per_client in
@@ -61,6 +83,7 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
     {
       a_plans = 0;
       a_cached = 0;
+      a_store = 0;
       a_coalesced = 0;
       a_shed = 0;
       a_timeouts = 0;
@@ -105,21 +128,40 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
     Protocol.Submit { spec = specs.(idx); no_cache }
   in
   let client_thread k =
+    (* Without a seed: round-robin with a per-client offset, so
+       neighbours hit the same spec at the same time — exactly the
+       duplicate traffic the coalescer and cache are there for.  With a
+       seed: the client's whole index sequence is [spec_indices],
+       reproducible across runs and independent of scheduling. *)
+    let seeded =
+      Option.map
+        (fun seed ->
+          spec_indices ~seed ~client:k ~nspecs ~warmup:warmup_per_client
+            ~count:per_client)
+        seed
+    in
+    let warm_idx i =
+      match seeded with
+      | Some idxs -> idxs.(i)
+      | None -> ((k * warmup_per_client) + i) mod nspecs
+    in
+    let measured_idx i =
+      match seeded with
+      | Some idxs -> idxs.(warmup_per_client + i)
+      | None -> ((k * per_client) + i) mod nspecs
+    in
     Client.with_client socket_path @@ fun c ->
     for i = 0 to warmup_per_client - 1 do
-      ignore
-        (Client.request c (submit_req (((k * warmup_per_client) + i) mod nspecs)))
+      ignore (Client.request c (submit_req (warm_idx i)))
     done;
     sync ();
-    (* Round-robin with a per-client offset: neighbours hit the same
-       spec at the same time, which is exactly the duplicate traffic
-       the coalescer and cache are there for.  [pipeline] requests are
-       in flight per chunk; the recorded latency is the chunk's
-       send-to-reply wall, i.e. what a caller of that batch observes. *)
+    (* [pipeline] requests are in flight per chunk; the recorded
+       latency is the chunk's send-to-reply wall, i.e. what a caller of
+       that batch observes. *)
     let rec go i =
       if i < per_client then begin
         let n = min pipeline (per_client - i) in
-        let idxs = List.init n (fun j -> ((k * per_client) + i + j) mod nspecs) in
+        let idxs = List.init n (fun j -> measured_idx (i + j)) in
         let t_send = Clock.now_ms () in
         let replies = Client.request_many c (List.map submit_req idxs) in
         let ms = Clock.elapsed_ms ~since:t_send in
@@ -127,9 +169,11 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
           (fun idx reply ->
             record (fun a ->
                 match reply with
-                | Ok (Protocol.Plan { cached; coalesced; outcome; _ }) ->
+                | Ok (Protocol.Plan { cached; coalesced; tier; outcome; _ })
+                  ->
                   a.a_plans <- a.a_plans + 1;
                   if cached then a.a_cached <- a.a_cached + 1;
+                  if tier = Protocol.Store then a.a_store <- a.a_store + 1;
                   if coalesced then a.a_coalesced <- a.a_coalesced + 1;
                   Histogram.record a.a_lat ms;
                   if verify && not (String.equal outcome expected.(idx)) then
@@ -153,9 +197,11 @@ let run ~socket_path ~clients ~per_client ?(warmup = 0) ?(pipeline = 1)
     warmup = warmup_per_client * clients;
     pipeline;
     no_cache;
+    seed;
     requests = clients * per_client;
     plans = acc.a_plans;
     cached = acc.a_cached;
+    store_hits = acc.a_store;
     coalesced = acc.a_coalesced;
     shed = acc.a_shed;
     timeouts = acc.a_timeouts;
@@ -176,9 +222,12 @@ let summary_json s =
       ("warmup", Json.Int s.warmup);
       ("pipeline", Json.Int s.pipeline);
       ("no_cache", Json.Bool s.no_cache);
+      ( "seed",
+        match s.seed with Some n -> Json.Int n | None -> Json.Null );
       ("requests", Json.Int s.requests);
       ("plans", Json.Int s.plans);
       ("cached", Json.Int s.cached);
+      ("store_hits", Json.Int s.store_hits);
       ("coalesced", Json.Int s.coalesced);
       ("shed", Json.Int s.shed);
       ("timeouts", Json.Int s.timeouts);
@@ -193,14 +242,18 @@ let summary_json s =
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "@[<v>requests  %d (plans %d, cached %d, coalesced %d)@,\
-     load      %d clients x %d requests, pipeline %d, warmup %d (excluded)%s@,\
+    "@[<v>requests  %d (plans %d, cached %d, store hits %d, coalesced %d)@,\
+     load      %d clients x %d requests, pipeline %d, warmup %d (excluded)%s%s@,\
      refused   shed %d, timeouts %d, errors %d@,\
      verify    %s@,\
      wall      %.2f s (%.1f plans/s)@,\
      latency   p50 %.1f ms, p95 %.1f ms, p99 %.1f ms@]" s.requests s.plans
-    s.cached s.coalesced s.clients s.per_client s.pipeline s.warmup
+    s.cached s.store_hits s.coalesced s.clients s.per_client s.pipeline
+    s.warmup
     (if s.no_cache then ", no-cache" else "")
+    (match s.seed with
+    | Some n -> Printf.sprintf ", seed %d" n
+    | None -> "")
     s.shed s.timeouts s.errors
     (if s.mismatches = 0 then "all outcomes byte-identical to local runs"
      else Printf.sprintf "%d MISMATCHES" s.mismatches)

@@ -25,9 +25,11 @@ type summary = {
   warmup : int;  (** warm-up requests issued, excluded from all figures *)
   pipeline : int;  (** requests in flight per client *)
   no_cache : bool;  (** every request bypassed the cache and coalescer *)
+  seed : int option;  (** seeded spec selection, when used *)
   requests : int;  (** measured requests = [clients * per_client] *)
   plans : int;  (** [Plan] replies (cached or computed) *)
   cached : int;
+  store_hits : int;  (** [Plan] replies served from the persistent store *)
   coalesced : int;
   shed : int;
   timeouts : int;
@@ -49,6 +51,12 @@ type summary = {
     each one is planned from scratch on a worker domain: the campaign
     measures planner throughput rather than cache-hit framing.  [specs]
     must be non-empty.
+
+    With [seed] set, spec selection switches from offset round-robin to
+    a seeded draw: client [k] submits exactly
+    [spec_indices ~seed ~client:k …], so the whole campaign's request
+    sequence is a pure function of the seed — reproducible across runs
+    and machines, unaffected by thread scheduling.
     @raise Invalid_argument on an empty spec list, or when [verify] is
     set and a local plan fails. *)
 val run :
@@ -58,9 +66,21 @@ val run :
   ?warmup:int ->
   ?pipeline:int ->
   ?no_cache:bool ->
+  ?seed:int ->
   verify:bool ->
   Protocol.spec list ->
   summary
+
+(** [spec_indices ~seed ~client ~nspecs ~warmup ~count] is the index
+    sequence client [client] draws under [seed]: the first [warmup]
+    entries are its warm-up requests, the remaining [count] its
+    measured ones.  Pure — each client's PRNG state is the [client]-th
+    {!Random.State.split} of a root state built from [seed] alone, so
+    equal arguments give equal sequences on any run.
+    @raise Invalid_argument when [nspecs <= 0]. *)
+val spec_indices :
+  seed:int -> client:int -> nspecs:int -> warmup:int -> count:int
+  -> int array
 
 val summary_json : summary -> Pdw_obs.Json.t
 

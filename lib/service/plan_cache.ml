@@ -3,6 +3,8 @@ module Counters = Pdw_obs.Counters
 let c_hits = Counters.counter "service.cache.hits"
 let c_misses = Counters.counter "service.cache.misses"
 let c_evictions = Counters.counter "service.cache.evictions"
+let c_promotions = Counters.counter "service.cache.promotions"
+let c_demotions = Counters.counter "service.cache.demotions"
 
 (* Doubly-linked LRU list threaded through a hash table.  [head] is the
    most recently used entry, [tail] the eviction candidate.  One such
@@ -24,12 +26,14 @@ type shard = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable promotions : int;
+  mutable demotions : int;
   lock : Mutex.t;
 }
 
-type t = { shards : shard array }
+type t = { shards : shard array; store : Plan_store.t option }
 
-let create ~capacity ?(shards = 1) () =
+let create ~capacity ?(shards = 1) ?store () =
   let capacity = max 1 capacity in
   let shards = max 1 (min shards capacity) in
   (* Round the per-shard budget up: the cache may hold slightly more
@@ -38,6 +42,7 @@ let create ~capacity ?(shards = 1) () =
      entries a single-shard cache of the same capacity would keep. *)
   let shard_capacity = (capacity + shards - 1) / shards in
   {
+    store;
     shards =
       Array.init shards (fun _ ->
           {
@@ -48,9 +53,13 @@ let create ~capacity ?(shards = 1) () =
             hits = 0;
             misses = 0;
             evictions = 0;
+            promotions = 0;
+            demotions = 0;
             lock = Mutex.create ();
           });
   }
+
+let store t = t.store
 
 let shard_count t = Array.length t.shards
 
@@ -72,24 +81,9 @@ let locked s f =
   Mutex.lock s.lock;
   Fun.protect f ~finally:(fun () -> Mutex.unlock s.lock)
 
-let find t key =
-  let s = shard_of t key in
-  locked s @@ fun () ->
-  match Hashtbl.find_opt s.table key with
-  | Some n ->
-    s.hits <- s.hits + 1;
-    Counters.incr c_hits;
-    unlink s n;
-    push_front s n;
-    Some n.value
-  | None ->
-    s.misses <- s.misses + 1;
-    Counters.incr c_misses;
-    None
-
-let add t key value =
-  let s = shard_of t key in
-  locked s @@ fun () ->
+(* Insert or refresh under the shard lock, evicting the shard's LRU
+   entry at capacity.  Shared by [add] and the store-promotion path. *)
+let insert_locked s key value =
   match Hashtbl.find_opt s.table key with
   | Some n ->
     n.value <- value;
@@ -109,10 +103,64 @@ let add t key value =
     Hashtbl.replace s.table key n;
     push_front s n
 
+type tier = Memory | Store
+
+(* Memory first, then the persistent store.  A store hit is *promoted*
+   into the memory tier (and counted as such) so the next lookup is a
+   memory hit; the disk read happens outside the shard lock — a slow
+   store never blocks the shard's memory traffic.  Memory-tier eviction
+   never deletes from the store: the store is the bigger, slower
+   tier. *)
+let find_tier t key =
+  let s = shard_of t key in
+  let memory =
+    locked s @@ fun () ->
+    match Hashtbl.find_opt s.table key with
+    | Some n ->
+      s.hits <- s.hits + 1;
+      Counters.incr c_hits;
+      unlink s n;
+      push_front s n;
+      Some n.value
+    | None ->
+      s.misses <- s.misses + 1;
+      Counters.incr c_misses;
+      None
+  in
+  match memory with
+  | Some v -> Some (v, Memory)
+  | None -> (
+    match Option.bind t.store (fun st -> Plan_store.find st key) with
+    | None -> None
+    | Some v ->
+      locked s (fun () ->
+          s.promotions <- s.promotions + 1;
+          Counters.incr c_promotions;
+          insert_locked s key v);
+      Some (v, Store))
+
+let find t key = Option.map fst (find_tier t key)
+
+(* Write-through: every fresh plan lands in both tiers, so a restarted
+   (or newly joined) process finds it on disk.  The store write happens
+   outside the shard lock for the same reason the store read does. *)
+let add t key value =
+  let s = shard_of t key in
+  locked s (fun () -> insert_locked s key value);
+  match t.store with
+  | None -> ()
+  | Some st ->
+    Plan_store.add st key value;
+    locked s (fun () ->
+        s.demotions <- s.demotions + 1;
+        Counters.incr c_demotions)
+
 type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  promotions : int;
+  demotions : int;
   length : int;
   capacity : int;
 }
@@ -125,6 +173,8 @@ let shard_stats t =
         hits = s.hits;
         misses = s.misses;
         evictions = s.evictions;
+        promotions = s.promotions;
+        demotions = s.demotions;
         length = Hashtbl.length s.table;
         capacity = s.shard_capacity;
       })
@@ -140,11 +190,23 @@ let stats t =
         hits = acc.hits + s.hits;
         misses = acc.misses + s.misses;
         evictions = acc.evictions + s.evictions;
+        promotions = acc.promotions + s.promotions;
+        demotions = acc.demotions + s.demotions;
         length = acc.length + s.length;
         capacity = acc.capacity + s.capacity;
       })
-    { hits = 0; misses = 0; evictions = 0; length = 0; capacity = 0 }
+    {
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      promotions = 0;
+      demotions = 0;
+      length = 0;
+      capacity = 0;
+    }
     (shard_stats t)
+
+let store_stats t = Option.map Plan_store.stats t.store
 
 let hit_rate s =
   let total = s.hits + s.misses in

@@ -13,26 +13,45 @@
 
 type t
 
-(** [create ~capacity ?shards ()] — [capacity] is clamped to at least
-    1, [shards] (default 1) to [1..capacity].  Each shard holds up to
-    [ceil (capacity / shards)] entries, so the total never rounds below
-    [capacity]. *)
-val create : capacity:int -> ?shards:int -> unit -> t
+(** [create ~capacity ?shards ?store ()] — [capacity] is clamped to at
+    least 1, [shards] (default 1) to [1..capacity].  Each shard holds
+    up to [ceil (capacity / shards)] entries, so the total never rounds
+    below [capacity].  With [store], the in-memory LRU becomes the
+    first tier over a persistent {!Plan_store}: misses fall through to
+    disk (a hit there is {e promoted} into memory), and every [add]
+    writes through (a {e demotion} in tiering parlance — the plan now
+    also lives in the bigger, slower tier and survives restarts). *)
+val create : capacity:int -> ?shards:int -> ?store:Plan_store.t -> unit -> t
 
 val shard_count : t -> int
 
-(** [find t digest] is the cached outcome, promoting the entry to
-    most-recently-used within its shard.  Counts a hit or a miss. *)
+(** The persistent tier, when configured. *)
+val store : t -> Plan_store.t option
+
+(** Which tier answered a [find]. *)
+type tier = Memory | Store
+
+(** [find_tier t digest] is the cached outcome and the tier that held
+    it.  A [Memory] hit promotes within its shard's LRU; a [Store] hit
+    additionally promotes the plan into the memory tier.  Counts a
+    memory hit, or a memory miss followed by the store's own
+    hit/miss. *)
+val find_tier : t -> string -> (string * tier) option
+
+(** [find t digest] is [find_tier] without the tier. *)
 val find : t -> string -> string option
 
 (** [add t digest outcome] inserts or refreshes, evicting the owning
-    shard's LRU entry when that shard is at capacity. *)
+    shard's LRU entry when that shard is at capacity; with a store
+    configured the plan is also persisted (write-through). *)
 val add : t -> string -> string -> unit
 
 type stats = {
-  hits : int;
-  misses : int;
+  hits : int;  (** memory-tier hits *)
+  misses : int;  (** memory-tier misses (a store hit still counts one) *)
   evictions : int;
+  promotions : int;  (** store hits copied up into the memory tier *)
+  demotions : int;  (** write-throughs persisted to the store tier *)
   length : int;
   capacity : int;
 }
@@ -48,3 +67,6 @@ val shard_stats : t -> stats array
 
 (** [hit_rate s] is hits / (hits + misses), or 0 before any lookup. *)
 val hit_rate : stats -> float
+
+(** The persistent tier's own counters, when configured. *)
+val store_stats : t -> Plan_store.stats option

@@ -1,0 +1,55 @@
+(** Persistent content-addressed plan store — the on-disk tier below
+    {!Plan_cache}.
+
+    One digest-named file per plan ([<digest>.plan]) under a store
+    directory, each carrying a CRC32 + exact-length header so torn or
+    truncated writes are detected on read and deleted, never served.
+    Writes land in a pid-unique temp file and [rename] into place, so
+    readers — including other shard processes sharing the directory —
+    only ever observe complete files, and two processes persisting the
+    same digest both win (same content, same name).
+
+    An in-memory byte-bounded LRU index fronts the directory; it is
+    rebuilt on {!open_} from a scan in mtime order, so recency survives
+    restarts, and [find] adopts files written by sibling processes that
+    this index has never seen.  Eviction unlinks least-recently-used
+    files until the byte budget holds.
+
+    The store is a cache, not a database: no fsync, best-effort
+    durability, CRC-verified integrity. *)
+
+type t
+
+(** [open_ ~dir ?max_bytes ()] creates [dir] (and parents) if needed
+    and rebuilds the index from its contents.  [max_bytes] (default
+    256 MiB) bounds the total file bytes kept. *)
+val open_ : dir:string -> ?max_bytes:int -> unit -> t
+
+val dir : t -> string
+
+(** [find t digest] is the stored plan, CRC-checked; promotes the entry
+    and refreshes the file mtime.  Corrupt files are deleted and count
+    as misses.  Digests that are not hex strings never touch the
+    filesystem. *)
+val find : t -> string -> string option
+
+(** [add t digest payload] persists atomically, then evicts over
+    budget.  A digest already present is promoted, not rewritten —
+    content addressing makes the bytes equal by construction. *)
+val add : t -> string -> string -> unit
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  corrupt : int;  (** CRC/length/header failures found (and deleted) *)
+  entries : int;
+  bytes : int;
+  max_bytes : int;
+}
+
+val stats : t -> stats
+
+(** CRC-32 (IEEE, zlib polynomial) of a string.  Exposed for tests. *)
+val crc32 : string -> int32

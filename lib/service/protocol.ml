@@ -7,25 +7,35 @@ type source = Benchmark of string | Inline of string
 
 type spec = { source : source; method_ : method_; config : Pdw.config }
 
+(* Bump whenever the frame vocabulary changes incompatibly; the hello
+   handshake turns a mismatch into a typed error instead of a frame
+   decode failure deep in a pipeline. *)
+let wire_rev = 2
+
 type request =
   | Submit of { spec : spec; no_cache : bool }
   | Burn of { ms : int }
+  | Hello of { version : string; rev : int }
   | Stats
   | Metrics
   | Version
   | Ping
   | Shutdown
 
+type tier = Memory | Store | Planned
+
 type reply =
   | Plan of {
       cached : bool;
       coalesced : bool;
+      tier : tier;
       digest : string;
       wall_ms : float;
       outcome : string;
     }
   | Shed of { in_flight : int; limit : int }
   | Timeout of { after_ms : int }
+  | Hello_reply of { version : string; rev : int }
   | Stats_reply of Json.t
   | Metrics_reply of string
   | Version_reply of string
@@ -33,6 +43,17 @@ type reply =
   | Burned of { ms : int }
   | Bye
   | Error of string
+
+let tier_name = function
+  | Memory -> "memory"
+  | Store -> "store"
+  | Planned -> "planned"
+
+let tier_of_name = function
+  | "memory" -> Some Memory
+  | "store" -> Some Store
+  | "planned" -> Some Planned
+  | _ -> None
 
 let spec ?(method_ = `Pdw) ?(config = Pdw.default_config) source =
   { source; method_; config }
@@ -159,6 +180,13 @@ let request_to_json = function
           ("config", config_to_json config);
           ("no_cache", Json.Bool no_cache) ])
   | Burn { ms } -> Json.Obj [ ("op", Json.Str "burn"); ("ms", Json.Int ms) ]
+  | Hello { version; rev } ->
+    Json.Obj
+      [
+        ("op", Json.Str "hello");
+        ("version", Json.Str version);
+        ("rev", Json.Int rev);
+      ]
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
   | Metrics -> Json.Obj [ ("op", Json.Str "metrics") ]
   | Version -> Json.Obj [ ("op", Json.Str "version") ]
@@ -199,6 +227,10 @@ let request_of_json j =
     match Option.bind (Json.member "ms" j) Json.to_int with
     | Some ms when ms >= 0 -> Ok (Burn { ms })
     | Some _ | None -> Result.Error "burn: missing non-negative \"ms\"")
+  | Some "hello" -> (
+    match (str "version", Option.bind (Json.member "rev" j) Json.to_int) with
+    | Some version, Some rev -> Ok (Hello { version; rev })
+    | _ -> Result.Error "hello: missing \"version\" or \"rev\"")
   | Some "stats" -> Ok Stats
   | Some "metrics" -> Ok Metrics
   | Some "version" -> Ok Version
@@ -207,7 +239,7 @@ let request_of_json j =
   | Some op -> Result.Error (Printf.sprintf "unknown op %S" op)
 
 let reply_to_json = function
-  | Plan { cached; coalesced; digest; wall_ms; outcome } ->
+  | Plan { cached; coalesced; tier; digest; wall_ms; outcome } ->
     let outcome_json =
       (* The outcome is Json_export text; to_string of the parse is
          byte-identical (the round-trip property), so embedding it as a
@@ -221,6 +253,7 @@ let reply_to_json = function
         ("status", Json.Str "ok");
         ("cached", Json.Bool cached);
         ("coalesced", Json.Bool coalesced);
+        ("tier", Json.Str (tier_name tier));
         ("digest", Json.Str digest);
         ("wall_ms", Json.Float wall_ms);
         ("outcome", outcome_json);
@@ -235,6 +268,14 @@ let reply_to_json = function
   | Timeout { after_ms } ->
     Json.Obj
       [ ("status", Json.Str "timeout"); ("after_ms", Json.Int after_ms) ]
+  | Hello_reply { version; rev } ->
+    Json.Obj
+      [
+        ("status", Json.Str "ok");
+        ( "hello",
+          Json.Obj
+            [ ("version", Json.Str version); ("rev", Json.Int rev) ] );
+      ]
   | Stats_reply stats ->
     Json.Obj [ ("status", Json.Str "ok"); ("stats", stats) ]
   | Metrics_reply text ->
@@ -262,14 +303,16 @@ let reply_to_json = function
    that is not a JSON object falls back to the codec. *)
 let reply_to_string reply =
   match reply with
-  | Plan { cached; coalesced; digest; wall_ms; outcome }
+  | Plan { cached; coalesced; tier; digest; wall_ms; outcome }
     when String.length outcome > 0 && outcome.[0] = '{' ->
     let b = Buffer.create (String.length outcome + 128) in
     Buffer.add_string b "{\"status\":\"ok\",\"cached\":";
     Buffer.add_string b (if cached then "true" else "false");
     Buffer.add_string b ",\"coalesced\":";
     Buffer.add_string b (if coalesced then "true" else "false");
-    Buffer.add_string b ",\"digest\":";
+    Buffer.add_string b ",\"tier\":\"";
+    Buffer.add_string b (tier_name tier);
+    Buffer.add_string b "\",\"digest\":";
     Buffer.add_string b (Json.to_string (Json.Str digest));
     Buffer.add_string b ",\"wall_ms\":";
     Buffer.add_string b (Json.to_string (Json.Float wall_ms));
@@ -301,11 +344,20 @@ let reply_of_json j =
       let get_bool k =
         match Json.member k j with Some (Json.Bool b) -> b | _ -> false
       in
+      let cached = get_bool "cached" in
+      (* Replies from a pre-tier peer carry no "tier"; infer the best
+         equivalent from the cached flag. *)
+      let tier =
+        match Option.bind (str "tier") tier_of_name with
+        | Some t -> t
+        | None -> if cached then Memory else Planned
+      in
       Ok
         (Plan
            {
-             cached = get_bool "cached";
+             cached;
              coalesced = get_bool "coalesced";
+             tier;
              digest = Option.value (str "digest") ~default:"";
              wall_ms =
                Option.value
@@ -314,6 +366,14 @@ let reply_of_json j =
              outcome = Json.to_string outcome_json;
            })
     | None -> (
+      match Json.member "hello" j with
+      | Some h -> (
+        let hstr k = Option.bind (Json.member k h) Json.to_str in
+        match (hstr "version", Option.bind (Json.member "rev" h) Json.to_int)
+        with
+        | Some version, Some rev -> Ok (Hello_reply { version; rev })
+        | _ -> Result.Error "hello reply: missing fields")
+      | None -> (
       match Json.member "stats" j with
       | Some stats -> Ok (Stats_reply stats)
       | None -> (
@@ -328,6 +388,6 @@ let reply_of_json j =
           | None ->
             if Json.member "bye" j <> None then Ok Bye
             else if Json.member "pong" j <> None then Ok Pong
-            else Result.Error "ok reply: unrecognized shape")))))
+            else Result.Error "ok reply: unrecognized shape"))))))
   | Some s -> Result.Error (Printf.sprintf "unknown status %S" s)
   | None -> Result.Error "reply: missing \"status\""

@@ -23,6 +23,12 @@ type spec = {
       (** wire-configurable subset; [ilp_config] stays at its default *)
 }
 
+(** The wire-vocabulary revision this build speaks.  Bumped on every
+    incompatible frame change; the {!Hello} handshake compares peers'
+    revs up front so a mismatch is a typed error reply, not a frame
+    decode failure mid-pipeline. *)
+val wire_rev : int
+
 type request =
   | Submit of { spec : spec; no_cache : bool }
       (** plan (or fetch from cache); [no_cache] forces a fresh
@@ -30,6 +36,11 @@ type request =
   | Burn of { ms : int }
       (** a synthetic job that holds a worker for [ms] milliseconds —
           load-generation and backpressure testing *)
+  | Hello of { version : string; rev : int }
+      (** version handshake: the peer's build version and {!wire_rev}.
+          The server answers {!Hello_reply} when the revs agree and a
+          loud typed [Error] when they do not — the fleet router sends
+          this on every backend connect before any traffic. *)
   | Stats  (** queue depth, cache hit rate, latency percentiles *)
   | Metrics
       (** Prometheus text exposition of every counter, gauge and
@@ -39,10 +50,15 @@ type request =
   | Ping
   | Shutdown  (** stop accepting, drain, exit *)
 
+(** Which tier produced a plan: the in-memory cache, the persistent
+    on-disk store, or a fresh planner run. *)
+type tier = Memory | Store | Planned
+
 type reply =
   | Plan of {
-      cached : bool;  (** served from the plan cache *)
+      cached : bool;  (** served from the plan cache (either tier) *)
       coalesced : bool;  (** attached to an identical in-flight job *)
+      tier : tier;  (** where the outcome bytes came from *)
       digest : string;  (** content address of the canonical spec *)
       wall_ms : float;  (** server-side time to answer this request *)
       outcome : string;  (** raw [Json_export] outcome text *)
@@ -52,6 +68,8 @@ type reply =
   | Timeout of { after_ms : int }
       (** the job exceeded the per-job wall-clock budget; the result
           will still land in the cache when it completes *)
+  | Hello_reply of { version : string; rev : int }
+      (** the server's side of the {!Hello} handshake *)
   | Stats_reply of Json.t
   | Metrics_reply of string
       (** the exposition text, JSON-escaped in transit; [pdw stats
@@ -91,3 +109,6 @@ val reply_to_json : reply -> Json.t
 val reply_to_string : reply -> string
 
 val reply_of_json : Json.t -> (reply, string) result
+
+(** ["memory"] / ["store"] / ["planned"] — the wire spelling. *)
+val tier_name : tier -> string

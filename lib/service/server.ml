@@ -19,6 +19,8 @@ type config = {
   cache_capacity : int;
   job_timeout_ms : int;
   max_retries : int;
+  store_dir : string option;
+  store_max_bytes : int;
 }
 
 let default_config ~socket_path =
@@ -29,6 +31,8 @@ let default_config ~socket_path =
     cache_capacity = 256;
     job_timeout_ms = 60_000;
     max_retries = 1;
+    store_dir = None;
+    store_max_bytes = 256 * 1024 * 1024;
   }
 
 (* One planning job, shared by every coalesced waiter.  Waiters poll
@@ -182,14 +186,7 @@ let global_limit t = t.shard_limit * Array.length t.shards
 let stats_json t =
   let snaps = Array.map snapshot_shard t.shards in
   let cache_shards = Plan_cache.shard_stats t.cache in
-  let cache_total =
-    Array.fold_left
-      (fun (h, m, e, l, cap) (s : Plan_cache.stats) ->
-        (h + s.hits, m + s.misses, e + s.evictions, l + s.length,
-         cap + s.capacity))
-      (0, 0, 0, 0, 0) cache_shards
-  in
-  let hits, misses, evictions, length, capacity = cache_total in
+  let cache = Plan_cache.stats t.cache in
   let pend = Domain_pool.pending_per_worker t.pool in
   let qpeaks = Domain_pool.peak_per_worker t.pool in
   let sum f = Array.fold_left (fun acc s -> acc + f s) 0 snaps in
@@ -215,6 +212,8 @@ let stats_json t =
         ("hits", Json.Int s.hits);
         ("misses", Json.Int s.misses);
         ("evictions", Json.Int s.evictions);
+        ("promotions", Json.Int s.promotions);
+        ("demotions", Json.Int s.demotions);
         ("length", Json.Int s.length);
       ]
   in
@@ -236,8 +235,17 @@ let stats_json t =
         ("burns", Json.Int s.snap_counts.burns);
         ( "cache",
           if i < Array.length cache_shards then cache_shard_json cache_shards.(i)
-          else cache_shard_json
-                 { hits = 0; misses = 0; evictions = 0; length = 0; capacity = 0 } );
+          else
+            cache_shard_json
+              {
+                hits = 0;
+                misses = 0;
+                evictions = 0;
+                promotions = 0;
+                demotions = 0;
+                length = 0;
+                capacity = 0;
+              } );
       ]
   in
   Json.Obj
@@ -257,17 +265,34 @@ let stats_json t =
           ] );
       ( "cache",
         Json.Obj
-          [
-            ("hits", Json.Int hits);
-            ("misses", Json.Int misses);
-            ("evictions", Json.Int evictions);
-            ("length", Json.Int length);
-            ("capacity", Json.Int capacity);
-            ( "hit_rate",
-              Json.Float
-                (if hits + misses = 0 then 0.0
-                 else float_of_int hits /. float_of_int (hits + misses)) );
-          ] );
+          ([
+             ("hits", Json.Int cache.Plan_cache.hits);
+             ("misses", Json.Int cache.misses);
+             ("evictions", Json.Int cache.evictions);
+             ("promotions", Json.Int cache.promotions);
+             ("demotions", Json.Int cache.demotions);
+             ("length", Json.Int cache.length);
+             ("capacity", Json.Int cache.capacity);
+             ("hit_rate", Json.Float (Plan_cache.hit_rate cache));
+           ]
+          @
+          match Plan_cache.store_stats t.cache with
+          | None -> []
+          | Some (st : Plan_store.stats) ->
+            [
+              ( "store",
+                Json.Obj
+                  [
+                    ("hits", Json.Int st.hits);
+                    ("misses", Json.Int st.misses);
+                    ("writes", Json.Int st.writes);
+                    ("evictions", Json.Int st.evictions);
+                    ("corrupt", Json.Int st.corrupt);
+                    ("entries", Json.Int st.entries);
+                    ("bytes", Json.Int st.bytes);
+                    ("max_bytes", Json.Int st.max_bytes);
+                  ] );
+            ]) );
       ( "requests",
         Json.Obj
           [
@@ -357,10 +382,38 @@ let metrics_text t =
   Expo.counter e ~name:"pdw_cache_evictions_total"
     ~help:"Plans evicted to admit fresher ones"
     [ ([], fl (csum (fun s -> s.evictions))) ];
+  Expo.counter e ~name:"pdw_cache_promotions_total"
+    ~help:"Store-tier hits copied up into the memory tier"
+    [ ([], fl (csum (fun s -> s.promotions))) ];
+  Expo.counter e ~name:"pdw_cache_demotions_total"
+    ~help:"Plans written through to the persistent store tier"
+    [ ([], fl (csum (fun s -> s.demotions))) ];
   Expo.gauge e ~name:"pdw_cache_length" ~help:"Plans currently cached"
     [ ([], fl (csum (fun s -> s.length))) ];
   Expo.gauge e ~name:"pdw_cache_capacity" ~help:"Plan-cache capacity"
     [ ([], fl (csum (fun s -> s.capacity))) ];
+  (match Plan_cache.store_stats t.cache with
+  | None -> ()
+  | Some (st : Plan_store.stats) ->
+    Expo.counter e ~name:"pdw_store_hits_total"
+      ~help:"Persistent plan-store hits (CRC-verified reads)"
+      [ ([], fl st.hits) ];
+    Expo.counter e ~name:"pdw_store_misses_total"
+      ~help:"Persistent plan-store misses"
+      [ ([], fl st.misses) ];
+    Expo.counter e ~name:"pdw_store_writes_total"
+      ~help:"Plans persisted to the store (atomic tmp+rename)"
+      [ ([], fl st.writes) ];
+    Expo.counter e ~name:"pdw_store_evictions_total"
+      ~help:"Store files unlinked to hold the byte budget"
+      [ ([], fl st.evictions) ];
+    Expo.counter e ~name:"pdw_store_corrupt_total"
+      ~help:"Store files that failed CRC/length checks (deleted)"
+      [ ([], fl st.corrupt) ];
+    Expo.gauge e ~name:"pdw_store_entries" ~help:"Plans on disk"
+      [ ([], fl st.entries) ];
+    Expo.gauge e ~name:"pdw_store_bytes" ~help:"Store bytes on disk"
+      [ ([], fl st.bytes) ]);
   (* Latency story: merged histograms plus the per-shard request-wall
      family (same bucket boundaries, so the rows sum to the total). *)
   let tel = telemetry t in
@@ -569,15 +622,21 @@ let handle_submit t spec ~no_cache =
   in
   with_counts sh (fun c -> c.submitted <- c.submitted + 1);
   let cache_hit =
-    if no_cache then None else Plan_cache.find t.cache digest
+    if no_cache then None else Plan_cache.find_tier t.cache digest
   in
   let t_cache = now_ms () in
   match cache_hit with
-  | Some outcome ->
+  | Some (outcome, cache_tier) ->
     let wall_ms = t_cache -. t0 in
+    let tier =
+      match cache_tier with
+      | Plan_cache.Memory -> Protocol.Memory
+      | Plan_cache.Store -> Protocol.Store
+    in
     Histogram.record sh.h_latency wall_ms;
     note Reqtrace.Hit wall_ms [ ("cache", wall_ms) ];
-    Protocol.Plan { cached = true; coalesced = false; digest; wall_ms; outcome }
+    Protocol.Plan
+      { cached = true; coalesced = false; tier; digest; wall_ms; outcome }
   | None -> (
     match admit_submit t sh spec digest ~no_cache with
     | Refused ->
@@ -628,7 +687,15 @@ let handle_submit t spec ~no_cache =
           note
             (if coalesced then Reqtrace.Coalesced else Reqtrace.Planned)
             wall_ms stages;
-          Protocol.Plan { cached = false; coalesced; digest; wall_ms; outcome })))
+          Protocol.Plan
+            {
+              cached = false;
+              coalesced;
+              tier = Protocol.Planned;
+              digest;
+              wall_ms;
+              outcome;
+            })))
 
 (* [burn] occupies a worker and an admission slot for [ms] — synthetic
    load with a deterministic duration, for backpressure tests and the
@@ -687,6 +754,19 @@ let handle t req =
   match req with
   | Protocol.Ping -> Protocol.Pong
   | Protocol.Version -> Protocol.Version_reply Version.version
+  | Protocol.Hello { version; rev } ->
+    (* The one gate that keeps a mixed-rev fleet from exchanging frames
+       neither side can decode: agree on the wire revision up front or
+       say, in a reply both revisions can parse, exactly why not. *)
+    if rev = Protocol.wire_rev then
+      Protocol.Hello_reply
+        { version = Version.version; rev = Protocol.wire_rev }
+    else
+      Protocol.Error
+        (Printf.sprintf
+           "protocol rev mismatch: peer %s speaks wire rev %d, this server \
+            (%s) speaks rev %d"
+           version rev Version.version Protocol.wire_rev)
   | Protocol.Stats -> Protocol.Stats_reply (stats_json t)
   | Protocol.Metrics -> Protocol.Metrics_reply (metrics_text t)
   | Protocol.Shutdown ->
@@ -861,10 +941,17 @@ let start cfg =
       burns = 0;
     }
   in
+  let store =
+    Option.map
+      (fun dir -> Plan_store.open_ ~dir ~max_bytes:cfg.store_max_bytes ())
+      cfg.store_dir
+  in
   let t =
     {
       cfg;
-      cache = Plan_cache.create ~capacity:cfg.cache_capacity ~shards:workers ();
+      cache =
+        Plan_cache.create ~capacity:cfg.cache_capacity ~shards:workers ?store
+          ();
       pool = Domain_pool.create ~size:workers ~dedicated:true ();
       shards =
         Array.init workers (fun sid ->

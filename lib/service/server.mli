@@ -58,10 +58,16 @@ type config = {
   cache_capacity : int;  (** plan-cache entries, split across shards *)
   job_timeout_ms : int;  (** per-request wait before a [timeout] reply *)
   max_retries : int;  (** extra planner attempts after a crash *)
+  store_dir : string option;
+      (** persistent {!Plan_store} directory backing the plan cache as
+          a second tier — cached plans survive restarts, and shard
+          processes pointed at the same directory share warm plans *)
+  store_max_bytes : int;  (** store byte budget (LRU-evicted) *)
 }
 
 (** Defaults: 2 workers, 64 in-flight jobs, 256 cached plans, 60 s
-    timeout, 1 retry. *)
+    timeout, 1 retry, no persistent store (256 MiB budget when one is
+    configured). *)
 val default_config : socket_path:string -> config
 
 type t

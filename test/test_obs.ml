@@ -885,6 +885,114 @@ let test_events_are_metrics_inert () =
   Events.reset ();
   Alcotest.(check string) "byte-identical planner output" plain recorded
 
+(* --- the exposition parser and merger behind the fleet scrape --- *)
+
+module Expo = Pdw_obs.Expo
+
+let build_exposition ~count ~shard_count ~gauge ~values =
+  let e = Expo.create () in
+  Expo.counter e ~name:"t_requests_total" ~help:"requests"
+    [ ([], count); ([ ("shard", "0") ], shard_count) ];
+  Expo.gauge e ~name:"t_in_flight" ~help:"in flight" [ ([], gauge) ];
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) values;
+  Expo.histogram e ~name:"t_latency_ms" ~help:"latency" h;
+  Expo.contents e
+
+(* [parse] reads exactly the dialect the builder writes; [write] of the
+   parsed families reproduces the text byte for byte. *)
+let test_expo_parse_write_roundtrip () =
+  let text =
+    build_exposition ~count:3.0 ~shard_count:2.0 ~gauge:1.5
+      ~values:[ 0.5; 3.0; 250.0 ]
+  in
+  match Expo.parse text with
+  | Error m -> Alcotest.fail m
+  | Ok fams ->
+    Alcotest.(check int) "three families" 3 (List.length fams);
+    (match fams with
+    | [ c; g; h ] ->
+      Alcotest.(check bool) "counter kind" true (c.Expo.fam_kind = Expo.Counter);
+      Alcotest.(check bool) "gauge kind" true (g.Expo.fam_kind = Expo.Gauge);
+      Alcotest.(check bool) "histogram kind" true
+        (h.Expo.fam_kind = Expo.Histogram);
+      Alcotest.(check int) "counter carries both samples" 2
+        (List.length c.Expo.fam_samples)
+    | _ -> Alcotest.fail "unexpected family split");
+    let e2 = Expo.create () in
+    Expo.write e2 fams;
+    Alcotest.(check string) "write (parse text) = text" text
+      (Expo.contents e2)
+
+(* Merging two shard expositions sums samples with equal (name, labels)
+   keys — and for histograms that is exactly [Histogram.merge] expressed
+   on the text surface. *)
+let test_expo_merge_sums () =
+  let a_values = [ 0.5; 3.0 ] and b_values = [ 100.0; 3.0; 0.1 ] in
+  let a =
+    build_exposition ~count:3.0 ~shard_count:2.0 ~gauge:1.0 ~values:a_values
+  in
+  let b =
+    build_exposition ~count:4.0 ~shard_count:1.0 ~gauge:0.5 ~values:b_values
+  in
+  let parse text =
+    match Expo.parse text with
+    | Ok fams -> fams
+    | Error m -> Alcotest.fail m
+  in
+  let merged = Expo.merge [ parse a; parse b ] in
+  let sample fam_name sample_name labels =
+    match List.find_opt (fun f -> f.Expo.fam_name = fam_name) merged with
+    | None -> Alcotest.failf "missing merged family %s" fam_name
+    | Some f -> (
+      match
+        List.find_opt
+          (fun s ->
+            s.Expo.sample_name = sample_name && s.Expo.labels = labels)
+          f.Expo.fam_samples
+      with
+      | Some s -> s.Expo.value
+      | None -> Alcotest.failf "missing merged sample %s" sample_name)
+  in
+  Alcotest.(check (float 0.)) "unlabelled counters sum" 7.0
+    (sample "t_requests_total" "t_requests_total" []);
+  Alcotest.(check (float 0.)) "labelled counters sum per label set" 3.0
+    (sample "t_requests_total" "t_requests_total" [ ("shard", "0") ]);
+  Alcotest.(check (float 0.)) "gauges sum to the fleet total" 1.5
+    (sample "t_in_flight" "t_in_flight" []);
+  Alcotest.(check (float 0.)) "histogram counts sum" 5.0
+    (sample "t_latency_ms" "t_latency_ms_count" []);
+  (* The text-surface merge agrees with the histogram-level merge on
+     every bucket line, [+Inf] included. *)
+  let ha = Histogram.create () and hb = Histogram.create () in
+  List.iter (Histogram.record ha) a_values;
+  List.iter (Histogram.record hb) b_values;
+  let oracle = Histogram.merge ha hb in
+  List.iter
+    (fun (le, n) ->
+      let le_label = Expo.number le in
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "bucket le=%s matches Histogram.merge" le_label)
+        (float_of_int n)
+        (sample "t_latency_ms" "t_latency_ms_bucket" [ ("le", le_label) ]))
+    (Histogram.cumulative oracle);
+  Alcotest.(check (float 0.)) "histogram sums add" (Histogram.sum oracle)
+    (sample "t_latency_ms" "t_latency_ms_sum" [])
+
+let test_expo_parse_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Expo.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed exposition %S" text)
+    [
+      "t_total{le=\"0.5\" 3\n";
+      (* unclosed label set *)
+      "t_total notanumber\n";
+      "t_total{le=\"0.5}\n";
+      (* unterminated label value *)
+    ]
+
 let () =
   Alcotest.run "pdw_obs"
     [
@@ -942,6 +1050,15 @@ let () =
           QCheck_alcotest.to_alcotest prop_histogram_merge_commutes;
           QCheck_alcotest.to_alcotest prop_histogram_merge_assoc;
           QCheck_alcotest.to_alcotest prop_histogram_diff_inverts_merge;
+        ] );
+      ( "expo",
+        [
+          Alcotest.test_case "parse/write round-trip" `Quick
+            test_expo_parse_write_roundtrip;
+          Alcotest.test_case "merge sums counters, gauges, buckets" `Quick
+            test_expo_merge_sums;
+          Alcotest.test_case "malformed expositions rejected" `Quick
+            test_expo_parse_rejects_garbage;
         ] );
       ( "clock",
         [ Alcotest.test_case "monotone" `Quick test_clock_monotone ] );

@@ -7,6 +7,8 @@
 module Wire = Pdw_service.Wire
 module Protocol = Pdw_service.Protocol
 module Plan_cache = Pdw_service.Plan_cache
+module Plan_store = Pdw_service.Plan_store
+module Router = Pdw_service.Router
 module Admission = Pdw_service.Admission
 module Engine = Pdw_service.Engine
 module Server = Pdw_service.Server
@@ -351,7 +353,7 @@ let fresh_socket () =
   path
 
 let with_server ?(workers = 2) ?(queue_limit = 4) ?(cache = 8)
-    ?(timeout_ms = 30_000) f =
+    ?(timeout_ms = 30_000) ?store_dir f =
   let cfg =
     {
       Server.socket_path = fresh_socket ();
@@ -360,6 +362,8 @@ let with_server ?(workers = 2) ?(queue_limit = 4) ?(cache = 8)
       cache_capacity = cache;
       job_timeout_ms = timeout_ms;
       max_retries = 1;
+      store_dir;
+      store_max_bytes = 16 * 1024 * 1024;
     }
   in
   let srv = Server.start cfg in
@@ -890,6 +894,578 @@ let test_server_shutdown_request () =
   Alcotest.(check bool) "socket file removed" false
     (Sys.file_exists cfg.Server.socket_path)
 
+(* --- adversarial framing: chunk boundaries must not matter --- *)
+
+let encode_frame payload =
+  Printf.sprintf "%d\n%s" (String.length payload) payload
+
+(* Feed a byte stream through a pipe in the given segments, pausing
+   between writes so each segment (very likely) lands as its own
+   [Unix.read] — the buffered reader must reassemble frames across any
+   such boundary.  Correctness does not depend on the pause: if the
+   kernel coalesces two segments the test still checks the frames. *)
+let read_stream_in_segments ~segments ~buf_size k =
+  with_pipe @@ fun r w ->
+  let writer =
+    Thread.create
+      (fun () ->
+        List.iter
+          (fun seg ->
+            if String.length seg > 0 then
+              ignore (Unix.write_substring w seg 0 (String.length seg));
+            Thread.delay 0.001)
+          segments;
+        Unix.close w)
+      ()
+  in
+  let result = k (Wire.Buffered.create ~buf_size r) in
+  Thread.join writer;
+  result
+
+(* Two frames, the stream cut at EVERY byte position — header split
+   mid-digit, split exactly at the '\n', split inside the payload, and
+   the degenerate cuts at both ends all reassemble. *)
+let test_wire_split_every_byte () =
+  let frames = [ "{\"op\":\"ping\"}"; String.init 64 Char.chr ] in
+  let stream = String.concat "" (List.map encode_frame frames) in
+  let n = String.length stream in
+  for cut = 0 to n do
+    let segments = [ String.sub stream 0 cut; String.sub stream cut (n - cut) ] in
+    read_stream_in_segments ~segments ~buf_size:1024 @@ fun rd ->
+    List.iteri
+      (fun i expected ->
+        match Wire.Buffered.read_frame rd with
+        | Some got ->
+          if not (String.equal got expected) then
+            Alcotest.failf "cut at %d: frame %d corrupted" cut i
+        | None -> Alcotest.failf "cut at %d: eof before frame %d" cut i)
+      frames;
+    if Wire.Buffered.read_frame rd <> None then
+      Alcotest.failf "cut at %d: trailing bytes after the last frame" cut
+  done
+
+(* EOF inside a frame — mid-payload or even mid-header — is a protocol
+   error, never a silent truncation or a clean end-of-stream. *)
+let test_wire_truncated_tail () =
+  let first = "{\"op\":\"ping\"}" in
+  let expect_error_after_first tail =
+    read_stream_in_segments
+      ~segments:[ encode_frame first; tail ]
+      ~buf_size:1024
+    @@ fun rd ->
+    (match Wire.Buffered.read_frame rd with
+    | Some got -> Alcotest.(check string) "intact frame served first" first got
+    | None -> Alcotest.fail "eof before the intact frame");
+    match Wire.Buffered.read_frame rd with
+    | exception Wire.Protocol_error _ -> ()
+    | Some _ | None ->
+      Alcotest.failf "truncated tail %S must raise Protocol_error" tail
+  in
+  expect_error_after_first "10\nabc";
+  (* payload cut short *)
+  expect_error_after_first "12"
+(* header cut short *)
+
+let prop_wire_chunking_independent =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (1 -- 4) (string_size (0 -- 1500)))
+        (list_size (0 -- 12) (0 -- 10_000)))
+  in
+  QCheck2.Test.make ~name:"buffered reads are chunking-independent"
+    ~count:25 gen (fun (payloads, raw_cuts) ->
+      let stream = String.concat "" (List.map encode_frame payloads) in
+      let n = String.length stream in
+      let cuts =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun c -> if n = 0 then None else Some (c mod n))
+             raw_cuts)
+      in
+      let segments =
+        let bounds = (0 :: cuts) @ [ n ] in
+        let rec slice = function
+          | a :: (b :: _ as rest) -> String.sub stream a (b - a) :: slice rest
+          | _ -> []
+        in
+        slice bounds
+      in
+      (* A 1 KiB read buffer with payloads up to 1500 bytes exercises
+         both the buffered path and the straight-from-fd spill. *)
+      read_stream_in_segments ~segments ~buf_size:1024 @@ fun rd ->
+      List.for_all
+        (fun expected ->
+          match Wire.Buffered.read_frame rd with
+          | Some got -> String.equal got expected
+          | None -> false)
+        payloads
+      && Wire.Buffered.read_frame rd = None)
+
+(* --- the persistent plan store --- *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_store_dir f =
+  let dir = Filename.temp_file "pdw-store" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let hex_digest s = Digest.to_hex (Digest.string s)
+
+let test_store_roundtrip () =
+  with_store_dir @@ fun dir ->
+  let st = Plan_store.open_ ~dir () in
+  let d = hex_digest "a" in
+  Plan_store.add st d "payload-A";
+  Alcotest.(check (option string)) "stored plan found" (Some "payload-A")
+    (Plan_store.find st d);
+  Alcotest.(check (option string)) "unknown digest misses" None
+    (Plan_store.find st (hex_digest "zzz"));
+  (* A digest is a hex string; anything else must never reach the
+     filesystem (no path traversal through the content address). *)
+  Alcotest.(check (option string)) "non-hex digest refused" None
+    (Plan_store.find st "../../etc/passwd");
+  let s = Plan_store.stats st in
+  Alcotest.(check int) "one write" 1 s.Plan_store.writes;
+  Alcotest.(check int) "one entry" 1 s.Plan_store.entries;
+  Alcotest.(check bool) "bytes accounted" true (s.Plan_store.bytes > 0);
+  (* Reopen: the index is rebuilt from the directory scan, so the plan
+     survives a process restart. *)
+  let st2 = Plan_store.open_ ~dir () in
+  Alcotest.(check (option string)) "survives reopen" (Some "payload-A")
+    (Plan_store.find st2 d)
+
+let mangle_file file f =
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let bytes = really_input_string ic len in
+  close_in ic;
+  let mangled = f bytes in
+  let oc = open_out_bin file in
+  output_string oc mangled;
+  close_out oc
+
+let test_store_corrupt () =
+  let check_refused name mangle =
+    with_store_dir @@ fun dir ->
+    let d = hex_digest name in
+    let st = Plan_store.open_ ~dir () in
+    Plan_store.add st d ("plan bytes for " ^ name);
+    let file = Filename.concat dir (d ^ ".plan") in
+    Alcotest.(check bool) (name ^ ": file exists") true (Sys.file_exists file);
+    mangle_file file mangle;
+    (* A fresh open adopts the damaged file from the scan; the CRC (or
+       length) check must refuse it and delete it. *)
+    let st2 = Plan_store.open_ ~dir () in
+    Alcotest.(check (option string)) (name ^ ": corrupt entry refused") None
+      (Plan_store.find st2 d);
+    Alcotest.(check bool) (name ^ ": corruption counted") true
+      ((Plan_store.stats st2).Plan_store.corrupt >= 1);
+    Alcotest.(check bool) (name ^ ": damaged file deleted") false
+      (Sys.file_exists file)
+  in
+  (* last payload byte flipped: length fine, CRC wrong *)
+  check_refused "bitflip" (fun s ->
+      let b = Bytes.of_string s in
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      Bytes.to_string b);
+  (* torn write: file cut mid-payload *)
+  check_refused "truncated" (fun s -> String.sub s 0 (String.length s / 2))
+
+let test_store_eviction () =
+  with_store_dir @@ fun dir ->
+  let payload = String.make 1024 'p' in
+  (* Budget for three ~1 KiB files (headers included), not four. *)
+  let st = Plan_store.open_ ~dir ~max_bytes:3500 () in
+  let d i = hex_digest (string_of_int i) in
+  for i = 1 to 4 do
+    Plan_store.add st (d i) payload
+  done;
+  let s = Plan_store.stats st in
+  Alcotest.(check bool) "bytes held to the budget" true
+    (s.Plan_store.bytes <= 3500);
+  Alcotest.(check int) "one eviction" 1 s.Plan_store.evictions;
+  Alcotest.(check int) "three entries left" 3 s.Plan_store.entries;
+  Alcotest.(check (option string)) "least-recently-used unlinked" None
+    (Plan_store.find st (d 1));
+  Alcotest.(check (option string)) "newest survives" (Some payload)
+    (Plan_store.find st (d 4))
+
+(* The two-tier cache: write-through demotions, store-hit promotions,
+   and memory eviction that never touches the persistent tier. *)
+let test_cache_tiers () =
+  with_store_dir @@ fun dir ->
+  let store = Plan_store.open_ ~dir () in
+  let c = Plan_cache.create ~capacity:1 ~store () in
+  let da = hex_digest "a" and db = hex_digest "b" in
+  Plan_cache.add c da "A";
+  (* write-through *)
+  Plan_cache.add c db "B";
+  (* evicts [a] from memory; the store still has it *)
+  (match Plan_cache.find_tier c da with
+  | Some ("A", Plan_cache.Store) -> ()
+  | Some (_, Plan_cache.Memory) -> Alcotest.fail "evicted entry still in memory"
+  | Some _ -> Alcotest.fail "wrong payload from the store tier"
+  | None -> Alcotest.fail "memory eviction must not reach the store");
+  (* the store hit was promoted: now it answers from memory *)
+  (match Plan_cache.find_tier c da with
+  | Some ("A", Plan_cache.Memory) -> ()
+  | _ -> Alcotest.fail "store hit was not promoted into memory");
+  let s = Plan_cache.stats c in
+  Alcotest.(check int) "both adds wrote through" 2 s.Plan_cache.demotions;
+  Alcotest.(check int) "one promotion" 1 s.Plan_cache.promotions;
+  Alcotest.(check int) "memory hit counted" 1 s.Plan_cache.hits;
+  Alcotest.(check int) "memory miss counted" 1 s.Plan_cache.misses;
+  match Plan_cache.store_stats c with
+  | Some st ->
+    Alcotest.(check int) "store saw both writes" 2 st.Plan_store.writes;
+    Alcotest.(check int) "store served the fall-through" 1 st.Plan_store.hits
+  | None -> Alcotest.fail "store_stats missing with a store configured"
+
+(* --- the version handshake --- *)
+
+let test_server_hello () =
+  with_server @@ fun path _srv ->
+  Client.with_client path @@ fun c ->
+  (match
+     Client.request c
+       (Protocol.Hello { version = "test-harness"; rev = Protocol.wire_rev })
+   with
+  | Ok (Protocol.Hello_reply { version; rev }) ->
+    Alcotest.(check string) "server states its build version"
+      Pdw_service.Version.version version;
+    Alcotest.(check int) "server states its wire rev" Protocol.wire_rev rev
+  | Ok r ->
+    Alcotest.failf "expected hello_reply, got %s"
+      (Json.to_string (Protocol.reply_to_json r))
+  | Error m -> Alcotest.fail m);
+  (* A rev mismatch is a loud typed error — the connection survives and
+     the message names both revisions. *)
+  (match
+     Client.request c
+       (Protocol.Hello { version = "test-harness"; rev = Protocol.wire_rev + 1 })
+   with
+  | Ok (Protocol.Error m) ->
+    Alcotest.(check bool) "error names the server's rev" true
+      (contains ~needle:(string_of_int Protocol.wire_rev) m);
+    Alcotest.(check bool) "error names the peer's rev" true
+      (contains ~needle:(string_of_int (Protocol.wire_rev + 1)) m)
+  | Ok r ->
+    Alcotest.failf "rev mismatch must be a typed error, got %s"
+      (Json.to_string (Protocol.reply_to_json r))
+  | Error m -> Alcotest.failf "decode failure instead of a typed error: %s" m);
+  match Client.request c Protocol.Ping with
+  | Ok Protocol.Pong -> ()
+  | _ -> Alcotest.fail "connection must survive a refused handshake"
+
+(* --- the persistent tier behind the daemon: warm-store restart --- *)
+
+let submit_tier c spec =
+  match Client.request c (Protocol.Submit { spec; no_cache = false }) with
+  | Ok (Protocol.Plan { cached; tier; outcome; _ }) -> (cached, tier, outcome)
+  | Ok r ->
+    Alcotest.failf "expected a plan reply, got %s"
+      (Json.to_string (Protocol.reply_to_json r))
+  | Error m -> Alcotest.fail m
+
+(* The ISSUE's acceptance case: a daemon restarted against a warm store
+   serves its first request for a previously planned digest from disk —
+   cached, tier [store], byte-identical — without running the planner. *)
+let test_server_store_restart () =
+  with_store_dir @@ fun dir ->
+  let spec = spec_of "pcr" in
+  let expected =
+    match Engine.plan spec with Ok o -> o | Error m -> Alcotest.fail m
+  in
+  (with_server ~store_dir:dir @@ fun path _srv ->
+   Client.with_client path @@ fun c ->
+   let cached, tier, outcome = submit_tier c spec in
+   Alcotest.(check bool) "first run computes" false cached;
+   Alcotest.(check bool) "first run planned" true (tier = Protocol.Planned);
+   Alcotest.(check string) "first run byte-identical" expected outcome);
+  (* the first daemon is gone; a fresh one shares only the directory *)
+  with_server ~store_dir:dir @@ fun path srv ->
+  Client.with_client path @@ fun c ->
+  let cached, tier, outcome = submit_tier c spec in
+  Alcotest.(check bool) "restart serves from cache" true cached;
+  Alcotest.(check bool) "restart's first hit is the store tier" true
+    (tier = Protocol.Store);
+  Alcotest.(check string) "restart byte-identical" expected outcome;
+  match Server.handle srv Protocol.Stats with
+  | Protocol.Stats_reply j ->
+    let jint path' =
+      let v =
+        List.fold_left
+          (fun acc k -> Option.bind acc (Json.member k))
+          (Some j) path'
+      in
+      match Option.bind v Json.to_int with
+      | Some i -> i
+      | None -> Alcotest.failf "stats missing %s" (String.concat "." path')
+    in
+    Alcotest.(check int) "the store hit was promoted into memory" 1
+      (jint [ "cache"; "promotions" ]);
+    Alcotest.(check int) "the store tier recorded the hit" 1
+      (jint [ "cache"; "store"; "hits" ]);
+    (* no planner job ran: the outcome came off disk *)
+    Alcotest.(check int) "nothing reached the workers" 0
+      (jint [ "requests"; "completed" ])
+  | _ -> Alcotest.fail "expected a stats reply"
+
+(* --- the consistent-hash ring --- *)
+
+let ring_keys n = List.init n (fun i -> Printf.sprintf "digest-%04d" i)
+
+let test_ring_determinism_and_balance () =
+  let nodes = [ "shard-0"; "shard-1"; "shard-2" ] in
+  let r1 = Router.Ring.create ~nodes ~vnodes:64 in
+  let r2 = Router.Ring.create ~nodes ~vnodes:64 in
+  Alcotest.(check int) "points = nodes x vnodes" (3 * 64)
+    (Router.Ring.size r1);
+  let keys = ring_keys 3000 in
+  let counts = Hashtbl.create 3 in
+  List.iter
+    (fun k ->
+      (match (Router.Ring.lookup r1 k, Router.Ring.lookup r2 k) with
+      | Some a, Some b ->
+        Alcotest.(check string) ("deterministic owner for " ^ k) a b
+      | _ -> Alcotest.fail "lookup on a non-empty ring");
+      match Router.Ring.lookup r1 k with
+      | Some owner ->
+        Hashtbl.replace counts owner
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts owner))
+      | None -> ())
+    keys;
+  List.iter
+    (fun node ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt counts node) in
+      (* Fair share is 1000; 64 vnodes keep every node within a loose
+         band around it — the property that matters is that no node is
+         starved or doubly loaded. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s owns a fair share (%d of 3000)" node n)
+        true
+        (n > 500 && n < 1700))
+    nodes;
+  Alcotest.(check bool) "empty ring has no owner" true
+    (Router.Ring.lookup (Router.Ring.create ~nodes:[] ~vnodes:64) "k" = None)
+
+let test_ring_minimal_remap () =
+  let keys = ring_keys 3000 in
+  let before = Router.Ring.create ~nodes:[ "a"; "b"; "c" ] ~vnodes:64 in
+  let after = Router.Ring.create ~nodes:[ "a"; "b" ] ~vnodes:64 in
+  let moved = ref 0 and owned_by_c = ref 0 in
+  List.iter
+    (fun k ->
+      match (Router.Ring.lookup before k, Router.Ring.lookup after k) with
+      | Some o1, Some o2 ->
+        if o1 = "c" then begin
+          incr owned_by_c;
+          (* its keys must land on a survivor *)
+          Alcotest.(check bool) "c's keys remap to a live node" true
+            (o2 = "a" || o2 = "b")
+        end
+        else
+          (* the defining property: removing [c] moves ONLY c's keys *)
+          Alcotest.(check string) ("unaffected key " ^ k ^ " stays put") o1 o2;
+        if o1 <> o2 then incr moved
+      | _ -> Alcotest.fail "lookup on a non-empty ring")
+    keys;
+  Alcotest.(check int) "moved keys are exactly c's keys" !owned_by_c !moved;
+  Alcotest.(check bool) "c owned something to begin with" true
+    (!owned_by_c > 0)
+
+(* --- the fleet router, end to end --- *)
+
+let with_fleet ?(shards = 2) f =
+  let mk_shard () =
+    let cfg =
+      {
+        Server.socket_path = fresh_socket ();
+        workers = 1;
+        queue_limit = 16;
+        cache_capacity = 8;
+        job_timeout_ms = 30_000;
+        max_retries = 1;
+        store_dir = None;
+        store_max_bytes = 16 * 1024 * 1024;
+      }
+    in
+    (cfg.Server.socket_path, Server.start cfg)
+  in
+  let backends = List.init shards (fun _ -> mk_shard ()) in
+  let rcfg =
+    Router.default_config ~socket_path:(fresh_socket ())
+      ~shard_sockets:(List.map fst backends)
+  in
+  let router = Router.start rcfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Router.stop router;
+      List.iter (fun (_, srv) -> Server.stop srv) backends)
+    (fun () ->
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while
+        Router.live_count router < shards && Unix.gettimeofday () < deadline
+      do
+        Thread.delay 0.01
+      done;
+      Alcotest.(check int) "all shards connected" shards
+        (Router.live_count router);
+      f rcfg.Router.socket_path router (List.map snd backends))
+
+let jget_path j path' =
+  match
+    List.fold_left
+      (fun acc k -> Option.bind acc (Json.member k))
+      (Some j) path'
+  with
+  | Some v -> v
+  | None -> Alcotest.failf "missing %s" (String.concat "." path')
+
+let jint_path j path' =
+  match Json.to_int (jget_path j path') with
+  | Some i -> i
+  | None -> Alcotest.failf "%s is not an int" (String.concat "." path')
+
+let test_router_end_to_end () =
+  with_fleet ~shards:2 @@ fun path router backends ->
+  let expected_pcr =
+    match Engine.plan (spec_of "pcr") with
+    | Ok o -> o
+    | Error m -> Alcotest.fail m
+  in
+  Client.with_client path @@ fun c ->
+  (match Client.request c Protocol.Ping with
+  | Ok Protocol.Pong -> ()
+  | _ -> Alcotest.fail "ping through the router");
+  (* Plans routed through the fleet are byte-identical to one-shot
+     runs — the router forwards raw frames, so this is structural. *)
+  let cached1, _, o1 = submit_ok c (spec_of "pcr") in
+  Alcotest.(check bool) "first submit computes" false cached1;
+  Alcotest.(check string) "routed plan = one-shot plan" expected_pcr o1;
+  (* Same digest, same shard: the repeat hits that shard's cache. *)
+  let cached2, _, o2 = submit_ok c (spec_of "pcr") in
+  Alcotest.(check bool) "repeat through the ring hits" true cached2;
+  Alcotest.(check string) "cached routed bytes identical" expected_pcr o2;
+  let _ = submit_ok c (spec_of "ivd") in
+  (* Fleet-merged stats: the router's own section plus field-wise sums
+     of the shard snapshots. *)
+  (match Client.request c Protocol.Stats with
+  | Ok (Protocol.Stats_reply j) ->
+    Alcotest.(check int) "fleet reports both procs" 2
+      (jint_path j [ "fleet"; "procs_total" ]);
+    Alcotest.(check int) "both procs live" 2
+      (jint_path j [ "fleet"; "procs_live" ]);
+    Alcotest.(check bool) "submits were forwarded" true
+      (jint_path j [ "fleet"; "forwarded" ] >= 3);
+    Alcotest.(check int) "merged submit tally" 3
+      (jint_path j [ "requests"; "submitted" ]);
+    Alcotest.(check int) "merged cache-hit tally" 1
+      (jint_path j [ "cache"; "hits" ]);
+    (match Json.to_list (jget_path j [ "procs" ]) with
+    | Some procs ->
+      Alcotest.(check int) "one row per shard process" 2 (List.length procs);
+      let sum =
+        List.fold_left
+          (fun acc p -> acc + jint_path p [ "stats"; "requests"; "submitted" ])
+          0 procs
+      in
+      Alcotest.(check int) "per-proc rows sum to the merged tally" 3 sum
+    | None -> Alcotest.fail "procs is not an array")
+  | _ -> Alcotest.fail "stats through the router");
+  (* Fleet-merged metrics: parse the exposition, check the router's own
+     families and that merged shard counters carry the fleet totals. *)
+  (match Client.request c Protocol.Metrics with
+  | Ok (Protocol.Metrics_reply text) ->
+    let samples, types = parse_exposition text in
+    let get series =
+      match Hashtbl.find_opt samples series with
+      | Some v -> v
+      | None -> Alcotest.failf "missing series %S" series
+    in
+    Alcotest.(check bool) "router families typed" true
+      (Hashtbl.mem types "pdw_router_forwarded_total");
+    Alcotest.(check (float 0.)) "fleet size gauge" 2.0 (get "pdw_fleet_procs");
+    Alcotest.(check (float 0.)) "live gauge" 2.0 (get "pdw_fleet_procs_live");
+    Alcotest.(check (float 0.)) "merged submitted counter" 3.0
+      (get "pdw_requests_submitted_total");
+    (* per-shard uptimes don't add; the merge must drop them *)
+    Alcotest.(check bool) "per-shard uptime dropped from the merge" false
+      (Hashtbl.mem samples "pdw_uptime_seconds")
+  | _ -> Alcotest.fail "metrics through the router");
+  (* Kill one shard out from under the fleet: queued work is retried on
+     the survivor and later submits keep answering — zero errors. *)
+  (match backends with
+  | first :: _ -> Server.stop first
+  | [] -> Alcotest.fail "no backends");
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Router.live_count router > 1 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check int) "dead shard dropped from the ring" 1
+    (Router.live_count router);
+  let _, _, o1' = submit_tier c (spec_of "pcr") in
+  Alcotest.(check string) "re-routed plan still byte-identical" expected_pcr
+    o1';
+  let _, _, _ = submit_tier c (spec_of "ivd") in
+  match Client.request c Protocol.Stats with
+  | Ok (Protocol.Stats_reply j) ->
+    Alcotest.(check int) "one proc left" 1
+      (jint_path j [ "fleet"; "procs_live" ]);
+    Alcotest.(check bool) "the death was re-rung" true
+      (jint_path j [ "fleet"; "rerings" ] >= 1)
+  | _ -> Alcotest.fail "stats after the kill"
+
+(* A seeded, verified campaign through the router: every plan reply is
+   checked byte-for-byte against a locally computed outcome, and the
+   summary carries the seed it can be replayed with. *)
+let test_router_loadgen_seeded () =
+  with_fleet ~shards:2 @@ fun path _router _backends ->
+  let specs = [ spec_of "pcr"; spec_of "ivd" ] in
+  let s =
+    Loadgen.run ~socket_path:path ~clients:4 ~per_client:4 ~warmup:4
+      ~pipeline:2 ~seed:7 ~verify:true specs
+  in
+  Alcotest.(check int) "all requests answered with plans" s.Loadgen.requests
+    s.Loadgen.plans;
+  Alcotest.(check int) "no mismatches through the fleet" 0
+    s.Loadgen.mismatches;
+  Alcotest.(check int) "no errors through the fleet" 0 s.Loadgen.errors;
+  Alcotest.(check int) "no shed" 0 s.Loadgen.shed;
+  Alcotest.(check (option int)) "summary carries the seed" (Some 7)
+    s.Loadgen.seed
+
+(* --- seeded load generation is reproducible --- *)
+
+let test_loadgen_spec_indices () =
+  let a = Loadgen.spec_indices ~seed:42 ~client:0 ~nspecs:3 ~warmup:5 ~count:20 in
+  let b = Loadgen.spec_indices ~seed:42 ~client:0 ~nspecs:3 ~warmup:5 ~count:20 in
+  Alcotest.(check (array int)) "same seed and client, same stream" a b;
+  Alcotest.(check int) "length covers warm-up and measured" 25
+    (Array.length a);
+  Array.iter
+    (fun i ->
+      Alcotest.(check bool) "index in range" true (i >= 0 && i < 3))
+    a;
+  let other_client =
+    Loadgen.spec_indices ~seed:42 ~client:1 ~nspecs:3 ~warmup:5 ~count:20
+  in
+  Alcotest.(check bool) "clients draw split, distinct streams" true
+    (a <> other_client);
+  let other_seed =
+    Loadgen.spec_indices ~seed:43 ~client:0 ~nspecs:3 ~warmup:5 ~count:20
+  in
+  Alcotest.(check bool) "the seed changes the stream" true (a <> other_seed)
+
 let () =
   Alcotest.run "pdw_service"
     [
@@ -902,6 +1478,11 @@ let () =
             test_wire_buffered_batch;
           Alcotest.test_case "has_frame sees only the buffer" `Quick
             test_wire_has_frame;
+          Alcotest.test_case "split at every byte boundary" `Quick
+            test_wire_split_every_byte;
+          Alcotest.test_case "truncated final frame" `Quick
+            test_wire_truncated_tail;
+          QCheck_alcotest.to_alcotest prop_wire_chunking_independent;
         ] );
       ( "protocol",
         [
@@ -918,6 +1499,17 @@ let () =
           Alcotest.test_case "refresh in place" `Quick test_cache_refresh;
           Alcotest.test_case "sharded, hammered by domains" `Slow
             test_cache_sharded_stress;
+          Alcotest.test_case "two tiers: promotion and write-through" `Quick
+            test_cache_tiers;
+        ] );
+      ( "plan store",
+        [
+          Alcotest.test_case "roundtrip, reopen, non-hex refused" `Quick
+            test_store_roundtrip;
+          Alcotest.test_case "corruption detected and deleted" `Quick
+            test_store_corrupt;
+          Alcotest.test_case "byte-bounded LRU eviction" `Quick
+            test_store_eviction;
         ] );
       ( "admission",
         [ Alcotest.test_case "bounded slots" `Quick test_admission ] );
@@ -956,5 +1548,27 @@ let () =
             test_server_telemetry_and_ring;
           Alcotest.test_case "shutdown request" `Quick
             test_server_shutdown_request;
+          Alcotest.test_case "version handshake" `Quick test_server_hello;
+          Alcotest.test_case "warm-store restart serves from disk" `Slow
+            test_server_store_restart;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "deterministic and balanced" `Quick
+            test_ring_determinism_and_balance;
+          Alcotest.test_case "node removal moves only its keys" `Quick
+            test_ring_minimal_remap;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "routes, merges, survives a shard kill" `Slow
+            test_router_end_to_end;
+          Alcotest.test_case "seeded verified campaign through the fleet"
+            `Slow test_router_loadgen_seeded;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "seeded spec streams are reproducible" `Quick
+            test_loadgen_spec_indices;
         ] );
     ]
