@@ -431,6 +431,25 @@ let run_perf () =
     timed (fun () ->
         Pdw.optimize ~config:(exact_ilp_config ~warm_start:false) exact_s)
   in
+  (* The storage-pressure family, timed like the Table II rows.  Holds
+     are counted on the baseline synthesis (pre-wash) schedule: the
+     structural pressure of the assay, independent of either planner. *)
+  let per_storage =
+    List.map
+      (fun (name, (b : Benchmarks.t)) ->
+        let s = Synthesis.synthesize b in
+        let pdw, pdw_ms = timed (fun () -> Pdw.optimize s) in
+        let dawo, dawo_ms = timed (fun () -> Dawo.optimize s) in
+        let holds = Schedule.holds s.Synthesis.schedule in
+        let t_hold =
+          List.fold_left
+            (fun acc h ->
+              acc + (h.Schedule.hold_until - h.Schedule.hold_start))
+            0 holds
+        in
+        (name, List.length holds, t_hold, (pdw, pdw_ms), (dawo, dawo_ms)))
+      (Benchmarks.storage ())
+  in
   let stage_ms =
     List.map
       (fun (name, ms) -> (name, J.Float ms))
@@ -459,7 +478,7 @@ let run_perf () =
   let json =
     J.Obj
       [
-        ("schema", J.String "pathdriver-wash/bench-solver/v3");
+        ("schema", J.String "pathdriver-wash/bench-solver/v4");
         ("mode", J.String "perf");
         ("git_commit", J.String (git_commit ()));
         ("generated_at", J.String (iso8601_now ()));
@@ -475,6 +494,19 @@ let run_perf () =
                      ("dawo", J.Obj (planner_fields dawo_ms dawo));
                    ])
                per_bench) );
+        ( "storage",
+          J.List
+            (List.map
+               (fun (name, holds, t_hold, (pdw, pdw_ms), (dawo, dawo_ms)) ->
+                 J.Obj
+                   [
+                     ("name", J.String name);
+                     ("holds", J.Int holds);
+                     ("t_hold_s", J.Int t_hold);
+                     ("pdw", J.Obj (planner_fields pdw_ms pdw));
+                     ("dawo", J.Obj (planner_fields dawo_ms dawo));
+                   ])
+               per_storage) );
         ("optimize_wall_ms", J.Float optimize_wall_ms);
         ("stage_ms", J.Obj stage_ms);
         ("stage_alloc_words", J.Obj stage_alloc_words);
@@ -497,6 +529,67 @@ let run_perf () =
     "perf: wrote %s (optimize wall %.1f ms, exact ILP warm %.1f ms / cold \
      %.1f ms)@."
     path optimize_wall_ms warm_ms cold_ms
+
+(* Storage-pressure assays: the park/fetch workload family, PDW vs
+   DAWO, with the hold pressure each assay puts on the channel network.
+   Doubles as the CI smoke gate: a storage-blind grouping must never
+   beat the storage-aware planner on wash count, so PDW > DAWO on any
+   assay hard-fails the job. *)
+let storage_rows () =
+  pooled
+    (fun (name, (b : Benchmarks.t)) ->
+      let s = Synthesis.synthesize b in
+      let pdw = Pdw.optimize s in
+      let dawo = Dawo.optimize s in
+      let holds = Schedule.holds s.Synthesis.schedule in
+      let t_hold =
+        List.fold_left
+          (fun acc h -> acc + (h.Schedule.hold_until - h.Schedule.hold_start))
+          0 holds
+      in
+      let parks =
+        List.length
+          (Pdw_assay.Sequencing_graph.parked_ops b.Benchmarks.graph)
+      in
+      (name, b, parks, List.length holds, t_hold, pdw, dawo))
+    (Benchmarks.storage ())
+
+let run_storage () =
+  Format.printf
+    "@[<v>Storage-pressure assays (distributed channel storage)@,@,\
+     %-16s %4s %6s %6s %9s %13s %16s %14s@," "Assay" "|O|" "parks" "holds"
+    "t_hold(s)" "N_wash P/D" "L_wash(mm) P/D" "T_assay(s) P/D";
+  let rows = storage_rows () in
+  List.iter
+    (fun (name, (b : Benchmarks.t), parks, holds, t_hold,
+          (pdw : Wash_plan.outcome), (dawo : Wash_plan.outcome)) ->
+      let p = pdw.Wash_plan.metrics and d = dawo.Wash_plan.metrics in
+      Format.printf "%-16s %4d %6d %6d %9d %8d/%-4d %9.1f/%-6.1f %8d/%-5d@,"
+        name
+        (Pdw_assay.Sequencing_graph.num_ops b.Benchmarks.graph)
+        parks holds t_hold p.Metrics.n_wash d.Metrics.n_wash
+        p.Metrics.l_wash_mm d.Metrics.l_wash_mm p.Metrics.t_assay
+        d.Metrics.t_assay)
+    rows;
+  Format.printf "@]@.";
+  let regressions =
+    List.filter
+      (fun (_, _, _, _, _, (pdw : Wash_plan.outcome),
+            (dawo : Wash_plan.outcome)) ->
+        pdw.Wash_plan.metrics.Metrics.n_wash
+        > dawo.Wash_plan.metrics.Metrics.n_wash)
+      rows
+  in
+  List.iter
+    (fun (name, _, _, _, _, (pdw : Wash_plan.outcome),
+          (dawo : Wash_plan.outcome)) ->
+      Format.printf
+        "FAIL %s: PDW %d washes > DAWO %d (storage-aware planner lost to \
+         the storage-blind baseline)@."
+        name pdw.Wash_plan.metrics.Metrics.n_wash
+        dawo.Wash_plan.metrics.Metrics.n_wash)
+    regressions;
+  if regressions <> [] then exit 1
 
 (* Planning-service scaling curve (BENCH_serve.json): an in-process
    daemon on a temp socket, driven by the pipelined loadgen at 1, 2, 4
@@ -1133,6 +1226,54 @@ let run_compare ~tolerance baseline_path new_path =
         if not (List.mem_assoc name base_benches) then
           fail "benchmark %s: not in baseline" name)
       next_benches;
+    (* The storage-pressure family, gated exactly like the Table II
+       rows, plus its structural metrics: hold count and total hold
+       time are properties of the synthesized schedule, so any drift is
+       a planner-behaviour change.  Skipped when either snapshot
+       predates the section, keeping old baselines valid. *)
+    (match (J.member "storage" base, J.member "storage" next) with
+    | Some _, Some _ ->
+      let storage_list j =
+        match Option.bind (J.member "storage" j) J.to_list with
+        | None -> []
+        | Some l ->
+          List.filter_map
+            (fun o ->
+              match str "name" o with Some n -> Some (n, o) | None -> None)
+            l
+      in
+      let base_storage = storage_list base in
+      let next_storage = storage_list next in
+      List.iter
+        (fun (name, b) ->
+          match List.assoc_opt name next_storage with
+          | None -> fail "storage assay %s: missing from %s" name new_path
+          | Some n ->
+            List.iter
+              (fun k ->
+                incr checks;
+                match (num k b, num k n) with
+                | Some x, Some y when x = y -> ()
+                | Some x, Some y ->
+                  fail "storage %s %s: %g -> %g (hold structure changed)"
+                    name k x y
+                | _ -> fail "storage %s %s: missing" name k)
+              [ "holds"; "t_hold_s" ];
+            List.iter
+              (fun m ->
+                match (J.member m b, J.member m n) with
+                | Some bo, Some no ->
+                  check_entry ("storage/" ^ name ^ "/" ^ m) bo no
+                | _ -> fail "storage assay %s: method %s missing" name m)
+              [ "pdw"; "dawo" ])
+        base_storage;
+      List.iter
+        (fun (name, _) ->
+          if not (List.mem_assoc name base_storage) then
+            fail "storage assay %s: not in baseline" name)
+        next_storage
+    | _ ->
+      Printf.printf "  note storage section absent; storage gate skipped\n");
     (match (J.member "exact_ilp" base, J.member "exact_ilp" next) with
     | Some b, Some n ->
       List.iter
@@ -1193,7 +1334,7 @@ let run_compare ~tolerance baseline_path new_path =
 
 let usage () =
   print_endline
-    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|perf|serve|fleet] [--trace FILE] [--stats] [--domains N]\n\
+    "usage: main.exe [all|table2|fig4|fig5|motivating|ablate|archcompare|ilppaths|scale|sensitivity|binding|batch|ports|speed|storage|perf|serve|fleet] [--trace FILE] [--stats] [--domains N]\n\
     \       main.exe compare BASELINE.json NEW.json [--tolerance RATIO]"
 
 (* Pull [--trace FILE] / [--stats] / [--domains N] out of the argument
@@ -1280,7 +1421,7 @@ let () =
     | [] | [ "all" ] ->
       [ run_table2; run_fig4; run_fig5; run_motivating; run_ablate;
         run_archcompare; run_ilppaths; run_scale; run_sensitivity;
-        run_binding; run_batch; run_ports; run_speed ]
+        run_binding; run_batch; run_ports; run_speed; run_storage ]
     | [ "table2" ] -> [ run_table2 ]
     | [ "fig4" ] -> [ run_fig4 ]
     | [ "fig5" ] -> [ run_fig5 ]
@@ -1294,6 +1435,7 @@ let () =
     | [ "batch" ] -> [ run_batch ]
     | [ "ports" ] -> [ run_ports ]
     | [ "speed" ] -> [ run_speed ]
+    | [ "storage" ] -> [ run_storage ]
     | [ "perf" ] -> [ run_perf ]
     | [ "serve" ] -> [ run_serve ]
     | [ "fleet" ] -> [ run_fleet ]

@@ -112,6 +112,34 @@ let wash_rows () =
       | _ -> None)
     (Events.events ())
 
+(* One row per park: holds are re-emitted every planning round as the
+   schedule shifts, so keep each park's final (highest-round) window. *)
+let hold_rows () =
+  let best = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Events.Storage_hold { round; park_task; cell; fluid; hold_start; hold_until } ->
+        let keep =
+          match Hashtbl.find_opt best park_task with
+          | Some (r, _) -> round >= r
+          | None -> true
+        in
+        if keep then
+          Hashtbl.replace best park_task
+            ( round,
+              {
+                Pdw_viz.Report_html.park_task;
+                cell;
+                fluid;
+                hold_start;
+                hold_until;
+              } )
+      | _ -> ())
+    (Events.events ());
+  Hashtbl.fold (fun _ (_, row) acc -> row :: acc) best []
+  |> List.sort (fun a b ->
+         compare a.Pdw_viz.Report_html.park_task b.Pdw_viz.Report_html.park_task)
+
 let write_report file ctx =
   let outcome = ctx.ctx_outcome in
   let highlight =
@@ -150,7 +178,7 @@ let write_report file ctx =
     Pdw_viz.Report_html.render
       ~title:("PathDriver-Wash run: " ^ ctx.ctx_name)
       ~layout_svg ~gantt_svg ~metrics ~stage_ms ~counters
-      ~washes:(wash_rows ())
+      ~washes:(wash_rows ()) ~holds:(hold_rows ()) ()
   in
   Pdw_viz.Report_html.write file html;
   Format.eprintf "report: wrote %s@." file
@@ -553,7 +581,7 @@ let submit_config no_necessity no_integration ilp_paths dissolution =
   }
 
 let cmd_submit bench file stats ping shutdown server_version socket method_
-    no_cache no_necessity no_integration ilp_paths dissolution =
+    no_cache no_necessity no_integration ilp_paths dissolution park =
   let submit_spec () =
     match (bench, file) with
     | Some _, Some _ -> Error "give a BENCHMARK or --file, not both"
@@ -563,6 +591,7 @@ let cmd_submit bench file stats ping shutdown server_version socket method_
                 Protocol.spec ~method_
                   ~config:(submit_config no_necessity no_integration ilp_paths
                              dissolution)
+                  ~park
                   (Protocol.Benchmark name);
               no_cache })
     | None, Some path -> (
@@ -574,6 +603,7 @@ let cmd_submit bench file stats ping shutdown server_version socket method_
                   Protocol.spec ~method_
                     ~config:(submit_config no_necessity no_integration
                                ilp_paths dissolution)
+                    ~park
                     (Protocol.Inline text);
                 no_cache }))
     | None, None ->
@@ -1361,6 +1391,12 @@ let submit_cmd =
     let doc = "Bypass the plan cache: always compute fresh, don't store." in
     Arg.(value & flag & info [ "no-cache" ] ~doc)
   in
+  let park =
+    let doc =
+      "Park the results of these operation ids (comma-separated) in      distributed channel storage before reuse; the spec digests      differently from its storage-free projection, so cached plans      never cross the boundary."
+    in
+    Arg.(value & opt (list int) [] & info [ "park" ] ~docv:"IDS" ~doc)
+  in
   let doc =
     "Submit one planning request to a running daemon and print the      outcome JSON (byte-identical to $(b,pdw run --json)).  Exit codes:      0 plan, 3 shed, 4 timeout, 1 error."
   in
@@ -1368,7 +1404,7 @@ let submit_cmd =
     Term.(
       const cmd_submit $ bench $ file $ stats $ ping $ shutdown
       $ server_version $ socket_arg $ method_arg $ no_cache $ no_necessity_arg
-      $ no_integration_arg $ ilp_paths_arg $ dissolution_arg)
+      $ no_integration_arg $ ilp_paths_arg $ dissolution_arg $ park)
 
 let loadgen_cmd =
   let benches =

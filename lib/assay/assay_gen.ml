@@ -3,9 +3,11 @@ module Fluid = Pdw_biochip.Fluid
 
 let kinds = [| Operation.Mix; Heat; Detect; Filter; Store |]
 
-let random ?(min_ops = 3) ?(max_ops = 10) ~seed () =
+let random ?(min_ops = 3) ?(max_ops = 10) ?(park_fraction = 0.0) ~seed () =
   if min_ops < 1 || max_ops < min_ops then
     invalid_arg "Assay_gen.random: bad op range";
+  if park_fraction < 0.0 || park_fraction > 1.0 then
+    invalid_arg "Assay_gen.random: park_fraction outside [0, 1]";
   let rng = Random.State.make [| seed |] in
   let int_in lo hi = lo + Random.State.int rng (hi - lo + 1) in
   let n = int_in min_ops max_ops in
@@ -41,9 +43,12 @@ let random ?(min_ops = 3) ?(max_ops = 10) ~seed () =
         in
         let inputs = List.init arity (fun _ -> pick_input i) in
         dangling := i :: !dangling;
+        let park =
+          park_fraction > 0.0 && Random.State.float rng 1.0 < park_fraction
+        in
         {
           Sequencing_graph.op =
-            Operation.make ~id:i ~kind ~duration:(int_in 2 4) ();
+            Operation.make ~id:i ~kind ~park ~duration:(int_in 2 4) ();
           inputs;
         })
   in

@@ -3,6 +3,13 @@
 
 (** [random ~seed ()] builds a valid benchmark (sequencing graph + device
     library) with between [min_ops] and [max_ops] operations (defaults 3
-    and 10).  The same seed always yields the same assay. *)
+    and 10).  [park_fraction] (default 0.0: storage-free) is the
+    probability that each operation is marked [Operation.park].  The same
+    seed always yields the same assay. *)
 val random :
-  ?min_ops:int -> ?max_ops:int -> seed:int -> unit -> Benchmarks.t
+  ?min_ops:int ->
+  ?max_ops:int ->
+  ?park_fraction:float ->
+  seed:int ->
+  unit ->
+  Benchmarks.t

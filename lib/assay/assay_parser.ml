@@ -27,8 +27,8 @@ let op_kind_to_string = function
 type parse_state = {
   mutable assay_name : string option;
   mutable devices : Device.kind list; (* reversed *)
-  mutable ops : (string * Operation.kind * int * string list) list;
-      (* reversed: name, kind, duration, raw inputs *)
+  mutable ops : (string * Operation.kind * int * bool * string list) list;
+      (* reversed: name, kind, duration, park, raw inputs *)
 }
 
 let split_words line =
@@ -62,16 +62,21 @@ let parse text =
         Ok ()
       | None, _ -> error line_no (Printf.sprintf "unknown device kind %S" kind)
       | _, (Some _ | None) -> error line_no "device count must be positive")
-    | "op" :: name :: kind :: duration :: inputs -> (
+    | "op" :: name :: kind :: duration :: rest -> (
+      (* Optional [park] token between the duration and the inputs:
+         inputs always contain ':', so the keyword is unambiguous. *)
+      let park, inputs =
+        match rest with "park" :: inputs -> (true, inputs) | _ -> (false, rest)
+      in
       match (op_kind_of_string kind, int_of_string_opt duration) with
       | Some k, Some d when d > 0 ->
         if String.contains name ':' then
           error line_no (Printf.sprintf "op name %S may not contain ':'" name)
         else if
-          List.exists (fun (n, _, _, _) -> String.equal n name) state.ops
+          List.exists (fun (n, _, _, _, _) -> String.equal n name) state.ops
         then error line_no (Printf.sprintf "duplicate op %S" name)
         else begin
-          state.ops <- (name, k, d, inputs) :: state.ops;
+          state.ops <- (name, k, d, park, inputs) :: state.ops;
           Ok ()
         end
       | None, _ ->
@@ -95,7 +100,7 @@ let parse text =
     let index_of name =
       let rec go i = function
         | [] -> None
-        | (n, _, _, _) :: rest ->
+        | (n, _, _, _, _) :: rest ->
           if String.equal n name then Some i else go (i + 1) rest
       in
       go 0 ops
@@ -122,7 +127,7 @@ let parse text =
     in
     let rec build id acc = function
       | [] -> Ok (List.rev acc)
-      | (name, kind, duration, raw_inputs) :: rest -> (
+      | (name, kind, duration, park, raw_inputs) :: rest -> (
         let rec resolve acc = function
           | [] -> Ok (List.rev acc)
           | raw :: more -> (
@@ -136,7 +141,7 @@ let parse text =
           let node =
             {
               Sequencing_graph.op =
-                Operation.make ~id ~kind ~name ~duration ();
+                Operation.make ~id ~kind ~name ~park ~duration ();
               inputs;
             }
           in
@@ -187,8 +192,10 @@ let to_string ~name (b : Benchmarks.t) =
           (Sequencing_graph.inputs graph op.Operation.id)
       in
       Buffer.add_string buf
-        (Printf.sprintf "op %s %s %d %s\n" op.Operation.name
+        (Printf.sprintf "op %s %s %d %s%s\n" op.Operation.name
            (op_kind_to_string op.Operation.kind)
-           op.Operation.duration (String.concat " " inputs)))
+           op.Operation.duration
+           (if op.Operation.park then "park " else "")
+           (String.concat " " inputs)))
     (Sequencing_graph.ops graph);
   Buffer.contents buf

@@ -10,15 +10,19 @@ type t = {
    references (`O j`, 1-based like the paper's o_j) and reagents (`R s`). *)
 type src = O of int | R of string
 
-let node id kind duration srcs : Sequencing_graph.node =
+let node ?park id kind duration srcs : Sequencing_graph.node =
   let input = function
     | O j -> Sequencing_graph.From_op (j - 1)
     | R s -> Sequencing_graph.From_reagent (Fluid.reagent s)
   in
   {
-    op = Operation.make ~id:(id - 1) ~kind ~duration ();
+    op = Operation.make ~id:(id - 1) ~kind ?park ~duration ();
     inputs = List.map input srcs;
   }
+
+(* A node whose result is parked in distributed channel storage until its
+   consumers fetch it. *)
+let pnode id kind duration srcs = node ~park:true id kind duration srcs
 
 let graph name nodes = Sequencing_graph.make ~name nodes
 
@@ -291,6 +295,80 @@ let nucleic_acid () =
       mixers 2 @ filters 2 @ heaters 1 @ detectors 1 @ storages 1;
   }
 
+(* --- Storage-pressure assays -------------------------------------------
+   Workloads in the regime of distributed channel storage (Tseng et al.;
+   Liu et al.): intermediate products are parked in channel segments and
+   fetched later, so parked-residue windows and channel holds dominate the
+   wash problem.  Reported next to the Table II rows by [bench]. *)
+
+(* Two master mixes parked while a slow thermal stage runs, then fetched
+   into the combination chain. *)
+let storage_shuttle () =
+  let open Operation in
+  {
+    graph =
+      graph "StorageShuttle"
+        [
+          pnode 1 Mix 2 [ R "a"; R "b" ];
+          pnode 2 Mix 2 [ R "c"; R "d" ];
+          node 3 Heat 6 [ R "e" ];
+          node 4 Mix 2 [ O 1; O 3 ];
+          node 5 Mix 2 [ O 2; O 4 ];
+          node 6 Detect 2 [ O 5 ];
+        ];
+    device_kinds = mixers 2 @ heaters 1 @ detectors 1;
+  }
+
+(* Serial-dilution ladder where every dilution level is parked and fetched
+   twice: once by the next level, once by its read-out mix.  Multi-fetch
+   holds with long parked-residue windows. *)
+let storage_ladder () =
+  let open Operation in
+  {
+    graph =
+      graph "StorageLadder"
+        [
+          pnode 1 Mix 2 [ R "protein"; R "diluent" ];
+          pnode 2 Mix 2 [ O 1; R "diluent" ];
+          pnode 3 Mix 2 [ O 2; R "diluent" ];
+          node 4 Mix 2 [ O 1; R "biuret" ];
+          node 5 Mix 2 [ O 2; R "biuret" ];
+          node 6 Mix 2 [ O 3; R "biuret" ];
+          node 7 Detect 2 [ O 4 ];
+          node 8 Detect 2 [ O 5 ];
+          node 9 Detect 2 [ O 6 ];
+        ];
+    device_kinds = mixers 3 @ detectors 2;
+  }
+
+(* Six preparations parked at once on a chip with few mixers: maximal
+   concurrent channel-storage pressure, then two burst consumptions. *)
+let storage_burst () =
+  let open Operation in
+  let prep i =
+    pnode i Mix 2
+      [ R (Printf.sprintf "enzyme%d" i); R (Printf.sprintf "substrate%d" i) ]
+  in
+  {
+    graph =
+      graph "StorageBurst"
+        [
+          prep 1; prep 2; prep 3; prep 4; prep 5; prep 6;
+          node 7 Mix 3 [ O 1; O 2; O 3 ];
+          node 8 Mix 3 [ O 4; O 5; O 6 ];
+          node 9 Mix 2 [ O 7; O 8 ];
+          node 10 Detect 2 [ O 9 ];
+        ];
+    device_kinds = mixers 3 @ detectors 1;
+  }
+
+let storage () =
+  [
+    ("StorageShuttle", storage_shuttle ());
+    ("StorageLadder", storage_ladder ());
+    ("StorageBurst", storage_burst ());
+  ]
+
 let extra () = [ ("CPA", cpa ()); ("NucleicAcid", nucleic_acid ()) ]
 
 let all () =
@@ -308,7 +386,7 @@ let all () =
 let find name =
   let norm = String.lowercase_ascii name in
   let matches (n, _) = String.equal (String.lowercase_ascii n) norm in
-  match List.find_opt matches (all () @ extra ()) with
+  match List.find_opt matches (all () @ extra () @ storage ()) with
   | Some (_, b) -> Some b
   | None ->
     if String.equal norm "motivating" then Some (motivating ()) else None

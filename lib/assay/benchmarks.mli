@@ -57,6 +57,25 @@ val nucleic_acid : unit -> t
 (** The extra (non-Table II) protocols: name, benchmark. *)
 val extra : unit -> (string * t) list
 
+(** Storage-pressure assays: workloads whose intermediate products are
+    parked in distributed channel storage ([Operation.park]) and fetched
+    later, stressing hold intervals and parked-residue windows. *)
+
+(** StorageShuttle: two parked master mixes waiting on a slow thermal
+    stage.  |O| = 6. *)
+val storage_shuttle : unit -> t
+
+(** StorageLadder: a dilution ladder whose every level is parked and
+    fetched twice.  |O| = 9. *)
+val storage_ladder : unit -> t
+
+(** StorageBurst: six concurrent parks on a mixer-starved chip.
+    |O| = 10. *)
+val storage_burst : unit -> t
+
+(** The storage-pressure assays: name, benchmark. *)
+val storage : unit -> (string * t) list
+
 (** [find name] is the benchmark with that Table II name
     (case-insensitive). *)
 val find : string -> t option

@@ -3,7 +3,7 @@ module Fluid = Pdw_biochip.Fluid
 
 type kind = Mix | Heat | Detect | Filter | Store
 
-type t = { id : int; kind : kind; name : string; duration : int }
+type t = { id : int; kind : kind; name : string; duration : int; park : bool }
 
 let kind_to_string = function
   | Mix -> "mix"
@@ -12,14 +12,14 @@ let kind_to_string = function
   | Filter -> "filter"
   | Store -> "store"
 
-let make ~id ~kind ?name ~duration () =
+let make ~id ~kind ?name ?(park = false) ~duration () =
   if duration <= 0 then invalid_arg "Operation.make: non-positive duration";
   let name =
     match name with
     | Some n -> n
     | None -> Printf.sprintf "o%d_%s" (id + 1) (kind_to_string kind)
   in
-  { id; kind; name; duration }
+  { id; kind; name; duration; park }
 
 let device_kind = function
   | Mix -> Device.Mixer
@@ -41,4 +41,5 @@ let min_inputs = function Mix -> 2 | Heat | Detect | Filter | Store -> 1
 let equal a b = a.id = b.id
 
 let pp ppf t =
-  Format.fprintf ppf "%s(%s,%ds)" t.name (kind_to_string t.kind) t.duration
+  Format.fprintf ppf "%s(%s,%ds%s)" t.name (kind_to_string t.kind) t.duration
+    (if t.park then ",park" else "")

@@ -9,9 +9,15 @@ type t = {
   kind : kind;
   name : string;
   duration : int;  (** seconds; the [t(o_i)] of Eq. (1) *)
+  park : bool;
+      (** The operation's result is parked in a channel segment (distributed
+          channel storage) instead of flowing straight to its consumer; it
+          must be fetched before reuse.  Distinct from the [Store] kind,
+          which occupies a storage {e device}. *)
 }
 
-val make : id:int -> kind:kind -> ?name:string -> duration:int -> unit -> t
+val make :
+  id:int -> kind:kind -> ?name:string -> ?park:bool -> duration:int -> unit -> t
 
 (** Device kind an operation of this kind binds to. *)
 val device_kind : kind -> Pdw_biochip.Device.kind

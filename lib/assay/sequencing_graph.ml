@@ -131,6 +131,26 @@ let sinks t =
 
 let topological_order t = t.topo
 
+let parked_ops t =
+  (* A parked sink has nothing to fetch its result: park is meaningful
+     only for ops that feed other ops. *)
+  List.filter
+    (fun i -> t.nodes.(i).op.Operation.park && t.succs.(i) <> [])
+    (List.init (num_ops t) Fun.id)
+
+let mark_parked t ids =
+  List.iter (check_id t) ids;
+  let nodes =
+    Array.to_list
+      (Array.mapi
+         (fun i node ->
+           if List.mem i ids then
+             { node with op = { node.op with Operation.park = true } }
+           else node)
+         t.nodes)
+  in
+  make ~name:t.name nodes
+
 let input_fluid t id =
   check_id t id;
   let input_fluids =
@@ -215,7 +235,7 @@ let repeat t k =
                  ~id:(op.Operation.id + (c * n))
                  ~kind:op.Operation.kind
                  ~name:(op.Operation.name ^ suffix)
-                 ~duration:op.Operation.duration ();
+                 ~park:op.Operation.park ~duration:op.Operation.duration ();
              inputs =
                List.map
                  (function

@@ -46,6 +46,16 @@ val sinks : t -> int list
 (** Ids in dependency order (sources first). *)
 val topological_order : t -> int list
 
+(** Operations whose result is parked in channel storage before reuse:
+    ops with [Operation.park] set {e and} at least one consumer.  A
+    parked sink is ignored (there is nothing to fetch; its product goes
+    straight to waste). *)
+val parked_ops : t -> int list
+
+(** [mark_parked t ids] returns a copy of [t] with [Operation.park] set
+    on every op in [ids].  @raise Invalid_argument on unknown id. *)
+val mark_parked : t -> int list -> t
+
 (** Combined input fluid of an operation (reagents and upstream results
     folded with [Pdw_biochip.Fluid.mix]). *)
 val input_fluid : t -> int -> Pdw_biochip.Fluid.t

@@ -86,7 +86,9 @@ let wash_consistency sched () =
                 "wash #%d does not run flow port -> waste port" task.Task.id ]
         in
         covers @ endpoints
-      | Task.Transport _ | Task.Removal _ | Task.Disposal _ -> [])
+      | Task.Transport _ | Task.Removal _ | Task.Disposal _ | Task.Park _
+      | Task.Fetch _ ->
+        [])
     (Schedule.task_runs sched)
 
 let actuation sched () =

@@ -15,6 +15,7 @@ type touch = {
   sensitive : bool;
   waste : bool;
   disposal : bool;
+  parked : bool;
   tolerates : Fluid.t list;
   residue_after : Fluid.t option;
 }
@@ -50,6 +51,7 @@ let touches_of_entry schedule entry =
             sensitive = true;
             waste = false;
             disposal = false;
+            parked = false;
             tolerates;
             residue_after = Some result;
           } ))
@@ -71,6 +73,7 @@ let touches_of_entry schedule entry =
               sensitive = true;
               waste = false;
               disposal = false;
+              parked = false;
               tolerates;
               residue_after = Some fluid;
             } ))
@@ -93,6 +96,7 @@ let touches_of_entry schedule entry =
               sensitive = false;
               waste = true;
               disposal = false;
+              parked = false;
               tolerates = [];
               residue_after = (if before_excess then None else Some fluid);
             } ))
@@ -109,7 +113,51 @@ let touches_of_entry schedule entry =
               sensitive = false;
               waste = true;
               disposal = true;
+              parked = false;
               tolerates = [];
+              residue_after = Some fluid;
+            } ))
+        cells
+    | Task.Park { fluid; cell = storage_cell; _ } ->
+      (* The parked fluid travels the path like a transport and then
+         rests on the storage cell — only that cell's residue is parked
+         residue; the rest of the path carries ordinary transport
+         residue. *)
+      List.map
+        (fun cell ->
+          ( cell,
+            {
+              key;
+              start;
+              finish;
+              incoming = Some fluid;
+              sensitive = true;
+              waste = false;
+              disposal = false;
+              parked = Coord.equal cell storage_cell;
+              tolerates = [];
+              residue_after = Some fluid;
+            } ))
+        cells
+    | Task.Fetch { fluid; dst_op; _ } ->
+      (* A fetch lifts the parked fluid off its storage cell (the path
+         source) and delivers it like a transport; the storage cell's
+         residue stays parked residue until washed. *)
+      let tolerates = Sequencing_graph.input_fluids graph dst_op in
+      let source = Gpath.source task.Task.path in
+      List.map
+        (fun cell ->
+          ( cell,
+            {
+              key;
+              start;
+              finish;
+              incoming = Some fluid;
+              sensitive = true;
+              waste = false;
+              disposal = false;
+              parked = Coord.equal cell source;
+              tolerates;
               residue_after = Some fluid;
             } ))
         cells
@@ -125,10 +173,36 @@ let touches_of_entry schedule entry =
               sensitive = false;
               waste = false;
               disposal = false;
+              parked = false;
               tolerates = [];
               residue_after = None;
             } ))
         cells)
+
+(* One synthetic touch per non-instantaneous storage hold: the parked
+   fluid rests on its storage cell for the whole window, is sensitive to
+   residue underneath it (anything contaminating it corrupts the stored
+   product), and leaves parked residue behind. *)
+let hold_touches schedule =
+  List.filter_map
+    (fun h ->
+      if h.Schedule.hold_until > h.Schedule.hold_start then
+        Some
+          ( h.Schedule.hold_cell,
+            {
+              key = Scheduler.Key.Tsk h.Schedule.hold_park;
+              start = h.Schedule.hold_start;
+              finish = h.Schedule.hold_until;
+              incoming = Some h.Schedule.hold_fluid;
+              sensitive = true;
+              waste = false;
+              disposal = false;
+              parked = true;
+              tolerates = [];
+              residue_after = Some h.Schedule.hold_fluid;
+            } )
+      else None)
+    (Schedule.holds schedule)
 
 let analyze schedule =
   let layout = Schedule.layout schedule in
@@ -147,6 +221,7 @@ let analyze schedule =
   List.iter
     (fun entry -> List.iter add (touches_of_entry schedule entry))
     (Schedule.entries schedule);
+  List.iter add (hold_touches schedule);
   let sort l =
     List.sort
       (fun a b ->

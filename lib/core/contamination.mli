@@ -9,7 +9,13 @@
       path (contaminating it);
     - a disposal leaves its fluid everywhere on its path;
     - a wash cleans its whole path;
-    - an operation leaves its result fluid on its device's cells. *)
+    - an operation leaves its result fluid on its device's cells;
+    - a park travels like a transport and leaves {e parked} residue on
+      its storage cell; a fetch lifts the parked fluid off that cell
+      (also parked residue at the source) and delivers like a transport;
+    - each non-instantaneous storage hold contributes a synthetic touch
+      on its storage cell spanning the hold window — the resting product
+      is sensitive and leaves parked residue. *)
 
 type touch = {
   key : Pdw_synth.Scheduler.Key.t;
@@ -20,6 +26,10 @@ type touch = {
   sensitive : bool;  (** residue would corrupt this entry (Transport/Op) *)
   waste : bool;      (** waste-bound traffic (Removal/Disposal) — Type 3 *)
   disposal : bool;   (** product-disposal traffic specifically *)
+  parked : bool;
+      (** parked-residue touch: the fluid rests here as channel storage
+          (a park's storage cell, a fetch's source cell, or a hold
+          window) rather than flowing through *)
   tolerates : Pdw_biochip.Fluid.t list;
       (** residues that cannot corrupt this entry even when sensitive:
           the other inputs of the operation the fluid is bound for — they

@@ -5,7 +5,9 @@ let policy =
   in
   {
     Wash_plan.demands = Necessity.dawo_demands;
-    grouping = Wash_target.group_by_use;
+    (* DAWO predates channel storage: it groups demand-driven and is
+       blind to hold windows. *)
+    grouping = (fun ~holds:_ events -> Wash_target.group_by_use events);
     integrate = false;
     conflict_aware = false;
     finder = "dawo-bfs";

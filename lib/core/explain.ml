@@ -27,6 +27,10 @@ let rule_meaning = function
   | "sensitive-incompatible-flow" ->
     "the next use is a sensitive flow of a different fluid, so the \
      residue would contaminate it (r = 1, Sec. III-A)"
+  | "parked-residue-window" ->
+    "the residue is a product that rested in channel storage (park / \
+     hold / fetch); its wash window opens when the hold ends and a \
+     sensitive incompatible flow reuses the cell"
   | "no-later-use" ->
     "no later schedule entry touches the cell, so the residue can stay \
      (Type 1)"
@@ -85,12 +89,14 @@ let cell ~events ~x ~y =
                  next_use;
                  next_start;
                  next_fluid;
+                 parked;
                  _;
                } ->
              Buffer.add_string b
                (Printf.sprintf
-                  "- round %d: residue %s deposited at t=%ds by %s\n" round
-                  residue deposited_at source);
+                  "- round %d: residue %s deposited at t=%ds by %s%s\n" round
+                  residue deposited_at source
+                  (if parked then " (channel storage)" else ""));
              (match (next_use, next_start) with
              | Some use, Some t ->
                Buffer.add_string b
@@ -196,13 +202,23 @@ let wash ~events n =
              List.iter
                (function
                  | Events.Merge_accept
-                     { removal_task; base_len; enlarged_len; budget; window; _ }
+                     {
+                       removal_task;
+                       base_len;
+                       enlarged_len;
+                       budget;
+                       window;
+                       spans_hold;
+                       _;
+                     }
                    when removal_task = id ->
                    Buffer.add_string b
                      (Printf.sprintf
                         "    task %d: path grew %d -> %d cells (budget \
-                         %d), merged window %s\n"
-                        id base_len enlarged_len budget (window_str window))
+                         %d%s), merged window %s\n"
+                        id base_len enlarged_len budget
+                        (if spans_hold then ", spans storage hold" else "")
+                        (window_str window))
                  | _ -> ())
                events)
            ids)
@@ -213,6 +229,7 @@ let digest ~events =
   and ma = ref 0
   and mr = ref 0
   and wp = ref 0
+  and sh = ref 0
   and rs = ref 0
   and ii = ref 0 in
   List.iter
@@ -221,10 +238,11 @@ let digest ~events =
       | Events.Merge_accept _ -> incr ma
       | Events.Merge_reject _ -> incr mr
       | Events.Wash_path _ -> incr wp
+      | Events.Storage_hold _ -> incr sh
       | Events.Reschedule_shift _ -> incr rs
       | Events.Ilp_incumbent _ -> incr ii)
     events;
   Printf.sprintf
     "ledger: %d events (%d verdicts, %d merges accepted, %d rejected, %d \
-     washes, %d shifts, %d incumbents)"
-    (List.length events) !nv !ma !mr !wp !rs !ii
+     washes, %d holds, %d shifts, %d incumbents)"
+    (List.length events) !nv !ma !mr !wp !sh !rs !ii

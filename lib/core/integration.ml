@@ -24,7 +24,9 @@ let removal_window schedule (task : Task.t) =
     in
     let op_start, _, _ = Schedule.op_run schedule dst_op in
     Some (transport_finish, op_start, dst_op, transport)
-  | Task.Transport _ | Task.Disposal _ | Task.Wash _ -> None
+  | Task.Transport _ | Task.Disposal _ | Task.Park _ | Task.Fetch _
+  | Task.Wash _ ->
+    None
 
 module Events = Pdw_obs.Events
 
@@ -89,7 +91,8 @@ let merge ?(radius = 8) ?(accept = fun ~removal:_ _ -> true) ~schedule
         let excess =
           match task.Task.purpose with
           | Task.Removal { excess; _ } -> excess
-          | Task.Transport _ | Task.Disposal _ | Task.Wash _ ->
+          | Task.Transport _ | Task.Disposal _ | Task.Park _
+          | Task.Fetch _ | Task.Wash _ ->
             Coord.Set.empty
         in
         let fits (g : Wash_target.group) =

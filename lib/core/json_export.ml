@@ -119,6 +119,8 @@ let task_kind task =
   | Task.Transport _ -> "transport"
   | Task.Removal _ -> "removal"
   | Task.Disposal _ -> "disposal"
+  | Task.Park _ -> "park"
+  | Task.Fetch _ -> "fetch"
   | Task.Wash _ -> "wash"
 
 let entry = function
@@ -153,6 +155,19 @@ let entry = function
         [
           ("fluid", String (Pdw_biochip.Fluid.to_string fluid));
           ("of_op", Int (src_op + 1));
+        ]
+      | Task.Park { fluid; src_op; cell } ->
+        [
+          ("fluid", String (Pdw_biochip.Fluid.to_string fluid));
+          ("of_op", Int (src_op + 1));
+          ("storage_cell", coord cell);
+        ]
+      | Task.Fetch { fluid; src_op; dst_op; park } ->
+        [
+          ("fluid", String (Pdw_biochip.Fluid.to_string fluid));
+          ("of_op", Int (src_op + 1));
+          ("for_op", Int (dst_op + 1));
+          ("park", Int park);
         ]
     in
     Obj

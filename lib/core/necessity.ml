@@ -14,6 +14,7 @@ type event = {
   fluid : Fluid.t;
   time : int;
   source : Scheduler.Key.t;
+  parked : bool;
   verdict : verdict;
   next_use : Contamination.touch option;
 }
@@ -56,6 +57,7 @@ let analyze contamination =
                 fluid;
                 time = touch.Contamination.finish;
                 source = touch.Contamination.key;
+                parked = touch.Contamination.parked;
                 verdict = classify fluid next_use;
                 next_use;
               }
@@ -131,7 +133,12 @@ let rule (e : event) =
     else "non-contaminating-fluid"
   | Type2_same_fluid, None -> "non-contaminating-fluid"
   | Type3_waste_only, _ -> "waste-bound-next-use"
-  | Needed, _ -> "sensitive-incompatible-flow"
+  | Needed, _ ->
+    (* Parked residue is a droplet that rested in channel storage rather
+       than flowing through: its wash window opens when the hold ends,
+       not when a transport passed, so the ledger names it separately. *)
+    if e.parked then "parked-residue-window"
+    else "sensitive-incompatible-flow"
 
 let pp_event ppf e =
   Format.fprintf ppf "%a %a@%d by %s -> %s" Coord.pp e.cell Fluid.pp e.fluid

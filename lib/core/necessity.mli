@@ -22,6 +22,9 @@ type event = {
   fluid : Pdw_biochip.Fluid.t;       (** the residue *)
   time : int;                        (** the [t^c] it was deposited *)
   source : Pdw_synth.Scheduler.Key.t;  (** depositing entry *)
+  parked : bool;
+      (** the residue was deposited by channel storage (a park, a hold
+          window or a fetch source) rather than by through-flow *)
   verdict : verdict;
   next_use : Contamination.touch option;
       (** first later entry over the cell, if any *)
@@ -60,8 +63,9 @@ val verdict_to_string : verdict -> string
     [no-later-use] (Type 1), [tolerated-co-input] vs
     [non-contaminating-fluid] (the two Type 2 subcases),
     [waste-bound-next-use] (Type 3), [buffer-front-cleans] /
-    [insensitive-non-waste-flow] (washed) or
-    [sensitive-incompatible-flow] (needed). *)
+    [insensitive-non-waste-flow] (washed) or, for needed washes,
+    [sensitive-incompatible-flow] (transport residue) vs
+    [parked-residue-window] (channel-storage residue). *)
 val rule : event -> string
 
 (** Human-readable rendering of one classified event. *)

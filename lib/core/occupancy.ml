@@ -24,6 +24,22 @@ type t = {
 
 let of_schedule schedule =
   Pdw_obs.Counters.incr c_builds;
+  (* A storage hold pins its cell between the park and the last fetch —
+     no schedule entry covers that gap, so holds get spans of their
+     own. *)
+  let hold_spans =
+    List.filter_map
+      (fun (h : Schedule.hold) ->
+        if h.Schedule.hold_until > h.Schedule.hold_start then
+          Some
+            {
+              start = h.Schedule.hold_start;
+              finish = h.Schedule.hold_until;
+              cells = Coord.Set.singleton h.Schedule.hold_cell;
+            }
+        else None)
+      (Schedule.holds schedule)
+  in
   let spans =
     List.map
       (fun entry ->
@@ -33,6 +49,7 @@ let of_schedule schedule =
           cells = Schedule.entry_cells schedule entry;
         })
       (Schedule.entries schedule)
+    |> List.rev_append hold_spans
     |> List.sort (fun a b -> Int.compare a.start b.start)
     |> Array.of_list
   in

@@ -10,7 +10,10 @@
 
 type t
 
-(** Index a schedule's entries, precomputing each entry's cell set. *)
+(** Index a schedule's entries, precomputing each entry's cell set.
+    Storage-hold windows contribute extra single-cell spans: a parked
+    product pins its channel cell between its park and its last fetch,
+    and conflict-aware wash paths must route around it. *)
 val of_schedule : Pdw_synth.Schedule.t -> t
 
 (** Number of indexed entries. *)

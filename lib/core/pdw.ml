@@ -32,9 +32,9 @@ let policy config =
     if config.necessity then Necessity.requirements report
     else Necessity.dawo_demands report
   in
-  let grouping events =
+  let grouping ~holds events =
     Wash_target.group ~max_targets:config.max_group_targets
-      ~radius:config.grouping_radius events
+      ~radius:config.grouping_radius ~holds events
   in
   let path_finder ~layout ~schedule ~conflict_aware group =
     if config.use_ilp_paths then

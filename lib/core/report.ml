@@ -139,6 +139,8 @@ let print_flow_paths ppf schedule =
         | Task.Transport _ -> Printf.sprintf "#%d" (next "transport")
         | Task.Removal _ -> Printf.sprintf "*%d" (next "removal")
         | Task.Disposal _ -> Printf.sprintf "$%d" (next "disposal")
+        | Task.Park _ -> Printf.sprintf "p%d" (next "park")
+        | Task.Fetch _ -> Printf.sprintf "f%d" (next "fetch")
         | Task.Wash _ -> Printf.sprintf "w%d" (next "wash")
       in
       let hops =

@@ -30,6 +30,31 @@ let conflict_cell_penalty = 1
 let find_uncached ~conflict_aware ~layout ~schedule
     (g : Wash_target.group) =
   let targets = g.Wash_target.targets in
+  (* A storage cell under a hold cannot be flushed over: the parked
+     product rests there until its last fetch, and a wash ordered before
+     that fetch would deadlock the serial placer (the fetch waits for the
+     wash, the wash for the hold's end).  Held cells outside the group's
+     own targets are hard obstacles for every finder — physical validity,
+     not a PDW-only refinement.  A cell only appears in [targets] once
+     its hold is over (parked residue exists after the last fetch). *)
+  (* Every hold cell is avoided, even one whose window is instantaneous
+     in the current schedule: inserting this very wash reorders fetches,
+     and a zero-width hold can reopen under the new precedence edges. *)
+  let held =
+    List.fold_left
+      (fun acc (h : Schedule.hold) ->
+        Coord.Set.add h.Schedule.hold_cell acc)
+      Coord.Set.empty (Schedule.holds schedule)
+  in
+  let avoid = Coord.Set.diff held targets in
+  let flush ?cost () =
+    match Router.flush layout ~avoid ?cost ~targets () with
+    | Some _ as r -> r
+    | None ->
+      (* No covering path around the held cells: fall back rather than
+         fail the whole group. *)
+      Router.flush layout ?cost ~targets ()
+  in
   let attempt_soft_cost () =
     if not conflict_aware then None
     else begin
@@ -40,12 +65,12 @@ let find_uncached ~conflict_aware ~layout ~schedule
         let cost c =
           if Coord.Set.mem c busy then conflict_cell_penalty else 0
         in
-        Router.flush layout ~cost ~targets ()
+        flush ~cost ()
     end
   in
   match attempt_soft_cost () with
   | Some result -> Some result
-  | None -> Router.flush layout ~targets ()
+  | None -> flush ()
 
 (* Whole-search memo.  For a fixed layout and schedule, the result is a
    function of the group's window, targets and conflict awareness alone;

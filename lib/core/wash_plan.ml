@@ -6,7 +6,10 @@ module Synthesis = Pdw_synth.Synthesis
 
 type policy = {
   demands : Necessity.report -> Necessity.event list;
-  grouping : Necessity.event list -> Wash_target.group list;
+  grouping :
+    holds:(int * int) list ->
+    Necessity.event list ->
+    Wash_target.group list;
   integrate : bool;
   conflict_aware : bool;
   finder : string;
@@ -53,6 +56,7 @@ let emit_necessity round report =
                source = Scheduler.Key.to_string e.Necessity.source;
                verdict = Necessity.verdict_to_string e.Necessity.verdict;
                rule = Necessity.rule e;
+               parked = e.Necessity.parked;
                next_use =
                  Option.map
                    (fun (t : Contamination.touch) ->
@@ -68,6 +72,25 @@ let emit_necessity round report =
                        t.Contamination.incoming);
              }))
       (Necessity.events report)
+
+(* Every storage-hold window of the round's schedule, so the ledger can
+   say when a parked product pinned which cell — the context for
+   parked-residue verdicts and hold-spanning merges. *)
+let emit_holds round schedule =
+  if Events.enabled () then
+    List.iter
+      (fun (h : Schedule.hold) ->
+        Events.emit
+          (Events.Storage_hold
+             {
+               round;
+               park_task = h.Schedule.hold_park;
+               cell = (h.Schedule.hold_cell.Coord.x, h.Schedule.hold_cell.Coord.y);
+               fluid = Pdw_biochip.Fluid.to_string h.Schedule.hold_fluid;
+               hold_start = h.Schedule.hold_start;
+               hold_until = h.Schedule.hold_until;
+             }))
+      (Schedule.holds schedule)
 
 let c_rounds = Pdw_obs.Counters.counter "core.plan.rounds"
 let c_groups = Pdw_obs.Counters.counter "core.plan.wash_groups"
@@ -94,6 +117,10 @@ let wash_rank synthesis (tasks : Task.t list) (g : Wash_target.group) =
           (Synthesis.topo_position synthesis dst_op * 4) + 1
         | Task.Disposal { src_op; _ } ->
           (Synthesis.topo_position synthesis src_op * 4) + 3
+        | Task.Park { src_op; _ } ->
+          (Synthesis.topo_position synthesis src_op * 4) + 3
+        | Task.Fetch { dst_op; _ } ->
+          Synthesis.topo_position synthesis dst_op * 4
         | Task.Wash _ -> max_int))
   in
   let min_use =
@@ -273,6 +300,7 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
         ~args:[ ("round", string_of_int round) ] (fun () ->
           let report = Necessity.analyze (Contamination.analyze !schedule) in
           emit_necessity round report;
+          emit_holds round !schedule;
           policy.demands report)
     in
     history := List.length events :: !history;
@@ -286,9 +314,28 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
       (round, false)
     end
     else begin
+      (* Storage-hold windows of the current schedule: grouping merges
+         wash jobs spanning a hold, and merged removals inside such a
+         window earn the full growth budget (the hold already pins a
+         channel cell, so shrinking the task count matters more than a
+         few extra path cells). *)
+      let hold_windows =
+        List.filter_map
+          (fun (h : Schedule.hold) ->
+            if h.Schedule.hold_until > h.Schedule.hold_start then
+              Some (h.Schedule.hold_start, h.Schedule.hold_until)
+            else None)
+          (Schedule.holds !schedule)
+      in
+      let spans_hold (g : Wash_target.group) =
+        List.exists
+          (fun (hs, hu) ->
+            g.Wash_target.release <= hs && hu <= g.Wash_target.deadline)
+          hold_windows
+      in
       let groups =
         Trace.with_span ~cat:"core" "plan.grouping" @@ fun () ->
-        let groups = policy.grouping events in
+        let groups = policy.grouping ~holds:hold_windows events in
         if policy.integrate then begin
           let removals = List.filter Task.is_removal !tasks in
           (* Eq. (21): absorb a removal only if one wash path still
@@ -335,7 +382,10 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
                  (length) cost outweighs the gamma (time) saving under
                  the paper's Eq. (26) weights. *)
               let budget =
-                min 4 (Pdw_geometry.Gpath.length removal.Task.path)
+                let removal_len =
+                  Pdw_geometry.Gpath.length removal.Task.path
+                in
+                if spans_hold g then removal_len else min 4 removal_len
               in
               if enlarged_len - current <= budget then begin
                 Hashtbl.replace base_len g.Wash_target.id enlarged_len;
@@ -351,6 +401,7 @@ let run ?(max_rounds = 8) ?alpha ?beta ?gamma ?dissolution ~policy synthesis
                          budget;
                          window =
                            (g.Wash_target.release, g.Wash_target.deadline);
+                         spans_hold = spans_hold g;
                        });
                 true
               end

@@ -11,7 +11,14 @@
 type policy = {
   demands : Necessity.report -> Necessity.event list;
       (** which contamination events require washing *)
-  grouping : Necessity.event list -> Wash_target.group list;
+  grouping :
+    holds:(int * int) list ->
+    Necessity.event list ->
+    Wash_target.group list;
+      (** build wash groups from demand events; [holds] carries the
+          current schedule's storage-hold windows so a storage-aware
+          grouping (PDW) can merge jobs whose windows span a hold —
+          policies that predate storage ignore it *)
   integrate : bool;
       (** absorb excess-fluid removals into wash paths (Eq. (21)) *)
   conflict_aware : bool;

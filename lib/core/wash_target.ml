@@ -91,15 +91,25 @@ let merge_groups a b =
     merged_removals = a.merged_removals @ b.merged_removals;
   }
 
+(* A wash window that fully covers a storage-hold interval must run
+   while that hold pins a channel cell. *)
+let window_spans_hold (hs, hu) g = hs < hu && g.release <= hs && hu <= g.deadline
+
+let spans_common_hold holds a b =
+  List.exists (fun h -> window_spans_hold h a && window_spans_hold h b) holds
+
 (* PDW grouping: per-use groups, then greedy pairwise merging where time
    windows overlap and targets are close — one globally planned flush can
-   serve several demands. *)
-let group ?(max_targets = 12) ?(radius = 8) events =
+   serve several demands.  Two groups whose windows both span the same
+   storage hold merge regardless of distance: they would otherwise
+   compete for the channel network while the hold already pins a cell,
+   so a single flush is strictly cheaper. *)
+let group ?(max_targets = 12) ?(radius = 8) ?(holds = []) events =
   let base = group_by_use events in
   let mergeable a b =
     Coord.Set.cardinal a.targets + Coord.Set.cardinal b.targets <= max_targets
     && windows_overlap a b
-    && groups_close radius a b
+    && (groups_close radius a b || spans_common_hold holds a b)
   in
   let rec absorb g = function
     | [] -> (g, [])

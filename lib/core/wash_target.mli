@@ -32,12 +32,22 @@ val group_by_use : Necessity.event list -> group list
 (** [group events] — the PDW policy: per-use groups (as
     [group_by_use]), then greedy merging of groups whose time windows
     overlap and whose targets are spatially close — wash paths established
-    globally can serve several demands with one flush.
+    globally can serve several demands with one flush.  Two groups whose
+    windows both span the same storage-hold interval (from [holds], as
+    [(hold_start, hold_until)] pairs) merge even when their targets are
+    far apart: both would run while the hold pins a channel cell, so one
+    flush relieves the contended network.
 
     @param max_targets cap on cells per wash (default 12)
-    @param radius spatial proximity bound in cells (default 8) *)
+    @param radius spatial proximity bound in cells (default 8)
+    @param holds storage-hold windows of the current schedule
+                 (default none) *)
 val group :
-  ?max_targets:int -> ?radius:int -> Necessity.event list -> group list
+  ?max_targets:int ->
+  ?radius:int ->
+  ?holds:(int * int) list ->
+  Necessity.event list ->
+  group list
 
 (** [group_by_contaminator events] — one wash operation per contaminating
     entry, covering all of its reused dirty cells; no window/proximity

@@ -10,6 +10,7 @@ type t =
       next_use : string option;
       next_start : int option;
       next_fluid : string option;
+      parked : bool;
     }
   | Merge_accept of {
       round : int;
@@ -19,6 +20,7 @@ type t =
       enlarged_len : int;
       budget : int;
       window : int * int;
+      spans_hold : bool;
     }
   | Merge_reject of {
       round : int;
@@ -43,6 +45,14 @@ type t =
       merged_removals : int list;
       contaminators : string list;
       use_keys : string list;
+    }
+  | Storage_hold of {
+      round : int;
+      park_task : int;
+      cell : int * int;
+      fluid : string;
+      hold_start : int;
+      hold_until : int;
     }
   | Reschedule_shift of {
       round : int;
@@ -133,6 +143,7 @@ let to_json ~seq ev =
         ("next_use", opt (fun s -> Json.Str s) n.next_use);
         ("next_start", opt (fun i -> Json.Int i) n.next_start);
         ("next_fluid", opt (fun s -> Json.Str s) n.next_fluid);
+        ("parked", Json.Bool n.parked);
       ]
     | Merge_accept m ->
       [
@@ -144,6 +155,7 @@ let to_json ~seq ev =
         ("enlarged_len", Json.Int m.enlarged_len);
         ("budget", Json.Int m.budget);
         ("window", pair m.window);
+        ("spans_hold", Json.Bool m.spans_hold);
       ]
     | Merge_reject m ->
       [
@@ -174,6 +186,16 @@ let to_json ~seq ev =
         ( "contaminators",
           Json.Arr (List.map (fun s -> Json.Str s) w.contaminators) );
         ("use_keys", Json.Arr (List.map (fun s -> Json.Str s) w.use_keys));
+      ]
+    | Storage_hold h ->
+      [
+        ("type", Json.Str "storage_hold");
+        ("round", Json.Int h.round);
+        ("park_task", Json.Int h.park_task);
+        ("cell", pair h.cell);
+        ("fluid", Json.Str h.fluid);
+        ("hold_start", Json.Int h.hold_start);
+        ("hold_until", Json.Int h.hold_until);
       ]
     | Reschedule_shift r ->
       [
@@ -255,11 +277,13 @@ let of_json j =
       let* next_use = opt_field j "next_use" Json.to_str in
       let* next_start = opt_field j "next_start" Json.to_int in
       let* next_fluid = opt_field j "next_fluid" Json.to_str in
+      let* parked = opt_field j "parked" Json.to_bool in
+      let parked = Option.value parked ~default:false in
       Ok
         (Necessity_verdict
            {
              round; cell; residue; deposited_at; source; verdict; rule;
-             next_use; next_start; next_fluid;
+             next_use; next_start; next_fluid; parked;
            })
     | "merge_accept" ->
       let* round = field j "round" Json.to_int in
@@ -269,10 +293,12 @@ let of_json j =
       let* enlarged_len = field j "enlarged_len" Json.to_int in
       let* budget = field j "budget" Json.to_int in
       let* window = field j "window" as_pair in
+      let* spans_hold = opt_field j "spans_hold" Json.to_bool in
+      let spans_hold = Option.value spans_hold ~default:false in
       Ok
         (Merge_accept
            { round; removal_task; group; base_len; enlarged_len; budget;
-             window })
+             window; spans_hold })
     | "merge_reject" ->
       let* round = field j "round" Json.to_int in
       let* removal_task = field j "removal_task" Json.to_int in
@@ -306,6 +332,16 @@ let of_json j =
              waste_port; flow_candidates; waste_candidates; length;
              merged_removals; contaminators; use_keys;
            })
+    | "storage_hold" ->
+      let* round = field j "round" Json.to_int in
+      let* park_task = field j "park_task" Json.to_int in
+      let* cell = field j "cell" as_pair in
+      let* fluid = field j "fluid" Json.to_str in
+      let* hold_start = field j "hold_start" Json.to_int in
+      let* hold_until = field j "hold_until" Json.to_int in
+      Ok
+        (Storage_hold
+           { round; park_task; cell; fluid; hold_start; hold_until })
     | "reschedule_shift" ->
       let* round = field j "round" Json.to_int in
       let* key = field j "key" Json.to_str in

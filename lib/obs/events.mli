@@ -33,6 +33,9 @@ type t =
       next_use : string option;  (** first later entry over the cell *)
       next_start : int option;  (** its start second *)
       next_fluid : string option;  (** fluid it pushes (None = buffer) *)
+      parked : bool;
+          (** residue deposited by channel storage (park / hold window /
+              fetch source) rather than by through-flow *)
     }
   | Merge_accept of {
       round : int;
@@ -42,6 +45,9 @@ type t =
       enlarged_len : int;  (** after absorbing the removal's excess *)
       budget : int;  (** max growth the psi test allowed *)
       window : int * int;  (** merged [release, deadline) window *)
+      spans_hold : bool;
+          (** the merged window spans a storage hold, which unlocked the
+              full removal-length growth budget *)
     }
   | Merge_reject of {
       round : int;
@@ -69,6 +75,14 @@ type t =
       merged_removals : int list;  (** absorbed removal task ids *)
       contaminators : string list;  (** keys that dirtied the targets *)
       use_keys : string list;  (** keys whose reuse forced the wash *)
+    }
+  | Storage_hold of {
+      round : int;
+      park_task : int;  (** the park task owning the hold *)
+      cell : int * int;  (** the storage cell *)
+      fluid : string;  (** the parked fluid *)
+      hold_start : int;  (** park finish *)
+      hold_until : int;  (** start of the last fetch drawing from it *)
     }
   | Reschedule_shift of {
       round : int;

@@ -251,6 +251,7 @@ let parse (s : string) : (t, string) result =
   | exception Bad m -> Error m
 
 let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
 let to_int = function Int i -> Some i | _ -> None
 
 let to_float = function

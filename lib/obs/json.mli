@@ -33,6 +33,7 @@ val member : string -> t -> t option
 
 (** Coercions; [to_float] also accepts [Int]. *)
 
+val to_bool : t -> bool option
 val to_int : t -> int option
 val to_float : t -> float option
 val to_str : t -> string option

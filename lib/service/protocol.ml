@@ -5,12 +5,29 @@ type method_ = [ `Pdw | `Dawo ]
 
 type source = Benchmark of string | Inline of string
 
-type spec = { source : source; method_ : method_; config : Pdw.config }
+type spec = {
+  source : source;
+  method_ : method_;
+  config : Pdw.config;
+  park : int list;
+}
 
 (* Bump whenever the frame vocabulary changes incompatibly; the hello
    handshake turns a mismatch into a typed error instead of a frame
-   decode failure deep in a pipeline. *)
-let wire_rev = 2
+   decode failure deep in a pipeline.  Rev 3 added the submit [park]
+   field — a rev-2 peer would silently drop it and plan the
+   storage-free problem, so the mismatch must be loud. *)
+let wire_rev = 3
+
+(* The canonical form's own revision, stamped into every digest
+   preimage.  Rev 2 added the [park] field: every digest changed at
+   once, so plans cached under the storage-blind form can never answer
+   requests in the richer space. *)
+let spec_rev = 2
+
+(* Canonical spelling of a park set: sorted, deduped — permutations and
+   repeats are the same planning problem and must digest equal. *)
+let canonical_park park = List.sort_uniq compare park
 
 type request =
   | Submit of { spec : spec; no_cache : bool }
@@ -55,8 +72,9 @@ let tier_of_name = function
   | "planned" -> Some Planned
   | _ -> None
 
-let spec ?(method_ = `Pdw) ?(config = Pdw.default_config) source =
-  { source; method_; config }
+let spec ?(method_ = `Pdw) ?(config = Pdw.default_config) ?(park = []) source
+    =
+  { source; method_; config; park }
 
 let method_name = function `Pdw -> "pdw" | `Dawo -> "dawo"
 
@@ -150,7 +168,7 @@ let config_of_json j =
     end
   | _ -> Result.Error "config: expected an object"
 
-let canonical_json { source; method_; config } =
+let canonical_json { source; method_; config; park } =
   let source_fields =
     match source with
     | Benchmark name ->
@@ -160,25 +178,34 @@ let canonical_json { source; method_; config } =
       [ ("source", Json.Str "inline"); ("assay", Json.Str text) ]
   in
   Json.Obj
-    (source_fields
+    (( ("spec_rev", Json.Int spec_rev) :: source_fields)
     @ [ ("method", Json.Str (method_name method_));
-        ("config", config_to_json config) ])
+        ("config", config_to_json config);
+        ( "park",
+          Json.Arr (List.map (fun i -> Json.Int i) (canonical_park park)) );
+      ])
 
 let digest spec =
   Digest.to_hex (Digest.string (Json.to_string (canonical_json spec)))
 
 let request_to_json = function
-  | Submit { spec = { source; method_; config }; no_cache } ->
+  | Submit { spec = { source; method_; config; park }; no_cache } ->
     let source_fields =
       match source with
       | Benchmark name -> [ ("benchmark", Json.Str name) ]
       | Inline text -> [ ("assay", Json.Str text) ]
     in
+    let park_fields =
+      match canonical_park park with
+      | [] -> []
+      | ids -> [ ("park", Json.Arr (List.map (fun i -> Json.Int i) ids)) ]
+    in
     Json.Obj
       (( ("op", Json.Str "submit") :: source_fields)
       @ [ ("method", Json.Str (method_name method_));
-          ("config", config_to_json config);
-          ("no_cache", Json.Bool no_cache) ])
+          ("config", config_to_json config) ]
+      @ park_fields
+      @ [ ("no_cache", Json.Bool no_cache) ])
   | Burn { ms } -> Json.Obj [ ("op", Json.Str "burn"); ("ms", Json.Int ms) ]
   | Hello { version; rev } ->
     Json.Obj
@@ -217,12 +244,26 @@ let request_of_json j =
       | None -> Ok Pdw_wash.Pdw.default_config
       | Some c -> config_of_json c
     in
+    let* park =
+      match Json.member "park" j with
+      | None -> Ok []
+      | Some (Json.Arr ids) ->
+        let ints = List.map Json.to_int ids in
+        if List.exists Option.is_none ints then
+          Result.Error "submit: \"park\" must list operation ids (ints)"
+        else
+          let ids = List.filter_map Fun.id ints in
+          if List.exists (fun i -> i < 0) ids then
+            Result.Error "submit: negative operation id in \"park\""
+          else Ok ids
+      | Some _ -> Result.Error "submit: \"park\" must be an array"
+    in
     let no_cache =
       match Json.member "no_cache" j with
       | Some (Json.Bool b) -> b
       | Some _ | None -> false
     in
-    Ok (Submit { spec = { source; method_; config }; no_cache })
+    Ok (Submit { spec = { source; method_; config; park }; no_cache })
   | Some "burn" -> (
     match Option.bind (Json.member "ms" j) Json.to_int with
     | Some ms when ms >= 0 -> Ok (Burn { ms })

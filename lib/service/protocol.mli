@@ -21,6 +21,12 @@ type spec = {
   method_ : method_;
   config : Pdw_wash.Pdw.config;
       (** wire-configurable subset; [ilp_config] stays at its default *)
+  park : int list;
+      (** operation ids whose results are parked in distributed channel
+          storage before reuse ([Pdw_assay.Operation.park]); applied to
+          the resolved sequencing graph before synthesis.  Order and
+          duplicates are irrelevant — the canonical form sorts and
+          dedups, so permutations digest equal. *)
 }
 
 (** The wire-vocabulary revision this build speaks.  Bumped on every
@@ -28,6 +34,14 @@ type spec = {
     revs up front so a mismatch is a typed error reply, not a frame
     decode failure mid-pipeline. *)
 val wire_rev : int
+
+(** The canonical-form revision stamped into every {!canonical_json}.
+    Bumped whenever the spec vocabulary grows (the storage [park] field
+    added it), so every digest changes at once: a cached plan computed
+    under the old, storage-blind form can never answer a request in the
+    richer space — and a storage-free spec never aliases an old-format
+    digest either. *)
+val spec_rev : int
 
 type request =
   | Submit of { spec : spec; no_cache : bool }
@@ -80,10 +94,14 @@ type reply =
   | Bye  (** shutdown acknowledged *)
   | Error of string
 
-(** [spec ?method_ ?config source] with defaults [`Pdw] and
-    [Pdw_wash.Pdw.default_config]. *)
+(** [spec ?method_ ?config ?park source] with defaults [`Pdw],
+    [Pdw_wash.Pdw.default_config] and no parked operations. *)
 val spec :
-  ?method_:method_ -> ?config:Pdw_wash.Pdw.config -> source -> spec
+  ?method_:method_ ->
+  ?config:Pdw_wash.Pdw.config ->
+  ?park:int list ->
+  source ->
+  spec
 
 (** Canonical JSON of a spec: every config field present, in a fixed
     order, with defaults resolved — the cache key's preimage.  Two

@@ -100,6 +100,31 @@ let flow_of_entry schedule entry =
         tolerates = [];
         deposits = (fun _ -> Some (Some fluid));
       }
+    | Task.Park { fluid; _ } ->
+      (* Parking moves the product like a transport; the deposited
+         residue on the storage cell then persists until a wash or the
+         fetch sweeps back over it. *)
+      {
+        key;
+        start;
+        finish;
+        cells;
+        incoming = (fun _ -> Some fluid);
+        sensitive = true;
+        tolerates = [];
+        deposits = (fun _ -> Some (Some fluid));
+      }
+    | Task.Fetch { fluid; dst_op; _ } ->
+      {
+        key;
+        start;
+        finish;
+        cells;
+        incoming = (fun _ -> Some fluid);
+        sensitive = true;
+        tolerates = Sequencing_graph.input_fluids graph dst_op;
+        deposits = (fun _ -> Some (Some fluid));
+      }
     | Task.Wash _ ->
       {
         key;

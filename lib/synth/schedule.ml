@@ -63,6 +63,55 @@ let task_runs t =
 let wash_runs t =
   List.filter (fun (task, _, _) -> Task.is_wash task) (task_runs t)
 
+type hold = {
+  hold_cell : Coord.t;
+  hold_park : int;
+  hold_fluid : Pdw_biochip.Fluid.t;
+  hold_start : int;
+  hold_until : int;
+}
+
+(* Storage-hold windows: a park keeps its storage cell busy (and its
+   parked fluid resting there) from the park's finish until the start of
+   the last fetch drawing from it. *)
+let holds t =
+  let fetch_until = Hashtbl.create 8 in
+  List.iter
+    (fun (task, start, _) ->
+      match task.Task.purpose with
+      | Task.Fetch { park; _ } ->
+        let existing =
+          match Hashtbl.find_opt fetch_until park with
+          | Some u -> u
+          | None -> min_int
+        in
+        Hashtbl.replace fetch_until park (max existing start)
+      | Task.Transport _ | Task.Removal _ | Task.Disposal _ | Task.Wash _
+      | Task.Park _ ->
+        ())
+    (task_runs t);
+  List.filter_map
+    (fun (task, _, finish) ->
+      match task.Task.purpose with
+      | Task.Park { fluid; cell; _ } ->
+        let until =
+          match Hashtbl.find_opt fetch_until task.Task.id with
+          | Some u -> max u finish
+          | None -> finish
+        in
+        Some
+          {
+            hold_cell = cell;
+            hold_park = task.Task.id;
+            hold_fluid = fluid;
+            hold_start = finish;
+            hold_until = until;
+          }
+      | Task.Transport _ | Task.Removal _ | Task.Disposal _ | Task.Wash _
+      | Task.Fetch _ ->
+        None)
+    (task_runs t)
+
 let assay_completion t =
   List.fold_left
     (fun acc -> function
@@ -133,7 +182,8 @@ let violations t =
       pairwise rest
   in
   pairwise op_entries;
-  (* Transports and removals fit before their consumer (Eqs. 4, 5). *)
+  (* Transports, removals and fetches fit before their consumer
+     (Eqs. 4, 5). *)
   List.iter
     (function
       | Task_run { task; start = _; finish } -> (
@@ -152,22 +202,47 @@ let violations t =
               err "removal #%d ends after op %d starts" task.Task.id
                 (dst_op + 1)
           | None -> ())
-        | Task.Disposal _ | Task.Wash _ -> ())
+        | Task.Fetch { dst_op; _ } -> (
+          match run_of dst_op with
+          | Some (s, _) ->
+            if finish > s then
+              err "fetch #%d ends after op %d starts" task.Task.id
+                (dst_op + 1)
+          | None -> ())
+        | Task.Disposal _ | Task.Wash _ | Task.Park _ -> ())
       | Op_run _ -> ())
     t.entries;
-  (* Source-op precedence for transports (start after producer ends). *)
+  (* Source-op precedence for transports, disposals and parks (start
+     after producer ends); fetches start at/after their park's finish. *)
+  let task_run_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (function
+        | Task_run { task; start; finish } ->
+          Hashtbl.replace tbl task.Task.id (start, finish)
+        | Op_run _ -> ())
+      t.entries;
+    Hashtbl.find_opt tbl
+  in
   List.iter
     (function
       | Task_run { task; start; _ } -> (
         match task.Task.purpose with
         | Task.Transport { src_op = Some j; _ }
-        | Task.Disposal { src_op = j; _ } -> (
+        | Task.Disposal { src_op = j; _ }
+        | Task.Park { src_op = j; _ } -> (
           match run_of j with
           | Some (_, fj) ->
             if start < fj then
               err "task #%d starts before producing op %d ends" task.Task.id
                 (j + 1)
           | None -> ())
+        | Task.Fetch { park; _ } -> (
+          match task_run_of park with
+          | Some (_, fp) ->
+            if start < fp then
+              err "fetch #%d starts before park #%d ends" task.Task.id park
+          | None -> err "fetch #%d references missing park #%d" task.Task.id park)
         | Task.Transport { src_op = None; _ }
         | Task.Removal _ | Task.Wash _ -> ())
       | Op_run _ -> ())
@@ -193,6 +268,37 @@ let violations t =
       end
     done
   done;
+  (* Storage holds: a parked droplet owns its cell for the whole hold
+     window; only its own fetches may touch the cell meanwhile. *)
+  List.iter
+    (fun h ->
+      List.iter
+        (fun e ->
+          let exempt =
+            match e with
+            | Task_run { task; _ } -> (
+              match task.Task.purpose with
+              | Task.Fetch { park; _ } -> park = h.hold_park
+              | Task.Park { cell; _ } ->
+                (* the park's own run ends where the hold begins *)
+                Coord.equal cell h.hold_cell
+              | Task.Transport _ | Task.Removal _ | Task.Disposal _
+              | Task.Wash _ ->
+                false)
+            | Op_run _ -> false
+          in
+          if
+            (not exempt)
+            && overlaps h.hold_start h.hold_until (entry_start e)
+                 (entry_finish e)
+            && Coord.Set.mem h.hold_cell (entry_cells t e)
+          then
+            err "entry [%d,%d) crosses storage cell %s held by park #%d"
+              (entry_start e) (entry_finish e)
+              (Coord.to_string h.hold_cell)
+              h.hold_park)
+        t.entries)
+    (holds t);
   List.rev !errs
 
 let pp_entry graph layout ppf = function

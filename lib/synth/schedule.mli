@@ -51,6 +51,21 @@ val task_runs : t -> (Task.t * int * int) list
 (** The wash-task subset of [task_runs]. *)
 val wash_runs : t -> (Task.t * int * int) list
 
+(** A storage-hold window: park task [hold_park] keeps [hold_fluid]
+    resting on [hold_cell] from [hold_start] (the park's finish) until
+    [hold_until] (the start of the last fetch drawing from it; equals
+    [hold_start] when the hold is instantaneous). *)
+type hold = {
+  hold_cell : Pdw_geometry.Coord.t;
+  hold_park : int;
+  hold_fluid : Pdw_biochip.Fluid.t;
+  hold_start : int;
+  hold_until : int;
+}
+
+(** Hold windows of every park task in the schedule. *)
+val holds : t -> hold list
+
 (** Completion time of the last biochemical operation: the [T_assay] of
     Eq. (22). *)
 val assay_completion : t -> int
@@ -64,7 +79,10 @@ val makespan : t -> int
     - same-device runs do not overlap (Eq. 3);
     - every operation's input transports finish before it starts (Eq. 4);
     - removals follow their transport and precede the consumer (Eq. 5);
-    - no two concurrent entries share a grid cell (Eqs. 8, 19, 20).
+    - no two concurrent entries share a grid cell (Eqs. 8, 19, 20);
+    - parks follow their producer, fetches run between their park and
+      their consumer, and nothing but a hold's own fetches crosses the
+      held storage cell during the hold window.
     Returns the list of violations, empty when valid. *)
 val violations : t -> string list
 

@@ -23,6 +23,8 @@ type job = {
   release : int;
   cells : Coord.Set.t;
   rank : int;
+  holds : Coord.Set.t;
+  releases : Key.t list;
 }
 
 type assignment = { start : int; finish : int }
@@ -67,8 +69,52 @@ let run jobs =
             invalid_arg
               (Printf.sprintf "Scheduler.run: %s depends on unknown %s"
                  (Key.to_string job.key) (Key.to_string dep)))
-        job.after)
+        job.after;
+      List.iter
+        (fun owner ->
+          match Kmap.find_opt owner by_key with
+          | Some o when not (Coord.Set.is_empty o.holds) -> ()
+          | Some _ ->
+            invalid_arg
+              (Printf.sprintf "Scheduler.run: %s releases %s, which holds \
+                               nothing"
+                 (Key.to_string job.key) (Key.to_string owner))
+          | None ->
+            invalid_arg
+              (Printf.sprintf "Scheduler.run: %s releases unknown %s"
+                 (Key.to_string job.key) (Key.to_string owner)))
+        job.releases)
     jobs;
+  (* Hold bookkeeping: a job with [holds] keeps those cells busy from its
+     finish until the start of the last job that [releases] it (aliquots
+     may be drawn by earlier releasers while the hold persists).  A hold
+     whose owner is placed but whose releasers are not is "active": its
+     end is unknown, so any non-releasing job touching its cells is
+     deferred until every releaser is placed, at which point the hold
+     becomes an ordinary finite busy interval. *)
+  let releasers : Key.t list Kmap.t =
+    List.fold_left
+      (fun acc job ->
+        List.fold_left
+          (fun acc owner ->
+            let existing =
+              match Kmap.find_opt owner acc with Some l -> l | None -> []
+            in
+            Kmap.add owner (job.key :: existing) acc)
+          acc job.releases)
+      Kmap.empty jobs
+  in
+  Kmap.iter
+    (fun _ job ->
+      if
+        (not (Coord.Set.is_empty job.holds))
+        && not (Kmap.mem job.key releasers)
+      then
+        invalid_arg
+          (Printf.sprintf "Scheduler.run: %s holds cells but nothing \
+                           releases it"
+             (Key.to_string job.key)))
+    by_key;
   let calendar : (int * int) list Coord.Table.t = Coord.Table.create 256 in
   let busy c =
     match Coord.Table.find_opt calendar c with Some l -> l | None -> []
@@ -81,7 +127,29 @@ let run jobs =
   let done_ = ref Kmap.empty in
   let remaining = ref (List.length jobs) in
   let result = ref [] in
+  (* Holds whose owner is placed but not all releasers: cells -> owner. *)
+  let active_holds () =
+    Kmap.fold
+      (fun owner rels acc ->
+        if Kmap.mem owner !done_ then
+          let unreleased =
+            List.exists (fun r -> not (Kmap.mem r !done_)) rels
+          in
+          if unreleased then (owner, (Kmap.find owner by_key).holds) :: acc
+          else acc
+        else acc)
+      releasers []
+  in
   while !remaining > 0 do
+    let holds_now = active_holds () in
+    let conflicting_holds job =
+      let footprint = Coord.Set.union job.cells job.holds in
+      List.filter
+        (fun (owner, cells) ->
+          (not (List.exists (fun o -> o = owner) job.releases))
+          && not (Coord.Set.is_empty (Coord.Set.inter cells footprint)))
+        holds_now
+    in
     (* Ready jobs: all predecessors assigned. *)
     let ready =
       Kmap.fold
@@ -91,38 +159,88 @@ let run jobs =
             job :: acc
           else acc)
         by_key []
+      |> List.sort (fun a b ->
+             match Int.compare a.rank b.rank with
+             | 0 -> Key.compare a.key b.key
+             | c -> c)
     in
-    (match ready with
-    | [] ->
-      invalid_arg "Scheduler.run: precedence cycle (no ready job)"
-    | _ :: _ -> ());
-    let job =
-      List.fold_left
-        (fun best j ->
-          match best with
-          | None -> Some j
-          | Some b ->
-            if
-              j.rank < b.rank
-              || (j.rank = b.rank && Key.compare j.key b.key < 0)
-            then Some j
-            else best)
-        None ready
-      |> Option.get
+    (* Place the best ready job.  A job touching an actively-held cell it
+       does not release can still go in if it finishes before the hold
+       can possibly begin (the hold starts at its owner's finish); jobs
+       that cannot are deferred until the hold's releasers are placed and
+       the hold becomes an ordinary finite busy interval. *)
+    let placement =
+      List.find_map
+        (fun job ->
+          let prereq_finish =
+            List.fold_left
+              (fun acc d -> max acc (Kmap.find d !done_).finish)
+              0 job.after
+          in
+          let lb = max job.release prereq_finish in
+          let start =
+            earliest_fit ~busy ~cells:job.cells ~duration:job.duration ~lb
+          in
+          let safe =
+            List.for_all
+              (fun (owner, _) ->
+                start + job.duration <= (Kmap.find owner !done_).finish)
+              (conflicting_holds job)
+          in
+          if safe then Some (job, start) else None)
+        ready
     in
-    let prereq_finish =
-      List.fold_left
-        (fun acc d -> max acc (Kmap.find d !done_).finish)
-        0 job.after
-    in
-    let lb = max job.release prereq_finish in
-    let start =
-      earliest_fit ~busy ~cells:job.cells ~duration:job.duration ~lb
+    let job, start =
+      match placement with
+      | Some p -> p
+      | None ->
+        (* Self-diagnosing failure: name every stuck job and why it
+           cannot be placed (unfinished predecessors, or an active
+           storage hold it does not release and cannot precede). *)
+        let stuck =
+          Kmap.fold
+            (fun key job acc ->
+              if Kmap.mem key !done_ then acc
+              else
+                let missing =
+                  List.filter (fun d -> not (Kmap.mem d !done_)) job.after
+                in
+                let held_by =
+                  List.map (fun (o, _) -> Key.to_string o)
+                    (conflicting_holds job)
+                in
+                Printf.sprintf "%s (after: %s%s)" (Key.to_string key)
+                  (String.concat "," (List.map Key.to_string missing))
+                  (if held_by = [] then ""
+                   else "; held by: " ^ String.concat "," held_by)
+                :: acc)
+            by_key []
+        in
+        invalid_arg
+          (Printf.sprintf
+             "Scheduler.run: precedence cycle (no ready job); stuck: %s"
+             (String.concat " | " (List.rev stuck)))
     in
     let a = { start; finish = start + job.duration } in
     occupy job.cells a.start a.finish;
     done_ := Kmap.add job.key a !done_;
     result := (job.key, a) :: !result;
-    decr remaining
+    decr remaining;
+    (* If this was the last releaser of a hold, the hold window is now
+       known: enter it into the calendar as a normal busy interval. *)
+    List.iter
+      (fun owner ->
+        match Kmap.find_opt owner releasers with
+        | Some rels when List.for_all (fun r -> Kmap.mem r !done_) rels ->
+          let owner_finish = (Kmap.find owner !done_).finish in
+          let until =
+            List.fold_left
+              (fun acc r -> max acc (Kmap.find r !done_).start)
+              owner_finish rels
+          in
+          if until > owner_finish then
+            occupy (Kmap.find owner by_key).holds owner_finish until
+        | Some _ | None -> ())
+      job.releases
   done;
   List.rev !result

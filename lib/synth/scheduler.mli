@@ -24,6 +24,15 @@ type job = {
   release : int;       (** absolute earliest start *)
   cells : Pdw_geometry.Coord.Set.t;  (** exclusively occupied while running *)
   rank : int;  (** scheduling priority; lower ranks are placed first *)
+  holds : Pdw_geometry.Coord.Set.t;
+      (** channel-storage cells kept busy from this job's finish until the
+          start of the last job that [releases] it.  Usually empty; a park
+          task holds its storage cell.  A job with non-empty [holds] must
+          be released by at least one other job. *)
+  releases : Key.t list;
+      (** hold owners this job draws from: it may run during their hold
+          (taking an aliquot), and the hold ends at the start of the last
+          releaser.  Usually empty; a fetch releases its park. *)
 }
 
 type assignment = { start : int; finish : int }

@@ -1,0 +1,87 @@
+module Coord = Pdw_geometry.Coord
+module Grid = Pdw_geometry.Grid
+module Layout = Pdw_biochip.Layout
+
+let fail fmt = Printf.ksprintf invalid_arg fmt
+
+(* Candidate storage slots: plain channel cells the router can pass
+   through, kept at least two cells away from every device and port so a
+   parked droplet never sits on an excess-cache cell (device neighbours)
+   or blocks an injection point.  Sorted for determinism. *)
+let candidate_cells layout =
+  let grid = Layout.grid layout in
+  let special =
+    Grid.fold grid ~init:[] ~f:(fun acc c cell ->
+        match cell with
+        | Layout.Device_cell _ | Layout.Port_cell _ -> c :: acc
+        | Layout.Channel | Layout.Blocked -> acc)
+  in
+  let clear c = List.for_all (fun s -> Coord.manhattan c s >= 2) special in
+  Grid.fold grid ~init:[] ~f:(fun acc c cell ->
+      match cell with
+      | Layout.Channel when Layout.through_routable layout c && clear c ->
+        c :: acc
+      | Layout.Channel | Layout.Blocked | Layout.Device_cell _
+      | Layout.Port_cell _ ->
+        acc)
+  |> List.sort Coord.compare
+
+let allocate layout ~parked =
+  let candidates = candidate_cells layout in
+  let grid = Layout.grid layout in
+  let taken = ref Coord.Set.empty in
+  (* Free passage degree of a channel cell: through-routable neighbours
+     not claimed as storage, optionally pretending [extra] is claimed
+     too.  A covering wash path must pass *through* a cell (enter one
+     side, leave another), so every storage cell — and every channel cell
+     next to one — must keep at least two free neighbours.  Without this
+     guard, clustered storage cells pocket the cells between them and the
+     only covering flush path crosses a held cell, deadlocking the
+     placer against the hold it would wash away. *)
+  let free_degree ?extra c =
+    List.length
+      (List.filter
+         (fun n ->
+           Layout.through_routable layout n
+           && (not (Coord.Set.mem n !taken))
+           && match extra with Some e -> not (Coord.equal n e) | None -> true)
+         (Grid.neighbours grid c))
+  in
+  let pockets c =
+    (* Claiming [c] must leave c itself and every open neighbour (its
+       own or a prior claim's) passable. *)
+    free_degree ~extra:c c < 2
+    || List.exists
+         (fun n ->
+           Layout.through_routable layout n
+           && (not (Coord.Set.mem n !taken))
+           && free_degree ~extra:c n < 2)
+         (Grid.neighbours grid c)
+    || Coord.Set.exists (fun s -> free_degree ~extra:c s < 2) !taken
+  in
+  List.map
+    (fun (op_id, anchor) ->
+      let best =
+        List.fold_left
+          (fun acc c ->
+            if Coord.Set.mem c !taken || pockets c then acc
+            else
+              match acc with
+              | Some b ->
+                let d = Coord.manhattan anchor c
+                and db = Coord.manhattan anchor b in
+                if d < db || (d = db && Coord.compare c b < 0) then Some c
+                else acc
+              | None -> Some c)
+          None candidates
+      in
+      match best with
+      | Some c ->
+        taken := Coord.Set.add c !taken;
+        (op_id, c)
+      | None ->
+        fail
+          "Storage.allocate: no free channel-storage cell for op %d (%d \
+           parked ops, %d candidate cells)"
+          (op_id + 1) (List.length parked) (List.length candidates))
+    parked

@@ -1,0 +1,27 @@
+(** Distributed channel-storage allocation.
+
+    Parked intermediate products rest in plain channel cells between
+    operations ("Transport or Store?", Liu et al.; "Storage and Caching",
+    Tseng et al.).  The allocator assigns each parked operation a
+    dedicated storage cell: a through-routable channel cell at L1
+    distance at least 2 from every device and port cell, nearest to the
+    producing device's anchor (ties broken by coordinate order).  The
+    assignment is deterministic for a given layout and request order. *)
+
+(** Channel cells eligible as storage slots, in coordinate order. *)
+val candidate_cells :
+  Pdw_biochip.Layout.t -> Pdw_geometry.Coord.t list
+
+(** [allocate layout ~parked] maps each [(op_id, producer_anchor)] to its
+    storage cell, in request order; earlier requests claim cells first
+    and no cell is assigned twice.  A claim is rejected when it would
+    pocket the channel: every storage cell, and every open channel cell
+    adjacent to one, must keep at least two free through-routable
+    neighbours, so a covering wash path can always pass through without
+    crossing a held cell.
+    @raise Invalid_argument when the layout has too few candidate
+    cells. *)
+val allocate :
+  Pdw_biochip.Layout.t ->
+  parked:(int * Pdw_geometry.Coord.t) list ->
+  (int * Pdw_geometry.Coord.t) list

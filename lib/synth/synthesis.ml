@@ -79,7 +79,9 @@ let excess_cells layout path device_id =
   Coord.Set.of_list (entry @ exit)
 
 (* Jobs for the serial scheduler.  Ranks interleave per consuming op:
-   transports < removals/washes < the op run < disposals. *)
+   transports/fetches < removals/washes < the op run < disposals/parks.
+   A park holds its storage cell from its finish until the start of its
+   last fetch; fetches release the hold they draw from. *)
 let jobs_of_tasks ?dissolution graph binding layout tasks =
   let topo = Sequencing_graph.topological_order graph in
   let pos = Array.make (Sequencing_graph.num_ops graph) 0 in
@@ -104,6 +106,8 @@ let jobs_of_tasks ?dissolution graph binding layout tasks =
               release = 0;
               cells;
               rank = (pos.(dst_op) * 4) + 0;
+              holds = Coord.Set.empty;
+              releases = [];
             }
         | Task.Removal { dst_op; transport; _ } ->
           Some
@@ -114,6 +118,8 @@ let jobs_of_tasks ?dissolution graph binding layout tasks =
               release = 0;
               cells;
               rank = (pos.(dst_op) * 4) + 1;
+              holds = Coord.Set.empty;
+              releases = [];
             }
         | Task.Disposal { src_op; _ } ->
           Some
@@ -124,6 +130,32 @@ let jobs_of_tasks ?dissolution graph binding layout tasks =
               release = 0;
               cells;
               rank = (pos.(src_op) * 4) + 3;
+              holds = Coord.Set.empty;
+              releases = [];
+            }
+        | Task.Park { src_op; cell; _ } ->
+          Some
+            {
+              Scheduler.key = Scheduler.Key.Tsk task.Task.id;
+              duration;
+              after = [ Scheduler.Key.Op src_op ];
+              release = 0;
+              cells;
+              rank = (pos.(src_op) * 4) + 3;
+              holds = Coord.Set.singleton cell;
+              releases = [];
+            }
+        | Task.Fetch { dst_op; park; _ } ->
+          Some
+            {
+              Scheduler.key = Scheduler.Key.Tsk task.Task.id;
+              duration;
+              after = [ Scheduler.Key.Tsk park ];
+              release = 0;
+              cells;
+              rank = (pos.(dst_op) * 4) + 0;
+              holds = Coord.Set.empty;
+              releases = [ Scheduler.Key.Tsk park ];
             }
         | Task.Wash _ ->
           (* Washes get their precedence from [extra_after]; base job. *)
@@ -135,6 +167,8 @@ let jobs_of_tasks ?dissolution graph binding layout tasks =
               release = 0;
               cells;
               rank = 0;
+              holds = Coord.Set.empty;
+              releases = [];
             })
       tasks
   in
@@ -146,11 +180,13 @@ let jobs_of_tasks ?dissolution graph binding layout tasks =
           List.filter_map
             (fun (task : Task.t) ->
               match task.Task.purpose with
-              | Task.Transport { dst_op; _ } | Task.Removal { dst_op; _ }
+              | Task.Transport { dst_op; _ }
+              | Task.Removal { dst_op; _ }
+              | Task.Fetch { dst_op; _ }
                 when dst_op = i ->
                 Some (Scheduler.Key.Tsk task.Task.id)
               | Task.Transport _ | Task.Removal _ | Task.Disposal _
-              | Task.Wash _ ->
+              | Task.Wash _ | Task.Park _ | Task.Fetch _ ->
                 None)
             tasks
         in
@@ -167,6 +203,8 @@ let jobs_of_tasks ?dissolution graph binding layout tasks =
           cells =
             Coord.Set.of_list (Layout.device_cells layout binding.(i));
           rank = (pos.(i) * 4) + 2;
+          holds = Coord.Set.empty;
+          releases = [];
         })
       topo
   in
@@ -210,12 +248,36 @@ let build_tasks graph layout binding reagent_ports =
     incr next_id;
     id
   in
+  (* Distributed channel storage: each parked op gets a dedicated storage
+     cell near its producing device.  Other traffic is steered away from
+     storage cells (a parked droplet blocks its cell for the whole hold),
+     and park/fetch routes must not cross foreign storage cells at all —
+     that is what keeps hold release acyclic in the scheduler. *)
+  let parked = Sequencing_graph.parked_ops graph in
+  let storage_cells =
+    match parked with
+    | [] -> []
+    | _ :: _ ->
+      Storage.allocate layout
+        ~parked:
+          (List.map
+             (fun j -> (j, Layout.device_anchor layout binding.(j)))
+             parked)
+  in
+  let storage_set = Coord.Set.of_list (List.map snd storage_cells) in
+  let storage_cell_of j =
+    match List.assoc_opt j storage_cells with
+    | Some c -> c
+    | None -> fail "Synthesis: op %d has no storage cell" (j + 1)
+  in
+  let is_parked j = List.mem j parked in
   (* Fluids already routed through each cell.  Transports prefer virgin
      cells or cells carrying the same fluid, so distinct fluids get
      near-dedicated channels — the traffic pattern a PathDriver-style
      synthesis tool produces with etched point-to-point channels. *)
   let channel_users : Fluid.t list Coord.Table.t = Coord.Table.create 128 in
   let foreign_fluid_cost = 30 and foreign_device_cost = 40 in
+  let storage_cell_cost = 50 in
   let cell_cost fluid dst_device c =
     let device_penalty =
       match Layout.cell layout c with
@@ -231,7 +293,10 @@ let build_tasks graph layout binding reagent_ports =
         foreign_fluid_cost
       | Some _ | None -> 0
     in
-    device_penalty + congestion_penalty
+    let storage_penalty =
+      if Coord.Set.mem c storage_set then storage_cell_cost else 0
+    in
+    device_penalty + congestion_penalty + storage_penalty
   in
   let note_path fluid path =
     List.iter
@@ -258,18 +323,71 @@ let build_tasks graph layout binding reagent_ports =
   in
   let tasks = ref [] in
   let add task = tasks := task :: !tasks in
+  (* Route to/from a storage cell: foreign storage cells are hard-avoided
+     (falling back to the penalty-only route when the chip leaves no
+     choice) so a fetch is never deferred behind a hold it cannot
+     release. *)
+  let route_storage ~fluid ~own src dst what =
+    let avoid = Coord.Set.remove own storage_set in
+    let attempt =
+      match
+        Router.cheapest layout ~avoid ~cost:(cell_cost fluid None) ~src ~dst
+          ()
+      with
+      | Some _ as p -> p
+      | None ->
+        Router.cheapest layout ~cost:(cell_cost fluid None) ~src ~dst ()
+    in
+    match attempt with
+    | Some p ->
+      note_path fluid p;
+      p
+    | None ->
+      fail "Synthesis: cannot route %s from %s to %s" what
+        (Coord.to_string src) (Coord.to_string dst)
+  in
+  (* One park per parked op, created when its first consumer needs it. *)
+  let park_ids : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let ensure_park j =
+    match Hashtbl.find_opt park_ids j with
+    | Some id -> id
+    | None ->
+      let fluid = Sequencing_graph.result_fluid graph j in
+      let cell = storage_cell_of j in
+      let path =
+        route_storage ~fluid ~own:cell
+          (Layout.device_anchor layout binding.(j))
+          cell "park"
+      in
+      let id = fresh () in
+      add
+        (Task.make ~id ~purpose:(Task.Park { fluid; src_op = j; cell })
+           ~path);
+      Hashtbl.replace park_ids j id;
+      id
+  in
   List.iter
     (fun i ->
       let dst_anchor = Layout.device_anchor layout binding.(i) in
       List.iter
         (fun input ->
+          let parked_src =
+            match input with
+            | Sequencing_graph.From_op j when is_parked j -> Some j
+            | Sequencing_graph.From_op _ | Sequencing_graph.From_reagent _ ->
+              None
+          in
           let fluid, src, src_op, src_cell =
             match input with
             | Sequencing_graph.From_op j ->
+              let src_cell =
+                if is_parked j then storage_cell_of j
+                else Layout.device_anchor layout binding.(j)
+              in
               ( Sequencing_graph.result_fluid graph j,
                 Task.Device_end binding.(j),
                 Some j,
-                Layout.device_anchor layout binding.(j) )
+                src_cell )
             | Sequencing_graph.From_reagent r ->
               let port_id =
                 match
@@ -283,15 +401,34 @@ let build_tasks graph layout binding reagent_ports =
                 None,
                 (Layout.port layout port_id).Port.position )
           in
-          let path =
-            route_or_fail ~fluid ~dst_device:(Some binding.(i)) src_cell
-              dst_anchor "transport"
+          let transport_id, path =
+            match parked_src with
+            | Some j ->
+              let park_id = ensure_park j in
+              let path =
+                route_storage ~fluid ~own:(storage_cell_of j) src_cell
+                  dst_anchor "fetch"
+              in
+              let id = fresh () in
+              add
+                (Task.make ~id
+                   ~purpose:
+                     (Task.Fetch
+                        { fluid; src_op = j; dst_op = i; park = park_id })
+                   ~path);
+              (id, path)
+            | None ->
+              let path =
+                route_or_fail ~fluid ~dst_device:(Some binding.(i)) src_cell
+                  dst_anchor "transport"
+              in
+              let id = fresh () in
+              add
+                (Task.make ~id
+                   ~purpose:(Task.Transport { fluid; src; src_op; dst_op = i })
+                   ~path);
+              (id, path)
           in
-          let transport_id = fresh () in
-          add
-            (Task.make ~id:transport_id
-               ~purpose:(Task.Transport { fluid; src; src_op; dst_op = i })
-               ~path);
           (* Excess-fluid removal for this delivery (p_{j,i,2}). *)
           let excess = excess_cells layout path binding.(i) in
           if not (Coord.Set.is_empty excess) then begin

@@ -19,6 +19,8 @@ type purpose =
     }
   | Disposal of { fluid : Fluid.t; src_op : int }
   | Wash of { targets : Coord.Set.t; merged_removals : int list }
+  | Park of { fluid : Fluid.t; src_op : int; cell : Coord.t }
+  | Fetch of { fluid : Fluid.t; src_op : int; dst_op : int; park : int }
 
 type t = { id : int; purpose : purpose; path : Gpath.t }
 
@@ -28,25 +30,34 @@ let duration ?(dissolution = Pdw_biochip.Units.dissolution_seconds) t =
   let cells = Gpath.length t.path in
   match t.purpose with
   | Wash _ -> Pdw_biochip.Units.travel_seconds cells + dissolution
-  | Transport _ | Removal _ | Disposal _ ->
+  | Transport _ | Removal _ | Disposal _ | Park _ | Fetch _ ->
     Pdw_biochip.Units.transport_seconds cells
 
 let is_wash t = match t.purpose with
   | Wash _ -> true
-  | Transport _ | Removal _ | Disposal _ -> false
+  | Transport _ | Removal _ | Disposal _ | Park _ | Fetch _ -> false
 
 let is_removal t = match t.purpose with
   | Removal _ -> true
-  | Transport _ | Disposal _ | Wash _ -> false
+  | Transport _ | Disposal _ | Wash _ | Park _ | Fetch _ -> false
+
+let is_park t = match t.purpose with
+  | Park _ -> true
+  | Transport _ | Removal _ | Disposal _ | Wash _ | Fetch _ -> false
+
+let is_fetch t = match t.purpose with
+  | Fetch _ -> true
+  | Transport _ | Removal _ | Disposal _ | Wash _ | Park _ -> false
 
 let is_sensitive t =
   match t.purpose with
-  | Transport _ -> true
+  | Transport _ | Park _ | Fetch _ -> true
   | Removal _ | Disposal _ | Wash _ -> false
 
 let carried_fluid t =
   match t.purpose with
-  | Transport { fluid; _ } | Removal { fluid; _ } | Disposal { fluid; _ } ->
+  | Transport { fluid; _ } | Removal { fluid; _ } | Disposal { fluid; _ }
+  | Park { fluid; _ } | Fetch { fluid; _ } ->
     Some fluid
   | Wash _ -> None
 
@@ -61,6 +72,12 @@ let purpose_to_string = function
     Printf.sprintf "wash[%d targets%s]" (Coord.Set.cardinal targets)
       (if merged_removals = [] then ""
        else Printf.sprintf ",+%d removals" (List.length merged_removals))
+  | Park { fluid; src_op; cell } ->
+    Printf.sprintf "park[%s,o%d@%s]" (Fluid.to_string fluid) (src_op + 1)
+      (Coord.to_string cell)
+  | Fetch { fluid; src_op; dst_op; _ } ->
+    Printf.sprintf "fetch[%s,o%d->o%d]" (Fluid.to_string fluid) (src_op + 1)
+      (dst_op + 1)
 
 let pp ppf t =
   Format.fprintf ppf "#%d %s len=%d" t.id (purpose_to_string t.purpose)

@@ -31,6 +31,19 @@ type purpose =
       merged_removals : int list;
           (** removal-task ids it absorbs (the [psi] of Eq. (21)) *)
     }
+  | Park of {
+      fluid : Pdw_biochip.Fluid.t;
+      src_op : int;  (** operation whose result is parked *)
+      cell : Pdw_geometry.Coord.t;
+          (** the channel-storage cell the fluid rests in; last cell of
+              the park path *)
+    }  (** move a result into distributed channel storage *)
+  | Fetch of {
+      fluid : Pdw_biochip.Fluid.t;
+      src_op : int;  (** producing operation *)
+      dst_op : int;  (** consuming operation *)
+      park : int;    (** the park task that stored the fluid *)
+    }  (** deliver a parked result from its storage cell to a consumer *)
 
 (** A fluidic task: its purpose and the flow path that realizes it. *)
 type t = { id : int; purpose : purpose; path : Pdw_geometry.Gpath.t }
@@ -48,9 +61,15 @@ val is_wash : t -> bool
 (** Whether the task removes excess fluid to waste. *)
 val is_removal : t -> bool
 
-(** Tasks whose passage would be corrupted by residue: transports.
-    Removal/disposal/wash traffic is insensitive (it ends in a waste
-    port). *)
+(** Whether the task parks a product into channel storage. *)
+val is_park : t -> bool
+
+(** Whether the task fetches a parked product from channel storage. *)
+val is_fetch : t -> bool
+
+(** Tasks whose passage would be corrupted by residue: transports, parks
+    and fetches (all carry a future input).  Removal/disposal/wash
+    traffic is insensitive (it ends in a waste port). *)
 val is_sensitive : t -> bool
 
 (** Fluid the task pushes through its path ([None] for wash: buffer). *)

@@ -12,6 +12,8 @@ let task_row_info task =
   | Task.Transport _ -> ("transports", "#5dade2")
   | Task.Removal _ -> ("removals", "#f5b041")
   | Task.Disposal _ -> ("disposals", "#839192")
+  | Task.Park _ -> ("parks", "#a569bd")
+  | Task.Fetch _ -> ("fetches", "#45b39d")
   | Task.Wash _ -> ("washes", "#58d68d")
 
 let render ?(row_height = 22.0) ?(second = 9.0) schedule =
@@ -23,7 +25,9 @@ let render ?(row_height = 22.0) ?(second = 9.0) schedule =
       (fun (d : Device.t) -> { label = d.Device.name; bars = [] })
       (Layout.devices layout)
   in
-  let class_names = [ "transports"; "removals"; "disposals"; "washes" ] in
+  let class_names =
+    [ "transports"; "removals"; "disposals"; "parks"; "fetches"; "washes" ]
+  in
   let class_rows = List.map (fun label -> { label; bars = [] }) class_names in
   let find_row label rows =
     List.find (fun r -> String.equal r.label label) rows

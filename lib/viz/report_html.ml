@@ -1,3 +1,11 @@
+type hold_row = {
+  park_task : int;
+  cell : int * int;
+  fluid : string;
+  hold_start : int;
+  hold_until : int;
+}
+
 type wash_row = {
   ordinal : int;
   task : int;
@@ -74,7 +82,7 @@ let pairs_table b ~caption rows render_value =
   end
 
 let render ~title ~layout_svg ~gantt_svg ~metrics ~stage_ms ~counters
-    ~washes =
+    ~washes ?(holds = []) () =
   let b = Buffer.create 65536 in
   Buffer.add_string b "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n";
   Buffer.add_string b "<meta charset=\"utf-8\">\n";
@@ -124,6 +132,26 @@ let render ~title ~layout_svg ~gantt_svg ~metrics ~stage_ms ~counters
              r.ordinal r.task r.round r.group r.n_targets r.length rl dl
              (escape r.finder) r.flow_port r.waste_port r.n_merged))
       washes;
+    Buffer.add_string b "</tbody></table>\n"
+  end;
+
+  if holds <> [] then begin
+    Buffer.add_string b
+      "<h2>Storage holds</h2>\n<table class=\"sortable\">\n<thead><tr>";
+    List.iter
+      (fun h -> Buffer.add_string b (Printf.sprintf "<th>%s</th>" h))
+      [ "park task"; "cell"; "fluid"; "hold window"; "duration (s)" ];
+    Buffer.add_string b "</tr></thead>\n<tbody>\n";
+    List.iter
+      (fun r ->
+        let x, y = r.cell in
+        Buffer.add_string b
+          (Printf.sprintf
+             "<tr><td>%d</td><td>(%d, %d)</td><td>%s</td>\
+              <td>[%d, %d)</td><td>%d</td></tr>\n"
+             r.park_task x y (escape r.fluid) r.hold_start r.hold_until
+             (r.hold_until - r.hold_start)))
+      holds;
     Buffer.add_string b "</tbody></table>\n"
   end;
 

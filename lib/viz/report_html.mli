@@ -6,6 +6,16 @@
     Inputs are primitives (pre-rendered SVG strings, name/value lists)
     so the renderer stays below [bin] and is trivially testable. *)
 
+(** One row of the storage-hold table: a parked product pinning its
+    channel cell, from the ledger's storage-hold events. *)
+type hold_row = {
+  park_task : int;
+  cell : int * int;
+  fluid : string;
+  hold_start : int;
+  hold_until : int;
+}
+
 (** One row of the wash-decision table, straight from the decision
     ledger's wash-path events. *)
 type wash_row = {
@@ -23,9 +33,10 @@ type wash_row = {
 }
 
 (** [render ~title ~layout_svg ~gantt_svg ~metrics ~stage_ms ~counters
-    ~washes] is the full HTML document.  [metrics] are name/value pairs
-    shown as headline cards; [stage_ms] and [counters] render as plain
-    tables (omitted when empty); [washes] as the sortable table. *)
+    ~washes ()] is the full HTML document.  [metrics] are name/value
+    pairs shown as headline cards; [stage_ms] and [counters] render as
+    plain tables (omitted when empty); [washes] and [holds] as sortable
+    tables. *)
 val render :
   title:string ->
   layout_svg:string ->
@@ -34,6 +45,8 @@ val render :
   stage_ms:(string * float) list ->
   counters:(string * int) list ->
   washes:wash_row list ->
+  ?holds:hold_row list ->
+  unit ->
   string
 
 (** [write path html] writes the document to [path]. *)

@@ -551,6 +551,7 @@ let test_event_line_roundtrip () =
           next_use = Some "op5";
           next_start = Some 12;
           next_fluid = Some "filtered(r1)";
+          parked = false;
         };
       Events.Necessity_verdict
         {
@@ -564,6 +565,7 @@ let test_event_line_roundtrip () =
           next_use = None;
           next_start = None;
           next_fluid = None;
+          parked = true;
         };
       Events.Merge_accept
         {
@@ -574,6 +576,7 @@ let test_event_line_roundtrip () =
           enlarged_len = 8;
           budget = 9;
           window = (4, 11);
+          spans_hold = true;
         };
       Events.Merge_reject
         {
@@ -609,6 +612,15 @@ let test_event_line_roundtrip () =
           merged_removals = [ 7; 8 ];
           contaminators = [ "task#1" ];
           use_keys = [ "task#2"; "op1" ];
+        };
+      Events.Storage_hold
+        {
+          round = 0;
+          park_task = 11;
+          cell = (5, 1);
+          fluid = "mix(r1,r2)";
+          hold_start = 14;
+          hold_until = 31;
         };
       Events.Reschedule_shift
         { round = 2; key = "op3"; from_start = 10; to_start = 14 };

@@ -139,6 +139,11 @@ let test_protocol_request_roundtrip () =
               (Protocol.Inline "assay text\nwith lines");
           no_cache = true;
         };
+      (* park already in canonical order: the wire form sorts and
+         dedups, so only a canonical set round-trips structurally. *)
+      Protocol.Submit
+        { spec = Protocol.spec ~park:[ 1; 3 ] (Protocol.Benchmark "storageshuttle");
+          no_cache = false };
       Protocol.Burn { ms = 42 };
       Protocol.Stats;
       Protocol.Version;
@@ -177,6 +182,81 @@ let test_protocol_digest () =
               { Pdw.default_config with
                 Pdw.alpha = Pdw.default_config.Pdw.alpha +. 1e-9 }
             "pcr"))
+
+(* The satellite guarantee of the storage subsystem: a storage spec and
+   its storage-free projection are different planning problems and must
+   never share a digest — a cached storage-blind plan answering a
+   storage request (or vice versa) would serve the wrong chip. *)
+let test_protocol_storage_digest () =
+  let d = Protocol.digest in
+  List.iter
+    (fun name ->
+      let stored = Protocol.spec ~park:[ 0 ] (Protocol.Benchmark name) in
+      let plain = { stored with Protocol.park = [] } in
+      Alcotest.(check bool)
+        (name ^ ": storage spec never aliases its storage-free projection")
+        true
+        (d stored <> d plain))
+    [ "pcr"; "storageshuttle"; "storageladder"; "storageburst" ];
+  Alcotest.(check string) "park order and duplicates are canonicalized"
+    (d (Protocol.spec ~park:[ 3; 1; 1 ] (Protocol.Benchmark "pcr")))
+    (d (Protocol.spec ~park:[ 1; 3 ] (Protocol.Benchmark "pcr")));
+  Alcotest.(check bool) "different park sets differ" true
+    (d (Protocol.spec ~park:[ 1 ] (Protocol.Benchmark "pcr"))
+    <> d (Protocol.spec ~park:[ 2 ] (Protocol.Benchmark "pcr")));
+  (* The canonical form carries its own revision, so even an empty park
+     set digests differently from any pre-storage build's form. *)
+  match Protocol.canonical_json (spec_of "pcr") with
+  | Json.Obj fields ->
+    Alcotest.(check bool) "spec_rev stamped into the canonical form" true
+      (List.assoc_opt "spec_rev" fields = Some (Json.Int Protocol.spec_rev));
+    Alcotest.(check bool) "park field present even when empty" true
+      (List.assoc_opt "park" fields = Some (Json.Arr []))
+  | _ -> Alcotest.fail "canonical form is not an object"
+
+let test_protocol_rejects_bad_park () =
+  let submit park_json =
+    Protocol.request_of_json
+      (Json.Obj
+         [
+           ("op", Json.Str "submit");
+           ("benchmark", Json.Str "pcr");
+           ("park", park_json);
+         ])
+  in
+  (match submit (Json.Str "2") with
+  | Error m ->
+    Alcotest.(check bool) "non-array park named" true
+      (contains ~needle:"park" m)
+  | Ok _ -> Alcotest.fail "accepted a non-array park");
+  (match submit (Json.Arr [ Json.Str "two" ]) with
+  | Error m ->
+    Alcotest.(check bool) "non-int park element named" true
+      (contains ~needle:"park" m)
+  | Ok _ -> Alcotest.fail "accepted a non-int park element");
+  match submit (Json.Arr [ Json.Int (-1) ]) with
+  | Error m ->
+    Alcotest.(check bool) "negative id named" true
+      (contains ~needle:"park" m)
+  | Ok _ -> Alcotest.fail "accepted a negative op id"
+
+(* Parking through the engine: a parked spec plans successfully and its
+   outcome differs from the storage-free plan of the same assay, while
+   a bad op id comes back as a typed error, not a worker crash. *)
+let test_engine_park () =
+  let plain = spec_of "pcr" in
+  let parked = Protocol.spec ~park:[ 0 ] (Protocol.Benchmark "pcr") in
+  match (Engine.plan plain, Engine.plan parked) with
+  | Ok a, Ok b ->
+    Alcotest.(check bool) "parked plan differs from storage-free plan" true
+      (not (String.equal a b));
+    (match Engine.plan (Protocol.spec ~park:[ 999 ] (Protocol.Benchmark "pcr"))
+     with
+    | Error m ->
+      Alcotest.(check bool) "bad op id is a typed error" true
+        (contains ~needle:"park" m)
+    | Ok _ -> Alcotest.fail "planned a park of a nonexistent op")
+  | Error m, _ | _, Error m -> Alcotest.fail m
 
 let test_protocol_rejects_unknown_config () =
   let j =
@@ -1492,6 +1572,12 @@ let () =
             test_protocol_digest;
           Alcotest.test_case "unknown config field" `Quick
             test_protocol_rejects_unknown_config;
+          Alcotest.test_case "storage digest separation" `Quick
+            test_protocol_storage_digest;
+          Alcotest.test_case "malformed park rejected" `Quick
+            test_protocol_rejects_bad_park;
+          Alcotest.test_case "engine applies the park set" `Quick
+            test_engine_park;
         ] );
       ( "plan cache",
         [

@@ -252,6 +252,8 @@ let job ?(after = []) ?(release = 0) ?(rank = 0) key duration cells =
     release;
     cells = Coord.Set.of_list cells;
     rank;
+    holds = Coord.Set.empty;
+    releases = [];
   }
 
 let assignment_of key assignments = List.assoc key assignments
@@ -291,7 +293,9 @@ let test_scheduler_release () =
 let test_scheduler_rejects_cycle () =
   let a = Scheduler.Key.Tsk 0 and b = Scheduler.Key.Tsk 1 in
   Alcotest.check_raises "cycle"
-    (Invalid_argument "Scheduler.run: precedence cycle (no ready job)")
+    (Invalid_argument
+       "Scheduler.run: precedence cycle (no ready job); stuck: task#0 \
+        (after: task#1) | task#1 (after: task#0)")
     (fun () ->
       ignore (Scheduler.run [ job ~after:[ b ] a 1 []; job ~after:[ a ] b 1 [] ]))
 
@@ -344,7 +348,9 @@ let test_synthesis_task_structure () =
       (fun (t : Task.t) ->
         match t.Task.purpose with
         | Task.Transport _ -> true
-        | Task.Removal _ | Task.Disposal _ | Task.Wash _ -> false)
+        | Task.Removal _ | Task.Disposal _ | Task.Park _ | Task.Fetch _
+        | Task.Wash _ ->
+          false)
       s.Synthesis.tasks
   in
   (* One transport per edge. *)
@@ -357,7 +363,9 @@ let test_synthesis_task_structure () =
       (fun (t : Task.t) ->
         match t.Task.purpose with
         | Task.Disposal _ -> true
-        | Task.Transport _ | Task.Removal _ | Task.Wash _ -> false)
+        | Task.Transport _ | Task.Removal _ | Task.Park _ | Task.Fetch _
+        | Task.Wash _ ->
+          false)
       s.Synthesis.tasks
   in
   Alcotest.(check int) "disposal per sink"
@@ -496,6 +504,153 @@ let prop_shortest_is_shortest =
           >= 1 + Coord.manhattan (Gpath.source p) (Gpath.target p))
         s.Synthesis.tasks)
 
+(* --- distributed channel storage --- *)
+
+module Storage = Pdw_synth.Storage
+
+let test_storage_candidates () =
+  let layout = fig2 () in
+  let cands = Storage.candidate_cells layout in
+  Alcotest.(check bool) "candidates exist" true (cands <> []);
+  let sorted = List.sort_uniq Coord.compare cands in
+  Alcotest.(check bool) "in coordinate order, duplicate-free" true
+    (cands = sorted);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Coord.to_string c ^ " through-routable") true
+        (Layout.through_routable layout c))
+    cands
+
+(* A roomier chip than fig2 for allocation tests: the guard against
+   pocketed channel cells needs open space to place several slots. *)
+let storage_layout () =
+  Placement.layout
+    ~device_kinds:[ Device.Mixer; Device.Heater; Device.Detector ]
+    ()
+
+let test_storage_allocation_distinct () =
+  let layout = storage_layout () in
+  let anchor = Coord.make 6 3 in
+  let parked = [ (0, anchor); (3, anchor); (7, anchor) ] in
+  let alloc = Storage.allocate layout ~parked in
+  Alcotest.(check (list int)) "request order preserved" [ 0; 3; 7 ]
+    (List.map fst alloc);
+  let cells = List.map snd alloc in
+  Alcotest.(check int) "distinct cells" 3
+    (List.length (List.sort_uniq Coord.compare cells));
+  Alcotest.(check bool) "deterministic" true
+    (Storage.allocate layout ~parked = alloc)
+
+let test_storage_allocation_nearest () =
+  (* Nearest-first modulo the pocket guard: successive requests from the
+     same anchor get cells at non-decreasing distance, because later
+     claims choose from a shrinking eligible set. *)
+  let layout = storage_layout () in
+  let anchor = Coord.make 6 3 in
+  match Storage.allocate layout ~parked:[ (0, anchor); (1, anchor) ] with
+  | [ (_, c0); (_, c1) ] ->
+    Alcotest.(check bool) "non-decreasing distance" true
+      (Coord.manhattan anchor c0 <= Coord.manhattan anchor c1)
+  | _ -> Alcotest.fail "expected two allocations"
+
+let test_storage_allocation_exhausts () =
+  let layout = fig2 () in
+  let n = List.length (Storage.candidate_cells layout) in
+  let parked = List.init (n + 1) (fun i -> (i, Coord.make 0 0)) in
+  match Storage.allocate layout ~parked with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_scheduler_hold_blocks_cell () =
+  (* A park's hold pins its cell until the last fetch starts; a stranger
+     wanting that cell must wait out the hold and the fetch itself. *)
+  let x = Coord.make 4 4 in
+  let park = Scheduler.Key.Tsk 0
+  and fetch = Scheduler.Key.Tsk 1
+  and intruder = Scheduler.Key.Tsk 2 in
+  let result =
+    Scheduler.run
+      [
+        { (job park 2 [ x ]) with Scheduler.holds = Coord.Set.singleton x };
+        {
+          (job ~after:[ park ] ~release:10 ~rank:1 fetch 2 [ x ]) with
+          Scheduler.releases = [ park ];
+        };
+        job ~rank:2 intruder 3 [ x ];
+      ]
+  in
+  let p = assignment_of park result
+  and f = assignment_of fetch result
+  and i = assignment_of intruder result in
+  Alcotest.(check int) "park starts immediately" 0 p.Scheduler.start;
+  Alcotest.(check int) "fetch honours its release" 10 f.Scheduler.start;
+  Alcotest.(check bool) "intruder waits out hold and fetch" true
+    (i.Scheduler.start >= f.Scheduler.finish)
+
+let test_scheduler_releaser_may_overlap_hold () =
+  (* Earlier fetches draw aliquots mid-hold; only the last one ends it. *)
+  let x = Coord.make 4 4 in
+  let park = Scheduler.Key.Tsk 0
+  and f1 = Scheduler.Key.Tsk 1
+  and f2 = Scheduler.Key.Tsk 2 in
+  let result =
+    Scheduler.run
+      [
+        { (job park 2 [ x ]) with Scheduler.holds = Coord.Set.singleton x };
+        {
+          (job ~after:[ park ] ~release:4 ~rank:1 f1 1 [ x ]) with
+          Scheduler.releases = [ park ];
+        };
+        {
+          (job ~after:[ park ] ~release:9 ~rank:2 f2 1 [ x ]) with
+          Scheduler.releases = [ park ];
+        };
+      ]
+  in
+  let a1 = assignment_of f1 result and a2 = assignment_of f2 result in
+  Alcotest.(check int) "first fetch runs mid-hold" 4 a1.Scheduler.start;
+  Alcotest.(check int) "last fetch ends the hold" 9 a2.Scheduler.start
+
+let test_storage_synthesis_valid () =
+  List.iter
+    (fun (name, (b : Benchmarks.t)) ->
+      let s = Synthesis.synthesize b in
+      let parks = List.filter Task.is_park s.Synthesis.tasks
+      and fetches = List.filter Task.is_fetch s.Synthesis.tasks in
+      Alcotest.(check bool) (name ^ " has parks") true (parks <> []);
+      Alcotest.(check bool) (name ^ " has fetches") true (fetches <> []);
+      Alcotest.(check (list string))
+        (name ^ " schedule valid")
+        []
+        (Schedule.violations s.Synthesis.schedule))
+    (Benchmarks.storage ())
+
+let test_storage_holds_wellformed () =
+  List.iter
+    (fun (name, (b : Benchmarks.t)) ->
+      let s = Synthesis.synthesize b in
+      let holds = Schedule.holds s.Synthesis.schedule in
+      let parks = List.filter Task.is_park s.Synthesis.tasks in
+      Alcotest.(check int)
+        (name ^ " one hold per park")
+        (List.length parks) (List.length holds);
+      List.iter
+        (fun (h : Schedule.hold) ->
+          Alcotest.(check bool) (name ^ " hold window ordered") true
+            (h.Schedule.hold_until >= h.Schedule.hold_start))
+        holds)
+    (Benchmarks.storage ())
+
+let prop_parked_assays_synthesize =
+  QCheck2.Test.make
+    ~name:"parked random assays synthesize to valid schedules" ~count:30
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let b = Pdw_assay.Assay_gen.random ~park_fraction:0.4 ~seed () in
+      let s = Synthesis.synthesize b in
+      Schedule.violations s.Synthesis.schedule = [])
+
 let () =
   Alcotest.run "pdw_synth"
     [
@@ -566,11 +721,30 @@ let () =
           Alcotest.test_case "merged windows" `Quick
             test_actuation_merges_abutting_windows;
         ] );
+      ( "storage",
+        [
+          Alcotest.test_case "candidate cells" `Quick test_storage_candidates;
+          Alcotest.test_case "distinct allocation" `Quick
+            test_storage_allocation_distinct;
+          Alcotest.test_case "nearest-first allocation" `Quick
+            test_storage_allocation_nearest;
+          Alcotest.test_case "allocation exhaustion" `Quick
+            test_storage_allocation_exhausts;
+          Alcotest.test_case "hold blocks strangers" `Quick
+            test_scheduler_hold_blocks_cell;
+          Alcotest.test_case "releasers overlap hold" `Quick
+            test_scheduler_releaser_may_overlap_hold;
+          Alcotest.test_case "storage assays synthesize" `Quick
+            test_storage_synthesis_valid;
+          Alcotest.test_case "holds well-formed" `Quick
+            test_storage_holds_wellformed;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             prop_random_assays_synthesize;
             prop_shortest_is_shortest;
             prop_actuation_consistent_random;
+            prop_parked_assays_synthesize;
           ] );
     ]

@@ -159,6 +159,17 @@ let test_report_html () =
             n_merged = 0;
           };
         ]
+      ~holds:
+        [
+          {
+            Pdw_viz.Report_html.park_task = 11;
+            cell = (5, 1);
+            fluid = "mix(r1,r2)";
+            hold_start = 14;
+            hold_until = 31;
+          };
+        ]
+      ()
   in
   Alcotest.(check bool) "doctype" true (contains html "<!DOCTYPE html>");
   Alcotest.(check bool) "closes html" true (contains html "</html>");
